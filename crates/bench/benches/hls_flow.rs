@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks for the HLS substrate: lowering, the full flow
+//! on representative kernels, and synthetic program generation. Together with
+//! `inference.rs` these regenerate the timeliness (speed-up) figure at
+//! micro-benchmark precision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hls_ir::lower::lower_function;
+use hls_progen::kernels::all_kernels;
+use hls_progen::synthetic::{ProgramGenerator, SyntheticConfig};
+use hls_sim::{run_flow, FpgaDevice};
+
+fn bench_lowering(c: &mut Criterion) {
+    let kernels = all_kernels();
+    let mut group = c.benchmark_group("hls/lower");
+    group.sample_size(20);
+    for name in ["ms_gemm_ncubed", "pb_jacobi_2d", "ch_sha_round"] {
+        let kernel = kernels.iter().find(|k| k.name == name).expect("kernel exists");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kernel.function, |b, function| {
+            b.iter(|| lower_function(function).expect("lowering succeeds"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_flow(c: &mut Criterion) {
+    let kernels = all_kernels();
+    let device = FpgaDevice::default();
+    let mut group = c.benchmark_group("hls/full_flow");
+    group.sample_size(10);
+    for name in ["ms_gemm_ncubed", "pb_2mm", "ch_aes_mixcolumn"] {
+        let kernel = kernels.iter().find(|k| k.name == name).expect("kernel exists");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &kernel.function, |b, function| {
+            b.iter(|| run_flow(function, &device).expect("flow succeeds"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_synthetic_generation(c: &mut Criterion) {
+    c.bench_function("progen/generate_cdfg_program", |b| {
+        let mut generator = ProgramGenerator::new(SyntheticConfig::control(), 7);
+        b.iter(|| generator.generate())
+    });
+    c.bench_function("progen/generate_dfg_program", |b| {
+        let mut generator = ProgramGenerator::new(SyntheticConfig::straight_line(), 7);
+        b.iter(|| generator.generate())
+    });
+}
+
+criterion_group!(benches, bench_lowering, bench_full_flow, bench_synthetic_generation);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for prediction latency: graph extraction,
+//! feature encoding + GNN forward pass per layer family, and end-to-end
+//! prediction. These quantify the "prediction within milliseconds" side of the
+//! paper's timeliness argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnn::GnnKind;
+use hls_gnn_core::approach::{Approach, OffTheShelfPredictor};
+use hls_gnn_core::dataset::{Dataset, GraphSample};
+use hls_gnn_core::train::TrainConfig;
+use hls_ir::graph::{extract_graph, GraphKind};
+use hls_progen::kernels::all_kernels;
+use hls_sim::FpgaDevice;
+
+fn kernel_sample() -> GraphSample {
+    let kernels = all_kernels();
+    let kernel = kernels.iter().find(|k| k.name == "ms_gemm_ncubed").expect("gemm kernel exists");
+    GraphSample::from_function(&kernel.function, GraphKind::Cdfg, &FpgaDevice::default())
+        .expect("flow runs on gemm")
+}
+
+fn trained_predictor(kind: GnnKind) -> OffTheShelfPredictor {
+    let mut config = TrainConfig::fast();
+    config.epochs = 1;
+    let train = Dataset::new(vec![kernel_sample()]);
+    let mut predictor = OffTheShelfPredictor::new(kind, &config);
+    predictor.fit(&train, &Dataset::default(), &config).expect("fit on one sample");
+    predictor
+}
+
+fn bench_graph_extraction(c: &mut Criterion) {
+    let kernels = all_kernels();
+    let kernel = kernels.iter().find(|k| k.name == "ms_gemm_ncubed").unwrap();
+    c.bench_function("ir/extract_cdfg_gemm", |b| {
+        b.iter(|| extract_graph(&kernel.function, GraphKind::Cdfg).expect("extraction succeeds"))
+    });
+}
+
+fn bench_model_inference(c: &mut Criterion) {
+    let sample = kernel_sample();
+    let mut group = c.benchmark_group("gnn/predict_gemm");
+    group.sample_size(10);
+    for kind in [GnnKind::Gcn, GnnKind::GraphSage, GnnKind::Pna, GnnKind::Rgcn] {
+        let predictor = trained_predictor(kind);
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &sample, |b, sample| {
+            b.iter(|| predictor.predict(sample).expect("prediction succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_extraction, bench_model_inference);
+criterion_main!(benches);

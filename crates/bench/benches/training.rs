@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the learning substrate: one training epoch
+//! of the graph-level regressor and of the node-level classifier on a small
+//! corpus, per backbone. These bound the cost of regenerating the tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnn::GnnKind;
+use hls_gnn_core::dataset::{Dataset, DatasetBuilder};
+use hls_gnn_core::encode::FeatureMode;
+use hls_gnn_core::metrics::TargetNormalizer;
+use hls_gnn_core::model::{GraphRegressor, NodeClassifierModel};
+use hls_gnn_core::train::{train_node_classifier, train_regressor, TrainConfig};
+use hls_progen::synthetic::{ProgramFamily, SyntheticConfig};
+
+fn small_corpus() -> Dataset {
+    DatasetBuilder::new(ProgramFamily::Control)
+        .count(8)
+        .seed(13)
+        .generator_config(SyntheticConfig::tiny(ProgramFamily::Control))
+        .build()
+        .expect("corpus builds")
+}
+
+fn one_epoch_config() -> TrainConfig {
+    let mut config = TrainConfig::fast();
+    config.epochs = 1;
+    config
+}
+
+fn bench_regressor_epoch(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let config = one_epoch_config();
+    let normalizer = TargetNormalizer::fit(&corpus);
+    let mut group = c.benchmark_group("train/regressor_epoch");
+    group.sample_size(10);
+    for kind in [GnnKind::Gcn, GnnKind::Rgcn, GnnKind::Pna] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &corpus, |b, corpus| {
+            b.iter(|| {
+                let model = GraphRegressor::new(kind, FeatureMode::Base, &config);
+                train_regressor(&model, &normalizer, corpus, &config)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_classifier_epoch(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let config = one_epoch_config();
+    let mut group = c.benchmark_group("train/classifier_epoch");
+    group.sample_size(10);
+    for kind in [GnnKind::GraphSage, GnnKind::Rgcn] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &corpus, |b, corpus| {
+            b.iter(|| {
+                let model = NodeClassifierModel::new(kind, &config);
+                train_node_classifier(&model, corpus, &config)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_regressor_epoch, bench_classifier_epoch);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Runs the ablation sweep over the design choices called out in DESIGN.md:
+//! sum vs mean pooling, relational vs plain message passing, and the
+//! hierarchical (knowledge-infused) stage.
+
+use hls_gnn_core::experiments::{run_ablation, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!("Running ablations at {:?} scale ({} CDFG programs)", config.scale, config.cdfg_programs);
+    let report = match run_ablation(&config) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("ablation failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    println!("{report}");
+    if let Ok(json) = serde_json::to_string_pretty(&report) {
+        std::fs::create_dir_all("results").ok();
+        if std::fs::write("results/ablation.json", json).is_ok() {
+            println!("wrote results/ablation.json");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Exports the benchmark corpora (synthetic DFG, synthetic CDFG, real-world
+//! kernels) to the portable JSON release format, mirroring the "released
+//! benchmark" contribution of the paper.
+
+use hls_gnn_core::dataset::{Dataset, DatasetBuilder};
+use hls_gnn_core::experiments::ExperimentConfig;
+use hls_gnn_core::export::ExportedDataset;
+use hls_progen::synthetic::ProgramFamily;
+
+fn write(dataset: &ExportedDataset, path: &str) {
+    match dataset.to_json() {
+        Ok(json) => {
+            if std::fs::write(path, json).is_ok() {
+                println!("wrote {path} ({} graphs, {} nodes)", dataset.graph_count, dataset.node_count);
+            } else {
+                eprintln!("failed to write {path}");
+            }
+        }
+        Err(error) => eprintln!("failed to serialise {path}: {error}"),
+    }
+}
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!(
+        "Exporting the benchmark at {:?} scale ({} DFG / {} CDFG programs + real-world kernels)",
+        config.scale, config.dfg_programs, config.cdfg_programs
+    );
+    std::fs::create_dir_all("results/benchmark").ok();
+
+    let dfg = DatasetBuilder::new(ProgramFamily::StraightLine)
+        .count(config.dfg_programs)
+        .seed(config.seed)
+        .device(config.device.clone())
+        .build()
+        .expect("DFG corpus builds");
+    write(
+        &ExportedDataset::from_dataset(&dfg, "synthetic straight-line programs (DFG corpus)"),
+        "results/benchmark/dfg.json",
+    );
+
+    let cdfg = DatasetBuilder::new(ProgramFamily::Control)
+        .count(config.cdfg_programs)
+        .seed(config.seed)
+        .device(config.device.clone())
+        .build()
+        .expect("CDFG corpus builds");
+    write(
+        &ExportedDataset::from_dataset(&cdfg, "synthetic control-flow programs (CDFG corpus)"),
+        "results/benchmark/cdfg.json",
+    );
+
+    let real = Dataset::real_world(&config.device).expect("real-world kernels build");
+    write(
+        &ExportedDataset::from_dataset(&real, "MachSuite / CHStone / PolyBench kernel analogues"),
+        "results/benchmark/realworld.json",
+    );
+}

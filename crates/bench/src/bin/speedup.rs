@@ -1,0 +1,24 @@
+//! Regenerates the timeliness comparison behind the paper's "outperforms HLS
+//! by up to 40×" statement: wall-clock of the full HLS + implementation flow
+//! vs a single GNN prediction, per real-world kernel.
+
+use hls_gnn_core::experiments::{run_speedup, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!("Running the speed-up study at {:?} scale", config.scale);
+    let report = match run_speedup(&config) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("speedup failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    println!("{report}");
+    if let Ok(json) = serde_json::to_string_pretty(&report) {
+        std::fs::create_dir_all("results").ok();
+        if std::fs::write("results/speedup.json", json).is_ok() {
+            println!("wrote results/speedup.json");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table 2: MAPE of graph-level regression with the 14 screened
+//! GNN models on the DFG and CDFG corpora (off-the-shelf approach).
+
+use hls_gnn_core::experiments::{run_table2, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!(
+        "Running Table 2 at {:?} scale ({} DFG / {} CDFG programs, {} epochs, hidden {})",
+        config.scale, config.dfg_programs, config.cdfg_programs, config.train.epochs, config.train.hidden_dim
+    );
+    let table = match run_table2(&config) {
+        Ok(table) => table,
+        Err(error) => {
+            eprintln!("table2 failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    println!("{table}");
+    if let Ok(json) = serde_json::to_string_pretty(&table) {
+        std::fs::create_dir_all("results").ok();
+        if std::fs::write("results/table2.json", json).is_ok() {
+            println!("wrote results/table2.json");
+        }
+    }
+}

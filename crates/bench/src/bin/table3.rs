@@ -1,0 +1,26 @@
+//! Regenerates Table 3: node-level resource-type classification accuracy of
+//! GCN / GraphSAGE / GIN / RGCN on DFGs, CDFGs and the real-case kernels.
+
+use hls_gnn_core::experiments::{run_table3, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!(
+        "Running Table 3 at {:?} scale ({} DFG / {} CDFG programs)",
+        config.scale, config.dfg_programs, config.cdfg_programs
+    );
+    let table = match run_table3(&config) {
+        Ok(table) => table,
+        Err(error) => {
+            eprintln!("table3 failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    println!("{table}");
+    if let Ok(json) = serde_json::to_string_pretty(&table) {
+        std::fs::create_dir_all("results").ok();
+        if std::fs::write("results/table3.json", json).is_ok() {
+            println!("wrote results/table3.json");
+        }
+    }
+}

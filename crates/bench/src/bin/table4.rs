@@ -1,0 +1,26 @@
+//! Regenerates Table 4: MAPE of the off-the-shelf, knowledge-infused and
+//! knowledge-rich approaches with RGCN and PNA backbones on DFG/CDFG corpora.
+
+use hls_gnn_core::experiments::{run_table4, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!(
+        "Running Table 4 at {:?} scale ({} DFG / {} CDFG programs)",
+        config.scale, config.dfg_programs, config.cdfg_programs
+    );
+    let table = match run_table4(&config) {
+        Ok(table) => table,
+        Err(error) => {
+            eprintln!("table4 failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    println!("{table}");
+    if let Ok(json) = serde_json::to_string_pretty(&table) {
+        std::fs::create_dir_all("results").ok();
+        if std::fs::write("results/table4.json", json).is_ok() {
+            println!("wrote results/table4.json");
+        }
+    }
+}

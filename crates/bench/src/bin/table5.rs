@@ -1,0 +1,39 @@
+//! Regenerates Table 5: generalisation MAPE on the real-case applications for
+//! the HLS report baseline and the six GNN predictors (RGCN/PNA × three
+//! approaches), plus the improvement-over-HLS factors quoted in the paper.
+
+use hls_gnn_core::experiments::{run_table5, ExperimentConfig};
+use hls_gnn_core::task::TargetMetric;
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    println!(
+        "Running Table 5 at {:?} scale ({} CDFG training programs)",
+        config.scale, config.cdfg_programs
+    );
+    let table = match run_table5(&config) {
+        Ok(table) => table,
+        Err(error) => {
+            eprintln!("table5 failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    println!("{table}");
+    for predictor in ["RGCN-I", "RGCN-R", "PNA-I", "PNA-R"] {
+        let factors: Vec<String> = TargetMetric::ALL
+            .iter()
+            .filter_map(|&target| {
+                table
+                    .improvement_over_hls(predictor, target)
+                    .map(|factor| format!("{}: {:.1}x", target.name(), factor))
+            })
+            .collect();
+        println!("improvement of {predictor} over HLS -> {}", factors.join(", "));
+    }
+    if let Ok(json) = serde_json::to_string_pretty(&table) {
+        std::fs::create_dir_all("results").ok();
+        if std::fs::write("results/table5.json", json).is_ok() {
+            println!("wrote results/table5.json");
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Feature encoding: Table-1 categorical features → learned embeddings, plus
+//! the approach-specific auxiliary channels.
+//!
+//! * [`FeatureMode::Base`] — only the seven off-the-shelf features.
+//! * [`FeatureMode::ResourceValues`] — adds the per-node DSP/LUT/FF estimates
+//!   from the HLS intermediate results (knowledge-rich approach).
+//! * [`FeatureMode::ResourceTypes`] — adds three binary resource-type flags,
+//!   taken from the ground truth during training and from the node-level
+//!   classifier during inference (knowledge-infused approach).
+
+use gnn_tensor::{Embedding, Matrix, Var};
+use hls_ir::features::NodeFeatures;
+use rand::rngs::StdRng;
+
+use crate::dataset::GraphSample;
+
+/// Which auxiliary information is appended to the base features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FeatureMode {
+    /// Off-the-shelf approach: Table-1 features only.
+    #[default]
+    Base,
+    /// Knowledge-rich approach: per-node HLS resource values.
+    ResourceValues,
+    /// Knowledge-infused approach: per-node resource-type flags.
+    ResourceTypes,
+}
+
+impl FeatureMode {
+    /// Number of auxiliary feature columns this mode appends.
+    pub fn aux_width(self) -> usize {
+        match self {
+            FeatureMode::Base => 0,
+            FeatureMode::ResourceValues | FeatureMode::ResourceTypes => 3,
+        }
+    }
+
+    /// Short name used in reports (`""`, `"-R"`, `"-I"`), matching the paper's
+    /// table notation.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            FeatureMode::Base => "",
+            FeatureMode::ResourceValues => "-R",
+            FeatureMode::ResourceTypes => "-I",
+        }
+    }
+}
+
+/// Learned encoder from [`NodeFeatures`] (plus auxiliary channels) to the GNN
+/// input matrix.
+#[derive(Debug)]
+pub struct FeatureEncoder {
+    mode: FeatureMode,
+    node_type: Embedding,
+    bitwidth: Embedding,
+    category: Embedding,
+    opcode: Embedding,
+    embed_dim: usize,
+}
+
+/// Number of plain numeric base features (is-start-of-path, normalised cluster
+/// group).
+const NUMERIC_BASE_FEATURES: usize = 2;
+
+impl FeatureEncoder {
+    /// Creates an encoder whose categorical embeddings all have `embed_dim`
+    /// columns.
+    pub fn new(mode: FeatureMode, embed_dim: usize, rng: &mut StdRng) -> Self {
+        FeatureEncoder {
+            mode,
+            node_type: Embedding::new(NodeFeatures::NODE_TYPE_VOCAB, embed_dim, rng),
+            bitwidth: Embedding::new(NodeFeatures::BITWIDTH_BUCKETS, embed_dim, rng),
+            category: Embedding::new(NodeFeatures::OPCODE_CATEGORY_VOCAB, embed_dim, rng),
+            opcode: Embedding::new(NodeFeatures::OPCODE_VOCAB, embed_dim, rng),
+            embed_dim,
+        }
+    }
+
+    /// The feature mode of this encoder.
+    pub fn mode(&self) -> FeatureMode {
+        self.mode
+    }
+
+    /// Width of the encoded node-feature matrix.
+    pub fn output_dim(&self) -> usize {
+        4 * self.embed_dim + NUMERIC_BASE_FEATURES + self.mode.aux_width()
+    }
+
+    /// Encodes one sample. For [`FeatureMode::ResourceTypes`],
+    /// `type_override` replaces the ground-truth flags (used at inference time
+    /// with the classifier's self-inferred types); it must have one `[f32; 3]`
+    /// entry per node.
+    ///
+    /// # Panics
+    /// Panics if `type_override` is provided with the wrong length.
+    pub fn encode(&self, sample: &GraphSample, type_override: Option<&[[f32; 3]]>) -> Var {
+        let n = sample.num_nodes();
+        let node_type_ids: Vec<usize> = sample.node_features.iter().map(|f| f.node_type).collect();
+        let bitwidth_ids: Vec<usize> = sample.node_features.iter().map(|f| f.bitwidth_bucket()).collect();
+        let category_ids: Vec<usize> = sample.node_features.iter().map(|f| f.opcode_category).collect();
+        let opcode_ids: Vec<usize> = sample.node_features.iter().map(|f| f.opcode).collect();
+
+        let numeric = Matrix::from_fn(n, NUMERIC_BASE_FEATURES, |row, col| {
+            let feature = &sample.node_features[row];
+            match col {
+                0 => f32::from(feature.is_start_of_path),
+                _ => (feature.cluster_group as f32 / 32.0).clamp(-1.0, 8.0),
+            }
+        });
+
+        let mut parts = vec![
+            self.node_type.forward(&node_type_ids),
+            self.bitwidth.forward(&bitwidth_ids),
+            self.category.forward(&category_ids),
+            self.opcode.forward(&opcode_ids),
+            Var::new(numeric),
+        ];
+
+        match self.mode {
+            FeatureMode::Base => {}
+            FeatureMode::ResourceValues => {
+                let aux = Matrix::from_fn(n, 3, |row, col| {
+                    (sample.node_aux_resources[row][col].max(0.0) + 1.0).ln()
+                });
+                parts.push(Var::new(aux));
+            }
+            FeatureMode::ResourceTypes => {
+                let flags: &[[f32; 3]] = match type_override {
+                    Some(flags) => {
+                        assert_eq!(flags.len(), n, "type override must cover every node");
+                        flags
+                    }
+                    None => &sample.node_resource_types,
+                };
+                let aux = Matrix::from_fn(n, 3, |row, col| flags[row][col]);
+                parts.push(Var::new(aux));
+            }
+        }
+
+        Var::concat_cols(&parts)
+    }
+
+    /// Trainable parameters (the four embedding tables).
+    pub fn parameters(&self) -> Vec<Var> {
+        let mut params = self.node_type.parameters();
+        params.extend(self.bitwidth.parameters());
+        params.extend(self.category.parameters());
+        params.extend(self.opcode.parameters());
+        params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use hls_progen::synthetic::{ProgramFamily, SyntheticConfig};
+    use rand::SeedableRng;
+
+    fn sample() -> GraphSample {
+        DatasetBuilder::new(ProgramFamily::Control)
+            .count(1)
+            .seed(5)
+            .generator_config(SyntheticConfig::tiny(ProgramFamily::Control))
+            .build()
+            .unwrap()
+            .samples
+            .remove(0)
+    }
+
+    #[test]
+    fn output_width_tracks_mode() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let base = FeatureEncoder::new(FeatureMode::Base, 4, &mut rng);
+        let rich = FeatureEncoder::new(FeatureMode::ResourceValues, 4, &mut rng);
+        let infused = FeatureEncoder::new(FeatureMode::ResourceTypes, 4, &mut rng);
+        assert_eq!(base.output_dim(), 18);
+        assert_eq!(rich.output_dim(), 21);
+        assert_eq!(infused.output_dim(), 21);
+        assert_eq!(base.mode(), FeatureMode::Base);
+    }
+
+    #[test]
+    fn encoded_matrix_matches_graph_and_width() {
+        let sample = sample();
+        let mut rng = StdRng::seed_from_u64(1);
+        for mode in [FeatureMode::Base, FeatureMode::ResourceValues, FeatureMode::ResourceTypes] {
+            let encoder = FeatureEncoder::new(mode, 5, &mut rng);
+            let encoded = encoder.encode(&sample, None);
+            assert_eq!(encoded.shape(), (sample.num_nodes(), encoder.output_dim()));
+            assert!(!encoded.value().has_non_finite());
+        }
+    }
+
+    #[test]
+    fn type_override_changes_the_encoding() {
+        let sample = sample();
+        let mut rng = StdRng::seed_from_u64(2);
+        let encoder = FeatureEncoder::new(FeatureMode::ResourceTypes, 4, &mut rng);
+        let ground_truth = encoder.encode(&sample, None).value();
+        let flipped: Vec<[f32; 3]> = sample
+            .node_resource_types
+            .iter()
+            .map(|labels| [1.0 - labels[0], 1.0 - labels[1], 1.0 - labels[2]])
+            .collect();
+        let overridden = encoder.encode(&sample, Some(&flipped)).value();
+        assert_ne!(ground_truth, overridden);
+    }
+
+    #[test]
+    fn embeddings_receive_gradients() {
+        let sample = sample();
+        let mut rng = StdRng::seed_from_u64(3);
+        let encoder = FeatureEncoder::new(FeatureMode::Base, 4, &mut rng);
+        encoder.encode(&sample, None).sum().backward();
+        assert_eq!(encoder.parameters().len(), 4);
+        assert!(encoder.parameters().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    fn suffixes_match_paper_notation() {
+        assert_eq!(FeatureMode::Base.suffix(), "");
+        assert_eq!(FeatureMode::ResourceValues.suffix(), "-R");
+        assert_eq!(FeatureMode::ResourceTypes.suffix(), "-I");
+    }
+}

@@ -1,0 +1,204 @@
+//! Evaluation metrics (MAPE, RMSE, accuracy, F1) and target normalisation.
+
+use crate::dataset::Dataset;
+use crate::task::TargetMetric;
+
+/// Mean absolute percentage error with a floor on the denominator (resource
+/// counts can legitimately be zero; the floor keeps the metric finite, which
+/// is also how HLS QoR comparisons conventionally handle zero utilisation).
+pub fn mape_with_floor(predictions: &[f64], actuals: &[f64], floor: f64) -> f64 {
+    assert_eq!(predictions.len(), actuals.len(), "mape length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = predictions
+        .iter()
+        .zip(actuals)
+        .map(|(p, a)| (p - a).abs() / a.abs().max(floor))
+        .sum();
+    total / predictions.len() as f64
+}
+
+/// Mean absolute percentage error with a denominator floor of 1.0.
+pub fn mape(predictions: &[f64], actuals: &[f64]) -> f64 {
+    mape_with_floor(predictions, actuals, 1.0)
+}
+
+/// Root-mean-square error.
+pub fn rmse(predictions: &[f64], actuals: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), actuals.len(), "rmse length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = predictions.iter().zip(actuals).map(|(p, a)| (p - a) * (p - a)).sum();
+    (total / predictions.len() as f64).sqrt()
+}
+
+/// Binary classification accuracy for probability/score predictions against
+/// 0/1 labels, thresholded at 0.5.
+pub fn accuracy(scores: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "accuracy length mismatch");
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let correct = scores
+        .iter()
+        .zip(labels)
+        .filter(|(s, l)| (**s >= 0.5) == (**l >= 0.5))
+        .count();
+    correct as f64 / scores.len() as f64
+}
+
+/// Binary F1 score (harmonic mean of precision and recall) at threshold 0.5.
+pub fn f1_score(scores: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "f1 length mismatch");
+    let mut true_positive = 0.0f64;
+    let mut false_positive = 0.0f64;
+    let mut false_negative = 0.0f64;
+    for (score, label) in scores.iter().zip(labels) {
+        let predicted = *score >= 0.5;
+        let actual = *label >= 0.5;
+        match (predicted, actual) {
+            (true, true) => true_positive += 1.0,
+            (true, false) => false_positive += 1.0,
+            (false, true) => false_negative += 1.0,
+            (false, false) => {}
+        }
+    }
+    if true_positive == 0.0 {
+        return 0.0;
+    }
+    let precision = true_positive / (true_positive + false_positive);
+    let recall = true_positive / (true_positive + false_negative);
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Per-target normalisation of the regression labels: `log1p` followed by
+/// standardisation with statistics estimated on the training set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetNormalizer {
+    mean: [f64; TargetMetric::COUNT],
+    std: [f64; TargetMetric::COUNT],
+}
+
+impl TargetNormalizer {
+    /// Fits the normaliser on a training dataset.
+    pub fn fit(train: &Dataset) -> Self {
+        let count = train.len().max(1) as f64;
+        let mut mean = [0.0; TargetMetric::COUNT];
+        let mut std = [0.0; TargetMetric::COUNT];
+        for sample in &train.samples {
+            for (index, &target) in sample.targets.iter().enumerate() {
+                mean[index] += target.max(0.0).ln_1p();
+            }
+        }
+        for value in &mut mean {
+            *value /= count;
+        }
+        for sample in &train.samples {
+            for (index, &target) in sample.targets.iter().enumerate() {
+                let centred = target.max(0.0).ln_1p() - mean[index];
+                std[index] += centred * centred;
+            }
+        }
+        for value in &mut std {
+            *value = (*value / count).sqrt().max(1e-3);
+        }
+        TargetNormalizer { mean, std }
+    }
+
+    /// Normalises a raw `[DSP, LUT, FF, CP]` target vector.
+    pub fn normalize(&self, targets: &[f64; TargetMetric::COUNT]) -> [f32; TargetMetric::COUNT] {
+        let mut out = [0.0f32; TargetMetric::COUNT];
+        for (index, &target) in targets.iter().enumerate() {
+            out[index] = ((target.max(0.0).ln_1p() - self.mean[index]) / self.std[index]) as f32;
+        }
+        out
+    }
+
+    /// Maps normalised predictions back to raw target values.
+    pub fn denormalize(&self, normalized: &[f32; TargetMetric::COUNT]) -> [f64; TargetMetric::COUNT] {
+        let mut out = [0.0f64; TargetMetric::COUNT];
+        for (index, &value) in normalized.iter().enumerate() {
+            let log_value = f64::from(value) * self.std[index] + self.mean[index];
+            out[index] = log_value.exp_m1().max(0.0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, DatasetBuilder};
+    use hls_progen::synthetic::{ProgramFamily, SyntheticConfig};
+
+    #[test]
+    fn mape_matches_hand_computation() {
+        let predictions = [110.0, 90.0, 55.0];
+        let actuals = [100.0, 100.0, 50.0];
+        let value = mape(&predictions, &actuals);
+        assert!((value - (0.1 + 0.1 + 0.1) / 3.0).abs() < 1e-9);
+        assert_eq!(mape(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn mape_floor_prevents_division_by_zero() {
+        let value = mape_with_floor(&[3.0], &[0.0], 1.0);
+        assert_eq!(value, 3.0);
+        assert!(mape_with_floor(&[3.0], &[0.0], 1.0).is_finite());
+    }
+
+    #[test]
+    fn rmse_matches_hand_computation() {
+        let value = rmse(&[1.0, 3.0], &[0.0, 0.0]);
+        assert!((value - 5.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_and_f1_on_a_small_case() {
+        let scores = [0.9, 0.2, 0.7, 0.4];
+        let labels = [1.0, 0.0, 0.0, 1.0];
+        assert_eq!(accuracy(&scores, &labels), 0.5);
+        // precision = 1/2, recall = 1/2 -> f1 = 1/2.
+        assert!((f1_score(&scores, &labels) - 0.5).abs() < 1e-9);
+        assert_eq!(f1_score(&[0.1], &[1.0]), 0.0);
+    }
+
+    fn tiny_dataset() -> Dataset {
+        DatasetBuilder::new(ProgramFamily::StraightLine)
+            .count(5)
+            .seed(2)
+            .generator_config(SyntheticConfig::tiny(ProgramFamily::StraightLine))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn normalizer_round_trips_training_targets() {
+        let dataset = tiny_dataset();
+        let normalizer = TargetNormalizer::fit(&dataset);
+        for sample in &dataset.samples {
+            let normalized = normalizer.normalize(&sample.targets);
+            let recovered = normalizer.denormalize(&normalized);
+            for (a, b) in sample.targets.iter().zip(&recovered) {
+                assert!((a - b).abs() < 1e-2 * a.abs().max(1.0), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_training_targets_are_roughly_centred() {
+        let dataset = tiny_dataset();
+        let normalizer = TargetNormalizer::fit(&dataset);
+        let mut sums = [0.0f64; 4];
+        for sample in &dataset.samples {
+            for (index, value) in normalizer.normalize(&sample.targets).iter().enumerate() {
+                sums[index] += f64::from(*value);
+            }
+        }
+        for sum in sums {
+            assert!((sum / dataset.len() as f64).abs() < 0.5);
+        }
+    }
+}

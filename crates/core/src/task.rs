@@ -1,0 +1,123 @@
+//! Problem formulation: the graph-level regression targets and the node-level
+//! classification tasks of §3.1.
+
+use std::fmt;
+
+/// The four graph-level regression targets: three resource counts and the
+/// critical-path timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum TargetMetric {
+    /// DSP block usage.
+    Dsp,
+    /// Look-up table usage.
+    Lut,
+    /// Flip-flop usage.
+    Ff,
+    /// Critical-path timing in nanoseconds.
+    Cp,
+}
+
+impl TargetMetric {
+    /// All targets in the column order used by the paper's tables.
+    pub const ALL: [TargetMetric; 4] =
+        [TargetMetric::Dsp, TargetMetric::Lut, TargetMetric::Ff, TargetMetric::Cp];
+
+    /// Number of targets.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Column index of this target in `[DSP, LUT, FF, CP]` vectors.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|t| *t == self).expect("target present in ALL")
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            TargetMetric::Dsp => "DSP",
+            TargetMetric::Lut => "LUT",
+            TargetMetric::Ff => "FF",
+            TargetMetric::Cp => "CP",
+        }
+    }
+}
+
+impl fmt::Display for TargetMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The three binary node-level classification tasks (does this node use a
+/// DSP / LUT / FF in the final implementation?). A node matching none of the
+/// three is "empty".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ResourceClass {
+    /// Node is implemented (at least partly) with DSP blocks.
+    Dsp,
+    /// Node is implemented (at least partly) with LUTs.
+    Lut,
+    /// Node is implemented (at least partly) with flip-flops.
+    Ff,
+}
+
+impl ResourceClass {
+    /// All classes in the column order used by Table 3.
+    pub const ALL: [ResourceClass; 3] = [ResourceClass::Dsp, ResourceClass::Lut, ResourceClass::Ff];
+
+    /// Number of classes.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Column index of this class in `[DSP, LUT, FF]` label vectors.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).expect("class present in ALL")
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResourceClass::Dsp => "DSP",
+            ResourceClass::Lut => "LUT",
+            ResourceClass::Ff => "FF",
+        }
+    }
+}
+
+impl fmt::Display for ResourceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_indices_are_dense_and_ordered() {
+        assert_eq!(TargetMetric::Dsp.index(), 0);
+        assert_eq!(TargetMetric::Lut.index(), 1);
+        assert_eq!(TargetMetric::Ff.index(), 2);
+        assert_eq!(TargetMetric::Cp.index(), 3);
+        assert_eq!(TargetMetric::COUNT, 4);
+    }
+
+    #[test]
+    fn resource_class_indices_match_label_layout() {
+        for (expected, class) in ResourceClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), expected);
+        }
+        assert_eq!(ResourceClass::COUNT, 3);
+    }
+
+    #[test]
+    fn names_match_paper_columns() {
+        assert_eq!(TargetMetric::Cp.to_string(), "CP");
+        assert_eq!(ResourceClass::Lut.to_string(), "LUT");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let json = serde_json::to_string(&TargetMetric::Lut).unwrap();
+        assert_eq!(serde_json::from_str::<TargetMetric>(&json).unwrap(), TargetMetric::Lut);
+    }
+}

@@ -1,0 +1,186 @@
+//! Graph structure consumed by the GNN layers.
+//!
+//! [`GraphData`] holds only connectivity (edge lists and relation ids); node
+//! feature matrices are passed separately so that the same structure can be
+//! reused by the three prediction approaches with different feature sets.
+
+/// Connectivity of one graph: a directed multigraph with typed edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphData {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Source node of every edge.
+    pub edge_src: Vec<usize>,
+    /// Destination node of every edge.
+    pub edge_dst: Vec<usize>,
+    /// Relation (edge type) id of every edge, in `0..num_relations`.
+    pub edge_relation: Vec<usize>,
+    /// Number of distinct relations.
+    pub num_relations: usize,
+}
+
+impl GraphData {
+    /// Creates a graph, validating that edge lists agree in length and that
+    /// all indices are in range.
+    ///
+    /// # Panics
+    /// Panics if the edge lists have different lengths or contain
+    /// out-of-range node/relation indices.
+    pub fn new(
+        num_nodes: usize,
+        edge_src: Vec<usize>,
+        edge_dst: Vec<usize>,
+        edge_relation: Vec<usize>,
+        num_relations: usize,
+    ) -> Self {
+        assert_eq!(edge_src.len(), edge_dst.len(), "edge list length mismatch");
+        assert_eq!(edge_src.len(), edge_relation.len(), "edge relation length mismatch");
+        assert!(edge_src.iter().all(|&n| n < num_nodes), "edge source out of range");
+        assert!(edge_dst.iter().all(|&n| n < num_nodes), "edge destination out of range");
+        assert!(
+            edge_relation.iter().all(|&r| r < num_relations.max(1)),
+            "edge relation out of range"
+        );
+        GraphData { num_nodes, edge_src, edge_dst, edge_relation, num_relations: num_relations.max(1) }
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_src.len()
+    }
+
+    /// In-degree of every node.
+    pub fn in_degrees(&self) -> Vec<usize> {
+        let mut degrees = vec![0usize; self.num_nodes];
+        for &dst in &self.edge_dst {
+            degrees[dst] += 1;
+        }
+        degrees
+    }
+
+    /// Out-degree of every node.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        let mut degrees = vec![0usize; self.num_nodes];
+        for &src in &self.edge_src {
+            degrees[src] += 1;
+        }
+        degrees
+    }
+
+    /// In-degree of every node restricted to one relation.
+    pub fn in_degrees_for_relation(&self, relation: usize) -> Vec<usize> {
+        let mut degrees = vec![0usize; self.num_nodes];
+        for (edge, &dst) in self.edge_dst.iter().enumerate() {
+            if self.edge_relation[edge] == relation {
+                degrees[dst] += 1;
+            }
+        }
+        degrees
+    }
+
+    /// Edge indices belonging to one relation.
+    pub fn edges_of_relation(&self, relation: usize) -> Vec<usize> {
+        (0..self.edge_count()).filter(|&e| self.edge_relation[e] == relation).collect()
+    }
+
+    /// Returns a copy with every edge mirrored. Mirrored edges get relation
+    /// ids offset by `num_relations`, so relational layers can still
+    /// distinguish direction; `num_relations` doubles.
+    pub fn with_reverse_edges(&self) -> GraphData {
+        let mut edge_src = self.edge_src.clone();
+        let mut edge_dst = self.edge_dst.clone();
+        let mut edge_relation = self.edge_relation.clone();
+        for edge in 0..self.edge_count() {
+            edge_src.push(self.edge_dst[edge]);
+            edge_dst.push(self.edge_src[edge]);
+            edge_relation.push(self.edge_relation[edge] + self.num_relations);
+        }
+        GraphData {
+            num_nodes: self.num_nodes,
+            edge_src,
+            edge_dst,
+            edge_relation,
+            num_relations: self.num_relations * 2,
+        }
+    }
+
+    /// Induced subgraph over `keep` (in the given order). Returns the subgraph
+    /// together with, for every kept node, its index in the original graph.
+    pub fn induced_subgraph(&self, keep: &[usize]) -> GraphData {
+        let mut position = vec![usize::MAX; self.num_nodes];
+        for (new_index, &old_index) in keep.iter().enumerate() {
+            position[old_index] = new_index;
+        }
+        let mut edge_src = Vec::new();
+        let mut edge_dst = Vec::new();
+        let mut edge_relation = Vec::new();
+        for edge in 0..self.edge_count() {
+            let src = position[self.edge_src[edge]];
+            let dst = position[self.edge_dst[edge]];
+            if src != usize::MAX && dst != usize::MAX {
+                edge_src.push(src);
+                edge_dst.push(dst);
+                edge_relation.push(self.edge_relation[edge]);
+            }
+        }
+        GraphData {
+            num_nodes: keep.len(),
+            edge_src,
+            edge_dst,
+            edge_relation,
+            num_relations: self.num_relations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> GraphData {
+        GraphData::new(3, vec![0, 1, 2], vec![1, 2, 0], vec![0, 1, 0], 2)
+    }
+
+    #[test]
+    fn degrees_and_counts() {
+        let g = triangle();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.in_degrees(), vec![1, 1, 1]);
+        assert_eq!(g.out_degrees(), vec![1, 1, 1]);
+        assert_eq!(g.in_degrees_for_relation(1), vec![0, 0, 1]);
+        assert_eq!(g.edges_of_relation(0), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge source out of range")]
+    fn out_of_range_nodes_are_rejected() {
+        let _ = GraphData::new(2, vec![5], vec![0], vec![0], 1);
+    }
+
+    #[test]
+    fn reverse_edges_double_relations() {
+        let g = triangle().with_reverse_edges();
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.num_relations, 4);
+        assert_eq!(g.in_degrees(), vec![2, 2, 2]);
+        assert_eq!(g.edge_relation[3..], [2, 3, 2]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = triangle();
+        let sub = g.induced_subgraph(&[0, 1]);
+        assert_eq!(sub.num_nodes, 2);
+        // Only the 0 -> 1 edge survives.
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!((sub.edge_src[0], sub.edge_dst[0]), (0, 1));
+        assert_eq!(sub.num_relations, g.num_relations);
+    }
+
+    #[test]
+    fn zero_relation_graphs_are_normalised_to_one() {
+        let g = GraphData::new(2, vec![], vec![], vec![], 0);
+        assert_eq!(g.num_relations, 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Graph-convolutional layer family: GCN, SGC, GraphSAGE, ARMA and PAN.
+
+use gnn_tensor::{Linear, Var};
+use rand::rngs::StdRng;
+
+use super::prop::{propagate_gcn_norm, propagate_mean};
+use super::GnnLayer;
+use crate::graph::GraphData;
+
+/// Graph convolutional network layer (Kipf & Welling):
+/// `H' = D^{-1/2}(A+I)D^{-1/2} H W + b`.
+#[derive(Debug)]
+pub struct Gcn {
+    linear: Linear,
+}
+
+impl Gcn {
+    /// Creates a GCN layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        Gcn { linear: Linear::new(in_dim, out_dim, rng) }
+    }
+}
+
+impl GnnLayer for Gcn {
+    fn forward(&self, graph: &GraphData, h: &Var) -> Var {
+        propagate_gcn_norm(graph, &self.linear.forward(h))
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        self.linear.parameters()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.linear.out_features()
+    }
+}
+
+/// Simplified graph convolution (Wu et al.): the same propagation as GCN but
+/// intended to be stacked *without* nonlinearities, collapsing the model into
+/// `S^K X W`. The [`crate::GnnStack`] skips inter-layer activations for SGC.
+#[derive(Debug)]
+pub struct Sgc {
+    linear: Linear,
+}
+
+impl Sgc {
+    /// Creates an SGC layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        Sgc { linear: Linear::new(in_dim, out_dim, rng) }
+    }
+}
+
+impl GnnLayer for Sgc {
+    fn forward(&self, graph: &GraphData, h: &Var) -> Var {
+        self.linear.forward(&propagate_gcn_norm(graph, h))
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        self.linear.parameters()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.linear.out_features()
+    }
+}
+
+/// GraphSAGE layer with mean aggregation:
+/// `H' = H W_self + mean_neigh(H) W_neigh`.
+#[derive(Debug)]
+pub struct GraphSage {
+    self_linear: Linear,
+    neighbour_linear: Linear,
+}
+
+impl GraphSage {
+    /// Creates a GraphSAGE layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        GraphSage {
+            self_linear: Linear::new(in_dim, out_dim, rng),
+            neighbour_linear: Linear::new(in_dim, out_dim, rng),
+        }
+    }
+}
+
+impl GnnLayer for GraphSage {
+    fn forward(&self, graph: &GraphData, h: &Var) -> Var {
+        let own = self.self_linear.forward(h);
+        let neighbours = self.neighbour_linear.forward(&propagate_mean(graph, h));
+        own.add(&neighbours)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut params = self.self_linear.parameters();
+        params.extend(self.neighbour_linear.parameters());
+        params
+    }
+
+    fn output_dim(&self) -> usize {
+        self.self_linear.out_features()
+    }
+}
+
+/// ARMA graph convolution (Bianchi et al.), simplified to two parallel stacks
+/// of one recursive step each:
+/// `X_k = σ(L̂ X W_k + X V_k)`, output = mean over stacks.
+#[derive(Debug)]
+pub struct Arma {
+    stacks: Vec<(Linear, Linear)>,
+    out_dim: usize,
+}
+
+impl Arma {
+    /// Number of parallel ARMA stacks.
+    pub const STACKS: usize = 2;
+
+    /// Creates an ARMA layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        let stacks = (0..Self::STACKS)
+            .map(|_| (Linear::new(in_dim, out_dim, rng), Linear::new(in_dim, out_dim, rng)))
+            .collect();
+        Arma { stacks, out_dim }
+    }
+}
+
+impl GnnLayer for Arma {
+    fn forward(&self, graph: &GraphData, h: &Var) -> Var {
+        let mut combined: Option<Var> = None;
+        for (propagated_weight, skip_weight) in &self.stacks {
+            let propagated = propagate_gcn_norm(graph, &propagated_weight.forward(h));
+            let stack_out = propagated.add(&skip_weight.forward(h)).relu();
+            combined = Some(match combined {
+                Some(total) => total.add(&stack_out),
+                None => stack_out,
+            });
+        }
+        combined.expect("ARMA has at least one stack").scale(1.0 / Self::STACKS as f32)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        self.stacks
+            .iter()
+            .flat_map(|(w, v)| {
+                let mut params = w.parameters();
+                params.extend(v.parameters());
+                params
+            })
+            .collect()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+/// PAN-style path-integral convolution, realised as a learnable combination of
+/// 0-, 1- and 2-hop propagations (each hop has its own weight matrix, playing
+/// the role of the path-length-dependent weights of the original model).
+#[derive(Debug)]
+pub struct Pan {
+    hop_linears: Vec<Linear>,
+    out_dim: usize,
+}
+
+impl Pan {
+    /// Number of hops (path lengths) combined, including the 0-hop identity.
+    pub const HOPS: usize = 3;
+
+    /// Creates a PAN layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        let hop_linears = (0..Self::HOPS).map(|_| Linear::new(in_dim, out_dim, rng)).collect();
+        Pan { hop_linears, out_dim }
+    }
+}
+
+impl GnnLayer for Pan {
+    fn forward(&self, graph: &GraphData, h: &Var) -> Var {
+        let mut power = h.clone();
+        let mut total: Option<Var> = None;
+        for linear in &self.hop_linears {
+            let term = linear.forward(&power);
+            total = Some(match total {
+                Some(acc) => acc.add(&term),
+                None => term,
+            });
+            power = propagate_gcn_norm(graph, &power);
+        }
+        total.expect("PAN has at least one hop")
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        self.hop_linears.iter().flat_map(Linear::parameters).collect()
+    }
+
+    fn output_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_tensor::Matrix;
+    use rand::SeedableRng;
+
+    fn path_graph(n: usize) -> GraphData {
+        let src: Vec<usize> = (0..n - 1).collect();
+        let dst: Vec<usize> = (1..n).collect();
+        let rel = vec![0; n - 1];
+        GraphData::new(n, src, dst, rel, 1)
+    }
+
+    #[test]
+    fn gcn_propagates_information_to_neighbours() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Gcn::new(2, 2, &mut rng);
+        let graph = path_graph(3);
+        // Only node 0 has a non-zero feature.
+        let mut features = Matrix::zeros(3, 2);
+        features.set(0, 0, 1.0);
+        let out = layer.forward(&graph, &Var::new(features));
+        // Node 1 receives a message from node 0; node 2 does not (one hop only).
+        assert!(out.value().row(1).iter().any(|&v| v.abs() > 1e-6));
+    }
+
+    #[test]
+    fn sage_distinguishes_self_from_neighbours() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = GraphSage::new(2, 3, &mut rng);
+        let graph = path_graph(2);
+        let isolated = GraphData::new(2, vec![], vec![], vec![], 1);
+        let features = Var::new(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let with_edges = layer.forward(&graph, &features).value();
+        let without_edges = layer.forward(&isolated, &features).value();
+        // Node 1's embedding changes when it has an incoming neighbour.
+        assert_ne!(with_edges.row(1), without_edges.row(1));
+        // Node 0 has no incoming edges either way, so it is unchanged.
+        assert_eq!(with_edges.row(0), without_edges.row(0));
+    }
+
+    #[test]
+    fn arma_and_pan_average_multiple_branches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let graph = path_graph(4);
+        let features = Var::new(Matrix::full(4, 3, 0.5));
+        let arma = Arma::new(3, 6, &mut rng);
+        assert_eq!(arma.forward(&graph, &features).shape(), (4, 6));
+        assert_eq!(arma.parameters().len(), Arma::STACKS * 4);
+        let pan = Pan::new(3, 6, &mut rng);
+        assert_eq!(pan.forward(&graph, &features).shape(), (4, 6));
+        assert_eq!(pan.parameters().len(), Pan::HOPS * 2);
+    }
+
+    #[test]
+    fn pan_reaches_two_hops() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pan = Pan::new(1, 1, &mut rng);
+        let graph = path_graph(3);
+        let mut features = Matrix::zeros(3, 1);
+        features.set(0, 0, 1.0);
+        let out = pan.forward(&graph, &Var::new(features.clone())).value();
+        // With 2-hop propagation node 2 is reachable from node 0.
+        let gcn = Gcn::new(1, 1, &mut rng);
+        let one_hop = gcn.forward(&graph, &Var::new(features)).value();
+        assert!(out.get(2, 0).abs() > 1e-7);
+        // A single GCN hop cannot move mass from node 0 to node 2.
+        assert!(one_hop.get(2, 0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn sgc_layer_is_linear_in_its_input() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let layer = Sgc::new(2, 2, &mut rng);
+        let graph = path_graph(3);
+        let a = Var::new(Matrix::full(3, 2, 1.0));
+        let b = Var::new(Matrix::full(3, 2, 2.0));
+        let out_a = layer.forward(&graph, &a).value();
+        let out_b = layer.forward(&graph, &b).value();
+        // f(2x) - f(x) == f(x) - f(0) for an affine map.
+        let zero_out = layer.forward(&graph, &Var::new(Matrix::zeros(3, 2))).value();
+        let lhs = out_b.sub(&out_a);
+        let rhs = out_a.sub(&zero_out);
+        for (l, r) in lhs.data().iter().zip(rhs.data()) {
+            assert!((l - r).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The fourteen GNN layer families screened by the paper, behind a common
+//! [`GnnLayer`] trait and a [`build_layer`] factory.
+//!
+//! The grouping follows §4.1:
+//!
+//! * **Graph convolutions** ([`convolution`]): GCN, GCN with a virtual node,
+//!   SGC, GraphSAGE, ARMA, PAN.
+//! * **Isomorphism-style networks** ([`isomorphism`]): GIN, GIN with a
+//!   virtual node, PNA.
+//! * **Multi-relational models** ([`relational`]): GAT, GGNN, RGCN, GNN-FiLM.
+//! * **Vision-inspired models** ([`structure`]): Graph U-Net (FiLM shares the
+//!   relational machinery and lives in [`relational`]); the virtual-node
+//!   wrapper also lives in [`structure`].
+
+pub mod convolution;
+pub mod isomorphism;
+pub mod relational;
+pub mod structure;
+
+use gnn_tensor::Var;
+use rand::rngs::StdRng;
+use std::fmt;
+
+use crate::graph::GraphData;
+
+pub use convolution::{Arma, Gcn, GraphSage, Pan, Sgc};
+pub use isomorphism::{Gin, Pna};
+pub use relational::{Film, Gat, Ggnn, Rgcn};
+pub use structure::{GraphUNet, VirtualNode};
+
+/// A single message-passing layer mapping `n × in_dim` node features to
+/// `n × out_dim` node features on a fixed graph.
+pub trait GnnLayer {
+    /// Applies the layer.
+    fn forward(&self, graph: &GraphData, h: &Var) -> Var;
+    /// The layer's trainable parameters.
+    fn parameters(&self) -> Vec<Var>;
+    /// Output feature dimension.
+    fn output_dim(&self) -> usize;
+}
+
+/// The fourteen layer families evaluated in Table 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GnnKind {
+    /// Graph convolutional network.
+    Gcn,
+    /// GCN with a virtual node.
+    GcnVirtual,
+    /// Simplified graph convolution (linear propagation).
+    Sgc,
+    /// GraphSAGE with mean aggregation.
+    GraphSage,
+    /// ARMA graph convolution.
+    Arma,
+    /// Path-integral (PAN)-style multi-hop convolution.
+    Pan,
+    /// Graph isomorphism network.
+    Gin,
+    /// GIN with a virtual node.
+    GinVirtual,
+    /// Principal neighbourhood aggregation.
+    Pna,
+    /// Graph attention network.
+    Gat,
+    /// Gated graph neural network.
+    Ggnn,
+    /// Relational GCN.
+    Rgcn,
+    /// Graph U-Net.
+    GraphUNet,
+    /// GNN with feature-wise linear modulation.
+    Film,
+}
+
+impl GnnKind {
+    /// All kinds in the row order of Table 2.
+    pub const ALL: [GnnKind; 14] = [
+        GnnKind::Gcn,
+        GnnKind::GcnVirtual,
+        GnnKind::Sgc,
+        GnnKind::GraphSage,
+        GnnKind::Arma,
+        GnnKind::Pan,
+        GnnKind::Gin,
+        GnnKind::GinVirtual,
+        GnnKind::Pna,
+        GnnKind::Gat,
+        GnnKind::Ggnn,
+        GnnKind::Rgcn,
+        GnnKind::GraphUNet,
+        GnnKind::Film,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            GnnKind::Gcn => "GCN",
+            GnnKind::GcnVirtual => "GCN-V",
+            GnnKind::Sgc => "SGC",
+            GnnKind::GraphSage => "SAGE",
+            GnnKind::Arma => "ARMA",
+            GnnKind::Pan => "PAN",
+            GnnKind::Gin => "GIN",
+            GnnKind::GinVirtual => "GIN-V",
+            GnnKind::Pna => "PNA",
+            GnnKind::Gat => "GAT",
+            GnnKind::Ggnn => "GGNN",
+            GnnKind::Rgcn => "RGCN",
+            GnnKind::GraphUNet => "UNet",
+            GnnKind::Film => "FiLM",
+        }
+    }
+
+    /// Looks a kind up by its display name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<GnnKind> {
+        Self::ALL.iter().copied().find(|kind| kind.name().eq_ignore_ascii_case(name))
+    }
+
+    /// SGC is a linear model: the stack skips inter-layer activations for it.
+    pub fn uses_interlayer_activation(self) -> bool {
+        self != GnnKind::Sgc
+    }
+
+    /// True for layers that exploit the relational (edge type) information.
+    pub fn is_relational(self) -> bool {
+        matches!(self, GnnKind::Gat | GnnKind::Ggnn | GnnKind::Rgcn | GnnKind::Film)
+    }
+}
+
+impl fmt::Display for GnnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds one layer of the requested kind.
+pub fn build_layer(
+    kind: GnnKind,
+    in_dim: usize,
+    out_dim: usize,
+    num_relations: usize,
+    rng: &mut StdRng,
+) -> Box<dyn GnnLayer> {
+    match kind {
+        GnnKind::Gcn => Box::new(Gcn::new(in_dim, out_dim, rng)),
+        GnnKind::GcnVirtual => {
+            Box::new(VirtualNode::new(Box::new(Gcn::new(in_dim, out_dim, rng)), in_dim, rng))
+        }
+        GnnKind::Sgc => Box::new(Sgc::new(in_dim, out_dim, rng)),
+        GnnKind::GraphSage => Box::new(GraphSage::new(in_dim, out_dim, rng)),
+        GnnKind::Arma => Box::new(Arma::new(in_dim, out_dim, rng)),
+        GnnKind::Pan => Box::new(Pan::new(in_dim, out_dim, rng)),
+        GnnKind::Gin => Box::new(Gin::new(in_dim, out_dim, rng)),
+        GnnKind::GinVirtual => {
+            Box::new(VirtualNode::new(Box::new(Gin::new(in_dim, out_dim, rng)), in_dim, rng))
+        }
+        GnnKind::Pna => Box::new(Pna::new(in_dim, out_dim, rng)),
+        GnnKind::Gat => Box::new(Gat::new(in_dim, out_dim, rng)),
+        GnnKind::Ggnn => Box::new(Ggnn::new(in_dim, out_dim, num_relations, rng)),
+        GnnKind::Rgcn => Box::new(Rgcn::new(in_dim, out_dim, num_relations, rng)),
+        GnnKind::GraphUNet => Box::new(GraphUNet::new(in_dim, out_dim, rng)),
+        GnnKind::Film => Box::new(Film::new(in_dim, out_dim, num_relations, rng)),
+    }
+}
+
+/// Message passing helpers shared by the concrete layers.
+pub(crate) mod prop {
+    use super::*;
+
+    /// Sum of incoming messages: `out[v] = Σ_{(u→v)} h[u]`.
+    pub(crate) fn propagate_sum(graph: &GraphData, h: &Var) -> Var {
+        h.gather_rows(&graph.edge_src).scatter_add_rows(&graph.edge_dst, graph.num_nodes)
+    }
+
+    /// Mean of incoming messages (zero for isolated nodes).
+    pub(crate) fn propagate_mean(graph: &GraphData, h: &Var) -> Var {
+        let degrees = graph.in_degrees();
+        let inverse: Vec<f32> = degrees.iter().map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 }).collect();
+        propagate_sum(graph, h).scale_rows(&inverse)
+    }
+
+    /// Symmetrically normalised propagation with implicit self loops, the GCN
+    /// propagation rule `D^{-1/2}(A+I)D^{-1/2} H`.
+    pub(crate) fn propagate_gcn_norm(graph: &GraphData, h: &Var) -> Var {
+        let degrees = graph.in_degrees();
+        let norm = |node: usize| 1.0 / ((degrees[node] + 1) as f32).sqrt();
+        let edge_norm: Vec<f32> = (0..graph.edge_count())
+            .map(|edge| norm(graph.edge_src[edge]) * norm(graph.edge_dst[edge]))
+            .collect();
+        let self_norm: Vec<f32> = (0..graph.num_nodes).map(|node| norm(node) * norm(node)).collect();
+        let neighbours = h
+            .gather_rows(&graph.edge_src)
+            .scale_rows(&edge_norm)
+            .scatter_add_rows(&graph.edge_dst, graph.num_nodes);
+        neighbours.add(&h.scale_rows(&self_norm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_tensor::Matrix;
+    use rand::SeedableRng;
+
+    pub(crate) fn small_graph() -> GraphData {
+        // 5 nodes, a mix of relations, one isolated node (4).
+        GraphData::new(
+            5,
+            vec![0, 1, 2, 0, 3],
+            vec![1, 2, 3, 3, 0],
+            vec![0, 1, 0, 2, 1],
+            3,
+        )
+    }
+
+    pub(crate) fn random_features(nodes: usize, dim: usize, seed: u64) -> Var {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Var::new(gnn_tensor::xavier_uniform(nodes, dim, &mut rng))
+    }
+
+    #[test]
+    fn kind_names_are_unique_and_round_trip() {
+        let mut names = std::collections::HashSet::new();
+        for kind in GnnKind::ALL {
+            assert!(names.insert(kind.name()));
+            assert_eq!(GnnKind::from_name(kind.name()), Some(kind));
+            assert_eq!(GnnKind::from_name(&kind.name().to_lowercase()), Some(kind));
+        }
+        assert_eq!(GnnKind::from_name("not-a-model"), None);
+        assert_eq!(GnnKind::ALL.len(), 14, "the paper screens 14 models");
+    }
+
+    #[test]
+    fn only_sgc_skips_interlayer_activations() {
+        for kind in GnnKind::ALL {
+            assert_eq!(kind.uses_interlayer_activation(), kind != GnnKind::Sgc);
+        }
+    }
+
+    #[test]
+    fn every_kind_builds_and_runs() {
+        let graph = small_graph();
+        let features = random_features(graph.num_nodes, 6, 7);
+        for kind in GnnKind::ALL {
+            let mut rng = StdRng::seed_from_u64(42);
+            let layer = build_layer(kind, 6, 10, graph.num_relations, &mut rng);
+            let out = layer.forward(&graph, &features);
+            assert_eq!(out.shape(), (graph.num_nodes, 10), "{kind} output shape");
+            assert_eq!(layer.output_dim(), 10);
+            assert!(!out.value().has_non_finite(), "{kind} produced NaN/Inf");
+            assert!(!layer.parameters().is_empty(), "{kind} has no parameters");
+        }
+    }
+
+    #[test]
+    fn every_kind_backpropagates_to_its_parameters() {
+        let graph = small_graph();
+        let features = random_features(graph.num_nodes, 4, 3);
+        for kind in GnnKind::ALL {
+            let mut rng = StdRng::seed_from_u64(11);
+            let layer = build_layer(kind, 4, 5, graph.num_relations, &mut rng);
+            let loss = layer.forward(&graph, &features).mul(&layer.forward(&graph, &features)).sum();
+            loss.backward();
+            let with_grad = layer.parameters().iter().filter(|p| p.grad().is_some()).count();
+            assert!(
+                with_grad * 2 >= layer.parameters().len(),
+                "{kind}: only {with_grad}/{} parameters received gradients",
+                layer.parameters().len()
+            );
+        }
+    }
+
+    #[test]
+    fn propagation_helpers_handle_empty_graphs() {
+        let graph = GraphData::new(3, vec![], vec![], vec![], 1);
+        let h = Var::new(Matrix::full(3, 2, 1.0));
+        assert_eq!(prop::propagate_sum(&graph, &h).value(), Matrix::zeros(3, 2));
+        assert_eq!(prop::propagate_mean(&graph, &h).value(), Matrix::zeros(3, 2));
+        // With self loops the GCN propagation keeps the node's own features.
+        let gcn = prop::propagate_gcn_norm(&graph, &h).value();
+        assert!((gcn.get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relational_kinds_are_flagged() {
+        assert!(GnnKind::Rgcn.is_relational());
+        assert!(GnnKind::Film.is_relational());
+        assert!(!GnnKind::Gcn.is_relational());
+    }
+}

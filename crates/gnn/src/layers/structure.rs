@@ -1,0 +1,178 @@
+//! Structure-oriented layers: the virtual-node wrapper and the Graph U-Net.
+
+use gnn_tensor::{Linear, Var};
+use rand::rngs::StdRng;
+
+use super::convolution::Gcn;
+use super::GnnLayer;
+use crate::graph::GraphData;
+
+/// Wraps any layer with a virtual node: a global context vector computed from
+/// all nodes is broadcast back to every node before the inner layer runs.
+/// This realises the "GCN/GIN with virtual node" variants of the paper.
+#[derive(Debug)]
+pub struct VirtualNode<L: ?Sized + GnnLayer> {
+    inner: Box<L>,
+    context: Linear,
+}
+
+impl VirtualNode<dyn GnnLayer> {
+    /// Wraps `inner`; `in_dim` is the inner layer's input dimension.
+    pub fn new(inner: Box<dyn GnnLayer>, in_dim: usize, rng: &mut StdRng) -> Self {
+        VirtualNode { inner, context: Linear::new(in_dim, in_dim, rng) }
+    }
+}
+
+impl GnnLayer for VirtualNode<dyn GnnLayer> {
+    fn forward(&self, graph: &GraphData, h: &Var) -> Var {
+        let virtual_state = self.context.forward(&h.mean_axis0()).relu();
+        let enriched = h.add_row_broadcast(&virtual_state);
+        self.inner.forward(graph, &enriched)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut params = self.inner.parameters();
+        params.extend(self.context.parameters());
+        params
+    }
+
+    fn output_dim(&self) -> usize {
+        self.inner.output_dim()
+    }
+}
+
+/// A simplified Graph U-Net layer (Gao & Ji): gated top-k pooling, convolution
+/// on the pooled graph, un-pooling back to the original node set, a skip
+/// connection, and a final convolution on the full graph.
+#[derive(Debug)]
+pub struct GraphUNet {
+    score_projection: Linear,
+    down_convolution: Gcn,
+    up_convolution: Gcn,
+    skip: Linear,
+    out_dim: usize,
+}
+
+impl GraphUNet {
+    /// Fraction of nodes kept by the pooling stage.
+    pub const KEEP_RATIO: f64 = 0.5;
+
+    /// Creates a Graph U-Net layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        GraphUNet {
+            score_projection: Linear::new(in_dim, 1, rng),
+            down_convolution: Gcn::new(in_dim, out_dim, rng),
+            up_convolution: Gcn::new(out_dim, out_dim, rng),
+            skip: Linear::new(in_dim, out_dim, rng),
+            out_dim,
+        }
+    }
+
+    fn top_k(scores: &[f32], k: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+        let mut keep: Vec<usize> = order.into_iter().take(k).collect();
+        keep.sort_unstable();
+        keep
+    }
+}
+
+impl GnnLayer for GraphUNet {
+    fn forward(&self, graph: &GraphData, h: &Var) -> Var {
+        let scores = self.score_projection.forward(h).sigmoid();
+        let k = ((graph.num_nodes as f64 * Self::KEEP_RATIO).ceil() as usize)
+            .clamp(1, graph.num_nodes.max(1));
+        let score_values: Vec<f32> = (0..graph.num_nodes).map(|n| scores.value().get(n, 0)).collect();
+        let keep = Self::top_k(&score_values, k);
+
+        // Gated pooling: gradients flow into the projection through the gate.
+        let pooled = h.gather_rows(&keep).mul_col_broadcast(&scores.gather_rows(&keep));
+        let pooled_graph = graph.induced_subgraph(&keep);
+        let encoded = self.down_convolution.forward(&pooled_graph, &pooled).relu();
+
+        // Un-pool back to the original node count and add the skip connection.
+        let unpooled = encoded.scatter_add_rows(&keep, graph.num_nodes);
+        let restored = unpooled.add(&self.skip.forward(h));
+        self.up_convolution.forward(graph, &restored)
+    }
+
+    fn parameters(&self) -> Vec<Var> {
+        let mut params = self.score_projection.parameters();
+        params.extend(self.down_convolution.parameters());
+        params.extend(self.up_convolution.parameters());
+        params.extend(self.skip.parameters());
+        params
+    }
+
+    fn output_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_tensor::Matrix;
+    use rand::SeedableRng;
+
+    fn chain(n: usize) -> GraphData {
+        GraphData::new(n, (0..n - 1).collect(), (1..n).collect(), vec![0; n - 1], 1)
+    }
+
+    #[test]
+    fn virtual_node_gives_global_context_in_one_hop() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let plain = Gcn::new(1, 1, &mut rng);
+        let mut rng2 = StdRng::seed_from_u64(0);
+        let wrapped = VirtualNode::new(Box::new(Gcn::new(1, 1, &mut rng2)), 1, &mut rng2);
+        let graph = chain(6);
+        // Only node 0 carries signal.
+        let mut features = Matrix::zeros(6, 1);
+        features.set(0, 0, 10.0);
+        let plain_out = plain.forward(&graph, &Var::new(features.clone())).value();
+        let wrapped_out = wrapped.forward(&graph, &Var::new(features)).value();
+        // Without the virtual node, node 5 sees nothing after one hop.
+        assert!(plain_out.get(5, 0).abs() < 1e-6);
+        // With the virtual node, the global mean reaches node 5 immediately.
+        assert!(wrapped_out.get(5, 0).abs() > 1e-6);
+    }
+
+    #[test]
+    fn unet_keeps_output_on_the_full_node_set() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = GraphUNet::new(3, 5, &mut rng);
+        let graph = chain(7);
+        let features = Var::new(Matrix::from_fn(7, 3, |r, c| (r + c) as f32 * 0.05));
+        let out = layer.forward(&graph, &features);
+        assert_eq!(out.shape(), (7, 5));
+        assert!(!out.value().has_non_finite());
+    }
+
+    #[test]
+    fn unet_top_k_selects_highest_scores_in_node_order() {
+        let keep = GraphUNet::top_k(&[0.1, 0.9, 0.5, 0.8], 2);
+        assert_eq!(keep, vec![1, 3]);
+        let all = GraphUNet::top_k(&[0.3, 0.2], 5);
+        assert_eq!(all, vec![0, 1]);
+    }
+
+    #[test]
+    fn unet_gradients_reach_the_scoring_projection() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = GraphUNet::new(2, 2, &mut rng);
+        let graph = chain(5);
+        let features = Var::new(Matrix::full(5, 2, 0.4));
+        layer.forward(&graph, &features).sum().backward();
+        let score_weight = &layer.parameters()[0];
+        assert!(score_weight.grad().is_some(), "gating must make pooling differentiable");
+    }
+
+    #[test]
+    fn unet_single_node_graph_is_supported() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let layer = GraphUNet::new(2, 3, &mut rng);
+        let graph = GraphData::new(1, vec![], vec![], vec![], 1);
+        let out = layer.forward(&graph, &Var::new(Matrix::full(1, 2, 1.0)));
+        assert_eq!(out.shape(), (1, 3));
+    }
+}

@@ -1,0 +1,37 @@
+//! `gnn` — message-passing graph neural network layers and stacks.
+//!
+//! This crate implements the fourteen GNN layer families screened in §4.1 of
+//! the paper (GCN, GCN + virtual node, SGC, GraphSAGE, ARMA, PAN, GIN, GIN +
+//! virtual node, PNA, GAT, GGNN, RGCN, Graph U-Net, GNN-FiLM), together with
+//! sum/mean graph pooling and the [`GnnStack`] container that mirrors the
+//! paper's five-layer model structure. The layers are built on the
+//! [`gnn_tensor`] autodiff engine; feature encoding and the task-specific
+//! heads live in the `hls-gnn-core` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use gnn::{GnnKind, GnnStack, GraphData, Pooling};
+//! use gnn_tensor::{Matrix, Var};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! // A 4-node path graph with a single relation.
+//! let graph = GraphData::new(4, vec![0, 1, 2], vec![1, 2, 3], vec![0, 0, 0], 1);
+//! let features = Var::new(Matrix::full(4, 8, 0.1));
+//! let stack = GnnStack::new(GnnKind::GraphSage, 8, 16, 3, graph.num_relations, &mut rng);
+//! let node_embeddings = stack.forward(&graph, &features, false, &mut rng);
+//! assert_eq!(node_embeddings.shape(), (4, 16));
+//! let graph_embedding = Pooling::Mean.apply(&node_embeddings);
+//! assert_eq!(graph_embedding.shape(), (1, 16));
+//! ```
+
+pub mod graph;
+pub mod layers;
+pub mod pooling;
+pub mod stack;
+
+pub use graph::GraphData;
+pub use layers::{build_layer, GnnKind, GnnLayer};
+pub use pooling::Pooling;
+pub use stack::GnnStack;

@@ -1,0 +1,80 @@
+//! Graph-level pooling (readout) functions.
+//!
+//! The paper derives graph representations with sum or mean pooling before the
+//! `300-600-300-1` regression head.
+
+use gnn_tensor::Var;
+
+/// Readout applied to the `n × d` node-embedding matrix to obtain a `1 × d`
+/// graph embedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pooling {
+    /// Sum of node embeddings. Sensitive to graph size, which helps resource
+    /// regression (resources grow with the number of operations).
+    Sum,
+    /// Mean of node embeddings. Size-invariant, which helps timing regression.
+    #[default]
+    Mean,
+}
+
+impl Pooling {
+    /// Both pooling choices.
+    pub const ALL: [Pooling; 2] = [Pooling::Sum, Pooling::Mean];
+
+    /// Name used in reports and ablation tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pooling::Sum => "sum",
+            Pooling::Mean => "mean",
+        }
+    }
+
+    /// Applies the readout.
+    pub fn apply(self, node_embeddings: &Var) -> Var {
+        match self {
+            Pooling::Sum => node_embeddings.sum_axis0(),
+            Pooling::Mean => node_embeddings.mean_axis0(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnn_tensor::Matrix;
+
+    #[test]
+    fn sum_and_mean_reduce_to_one_row() {
+        let h = Var::new(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let sum = Pooling::Sum.apply(&h);
+        let mean = Pooling::Mean.apply(&h);
+        assert_eq!(sum.shape(), (1, 3));
+        assert_eq!(sum.value().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(mean.value().data(), &[2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn sum_pooling_scales_with_graph_size_mean_does_not() {
+        let small = Var::new(Matrix::full(2, 1, 1.0));
+        let large = Var::new(Matrix::full(8, 1, 1.0));
+        assert_eq!(Pooling::Sum.apply(&small).value().get(0, 0), 2.0);
+        assert_eq!(Pooling::Sum.apply(&large).value().get(0, 0), 8.0);
+        assert_eq!(Pooling::Mean.apply(&small).value().get(0, 0), 1.0);
+        assert_eq!(Pooling::Mean.apply(&large).value().get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn pooling_is_differentiable() {
+        let h = Var::parameter(Matrix::full(3, 2, 2.0));
+        Pooling::Mean.apply(&h).sum().backward();
+        let grad = h.grad().unwrap();
+        assert!((grad.get(0, 0) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Pooling::Sum.name(), "sum");
+        assert_eq!(Pooling::Mean.name(), "mean");
+        assert_eq!(Pooling::default(), Pooling::Mean);
+    }
+}

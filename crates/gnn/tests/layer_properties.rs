@@ -1,0 +1,92 @@
+//! Property-based tests over the GNN layer zoo: for random graphs and feature
+//! matrices, every layer family must produce finite outputs of the right
+//! shape, respect isolated nodes, and remain deterministic.
+
+use gnn::{build_layer, GnnKind, GnnStack, GraphData, Pooling};
+use gnn_tensor::{Matrix, Var};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random directed multigraph with `1..=12` nodes, up to 30 typed
+/// edges and 3 relations.
+fn random_graph() -> impl Strategy<Value = GraphData> {
+    (1usize..=12).prop_flat_map(|nodes| {
+        let edges = proptest::collection::vec((0..nodes, 0..nodes, 0usize..3), 0..30);
+        edges.prop_map(move |list| {
+            let edge_src: Vec<usize> = list.iter().map(|(s, _, _)| *s).collect();
+            let edge_dst: Vec<usize> = list.iter().map(|(_, d, _)| *d).collect();
+            let edge_rel: Vec<usize> = list.iter().map(|(_, _, r)| *r).collect();
+            GraphData::new(nodes, edge_src, edge_dst, edge_rel, 3)
+        })
+    })
+}
+
+fn features(nodes: usize, dim: usize, seed: u64) -> Var {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Var::new(gnn_tensor::xavier_uniform(nodes, dim, &mut rng))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Every layer kind handles every random graph (including graphs with
+    /// self-loops, multi-edges and isolated nodes) with finite outputs of the
+    /// declared shape.
+    #[test]
+    fn all_layer_kinds_are_total_on_random_graphs(graph in random_graph(), seed in 0u64..500) {
+        let input = features(graph.num_nodes, 5, seed);
+        for kind in GnnKind::ALL {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+            let layer = build_layer(kind, 5, 7, graph.num_relations, &mut rng);
+            let out = layer.forward(&graph, &input);
+            prop_assert_eq!(out.shape(), (graph.num_nodes, 7), "{} shape", kind);
+            prop_assert!(!out.value().has_non_finite(), "{} produced NaN/Inf", kind);
+        }
+    }
+
+    /// Stacks are deterministic at inference time and pooling produces one
+    /// graph-level row regardless of graph size.
+    #[test]
+    fn stack_inference_is_deterministic_and_poolable(graph in random_graph(), seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stack = GnnStack::new(GnnKind::GraphSage, 4, 6, 2, graph.num_relations, &mut rng);
+        let input = features(graph.num_nodes, 4, seed ^ 1);
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(2);
+        let a = stack.forward(&graph, &input, false, &mut rng_a).value();
+        let b = stack.forward(&graph, &input, false, &mut rng_b).value();
+        prop_assert_eq!(a.clone(), b);
+        for pooling in Pooling::ALL {
+            let pooled = pooling.apply(&Var::new(a.clone()));
+            prop_assert_eq!(pooled.shape(), (1, 6));
+            prop_assert!(!pooled.value().has_non_finite());
+        }
+    }
+
+    /// Reversing edges never changes the node count and exactly doubles the
+    /// edge count and relation vocabulary — the contract the dataset builder
+    /// relies on.
+    #[test]
+    fn reverse_edge_contract(graph in random_graph()) {
+        let doubled = graph.with_reverse_edges();
+        prop_assert_eq!(doubled.num_nodes, graph.num_nodes);
+        prop_assert_eq!(doubled.edge_count(), graph.edge_count() * 2);
+        prop_assert_eq!(doubled.num_relations, graph.num_relations * 2);
+        // Degree symmetry: total in-degree equals total out-degree after mirroring.
+        let in_sum: usize = doubled.in_degrees().iter().sum();
+        let out_sum: usize = doubled.out_degrees().iter().sum();
+        prop_assert_eq!(in_sum, out_sum);
+    }
+
+    /// Induced subgraphs never contain edges that leave the kept node set.
+    #[test]
+    fn induced_subgraphs_are_closed(graph in random_graph(), keep_bits in 0u32..4096) {
+        let keep: Vec<usize> = (0..graph.num_nodes).filter(|&n| keep_bits & (1 << n) != 0).collect();
+        let sub = graph.induced_subgraph(&keep);
+        prop_assert_eq!(sub.num_nodes, keep.len());
+        prop_assert!(sub.edge_src.iter().all(|&s| s < keep.len()));
+        prop_assert!(sub.edge_dst.iter().all(|&d| d < keep.len()));
+        prop_assert!(sub.edge_count() <= graph.edge_count());
+    }
+}

@@ -1,0 +1,262 @@
+//! Binding and allocation: functional-unit sharing, register allocation and
+//! FSM generation.
+//!
+//! After scheduling, expensive operators (multipliers, dividers) that execute
+//! in different control steps are bound to a shared pool of functional units;
+//! values that live across a cycle boundary are materialised as registers; and
+//! the controller FSM contributes its own LUT/FF overhead. The result is the
+//! resource estimate that appears in the HLS report.
+
+use std::collections::HashMap;
+
+use hls_ir::ir::IrFunction;
+use hls_ir::opcode::Opcode;
+
+use crate::device::FpgaDevice;
+use crate::schedule::Schedule;
+
+/// A class of shareable functional units: the opcode family plus a width
+/// bucket (widths are rounded up to multiples of 8 bits, as HLS binders do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuClass {
+    /// Representative opcode of the class.
+    pub opcode: Opcode,
+    /// Width bucket in bits (multiple of 8).
+    pub width_bucket: u16,
+}
+
+/// Aggregate datapath resources after binding.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Binding {
+    /// DSP blocks after functional-unit sharing.
+    pub dsp: u64,
+    /// Datapath LUTs after sharing (including sharing multiplexers).
+    pub lut: u64,
+    /// Datapath FFs (operator-internal pipeline registers).
+    pub ff: u64,
+    /// Registers inserted for values crossing control-step boundaries.
+    pub register_ff: u64,
+    /// FSM state register bits.
+    pub fsm_ff: u64,
+    /// FSM next-state and enable decode logic.
+    pub fsm_lut: u64,
+    /// Number of shared functional units allocated per class.
+    pub fu_counts: HashMap<FuClass, u32>,
+}
+
+impl Binding {
+    /// Total LUTs of the bound design (datapath + control).
+    pub fn total_lut(&self) -> u64 {
+        self.lut + self.fsm_lut
+    }
+
+    /// Total FFs of the bound design (datapath + registers + control).
+    pub fn total_ff(&self) -> u64 {
+        self.ff + self.register_ff + self.fsm_ff
+    }
+}
+
+fn width_bucket(bits: u16) -> u16 {
+    bits.div_ceil(8).max(1) * 8
+}
+
+fn shareable_class(opcode: Opcode, bits: u16) -> Option<FuClass> {
+    match opcode {
+        // Wide multiplies and all divisions/remainders are worth sharing.
+        Opcode::Mul if bits > 11 => Some(FuClass { opcode: Opcode::Mul, width_bucket: width_bucket(bits) }),
+        Opcode::SDiv | Opcode::UDiv | Opcode::SRem | Opcode::URem => {
+            Some(FuClass { opcode: Opcode::SDiv, width_bucket: width_bucket(bits) })
+        }
+        _ => None,
+    }
+}
+
+/// Binds a scheduled function: shares expensive functional units, allocates
+/// registers for values that cross control steps, and sizes the FSM.
+pub fn bind(ir: &IrFunction, schedule: &Schedule, device: &FpgaDevice) -> Binding {
+    let _ = device;
+    let mut binding = Binding::default();
+
+    // --- Functional-unit sharing over shareable classes -------------------
+    // Group shareable operations by class.
+    let mut groups: HashMap<FuClass, Vec<usize>> = HashMap::new();
+    for (index, op) in ir.ops.iter().enumerate() {
+        if let Some(class) = shareable_class(op.opcode, op.bits()) {
+            groups.entry(class).or_default().push(index);
+        }
+    }
+    for (class, members) in &groups {
+        // One functional unit per operation that is simultaneously in flight.
+        let concurrency = schedule.max_concurrency(|index| members.contains(&index)).max(1);
+        let fu_count = concurrency.min(members.len() as u32);
+        // The shared unit is sized for the widest member of the class.
+        let unit_cost = members
+            .iter()
+            .map(|&index| schedule.ops()[index].cost)
+            .max_by_key(|cost| (cost.dsp, cost.lut))
+            .unwrap_or_default();
+        binding.dsp += u64::from(unit_cost.dsp) * u64::from(fu_count);
+        binding.lut += u64::from(unit_cost.lut) * u64::from(fu_count);
+        binding.ff += u64::from(unit_cost.ff) * u64::from(fu_count);
+        // Input multiplexers for shared units: one mux per operand bit per
+        // extra operation mapped onto the unit.
+        let shared_ops = members.len() as u64;
+        if shared_ops > u64::from(fu_count) {
+            let extra = shared_ops - u64::from(fu_count);
+            binding.lut += extra * u64::from(class.width_bucket) / 2;
+        }
+        binding.fu_counts.insert(*class, fu_count);
+    }
+
+    // --- Non-shared operations --------------------------------------------
+    for (index, op) in ir.ops.iter().enumerate() {
+        if shareable_class(op.opcode, op.bits()).is_some() {
+            continue;
+        }
+        let cost = schedule.ops()[index].cost;
+        binding.dsp += u64::from(cost.dsp);
+        binding.lut += u64::from(cost.lut);
+        binding.ff += u64::from(cost.ff);
+    }
+
+    // --- Register allocation ------------------------------------------------
+    // A value needs a register when any consumer starts in a later cycle than
+    // the producer finishes (or in a different block).
+    let users = ir.users();
+    for (index, op) in ir.ops.iter().enumerate() {
+        if op.is_control() || op.opcode == Opcode::Const {
+            continue;
+        }
+        let produced = schedule.ops()[index];
+        let needs_register = users[index].iter().any(|user| {
+            let consumer = schedule.op(*user);
+            consumer.start_cycle > produced.finish_cycle || ir.op(*user).block != op.block
+        });
+        if needs_register {
+            binding.register_ff += u64::from(op.bits());
+        }
+    }
+
+    // --- Controller FSM ------------------------------------------------------
+    let states = u64::from(schedule.total_cycles.max(1));
+    binding.fsm_ff = (64 - states.leading_zeros() as u64).max(1);
+    binding.fsm_lut = states * 2 + ir.block_count() as u64 * 4;
+
+    binding
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::schedule_function;
+    use hls_ir::ast::{BinaryOp, Expr, FunctionBuilder, Stmt, VarId};
+    use hls_ir::lower::lower_function;
+    use hls_ir::types::{ArrayType, ScalarType, ValueType};
+
+    fn decls(func: &hls_ir::ast::Function) -> Vec<(VarId, ValueType)> {
+        func.vars().map(|(id, decl)| (id, decl.ty)).collect()
+    }
+
+    fn bound(func: &hls_ir::ast::Function) -> (IrFunction, Schedule, Binding) {
+        let device = FpgaDevice::default();
+        let ir = lower_function(func).unwrap();
+        let schedule = schedule_function(&ir, &decls(func), &device).unwrap();
+        let binding = bind(&ir, &schedule, &device);
+        (ir, schedule, binding)
+    }
+
+    fn serial_muls(count: usize) -> hls_ir::ast::Function {
+        // A loop forces the multiplies into different iterations/cycles so
+        // they can share one unit.
+        let mut f = FunctionBuilder::new("serial_muls");
+        let a = f.param("a", ScalarType::i32());
+        let acc = f.local("acc", ScalarType::signed(64));
+        let i = f.local("i", ScalarType::i32());
+        let mut body = Vec::new();
+        for _ in 0..count {
+            body.push(Stmt::assign(acc, Expr::binary(BinaryOp::Mul, Expr::var(acc), Expr::var(a))));
+        }
+        f.push(Stmt::for_loop(i, 0, 4, 1, body));
+        f.ret(acc);
+        f.finish().unwrap()
+    }
+
+    #[test]
+    fn chained_multiplies_share_functional_units() {
+        let (_, _, binding) = bound(&serial_muls(4));
+        let mul_fus: u32 = binding
+            .fu_counts
+            .iter()
+            .filter(|(class, _)| class.opcode == Opcode::Mul)
+            .map(|(_, count)| *count)
+            .sum();
+        assert!(mul_fus >= 1);
+        assert!(mul_fus < 4, "chained multiplies must share units, got {mul_fus}");
+    }
+
+    #[test]
+    fn independent_muls_need_more_units_than_chained() {
+        let mut f = FunctionBuilder::new("parallel_muls");
+        let a = f.param("a", ScalarType::i32());
+        let b = f.param("b", ScalarType::i32());
+        let mut outs = Vec::new();
+        for index in 0..4 {
+            let out = f.local(format!("m{index}"), ScalarType::signed(64));
+            f.assign(out, Expr::binary(BinaryOp::Mul, Expr::var(a), Expr::var(b)));
+            outs.push(out);
+        }
+        f.ret(outs[0]);
+        let parallel = f.finish().unwrap();
+        let (_, _, parallel_binding) = bound(&parallel);
+        let (_, _, serial_binding) = bound(&serial_muls(4));
+        assert!(parallel_binding.dsp > serial_binding.dsp);
+    }
+
+    #[test]
+    fn fsm_grows_with_schedule_length() {
+        let (_, schedule, binding) = bound(&serial_muls(6));
+        assert!(binding.fsm_lut >= u64::from(schedule.total_cycles));
+        assert!(binding.fsm_ff >= 1);
+    }
+
+    #[test]
+    fn registers_are_allocated_for_cross_cycle_values() {
+        let mut f = FunctionBuilder::new("crossing");
+        let a = f.param("a", ScalarType::i32());
+        let b = f.param("b", ScalarType::i32());
+        let m = f.local("m", ScalarType::signed(64));
+        let out = f.local("out", ScalarType::signed(64));
+        // The multiply takes a full cycle, so its result must be registered
+        // before the add consumes it.
+        f.assign(m, Expr::binary(BinaryOp::Mul, Expr::var(a), Expr::var(b)));
+        f.assign(out, Expr::binary(BinaryOp::Add, Expr::var(m), Expr::var(m)));
+        f.ret(out);
+        let (_, _, binding) = bound(&f.finish().unwrap());
+        assert!(binding.register_ff > 0);
+    }
+
+    #[test]
+    fn array_heavy_designs_consume_storage_resources() {
+        let mut f = FunctionBuilder::new("array_heavy");
+        let buf = f.array_param("buf", ArrayType::new(ScalarType::i32(), 16));
+        let acc = f.local("acc", ScalarType::signed(64));
+        let i = f.local("i", ScalarType::i32());
+        f.push(Stmt::for_loop(
+            i,
+            0,
+            16,
+            1,
+            vec![Stmt::assign(acc, Expr::binary(BinaryOp::Add, Expr::var(acc), Expr::index(buf, Expr::var(i))))],
+        ));
+        f.ret(acc);
+        let (_, _, binding) = bound(&f.finish().unwrap());
+        assert!(binding.total_ff() >= 512, "16 x 32-bit partitioned array dominates FF usage");
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let (_, _, binding) = bound(&serial_muls(3));
+        assert_eq!(binding.total_lut(), binding.lut + binding.fsm_lut);
+        assert_eq!(binding.total_ff(), binding.ff + binding.register_ff + binding.fsm_ff);
+    }
+}

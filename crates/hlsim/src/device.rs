@@ -1,0 +1,93 @@
+//! FPGA device model.
+//!
+//! The device description carries the handful of constants the characterisation
+//! library and the timing model need: LUT input count, DSP multiplier shape,
+//! target clock period, and total resource capacities (used only for
+//! utilisation reporting).
+
+/// An FPGA device description, loosely modelled on a mid-size UltraScale+ part.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaDevice {
+    /// Device name used in reports.
+    pub name: String,
+    /// Number of inputs of a single LUT (6 on all modern Xilinx parts).
+    pub lut_inputs: u32,
+    /// Native width of a DSP multiplier input (18×27 on DSP48E2; we model the
+    /// conservative 18-bit side).
+    pub dsp_mult_width: u32,
+    /// Target clock period in nanoseconds (the HLS synthesis constraint).
+    pub clock_period_ns: f64,
+    /// Clock uncertainty subtracted from the usable period, in nanoseconds.
+    pub clock_uncertainty_ns: f64,
+    /// Total LUTs available on the device.
+    pub lut_capacity: u64,
+    /// Total flip-flops available on the device.
+    pub ff_capacity: u64,
+    /// Total DSP blocks available on the device.
+    pub dsp_capacity: u64,
+}
+
+impl FpgaDevice {
+    /// A mid-size device with a 100 MHz (10 ns) clock target, the setting the
+    /// paper's benchmark uses.
+    pub fn medium_100mhz() -> Self {
+        FpgaDevice {
+            name: "sim-ultrascale-medium".to_owned(),
+            lut_inputs: 6,
+            dsp_mult_width: 18,
+            clock_period_ns: 10.0,
+            clock_uncertainty_ns: 0.3,
+            lut_capacity: 230_400,
+            ff_capacity: 460_800,
+            dsp_capacity: 1_728,
+        }
+    }
+
+    /// A faster 250 MHz (4 ns) clock target on the same fabric, useful for
+    /// ablation experiments on timing pressure.
+    pub fn medium_250mhz() -> Self {
+        FpgaDevice { clock_period_ns: 4.0, ..Self::medium_100mhz() }
+    }
+
+    /// Usable clock period after subtracting uncertainty, in nanoseconds.
+    pub fn usable_period_ns(&self) -> f64 {
+        (self.clock_period_ns - self.clock_uncertainty_ns).max(0.1)
+    }
+}
+
+impl Default for FpgaDevice {
+    fn default() -> Self {
+        FpgaDevice::medium_100mhz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_device_is_the_100mhz_part() {
+        let device = FpgaDevice::default();
+        assert_eq!(device, FpgaDevice::medium_100mhz());
+        assert_eq!(device.lut_inputs, 6);
+        assert!(device.clock_period_ns > device.clock_uncertainty_ns);
+    }
+
+    #[test]
+    fn usable_period_subtracts_uncertainty() {
+        let device = FpgaDevice::medium_100mhz();
+        assert!((device.usable_period_ns() - 9.7).abs() < 1e-9);
+        let fast = FpgaDevice::medium_250mhz();
+        assert!(fast.usable_period_ns() < device.usable_period_ns());
+    }
+
+    #[test]
+    fn usable_period_never_collapses_to_zero() {
+        let device = FpgaDevice {
+            clock_period_ns: 0.1,
+            clock_uncertainty_ns: 5.0,
+            ..FpgaDevice::medium_100mhz()
+        };
+        assert!(device.usable_period_ns() > 0.0);
+    }
+}

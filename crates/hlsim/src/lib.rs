@@ -1,0 +1,98 @@
+//! `hls-sim` — HLS synthesis and FPGA implementation model.
+//!
+//! The paper's ground-truth labels come from running Vitis HLS and Vitis
+//! implementation on every benchmark program. Neither tool (nor an FPGA) is
+//! available here, so this crate is the substitute substrate: a compact HLS
+//! flow that
+//!
+//! 1. characterises every IR operation against an FPGA [`device`] model
+//!    ([`library`]),
+//! 2. schedules operations into clock cycles with operation chaining
+//!    ([`schedule`]),
+//! 3. binds operations to shared functional units and allocates registers
+//!    ([`bind`]),
+//! 4. produces the **HLS report** — the tool's own (systematically biased)
+//!    estimate ([`report`]), and
+//! 5. produces the **implementation model** — the post-place-and-route
+//!    resource usage and critical-path timing used as ground truth, together
+//!    with per-operation resource annotations and resource-type labels
+//!    ([`implementation`]).
+//!
+//! The [`flow`] module glues all stages together.
+//!
+//! # Example
+//!
+//! ```
+//! use hls_ir::ast::{BinaryOp, Expr, FunctionBuilder};
+//! use hls_ir::types::ScalarType;
+//! use hls_sim::{flow::run_flow, FpgaDevice};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut f = FunctionBuilder::new("mac");
+//! let a = f.param("a", ScalarType::i32());
+//! let b = f.param("b", ScalarType::i32());
+//! let out = f.local("out", ScalarType::signed(64));
+//! f.assign(out, Expr::binary(BinaryOp::Mul, Expr::var(a), Expr::var(b)));
+//! f.ret(out);
+//! let result = run_flow(&f.finish()?, &FpgaDevice::default())?;
+//! assert!(result.implementation.dsp > 0, "a 32x32 multiply maps to DSP blocks");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bind;
+pub mod device;
+pub mod flow;
+pub mod implementation;
+pub mod library;
+pub mod pipeline;
+pub mod report;
+pub mod schedule;
+
+use std::fmt;
+
+pub use device::FpgaDevice;
+pub use flow::{run_flow, run_flow_on_ir, FlowResult};
+pub use implementation::{ImplementationResult, NodeAnnotation, ResourceTypes};
+pub use library::{OperatorCost, ResourceKind};
+pub use pipeline::{analyze_loops, LoopPipelineInfo};
+pub use report::HlsReport;
+pub use schedule::Schedule;
+
+/// Errors produced by the HLS flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The front end (lowering) failed.
+    Frontend(hls_ir::Error),
+    /// The scheduler could not order the operations (cyclic data dependence
+    /// outside a recognised loop structure).
+    Schedule(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Frontend(e) => write!(f, "front-end error: {e}"),
+            Error::Schedule(msg) => write!(f, "scheduling error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Frontend(e) => Some(e),
+            Error::Schedule(_) => None,
+        }
+    }
+}
+
+impl From<hls_ir::Error> for Error {
+    fn from(e: hls_ir::Error) -> Self {
+        Error::Frontend(e)
+    }
+}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

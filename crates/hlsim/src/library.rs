@@ -1,0 +1,289 @@
+//! Operator characterisation library.
+//!
+//! Every IR operation is characterised against the device: how many DSP
+//! blocks, LUTs and flip-flops it needs, its combinational delay, and how
+//! many pipeline cycles it occupies. The characterisation follows the usual
+//! FPGA mapping rules the paper's "domain-specific insights" section lists:
+//! wide multiplies map to DSPs, divisions and bitwise logic prefer LUTs,
+//! memory operations and small arrays drive FF usage, casts are free wiring.
+
+use hls_ir::ir::IrOp;
+use hls_ir::opcode::Opcode;
+use hls_ir::types::ValueType;
+
+use crate::device::FpgaDevice;
+
+/// The three FPGA resource kinds tracked by the benchmark (plus "none").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResourceKind {
+    /// DSP hard multiplier blocks.
+    Dsp,
+    /// Look-up tables.
+    Lut,
+    /// Flip-flops.
+    Ff,
+}
+
+impl ResourceKind {
+    /// All resource kinds in a stable order (DSP, LUT, FF), matching the
+    /// paper's table columns.
+    pub const ALL: [ResourceKind; 3] = [ResourceKind::Dsp, ResourceKind::Lut, ResourceKind::Ff];
+
+    /// Lower-case name used in report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResourceKind::Dsp => "dsp",
+            ResourceKind::Lut => "lut",
+            ResourceKind::Ff => "ff",
+        }
+    }
+}
+
+/// Per-operation cost characterisation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OperatorCost {
+    /// DSP blocks consumed by the operation.
+    pub dsp: u32,
+    /// LUTs consumed by the operation.
+    pub lut: u32,
+    /// Flip-flops consumed by the operation.
+    pub ff: u32,
+    /// Combinational delay contributed to a chain, in nanoseconds.
+    pub delay_ns: f64,
+    /// Pipeline latency in clock cycles (0 for purely combinational logic).
+    pub latency: u32,
+}
+
+impl OperatorCost {
+    /// True when the operation consumes no datapath resources at all.
+    pub fn is_empty(&self) -> bool {
+        self.dsp == 0 && self.lut == 0 && self.ff == 0
+    }
+
+    /// Adds another cost element-wise (delay takes the maximum, latency the sum).
+    pub fn combine(&self, other: &OperatorCost) -> OperatorCost {
+        OperatorCost {
+            dsp: self.dsp + other.dsp,
+            lut: self.lut + other.lut,
+            ff: self.ff + other.ff,
+            delay_ns: self.delay_ns.max(other.delay_ns),
+            latency: self.latency + other.latency,
+        }
+    }
+}
+
+/// Number of DSP blocks a `bits × bits` multiplier needs on the device.
+fn dsp_blocks_for_mul(bits: u32, device: &FpgaDevice) -> u32 {
+    let per_side = bits.div_ceil(device.dsp_mult_width);
+    per_side * per_side
+}
+
+/// Characterises one IR operation against the device.
+///
+/// `array_type` must be provided for `alloca`/array-port operations so the
+/// storage cost of the array itself can be assessed (small arrays are held in
+/// registers / LUTRAM, exactly the behaviour that makes FF prediction hard).
+pub fn characterize(op: &IrOp, array_type: Option<ValueType>, device: &FpgaDevice) -> OperatorCost {
+    let bits = op.bits() as u32;
+    let lut_inputs = device.lut_inputs.max(4);
+    match op.opcode {
+        Opcode::Add | Opcode::Sub | Opcode::Neg => OperatorCost {
+            lut: bits,
+            delay_ns: 0.55 + 0.025 * bits as f64,
+            ..Default::default()
+        },
+        Opcode::Mul => {
+            if bits > 11 {
+                OperatorCost {
+                    dsp: dsp_blocks_for_mul(bits, device),
+                    lut: bits / 4,
+                    ff: if bits > 2 * device.dsp_mult_width { bits } else { 0 },
+                    delay_ns: 2.9 + 0.01 * bits as f64,
+                    latency: if bits > 2 * device.dsp_mult_width { 2 } else { 1 },
+                }
+            } else {
+                // Small multiplies are implemented in fabric.
+                OperatorCost {
+                    lut: (bits * bits) / 3 + 2,
+                    delay_ns: 1.1 + 0.05 * bits as f64,
+                    ..Default::default()
+                }
+            }
+        }
+        Opcode::SDiv | Opcode::UDiv | Opcode::SRem | Opcode::URem => OperatorCost {
+            lut: (bits * bits) / 3 + 8,
+            ff: bits * 2,
+            delay_ns: 3.2,
+            latency: (bits / 8).max(2),
+            ..Default::default()
+        },
+        Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Not => OperatorCost {
+            lut: bits.div_ceil(2),
+            delay_ns: 0.35,
+            ..Default::default()
+        },
+        Opcode::Shl | Opcode::LShr | Opcode::AShr => OperatorCost {
+            // Barrel shifter: log2(bits) mux stages.
+            lut: bits * (32 - bits.leading_zeros()).max(1) / 3,
+            delay_ns: 0.5 + 0.05 * (32 - bits.leading_zeros()) as f64,
+            ..Default::default()
+        },
+        Opcode::ICmp => OperatorCost {
+            lut: bits.div_ceil(2) + 1,
+            delay_ns: 0.5 + 0.015 * bits as f64,
+            ..Default::default()
+        },
+        Opcode::Select | Opcode::Mux => OperatorCost {
+            lut: bits.div_ceil(lut_inputs - 4),
+            delay_ns: 0.3,
+            ..Default::default()
+        },
+        Opcode::Phi => OperatorCost {
+            // A loop-carried value: a mux plus the holding register.
+            lut: bits.div_ceil(2),
+            ff: bits,
+            delay_ns: 0.3,
+            ..Default::default()
+        },
+        Opcode::Load => OperatorCost {
+            lut: 4,
+            ff: bits,
+            delay_ns: 1.6,
+            latency: 1,
+            ..Default::default()
+        },
+        Opcode::Store => OperatorCost {
+            lut: 3,
+            delay_ns: 1.2,
+            latency: 1,
+            ..Default::default()
+        },
+        Opcode::GetElementPtr => OperatorCost {
+            lut: 8,
+            delay_ns: 0.6,
+            ..Default::default()
+        },
+        Opcode::Alloca | Opcode::ReadPort | Opcode::WritePort => {
+            match array_type {
+                Some(ValueType::Array(array)) => {
+                    let total_bits = array.total_bits();
+                    if array.len <= 32 {
+                        // Small arrays are completely partitioned into registers
+                        // with LUT multiplexers for access.
+                        OperatorCost {
+                            ff: total_bits as u32,
+                            lut: (total_bits / 2) as u32,
+                            delay_ns: 0.8,
+                            ..Default::default()
+                        }
+                    } else {
+                        // Larger arrays go to LUTRAM: the storage is counted as
+                        // distributed LUTs, addressing as a handful of FFs.
+                        OperatorCost {
+                            lut: (total_bits / (2 * lut_inputs as u64)) as u32 + 16,
+                            ff: 2 * bits,
+                            delay_ns: 1.0,
+                            ..Default::default()
+                        }
+                    }
+                }
+                // Scalar ports are registered at the interface.
+                _ => OperatorCost { ff: bits, lut: 0, delay_ns: 0.2, ..Default::default() },
+            }
+        }
+        Opcode::ZExt | Opcode::SExt | Opcode::Trunc | Opcode::PartSelect | Opcode::BitConcat => {
+            OperatorCost { delay_ns: 0.05, ..Default::default() }
+        }
+        Opcode::Const | Opcode::Br | Opcode::Ret | Opcode::Call => OperatorCost::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::ir::{BlockId, IrOp, OpId};
+    use hls_ir::types::{ArrayType, BitWidth, ScalarType, Signedness};
+
+    fn op(opcode: Opcode, bits: u16) -> IrOp {
+        IrOp {
+            id: OpId::new(0),
+            opcode,
+            width: BitWidth::new(bits),
+            signedness: Signedness::Signed,
+            operands: vec![],
+            block: BlockId::new(0),
+            array: None,
+            const_value: None,
+            source_var: None,
+        }
+    }
+
+    #[test]
+    fn wide_multiplies_use_dsp_small_ones_use_lut() {
+        let device = FpgaDevice::default();
+        let wide = characterize(&op(Opcode::Mul, 32), None, &device);
+        assert!(wide.dsp >= 4, "32x32 multiply needs at least 4 DSP48 blocks, got {}", wide.dsp);
+        let narrow = characterize(&op(Opcode::Mul, 8), None, &device);
+        assert_eq!(narrow.dsp, 0);
+        assert!(narrow.lut > 0);
+    }
+
+    #[test]
+    fn divisions_prefer_lut_and_ff() {
+        let device = FpgaDevice::default();
+        let division = characterize(&op(Opcode::SDiv, 32), None, &device);
+        assert_eq!(division.dsp, 0);
+        assert!(division.lut > 100);
+        assert!(division.ff > 0);
+        assert!(division.latency >= 2);
+    }
+
+    #[test]
+    fn control_ops_are_free() {
+        let device = FpgaDevice::default();
+        for opcode in [Opcode::Br, Opcode::Ret, Opcode::Const, Opcode::Call] {
+            assert!(characterize(&op(opcode, 32), None, &device).is_empty(), "{opcode} should be free");
+        }
+    }
+
+    #[test]
+    fn casts_are_wiring_only() {
+        let device = FpgaDevice::default();
+        for opcode in [Opcode::ZExt, Opcode::SExt, Opcode::Trunc, Opcode::PartSelect] {
+            let cost = characterize(&op(opcode, 64), None, &device);
+            assert!(cost.is_empty());
+            assert!(cost.delay_ns < 0.1);
+        }
+    }
+
+    #[test]
+    fn small_arrays_become_registers_large_arrays_become_lutram() {
+        let device = FpgaDevice::default();
+        let small = ValueType::Array(ArrayType::new(ScalarType::i32(), 16));
+        let large = ValueType::Array(ArrayType::new(ScalarType::i32(), 128));
+        let mut alloc = op(Opcode::Alloca, 32);
+        alloc.array = None;
+        let small_cost = characterize(&alloc, Some(small), &device);
+        let large_cost = characterize(&alloc, Some(large), &device);
+        assert!(small_cost.ff >= 512, "16x32-bit array fully held in FFs");
+        assert!(large_cost.lut > large_cost.ff, "large arrays are LUTRAM-dominated");
+    }
+
+    #[test]
+    fn adder_cost_scales_with_bitwidth() {
+        let device = FpgaDevice::default();
+        let narrow = characterize(&op(Opcode::Add, 8), None, &device);
+        let wide = characterize(&op(Opcode::Add, 64), None, &device);
+        assert!(wide.lut > narrow.lut);
+        assert!(wide.delay_ns > narrow.delay_ns);
+    }
+
+    #[test]
+    fn combine_accumulates_resources() {
+        let a = OperatorCost { dsp: 1, lut: 10, ff: 5, delay_ns: 2.0, latency: 1 };
+        let b = OperatorCost { dsp: 2, lut: 1, ff: 0, delay_ns: 3.0, latency: 0 };
+        let c = a.combine(&b);
+        assert_eq!((c.dsp, c.lut, c.ff, c.latency), (3, 11, 5, 1));
+        assert_eq!(c.delay_ns, 3.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Loop-pipelining analysis: initiation intervals and pipelined latency.
+//!
+//! Vitis HLS pipelines inner loops by default; the achievable initiation
+//! interval (II) is bounded by loop-carried dependences (recurrence-constrained
+//! II) and by contention on single-ported memories (resource-constrained II).
+//! This analysis reports both bounds per loop. It is additive — the baseline
+//! schedule, binding and report are unchanged — and is exposed so downstream
+//! users (and future extensions of the predictor's feature set) can reason
+//! about throughput as well as resources and timing.
+
+use std::collections::HashMap;
+
+use hls_ir::ast::VarId;
+use hls_ir::ir::{BlockId, IrFunction};
+use hls_ir::opcode::Opcode;
+
+use crate::device::FpgaDevice;
+use crate::schedule::Schedule;
+
+/// Pipelining summary for one loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopPipelineInfo {
+    /// Header block of the loop.
+    pub header: BlockId,
+    /// Blocks that belong to the loop body (header included).
+    pub body_blocks: Vec<BlockId>,
+    /// Recurrence-constrained II: the longest loop-carried dependence chain,
+    /// in cycles.
+    pub recurrence_ii: u32,
+    /// Resource-constrained II: the worst per-iteration access count on a
+    /// single-ported memory.
+    pub resource_ii: u32,
+    /// Achievable II: the maximum of the two bounds (and at least 1).
+    pub achieved_ii: u32,
+    /// Depth of one iteration in cycles (the pipeline depth).
+    pub iteration_depth: u32,
+}
+
+impl LoopPipelineInfo {
+    /// Latency in cycles of executing `trip_count` iterations with this II,
+    /// `depth + (trip_count - 1) * II` (0 for a zero-trip loop).
+    pub fn pipelined_latency(&self, trip_count: u64) -> u64 {
+        if trip_count == 0 {
+            return 0;
+        }
+        u64::from(self.iteration_depth) + (trip_count - 1) * u64::from(self.achieved_ii)
+    }
+}
+
+/// Identifies the natural loop of each header block: the header plus every
+/// block on a path from the back-edge source back to the header. With the
+/// structured CFGs produced by the front end, the loop body is the contiguous
+/// range of blocks between the header and the block holding the back edge.
+fn loop_blocks(ir: &IrFunction, header: BlockId) -> Vec<BlockId> {
+    let latch = ir
+        .blocks
+        .iter()
+        .filter(|block| block.succs.contains(&header) && block.id.index() >= header.index())
+        .map(|block| block.id.index())
+        .max();
+    match latch {
+        Some(latch) => (header.index()..=latch).map(BlockId::new).collect(),
+        None => vec![header],
+    }
+}
+
+/// Runs the pipelining analysis over every loop of the function.
+pub fn analyze_loops(ir: &IrFunction, schedule: &Schedule, device: &FpgaDevice) -> Vec<LoopPipelineInfo> {
+    let _ = device;
+    let mut result = Vec::new();
+    for block in &ir.blocks {
+        if !block.is_loop_header {
+            continue;
+        }
+        let body = loop_blocks(ir, block.id);
+        let in_body = |id: BlockId| body.iter().any(|candidate| *candidate == id);
+
+        // --- Recurrence-constrained II ------------------------------------
+        // A loop-carried dependence shows up as a phi in the header whose
+        // second operand is defined later in the body; the chain length is the
+        // number of cycles between the phi's definition and the latched value.
+        let mut recurrence_ii = 1u32;
+        for &op_id in &block.ops {
+            let op = ir.op(op_id);
+            if op.opcode != Opcode::Phi || op.operands.len() < 2 {
+                continue;
+            }
+            let latched = op.operands[1];
+            if !in_body(ir.op(latched).block) {
+                continue;
+            }
+            let produced = schedule.op(latched).finish_cycle;
+            let consumed = schedule.op(op_id).start_cycle;
+            let chain = produced.saturating_sub(consumed).max(1);
+            recurrence_ii = recurrence_ii.max(chain);
+        }
+
+        // --- Resource-constrained II ---------------------------------------
+        // Single-ported memories allow one access per cycle; the II is bounded
+        // by the number of accesses to the most contended array per iteration.
+        let mut accesses_per_array: HashMap<VarId, u32> = HashMap::new();
+        for body_block in &body {
+            for &op_id in &ir.block(*body_block).ops {
+                let op = ir.op(op_id);
+                if matches!(op.opcode, Opcode::Load | Opcode::Store) {
+                    if let Some(array) = op.array {
+                        *accesses_per_array.entry(array).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let resource_ii = accesses_per_array.values().copied().max().unwrap_or(1).max(1);
+
+        // --- Iteration depth -------------------------------------------------
+        let start = body
+            .iter()
+            .flat_map(|b| ir.block(*b).ops.iter())
+            .map(|&op| schedule.op(op).start_cycle)
+            .min()
+            .unwrap_or(0);
+        let finish = body
+            .iter()
+            .flat_map(|b| ir.block(*b).ops.iter())
+            .map(|&op| schedule.op(op).finish_cycle)
+            .max()
+            .unwrap_or(start);
+        let iteration_depth = (finish - start + 1).max(1);
+
+        result.push(LoopPipelineInfo {
+            header: block.id,
+            body_blocks: body,
+            recurrence_ii,
+            resource_ii,
+            achieved_ii: recurrence_ii.max(resource_ii),
+            iteration_depth,
+        });
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::schedule_function;
+    use hls_ir::ast::{BinaryOp, Expr, Function, FunctionBuilder, Stmt};
+    use hls_ir::lower::lower_function;
+    use hls_ir::types::{ArrayType, ScalarType, ValueType};
+
+    fn analyse(func: &Function) -> Vec<LoopPipelineInfo> {
+        let device = FpgaDevice::default();
+        let decls: Vec<(VarId, ValueType)> = func.vars().map(|(id, d)| (id, d.ty)).collect();
+        let ir = lower_function(func).unwrap();
+        let schedule = schedule_function(&ir, &decls, &device).unwrap();
+        analyze_loops(&ir, &schedule, &device)
+    }
+
+    fn reduction_loop() -> Function {
+        // acc += x[i] * x[i]: the loop-carried add limits the recurrence II,
+        // and the two reads of `x` limit the resource II.
+        let mut f = FunctionBuilder::new("reduction");
+        let x = f.array_param("x", ArrayType::new(ScalarType::i32(), 16));
+        let acc = f.local("acc", ScalarType::signed(64));
+        let i = f.local("i", ScalarType::i32());
+        f.push(Stmt::for_loop(
+            i,
+            0,
+            16,
+            1,
+            vec![Stmt::assign(
+                acc,
+                Expr::binary(
+                    BinaryOp::Add,
+                    Expr::var(acc),
+                    Expr::binary(BinaryOp::Mul, Expr::index(x, Expr::var(i)), Expr::index(x, Expr::var(i))),
+                ),
+            )],
+        ));
+        f.ret(acc);
+        f.finish().unwrap()
+    }
+
+    fn independent_loop() -> Function {
+        // out[i] = a[i] + 1: no loop-carried dependence beyond the induction
+        // variable, one access per array per iteration.
+        let mut f = FunctionBuilder::new("independent");
+        let a = f.array_param("a", ArrayType::new(ScalarType::i32(), 16));
+        let out = f.array_param("out", ArrayType::new(ScalarType::i32(), 16));
+        let i = f.local("i", ScalarType::i32());
+        f.push(Stmt::for_loop(
+            i,
+            0,
+            16,
+            1,
+            vec![Stmt::store(out, Expr::var(i), Expr::binary(BinaryOp::Add, Expr::index(a, Expr::var(i)), Expr::constant(1)))],
+        ));
+        f.ret(i);
+        f.finish().unwrap()
+    }
+
+    #[test]
+    fn every_loop_header_gets_a_report() {
+        let info = analyse(&reduction_loop());
+        assert_eq!(info.len(), 1);
+        assert!(info[0].achieved_ii >= 1);
+        assert!(info[0].iteration_depth >= 1);
+        assert!(!info[0].body_blocks.is_empty());
+    }
+
+    #[test]
+    fn reduction_has_higher_ii_than_independent_loop() {
+        let reduction = analyse(&reduction_loop());
+        let independent = analyse(&independent_loop());
+        // Two reads of the same single-ported array bound the reduction's II
+        // at 2; the streaming loop touches each array once per iteration.
+        assert!(reduction[0].resource_ii >= 2);
+        assert!(independent[0].resource_ii <= reduction[0].resource_ii);
+        assert!(reduction[0].achieved_ii >= independent[0].achieved_ii);
+    }
+
+    #[test]
+    fn achieved_ii_is_the_max_of_both_bounds() {
+        for info in analyse(&reduction_loop()).iter().chain(analyse(&independent_loop()).iter()) {
+            assert_eq!(info.achieved_ii, info.recurrence_ii.max(info.resource_ii));
+        }
+    }
+
+    #[test]
+    fn pipelined_latency_formula() {
+        let info = LoopPipelineInfo {
+            header: BlockId::new(1),
+            body_blocks: vec![BlockId::new(1), BlockId::new(2)],
+            recurrence_ii: 1,
+            resource_ii: 2,
+            achieved_ii: 2,
+            iteration_depth: 5,
+        };
+        assert_eq!(info.pipelined_latency(0), 0);
+        assert_eq!(info.pipelined_latency(1), 5);
+        assert_eq!(info.pipelined_latency(10), 5 + 9 * 2);
+    }
+
+    #[test]
+    fn straight_line_functions_have_no_loops_to_analyse() {
+        let mut f = FunctionBuilder::new("flat");
+        let a = f.param("a", ScalarType::i32());
+        let out = f.local("out", ScalarType::i32());
+        f.assign(out, Expr::binary(BinaryOp::Add, Expr::var(a), Expr::constant(1)));
+        f.ret(out);
+        let info = analyse(&f.finish().unwrap());
+        assert!(info.is_empty());
+    }
+
+    #[test]
+    fn nested_loops_yield_one_report_per_header() {
+        let mut f = FunctionBuilder::new("nested");
+        let a = f.array_param("a", ArrayType::new(ScalarType::i32(), 64));
+        let acc = f.local("acc", ScalarType::signed(64));
+        let (i, j) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+        f.push(Stmt::for_loop(
+            i,
+            0,
+            8,
+            1,
+            vec![Stmt::for_loop(
+                j,
+                0,
+                8,
+                1,
+                vec![Stmt::assign(
+                    acc,
+                    Expr::binary(
+                        BinaryOp::Add,
+                        Expr::var(acc),
+                        Expr::index(a, Expr::binary(BinaryOp::Add, Expr::binary(BinaryOp::Mul, Expr::var(i), Expr::constant(8)), Expr::var(j))),
+                    ),
+                )],
+            )],
+        ));
+        f.ret(acc);
+        let info = analyse(&f.finish().unwrap());
+        assert_eq!(info.len(), 2, "outer and inner loop each get a report");
+    }
+}

@@ -1,0 +1,83 @@
+//! The HLS synthesis report — the tool's own estimate of the implemented
+//! design quality.
+//!
+//! The whole point of the paper is that this estimate can be *very* wrong
+//! (Table 5 reports 871% LUT and 322% FF error against post-implementation
+//! results on real applications) while still taking minutes to produce. The
+//! report here is the direct sum of the characterised, scheduled and bound
+//! costs — conservative and blind to downstream logic optimisation, exactly
+//! like a real HLS report.
+
+use crate::bind::Binding;
+use crate::schedule::Schedule;
+
+/// Resource and timing estimate produced by HLS synthesis (before
+/// implementation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HlsReport {
+    /// Estimated DSP blocks.
+    pub dsp: u64,
+    /// Estimated LUTs.
+    pub lut: u64,
+    /// Estimated flip-flops.
+    pub ff: u64,
+    /// Estimated post-synthesis critical path, in nanoseconds.
+    pub cp_ns: f64,
+    /// Estimated schedule length in clock cycles.
+    pub latency_cycles: u32,
+}
+
+impl HlsReport {
+    /// Builds the report from the bound design and its schedule.
+    pub fn from_binding(binding: &Binding, schedule: &Schedule) -> Self {
+        HlsReport {
+            dsp: binding.dsp,
+            lut: binding.total_lut(),
+            ff: binding.total_ff(),
+            cp_ns: schedule.critical_path_ns,
+            latency_cycles: schedule.total_cycles,
+        }
+    }
+
+    /// Returns the metric values in the canonical `[DSP, LUT, FF, CP]` order
+    /// used throughout the evaluation harness.
+    pub fn as_targets(&self) -> [f64; 4] {
+        [self.dsp as f64, self.lut as f64, self.ff as f64, self.cp_ns]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bind::bind;
+    use crate::device::FpgaDevice;
+    use crate::schedule::schedule_function;
+    use hls_ir::ast::{BinaryOp, Expr, FunctionBuilder};
+    use hls_ir::lower::lower_function;
+    use hls_ir::types::ScalarType;
+
+    #[test]
+    fn report_reflects_binding_and_schedule() {
+        let mut f = FunctionBuilder::new("mac");
+        let a = f.param("a", ScalarType::i32());
+        let b = f.param("b", ScalarType::i32());
+        let out = f.local("out", ScalarType::signed(64));
+        f.assign(out, Expr::binary(BinaryOp::Mul, Expr::var(a), Expr::var(b)));
+        f.ret(out);
+        let func = f.finish().unwrap();
+        let decls: Vec<_> = func.vars().map(|(id, d)| (id, d.ty)).collect();
+        let device = FpgaDevice::default();
+        let ir = lower_function(&func).unwrap();
+        let schedule = schedule_function(&ir, &decls, &device).unwrap();
+        let binding = bind(&ir, &schedule, &device);
+        let report = HlsReport::from_binding(&binding, &schedule);
+        assert_eq!(report.dsp, binding.dsp);
+        assert_eq!(report.lut, binding.total_lut());
+        assert_eq!(report.ff, binding.total_ff());
+        assert!(report.cp_ns > 0.0);
+        assert_eq!(report.latency_cycles, schedule.total_cycles);
+        let targets = report.as_targets();
+        assert_eq!(targets[0], report.dsp as f64);
+        assert_eq!(targets[3], report.cp_ns);
+    }
+}

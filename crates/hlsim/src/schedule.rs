@@ -1,0 +1,289 @@
+//! Resource-characterised list scheduling with operation chaining.
+//!
+//! Operations are assigned to control steps (clock cycles) block by block.
+//! Combinational operations chain within a cycle as long as the accumulated
+//! delay fits the usable clock period; multi-cycle operations (DSP multiplies,
+//! dividers, memory ports) occupy several states and register their outputs.
+//! The schedule feeds both the binder (concurrency → functional-unit sharing)
+//! and the timing model (longest chain → critical path).
+
+use std::collections::HashMap;
+
+use hls_ir::ast::VarId;
+use hls_ir::ir::{IrFunction, OpId};
+use hls_ir::types::ValueType;
+
+use crate::device::FpgaDevice;
+use crate::library::{characterize, OperatorCost};
+use crate::{Error, Result};
+
+/// Scheduling result for one operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledOp {
+    /// Cycle in which the operation starts.
+    pub start_cycle: u32,
+    /// Cycle in which its result becomes available.
+    pub finish_cycle: u32,
+    /// Time offset (ns) within the finish cycle at which the result settles;
+    /// 0 for registered (multi-cycle) outputs.
+    pub finish_ns: f64,
+    /// Characterised cost of the operation.
+    pub cost: OperatorCost,
+}
+
+/// A complete schedule of an [`IrFunction`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    ops: Vec<ScheduledOp>,
+    /// Total number of control steps (FSM states).
+    pub total_cycles: u32,
+    /// Longest combinational chain (ns) observed in any cycle, including the
+    /// register clock-to-out / setup overhead.
+    pub critical_path_ns: f64,
+}
+
+impl Schedule {
+    /// Scheduling data for one operation.
+    pub fn op(&self, id: OpId) -> &ScheduledOp {
+        &self.ops[id.index()]
+    }
+
+    /// All per-operation scheduling results, indexed by operation id.
+    pub fn ops(&self) -> &[ScheduledOp] {
+        &self.ops
+    }
+
+    /// Maximum number of operations of one opcode executing in the same cycle;
+    /// used by the binder to size shared functional-unit pools.
+    pub fn max_concurrency<F>(&self, mut filter: F) -> u32
+    where
+        F: FnMut(usize) -> bool,
+    {
+        let mut per_cycle: HashMap<u32, u32> = HashMap::new();
+        for (index, op) in self.ops.iter().enumerate() {
+            if filter(index) {
+                *per_cycle.entry(op.start_cycle).or_insert(0) += 1;
+            }
+        }
+        per_cycle.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// Fixed timing overhead added to every chain: register clock-to-out plus
+/// setup, in nanoseconds.
+const REGISTER_OVERHEAD_NS: f64 = 1.15;
+
+/// Looks up the declared array type of the variable an operation touches.
+fn array_type_of(ir: &IrFunction, array: Option<VarId>, decls: &[(VarId, ValueType)]) -> Option<ValueType> {
+    let _ = ir;
+    let target = array?;
+    decls.iter().find(|(var, _)| *var == target).map(|(_, ty)| *ty)
+}
+
+/// Schedules a lowered function on the given device.
+///
+/// # Errors
+/// Returns [`Error::Schedule`] if the block structure is malformed (an
+/// operation references a block that does not contain it).
+pub fn schedule_function(
+    ir: &IrFunction,
+    array_decls: &[(VarId, ValueType)],
+    device: &FpgaDevice,
+) -> Result<Schedule> {
+    let usable_period = device.usable_period_ns();
+    let mut scheduled: Vec<Option<ScheduledOp>> = vec![None; ir.op_count()];
+    let mut current_cycle: u32 = 0;
+    let mut critical_chain: f64 = 0.0;
+
+    for block in &ir.blocks {
+        let block_start = current_cycle;
+        let mut block_last_cycle = block_start;
+        for &op_id in &block.ops {
+            let op = ir.op(op_id);
+            if op.block != block.id {
+                return Err(Error::Schedule(format!(
+                    "op %{} listed in block {} but tagged with block {}",
+                    op_id.index(),
+                    block.id.index(),
+                    op.block.index()
+                )));
+            }
+            let cost = characterize(op, array_type_of(ir, op.array, array_decls), device);
+
+            // Earliest start driven by already-scheduled operands (back-edge
+            // operands are not yet scheduled and do not constrain the start).
+            let mut ready_cycle = block_start;
+            let mut ready_ns: f64 = 0.0;
+            for operand in &op.operands {
+                if let Some(Some(dep)) = scheduled.get(operand.index()) {
+                    if dep.finish_cycle > ready_cycle {
+                        ready_cycle = dep.finish_cycle;
+                        ready_ns = dep.finish_ns;
+                    } else if dep.finish_cycle == ready_cycle {
+                        ready_ns = ready_ns.max(dep.finish_ns);
+                    }
+                }
+            }
+
+            let entry = if cost.latency == 0 {
+                // Combinational: chain if the accumulated delay still fits.
+                let chained = ready_ns + cost.delay_ns;
+                if chained + REGISTER_OVERHEAD_NS <= usable_period {
+                    ScheduledOp {
+                        start_cycle: ready_cycle,
+                        finish_cycle: ready_cycle,
+                        finish_ns: chained,
+                        cost,
+                    }
+                } else {
+                    ScheduledOp {
+                        start_cycle: ready_cycle + 1,
+                        finish_cycle: ready_cycle + 1,
+                        finish_ns: cost.delay_ns.min(usable_period),
+                        cost,
+                    }
+                }
+            } else {
+                // Sequential: start on a register boundary and register the output.
+                let start = if ready_ns > 0.0 { ready_cycle + 1 } else { ready_cycle };
+                ScheduledOp {
+                    start_cycle: start,
+                    finish_cycle: start + cost.latency,
+                    finish_ns: 0.0,
+                    cost,
+                }
+            };
+
+            critical_chain = critical_chain.max(entry.finish_ns).max(cost.delay_ns);
+            block_last_cycle = block_last_cycle.max(entry.finish_cycle);
+            scheduled[op_id.index()] = Some(entry);
+        }
+        // Blocks execute as successive FSM super-states.
+        current_cycle = block_last_cycle + 1;
+    }
+
+    let ops: Vec<ScheduledOp> = scheduled
+        .into_iter()
+        .map(|entry| {
+            entry.unwrap_or(ScheduledOp {
+                start_cycle: 0,
+                finish_cycle: 0,
+                finish_ns: 0.0,
+                cost: OperatorCost::default(),
+            })
+        })
+        .collect();
+
+    Ok(Schedule {
+        ops,
+        total_cycles: current_cycle.max(1),
+        critical_path_ns: critical_chain + REGISTER_OVERHEAD_NS,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::ast::{BinaryOp, Expr, FunctionBuilder, Stmt};
+    use hls_ir::lower::lower_function;
+    use hls_ir::types::{ArrayType, ScalarType};
+
+    fn array_decls(func: &hls_ir::ast::Function) -> Vec<(VarId, ValueType)> {
+        func.vars().map(|(id, decl)| (id, decl.ty)).collect()
+    }
+
+    fn chain_function(length: usize) -> hls_ir::ast::Function {
+        let mut f = FunctionBuilder::new("chain");
+        let a = f.param("a", ScalarType::i32());
+        let acc = f.local("acc", ScalarType::i32());
+        f.assign(acc, Expr::var(a));
+        for _ in 0..length {
+            f.assign(acc, Expr::binary(BinaryOp::Add, Expr::var(acc), Expr::var(a)));
+        }
+        f.ret(acc);
+        f.finish().unwrap()
+    }
+
+    #[test]
+    fn long_adder_chains_split_across_cycles() {
+        let device = FpgaDevice::medium_100mhz();
+        let short = lower_function(&chain_function(2)).unwrap();
+        let long = lower_function(&chain_function(40)).unwrap();
+        let short_schedule = schedule_function(&short, &array_decls(&chain_function(2)), &device).unwrap();
+        let long_schedule = schedule_function(&long, &array_decls(&chain_function(40)), &device).unwrap();
+        assert!(long_schedule.total_cycles > short_schedule.total_cycles);
+        assert!(long_schedule.critical_path_ns <= device.clock_period_ns + 1.0);
+    }
+
+    #[test]
+    fn tighter_clock_needs_more_cycles() {
+        let func = chain_function(30);
+        let ir = lower_function(&func).unwrap();
+        let decls = array_decls(&func);
+        let relaxed = schedule_function(&ir, &decls, &FpgaDevice::medium_100mhz()).unwrap();
+        let tight = schedule_function(&ir, &decls, &FpgaDevice::medium_250mhz()).unwrap();
+        assert!(tight.total_cycles >= relaxed.total_cycles);
+        assert!(tight.critical_path_ns <= relaxed.critical_path_ns + 1e-9);
+    }
+
+    #[test]
+    fn multicycle_ops_register_outputs() {
+        let mut f = FunctionBuilder::new("divider");
+        let a = f.param("a", ScalarType::i32());
+        let b = f.param("b", ScalarType::i32());
+        let out = f.local("out", ScalarType::i32());
+        f.assign(out, Expr::binary(BinaryOp::Div, Expr::var(a), Expr::var(b)));
+        f.ret(out);
+        let func = f.finish().unwrap();
+        let ir = lower_function(&func).unwrap();
+        let schedule = schedule_function(&ir, &array_decls(&func), &FpgaDevice::default()).unwrap();
+        let division = ir
+            .iter_ops()
+            .find(|op| op.opcode == hls_ir::Opcode::SDiv)
+            .expect("division present");
+        let entry = schedule.op(division.id);
+        assert!(entry.finish_cycle > entry.start_cycle);
+        assert_eq!(entry.finish_ns, 0.0);
+    }
+
+    #[test]
+    fn loops_schedule_without_errors() {
+        let mut f = FunctionBuilder::new("loop");
+        let x = f.array_param("x", ArrayType::new(ScalarType::i32(), 16));
+        let acc = f.local("acc", ScalarType::signed(48));
+        let i = f.local("i", ScalarType::i32());
+        f.push(Stmt::for_loop(
+            i,
+            0,
+            16,
+            1,
+            vec![Stmt::assign(acc, Expr::binary(BinaryOp::Add, Expr::var(acc), Expr::index(x, Expr::var(i))))],
+        ));
+        f.ret(acc);
+        let func = f.finish().unwrap();
+        let ir = lower_function(&func).unwrap();
+        let schedule = schedule_function(&ir, &array_decls(&func), &FpgaDevice::default()).unwrap();
+        assert!(schedule.total_cycles >= ir.block_count() as u32);
+        assert!(schedule.critical_path_ns > 0.0);
+    }
+
+    #[test]
+    fn max_concurrency_counts_parallel_ops() {
+        // Four independent multiplies all become ready in the same cycle.
+        let mut f = FunctionBuilder::new("parallel");
+        let a = f.param("a", ScalarType::i32());
+        let b = f.param("b", ScalarType::i32());
+        let mut outs = Vec::new();
+        for index in 0..4 {
+            let out = f.local(format!("m{index}"), ScalarType::signed(64));
+            f.assign(out, Expr::binary(BinaryOp::Mul, Expr::var(a), Expr::var(b)));
+            outs.push(out);
+        }
+        f.ret(outs[0]);
+        let func = f.finish().unwrap();
+        let ir = lower_function(&func).unwrap();
+        let schedule = schedule_function(&ir, &array_decls(&func), &FpgaDevice::default()).unwrap();
+        let concurrency = schedule.max_concurrency(|index| ir.ops[index].opcode == hls_ir::Opcode::Mul);
+        assert_eq!(concurrency, 4);
+    }
+}

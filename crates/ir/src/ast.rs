@@ -1,0 +1,634 @@
+//! Behavioural AST for the C-like input language.
+//!
+//! Programs are expressed as a single top-level [`Function`] containing
+//! scalar/array declarations and structured statements (assignments, array
+//! stores, `if`/`else`, counted `for` loops). The AST intentionally covers the
+//! C subset that HLS tools synthesise well and that the paper's benchmark
+//! generator (`ldrgen`) emits: integer arithmetic, bitwise logic, comparisons,
+//! array accesses, bounded loops and branches.
+
+use crate::types::{ArrayType, ScalarType, ValueType};
+use crate::{Error, Result};
+
+/// Identifier of a declared variable (scalar or array) within one [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Index of the variable in the function's declaration list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Unary operators of the source language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Bitwise complement `~x`.
+    Not,
+}
+
+/// Binary operators of the source language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl BinaryOp {
+    /// Returns true for comparison operators (which produce 1-bit results).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge | BinaryOp::Eq | BinaryOp::Ne
+        )
+    }
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal with an explicit width.
+    Const {
+        /// Literal value.
+        value: i64,
+        /// Width of the literal in bits.
+        width: u16,
+    },
+    /// Read of a scalar variable.
+    Var(VarId),
+    /// Read of an array element `array[index]`.
+    ArrayElem {
+        /// The array variable.
+        array: VarId,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        arg: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Ternary select `cond ? a : b`.
+    Select {
+        /// 1-bit condition.
+        cond: Box<Expr>,
+        /// Value if the condition is true.
+        then_val: Box<Expr>,
+        /// Value if the condition is false.
+        else_val: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// A 32-bit integer literal.
+    pub fn constant(value: i64) -> Expr {
+        Expr::Const { value, width: 32 }
+    }
+
+    /// An integer literal with an explicit width.
+    pub fn constant_with_width(value: i64, width: u16) -> Expr {
+        Expr::Const { value, width }
+    }
+
+    /// A scalar variable read.
+    pub fn var(id: VarId) -> Expr {
+        Expr::Var(id)
+    }
+
+    /// An array element read.
+    pub fn index(array: VarId, index: Expr) -> Expr {
+        Expr::ArrayElem { array, index: Box::new(index) }
+    }
+
+    /// A unary operation.
+    pub fn unary(op: UnaryOp, arg: Expr) -> Expr {
+        Expr::Unary { op, arg: Box::new(arg) }
+    }
+
+    /// A binary operation.
+    pub fn binary(op: BinaryOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// A ternary select.
+    pub fn select(cond: Expr, then_val: Expr, else_val: Expr) -> Expr {
+        Expr::Select {
+            cond: Box::new(cond),
+            then_val: Box::new(then_val),
+            else_val: Box::new(else_val),
+        }
+    }
+
+    /// Number of nodes in the expression tree (used by the program generator
+    /// to bound expression complexity).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const { .. } | Expr::Var(_) => 1,
+            Expr::ArrayElem { index, .. } => 1 + index.size(),
+            Expr::Unary { arg, .. } => 1 + arg.size(),
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.size() + rhs.size(),
+            Expr::Select { cond, then_val, else_val } => {
+                1 + cond.size() + then_val.size() + else_val.size()
+            }
+        }
+    }
+
+    fn visit_vars(&self, visit: &mut impl FnMut(VarId, bool)) {
+        match self {
+            Expr::Const { .. } => {}
+            Expr::Var(v) => visit(*v, false),
+            Expr::ArrayElem { array, index } => {
+                visit(*array, true);
+                index.visit_vars(visit);
+            }
+            Expr::Unary { arg, .. } => arg.visit_vars(visit),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.visit_vars(visit);
+                rhs.visit_vars(visit);
+            }
+            Expr::Select { cond, then_val, else_val } => {
+                cond.visit_vars(visit);
+                then_val.visit_vars(visit);
+                else_val.visit_vars(visit);
+            }
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Scalar assignment `target = value;`.
+    Assign {
+        /// Destination scalar.
+        target: VarId,
+        /// Assigned expression.
+        value: Expr,
+    },
+    /// Array element store `array[index] = value;`.
+    Store {
+        /// Destination array.
+        array: VarId,
+        /// Index expression.
+        index: Expr,
+        /// Stored expression.
+        value: Expr,
+    },
+    /// Two-armed conditional.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Statements executed when the condition is true.
+        then_body: Vec<Stmt>,
+        /// Statements executed when the condition is false (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// Counted `for` loop with compile-time bounds (the HLS-friendly form).
+    For {
+        /// Induction variable (must be a scalar declaration).
+        induction: VarId,
+        /// Initial value of the induction variable.
+        start: i64,
+        /// Exclusive upper bound.
+        end: i64,
+        /// Step added each iteration (must be non-zero).
+        step: i64,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Function return.
+    Return {
+        /// Returned expression, if any.
+        value: Option<Expr>,
+    },
+}
+
+impl Stmt {
+    /// Builds an `if`/`else` statement.
+    pub fn if_else(cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>) -> Stmt {
+        Stmt::If { cond, then_body, else_body }
+    }
+
+    /// Builds a counted `for` loop.
+    pub fn for_loop(induction: VarId, start: i64, end: i64, step: i64, body: Vec<Stmt>) -> Stmt {
+        Stmt::For { induction, start, end, step: if step == 0 { 1 } else { step }, body }
+    }
+
+    /// Builds a scalar assignment.
+    pub fn assign(target: VarId, value: Expr) -> Stmt {
+        Stmt::Assign { target, value }
+    }
+
+    /// Builds an array store.
+    pub fn store(array: VarId, index: Expr, value: Expr) -> Stmt {
+        Stmt::Store { array, index, value }
+    }
+
+    /// Returns true if this statement (recursively) contains control flow.
+    pub fn has_control_flow(&self) -> bool {
+        matches!(self, Stmt::If { .. } | Stmt::For { .. })
+    }
+
+    fn count(&self) -> usize {
+        match self {
+            Stmt::Assign { .. } | Stmt::Store { .. } | Stmt::Return { .. } => 1,
+            Stmt::If { then_body, else_body, .. } => {
+                1 + then_body.iter().map(Stmt::count).sum::<usize>()
+                    + else_body.iter().map(Stmt::count).sum::<usize>()
+            }
+            Stmt::For { body, .. } => 1 + body.iter().map(Stmt::count).sum::<usize>(),
+        }
+    }
+}
+
+/// A declared variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Value type.
+    pub ty: ValueType,
+    /// True if the variable is a top-level function argument (an I/O port).
+    pub is_param: bool,
+}
+
+/// A synthesisable top-level function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// All declarations (parameters first, then locals).
+    pub decls: Vec<VarDecl>,
+    /// Function body.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Type of a declared variable.
+    ///
+    /// # Panics
+    /// Panics if `id` does not belong to this function.
+    pub fn var_type(&self, id: VarId) -> ValueType {
+        self.decls[id.0].ty
+    }
+
+    /// Name of a declared variable.
+    pub fn var_name(&self, id: VarId) -> &str {
+        &self.decls[id.0].name
+    }
+
+    /// Iterator over all declared variables and their declarations.
+    pub fn vars(&self) -> impl Iterator<Item = (VarId, &VarDecl)> {
+        self.decls.iter().enumerate().map(|(index, decl)| (VarId(index), decl))
+    }
+
+    /// Iterator over the parameter variable ids.
+    pub fn params(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.decls
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_param)
+            .map(|(i, _)| VarId(i))
+    }
+
+    /// Total number of statements, counted recursively.
+    pub fn stmt_count(&self) -> usize {
+        self.body.iter().map(Stmt::count).sum()
+    }
+
+    /// True if the function contains loops or branches (and therefore lowers
+    /// to a CDFG rather than a plain DFG).
+    pub fn has_control_flow(&self) -> bool {
+        fn walk(stmts: &[Stmt]) -> bool {
+            stmts.iter().any(|s| match s {
+                Stmt::If { .. } | Stmt::For { .. } => true,
+                _ => false,
+            })
+        }
+        walk(&self.body)
+    }
+
+    fn check_expr(&self, expr: &Expr) -> Result<()> {
+        let mut err = None;
+        expr.visit_vars(&mut |var, used_as_array| {
+            if err.is_some() {
+                return;
+            }
+            if var.0 >= self.decls.len() {
+                err = Some(Error::UndeclaredVariable(format!("var#{}", var.0)));
+                return;
+            }
+            let decl = &self.decls[var.0];
+            if decl.ty.is_array() != used_as_array {
+                err = Some(Error::ShapeMismatch(format!(
+                    "variable `{}` used as {} but declared as {}",
+                    decl.name,
+                    if used_as_array { "array" } else { "scalar" },
+                    decl.ty
+                )));
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn check_stmts(&self, stmts: &[Stmt]) -> Result<()> {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign { target, value } => {
+                    self.check_scalar(*target)?;
+                    self.check_expr(value)?;
+                }
+                Stmt::Store { array, index, value } => {
+                    self.check_array(*array)?;
+                    self.check_expr(index)?;
+                    self.check_expr(value)?;
+                }
+                Stmt::If { cond, then_body, else_body } => {
+                    self.check_expr(cond)?;
+                    self.check_stmts(then_body)?;
+                    self.check_stmts(else_body)?;
+                }
+                Stmt::For { induction, body, .. } => {
+                    self.check_scalar(*induction)?;
+                    self.check_stmts(body)?;
+                }
+                Stmt::Return { value } => {
+                    if let Some(value) = value {
+                        self.check_expr(value)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_scalar(&self, id: VarId) -> Result<()> {
+        let decl = self
+            .decls
+            .get(id.0)
+            .ok_or_else(|| Error::UndeclaredVariable(format!("var#{}", id.0)))?;
+        if decl.ty.is_array() {
+            return Err(Error::ShapeMismatch(format!(
+                "variable `{}` is an array but is used as a scalar",
+                decl.name
+            )));
+        }
+        Ok(())
+    }
+
+    fn check_array(&self, id: VarId) -> Result<()> {
+        let decl = self
+            .decls
+            .get(id.0)
+            .ok_or_else(|| Error::UndeclaredVariable(format!("var#{}", id.0)))?;
+        if !decl.ty.is_array() {
+            return Err(Error::ShapeMismatch(format!(
+                "variable `{}` is a scalar but is used as an array",
+                decl.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Validates declarations and variable usage across the whole body.
+    ///
+    /// # Errors
+    /// Returns [`Error::EmptyFunction`] for an empty body,
+    /// [`Error::UndeclaredVariable`] or [`Error::ShapeMismatch`] for invalid
+    /// variable references.
+    pub fn validate(&self) -> Result<()> {
+        if self.body.is_empty() {
+            return Err(Error::EmptyFunction(self.name.clone()));
+        }
+        self.check_stmts(&self.body)
+    }
+}
+
+/// Incremental builder for a [`Function`].
+///
+/// The builder keeps parameters and locals in declaration order and offers
+/// small conveniences (`assign`, `store`, `ret`, `push`) for the common
+/// statement kinds; structured statements are built with
+/// [`Stmt::for_loop`]/[`Stmt::if_else`] and appended with [`FunctionBuilder::push`].
+#[derive(Debug, Clone)]
+pub struct FunctionBuilder {
+    name: String,
+    decls: Vec<VarDecl>,
+    body: Vec<Stmt>,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionBuilder { name: name.into(), decls: Vec::new(), body: Vec::new() }
+    }
+
+    fn declare(&mut self, name: impl Into<String>, ty: ValueType, is_param: bool) -> VarId {
+        let id = VarId(self.decls.len());
+        self.decls.push(VarDecl { name: name.into(), ty, is_param });
+        id
+    }
+
+    /// Declares a scalar input parameter (an I/O port of the design).
+    pub fn param(&mut self, name: impl Into<String>, ty: ScalarType) -> VarId {
+        self.declare(name, ValueType::Scalar(ty), true)
+    }
+
+    /// Declares an array parameter (an AXI/BRAM interface of the design).
+    pub fn array_param(&mut self, name: impl Into<String>, ty: ArrayType) -> VarId {
+        self.declare(name, ValueType::Array(ty), true)
+    }
+
+    /// Declares a scalar local variable.
+    pub fn local(&mut self, name: impl Into<String>, ty: ScalarType) -> VarId {
+        self.declare(name, ValueType::Scalar(ty), false)
+    }
+
+    /// Declares a local array.
+    pub fn local_array(&mut self, name: impl Into<String>, ty: ArrayType) -> VarId {
+        self.declare(name, ValueType::Array(ty), false)
+    }
+
+    /// Appends a scalar assignment.
+    pub fn assign(&mut self, target: VarId, value: Expr) {
+        self.body.push(Stmt::Assign { target, value });
+    }
+
+    /// Appends an array store.
+    pub fn store(&mut self, array: VarId, index: Expr, value: Expr) {
+        self.body.push(Stmt::Store { array, index, value });
+    }
+
+    /// Appends an arbitrary statement (used for loops and branches).
+    pub fn push(&mut self, stmt: Stmt) {
+        self.body.push(stmt);
+    }
+
+    /// Appends `return var;`.
+    pub fn ret(&mut self, var: VarId) {
+        self.body.push(Stmt::Return { value: Some(Expr::Var(var)) });
+    }
+
+    /// Appends `return expr;`.
+    pub fn ret_expr(&mut self, value: Expr) {
+        self.body.push(Stmt::Return { value: Some(value) });
+    }
+
+    /// Number of statements appended so far (top level only).
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// True if no statements have been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// Finishes the function, validating declarations and variable usage.
+    ///
+    /// # Errors
+    /// Propagates the errors of [`Function::validate`].
+    pub fn finish(self) -> Result<Function> {
+        let func = Function { name: self.name, decls: self.decls, body: self.body };
+        func.validate()?;
+        Ok(func)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_function() -> Function {
+        let mut f = FunctionBuilder::new("axpy");
+        let a = f.param("a", ScalarType::i32());
+        let x = f.param("x", ScalarType::i32());
+        let y = f.param("y", ScalarType::i32());
+        let out = f.local("out", ScalarType::i32());
+        f.assign(
+            out,
+            Expr::binary(BinaryOp::Add, Expr::binary(BinaryOp::Mul, Expr::var(a), Expr::var(x)), Expr::var(y)),
+        );
+        f.ret(out);
+        f.finish().expect("valid function")
+    }
+
+    #[test]
+    fn builder_produces_valid_function() {
+        let f = simple_function();
+        assert_eq!(f.name, "axpy");
+        assert_eq!(f.params().count(), 3);
+        assert_eq!(f.stmt_count(), 2);
+        assert!(!f.has_control_flow());
+    }
+
+    #[test]
+    fn control_flow_detection() {
+        let mut f = FunctionBuilder::new("loopy");
+        let n = f.param("n", ScalarType::i32());
+        let acc = f.local("acc", ScalarType::i32());
+        let i = f.local("i", ScalarType::i32());
+        f.assign(acc, Expr::constant(0));
+        f.push(Stmt::for_loop(
+            i,
+            0,
+            8,
+            1,
+            vec![Stmt::assign(acc, Expr::binary(BinaryOp::Add, Expr::var(acc), Expr::var(n)))],
+        ));
+        f.ret(acc);
+        let f = f.finish().expect("valid function");
+        assert!(f.has_control_flow());
+        assert_eq!(f.stmt_count(), 4);
+    }
+
+    #[test]
+    fn empty_function_is_rejected() {
+        let f = FunctionBuilder::new("empty");
+        assert!(matches!(f.finish(), Err(Error::EmptyFunction(_))));
+    }
+
+    #[test]
+    fn array_used_as_scalar_is_rejected() {
+        let mut f = FunctionBuilder::new("bad");
+        let arr = f.array_param("arr", ArrayType::new(ScalarType::i32(), 8));
+        let out = f.local("out", ScalarType::i32());
+        // `arr` (an array) used as a scalar operand.
+        f.assign(out, Expr::binary(BinaryOp::Add, Expr::var(arr), Expr::constant(1)));
+        assert!(matches!(f.finish(), Err(Error::ShapeMismatch(_))));
+    }
+
+    #[test]
+    fn scalar_used_as_array_is_rejected() {
+        let mut f = FunctionBuilder::new("bad2");
+        let x = f.param("x", ScalarType::i32());
+        let out = f.local("out", ScalarType::i32());
+        f.assign(out, Expr::index(x, Expr::constant(0)));
+        assert!(matches!(f.finish(), Err(Error::ShapeMismatch(_))));
+    }
+
+    #[test]
+    fn zero_step_loops_are_normalised() {
+        match Stmt::for_loop(VarId(0), 0, 4, 0, vec![]) {
+            Stmt::For { step, .. } => assert_eq!(step, 1),
+            _ => panic!("expected For"),
+        }
+    }
+
+    #[test]
+    fn expr_size_counts_nodes() {
+        let e = Expr::binary(
+            BinaryOp::Add,
+            Expr::constant(1),
+            Expr::select(Expr::constant(1), Expr::constant(2), Expr::constant(3)),
+        );
+        assert_eq!(e.size(), 6);
+    }
+}

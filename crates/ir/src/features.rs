@@ -1,0 +1,260 @@
+//! Table-1 node and edge features.
+//!
+//! The "off-the-shelf" approach of the paper uses exactly seven node features
+//! available right after front-end compilation: node type, bitwidth, opcode
+//! category, opcode, is-start-of-path, and cluster group; each edge carries a
+//! discrete edge type and a back-edge flag. This module computes those
+//! features from an extracted [`IrGraph`]; the ML-side encoding (embeddings,
+//! normalisation) lives in the `hls-gnn-core` crate.
+
+use crate::graph::{EdgeKind, IrGraph, NodeKind};
+use crate::opcode::{Opcode, OpcodeCategory};
+
+/// The seven off-the-shelf node features of Table 1, in integer-coded form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFeatures {
+    /// Node type code (see [`NodeKind::code`]).
+    pub node_type: usize,
+    /// Raw bitwidth in bits (0 for block nodes), range `0..=256`.
+    pub bitwidth: u16,
+    /// Opcode category code, or [`NodeFeatures::OPCODE_CATEGORY_MISC`] for
+    /// nodes without an opcode (block nodes).
+    pub opcode_category: usize,
+    /// Opcode code, or [`NodeFeatures::OPCODE_MISC`] for nodes without one.
+    pub opcode: usize,
+    /// 1 when the node starts a data path (no incoming data edges), else 0.
+    pub is_start_of_path: u8,
+    /// Cluster group: the basic-block index, or -1 for unclustered nodes.
+    pub cluster_group: i32,
+}
+
+impl NodeFeatures {
+    /// Vocabulary size of the node-type feature.
+    pub const NODE_TYPE_VOCAB: usize = NodeKind::COUNT;
+    /// Code used for "no opcode category" (block nodes).
+    pub const OPCODE_CATEGORY_MISC: usize = OpcodeCategory::COUNT;
+    /// Vocabulary size of the opcode-category feature (categories + misc).
+    pub const OPCODE_CATEGORY_VOCAB: usize = OpcodeCategory::COUNT + 1;
+    /// Code used for "no opcode" (block nodes).
+    pub const OPCODE_MISC: usize = Opcode::COUNT;
+    /// Vocabulary size of the opcode feature (opcodes + misc).
+    pub const OPCODE_VOCAB: usize = Opcode::COUNT + 1;
+    /// Number of bitwidth buckets produced by [`NodeFeatures::bitwidth_bucket`].
+    pub const BITWIDTH_BUCKETS: usize = 9;
+    /// Number of scalar features produced by [`NodeFeatures::to_raw`].
+    pub const RAW_LEN: usize = 6;
+
+    /// Buckets the bitwidth logarithmically: `{0, 1, 2-4, 5-8, 9-16, 17-32,
+    /// 33-64, 65-128, 129-256}` → `0..9`. Bucketing keeps the embedding
+    /// vocabulary small while preserving the precision scale that drives
+    /// DSP/LUT mapping decisions.
+    pub fn bitwidth_bucket(&self) -> usize {
+        match self.bitwidth {
+            0 => 0,
+            1 => 1,
+            2..=4 => 2,
+            5..=8 => 3,
+            9..=16 => 4,
+            17..=32 => 5,
+            33..=64 => 6,
+            65..=128 => 7,
+            _ => 8,
+        }
+    }
+
+    /// Flattens the features into raw `f32` values
+    /// `[node_type, bitwidth_bucket, opcode_category, opcode, is_start_of_path, cluster_group]`.
+    pub fn to_raw(&self) -> [f32; Self::RAW_LEN] {
+        [
+            self.node_type as f32,
+            self.bitwidth_bucket() as f32,
+            self.opcode_category as f32,
+            self.opcode as f32,
+            self.is_start_of_path as f32,
+            self.cluster_group as f32,
+        ]
+    }
+}
+
+/// The two edge features of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeFeatures {
+    /// Edge type code (see [`EdgeKind::code`]).
+    pub edge_type: usize,
+    /// 1 for loop back edges, else 0.
+    pub is_back_edge: u8,
+}
+
+impl EdgeFeatures {
+    /// Vocabulary size of the edge-type feature.
+    pub const EDGE_TYPE_VOCAB: usize = EdgeKind::COUNT;
+    /// Number of distinct relations when edge type and back-edge flag are
+    /// combined into a single relation id (used by relational GNNs).
+    pub const RELATION_VOCAB: usize = EdgeKind::COUNT * 2;
+
+    /// Combined relation id `edge_type * 2 + is_back_edge`, used by RGCN,
+    /// GGNN and FiLM layers.
+    pub fn relation(&self) -> usize {
+        self.edge_type * 2 + self.is_back_edge as usize
+    }
+}
+
+/// Computes the Table-1 node features for every node of the graph.
+pub fn node_features(graph: &IrGraph) -> Vec<NodeFeatures> {
+    let data_in_degree = graph.in_degrees(Some(EdgeKind::Data));
+    graph
+        .nodes()
+        .iter()
+        .map(|node| {
+            let (opcode_category, opcode) = match node.opcode {
+                Some(op) => (op.category().code(), op.code()),
+                None => (NodeFeatures::OPCODE_CATEGORY_MISC, NodeFeatures::OPCODE_MISC),
+            };
+            NodeFeatures {
+                node_type: node.kind.code(),
+                bitwidth: node.bitwidth,
+                opcode_category,
+                opcode,
+                is_start_of_path: u8::from(
+                    node.kind != NodeKind::Block && data_in_degree[node.id.index()] == 0,
+                ),
+                cluster_group: node.cluster,
+            }
+        })
+        .collect()
+}
+
+/// Computes the Table-1 edge features for every edge of the graph (in the
+/// same order as [`IrGraph::edges`]).
+pub fn edge_features(graph: &IrGraph) -> Vec<EdgeFeatures> {
+    graph
+        .edges()
+        .iter()
+        .map(|edge| EdgeFeatures {
+            edge_type: edge.kind.code(),
+            is_back_edge: u8::from(edge.is_back_edge),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinaryOp, Expr, FunctionBuilder, Stmt};
+    use crate::graph::{extract_graph, GraphKind};
+    use crate::types::{ArrayType, ScalarType};
+
+    fn cdfg() -> IrGraph {
+        let mut f = FunctionBuilder::new("sum");
+        let x = f.array_param("x", ArrayType::new(ScalarType::i32(), 8));
+        let acc = f.local("acc", ScalarType::i32());
+        let i = f.local("i", ScalarType::i32());
+        f.assign(acc, Expr::constant(0));
+        f.push(Stmt::for_loop(
+            i,
+            0,
+            8,
+            1,
+            vec![Stmt::assign(
+                acc,
+                Expr::binary(BinaryOp::Add, Expr::var(acc), Expr::index(x, Expr::var(i))),
+            )],
+        ));
+        f.ret(acc);
+        extract_graph(&f.finish().unwrap(), GraphKind::Cdfg).unwrap()
+    }
+
+    #[test]
+    fn feature_vectors_align_with_graph_size() {
+        let g = cdfg();
+        assert_eq!(node_features(&g).len(), g.node_count());
+        assert_eq!(edge_features(&g).len(), g.edge_count());
+    }
+
+    #[test]
+    fn port_nodes_start_paths() {
+        let g = cdfg();
+        let features = node_features(&g);
+        for (node, feat) in g.nodes().iter().zip(&features) {
+            if node.kind == NodeKind::Port && node.opcode == Some(Opcode::ReadPort) {
+                assert_eq!(feat.is_start_of_path, 1, "input ports have no data predecessors");
+            }
+        }
+    }
+
+    #[test]
+    fn block_nodes_use_misc_opcode_codes() {
+        let g = cdfg();
+        let features = node_features(&g);
+        let block_feats: Vec<_> = g
+            .nodes()
+            .iter()
+            .zip(&features)
+            .filter(|(n, _)| n.kind == NodeKind::Block)
+            .map(|(_, f)| f)
+            .collect();
+        assert!(!block_feats.is_empty());
+        for feat in block_feats {
+            assert_eq!(feat.opcode, NodeFeatures::OPCODE_MISC);
+            assert_eq!(feat.opcode_category, NodeFeatures::OPCODE_CATEGORY_MISC);
+            assert_eq!(feat.bitwidth, 0);
+        }
+    }
+
+    #[test]
+    fn bitwidth_buckets_are_monotonic_and_bounded() {
+        let widths = [0u16, 1, 3, 8, 12, 32, 50, 100, 256];
+        let mut last = 0;
+        for (index, &w) in widths.iter().enumerate() {
+            let f = NodeFeatures {
+                node_type: 0,
+                bitwidth: w,
+                opcode_category: 0,
+                opcode: 0,
+                is_start_of_path: 0,
+                cluster_group: 0,
+            };
+            let bucket = f.bitwidth_bucket();
+            assert!(bucket < NodeFeatures::BITWIDTH_BUCKETS);
+            if index > 0 {
+                assert!(bucket >= last);
+            }
+            last = bucket;
+        }
+    }
+
+    #[test]
+    fn relation_ids_are_dense() {
+        let g = cdfg();
+        for feat in edge_features(&g) {
+            assert!(feat.relation() < EdgeFeatures::RELATION_VOCAB);
+        }
+    }
+
+    #[test]
+    fn back_edges_are_reflected_in_edge_features() {
+        let g = cdfg();
+        let features = edge_features(&g);
+        let back_edges = features.iter().filter(|f| f.is_back_edge == 1).count();
+        assert_eq!(back_edges, g.back_edge_count());
+        assert!(back_edges > 0);
+    }
+
+    #[test]
+    fn raw_feature_vector_has_expected_layout() {
+        let f = NodeFeatures {
+            node_type: 2,
+            bitwidth: 32,
+            opcode_category: 1,
+            opcode: 5,
+            is_start_of_path: 1,
+            cluster_group: -1,
+        };
+        let raw = f.to_raw();
+        assert_eq!(raw.len(), NodeFeatures::RAW_LEN);
+        assert_eq!(raw[0], 2.0);
+        assert_eq!(raw[1], 5.0); // 32 bits -> bucket 5
+        assert_eq!(raw[4], 1.0);
+        assert_eq!(raw[5], -1.0);
+    }
+}

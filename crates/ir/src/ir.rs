@@ -1,0 +1,369 @@
+//! Operation-level IR produced by lowering the behavioural AST.
+//!
+//! The IR is a list of operations organised into basic blocks, close to what
+//! an HLS front end produces after parsing and `-O1`-style simplification.
+//! Scalar data flow is in SSA form (every [`IrOp`] defines at most one value);
+//! control flow is explicit through block successor lists and `br` operations.
+
+use crate::ast::VarId;
+use crate::opcode::Opcode;
+use crate::types::{BitWidth, Signedness};
+use std::fmt;
+
+/// Identifier of an operation within an [`IrFunction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub(crate) usize);
+
+impl OpId {
+    /// Creates an operation id from a raw index (mostly useful in tests and
+    /// downstream tooling that builds IR programmatically).
+    pub fn new(index: usize) -> Self {
+        OpId(index)
+    }
+
+    /// Index of the operation in the function's operation list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a basic block within an [`IrFunction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub(crate) usize);
+
+impl BlockId {
+    /// Creates a block id from a raw index.
+    pub fn new(index: usize) -> Self {
+        BlockId(index)
+    }
+
+    /// Index of the block in the function's block list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A single IR operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrOp {
+    /// Identifier of this operation.
+    pub id: OpId,
+    /// Opcode.
+    pub opcode: Opcode,
+    /// Result bitwidth (1 for control operations without a result).
+    pub width: BitWidth,
+    /// Signedness of the result.
+    pub signedness: Signedness,
+    /// Data operands (identifiers of defining operations).
+    pub operands: Vec<OpId>,
+    /// Block that contains the operation.
+    pub block: BlockId,
+    /// The array variable touched by memory operations (`load`/`store`/`gep`/`alloca`).
+    pub array: Option<VarId>,
+    /// Literal value for `const` operations.
+    pub const_value: Option<i64>,
+    /// Source variable this operation defines, when known (used for debugging
+    /// and for port naming).
+    pub source_var: Option<VarId>,
+}
+
+impl IrOp {
+    /// Result bitwidth in bits.
+    pub fn bits(&self) -> u16 {
+        self.width.bits()
+    }
+
+    /// True if the operation defines no datapath value (pure control).
+    pub fn is_control(&self) -> bool {
+        self.opcode.is_control()
+    }
+}
+
+impl fmt::Display for IrOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{} = {} {}", self.id.0, self.opcode, self.width)?;
+        for operand in &self.operands {
+            write!(f, " %{}", operand.0)?;
+        }
+        if let Some(value) = self.const_value {
+            write!(f, " #{value}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A basic block: a straight-line sequence of operations with a single entry
+/// and a single exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Identifier of this block.
+    pub id: BlockId,
+    /// Operations in program order.
+    pub ops: Vec<OpId>,
+    /// Successor blocks in the control-flow graph.
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks in the control-flow graph.
+    pub preds: Vec<BlockId>,
+    /// True if the block is the header of a natural loop.
+    pub is_loop_header: bool,
+    /// Loop nesting depth of the block (0 outside any loop).
+    pub loop_depth: usize,
+}
+
+impl BasicBlock {
+    fn new(id: BlockId, loop_depth: usize) -> Self {
+        BasicBlock {
+            id,
+            ops: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+            is_loop_header: false,
+            loop_depth,
+        }
+    }
+}
+
+/// A lowered function: operations, blocks, and control-flow structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrFunction {
+    /// Function name (copied from the AST).
+    pub name: String,
+    /// All operations, indexed by [`OpId`].
+    pub ops: Vec<IrOp>,
+    /// All basic blocks, indexed by [`BlockId`].
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl IrFunction {
+    /// Creates an empty function with a single entry block.
+    pub fn new(name: impl Into<String>) -> Self {
+        let mut f = IrFunction { name: name.into(), ops: Vec::new(), blocks: Vec::new() };
+        f.new_block(0);
+        f
+    }
+
+    /// Creates a new (empty) basic block at the given loop depth and returns its id.
+    pub fn new_block(&mut self, loop_depth: usize) -> BlockId {
+        let id = BlockId(self.blocks.len());
+        self.blocks.push(BasicBlock::new(id, loop_depth));
+        id
+    }
+
+    /// Adds a control-flow edge between two blocks.
+    pub fn add_cfg_edge(&mut self, from: BlockId, to: BlockId) {
+        if !self.blocks[from.0].succs.contains(&to) {
+            self.blocks[from.0].succs.push(to);
+        }
+        if !self.blocks[to.0].preds.contains(&from) {
+            self.blocks[to.0].preds.push(from);
+        }
+    }
+
+    /// Appends an operation to a block and returns its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_op(
+        &mut self,
+        block: BlockId,
+        opcode: Opcode,
+        width: BitWidth,
+        signedness: Signedness,
+        operands: Vec<OpId>,
+        array: Option<VarId>,
+        const_value: Option<i64>,
+    ) -> OpId {
+        let id = OpId(self.ops.len());
+        self.ops.push(IrOp {
+            id,
+            opcode,
+            width,
+            signedness,
+            operands,
+            block,
+            array,
+            const_value,
+            source_var: None,
+        });
+        self.blocks[block.0].ops.push(id);
+        id
+    }
+
+    /// Accesses an operation by id.
+    pub fn op(&self, id: OpId) -> &IrOp {
+        &self.ops[id.0]
+    }
+
+    /// Mutable access to an operation by id.
+    pub fn op_mut(&mut self, id: OpId) -> &mut IrOp {
+        &mut self.ops[id.0]
+    }
+
+    /// Accesses a block by id.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0]
+    }
+
+    /// Mutable access to a block by id.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.0]
+    }
+
+    /// Number of operations.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if the function has more than one basic block, i.e. it lowers to a
+    /// CDFG rather than a DFG.
+    pub fn has_control_flow(&self) -> bool {
+        self.blocks.len() > 1
+    }
+
+    /// Maximum loop nesting depth over all blocks.
+    pub fn max_loop_depth(&self) -> usize {
+        self.blocks.iter().map(|b| b.loop_depth).max().unwrap_or(0)
+    }
+
+    /// Computes, for every operation, the list of operations that use its result.
+    pub fn users(&self) -> Vec<Vec<OpId>> {
+        let mut users = vec![Vec::new(); self.ops.len()];
+        for op in &self.ops {
+            for &operand in &op.operands {
+                users[operand.0].push(op.id);
+            }
+        }
+        users
+    }
+
+    /// Iterator over all operations in creation (program) order.
+    pub fn iter_ops(&self) -> impl Iterator<Item = &IrOp> {
+        self.ops.iter()
+    }
+
+    /// Validates referential integrity of operands, blocks and CFG edges.
+    ///
+    /// # Panics
+    /// Never panics; returns a description of the first violation found.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        for op in &self.ops {
+            if op.block.0 >= self.blocks.len() {
+                return Err(format!("op %{} references missing block {}", op.id.0, op.block.0));
+            }
+            if !self.blocks[op.block.0].ops.contains(&op.id) {
+                return Err(format!("op %{} missing from its block op list", op.id.0));
+            }
+            for operand in &op.operands {
+                if operand.0 >= self.ops.len() {
+                    return Err(format!("op %{} references missing operand %{}", op.id.0, operand.0));
+                }
+            }
+        }
+        for block in &self.blocks {
+            for succ in &block.succs {
+                if succ.0 >= self.blocks.len() {
+                    return Err(format!("block {} references missing successor {}", block.id.0, succ.0));
+                }
+                if !self.blocks[succ.0].preds.contains(&block.id) {
+                    return Err(format!(
+                        "cfg edge {} -> {} missing reverse pred link",
+                        block.id.0, succ.0
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for IrFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "function @{} ({} ops, {} blocks)", self.name, self.op_count(), self.block_count())?;
+        for block in &self.blocks {
+            writeln!(
+                f,
+                "bb{} (depth {}{}):",
+                block.id.0,
+                block.loop_depth,
+                if block.is_loop_header { ", header" } else { "" }
+            )?;
+            for &op in &block.ops {
+                writeln!(f, "  {}", self.op(op))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::BitWidth;
+
+    fn tiny_ir() -> IrFunction {
+        let mut f = IrFunction::new("tiny");
+        let entry = BlockId(0);
+        let a = f.push_op(entry, Opcode::ReadPort, BitWidth::new(32), Signedness::Signed, vec![], None, None);
+        let b = f.push_op(entry, Opcode::ReadPort, BitWidth::new(32), Signedness::Signed, vec![], None, None);
+        let m = f.push_op(entry, Opcode::Mul, BitWidth::new(64), Signedness::Signed, vec![a, b], None, None);
+        f.push_op(entry, Opcode::WritePort, BitWidth::new(64), Signedness::Signed, vec![m], None, None);
+        f
+    }
+
+    #[test]
+    fn push_op_maintains_block_membership() {
+        let f = tiny_ir();
+        assert_eq!(f.op_count(), 4);
+        assert_eq!(f.block(BlockId(0)).ops.len(), 4);
+        assert!(f.check_integrity().is_ok());
+        assert!(!f.has_control_flow());
+    }
+
+    #[test]
+    fn users_are_reverse_of_operands() {
+        let f = tiny_ir();
+        let users = f.users();
+        // The multiply (op 2) uses ops 0 and 1.
+        assert_eq!(users[0], vec![OpId(2)]);
+        assert_eq!(users[1], vec![OpId(2)]);
+        // The write port (op 3) uses the multiply.
+        assert_eq!(users[2], vec![OpId(3)]);
+        assert!(users[3].is_empty());
+    }
+
+    #[test]
+    fn cfg_edges_are_symmetric() {
+        let mut f = IrFunction::new("cfg");
+        let b1 = f.new_block(0);
+        let b2 = f.new_block(1);
+        f.add_cfg_edge(BlockId(0), b1);
+        f.add_cfg_edge(b1, b2);
+        f.add_cfg_edge(b2, b1);
+        assert!(f.check_integrity().is_ok());
+        assert!(f.has_control_flow());
+        assert_eq!(f.block(b1).preds, vec![BlockId(0), b2]);
+        assert_eq!(f.max_loop_depth(), 1);
+    }
+
+    #[test]
+    fn duplicate_cfg_edges_are_deduplicated() {
+        let mut f = IrFunction::new("dup");
+        let b1 = f.new_block(0);
+        f.add_cfg_edge(BlockId(0), b1);
+        f.add_cfg_edge(BlockId(0), b1);
+        assert_eq!(f.block(BlockId(0)).succs.len(), 1);
+        assert_eq!(f.block(b1).preds.len(), 1);
+    }
+
+    #[test]
+    fn display_contains_ops_and_blocks() {
+        let f = tiny_ir();
+        let text = f.to_string();
+        assert!(text.contains("function @tiny"));
+        assert!(text.contains("mul"));
+        assert!(text.contains("bb0"));
+    }
+}

@@ -1,0 +1,82 @@
+//! `hls-ir` — intermediate-representation substrate for HLS performance prediction.
+//!
+//! This crate models the part of an HLS front end that the DAC'22 paper
+//! *"High-Level Synthesis Performance Prediction using GNNs"* relies on:
+//! a C-like behavioural description is lowered to an operation-level IR and
+//! exported as a **data-flow graph** (DFG, from a single basic block) or a
+//! **control-data-flow graph** (CDFG, from programs with loops and branches).
+//! Each node and edge carries the feature set of Table 1 of the paper
+//! (node type, bitwidth, opcode category, opcode, is-start-of-path, cluster
+//! group; edge type and back-edge flag).
+//!
+//! # Example
+//!
+//! ```
+//! use hls_ir::ast::{FunctionBuilder, BinaryOp, Expr};
+//! use hls_ir::types::ScalarType;
+//! use hls_ir::graph::GraphKind;
+//!
+//! # fn main() -> Result<(), hls_ir::Error> {
+//! let mut f = FunctionBuilder::new("mac");
+//! let a = f.param("a", ScalarType::i32());
+//! let b = f.param("b", ScalarType::i32());
+//! let acc = f.local("acc", ScalarType::i32());
+//! f.assign(acc, Expr::binary(BinaryOp::Mul, Expr::var(a), Expr::var(b)));
+//! f.ret(acc);
+//! let func = f.finish()?;
+//! let graph = hls_ir::graph::extract_graph(&func, GraphKind::Dfg)?;
+//! assert!(graph.node_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod features;
+pub mod graph;
+pub mod ir;
+pub mod lower;
+pub mod opcode;
+pub mod types;
+
+use std::fmt;
+
+pub use ast::{BinaryOp, Expr, Function, FunctionBuilder, Stmt, UnaryOp, VarId};
+pub use features::{EdgeFeatures, NodeFeatures};
+pub use graph::{EdgeKind, GraphKind, IrEdge, IrGraph, IrNode, NodeId, NodeKind};
+pub use ir::{BlockId, IrFunction, IrOp, OpId};
+pub use opcode::{Opcode, OpcodeCategory};
+pub use types::{BitWidth, ScalarType, ValueType};
+
+/// Errors produced while building, lowering, or exporting IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A variable was referenced before being declared.
+    UndeclaredVariable(String),
+    /// A variable was used with an incompatible shape (scalar vs. array).
+    ShapeMismatch(String),
+    /// The requested graph kind cannot be extracted from this function
+    /// (e.g. a DFG was requested but the function contains control flow).
+    UnsupportedGraphKind(String),
+    /// A function was built without any statements.
+    EmptyFunction(String),
+    /// An internal invariant was violated during lowering.
+    Lowering(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UndeclaredVariable(name) => write!(f, "undeclared variable `{name}`"),
+            Error::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            Error::UnsupportedGraphKind(msg) => write!(f, "unsupported graph kind: {msg}"),
+            Error::EmptyFunction(name) => write!(f, "function `{name}` has no statements"),
+            Error::Lowering(msg) => write!(f, "lowering error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,657 @@
+//! Lowering from the behavioural AST to the operation-level IR.
+//!
+//! The lowering mirrors what an HLS front end does after parsing and early
+//! optimisation: scalar variables are renamed into SSA values, `if`/`else`
+//! joins become `mux` operations, loops become header blocks with `phi`
+//! operations, and array accesses become `getelementptr` + `load`/`store`
+//! pairs against a memory interface port.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::ast::{BinaryOp, Expr, Function, Stmt, UnaryOp, VarId};
+use crate::ir::{BlockId, IrFunction, OpId};
+use crate::opcode::Opcode;
+use crate::types::{BitWidth, ScalarType, Signedness, ValueType};
+use crate::{Error, Result};
+
+/// Lowers a validated AST function into the operation-level IR.
+///
+/// # Errors
+/// Returns [`Error::Lowering`] if the function references arrays that were
+/// never declared as such, and propagates validation errors from
+/// [`Function::validate`].
+pub fn lower_function(func: &Function) -> Result<IrFunction> {
+    func.validate()?;
+    let mut lowerer = Lowerer::new(func);
+    lowerer.lower_params();
+    lowerer.lower_stmts(&func.body.clone())?;
+    let ir = lowerer.finish();
+    ir.check_integrity().map_err(Error::Lowering)?;
+    Ok(ir)
+}
+
+struct Lowerer<'a> {
+    src: &'a Function,
+    ir: IrFunction,
+    current: BlockId,
+    scalar_env: HashMap<VarId, OpId>,
+    array_env: HashMap<VarId, OpId>,
+    loop_depth: usize,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(src: &'a Function) -> Self {
+        let ir = IrFunction::new(&src.name);
+        Lowerer {
+            src,
+            ir,
+            current: BlockId(0),
+            scalar_env: HashMap::new(),
+            array_env: HashMap::new(),
+            loop_depth: 0,
+        }
+    }
+
+    fn finish(self) -> IrFunction {
+        self.ir
+    }
+
+    fn decl_scalar_type(&self, var: VarId) -> ScalarType {
+        match self.src.var_type(var) {
+            ValueType::Scalar(s) => s,
+            ValueType::Array(a) => a.elem,
+        }
+    }
+
+    fn push(
+        &mut self,
+        opcode: Opcode,
+        width: BitWidth,
+        signedness: Signedness,
+        operands: Vec<OpId>,
+        array: Option<VarId>,
+        const_value: Option<i64>,
+    ) -> OpId {
+        self.ir.push_op(self.current, opcode, width, signedness, operands, array, const_value)
+    }
+
+    fn lower_params(&mut self) {
+        for var in self.src.params().collect::<Vec<_>>() {
+            let ty = self.src.var_type(var);
+            match ty {
+                ValueType::Scalar(s) => {
+                    let op = self.push(
+                        Opcode::ReadPort,
+                        s.width,
+                        s.signedness,
+                        vec![],
+                        None,
+                        None,
+                    );
+                    self.ir.op_mut(op).source_var = Some(var);
+                    self.scalar_env.insert(var, op);
+                }
+                ValueType::Array(a) => {
+                    let op = self.push(
+                        Opcode::ReadPort,
+                        a.elem.width,
+                        a.elem.signedness,
+                        vec![],
+                        Some(var),
+                        None,
+                    );
+                    self.ir.op_mut(op).source_var = Some(var);
+                    self.array_env.insert(var, op);
+                }
+            }
+        }
+        // Local arrays become explicit allocations.
+        for (index, decl) in self.src.decls.iter().enumerate() {
+            if decl.is_param {
+                continue;
+            }
+            if let ValueType::Array(a) = decl.ty {
+                let var = crate::ast::VarId(index);
+                let op = self.push(
+                    Opcode::Alloca,
+                    a.elem.width,
+                    a.elem.signedness,
+                    vec![],
+                    Some(var),
+                    None,
+                );
+                self.ir.op_mut(op).source_var = Some(var);
+                self.array_env.insert(var, op);
+            }
+        }
+    }
+
+    fn constant(&mut self, value: i64, width: u16) -> OpId {
+        self.push(
+            Opcode::Const,
+            BitWidth::new(width),
+            Signedness::Signed,
+            vec![],
+            None,
+            Some(value),
+        )
+    }
+
+    fn scalar_value(&mut self, var: VarId) -> (OpId, ScalarType) {
+        let ty = self.decl_scalar_type(var);
+        if let Some(&op) = self.scalar_env.get(&var) {
+            return (op, ty);
+        }
+        // Reading an uninitialised local: materialise a zero constant, as HLS
+        // front ends do after `-O1` (undef folded to 0).
+        let op = self.constant(0, ty.bits());
+        self.scalar_env.insert(var, op);
+        (op, ty)
+    }
+
+    fn array_base(&mut self, var: VarId) -> Result<OpId> {
+        self.array_env
+            .get(&var)
+            .copied()
+            .ok_or_else(|| Error::Lowering(format!("array `{}` has no base op", self.src.var_name(var))))
+    }
+
+    fn lower_expr(&mut self, expr: &Expr) -> Result<(OpId, ScalarType)> {
+        match expr {
+            Expr::Const { value, width } => {
+                let op = self.constant(*value, *width);
+                Ok((op, ScalarType::signed(*width)))
+            }
+            Expr::Var(var) => Ok(self.scalar_value(*var)),
+            Expr::ArrayElem { array, index } => {
+                let base = self.array_base(*array)?;
+                let (index_op, _) = self.lower_expr(index)?;
+                let elem = self.decl_scalar_type(*array);
+                let gep = self.push(
+                    Opcode::GetElementPtr,
+                    BitWidth::new(32),
+                    Signedness::Unsigned,
+                    vec![base, index_op],
+                    Some(*array),
+                    None,
+                );
+                let load = self.push(
+                    Opcode::Load,
+                    elem.width,
+                    elem.signedness,
+                    vec![gep],
+                    Some(*array),
+                    None,
+                );
+                Ok((load, elem))
+            }
+            Expr::Unary { op, arg } => {
+                let (arg_op, ty) = self.lower_expr(arg)?;
+                let opcode = match op {
+                    UnaryOp::Neg => Opcode::Neg,
+                    UnaryOp::Not => Opcode::Not,
+                };
+                let out = self.push(opcode, ty.width, ty.signedness, vec![arg_op], None, None);
+                Ok((out, ty))
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let (lhs_op, lhs_ty) = self.lower_expr(lhs)?;
+                let (rhs_op, rhs_ty) = self.lower_expr(rhs)?;
+                let signed = lhs_ty.is_signed() || rhs_ty.is_signed();
+                let signedness = if signed { Signedness::Signed } else { Signedness::Unsigned };
+                let max_bits = lhs_ty.bits().max(rhs_ty.bits());
+                let (opcode, width, out_sign) = match op {
+                    BinaryOp::Add => (Opcode::Add, BitWidth::add_result(lhs_ty.width, rhs_ty.width), signedness),
+                    BinaryOp::Sub => (Opcode::Sub, BitWidth::add_result(lhs_ty.width, rhs_ty.width), signedness),
+                    BinaryOp::Mul => (Opcode::Mul, BitWidth::mul_result(lhs_ty.width, rhs_ty.width), signedness),
+                    BinaryOp::Div => (
+                        if signed { Opcode::SDiv } else { Opcode::UDiv },
+                        lhs_ty.width,
+                        signedness,
+                    ),
+                    BinaryOp::Rem => (
+                        if signed { Opcode::SRem } else { Opcode::URem },
+                        lhs_ty.width,
+                        signedness,
+                    ),
+                    BinaryOp::And => (Opcode::And, BitWidth::new(max_bits), signedness),
+                    BinaryOp::Or => (Opcode::Or, BitWidth::new(max_bits), signedness),
+                    BinaryOp::Xor => (Opcode::Xor, BitWidth::new(max_bits), signedness),
+                    BinaryOp::Shl => (Opcode::Shl, lhs_ty.width, lhs_ty.signedness),
+                    BinaryOp::Shr => (
+                        if lhs_ty.is_signed() { Opcode::AShr } else { Opcode::LShr },
+                        lhs_ty.width,
+                        lhs_ty.signedness,
+                    ),
+                    BinaryOp::Lt
+                    | BinaryOp::Le
+                    | BinaryOp::Gt
+                    | BinaryOp::Ge
+                    | BinaryOp::Eq
+                    | BinaryOp::Ne => (Opcode::ICmp, BitWidth::new(1), Signedness::Unsigned),
+                };
+                let out = self.push(opcode, width, out_sign, vec![lhs_op, rhs_op], None, None);
+                Ok((out, ScalarType::new(out_sign, width)))
+            }
+            Expr::Select { cond, then_val, else_val } => {
+                let (cond_op, _) = self.lower_expr(cond)?;
+                let (then_op, then_ty) = self.lower_expr(then_val)?;
+                let (else_op, else_ty) = self.lower_expr(else_val)?;
+                let bits = then_ty.bits().max(else_ty.bits());
+                let signedness = if then_ty.is_signed() || else_ty.is_signed() {
+                    Signedness::Signed
+                } else {
+                    Signedness::Unsigned
+                };
+                let out = self.push(
+                    Opcode::Select,
+                    BitWidth::new(bits),
+                    signedness,
+                    vec![cond_op, then_op, else_op],
+                    None,
+                    None,
+                );
+                Ok((out, ScalarType::new(signedness, bits)))
+            }
+        }
+    }
+
+    /// Coerces a value to the declared width of `target`, inserting a cast
+    /// operation when the widths differ.
+    fn coerce_to(&mut self, value: OpId, value_ty: ScalarType, target: VarId) -> OpId {
+        let target_ty = self.decl_scalar_type(target);
+        if target_ty.bits() == value_ty.bits() {
+            return value;
+        }
+        let opcode = if target_ty.bits() < value_ty.bits() {
+            Opcode::Trunc
+        } else if value_ty.is_signed() {
+            Opcode::SExt
+        } else {
+            Opcode::ZExt
+        };
+        self.push(opcode, target_ty.width, target_ty.signedness, vec![value], None, None)
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<()> {
+        for stmt in stmts {
+            self.lower_stmt(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<()> {
+        match stmt {
+            Stmt::Assign { target, value } => {
+                let (value_op, value_ty) = self.lower_expr(value)?;
+                let coerced = self.coerce_to(value_op, value_ty, *target);
+                self.ir.op_mut(coerced).source_var = Some(*target);
+                self.scalar_env.insert(*target, coerced);
+                Ok(())
+            }
+            Stmt::Store { array, index, value } => {
+                let base = self.array_base(*array)?;
+                let (index_op, _) = self.lower_expr(index)?;
+                let (value_op, _) = self.lower_expr(value)?;
+                let elem = self.decl_scalar_type(*array);
+                let gep = self.push(
+                    Opcode::GetElementPtr,
+                    BitWidth::new(32),
+                    Signedness::Unsigned,
+                    vec![base, index_op],
+                    Some(*array),
+                    None,
+                );
+                self.push(
+                    Opcode::Store,
+                    elem.width,
+                    elem.signedness,
+                    vec![value_op, gep],
+                    Some(*array),
+                    None,
+                );
+                Ok(())
+            }
+            Stmt::Return { value } => {
+                if let Some(value) = value {
+                    let (value_op, value_ty) = self.lower_expr(value)?;
+                    self.push(
+                        Opcode::WritePort,
+                        value_ty.width,
+                        value_ty.signedness,
+                        vec![value_op],
+                        None,
+                        None,
+                    );
+                }
+                self.push(Opcode::Ret, BitWidth::new(1), Signedness::Unsigned, vec![], None, None);
+                Ok(())
+            }
+            Stmt::If { cond, then_body, else_body } => self.lower_if(cond, then_body, else_body),
+            Stmt::For { induction, start, end, step, body } => {
+                self.lower_for(*induction, *start, *end, *step, body)
+            }
+        }
+    }
+
+    fn lower_if(&mut self, cond: &Expr, then_body: &[Stmt], else_body: &[Stmt]) -> Result<()> {
+        let (cond_op, _) = self.lower_expr(cond)?;
+        self.push(Opcode::Br, BitWidth::new(1), Signedness::Unsigned, vec![cond_op], None, None);
+        let branch_block = self.current;
+
+        let then_block = self.ir.new_block(self.loop_depth);
+        let else_block = self.ir.new_block(self.loop_depth);
+        let merge_block = self.ir.new_block(self.loop_depth);
+        self.ir.add_cfg_edge(branch_block, then_block);
+        self.ir.add_cfg_edge(branch_block, else_block);
+
+        let env_before = self.scalar_env.clone();
+
+        // Then arm.
+        self.current = then_block;
+        self.lower_stmts(then_body)?;
+        self.push(Opcode::Br, BitWidth::new(1), Signedness::Unsigned, vec![], None, None);
+        self.ir.add_cfg_edge(self.current, merge_block);
+        let env_then = self.scalar_env.clone();
+
+        // Else arm.
+        self.scalar_env = env_before.clone();
+        self.current = else_block;
+        self.lower_stmts(else_body)?;
+        self.push(Opcode::Br, BitWidth::new(1), Signedness::Unsigned, vec![], None, None);
+        self.ir.add_cfg_edge(self.current, merge_block);
+        let env_else = self.scalar_env.clone();
+
+        // Merge arm: insert mux operations for values that diverged.
+        self.current = merge_block;
+        let mut merged: BTreeSet<VarId> = BTreeSet::new();
+        merged.extend(env_then.keys().copied());
+        merged.extend(env_else.keys().copied());
+        for var in merged {
+            let then_val = env_then.get(&var).copied();
+            let else_val = env_else.get(&var).copied();
+            match (then_val, else_val) {
+                (Some(t), Some(e)) if t == e => {
+                    self.scalar_env.insert(var, t);
+                }
+                (t, e) => {
+                    let ty = self.decl_scalar_type(var);
+                    let t = match t {
+                        Some(op) => op,
+                        None => self.constant(0, ty.bits()),
+                    };
+                    let e = match e {
+                        Some(op) => op,
+                        None => self.constant(0, ty.bits()),
+                    };
+                    let mux = self.push(
+                        Opcode::Mux,
+                        ty.width,
+                        ty.signedness,
+                        vec![cond_op, t, e],
+                        None,
+                        None,
+                    );
+                    self.ir.op_mut(mux).source_var = Some(var);
+                    self.scalar_env.insert(var, mux);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_for(
+        &mut self,
+        induction: VarId,
+        start: i64,
+        end: i64,
+        step: i64,
+        body: &[Stmt],
+    ) -> Result<()> {
+        let induction_ty = self.decl_scalar_type(induction);
+        let init = self.constant(start, induction_ty.bits());
+        self.scalar_env.insert(induction, init);
+        self.push(Opcode::Br, BitWidth::new(1), Signedness::Unsigned, vec![], None, None);
+        let preheader = self.current;
+
+        let header = self.ir.new_block(self.loop_depth + 1);
+        self.ir.block_mut(header).is_loop_header = true;
+        let body_block = self.ir.new_block(self.loop_depth + 1);
+        let exit_block = self.ir.new_block(self.loop_depth);
+        self.ir.add_cfg_edge(preheader, header);
+
+        // Variables live across the back edge get phi nodes in the header.
+        let mut modified = collect_assigned(body);
+        modified.insert(induction);
+
+        self.current = header;
+        let mut phis: Vec<(VarId, OpId)> = Vec::new();
+        for &var in &modified {
+            let ty = self.decl_scalar_type(var);
+            let init_val = match self.scalar_env.get(&var) {
+                Some(&op) => op,
+                None => self.constant(0, ty.bits()),
+            };
+            let phi = self.push(Opcode::Phi, ty.width, ty.signedness, vec![init_val], None, None);
+            self.ir.op_mut(phi).source_var = Some(var);
+            self.scalar_env.insert(var, phi);
+            phis.push((var, phi));
+        }
+        let induction_phi = self.scalar_env[&induction];
+        let bound = self.constant(end, induction_ty.bits());
+        let cmp = self.push(
+            Opcode::ICmp,
+            BitWidth::new(1),
+            Signedness::Unsigned,
+            vec![induction_phi, bound],
+            None,
+            None,
+        );
+        self.push(Opcode::Br, BitWidth::new(1), Signedness::Unsigned, vec![cmp], None, None);
+        self.ir.add_cfg_edge(header, body_block);
+        self.ir.add_cfg_edge(header, exit_block);
+
+        // Loop body.
+        self.current = body_block;
+        self.loop_depth += 1;
+        self.lower_stmts(body)?;
+        let step_const = self.constant(step, induction_ty.bits());
+        let current_induction = self.scalar_env[&induction];
+        let next = self.push(
+            Opcode::Add,
+            induction_ty.width,
+            induction_ty.signedness,
+            vec![current_induction, step_const],
+            None,
+            None,
+        );
+        self.ir.op_mut(next).source_var = Some(induction);
+        self.scalar_env.insert(induction, next);
+        self.push(Opcode::Br, BitWidth::new(1), Signedness::Unsigned, vec![], None, None);
+        self.ir.add_cfg_edge(self.current, header);
+        self.loop_depth -= 1;
+
+        // Patch phi back-edge operands with the latched values.
+        for (var, phi) in &phis {
+            let latched = self.scalar_env[var];
+            if latched != *phi {
+                self.ir.op_mut(*phi).operands.push(latched);
+            }
+        }
+
+        // After the loop, the header phi values are live.
+        self.current = exit_block;
+        for (var, phi) in phis {
+            self.scalar_env.insert(var, phi);
+        }
+        Ok(())
+    }
+}
+
+/// Collects the set of scalar variables assigned anywhere in `stmts`
+/// (including nested control flow and loop induction variables).
+fn collect_assigned(stmts: &[Stmt]) -> BTreeSet<VarId> {
+    let mut out = BTreeSet::new();
+    fn walk(stmts: &[Stmt], out: &mut BTreeSet<VarId>) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign { target, .. } => {
+                    out.insert(*target);
+                }
+                Stmt::Store { .. } | Stmt::Return { .. } => {}
+                Stmt::If { then_body, else_body, .. } => {
+                    walk(then_body, out);
+                    walk(else_body, out);
+                }
+                Stmt::For { induction, body, .. } => {
+                    out.insert(*induction);
+                    walk(body, out);
+                }
+            }
+        }
+    }
+    walk(stmts, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::FunctionBuilder;
+    use crate::types::{ArrayType, ScalarType};
+
+    fn straightline() -> Function {
+        let mut f = FunctionBuilder::new("mac");
+        let a = f.param("a", ScalarType::i32());
+        let b = f.param("b", ScalarType::i32());
+        let c = f.param("c", ScalarType::i32());
+        let out = f.local("out", ScalarType::signed(64));
+        f.assign(
+            out,
+            Expr::binary(BinaryOp::Add, Expr::binary(BinaryOp::Mul, Expr::var(a), Expr::var(b)), Expr::var(c)),
+        );
+        f.ret(out);
+        f.finish().unwrap()
+    }
+
+    fn loopy() -> Function {
+        let mut f = FunctionBuilder::new("dot");
+        let x = f.array_param("x", ArrayType::new(ScalarType::i32(), 16));
+        let y = f.array_param("y", ArrayType::new(ScalarType::i32(), 16));
+        let acc = f.local("acc", ScalarType::signed(64));
+        let i = f.local("i", ScalarType::i32());
+        f.assign(acc, Expr::constant(0));
+        f.push(Stmt::for_loop(
+            i,
+            0,
+            16,
+            1,
+            vec![Stmt::assign(
+                acc,
+                Expr::binary(
+                    BinaryOp::Add,
+                    Expr::var(acc),
+                    Expr::binary(BinaryOp::Mul, Expr::index(x, Expr::var(i)), Expr::index(y, Expr::var(i))),
+                ),
+            )],
+        ));
+        f.ret(acc);
+        f.finish().unwrap()
+    }
+
+    #[test]
+    fn straightline_lowers_to_single_block() {
+        let ir = lower_function(&straightline()).unwrap();
+        assert_eq!(ir.block_count(), 1);
+        assert!(!ir.has_control_flow());
+        assert!(ir.iter_ops().any(|op| op.opcode == Opcode::Mul));
+        assert!(ir.iter_ops().any(|op| op.opcode == Opcode::WritePort));
+        // The add result (65 bits) is truncated to the 64-bit local.
+        assert!(ir.iter_ops().any(|op| op.opcode == Opcode::Trunc));
+    }
+
+    #[test]
+    fn loop_lowering_creates_header_and_back_edge() {
+        let ir = lower_function(&loopy()).unwrap();
+        assert!(ir.has_control_flow());
+        assert!(ir.blocks.iter().any(|b| b.is_loop_header));
+        assert_eq!(ir.max_loop_depth(), 1);
+        // The header's phi ops must have two operands (init + latched value).
+        let phi_ops: Vec<_> = ir.iter_ops().filter(|op| op.opcode == Opcode::Phi).collect();
+        assert!(!phi_ops.is_empty());
+        assert!(phi_ops.iter().all(|op| op.operands.len() == 2));
+        // A back edge exists: some block with a larger id points to a smaller one.
+        let has_back_edge = ir
+            .blocks
+            .iter()
+            .any(|b| b.succs.iter().any(|s| s.index() < b.id.index() || ir.block(*s).is_loop_header));
+        assert!(has_back_edge);
+    }
+
+    #[test]
+    fn if_lowering_inserts_mux() {
+        let mut f = FunctionBuilder::new("absdiff");
+        let a = f.param("a", ScalarType::i32());
+        let b = f.param("b", ScalarType::i32());
+        let out = f.local("out", ScalarType::i32());
+        f.push(Stmt::if_else(
+            Expr::binary(BinaryOp::Gt, Expr::var(a), Expr::var(b)),
+            vec![Stmt::assign(out, Expr::binary(BinaryOp::Sub, Expr::var(a), Expr::var(b)))],
+            vec![Stmt::assign(out, Expr::binary(BinaryOp::Sub, Expr::var(b), Expr::var(a)))],
+        ));
+        f.ret(out);
+        let ir = lower_function(&f.finish().unwrap()).unwrap();
+        assert!(ir.iter_ops().any(|op| op.opcode == Opcode::Mux));
+        assert_eq!(ir.block_count(), 4);
+    }
+
+    #[test]
+    fn array_access_lowers_to_gep_load_store() {
+        let mut f = FunctionBuilder::new("copy");
+        let src = f.array_param("src", ArrayType::new(ScalarType::i16(), 8));
+        let dst = f.array_param("dst", ArrayType::new(ScalarType::i16(), 8));
+        let i = f.local("i", ScalarType::i32());
+        f.push(Stmt::for_loop(
+            i,
+            0,
+            8,
+            1,
+            vec![Stmt::store(dst, Expr::var(i), Expr::index(src, Expr::var(i)))],
+        ));
+        let ir = lower_function(&f.finish().unwrap()).unwrap();
+        assert!(ir.iter_ops().any(|op| op.opcode == Opcode::GetElementPtr));
+        assert!(ir.iter_ops().any(|op| op.opcode == Opcode::Load));
+        assert!(ir.iter_ops().any(|op| op.opcode == Opcode::Store));
+        // Memory ops are tagged with the array they touch.
+        assert!(ir
+            .iter_ops()
+            .filter(|op| op.opcode == Opcode::Load || op.opcode == Opcode::Store)
+            .all(|op| op.array.is_some()));
+    }
+
+    #[test]
+    fn uninitialised_local_reads_become_zero_constants() {
+        let mut f = FunctionBuilder::new("uninit");
+        let x = f.local("x", ScalarType::i32());
+        let y = f.local("y", ScalarType::i32());
+        f.assign(y, Expr::binary(BinaryOp::Add, Expr::var(x), Expr::constant(1)));
+        f.ret(y);
+        let ir = lower_function(&f.finish().unwrap()).unwrap();
+        assert!(ir.iter_ops().any(|op| op.opcode == Opcode::Const && op.const_value == Some(0)));
+    }
+
+    #[test]
+    fn collect_assigned_sees_nested_targets() {
+        let f = loopy();
+        let vars = collect_assigned(&f.body);
+        // `acc` and `i` are assigned; arrays are not.
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn lowering_is_deterministic() {
+        let a = lower_function(&loopy()).unwrap();
+        let b = lower_function(&loopy()).unwrap();
+        assert_eq!(a, b);
+    }
+}

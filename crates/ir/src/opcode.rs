@@ -1,0 +1,317 @@
+//! Opcode vocabulary of the operation-level IR.
+//!
+//! The vocabulary follows the LLVM-derived opcodes that Vitis HLS exposes in
+//! its IR dumps and that the paper lists as node features (`load`, `add`,
+//! `mux`, `xor`, `icmp`, `sdiv`, `partselect`, `br`, ...). The opcode and its
+//! coarse category are two of the seven "off-the-shelf" node features.
+
+use std::fmt;
+
+/// Coarse opcode category, the `Opcode type` feature of Table 1
+/// ("binary_unary, bitwise, memory, etc.").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpcodeCategory {
+    /// Arithmetic binary/unary operations (add, sub, mul, div, rem, neg).
+    BinaryUnary,
+    /// Bitwise logic and shifts (and, or, xor, not, shl, shr).
+    Bitwise,
+    /// Memory accesses and address computation (load, store, gep, alloca).
+    Memory,
+    /// Comparison and selection (icmp, select, mux, phi).
+    CmpSelect,
+    /// Bitwidth casts and bit-level manipulation (zext, sext, trunc, partselect, concat).
+    Cast,
+    /// Control transfer (br, ret, call).
+    Control,
+    /// Constants and I/O ports.
+    ConstPort,
+}
+
+impl OpcodeCategory {
+    /// All categories, in a stable order used for integer encoding.
+    pub const ALL: [OpcodeCategory; 7] = [
+        OpcodeCategory::BinaryUnary,
+        OpcodeCategory::Bitwise,
+        OpcodeCategory::Memory,
+        OpcodeCategory::CmpSelect,
+        OpcodeCategory::Cast,
+        OpcodeCategory::Control,
+        OpcodeCategory::ConstPort,
+    ];
+
+    /// Number of categories (the embedding vocabulary size).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable integer code of the category.
+    pub fn code(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).expect("category present in ALL")
+    }
+}
+
+impl fmt::Display for OpcodeCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            OpcodeCategory::BinaryUnary => "binary_unary",
+            OpcodeCategory::Bitwise => "bitwise",
+            OpcodeCategory::Memory => "memory",
+            OpcodeCategory::CmpSelect => "cmp_select",
+            OpcodeCategory::Cast => "cast",
+            OpcodeCategory::Control => "control",
+            OpcodeCategory::ConstPort => "const_port",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Operation opcode, modelled on the LLVM/Vitis HLS IR vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Opcode {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Signed division.
+    SDiv,
+    /// Unsigned division.
+    UDiv,
+    /// Signed remainder.
+    SRem,
+    /// Unsigned remainder.
+    URem,
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Bitwise not.
+    Not,
+    /// Shift left.
+    Shl,
+    /// Logical shift right.
+    LShr,
+    /// Arithmetic shift right.
+    AShr,
+    /// Integer comparison (eq/ne/lt/le/gt/ge collapse to one opcode as in Vitis IR).
+    ICmp,
+    /// Two-way select driven by a 1-bit condition.
+    Select,
+    /// Multiplexer merging values at a control-flow join.
+    Mux,
+    /// SSA phi node at a loop header.
+    Phi,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Address computation for an array element.
+    GetElementPtr,
+    /// Local array allocation.
+    Alloca,
+    /// Zero extension.
+    ZExt,
+    /// Sign extension.
+    SExt,
+    /// Truncation.
+    Trunc,
+    /// Bit-range selection.
+    PartSelect,
+    /// Bit concatenation.
+    BitConcat,
+    /// Conditional or unconditional branch.
+    Br,
+    /// Function return.
+    Ret,
+    /// Call to a sub-function (treated as a black box).
+    Call,
+    /// Integer constant.
+    Const,
+    /// Read of a top-level input port (function argument).
+    ReadPort,
+    /// Write of a top-level output port (return value / output argument).
+    WritePort,
+}
+
+impl Opcode {
+    /// All opcodes in a stable order used for integer encoding.
+    pub const ALL: [Opcode; 34] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::SDiv,
+        Opcode::UDiv,
+        Opcode::SRem,
+        Opcode::URem,
+        Opcode::Neg,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Not,
+        Opcode::Shl,
+        Opcode::LShr,
+        Opcode::AShr,
+        Opcode::ICmp,
+        Opcode::Select,
+        Opcode::Mux,
+        Opcode::Phi,
+        Opcode::Load,
+        Opcode::Store,
+        Opcode::GetElementPtr,
+        Opcode::Alloca,
+        Opcode::ZExt,
+        Opcode::SExt,
+        Opcode::Trunc,
+        Opcode::PartSelect,
+        Opcode::BitConcat,
+        Opcode::Br,
+        Opcode::Ret,
+        Opcode::Call,
+        Opcode::Const,
+        Opcode::ReadPort,
+        Opcode::WritePort,
+    ];
+
+    /// Number of opcodes (the embedding vocabulary size).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable integer code of the opcode.
+    pub fn code(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).expect("opcode present in ALL")
+    }
+
+    /// Coarse category of the opcode (the `Opcode type` feature).
+    pub fn category(self) -> OpcodeCategory {
+        use Opcode::*;
+        match self {
+            Add | Sub | Mul | SDiv | UDiv | SRem | URem | Neg => OpcodeCategory::BinaryUnary,
+            And | Or | Xor | Not | Shl | LShr | AShr => OpcodeCategory::Bitwise,
+            Load | Store | GetElementPtr | Alloca => OpcodeCategory::Memory,
+            ICmp | Select | Mux | Phi => OpcodeCategory::CmpSelect,
+            ZExt | SExt | Trunc | PartSelect | BitConcat => OpcodeCategory::Cast,
+            Br | Ret | Call => OpcodeCategory::Control,
+            Const | ReadPort | WritePort => OpcodeCategory::ConstPort,
+        }
+    }
+
+    /// True for operations that perform multi-bit arithmetic and are candidates
+    /// for DSP-block mapping.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self.category(), OpcodeCategory::BinaryUnary)
+    }
+
+    /// True for memory operations.
+    pub fn is_memory(self) -> bool {
+        matches!(self.category(), OpcodeCategory::Memory)
+    }
+
+    /// True for pure control operations that consume no datapath resources.
+    pub fn is_control(self) -> bool {
+        matches!(self.category(), OpcodeCategory::Control)
+    }
+
+    /// Mnemonic as printed in IR dumps.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            SDiv => "sdiv",
+            UDiv => "udiv",
+            SRem => "srem",
+            URem => "urem",
+            Neg => "neg",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Not => "not",
+            Shl => "shl",
+            LShr => "lshr",
+            AShr => "ashr",
+            ICmp => "icmp",
+            Select => "select",
+            Mux => "mux",
+            Phi => "phi",
+            Load => "load",
+            Store => "store",
+            GetElementPtr => "getelementptr",
+            Alloca => "alloca",
+            ZExt => "zext",
+            SExt => "sext",
+            Trunc => "trunc",
+            PartSelect => "partselect",
+            BitConcat => "bitconcat",
+            Br => "br",
+            Ret => "ret",
+            Call => "call",
+            Const => "const",
+            ReadPort => "read_port",
+            WritePort => "write_port",
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn opcode_codes_are_unique_and_dense() {
+        let codes: HashSet<usize> = Opcode::ALL.iter().map(|op| op.code()).collect();
+        assert_eq!(codes.len(), Opcode::COUNT);
+        assert!(codes.iter().all(|&c| c < Opcode::COUNT));
+    }
+
+    #[test]
+    fn category_codes_are_unique_and_dense() {
+        let codes: HashSet<usize> = OpcodeCategory::ALL.iter().map(|c| c.code()).collect();
+        assert_eq!(codes.len(), OpcodeCategory::COUNT);
+        assert!(codes.iter().all(|&c| c < OpcodeCategory::COUNT));
+    }
+
+    #[test]
+    fn every_opcode_has_a_category() {
+        for op in Opcode::ALL {
+            // `category` must not panic and the category must round-trip to a code.
+            let cat = op.category();
+            assert!(cat.code() < OpcodeCategory::COUNT, "{op} -> {cat}");
+        }
+    }
+
+    #[test]
+    fn category_assignment_matches_paper_examples() {
+        assert_eq!(Opcode::Add.category(), OpcodeCategory::BinaryUnary);
+        assert_eq!(Opcode::Xor.category(), OpcodeCategory::Bitwise);
+        assert_eq!(Opcode::Load.category(), OpcodeCategory::Memory);
+        assert_eq!(Opcode::ICmp.category(), OpcodeCategory::CmpSelect);
+        assert_eq!(Opcode::PartSelect.category(), OpcodeCategory::Cast);
+        assert_eq!(Opcode::Br.category(), OpcodeCategory::Control);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(Opcode::Mul.is_arithmetic());
+        assert!(!Opcode::Xor.is_arithmetic());
+        assert!(Opcode::Store.is_memory());
+        assert!(Opcode::Br.is_control());
+        assert!(!Opcode::Add.is_control());
+    }
+
+    #[test]
+    fn mnemonics_are_nonempty_and_unique() {
+        let names: HashSet<&str> = Opcode::ALL.iter().map(|op| op.mnemonic()).collect();
+        assert_eq!(names.len(), Opcode::COUNT);
+        assert!(names.iter().all(|n| !n.is_empty()));
+    }
+}

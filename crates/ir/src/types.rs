@@ -1,0 +1,287 @@
+//! Value types used by the behavioural AST and the IR.
+//!
+//! HLS designs are dominated by arbitrary-precision integers (`ap_int<N>` /
+//! `ap_uint<N>` in Vitis HLS); the bitwidth of each operation is one of the
+//! node features used by the predictors (Table 1 of the paper), so the type
+//! system tracks it explicitly.
+
+use std::fmt;
+
+/// Maximum bitwidth supported by the IR, matching the `0..=256` range listed
+/// in Table 1 of the paper.
+pub const MAX_BITWIDTH: u16 = 256;
+
+/// A validated bitwidth in `1..=256` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitWidth(u16);
+
+impl BitWidth {
+    /// Creates a new bitwidth, clamping to the supported `1..=256` range.
+    ///
+    /// Clamping (rather than erroring) mirrors how HLS front ends saturate
+    /// user-specified precisions to the widest supported type.
+    pub fn new(bits: u16) -> Self {
+        BitWidth(bits.clamp(1, MAX_BITWIDTH))
+    }
+
+    /// Returns the width in bits.
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Width of the result of adding two values of widths `a` and `b`
+    /// (one extra carry bit, saturated at [`MAX_BITWIDTH`]).
+    pub fn add_result(a: BitWidth, b: BitWidth) -> BitWidth {
+        BitWidth::new(a.0.max(b.0).saturating_add(1))
+    }
+
+    /// Width of the result of multiplying two values of widths `a` and `b`.
+    pub fn mul_result(a: BitWidth, b: BitWidth) -> BitWidth {
+        BitWidth::new(a.0.saturating_add(b.0))
+    }
+}
+
+impl fmt::Display for BitWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}b", self.0)
+    }
+}
+
+impl From<u16> for BitWidth {
+    fn from(bits: u16) -> Self {
+        BitWidth::new(bits)
+    }
+}
+
+/// Signedness of a scalar integer type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Signedness {
+    /// Two's-complement signed integer.
+    #[default]
+    Signed,
+    /// Unsigned integer.
+    Unsigned,
+}
+
+/// A scalar integer type with explicit bitwidth, modelled on `ap_(u)int<N>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScalarType {
+    /// Signedness of the value.
+    pub signedness: Signedness,
+    /// Width of the value in bits.
+    pub width: BitWidth,
+}
+
+impl ScalarType {
+    /// Creates a new scalar type.
+    pub fn new(signedness: Signedness, width: impl Into<BitWidth>) -> Self {
+        ScalarType { signedness, width: width.into() }
+    }
+
+    /// Signed integer of the given width.
+    pub fn signed(bits: u16) -> Self {
+        ScalarType::new(Signedness::Signed, bits)
+    }
+
+    /// Unsigned integer of the given width.
+    pub fn unsigned(bits: u16) -> Self {
+        ScalarType::new(Signedness::Unsigned, bits)
+    }
+
+    /// `int` — 32-bit signed.
+    pub fn i32() -> Self {
+        ScalarType::signed(32)
+    }
+
+    /// `short` — 16-bit signed.
+    pub fn i16() -> Self {
+        ScalarType::signed(16)
+    }
+
+    /// `char` — 8-bit signed.
+    pub fn i8() -> Self {
+        ScalarType::signed(8)
+    }
+
+    /// `unsigned int` — 32-bit unsigned.
+    pub fn u32() -> Self {
+        ScalarType::unsigned(32)
+    }
+
+    /// 1-bit unsigned value used for comparison results.
+    pub fn bool() -> Self {
+        ScalarType::unsigned(1)
+    }
+
+    /// Returns true if the type is signed.
+    pub fn is_signed(&self) -> bool {
+        self.signedness == Signedness::Signed
+    }
+
+    /// Returns the bitwidth of the type.
+    pub fn bits(&self) -> u16 {
+        self.width.bits()
+    }
+}
+
+impl Default for ScalarType {
+    fn default() -> Self {
+        ScalarType::i32()
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prefix = match self.signedness {
+            Signedness::Signed => "int",
+            Signedness::Unsigned => "uint",
+        };
+        write!(f, "{prefix}{}", self.width.bits())
+    }
+}
+
+/// A statically sized one-dimensional array, modelling C arrays mapped to
+/// BRAM/LUTRAM/registers by the HLS tool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayType {
+    /// Element type.
+    pub elem: ScalarType,
+    /// Number of elements.
+    pub len: usize,
+}
+
+impl ArrayType {
+    /// Creates a new array type.
+    pub fn new(elem: ScalarType, len: usize) -> Self {
+        ArrayType { elem, len: len.max(1) }
+    }
+
+    /// Total storage in bits.
+    pub fn total_bits(&self) -> u64 {
+        self.elem.bits() as u64 * self.len as u64
+    }
+}
+
+impl fmt::Display for ArrayType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.elem, self.len)
+    }
+}
+
+/// A value type: either a scalar or an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// A scalar integer.
+    Scalar(ScalarType),
+    /// A fixed-size array.
+    Array(ArrayType),
+}
+
+impl ValueType {
+    /// Returns the scalar type if this is a scalar.
+    pub fn as_scalar(&self) -> Option<ScalarType> {
+        match self {
+            ValueType::Scalar(s) => Some(*s),
+            ValueType::Array(_) => None,
+        }
+    }
+
+    /// Returns the array type if this is an array.
+    pub fn as_array(&self) -> Option<ArrayType> {
+        match self {
+            ValueType::Scalar(_) => None,
+            ValueType::Array(a) => Some(*a),
+        }
+    }
+
+    /// Element bitwidth: the scalar width, or the array element width.
+    pub fn elem_bits(&self) -> u16 {
+        match self {
+            ValueType::Scalar(s) => s.bits(),
+            ValueType::Array(a) => a.elem.bits(),
+        }
+    }
+
+    /// Returns true if this is an array type.
+    pub fn is_array(&self) -> bool {
+        matches!(self, ValueType::Array(_))
+    }
+}
+
+impl From<ScalarType> for ValueType {
+    fn from(s: ScalarType) -> Self {
+        ValueType::Scalar(s)
+    }
+}
+
+impl From<ArrayType> for ValueType {
+    fn from(a: ArrayType) -> Self {
+        ValueType::Array(a)
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Scalar(s) => s.fmt(f),
+            ValueType::Array(a) => a.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitwidth_clamps_to_supported_range() {
+        assert_eq!(BitWidth::new(0).bits(), 1);
+        assert_eq!(BitWidth::new(32).bits(), 32);
+        assert_eq!(BitWidth::new(1000).bits(), MAX_BITWIDTH);
+    }
+
+    #[test]
+    fn bitwidth_result_rules() {
+        let a = BitWidth::new(32);
+        let b = BitWidth::new(16);
+        assert_eq!(BitWidth::add_result(a, b).bits(), 33);
+        assert_eq!(BitWidth::mul_result(a, b).bits(), 48);
+        let wide = BitWidth::new(200);
+        assert_eq!(BitWidth::mul_result(wide, wide).bits(), MAX_BITWIDTH);
+    }
+
+    #[test]
+    fn scalar_type_constructors() {
+        assert_eq!(ScalarType::i32().bits(), 32);
+        assert!(ScalarType::i32().is_signed());
+        assert!(!ScalarType::u32().is_signed());
+        assert_eq!(ScalarType::bool().bits(), 1);
+        assert_eq!(ScalarType::default(), ScalarType::i32());
+    }
+
+    #[test]
+    fn array_type_total_bits() {
+        let arr = ArrayType::new(ScalarType::i16(), 64);
+        assert_eq!(arr.total_bits(), 16 * 64);
+        assert_eq!(ArrayType::new(ScalarType::i8(), 0).len, 1);
+    }
+
+    #[test]
+    fn value_type_accessors() {
+        let s: ValueType = ScalarType::i32().into();
+        let a: ValueType = ArrayType::new(ScalarType::i8(), 16).into();
+        assert!(s.as_scalar().is_some());
+        assert!(s.as_array().is_none());
+        assert!(a.is_array());
+        assert_eq!(a.elem_bits(), 8);
+        assert_eq!(s.elem_bits(), 32);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ScalarType::i32().to_string(), "int32");
+        assert_eq!(ScalarType::unsigned(5).to_string(), "uint5");
+        assert_eq!(ArrayType::new(ScalarType::i8(), 4).to_string(), "int8[4]");
+        assert_eq!(BitWidth::new(7).to_string(), "7b");
+    }
+}

@@ -1,0 +1,406 @@
+//! CHStone-like fixed-point media, crypto and processor kernels.
+//!
+//! CHStone programs are integer-heavy (soft-float arithmetic, ADPCM/GSM codecs,
+//! SHA/AES/Blowfish rounds, a MIPS interpreter loop); each analogue below keeps
+//! the characteristic operation mix — wide multiplies, shifts, table lookups,
+//! and data-dependent branching — at a reduced problem size.
+
+use hls_ir::ast::{BinaryOp, Expr, Function, FunctionBuilder, Stmt};
+use hls_ir::types::{ArrayType, ScalarType};
+
+use super::helpers::*;
+
+/// All CHStone-like kernels as `(name, function)` pairs.
+pub(crate) fn kernels() -> Vec<(&'static str, Function)> {
+    vec![
+        ("ch_adpcm_quantize", adpcm_quantize()),
+        ("ch_gsm_lar", gsm_lar()),
+        ("ch_sha_round", sha_round()),
+        ("ch_mips_alu", mips_alu()),
+        ("ch_motion_comp", motion_comp()),
+        ("ch_dfmul_mantissa", dfmul_mantissa()),
+        ("ch_dfadd_align", dfadd_align()),
+        ("ch_blowfish_round", blowfish_round()),
+        ("ch_jpeg_idct_row", jpeg_idct_row()),
+        ("ch_aes_mixcolumn", aes_mixcolumn()),
+    ]
+}
+
+fn adpcm_quantize() -> Function {
+    const SAMPLES: i64 = 16;
+    let mut f = FunctionBuilder::new("ch_adpcm_quantize");
+    let input = f.array_param("input", ArrayType::new(ScalarType::i16(), SAMPLES as usize));
+    let output = f.array_param("output", ArrayType::new(ScalarType::i8(), SAMPLES as usize));
+    let step_table = f.array_param("step_table", ArrayType::new(ScalarType::i16(), 16));
+    let i = f.local("i", ScalarType::i32());
+    let step = f.local("step", ScalarType::i32());
+    let diff = f.local("diff", ScalarType::i32());
+    let code = f.local("code", ScalarType::i32());
+    let predicted = f.local("predicted", ScalarType::i32());
+    f.assign(predicted, c(0));
+    f.assign(step, c(7));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        SAMPLES,
+        1,
+        vec![
+            Stmt::assign(diff, sub(at(input, v(i)), v(predicted))),
+            Stmt::assign(code, c(0)),
+            Stmt::if_else(
+                lt(v(diff), c(0)),
+                vec![Stmt::assign(code, c(8)), Stmt::assign(diff, sub(c(0), v(diff)))],
+                vec![],
+            ),
+            Stmt::if_else(
+                Expr::binary(BinaryOp::Ge, v(diff), v(step)),
+                vec![
+                    Stmt::assign(code, bor(v(code), c(4))),
+                    Stmt::assign(diff, sub(v(diff), v(step))),
+                ],
+                vec![],
+            ),
+            Stmt::if_else(
+                Expr::binary(BinaryOp::Ge, shl(v(diff), c(1)), v(step)),
+                vec![Stmt::assign(code, bor(v(code), c(2)))],
+                vec![],
+            ),
+            Stmt::assign(predicted, add(v(predicted), shr(mul(v(code), v(step)), c(2)))),
+            Stmt::assign(step, at(step_table, band(v(code), c(15)))),
+            Stmt::store(output, v(i), v(code)),
+        ],
+    ));
+    f.ret(predicted);
+    f.finish().expect("adpcm_quantize is valid")
+}
+
+fn gsm_lar() -> Function {
+    const COEFFS: i64 = 8;
+    let mut f = FunctionBuilder::new("ch_gsm_lar");
+    let reflection = f.array_param("reflection", ArrayType::new(ScalarType::i16(), COEFFS as usize));
+    let lar = f.array_param("lar", ArrayType::new(ScalarType::i16(), COEFFS as usize));
+    let i = f.local("i", ScalarType::i32());
+    let temp = f.local("temp", ScalarType::i32());
+    let absolute = f.local("absolute", ScalarType::i32());
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        COEFFS,
+        1,
+        vec![
+            Stmt::assign(temp, at(reflection, v(i))),
+            Stmt::assign(absolute, Expr::select(lt(v(temp), c(0)), sub(c(0), v(temp)), v(temp))),
+            Stmt::if_else(
+                lt(v(absolute), c(22118)),
+                vec![Stmt::assign(temp, shr(v(absolute), c(1)))],
+                vec![Stmt::if_else(
+                    lt(v(absolute), c(31130)),
+                    vec![Stmt::assign(temp, sub(v(absolute), c(11059)))],
+                    vec![Stmt::assign(temp, add(shr(v(absolute), c(2)), c(15565)))],
+                )],
+            ),
+            Stmt::store(lar, v(i), Expr::select(lt(at(reflection, v(i)), c(0)), sub(c(0), v(temp)), v(temp))),
+        ],
+    ));
+    f.ret(temp);
+    f.finish().expect("gsm_lar is valid")
+}
+
+fn sha_round() -> Function {
+    const WORDS: i64 = 16;
+    let mut f = FunctionBuilder::new("ch_sha_round");
+    let w = f.array_param("w", ArrayType::new(ScalarType::u32(), (WORDS * 5) as usize));
+    let digest = f.array_param("digest", ArrayType::new(ScalarType::u32(), 5));
+    let t = f.local("t", ScalarType::i32());
+    let (a, b, e) = (
+        f.local("a", ScalarType::u32()),
+        f.local("b", ScalarType::u32()),
+        f.local("e", ScalarType::u32()),
+    );
+    let temp = f.local("temp", ScalarType::u32());
+    let func = f.local("func", ScalarType::u32());
+    f.assign(a, at(digest, c(0)));
+    f.assign(b, at(digest, c(1)));
+    f.assign(e, at(digest, c(4)));
+    f.push(Stmt::for_loop(
+        t,
+        0,
+        WORDS,
+        1,
+        vec![
+            // Word expansion: w[t] = rotl1(w[t-3] ^ w[t-8] ^ w[t-14] ^ w[t-16]).
+            Stmt::assign(
+                temp,
+                xor(
+                    xor(at(w, add(v(t), c(13))), at(w, add(v(t), c(8)))),
+                    xor(at(w, add(v(t), c(2))), at(w, v(t))),
+                ),
+            ),
+            Stmt::store(w, add(v(t), c(16)), bor(shl(v(temp), c(1)), shr(v(temp), c(31)))),
+            // Round function (ch variant) and state rotation.
+            Stmt::assign(func, bor(band(v(b), v(a)), band(Expr::unary(hls_ir::ast::UnaryOp::Not, v(b)), v(e)))),
+            Stmt::assign(temp, add(add(bor(shl(v(a), c(5)), shr(v(a), c(27))), v(func)), add(v(e), at(w, add(v(t), c(16)))))),
+            Stmt::assign(e, v(b)),
+            Stmt::assign(b, bor(shl(v(a), c(30)), shr(v(a), c(2)))),
+            Stmt::assign(a, v(temp)),
+        ],
+    ));
+    f.store(digest, c(0), v(a));
+    f.ret(a);
+    f.finish().expect("sha_round is valid")
+}
+
+fn mips_alu() -> Function {
+    const INSNS: i64 = 16;
+    let mut f = FunctionBuilder::new("ch_mips_alu");
+    let imem = f.array_param("imem", ArrayType::new(ScalarType::u32(), INSNS as usize));
+    let regs = f.array_param("regs", ArrayType::new(ScalarType::i32(), 16));
+    let pc = f.local("pc", ScalarType::i32());
+    let insn = f.local("insn", ScalarType::u32());
+    let opcode = f.local("opcode", ScalarType::u32());
+    let (rs, rt) = (f.local("rs", ScalarType::i32()), f.local("rt", ScalarType::i32()));
+    let result = f.local("result", ScalarType::i32());
+    f.push(Stmt::for_loop(
+        pc,
+        0,
+        INSNS,
+        1,
+        vec![
+            Stmt::assign(insn, at(imem, v(pc))),
+            Stmt::assign(opcode, band(shr(v(insn), c(26)), c(0x3f))),
+            Stmt::assign(rs, at(regs, band(shr(v(insn), c(21)), c(15)))),
+            Stmt::assign(rt, at(regs, band(shr(v(insn), c(16)), c(15)))),
+            Stmt::if_else(
+                Expr::binary(BinaryOp::Eq, v(opcode), c(0)),
+                vec![Stmt::assign(result, add(v(rs), v(rt)))],
+                vec![Stmt::if_else(
+                    Expr::binary(BinaryOp::Eq, v(opcode), c(1)),
+                    vec![Stmt::assign(result, sub(v(rs), v(rt)))],
+                    vec![Stmt::if_else(
+                        Expr::binary(BinaryOp::Eq, v(opcode), c(2)),
+                        vec![Stmt::assign(result, band(v(rs), v(rt)))],
+                        vec![Stmt::if_else(
+                            Expr::binary(BinaryOp::Eq, v(opcode), c(3)),
+                            vec![Stmt::assign(result, bor(v(rs), v(rt)))],
+                            vec![Stmt::assign(result, Expr::select(lt(v(rs), v(rt)), c(1), c(0)))],
+                        )],
+                    )],
+                )],
+            ),
+            Stmt::store(regs, band(shr(v(insn), c(11)), c(15)), v(result)),
+        ],
+    ));
+    f.ret(result);
+    f.finish().expect("mips_alu is valid")
+}
+
+fn motion_comp() -> Function {
+    const BLOCK: i64 = 8;
+    let mut f = FunctionBuilder::new("ch_motion_comp");
+    let reference = f.array_param("reference", ArrayType::new(ScalarType::unsigned(8), (BLOCK * BLOCK) as usize));
+    let current = f.array_param("current", ArrayType::new(ScalarType::unsigned(8), (BLOCK * BLOCK) as usize));
+    let (i, j) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let diff = f.local("diff", ScalarType::i32());
+    let sad = f.local("sad", ScalarType::i32());
+    f.assign(sad, c(0));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        BLOCK,
+        1,
+        vec![Stmt::for_loop(
+            j,
+            0,
+            BLOCK,
+            1,
+            vec![
+                Stmt::assign(diff, sub(at(current, idx2(i, j, BLOCK)), at(reference, idx2(i, j, BLOCK)))),
+                Stmt::assign(sad, add(v(sad), Expr::select(lt(v(diff), c(0)), sub(c(0), v(diff)), v(diff)))),
+            ],
+        )],
+    ));
+    f.ret(sad);
+    f.finish().expect("motion_comp is valid")
+}
+
+fn dfmul_mantissa() -> Function {
+    const PAIRS: i64 = 8;
+    let mut f = FunctionBuilder::new("ch_dfmul_mantissa");
+    let a = f.array_param("a", ArrayType::new(ScalarType::unsigned(64), PAIRS as usize));
+    let b = f.array_param("b", ArrayType::new(ScalarType::unsigned(64), PAIRS as usize));
+    let out = f.array_param("out", ArrayType::new(ScalarType::unsigned(64), PAIRS as usize));
+    let i = f.local("i", ScalarType::i32());
+    let mant_a = f.local("mant_a", ScalarType::unsigned(64));
+    let mant_b = f.local("mant_b", ScalarType::unsigned(64));
+    let exp = f.local("exp", ScalarType::i32());
+    let product = f.local("product", ScalarType::unsigned(128));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        PAIRS,
+        1,
+        vec![
+            Stmt::assign(mant_a, bor(band(at(a, v(i)), c(0xfffff)), c(1 << 20))),
+            Stmt::assign(mant_b, bor(band(at(b, v(i)), c(0xfffff)), c(1 << 20))),
+            Stmt::assign(exp, sub(add(band(shr(at(a, v(i)), c(52)), c(0x7ff)), band(shr(at(b, v(i)), c(52)), c(0x7ff))), c(1023))),
+            Stmt::assign(product, mul(v(mant_a), v(mant_b))),
+            Stmt::if_else(
+                gt(shr(v(product), c(41)), c(0)),
+                vec![Stmt::assign(product, shr(v(product), c(1))), Stmt::assign(exp, add(v(exp), c(1)))],
+                vec![],
+            ),
+            Stmt::store(out, v(i), bor(shl(v(exp), c(52)), band(v(product), c(0xfffff)))),
+        ],
+    ));
+    f.ret(exp);
+    f.finish().expect("dfmul_mantissa is valid")
+}
+
+fn dfadd_align() -> Function {
+    const PAIRS: i64 = 8;
+    let mut f = FunctionBuilder::new("ch_dfadd_align");
+    let a = f.array_param("a", ArrayType::new(ScalarType::unsigned(64), PAIRS as usize));
+    let b = f.array_param("b", ArrayType::new(ScalarType::unsigned(64), PAIRS as usize));
+    let out = f.array_param("out", ArrayType::new(ScalarType::unsigned(64), PAIRS as usize));
+    let i = f.local("i", ScalarType::i32());
+    let (exp_a, exp_b) = (f.local("exp_a", ScalarType::i32()), f.local("exp_b", ScalarType::i32()));
+    let (mant_a, mant_b) = (
+        f.local("mant_a", ScalarType::unsigned(64)),
+        f.local("mant_b", ScalarType::unsigned(64)),
+    );
+    let shift = f.local("shift", ScalarType::i32());
+    let sum = f.local("sum", ScalarType::unsigned(64));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        PAIRS,
+        1,
+        vec![
+            Stmt::assign(exp_a, band(shr(at(a, v(i)), c(52)), c(0x7ff))),
+            Stmt::assign(exp_b, band(shr(at(b, v(i)), c(52)), c(0x7ff))),
+            Stmt::assign(mant_a, band(at(a, v(i)), c(0xfffff))),
+            Stmt::assign(mant_b, band(at(b, v(i)), c(0xfffff))),
+            Stmt::if_else(
+                gt(v(exp_a), v(exp_b)),
+                vec![
+                    Stmt::assign(shift, sub(v(exp_a), v(exp_b))),
+                    Stmt::assign(mant_b, shr(v(mant_b), band(v(shift), c(63)))),
+                ],
+                vec![
+                    Stmt::assign(shift, sub(v(exp_b), v(exp_a))),
+                    Stmt::assign(mant_a, shr(v(mant_a), band(v(shift), c(63)))),
+                    Stmt::assign(exp_a, v(exp_b)),
+                ],
+            ),
+            Stmt::assign(sum, add(v(mant_a), v(mant_b))),
+            Stmt::if_else(
+                gt(shr(v(sum), c(21)), c(0)),
+                vec![Stmt::assign(sum, shr(v(sum), c(1))), Stmt::assign(exp_a, add(v(exp_a), c(1)))],
+                vec![],
+            ),
+            Stmt::store(out, v(i), bor(shl(v(exp_a), c(52)), v(sum))),
+        ],
+    ));
+    f.ret(exp_a);
+    f.finish().expect("dfadd_align is valid")
+}
+
+fn blowfish_round() -> Function {
+    const ROUNDS: i64 = 16;
+    let mut f = FunctionBuilder::new("ch_blowfish_round");
+    let p = f.array_param("p", ArrayType::new(ScalarType::u32(), (ROUNDS + 2) as usize));
+    let sbox = f.array_param("sbox", ArrayType::new(ScalarType::u32(), 256));
+    let left_in = f.param("left_in", ScalarType::u32());
+    let right_in = f.param("right_in", ScalarType::u32());
+    let r = f.local("r", ScalarType::i32());
+    let (left, right) = (f.local("left", ScalarType::u32()), f.local("right", ScalarType::u32()));
+    let feistel = f.local("feistel", ScalarType::u32());
+    let swap = f.local("swap", ScalarType::u32());
+    f.assign(left, v(left_in));
+    f.assign(right, v(right_in));
+    f.push(Stmt::for_loop(
+        r,
+        0,
+        ROUNDS,
+        1,
+        vec![
+            Stmt::assign(left, xor(v(left), at(p, v(r)))),
+            Stmt::assign(
+                feistel,
+                xor(
+                    add(at(sbox, band(shr(v(left), c(24)), c(255))), at(sbox, band(shr(v(left), c(16)), c(255)))),
+                    add(at(sbox, band(shr(v(left), c(8)), c(255))), at(sbox, band(v(left), c(255)))),
+                ),
+            ),
+            Stmt::assign(right, xor(v(right), v(feistel))),
+            Stmt::assign(swap, v(left)),
+            Stmt::assign(left, v(right)),
+            Stmt::assign(right, v(swap)),
+        ],
+    ));
+    f.ret_expr(xor(v(left), v(right)));
+    f.finish().expect("blowfish_round is valid")
+}
+
+fn jpeg_idct_row() -> Function {
+    const ROWS: i64 = 8;
+    let mut f = FunctionBuilder::new("ch_jpeg_idct_row");
+    let block = f.array_param("block", ArrayType::new(ScalarType::i16(), (ROWS * 8) as usize));
+    let out = f.array_param("out", ArrayType::new(ScalarType::i16(), (ROWS * 8) as usize));
+    let row = f.local("row", ScalarType::i32());
+    let (x0, x1, x2, x3) = (
+        f.local("x0", ScalarType::i32()),
+        f.local("x1", ScalarType::i32()),
+        f.local("x2", ScalarType::i32()),
+        f.local("x3", ScalarType::i32()),
+    );
+    let (t0, t1) = (f.local("t0", ScalarType::i32()), f.local("t1", ScalarType::i32()));
+    f.push(Stmt::for_loop(
+        row,
+        0,
+        ROWS,
+        1,
+        vec![
+            Stmt::assign(x0, shl(at(block, idx2c(row, 0, 8)), c(11))),
+            Stmt::assign(x1, at(block, idx2c(row, 4, 8))),
+            Stmt::assign(x2, at(block, idx2c(row, 6, 8))),
+            Stmt::assign(x3, at(block, idx2c(row, 2, 8))),
+            Stmt::assign(t0, add(mul(c(565), add(v(x2), v(x3))), mul(c(2276), v(x3)))),
+            Stmt::assign(t1, sub(mul(c(2408), v(x1)), mul(c(799), v(x2)))),
+            Stmt::store(out, idx2c(row, 0, 8), shr(add(add(v(x0), v(t0)), v(t1)), c(8))),
+            Stmt::store(out, idx2c(row, 7, 8), shr(sub(add(v(x0), v(t0)), v(t1)), c(8))),
+        ],
+    ));
+    f.ret(t0);
+    f.finish().expect("jpeg_idct_row is valid")
+}
+
+fn aes_mixcolumn() -> Function {
+    let mut f = FunctionBuilder::new("ch_aes_mixcolumn");
+    let state = f.array_param("state", ArrayType::new(ScalarType::unsigned(8), 16));
+    let col = f.local("col", ScalarType::i32());
+    let (a0, a1) = (f.local("a0", ScalarType::unsigned(8)), f.local("a1", ScalarType::unsigned(8)));
+    let doubled = f.local("doubled", ScalarType::unsigned(8));
+    let mixed = f.local("mixed", ScalarType::unsigned(8));
+    f.push(Stmt::for_loop(
+        col,
+        0,
+        4,
+        1,
+        vec![
+            Stmt::assign(a0, at(state, mul(v(col), c(4)))),
+            Stmt::assign(a1, at(state, add(mul(v(col), c(4)), c(1)))),
+            // xtime(a0): double in GF(2^8) with conditional reduction.
+            Stmt::assign(doubled, band(shl(v(a0), c(1)), c(255))),
+            Stmt::if_else(
+                Expr::binary(BinaryOp::Ge, v(a0), c(128)),
+                vec![Stmt::assign(doubled, xor(v(doubled), c(0x1b)))],
+                vec![],
+            ),
+            Stmt::assign(mixed, xor(xor(v(doubled), v(a1)), at(state, add(mul(v(col), c(4)), c(2))))),
+            Stmt::store(state, mul(v(col), c(4)), v(mixed)),
+        ],
+    ));
+    f.ret(mixed);
+    f.finish().expect("aes_mixcolumn is valid")
+}

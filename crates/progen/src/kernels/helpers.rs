@@ -1,0 +1,96 @@
+//! Small expression combinators shared by the hand-written kernels.
+//!
+//! These keep the kernel builders readable: `idx2(i, j, N)` is the flattened
+//! row-major index `i*N + j`, `v(x)` reads a scalar, `c(k)` is a constant.
+
+use hls_ir::ast::{BinaryOp, Expr, VarId};
+
+/// Scalar variable read.
+pub(crate) fn v(x: VarId) -> Expr {
+    Expr::var(x)
+}
+
+/// 32-bit constant.
+pub(crate) fn c(value: i64) -> Expr {
+    Expr::constant(value)
+}
+
+/// `a + b`.
+pub(crate) fn add(a: Expr, b: Expr) -> Expr {
+    Expr::binary(BinaryOp::Add, a, b)
+}
+
+/// `a - b`.
+pub(crate) fn sub(a: Expr, b: Expr) -> Expr {
+    Expr::binary(BinaryOp::Sub, a, b)
+}
+
+/// `a * b`.
+pub(crate) fn mul(a: Expr, b: Expr) -> Expr {
+    Expr::binary(BinaryOp::Mul, a, b)
+}
+
+/// `a / b`.
+pub(crate) fn div(a: Expr, b: Expr) -> Expr {
+    Expr::binary(BinaryOp::Div, a, b)
+}
+
+/// `a ^ b`.
+pub(crate) fn xor(a: Expr, b: Expr) -> Expr {
+    Expr::binary(BinaryOp::Xor, a, b)
+}
+
+/// `a & b`.
+pub(crate) fn band(a: Expr, b: Expr) -> Expr {
+    Expr::binary(BinaryOp::And, a, b)
+}
+
+/// `a | b`.
+pub(crate) fn bor(a: Expr, b: Expr) -> Expr {
+    Expr::binary(BinaryOp::Or, a, b)
+}
+
+/// `a << b`.
+pub(crate) fn shl(a: Expr, b: Expr) -> Expr {
+    Expr::binary(BinaryOp::Shl, a, b)
+}
+
+/// `a >> b`.
+pub(crate) fn shr(a: Expr, b: Expr) -> Expr {
+    Expr::binary(BinaryOp::Shr, a, b)
+}
+
+/// `a > b` (1-bit result).
+pub(crate) fn gt(a: Expr, b: Expr) -> Expr {
+    Expr::binary(BinaryOp::Gt, a, b)
+}
+
+/// `a < b` (1-bit result).
+pub(crate) fn lt(a: Expr, b: Expr) -> Expr {
+    Expr::binary(BinaryOp::Lt, a, b)
+}
+
+/// Row-major index `i*n + j` with two induction variables.
+pub(crate) fn idx2(i: VarId, j: VarId, n: i64) -> Expr {
+    add(mul(v(i), c(n)), v(j))
+}
+
+/// Row-major index `i*n + j` where `j` is a constant offset.
+pub(crate) fn idx2c(i: VarId, j: i64, n: i64) -> Expr {
+    add(mul(v(i), c(n)), c(j))
+}
+
+/// Row-major 3-D index `i*n*m + j*m + k`.
+pub(crate) fn idx3(i: VarId, j: VarId, k: VarId, n: i64, m: i64) -> Expr {
+    add(add(mul(v(i), c(n * m)), mul(v(j), c(m))), v(k))
+}
+
+/// `max(a, b)` built from a compare + select, as HLS front ends emit it.
+pub(crate) fn maxe(a: Expr, b: Expr) -> Expr {
+    Expr::select(gt(a.clone(), b.clone()), a, b)
+}
+
+/// Element read `arr[index]`.
+pub(crate) fn at(arr: VarId, index: Expr) -> Expr {
+    Expr::index(arr, index)
+}

@@ -1,0 +1,703 @@
+//! MachSuite-like accelerator kernels.
+//!
+//! Each kernel mirrors the loop nest, arithmetic mix and memory-access pattern
+//! of the corresponding MachSuite benchmark at a reduced problem size (the
+//! predictors only ever see the IR graph, whose structure is preserved).
+
+use hls_ir::ast::{Expr, Function, FunctionBuilder, Stmt};
+use hls_ir::types::{ArrayType, ScalarType};
+
+use super::helpers::*;
+
+const N: i64 = 8;
+
+/// All MachSuite-like kernels as `(name, function)` pairs.
+pub(crate) fn kernels() -> Vec<(&'static str, Function)> {
+    vec![
+        ("ms_gemm_ncubed", gemm_ncubed()),
+        ("ms_gemm_blocked", gemm_blocked()),
+        ("ms_spmv_crs", spmv_crs()),
+        ("ms_spmv_ellpack", spmv_ellpack()),
+        ("ms_stencil2d", stencil2d()),
+        ("ms_stencil3d", stencil3d()),
+        ("ms_md_knn", md_knn()),
+        ("ms_nw", nw()),
+        ("ms_kmp", kmp()),
+        ("ms_sort_merge", sort_merge()),
+        ("ms_sort_radix", sort_radix()),
+        ("ms_viterbi", viterbi()),
+        ("ms_fft_strided", fft_strided()),
+        ("ms_bfs_bulk", bfs_bulk()),
+        ("ms_aes_addround", aes_addround()),
+        ("ms_backprop_layer", backprop_layer()),
+    ]
+}
+
+fn gemm_ncubed() -> Function {
+    let mut f = FunctionBuilder::new("ms_gemm_ncubed");
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), (N * N) as usize));
+    let b = f.array_param("b", ArrayType::new(ScalarType::i32(), (N * N) as usize));
+    let out = f.array_param("out", ArrayType::new(ScalarType::i32(), (N * N) as usize));
+    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let sum = f.local("sum", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![Stmt::for_loop(
+            j,
+            0,
+            N,
+            1,
+            vec![
+                Stmt::assign(sum, c(0)),
+                Stmt::for_loop(
+                    k,
+                    0,
+                    N,
+                    1,
+                    vec![Stmt::assign(sum, add(v(sum), mul(at(a, idx2(i, k, N)), at(b, idx2(k, j, N)))))],
+                ),
+                Stmt::store(out, idx2(i, j, N), v(sum)),
+            ],
+        )],
+    ));
+    f.ret(sum);
+    f.finish().expect("gemm_ncubed is valid")
+}
+
+fn gemm_blocked() -> Function {
+    const B: i64 = 4;
+    let mut f = FunctionBuilder::new("ms_gemm_blocked");
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), (N * N) as usize));
+    let b = f.array_param("b", ArrayType::new(ScalarType::i32(), (N * N) as usize));
+    let out = f.array_param("out", ArrayType::new(ScalarType::i32(), (N * N) as usize));
+    let (jj, kk) = (f.local("jj", ScalarType::i32()), f.local("kk", ScalarType::i32()));
+    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    let inner = vec![Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![Stmt::for_loop(
+            k,
+            0,
+            B,
+            1,
+            vec![Stmt::for_loop(
+                j,
+                0,
+                B,
+                1,
+                vec![
+                    Stmt::assign(
+                        acc,
+                        mul(
+                            at(a, add(mul(v(i), c(N)), add(v(kk), v(k)))),
+                            at(b, add(mul(add(v(kk), v(k)), c(N)), add(v(jj), v(j)))),
+                        ),
+                    ),
+                    Stmt::store(
+                        out,
+                        add(mul(v(i), c(N)), add(v(jj), v(j))),
+                        add(at(out, add(mul(v(i), c(N)), add(v(jj), v(j)))), v(acc)),
+                    ),
+                ],
+            )],
+        )],
+    )];
+    f.push(Stmt::for_loop(
+        jj,
+        0,
+        N,
+        B,
+        vec![Stmt::for_loop(kk, 0, N, B, inner)],
+    ));
+    f.ret(acc);
+    f.finish().expect("gemm_blocked is valid")
+}
+
+fn spmv_crs() -> Function {
+    const NNZ: i64 = 4;
+    let mut f = FunctionBuilder::new("ms_spmv_crs");
+    let values = f.array_param("values", ArrayType::new(ScalarType::i32(), (N * NNZ) as usize));
+    let cols = f.array_param("cols", ArrayType::new(ScalarType::unsigned(8), (N * NNZ) as usize));
+    let vec_in = f.array_param("vec", ArrayType::new(ScalarType::i32(), N as usize));
+    let out = f.array_param("out", ArrayType::new(ScalarType::i32(), N as usize));
+    let (i, j) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let sum = f.local("sum", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![
+            Stmt::assign(sum, c(0)),
+            Stmt::for_loop(
+                j,
+                0,
+                NNZ,
+                1,
+                vec![Stmt::assign(
+                    sum,
+                    add(v(sum), mul(at(values, idx2(i, j, NNZ)), at(vec_in, at(cols, idx2(i, j, NNZ))))),
+                )],
+            ),
+            Stmt::store(out, v(i), v(sum)),
+        ],
+    ));
+    f.ret(sum);
+    f.finish().expect("spmv_crs is valid")
+}
+
+fn spmv_ellpack() -> Function {
+    const L: i64 = 4;
+    let mut f = FunctionBuilder::new("ms_spmv_ellpack");
+    let nzval = f.array_param("nzval", ArrayType::new(ScalarType::i32(), (N * L) as usize));
+    let cols = f.array_param("cols", ArrayType::new(ScalarType::unsigned(8), (N * L) as usize));
+    let vec_in = f.array_param("vec", ArrayType::new(ScalarType::i32(), N as usize));
+    let out = f.array_param("out", ArrayType::new(ScalarType::i32(), N as usize));
+    let (i, j) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let si = f.local("si", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![
+            Stmt::assign(si, c(0)),
+            Stmt::for_loop(
+                j,
+                0,
+                L,
+                1,
+                vec![Stmt::assign(
+                    si,
+                    add(v(si), mul(at(nzval, add(mul(v(j), c(N)), v(i))), at(vec_in, at(cols, add(mul(v(j), c(N)), v(i)))))),
+                )],
+            ),
+            Stmt::store(out, v(i), v(si)),
+        ],
+    ));
+    f.ret(si);
+    f.finish().expect("spmv_ellpack is valid")
+}
+
+fn stencil2d() -> Function {
+    let mut f = FunctionBuilder::new("ms_stencil2d");
+    let orig = f.array_param("orig", ArrayType::new(ScalarType::i32(), (N * N) as usize));
+    let filt = f.array_param("filter", ArrayType::new(ScalarType::i32(), 9));
+    let sol = f.array_param("sol", ArrayType::new(ScalarType::i32(), (N * N) as usize));
+    let (r, col) = (f.local("r", ScalarType::i32()), f.local("c", ScalarType::i32()));
+    let (k1, k2) = (f.local("k1", ScalarType::i32()), f.local("k2", ScalarType::i32()));
+    let temp = f.local("temp", ScalarType::signed(64));
+    let mul_t = f.local("mul_t", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        r,
+        0,
+        N - 2,
+        1,
+        vec![Stmt::for_loop(
+            col,
+            0,
+            N - 2,
+            1,
+            vec![
+                Stmt::assign(temp, c(0)),
+                Stmt::for_loop(
+                    k1,
+                    0,
+                    3,
+                    1,
+                    vec![Stmt::for_loop(
+                        k2,
+                        0,
+                        3,
+                        1,
+                        vec![
+                            Stmt::assign(
+                                mul_t,
+                                mul(at(filt, idx2(k1, k2, 3)), at(orig, add(mul(add(v(r), v(k1)), c(N)), add(v(col), v(k2))))),
+                            ),
+                            Stmt::assign(temp, add(v(temp), v(mul_t))),
+                        ],
+                    )],
+                ),
+                Stmt::store(sol, idx2(r, col, N), v(temp)),
+            ],
+        )],
+    ));
+    f.ret(temp);
+    f.finish().expect("stencil2d is valid")
+}
+
+fn stencil3d() -> Function {
+    const D: i64 = 4;
+    let mut f = FunctionBuilder::new("ms_stencil3d");
+    let orig = f.array_param("orig", ArrayType::new(ScalarType::i32(), (D * D * D) as usize));
+    let sol = f.array_param("sol", ArrayType::new(ScalarType::i32(), (D * D * D) as usize));
+    let c0 = f.param("c0", ScalarType::i32());
+    let c1 = f.param("c1", ScalarType::i32());
+    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let sum0 = f.local("sum0", ScalarType::signed(64));
+    let sum1 = f.local("sum1", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        i,
+        1,
+        D - 1,
+        1,
+        vec![Stmt::for_loop(
+            j,
+            1,
+            D - 1,
+            1,
+            vec![Stmt::for_loop(
+                k,
+                1,
+                D - 1,
+                1,
+                vec![
+                    Stmt::assign(sum0, at(orig, idx3(i, j, k, D, D))),
+                    Stmt::assign(
+                        sum1,
+                        add(
+                            add(
+                                at(orig, add(idx3(i, j, k, D, D), c(1))),
+                                at(orig, sub(idx3(i, j, k, D, D), c(1))),
+                            ),
+                            add(
+                                at(orig, add(idx3(i, j, k, D, D), c(D))),
+                                at(orig, sub(idx3(i, j, k, D, D), c(D))),
+                            ),
+                        ),
+                    ),
+                    Stmt::store(sol, idx3(i, j, k, D, D), add(mul(v(c0), v(sum0)), mul(v(c1), v(sum1)))),
+                ],
+            )],
+        )],
+    ));
+    f.ret(sum1);
+    f.finish().expect("stencil3d is valid")
+}
+
+fn md_knn() -> Function {
+    const NEIGHBOURS: i64 = 4;
+    let mut f = FunctionBuilder::new("ms_md_knn");
+    let pos_x = f.array_param("pos_x", ArrayType::new(ScalarType::i32(), N as usize));
+    let pos_y = f.array_param("pos_y", ArrayType::new(ScalarType::i32(), N as usize));
+    let pos_z = f.array_param("pos_z", ArrayType::new(ScalarType::i32(), N as usize));
+    let nl = f.array_param("nl", ArrayType::new(ScalarType::unsigned(8), (N * NEIGHBOURS) as usize));
+    let force_x = f.array_param("force_x", ArrayType::new(ScalarType::i32(), N as usize));
+    let (i, j) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let (dx, dy, dz) = (
+        f.local("dx", ScalarType::signed(32)),
+        f.local("dy", ScalarType::signed(32)),
+        f.local("dz", ScalarType::signed(32)),
+    );
+    let r2 = f.local("r2", ScalarType::signed(64));
+    let r2inv = f.local("r2inv", ScalarType::signed(64));
+    let potential = f.local("potential", ScalarType::signed(64));
+    let fx = f.local("fx", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![
+            Stmt::assign(fx, c(0)),
+            Stmt::for_loop(
+                j,
+                0,
+                NEIGHBOURS,
+                1,
+                vec![
+                    Stmt::assign(dx, sub(at(pos_x, v(i)), at(pos_x, at(nl, idx2(i, j, NEIGHBOURS))))),
+                    Stmt::assign(dy, sub(at(pos_y, v(i)), at(pos_y, at(nl, idx2(i, j, NEIGHBOURS))))),
+                    Stmt::assign(dz, sub(at(pos_z, v(i)), at(pos_z, at(nl, idx2(i, j, NEIGHBOURS))))),
+                    Stmt::assign(r2, add(add(mul(v(dx), v(dx)), mul(v(dy), v(dy))), mul(v(dz), v(dz)))),
+                    Stmt::assign(r2inv, div(c(1 << 20), add(v(r2), c(1)))),
+                    Stmt::assign(potential, mul(v(r2inv), mul(v(r2inv), v(r2inv)))),
+                    Stmt::assign(fx, add(v(fx), mul(v(potential), v(dx)))),
+                ],
+            ),
+            Stmt::store(force_x, v(i), v(fx)),
+        ],
+    ));
+    f.ret(fx);
+    f.finish().expect("md_knn is valid")
+}
+
+fn nw() -> Function {
+    const L: i64 = 8;
+    let mut f = FunctionBuilder::new("ms_nw");
+    let seq_a = f.array_param("seq_a", ArrayType::new(ScalarType::i8(), L as usize));
+    let seq_b = f.array_param("seq_b", ArrayType::new(ScalarType::i8(), L as usize));
+    let m = f.array_param("m", ArrayType::new(ScalarType::i32(), ((L + 1) * (L + 1)) as usize));
+    let (i, j) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let score = f.local("score", ScalarType::i32());
+    let up_left = f.local("up_left", ScalarType::i32());
+    let up = f.local("up", ScalarType::i32());
+    let left = f.local("left", ScalarType::i32());
+    let best = f.local("best", ScalarType::i32());
+    f.push(Stmt::for_loop(
+        i,
+        1,
+        L + 1,
+        1,
+        vec![Stmt::for_loop(
+            j,
+            1,
+            L + 1,
+            1,
+            vec![
+                Stmt::assign(
+                    score,
+                    Expr::select(
+                        Expr::binary(hls_ir::ast::BinaryOp::Eq, at(seq_a, sub(v(i), c(1))), at(seq_b, sub(v(j), c(1)))),
+                        c(1),
+                        c(-1),
+                    ),
+                ),
+                Stmt::assign(up_left, add(at(m, add(mul(sub(v(i), c(1)), c(L + 1)), sub(v(j), c(1)))), v(score))),
+                Stmt::assign(up, sub(at(m, add(mul(sub(v(i), c(1)), c(L + 1)), v(j))), c(1))),
+                Stmt::assign(left, sub(at(m, add(mul(v(i), c(L + 1)), sub(v(j), c(1)))), c(1))),
+                Stmt::assign(best, maxe(maxe(v(up_left), v(up)), v(left))),
+                Stmt::store(m, idx2(i, j, L + 1), v(best)),
+            ],
+        )],
+    ));
+    f.ret(best);
+    f.finish().expect("nw is valid")
+}
+
+fn kmp() -> Function {
+    const PATTERN: i64 = 4;
+    const STRING: i64 = 32;
+    let mut f = FunctionBuilder::new("ms_kmp");
+    let pattern = f.array_param("pattern", ArrayType::new(ScalarType::i8(), PATTERN as usize));
+    let input = f.array_param("input", ArrayType::new(ScalarType::i8(), STRING as usize));
+    let kmp_next = f.array_param("kmp_next", ArrayType::new(ScalarType::i32(), PATTERN as usize));
+    let i = f.local("i", ScalarType::i32());
+    let q = f.local("q", ScalarType::i32());
+    let matches = f.local("matches", ScalarType::i32());
+    f.assign(q, c(0));
+    f.assign(matches, c(0));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        STRING,
+        1,
+        vec![
+            Stmt::if_else(
+                Expr::binary(hls_ir::ast::BinaryOp::Ne, at(pattern, v(q)), at(input, v(i))),
+                vec![Stmt::assign(q, at(kmp_next, v(q)))],
+                vec![],
+            ),
+            Stmt::if_else(
+                Expr::binary(hls_ir::ast::BinaryOp::Eq, at(pattern, v(q)), at(input, v(i))),
+                vec![Stmt::assign(q, add(v(q), c(1)))],
+                vec![],
+            ),
+            Stmt::if_else(
+                Expr::binary(hls_ir::ast::BinaryOp::Ge, v(q), c(PATTERN)),
+                vec![Stmt::assign(matches, add(v(matches), c(1))), Stmt::assign(q, at(kmp_next, sub(v(q), c(1))))],
+                vec![],
+            ),
+        ],
+    ));
+    f.ret(matches);
+    f.finish().expect("kmp is valid")
+}
+
+fn sort_merge() -> Function {
+    const LEN: i64 = 16;
+    let mut f = FunctionBuilder::new("ms_sort_merge");
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), LEN as usize));
+    let temp = f.array_param("temp", ArrayType::new(ScalarType::i32(), LEN as usize));
+    let (start, i) = (f.local("start", ScalarType::i32()), f.local("i", ScalarType::i32()));
+    let (x, y) = (f.local("x", ScalarType::i32()), f.local("y", ScalarType::i32()));
+    let picked = f.local("picked", ScalarType::i32());
+    f.push(Stmt::for_loop(
+        start,
+        0,
+        LEN,
+        8,
+        vec![
+            Stmt::assign(x, v(start)),
+            Stmt::assign(y, add(v(start), c(4))),
+            Stmt::for_loop(
+                i,
+                0,
+                8,
+                1,
+                vec![
+                    Stmt::if_else(
+                        lt(at(a, v(x)), at(a, v(y))),
+                        vec![Stmt::assign(picked, at(a, v(x))), Stmt::assign(x, add(v(x), c(1)))],
+                        vec![Stmt::assign(picked, at(a, v(y))), Stmt::assign(y, add(v(y), c(1)))],
+                    ),
+                    Stmt::store(temp, add(v(start), v(i)), v(picked)),
+                ],
+            ),
+        ],
+    ));
+    f.ret(picked);
+    f.finish().expect("sort_merge is valid")
+}
+
+fn sort_radix() -> Function {
+    const LEN: i64 = 16;
+    let mut f = FunctionBuilder::new("ms_sort_radix");
+    let a = f.array_param("a", ArrayType::new(ScalarType::u32(), LEN as usize));
+    let bucket = f.array_param("bucket", ArrayType::new(ScalarType::u32(), 4));
+    let out = f.array_param("out", ArrayType::new(ScalarType::u32(), LEN as usize));
+    let (pass, i) = (f.local("pass", ScalarType::i32()), f.local("i", ScalarType::i32()));
+    let digit = f.local("digit", ScalarType::u32());
+    let offset = f.local("offset", ScalarType::u32());
+    f.push(Stmt::for_loop(
+        pass,
+        0,
+        4,
+        1,
+        vec![
+            Stmt::for_loop(
+                i,
+                0,
+                4,
+                1,
+                vec![Stmt::store(bucket, v(i), c(0))],
+            ),
+            Stmt::for_loop(
+                i,
+                0,
+                LEN,
+                1,
+                vec![
+                    Stmt::assign(digit, band(shr(at(a, v(i)), mul(v(pass), c(2))), c(3))),
+                    Stmt::store(bucket, v(digit), add(at(bucket, v(digit)), c(1))),
+                ],
+            ),
+            Stmt::for_loop(
+                i,
+                0,
+                LEN,
+                1,
+                vec![
+                    Stmt::assign(digit, band(shr(at(a, v(i)), mul(v(pass), c(2))), c(3))),
+                    Stmt::assign(offset, at(bucket, v(digit))),
+                    Stmt::store(out, band(v(offset), c(LEN - 1)), at(a, v(i))),
+                    Stmt::store(bucket, v(digit), add(v(offset), c(1))),
+                ],
+            ),
+        ],
+    ));
+    f.ret(offset);
+    f.finish().expect("sort_radix is valid")
+}
+
+fn viterbi() -> Function {
+    const STATES: i64 = 4;
+    const STEPS: i64 = 8;
+    let mut f = FunctionBuilder::new("ms_viterbi");
+    let obs = f.array_param("obs", ArrayType::new(ScalarType::unsigned(8), STEPS as usize));
+    let transition = f.array_param("transition", ArrayType::new(ScalarType::i32(), (STATES * STATES) as usize));
+    let emission = f.array_param("emission", ArrayType::new(ScalarType::i32(), (STATES * STATES) as usize));
+    let llike = f.array_param("llike", ArrayType::new(ScalarType::i32(), (STEPS * STATES) as usize));
+    let (t, curr, prev) = (
+        f.local("t", ScalarType::i32()),
+        f.local("curr", ScalarType::i32()),
+        f.local("prev", ScalarType::i32()),
+    );
+    let min_p = f.local("min_p", ScalarType::i32());
+    let p = f.local("p", ScalarType::i32());
+    f.push(Stmt::for_loop(
+        t,
+        1,
+        STEPS,
+        1,
+        vec![Stmt::for_loop(
+            curr,
+            0,
+            STATES,
+            1,
+            vec![
+                Stmt::assign(min_p, c(1 << 20)),
+                Stmt::for_loop(
+                    prev,
+                    0,
+                    STATES,
+                    1,
+                    vec![
+                        Stmt::assign(
+                            p,
+                            add(
+                                add(at(llike, add(mul(sub(v(t), c(1)), c(STATES)), v(prev))), at(transition, idx2(prev, curr, STATES))),
+                                at(emission, add(mul(v(curr), c(STATES)), at(obs, v(t)))),
+                            ),
+                        ),
+                        Stmt::if_else(lt(v(p), v(min_p)), vec![Stmt::assign(min_p, v(p))], vec![]),
+                    ],
+                ),
+                Stmt::store(llike, idx2(t, curr, STATES), v(min_p)),
+            ],
+        )],
+    ));
+    f.ret(min_p);
+    f.finish().expect("viterbi is valid")
+}
+
+fn fft_strided() -> Function {
+    const LEN: i64 = 16;
+    let mut f = FunctionBuilder::new("ms_fft_strided");
+    let real = f.array_param("real", ArrayType::new(ScalarType::i32(), LEN as usize));
+    let img = f.array_param("img", ArrayType::new(ScalarType::i32(), LEN as usize));
+    let real_twid = f.array_param("real_twid", ArrayType::new(ScalarType::i32(), (LEN / 2) as usize));
+    let img_twid = f.array_param("img_twid", ArrayType::new(ScalarType::i32(), (LEN / 2) as usize));
+    let (span, odd) = (f.local("span", ScalarType::i32()), f.local("odd", ScalarType::i32()));
+    let even = f.local("even", ScalarType::i32());
+    let temp = f.local("temp", ScalarType::signed(64));
+    let rotated = f.local("rotated", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        span,
+        1,
+        5,
+        1,
+        vec![Stmt::for_loop(
+            odd,
+            0,
+            LEN / 2,
+            1,
+            vec![
+                Stmt::assign(even, band(v(odd), c(LEN / 2 - 1))),
+                Stmt::assign(temp, add(at(real, v(even)), at(real, band(add(v(odd), c(1)), c(LEN - 1))))),
+                Stmt::store(real, v(even), v(temp)),
+                Stmt::assign(
+                    rotated,
+                    sub(
+                        mul(v(temp), at(real_twid, band(v(odd), c(LEN / 2 - 1)))),
+                        mul(at(img, v(even)), at(img_twid, band(v(odd), c(LEN / 2 - 1)))),
+                    ),
+                ),
+                Stmt::store(img, v(even), shr(v(rotated), c(8))),
+            ],
+        )],
+    ));
+    f.ret(even);
+    f.finish().expect("fft_strided is valid")
+}
+
+fn bfs_bulk() -> Function {
+    const NODES: i64 = 16;
+    const EDGES: i64 = 4;
+    let mut f = FunctionBuilder::new("ms_bfs_bulk");
+    let level = f.array_param("level", ArrayType::new(ScalarType::i8(), NODES as usize));
+    let edges = f.array_param("edges", ArrayType::new(ScalarType::unsigned(8), (NODES * EDGES) as usize));
+    let (horizon, node, e) = (
+        f.local("horizon", ScalarType::i32()),
+        f.local("node", ScalarType::i32()),
+        f.local("e", ScalarType::i32()),
+    );
+    let counter = f.local("counter", ScalarType::i32());
+    let neighbour = f.local("neighbour", ScalarType::i32());
+    f.assign(counter, c(0));
+    f.push(Stmt::for_loop(
+        horizon,
+        0,
+        4,
+        1,
+        vec![Stmt::for_loop(
+            node,
+            0,
+            NODES,
+            1,
+            vec![Stmt::if_else(
+                Expr::binary(hls_ir::ast::BinaryOp::Eq, at(level, v(node)), v(horizon)),
+                vec![Stmt::for_loop(
+                    e,
+                    0,
+                    EDGES,
+                    1,
+                    vec![
+                        Stmt::assign(neighbour, at(edges, idx2(node, e, EDGES))),
+                        Stmt::if_else(
+                            gt(at(level, v(neighbour)), add(v(horizon), c(1))),
+                            vec![
+                                Stmt::store(level, v(neighbour), add(v(horizon), c(1))),
+                                Stmt::assign(counter, add(v(counter), c(1))),
+                            ],
+                            vec![],
+                        ),
+                    ],
+                )],
+                vec![],
+            )],
+        )],
+    ));
+    f.ret(counter);
+    f.finish().expect("bfs_bulk is valid")
+}
+
+fn aes_addround() -> Function {
+    const ROUNDS: i64 = 10;
+    let mut f = FunctionBuilder::new("ms_aes_addround");
+    let state = f.array_param("state", ArrayType::new(ScalarType::unsigned(8), 16));
+    let key = f.array_param("key", ArrayType::new(ScalarType::unsigned(8), (16 * ROUNDS) as usize));
+    let sbox = f.array_param("sbox", ArrayType::new(ScalarType::unsigned(8), 256));
+    let (round, i) = (f.local("round", ScalarType::i32()), f.local("i", ScalarType::i32()));
+    let byte = f.local("byte", ScalarType::unsigned(8));
+    f.push(Stmt::for_loop(
+        round,
+        0,
+        ROUNDS,
+        1,
+        vec![Stmt::for_loop(
+            i,
+            0,
+            16,
+            1,
+            vec![
+                Stmt::assign(byte, xor(at(state, v(i)), at(key, idx2(round, i, 16)))),
+                Stmt::assign(byte, at(sbox, v(byte))),
+                Stmt::store(state, v(i), xor(v(byte), shl(band(v(byte), c(0x7f)), c(1)))),
+            ],
+        )],
+    ));
+    f.ret(byte);
+    f.finish().expect("aes_addround is valid")
+}
+
+fn backprop_layer() -> Function {
+    const IN: i64 = 8;
+    const OUT: i64 = 4;
+    let mut f = FunctionBuilder::new("ms_backprop_layer");
+    let weights = f.array_param("weights", ArrayType::new(ScalarType::i32(), (IN * OUT) as usize));
+    let activations = f.array_param("activations", ArrayType::new(ScalarType::i32(), IN as usize));
+    let deltas = f.array_param("deltas", ArrayType::new(ScalarType::i32(), OUT as usize));
+    let out = f.array_param("out", ArrayType::new(ScalarType::i32(), OUT as usize));
+    let (i, j) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let sum = f.local("sum", ScalarType::signed(64));
+    let activated = f.local("activated", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        j,
+        0,
+        OUT,
+        1,
+        vec![
+            Stmt::assign(sum, c(0)),
+            Stmt::for_loop(
+                i,
+                0,
+                IN,
+                1,
+                vec![Stmt::assign(sum, add(v(sum), mul(at(weights, idx2(i, j, OUT)), at(activations, v(i)))))],
+            ),
+            // Piece-wise linear "sigmoid": clamp into a range then scale.
+            Stmt::assign(activated, Expr::select(gt(v(sum), c(1 << 16)), c(1 << 16), maxe(v(sum), c(0)))),
+            Stmt::store(out, v(j), shr(mul(v(activated), at(deltas, v(j))), c(8))),
+        ],
+    ));
+    f.ret(activated);
+    f.finish().expect("backprop_layer is valid")
+}

@@ -1,0 +1,140 @@
+//! Real-world HLS kernel suite used for generalisation evaluation.
+//!
+//! The paper evaluates generalisation on MachSuite (16 applications), CHStone
+//! (10) and PolyBench/C (30). The original C sources are not redistributable
+//! here, so this module provides hand-written kernels over the `hls-ir` AST
+//! that mirror the loop structure, arithmetic mix and array-access patterns of
+//! those suites (matrix kernels, stencils, dynamic programming, fixed-point
+//! signal processing, bit-twiddling crypto rounds, ...). All kernels contain
+//! control flow and therefore lower to CDFGs, exactly like the real suites.
+
+mod chstone;
+pub(crate) mod helpers;
+mod machsuite;
+mod polybench;
+
+use hls_ir::ast::Function;
+use std::fmt;
+
+/// Which benchmark suite a kernel mirrors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// MachSuite: accelerator-centric kernels.
+    MachSuite,
+    /// CHStone: fixed-point / integer media and crypto programs.
+    ChStone,
+    /// PolyBench/C: affine loop nests over dense arrays.
+    PolyBench,
+}
+
+impl Suite {
+    /// All suites in a stable order.
+    pub const ALL: [Suite; 3] = [Suite::MachSuite, Suite::ChStone, Suite::PolyBench];
+
+    /// Human-readable suite name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::MachSuite => "machsuite",
+            Suite::ChStone => "chstone",
+            Suite::PolyBench => "polybench",
+        }
+    }
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A named real-world kernel.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel name (unique across the whole suite).
+    pub name: String,
+    /// Suite this kernel mirrors.
+    pub suite: Suite,
+    /// The behavioural function.
+    pub function: Function,
+}
+
+impl Kernel {
+    fn new(name: &str, suite: Suite, function: Function) -> Self {
+        Kernel { name: name.to_owned(), suite, function }
+    }
+}
+
+/// Returns the full kernel suite (MachSuite + CHStone + PolyBench analogues).
+pub fn all_kernels() -> Vec<Kernel> {
+    let mut kernels = Vec::new();
+    for (name, function) in machsuite::kernels() {
+        kernels.push(Kernel::new(name, Suite::MachSuite, function));
+    }
+    for (name, function) in chstone::kernels() {
+        kernels.push(Kernel::new(name, Suite::ChStone, function));
+    }
+    for (name, function) in polybench::kernels() {
+        kernels.push(Kernel::new(name, Suite::PolyBench, function));
+    }
+    kernels
+}
+
+/// Returns the kernels of a single suite.
+pub fn kernels_of(suite: Suite) -> Vec<Kernel> {
+    all_kernels().into_iter().filter(|k| k.suite == suite).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::graph::{extract_graph, GraphKind};
+    use std::collections::HashSet;
+
+    #[test]
+    fn suite_has_expected_composition() {
+        let kernels = all_kernels();
+        let machsuite = kernels.iter().filter(|k| k.suite == Suite::MachSuite).count();
+        let chstone = kernels.iter().filter(|k| k.suite == Suite::ChStone).count();
+        let polybench = kernels.iter().filter(|k| k.suite == Suite::PolyBench).count();
+        assert!(machsuite >= 12, "expected >=12 MachSuite kernels, got {machsuite}");
+        assert!(chstone >= 8, "expected >=8 CHStone kernels, got {chstone}");
+        assert!(polybench >= 16, "expected >=16 PolyBench kernels, got {polybench}");
+    }
+
+    #[test]
+    fn kernel_names_are_unique() {
+        let kernels = all_kernels();
+        let names: HashSet<&str> = kernels.iter().map(|k| k.name.as_str()).collect();
+        assert_eq!(names.len(), kernels.len());
+    }
+
+    #[test]
+    fn every_kernel_lowers_to_a_cdfg() {
+        for kernel in all_kernels() {
+            let graph = extract_graph(&kernel.function, GraphKind::Cdfg)
+                .unwrap_or_else(|e| panic!("kernel {} failed to lower: {e}", kernel.name));
+            assert!(graph.node_count() > 10, "kernel {} is suspiciously small", kernel.name);
+            assert!(
+                graph.is_dag_ignoring_back_edges(),
+                "kernel {} has residual cycles beyond marked back edges",
+                kernel.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_kernel_has_loops() {
+        for kernel in all_kernels() {
+            assert!(kernel.function.has_control_flow(), "kernel {} has no control flow", kernel.name);
+        }
+    }
+
+    #[test]
+    fn kernels_of_filters_by_suite() {
+        for suite in Suite::ALL {
+            let subset = kernels_of(suite);
+            assert!(!subset.is_empty());
+            assert!(subset.iter().all(|k| k.suite == suite));
+        }
+    }
+}

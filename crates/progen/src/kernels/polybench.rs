@@ -1,0 +1,1379 @@
+//! PolyBench/C-like affine loop-nest kernels.
+//!
+//! PolyBench is dominated by dense linear-algebra loop nests (matrix products,
+//! solvers, stencils). The analogues below use integer arithmetic (the paper's
+//! benchmark is synthesised for integer datapaths) and reduced problem sizes,
+//! preserving the loop structure and array-access patterns.
+
+use hls_ir::ast::{Expr, Function, FunctionBuilder, Stmt};
+use hls_ir::types::{ArrayType, ScalarType};
+
+use super::helpers::*;
+
+const N: i64 = 8;
+const NN: usize = (N * N) as usize;
+
+/// All PolyBench-like kernels as `(name, function)` pairs.
+pub(crate) fn kernels() -> Vec<(&'static str, Function)> {
+    vec![
+        ("pb_2mm", two_mm()),
+        ("pb_3mm", three_mm()),
+        ("pb_atax", atax()),
+        ("pb_bicg", bicg()),
+        ("pb_doitgen", doitgen()),
+        ("pb_gemver", gemver()),
+        ("pb_gesummv", gesummv()),
+        ("pb_mvt", mvt()),
+        ("pb_symm", symm()),
+        ("pb_syrk", syrk()),
+        ("pb_syr2k", syr2k()),
+        ("pb_trmm", trmm()),
+        ("pb_cholesky", cholesky()),
+        ("pb_durbin", durbin()),
+        ("pb_lu", lu()),
+        ("pb_trisolv", trisolv()),
+        ("pb_jacobi_1d", jacobi_1d()),
+        ("pb_jacobi_2d", jacobi_2d()),
+        ("pb_seidel_2d", seidel_2d()),
+        ("pb_fdtd_2d", fdtd_2d()),
+        ("pb_heat_3d", heat_3d()),
+        ("pb_adi_like", adi_like()),
+        ("pb_gramschmidt", gramschmidt()),
+        ("pb_covariance", covariance()),
+        ("pb_correlation", correlation()),
+        ("pb_floyd_warshall", floyd_warshall()),
+        ("pb_nussinov_like", nussinov_like()),
+        ("pb_deriche_row", deriche_row()),
+    ]
+}
+
+/// `for i,j { acc = 0; for k acc += alpha*A[i,k]*B[k,j]; D[i,j] = acc }` twice.
+fn two_mm() -> Function {
+    let mut f = FunctionBuilder::new("pb_2mm");
+    let alpha = f.param("alpha", ScalarType::i32());
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
+    let b = f.array_param("b", ArrayType::new(ScalarType::i32(), NN));
+    let cm = f.array_param("cm", ArrayType::new(ScalarType::i32(), NN));
+    let tmp = f.array_param("tmp", ArrayType::new(ScalarType::i32(), NN));
+    let d = f.array_param("d", ArrayType::new(ScalarType::i32(), NN));
+    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![Stmt::for_loop(
+            j,
+            0,
+            N,
+            1,
+            vec![
+                Stmt::assign(acc, c(0)),
+                Stmt::for_loop(
+                    k,
+                    0,
+                    N,
+                    1,
+                    vec![Stmt::assign(acc, add(v(acc), mul(mul(v(alpha), at(a, idx2(i, k, N))), at(b, idx2(k, j, N)))))],
+                ),
+                Stmt::store(tmp, idx2(i, j, N), v(acc)),
+            ],
+        )],
+    ));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![Stmt::for_loop(
+            j,
+            0,
+            N,
+            1,
+            vec![
+                Stmt::assign(acc, at(d, idx2(i, j, N))),
+                Stmt::for_loop(
+                    k,
+                    0,
+                    N,
+                    1,
+                    vec![Stmt::assign(acc, add(v(acc), mul(at(tmp, idx2(i, k, N)), at(cm, idx2(k, j, N)))))],
+                ),
+                Stmt::store(d, idx2(i, j, N), v(acc)),
+            ],
+        )],
+    ));
+    f.ret(acc);
+    f.finish().expect("2mm is valid")
+}
+
+fn three_mm() -> Function {
+    let mut f = FunctionBuilder::new("pb_3mm");
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
+    let b = f.array_param("b", ArrayType::new(ScalarType::i32(), NN));
+    let cm = f.array_param("cm", ArrayType::new(ScalarType::i32(), NN));
+    let d = f.array_param("d", ArrayType::new(ScalarType::i32(), NN));
+    let e = f.array_param("e", ArrayType::new(ScalarType::i32(), NN));
+    let ff = f.array_param("f", ArrayType::new(ScalarType::i32(), NN));
+    let g = f.array_param("g", ArrayType::new(ScalarType::i32(), NN));
+    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    let matmul = |dst, lhs, rhs, i, j, k, acc| {
+        Stmt::for_loop(
+            i,
+            0,
+            N,
+            1,
+            vec![Stmt::for_loop(
+                j,
+                0,
+                N,
+                1,
+                vec![
+                    Stmt::assign(acc, c(0)),
+                    Stmt::for_loop(
+                        k,
+                        0,
+                        N,
+                        1,
+                        vec![Stmt::assign(acc, add(v(acc), mul(at(lhs, idx2(i, k, N)), at(rhs, idx2(k, j, N)))))],
+                    ),
+                    Stmt::store(dst, idx2(i, j, N), v(acc)),
+                ],
+            )],
+        )
+    };
+    f.push(matmul(e, a, b, i, j, k, acc));
+    f.push(matmul(ff, cm, d, i, j, k, acc));
+    f.push(matmul(g, e, ff, i, j, k, acc));
+    f.ret(acc);
+    f.finish().expect("3mm is valid")
+}
+
+fn atax() -> Function {
+    let mut f = FunctionBuilder::new("pb_atax");
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
+    let x = f.array_param("x", ArrayType::new(ScalarType::i32(), N as usize));
+    let y = f.array_param("y", ArrayType::new(ScalarType::i32(), N as usize));
+    let tmp = f.array_param("tmp", ArrayType::new(ScalarType::i32(), N as usize));
+    let (i, j) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![
+            Stmt::assign(acc, c(0)),
+            Stmt::for_loop(j, 0, N, 1, vec![Stmt::assign(acc, add(v(acc), mul(at(a, idx2(i, j, N)), at(x, v(j)))))]),
+            Stmt::store(tmp, v(i), v(acc)),
+            Stmt::for_loop(
+                j,
+                0,
+                N,
+                1,
+                vec![Stmt::store(y, v(j), add(at(y, v(j)), mul(at(a, idx2(i, j, N)), v(acc))))],
+            ),
+        ],
+    ));
+    f.ret(acc);
+    f.finish().expect("atax is valid")
+}
+
+fn bicg() -> Function {
+    let mut f = FunctionBuilder::new("pb_bicg");
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
+    let p = f.array_param("p", ArrayType::new(ScalarType::i32(), N as usize));
+    let r = f.array_param("r", ArrayType::new(ScalarType::i32(), N as usize));
+    let q = f.array_param("q", ArrayType::new(ScalarType::i32(), N as usize));
+    let s = f.array_param("s", ArrayType::new(ScalarType::i32(), N as usize));
+    let (i, j) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![
+            Stmt::assign(acc, c(0)),
+            Stmt::for_loop(
+                j,
+                0,
+                N,
+                1,
+                vec![
+                    Stmt::store(s, v(j), add(at(s, v(j)), mul(at(r, v(i)), at(a, idx2(i, j, N))))),
+                    Stmt::assign(acc, add(v(acc), mul(at(a, idx2(i, j, N)), at(p, v(j))))),
+                ],
+            ),
+            Stmt::store(q, v(i), v(acc)),
+        ],
+    ));
+    f.ret(acc);
+    f.finish().expect("bicg is valid")
+}
+
+fn doitgen() -> Function {
+    const R: i64 = 4;
+    let mut f = FunctionBuilder::new("pb_doitgen");
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), (R * R * N) as usize));
+    let c4 = f.array_param("c4", ArrayType::new(ScalarType::i32(), NN));
+    let sum = f.array_param("sum", ArrayType::new(ScalarType::i32(), N as usize));
+    let (rr, q, pp, s) = (
+        f.local("rr", ScalarType::i32()),
+        f.local("q", ScalarType::i32()),
+        f.local("pp", ScalarType::i32()),
+        f.local("s", ScalarType::i32()),
+    );
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        rr,
+        0,
+        R,
+        1,
+        vec![Stmt::for_loop(
+            q,
+            0,
+            R,
+            1,
+            vec![
+                Stmt::for_loop(
+                    pp,
+                    0,
+                    N,
+                    1,
+                    vec![
+                        Stmt::assign(acc, c(0)),
+                        Stmt::for_loop(
+                            s,
+                            0,
+                            N,
+                            1,
+                            vec![Stmt::assign(acc, add(v(acc), mul(at(a, idx3(rr, q, s, R, N)), at(c4, idx2(s, pp, N)))))],
+                        ),
+                        Stmt::store(sum, v(pp), v(acc)),
+                    ],
+                ),
+                Stmt::for_loop(pp, 0, N, 1, vec![Stmt::store(a, idx3(rr, q, pp, R, N), at(sum, v(pp)))]),
+            ],
+        )],
+    ));
+    f.ret(acc);
+    f.finish().expect("doitgen is valid")
+}
+
+fn gemver() -> Function {
+    let mut f = FunctionBuilder::new("pb_gemver");
+    let alpha = f.param("alpha", ScalarType::i32());
+    let beta = f.param("beta", ScalarType::i32());
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
+    let (u1, v1) = (
+        f.array_param("u1", ArrayType::new(ScalarType::i32(), N as usize)),
+        f.array_param("v1", ArrayType::new(ScalarType::i32(), N as usize)),
+    );
+    let (x, y, w, z) = (
+        f.array_param("x", ArrayType::new(ScalarType::i32(), N as usize)),
+        f.array_param("y", ArrayType::new(ScalarType::i32(), N as usize)),
+        f.array_param("w", ArrayType::new(ScalarType::i32(), N as usize)),
+        f.array_param("z", ArrayType::new(ScalarType::i32(), N as usize)),
+    );
+    let (i, j) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![Stmt::for_loop(
+            j,
+            0,
+            N,
+            1,
+            vec![Stmt::store(a, idx2(i, j, N), add(at(a, idx2(i, j, N)), mul(at(u1, v(i)), at(v1, v(j)))))],
+        )],
+    ));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![
+            Stmt::assign(acc, at(x, v(i))),
+            Stmt::for_loop(
+                j,
+                0,
+                N,
+                1,
+                vec![Stmt::assign(acc, add(v(acc), mul(mul(v(beta), at(a, idx2(j, i, N))), at(y, v(j)))))],
+            ),
+            Stmt::store(x, v(i), add(v(acc), at(z, v(i)))),
+        ],
+    ));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![
+            Stmt::assign(acc, c(0)),
+            Stmt::for_loop(
+                j,
+                0,
+                N,
+                1,
+                vec![Stmt::assign(acc, add(v(acc), mul(mul(v(alpha), at(a, idx2(i, j, N))), at(x, v(j)))))],
+            ),
+            Stmt::store(w, v(i), v(acc)),
+        ],
+    ));
+    f.ret(acc);
+    f.finish().expect("gemver is valid")
+}
+
+fn gesummv() -> Function {
+    let mut f = FunctionBuilder::new("pb_gesummv");
+    let alpha = f.param("alpha", ScalarType::i32());
+    let beta = f.param("beta", ScalarType::i32());
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
+    let b = f.array_param("b", ArrayType::new(ScalarType::i32(), NN));
+    let x = f.array_param("x", ArrayType::new(ScalarType::i32(), N as usize));
+    let y = f.array_param("y", ArrayType::new(ScalarType::i32(), N as usize));
+    let (i, j) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let (tmp, acc) = (f.local("tmp", ScalarType::signed(64)), f.local("acc", ScalarType::signed(64)));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![
+            Stmt::assign(tmp, c(0)),
+            Stmt::assign(acc, c(0)),
+            Stmt::for_loop(
+                j,
+                0,
+                N,
+                1,
+                vec![
+                    Stmt::assign(tmp, add(v(tmp), mul(at(a, idx2(i, j, N)), at(x, v(j))))),
+                    Stmt::assign(acc, add(v(acc), mul(at(b, idx2(i, j, N)), at(x, v(j))))),
+                ],
+            ),
+            Stmt::store(y, v(i), add(mul(v(alpha), v(tmp)), mul(v(beta), v(acc)))),
+        ],
+    ));
+    f.ret(acc);
+    f.finish().expect("gesummv is valid")
+}
+
+fn mvt() -> Function {
+    let mut f = FunctionBuilder::new("pb_mvt");
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
+    let (x1, x2) = (
+        f.array_param("x1", ArrayType::new(ScalarType::i32(), N as usize)),
+        f.array_param("x2", ArrayType::new(ScalarType::i32(), N as usize)),
+    );
+    let (y1, y2) = (
+        f.array_param("y1", ArrayType::new(ScalarType::i32(), N as usize)),
+        f.array_param("y2", ArrayType::new(ScalarType::i32(), N as usize)),
+    );
+    let (i, j) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![
+            Stmt::assign(acc, at(x1, v(i))),
+            Stmt::for_loop(j, 0, N, 1, vec![Stmt::assign(acc, add(v(acc), mul(at(a, idx2(i, j, N)), at(y1, v(j)))))]),
+            Stmt::store(x1, v(i), v(acc)),
+        ],
+    ));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![
+            Stmt::assign(acc, at(x2, v(i))),
+            Stmt::for_loop(j, 0, N, 1, vec![Stmt::assign(acc, add(v(acc), mul(at(a, idx2(j, i, N)), at(y2, v(j)))))]),
+            Stmt::store(x2, v(i), v(acc)),
+        ],
+    ));
+    f.ret(acc);
+    f.finish().expect("mvt is valid")
+}
+
+fn symm() -> Function {
+    let mut f = FunctionBuilder::new("pb_symm");
+    let alpha = f.param("alpha", ScalarType::i32());
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
+    let b = f.array_param("b", ArrayType::new(ScalarType::i32(), NN));
+    let cm = f.array_param("cm", ArrayType::new(ScalarType::i32(), NN));
+    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let temp = f.local("temp", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![Stmt::for_loop(
+            j,
+            0,
+            N,
+            1,
+            vec![
+                Stmt::assign(temp, c(0)),
+                Stmt::for_loop(
+                    k,
+                    0,
+                    N,
+                    1,
+                    vec![Stmt::if_else(
+                        lt(v(k), v(i)),
+                        vec![Stmt::assign(temp, add(v(temp), mul(at(b, idx2(k, j, N)), at(a, idx2(i, k, N)))))],
+                        vec![],
+                    )],
+                ),
+                Stmt::store(
+                    cm,
+                    idx2(i, j, N),
+                    add(at(cm, idx2(i, j, N)), mul(v(alpha), add(mul(at(b, idx2(i, j, N)), at(a, idx2(i, i, N))), v(temp)))),
+                ),
+            ],
+        )],
+    ));
+    f.ret(temp);
+    f.finish().expect("symm is valid")
+}
+
+fn syrk() -> Function {
+    let mut f = FunctionBuilder::new("pb_syrk");
+    let alpha = f.param("alpha", ScalarType::i32());
+    let beta = f.param("beta", ScalarType::i32());
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
+    let cm = f.array_param("cm", ArrayType::new(ScalarType::i32(), NN));
+    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![Stmt::for_loop(
+            j,
+            0,
+            N,
+            1,
+            vec![
+                Stmt::assign(acc, mul(v(beta), at(cm, idx2(i, j, N)))),
+                Stmt::for_loop(
+                    k,
+                    0,
+                    N,
+                    1,
+                    vec![Stmt::assign(acc, add(v(acc), mul(mul(v(alpha), at(a, idx2(i, k, N))), at(a, idx2(j, k, N)))))],
+                ),
+                Stmt::store(cm, idx2(i, j, N), v(acc)),
+            ],
+        )],
+    ));
+    f.ret(acc);
+    f.finish().expect("syrk is valid")
+}
+
+fn syr2k() -> Function {
+    let mut f = FunctionBuilder::new("pb_syr2k");
+    let alpha = f.param("alpha", ScalarType::i32());
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
+    let b = f.array_param("b", ArrayType::new(ScalarType::i32(), NN));
+    let cm = f.array_param("cm", ArrayType::new(ScalarType::i32(), NN));
+    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![Stmt::for_loop(
+            j,
+            0,
+            N,
+            1,
+            vec![
+                Stmt::assign(acc, at(cm, idx2(i, j, N))),
+                Stmt::for_loop(
+                    k,
+                    0,
+                    N,
+                    1,
+                    vec![Stmt::assign(
+                        acc,
+                        add(
+                            v(acc),
+                            add(
+                                mul(mul(v(alpha), at(a, idx2(i, k, N))), at(b, idx2(j, k, N))),
+                                mul(mul(v(alpha), at(b, idx2(i, k, N))), at(a, idx2(j, k, N))),
+                            ),
+                        ),
+                    )],
+                ),
+                Stmt::store(cm, idx2(i, j, N), v(acc)),
+            ],
+        )],
+    ));
+    f.ret(acc);
+    f.finish().expect("syr2k is valid")
+}
+
+fn trmm() -> Function {
+    let mut f = FunctionBuilder::new("pb_trmm");
+    let alpha = f.param("alpha", ScalarType::i32());
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
+    let b = f.array_param("b", ArrayType::new(ScalarType::i32(), NN));
+    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![Stmt::for_loop(
+            j,
+            0,
+            N,
+            1,
+            vec![
+                Stmt::assign(acc, at(b, idx2(i, j, N))),
+                Stmt::for_loop(
+                    k,
+                    0,
+                    N,
+                    1,
+                    vec![Stmt::if_else(
+                        gt(v(k), v(i)),
+                        vec![Stmt::assign(acc, add(v(acc), mul(at(a, idx2(k, i, N)), at(b, idx2(k, j, N)))))],
+                        vec![],
+                    )],
+                ),
+                Stmt::store(b, idx2(i, j, N), mul(v(alpha), v(acc))),
+            ],
+        )],
+    ));
+    f.ret(acc);
+    f.finish().expect("trmm is valid")
+}
+
+fn cholesky() -> Function {
+    let mut f = FunctionBuilder::new("pb_cholesky");
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
+    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![
+            Stmt::for_loop(
+                j,
+                0,
+                N,
+                1,
+                vec![Stmt::if_else(
+                    lt(v(j), v(i)),
+                    vec![
+                        Stmt::assign(acc, at(a, idx2(i, j, N))),
+                        Stmt::for_loop(
+                            k,
+                            0,
+                            N,
+                            1,
+                            vec![Stmt::if_else(
+                                lt(v(k), v(j)),
+                                vec![Stmt::assign(acc, sub(v(acc), mul(at(a, idx2(i, k, N)), at(a, idx2(j, k, N)))))],
+                                vec![],
+                            )],
+                        ),
+                        Stmt::store(a, idx2(i, j, N), div(v(acc), add(at(a, idx2(j, j, N)), c(1)))),
+                    ],
+                    vec![],
+                )],
+            ),
+            Stmt::assign(acc, at(a, idx2(i, i, N))),
+            Stmt::for_loop(
+                k,
+                0,
+                N,
+                1,
+                vec![Stmt::if_else(
+                    lt(v(k), v(i)),
+                    vec![Stmt::assign(acc, sub(v(acc), mul(at(a, idx2(i, k, N)), at(a, idx2(i, k, N)))))],
+                    vec![],
+                )],
+            ),
+            Stmt::store(a, idx2(i, i, N), v(acc)),
+        ],
+    ));
+    f.ret(acc);
+    f.finish().expect("cholesky is valid")
+}
+
+fn durbin() -> Function {
+    let mut f = FunctionBuilder::new("pb_durbin");
+    let r = f.array_param("r", ArrayType::new(ScalarType::i32(), N as usize));
+    let y = f.array_param("y", ArrayType::new(ScalarType::i32(), N as usize));
+    let z = f.array_param("z", ArrayType::new(ScalarType::i32(), N as usize));
+    let (k, i) = (f.local("k", ScalarType::i32()), f.local("i", ScalarType::i32()));
+    let alpha = f.local("alpha", ScalarType::signed(64));
+    let beta = f.local("beta", ScalarType::signed(64));
+    let sum = f.local("sum", ScalarType::signed(64));
+    f.assign(alpha, sub(c(0), at(r, c(0))));
+    f.assign(beta, c(1 << 10));
+    f.store(y, c(0), v(alpha));
+    f.push(Stmt::for_loop(
+        k,
+        1,
+        N,
+        1,
+        vec![
+            Stmt::assign(beta, shr(mul(sub(c(1 << 10), mul(v(alpha), v(alpha))), v(beta)), c(10))),
+            Stmt::assign(sum, c(0)),
+            Stmt::for_loop(
+                i,
+                0,
+                N,
+                1,
+                vec![Stmt::if_else(
+                    lt(v(i), v(k)),
+                    vec![Stmt::assign(sum, add(v(sum), mul(at(r, sub(sub(v(k), v(i)), c(1))), at(y, v(i)))))],
+                    vec![],
+                )],
+            ),
+            Stmt::assign(alpha, div(sub(c(0), add(at(r, v(k)), v(sum))), add(v(beta), c(1)))),
+            Stmt::for_loop(
+                i,
+                0,
+                N,
+                1,
+                vec![Stmt::if_else(
+                    lt(v(i), v(k)),
+                    vec![Stmt::store(z, v(i), add(at(y, v(i)), mul(v(alpha), at(y, sub(sub(v(k), v(i)), c(1))))))],
+                    vec![],
+                )],
+            ),
+            Stmt::store(y, v(k), v(alpha)),
+        ],
+    ));
+    f.ret(alpha);
+    f.finish().expect("durbin is valid")
+}
+
+fn lu() -> Function {
+    let mut f = FunctionBuilder::new("pb_lu");
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
+    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![Stmt::for_loop(
+            j,
+            0,
+            N,
+            1,
+            vec![
+                Stmt::assign(acc, at(a, idx2(i, j, N))),
+                Stmt::for_loop(
+                    k,
+                    0,
+                    N,
+                    1,
+                    vec![Stmt::if_else(
+                        Expr::binary(hls_ir::ast::BinaryOp::Lt, v(k), Expr::select(lt(v(i), v(j)), v(i), v(j))),
+                        vec![Stmt::assign(acc, sub(v(acc), mul(at(a, idx2(i, k, N)), at(a, idx2(k, j, N)))))],
+                        vec![],
+                    )],
+                ),
+                Stmt::if_else(
+                    gt(v(i), v(j)),
+                    vec![Stmt::store(a, idx2(i, j, N), div(v(acc), add(at(a, idx2(j, j, N)), c(1))))],
+                    vec![Stmt::store(a, idx2(i, j, N), v(acc))],
+                ),
+            ],
+        )],
+    ));
+    f.ret(acc);
+    f.finish().expect("lu is valid")
+}
+
+fn trisolv() -> Function {
+    let mut f = FunctionBuilder::new("pb_trisolv");
+    let l = f.array_param("l", ArrayType::new(ScalarType::i32(), NN));
+    let x = f.array_param("x", ArrayType::new(ScalarType::i32(), N as usize));
+    let b = f.array_param("b", ArrayType::new(ScalarType::i32(), N as usize));
+    let (i, j) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![
+            Stmt::assign(acc, at(b, v(i))),
+            Stmt::for_loop(
+                j,
+                0,
+                N,
+                1,
+                vec![Stmt::if_else(
+                    lt(v(j), v(i)),
+                    vec![Stmt::assign(acc, sub(v(acc), mul(at(l, idx2(i, j, N)), at(x, v(j)))))],
+                    vec![],
+                )],
+            ),
+            Stmt::store(x, v(i), div(v(acc), add(at(l, idx2(i, i, N)), c(1)))),
+        ],
+    ));
+    f.ret(acc);
+    f.finish().expect("trisolv is valid")
+}
+
+fn jacobi_1d() -> Function {
+    const LEN: i64 = 16;
+    let mut f = FunctionBuilder::new("pb_jacobi_1d");
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), LEN as usize));
+    let b = f.array_param("b", ArrayType::new(ScalarType::i32(), LEN as usize));
+    let (t, i) = (f.local("t", ScalarType::i32()), f.local("i", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        t,
+        0,
+        4,
+        1,
+        vec![
+            Stmt::for_loop(
+                i,
+                1,
+                LEN - 1,
+                1,
+                vec![
+                    Stmt::assign(acc, add(add(at(a, sub(v(i), c(1))), at(a, v(i))), at(a, add(v(i), c(1))))),
+                    Stmt::store(b, v(i), div(v(acc), c(3))),
+                ],
+            ),
+            Stmt::for_loop(
+                i,
+                1,
+                LEN - 1,
+                1,
+                vec![
+                    Stmt::assign(acc, add(add(at(b, sub(v(i), c(1))), at(b, v(i))), at(b, add(v(i), c(1))))),
+                    Stmt::store(a, v(i), div(v(acc), c(3))),
+                ],
+            ),
+        ],
+    ));
+    f.ret(acc);
+    f.finish().expect("jacobi_1d is valid")
+}
+
+fn jacobi_2d() -> Function {
+    let mut f = FunctionBuilder::new("pb_jacobi_2d");
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
+    let b = f.array_param("b", ArrayType::new(ScalarType::i32(), NN));
+    let (t, i, j) = (f.local("t", ScalarType::i32()), f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        t,
+        0,
+        2,
+        1,
+        vec![Stmt::for_loop(
+            i,
+            1,
+            N - 1,
+            1,
+            vec![Stmt::for_loop(
+                j,
+                1,
+                N - 1,
+                1,
+                vec![
+                    Stmt::assign(
+                        acc,
+                        add(
+                            add(at(a, idx2(i, j, N)), at(a, add(idx2(i, j, N), c(1)))),
+                            add(at(a, sub(idx2(i, j, N), c(1))), add(at(a, add(idx2(i, j, N), c(N))), at(a, sub(idx2(i, j, N), c(N))))),
+                        ),
+                    ),
+                    Stmt::store(b, idx2(i, j, N), div(v(acc), c(5))),
+                ],
+            )],
+        )],
+    ));
+    f.ret(acc);
+    f.finish().expect("jacobi_2d is valid")
+}
+
+fn seidel_2d() -> Function {
+    let mut f = FunctionBuilder::new("pb_seidel_2d");
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
+    let (t, i, j) = (f.local("t", ScalarType::i32()), f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        t,
+        0,
+        2,
+        1,
+        vec![Stmt::for_loop(
+            i,
+            1,
+            N - 1,
+            1,
+            vec![Stmt::for_loop(
+                j,
+                1,
+                N - 1,
+                1,
+                vec![
+                    Stmt::assign(
+                        acc,
+                        add(
+                            add(
+                                add(at(a, sub(idx2(i, j, N), c(N + 1))), at(a, sub(idx2(i, j, N), c(N)))),
+                                add(at(a, sub(idx2(i, j, N), c(1))), at(a, idx2(i, j, N))),
+                            ),
+                            add(at(a, add(idx2(i, j, N), c(1))), add(at(a, add(idx2(i, j, N), c(N))), at(a, add(idx2(i, j, N), c(N + 1))))),
+                        ),
+                    ),
+                    Stmt::store(a, idx2(i, j, N), div(v(acc), c(7))),
+                ],
+            )],
+        )],
+    ));
+    f.ret(acc);
+    f.finish().expect("seidel_2d is valid")
+}
+
+fn fdtd_2d() -> Function {
+    let mut f = FunctionBuilder::new("pb_fdtd_2d");
+    let ex = f.array_param("ex", ArrayType::new(ScalarType::i32(), NN));
+    let ey = f.array_param("ey", ArrayType::new(ScalarType::i32(), NN));
+    let hz = f.array_param("hz", ArrayType::new(ScalarType::i32(), NN));
+    let fict = f.array_param("fict", ArrayType::new(ScalarType::i32(), 4));
+    let (t, i, j) = (f.local("t", ScalarType::i32()), f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        t,
+        0,
+        2,
+        1,
+        vec![
+            Stmt::for_loop(j, 0, N, 1, vec![Stmt::store(ey, v(j), at(fict, band(v(t), c(3))))]),
+            Stmt::for_loop(
+                i,
+                1,
+                N,
+                1,
+                vec![Stmt::for_loop(
+                    j,
+                    0,
+                    N,
+                    1,
+                    vec![Stmt::store(
+                        ey,
+                        idx2(i, j, N),
+                        sub(at(ey, idx2(i, j, N)), shr(sub(at(hz, idx2(i, j, N)), at(hz, sub(idx2(i, j, N), c(N)))), c(1))),
+                    )],
+                )],
+            ),
+            Stmt::for_loop(
+                i,
+                0,
+                N - 1,
+                1,
+                vec![Stmt::for_loop(
+                    j,
+                    0,
+                    N - 1,
+                    1,
+                    vec![
+                        Stmt::assign(
+                            acc,
+                            sub(
+                                add(at(ex, add(idx2(i, j, N), c(1))), at(ey, add(idx2(i, j, N), c(N)))),
+                                add(at(ex, idx2(i, j, N)), at(ey, idx2(i, j, N))),
+                            ),
+                        ),
+                        Stmt::store(hz, idx2(i, j, N), sub(at(hz, idx2(i, j, N)), shr(mul(c(7), v(acc)), c(3)))),
+                    ],
+                )],
+            ),
+        ],
+    ));
+    f.ret(acc);
+    f.finish().expect("fdtd_2d is valid")
+}
+
+fn heat_3d() -> Function {
+    const D: i64 = 4;
+    let mut f = FunctionBuilder::new("pb_heat_3d");
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), (D * D * D) as usize));
+    let b = f.array_param("b", ArrayType::new(ScalarType::i32(), (D * D * D) as usize));
+    let (t, i, j, k) = (
+        f.local("t", ScalarType::i32()),
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+        f.local("k", ScalarType::i32()),
+    );
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        t,
+        0,
+        2,
+        1,
+        vec![Stmt::for_loop(
+            i,
+            1,
+            D - 1,
+            1,
+            vec![Stmt::for_loop(
+                j,
+                1,
+                D - 1,
+                1,
+                vec![Stmt::for_loop(
+                    k,
+                    1,
+                    D - 1,
+                    1,
+                    vec![
+                        Stmt::assign(
+                            acc,
+                            add(
+                                add(
+                                    sub(at(a, add(idx3(i, j, k, D, D), c(D * D))), shl(at(a, idx3(i, j, k, D, D)), c(1))),
+                                    at(a, sub(idx3(i, j, k, D, D), c(D * D))),
+                                ),
+                                add(
+                                    sub(at(a, add(idx3(i, j, k, D, D), c(D))), at(a, sub(idx3(i, j, k, D, D), c(D)))),
+                                    sub(at(a, add(idx3(i, j, k, D, D), c(1))), at(a, sub(idx3(i, j, k, D, D), c(1)))),
+                                ),
+                            ),
+                        ),
+                        Stmt::store(b, idx3(i, j, k, D, D), add(at(a, idx3(i, j, k, D, D)), shr(v(acc), c(3)))),
+                    ],
+                )],
+            )],
+        )],
+    ));
+    f.ret(acc);
+    f.finish().expect("heat_3d is valid")
+}
+
+fn adi_like() -> Function {
+    let mut f = FunctionBuilder::new("pb_adi_like");
+    let u = f.array_param("u", ArrayType::new(ScalarType::i32(), NN));
+    let vv = f.array_param("vv", ArrayType::new(ScalarType::i32(), NN));
+    let p = f.array_param("p", ArrayType::new(ScalarType::i32(), NN));
+    let q = f.array_param("q", ArrayType::new(ScalarType::i32(), NN));
+    let (t, i, j) = (f.local("t", ScalarType::i32()), f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        t,
+        0,
+        2,
+        1,
+        vec![
+            // Column sweep: forward substitution along each column.
+            Stmt::for_loop(
+                i,
+                1,
+                N - 1,
+                1,
+                vec![Stmt::for_loop(
+                    j,
+                    1,
+                    N - 1,
+                    1,
+                    vec![
+                        Stmt::store(p, idx2(i, j, N), div(c(-1 << 8), add(at(p, sub(idx2(i, j, N), c(1))), c(3)))),
+                        Stmt::assign(
+                            acc,
+                            sub(add(at(u, sub(idx2(j, i, N), c(1))), at(u, idx2(j, i, N))), at(q, sub(idx2(i, j, N), c(1)))),
+                        ),
+                        Stmt::store(q, idx2(i, j, N), div(v(acc), add(at(p, sub(idx2(i, j, N), c(1))), c(3)))),
+                    ],
+                )],
+            ),
+            // Row sweep: back substitution.
+            Stmt::for_loop(
+                i,
+                1,
+                N - 1,
+                1,
+                vec![Stmt::for_loop(
+                    j,
+                    1,
+                    N - 1,
+                    1,
+                    vec![Stmt::store(
+                        vv,
+                        idx2(i, j, N),
+                        add(mul(at(p, idx2(i, j, N)), at(vv, add(idx2(i, j, N), c(1)))), at(q, idx2(i, j, N))),
+                    )],
+                )],
+            ),
+        ],
+    ));
+    f.ret(acc);
+    f.finish().expect("adi_like is valid")
+}
+
+fn gramschmidt() -> Function {
+    let mut f = FunctionBuilder::new("pb_gramschmidt");
+    let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
+    let r = f.array_param("r", ArrayType::new(ScalarType::i32(), NN));
+    let q = f.array_param("q", ArrayType::new(ScalarType::i32(), NN));
+    let (k, i, j) = (f.local("k", ScalarType::i32()), f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let nrm = f.local("nrm", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        k,
+        0,
+        N,
+        1,
+        vec![
+            Stmt::assign(nrm, c(0)),
+            Stmt::for_loop(
+                i,
+                0,
+                N,
+                1,
+                vec![Stmt::assign(nrm, add(v(nrm), mul(at(a, idx2(i, k, N)), at(a, idx2(i, k, N)))))],
+            ),
+            Stmt::store(r, idx2(k, k, N), shr(v(nrm), c(4))),
+            Stmt::for_loop(
+                i,
+                0,
+                N,
+                1,
+                vec![Stmt::store(q, idx2(i, k, N), div(at(a, idx2(i, k, N)), add(at(r, idx2(k, k, N)), c(1))))],
+            ),
+            Stmt::for_loop(
+                j,
+                0,
+                N,
+                1,
+                vec![Stmt::if_else(
+                    gt(v(j), v(k)),
+                    vec![
+                        Stmt::assign(nrm, c(0)),
+                        Stmt::for_loop(
+                            i,
+                            0,
+                            N,
+                            1,
+                            vec![Stmt::assign(nrm, add(v(nrm), mul(at(q, idx2(i, k, N)), at(a, idx2(i, j, N)))))],
+                        ),
+                        Stmt::store(r, idx2(k, j, N), v(nrm)),
+                        Stmt::for_loop(
+                            i,
+                            0,
+                            N,
+                            1,
+                            vec![Stmt::store(
+                                a,
+                                idx2(i, j, N),
+                                sub(at(a, idx2(i, j, N)), mul(at(q, idx2(i, k, N)), at(r, idx2(k, j, N)))),
+                            )],
+                        ),
+                    ],
+                    vec![],
+                )],
+            ),
+        ],
+    ));
+    f.ret(nrm);
+    f.finish().expect("gramschmidt is valid")
+}
+
+fn covariance() -> Function {
+    let mut f = FunctionBuilder::new("pb_covariance");
+    let data = f.array_param("data", ArrayType::new(ScalarType::i32(), NN));
+    let cov = f.array_param("cov", ArrayType::new(ScalarType::i32(), NN));
+    let mean = f.array_param("mean", ArrayType::new(ScalarType::i32(), N as usize));
+    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        j,
+        0,
+        N,
+        1,
+        vec![
+            Stmt::assign(acc, c(0)),
+            Stmt::for_loop(i, 0, N, 1, vec![Stmt::assign(acc, add(v(acc), at(data, idx2(i, j, N))))]),
+            Stmt::store(mean, v(j), div(v(acc), c(N))),
+        ],
+    ));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![Stmt::for_loop(
+            j,
+            0,
+            N,
+            1,
+            vec![Stmt::store(data, idx2(i, j, N), sub(at(data, idx2(i, j, N)), at(mean, v(j))))],
+        )],
+    ));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![Stmt::for_loop(
+            j,
+            0,
+            N,
+            1,
+            vec![Stmt::if_else(
+                gt(add(v(j), c(1)), v(i)),
+                vec![
+                    Stmt::assign(acc, c(0)),
+                    Stmt::for_loop(
+                        k,
+                        0,
+                        N,
+                        1,
+                        vec![Stmt::assign(acc, add(v(acc), mul(at(data, idx2(k, i, N)), at(data, idx2(k, j, N)))))],
+                    ),
+                    Stmt::store(cov, idx2(i, j, N), div(v(acc), c(N - 1))),
+                    Stmt::store(cov, idx2(j, i, N), at(cov, idx2(i, j, N))),
+                ],
+                vec![],
+            )],
+        )],
+    ));
+    f.ret(acc);
+    f.finish().expect("covariance is valid")
+}
+
+fn correlation() -> Function {
+    let mut f = FunctionBuilder::new("pb_correlation");
+    let data = f.array_param("data", ArrayType::new(ScalarType::i32(), NN));
+    let corr = f.array_param("corr", ArrayType::new(ScalarType::i32(), NN));
+    let mean = f.array_param("mean", ArrayType::new(ScalarType::i32(), N as usize));
+    let stddev = f.array_param("stddev", ArrayType::new(ScalarType::i32(), N as usize));
+    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(64));
+    f.push(Stmt::for_loop(
+        j,
+        0,
+        N,
+        1,
+        vec![
+            Stmt::assign(acc, c(0)),
+            Stmt::for_loop(i, 0, N, 1, vec![Stmt::assign(acc, add(v(acc), at(data, idx2(i, j, N))))]),
+            Stmt::store(mean, v(j), div(v(acc), c(N))),
+            Stmt::assign(acc, c(0)),
+            Stmt::for_loop(
+                i,
+                0,
+                N,
+                1,
+                vec![Stmt::assign(
+                    acc,
+                    add(
+                        v(acc),
+                        mul(sub(at(data, idx2(i, j, N)), at(mean, v(j))), sub(at(data, idx2(i, j, N)), at(mean, v(j)))),
+                    ),
+                )],
+            ),
+            // Integer "sqrt" stand-in: a shift keeps the dataflow shape.
+            Stmt::store(stddev, v(j), shr(v(acc), c(3))),
+        ],
+    ));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![Stmt::for_loop(
+            j,
+            0,
+            N,
+            1,
+            vec![Stmt::if_else(
+                gt(v(j), v(i)),
+                vec![
+                    Stmt::assign(acc, c(0)),
+                    Stmt::for_loop(
+                        k,
+                        0,
+                        N,
+                        1,
+                        vec![Stmt::assign(
+                            acc,
+                            add(
+                                v(acc),
+                                mul(
+                                    sub(at(data, idx2(k, i, N)), at(mean, v(i))),
+                                    sub(at(data, idx2(k, j, N)), at(mean, v(j))),
+                                ),
+                            ),
+                        )],
+                    ),
+                    Stmt::store(
+                        corr,
+                        idx2(i, j, N),
+                        div(v(acc), add(mul(at(stddev, v(i)), at(stddev, v(j))), c(1))),
+                    ),
+                ],
+                vec![],
+            )],
+        )],
+    ));
+    f.ret(acc);
+    f.finish().expect("correlation is valid")
+}
+
+fn floyd_warshall() -> Function {
+    let mut f = FunctionBuilder::new("pb_floyd_warshall");
+    let path = f.array_param("path", ArrayType::new(ScalarType::i32(), NN));
+    let (k, i, j) = (f.local("k", ScalarType::i32()), f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let through = f.local("through", ScalarType::i32());
+    f.push(Stmt::for_loop(
+        k,
+        0,
+        N,
+        1,
+        vec![Stmt::for_loop(
+            i,
+            0,
+            N,
+            1,
+            vec![Stmt::for_loop(
+                j,
+                0,
+                N,
+                1,
+                vec![
+                    Stmt::assign(through, add(at(path, idx2(i, k, N)), at(path, idx2(k, j, N)))),
+                    Stmt::if_else(
+                        lt(v(through), at(path, idx2(i, j, N))),
+                        vec![Stmt::store(path, idx2(i, j, N), v(through))],
+                        vec![],
+                    ),
+                ],
+            )],
+        )],
+    ));
+    f.ret(through);
+    f.finish().expect("floyd_warshall is valid")
+}
+
+fn nussinov_like() -> Function {
+    let mut f = FunctionBuilder::new("pb_nussinov_like");
+    let seq = f.array_param("seq", ArrayType::new(ScalarType::i8(), N as usize));
+    let table = f.array_param("table", ArrayType::new(ScalarType::i32(), NN));
+    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let best = f.local("best", ScalarType::i32());
+    let candidate = f.local("candidate", ScalarType::i32());
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        N,
+        1,
+        vec![Stmt::for_loop(
+            j,
+            0,
+            N,
+            1,
+            vec![Stmt::if_else(
+                gt(v(j), v(i)),
+                vec![
+                    Stmt::assign(best, at(table, sub(idx2(i, j, N), c(1)))),
+                    Stmt::assign(
+                        candidate,
+                        add(
+                            at(table, add(idx2(i, j, N), c(N))),
+                            Expr::select(
+                                Expr::binary(hls_ir::ast::BinaryOp::Eq, at(seq, v(i)), at(seq, v(j))),
+                                c(1),
+                                c(0),
+                            ),
+                        ),
+                    ),
+                    Stmt::assign(best, maxe(v(best), v(candidate))),
+                    Stmt::for_loop(
+                        k,
+                        0,
+                        N,
+                        1,
+                        vec![Stmt::if_else(
+                            Expr::binary(hls_ir::ast::BinaryOp::Lt, v(k), v(j)),
+                            vec![
+                                Stmt::assign(
+                                    candidate,
+                                    add(at(table, idx2(i, k, N)), at(table, add(mul(add(v(k), c(1)), c(N)), v(j)))),
+                                ),
+                                Stmt::assign(best, maxe(v(best), v(candidate))),
+                            ],
+                            vec![],
+                        )],
+                    ),
+                    Stmt::store(table, idx2(i, j, N), v(best)),
+                ],
+                vec![],
+            )],
+        )],
+    ));
+    f.ret(best);
+    f.finish().expect("nussinov_like is valid")
+}
+
+fn deriche_row() -> Function {
+    const W: i64 = 16;
+    let mut f = FunctionBuilder::new("pb_deriche_row");
+    let input = f.array_param("input", ArrayType::new(ScalarType::i16(), W as usize));
+    let output = f.array_param("output", ArrayType::new(ScalarType::i32(), W as usize));
+    let a1 = f.param("a1", ScalarType::i16());
+    let a2 = f.param("a2", ScalarType::i16());
+    let b1 = f.param("b1", ScalarType::i16());
+    let b2 = f.param("b2", ScalarType::i16());
+    let i = f.local("i", ScalarType::i32());
+    let ym1 = f.local("ym1", ScalarType::signed(48));
+    let ym2 = f.local("ym2", ScalarType::signed(48));
+    let xm1 = f.local("xm1", ScalarType::signed(48));
+    let y = f.local("y", ScalarType::signed(48));
+    f.assign(ym1, c(0));
+    f.assign(ym2, c(0));
+    f.assign(xm1, c(0));
+    f.push(Stmt::for_loop(
+        i,
+        0,
+        W,
+        1,
+        vec![
+            Stmt::assign(
+                y,
+                add(
+                    add(mul(v(a1), at(input, v(i))), mul(v(a2), v(xm1))),
+                    shr(add(mul(v(b1), v(ym1)), mul(v(b2), v(ym2))), c(8)),
+                ),
+            ),
+            Stmt::assign(xm1, at(input, v(i))),
+            Stmt::assign(ym2, v(ym1)),
+            Stmt::assign(ym1, v(y)),
+            Stmt::store(output, v(i), v(y)),
+        ],
+    ));
+    f.ret(y);
+    f.finish().expect("deriche_row is valid")
+}

@@ -1,0 +1,31 @@
+//! `hls-progen` — program corpus for the HLS-GNN benchmark.
+//!
+//! The paper builds its 40k-program benchmark from two sources:
+//!
+//! 1. **Synthetic programs** generated with `ldrgen`, split into straight-line
+//!    basic blocks (which lower to DFGs) and programs with loops/branches
+//!    (which lower to CDFGs). This crate's [`synthetic`] module is the
+//!    `ldrgen` substitute: a seeded random generator over the `hls-ir` AST.
+//! 2. **Real-world HLS applications** from MachSuite, CHStone and
+//!    PolyBench/C, used exclusively for generalisation evaluation. The
+//!    [`kernels`] module contains hand-written kernels that mirror the loop
+//!    and arithmetic structure of those suites.
+//!
+//! # Example
+//!
+//! ```
+//! use hls_progen::synthetic::{ProgramFamily, ProgramGenerator, SyntheticConfig};
+//!
+//! let config = SyntheticConfig::straight_line();
+//! let mut generator = ProgramGenerator::new(config, 42);
+//! let programs = generator.generate_many(10);
+//! assert_eq!(programs.len(), 10);
+//! assert!(programs.iter().all(|p| !p.has_control_flow()));
+//! assert_eq!(ProgramFamily::StraightLine.graph_kind(), hls_ir::GraphKind::Dfg);
+//! ```
+
+pub mod kernels;
+pub mod synthetic;
+
+pub use kernels::{all_kernels, Kernel, Suite};
+pub use synthetic::{ProgramFamily, ProgramGenerator, SyntheticConfig};

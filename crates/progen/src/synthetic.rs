@@ -1,0 +1,472 @@
+//! Seeded random program generator — the `ldrgen` substitute.
+//!
+//! Two program families are generated, matching the paper's benchmark split:
+//!
+//! * [`ProgramFamily::StraightLine`]: a single basic block of scalar/array
+//!   arithmetic, no control flow → lowers to a **DFG**.
+//! * [`ProgramFamily::Control`]: loops (possibly nested) and branches around
+//!   the same arithmetic vocabulary → lowers to a **CDFG**.
+//!
+//! All generation is driven by a `u64` seed so corpora are reproducible.
+
+use hls_ir::ast::{BinaryOp, Expr, Function, FunctionBuilder, Stmt, UnaryOp, VarId};
+use hls_ir::types::{ArrayType, ScalarType};
+use hls_ir::GraphKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which structural family of programs to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProgramFamily {
+    /// Straight-line basic blocks (DFG dataset).
+    StraightLine,
+    /// Programs with loops and branches (CDFG dataset).
+    Control,
+}
+
+impl ProgramFamily {
+    /// The graph kind this family lowers to.
+    pub fn graph_kind(self) -> GraphKind {
+        match self {
+            ProgramFamily::StraightLine => GraphKind::Dfg,
+            ProgramFamily::Control => GraphKind::Cdfg,
+        }
+    }
+}
+
+/// Tunable parameters of the synthetic generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticConfig {
+    /// Program family (straight-line vs. control).
+    pub family: ProgramFamily,
+    /// Minimum number of top-level statements.
+    pub min_stmts: usize,
+    /// Maximum number of top-level statements.
+    pub max_stmts: usize,
+    /// Maximum depth of generated expression trees.
+    pub max_expr_depth: usize,
+    /// Minimum number of scalar input ports.
+    pub min_params: usize,
+    /// Maximum number of scalar input ports.
+    pub max_params: usize,
+    /// Maximum number of array interfaces (0 disables arrays entirely).
+    pub max_arrays: usize,
+    /// Probability that a generated leaf is an array element read (when
+    /// arrays exist).
+    pub array_leaf_prob: f64,
+    /// Probability that a division/remainder is picked for an arithmetic
+    /// node (kept low, as in real HLS code).
+    pub div_prob: f64,
+    /// Probability that a top-level statement in the control family is a loop.
+    pub loop_prob: f64,
+    /// Probability that a top-level statement in the control family is a branch.
+    pub branch_prob: f64,
+    /// Maximum loop nesting depth for the control family.
+    pub max_loop_depth: usize,
+    /// Maximum loop trip count.
+    pub max_trip_count: i64,
+}
+
+impl SyntheticConfig {
+    /// Configuration for the straight-line (DFG) family.
+    pub fn straight_line() -> Self {
+        SyntheticConfig {
+            family: ProgramFamily::StraightLine,
+            min_stmts: 4,
+            max_stmts: 24,
+            max_expr_depth: 4,
+            min_params: 2,
+            max_params: 8,
+            max_arrays: 2,
+            array_leaf_prob: 0.15,
+            div_prob: 0.08,
+            loop_prob: 0.0,
+            branch_prob: 0.0,
+            max_loop_depth: 0,
+            max_trip_count: 0,
+        }
+    }
+
+    /// Configuration for the control-flow (CDFG) family.
+    pub fn control() -> Self {
+        SyntheticConfig {
+            family: ProgramFamily::Control,
+            min_stmts: 3,
+            max_stmts: 12,
+            max_expr_depth: 3,
+            min_params: 2,
+            max_params: 6,
+            max_arrays: 3,
+            array_leaf_prob: 0.25,
+            div_prob: 0.06,
+            loop_prob: 0.45,
+            branch_prob: 0.25,
+            max_loop_depth: 2,
+            max_trip_count: 64,
+        }
+    }
+
+    /// A smaller configuration for fast unit tests.
+    pub fn tiny(family: ProgramFamily) -> Self {
+        let mut config = match family {
+            ProgramFamily::StraightLine => Self::straight_line(),
+            ProgramFamily::Control => Self::control(),
+        };
+        config.min_stmts = 2;
+        config.max_stmts = 5;
+        config.max_expr_depth = 2;
+        config.max_params = 3;
+        config
+    }
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig::straight_line()
+    }
+}
+
+/// Seeded random program generator.
+#[derive(Debug)]
+pub struct ProgramGenerator {
+    config: SyntheticConfig,
+    rng: StdRng,
+    counter: usize,
+}
+
+/// Per-program generation state: the declared variables visible to the
+/// expression generator.
+struct Scope {
+    scalars: Vec<(VarId, ScalarType)>,
+    arrays: Vec<(VarId, ArrayType)>,
+}
+
+impl ProgramGenerator {
+    /// Creates a generator for the given configuration and seed.
+    pub fn new(config: SyntheticConfig, seed: u64) -> Self {
+        ProgramGenerator { config, rng: StdRng::seed_from_u64(seed), counter: 0 }
+    }
+
+    /// The configuration this generator was created with.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.config
+    }
+
+    /// Generates one program.
+    ///
+    /// # Panics
+    /// Never panics: generated programs are valid by construction; an internal
+    /// `expect` guards the builder's validation as an invariant.
+    pub fn generate(&mut self) -> Function {
+        let index = self.counter;
+        self.counter += 1;
+        let family = match self.config.family {
+            ProgramFamily::StraightLine => "dfg",
+            ProgramFamily::Control => "cdfg",
+        };
+        let name = format!("synthetic_{family}_{index:06}");
+        let mut builder = FunctionBuilder::new(name);
+        let mut scope = self.declare_interface(&mut builder);
+        let stmts = self.gen_body(&mut builder, &mut scope);
+        for stmt in stmts {
+            builder.push(stmt);
+        }
+        // Return one of the scalars so the design has an output port.
+        let (ret, _) = scope.scalars[self.rng.gen_range(0..scope.scalars.len())];
+        builder.ret(ret);
+        builder.finish().expect("generated program is valid by construction")
+    }
+
+    /// Generates `count` programs.
+    pub fn generate_many(&mut self, count: usize) -> Vec<Function> {
+        (0..count).map(|_| self.generate()).collect()
+    }
+
+    fn random_width(&mut self) -> u16 {
+        // Weighted toward the widths that dominate real HLS code.
+        const CHOICES: [(u16, u32); 8] =
+            [(8, 12), (16, 22), (24, 6), (32, 34), (48, 6), (64, 12), (128, 5), (10, 3)];
+        let total: u32 = CHOICES.iter().map(|(_, w)| w).sum();
+        let mut roll = self.rng.gen_range(0..total);
+        for (width, weight) in CHOICES {
+            if roll < weight {
+                return width;
+            }
+            roll -= weight;
+        }
+        32
+    }
+
+    fn random_scalar_type(&mut self) -> ScalarType {
+        let width = self.random_width();
+        if self.rng.gen_bool(0.7) {
+            ScalarType::signed(width)
+        } else {
+            ScalarType::unsigned(width)
+        }
+    }
+
+    fn declare_interface(&mut self, builder: &mut FunctionBuilder) -> Scope {
+        let param_count = self.rng.gen_range(self.config.min_params..=self.config.max_params);
+        let mut scalars = Vec::new();
+        let mut arrays = Vec::new();
+        for index in 0..param_count {
+            let ty = self.random_scalar_type();
+            let id = builder.param(format!("p{index}"), ty);
+            scalars.push((id, ty));
+        }
+        if self.config.max_arrays > 0 {
+            let array_count = self.rng.gen_range(0..=self.config.max_arrays);
+            for index in 0..array_count {
+                let elem = self.random_scalar_type();
+                let len = 1usize << self.rng.gen_range(3..=7); // 8..=128 elements
+                let ty = ArrayType::new(elem, len);
+                let id = builder.array_param(format!("buf{index}"), ty);
+                arrays.push((id, ty));
+            }
+        }
+        // A handful of scalar locals that statements can define and reuse.
+        let local_count = self.rng.gen_range(2..=4);
+        for index in 0..local_count {
+            let ty = self.random_scalar_type();
+            let id = builder.local(format!("t{index}"), ty);
+            scalars.push((id, ty));
+        }
+        Scope { scalars, arrays }
+    }
+
+    fn gen_body(&mut self, builder: &mut FunctionBuilder, scope: &mut Scope) -> Vec<Stmt> {
+        let count = self.rng.gen_range(self.config.min_stmts..=self.config.max_stmts);
+        let mut stmts = Vec::with_capacity(count);
+        for _ in 0..count {
+            let stmt = match self.config.family {
+                ProgramFamily::StraightLine => self.gen_simple_stmt(scope),
+                ProgramFamily::Control => self.gen_control_stmt(builder, scope, 0),
+            };
+            stmts.push(stmt);
+        }
+        stmts
+    }
+
+    fn gen_simple_stmt(&mut self, scope: &mut Scope) -> Stmt {
+        // Either a scalar assignment or (rarely) an array store.
+        if !scope.arrays.is_empty() && self.rng.gen_bool(0.2) {
+            let (array, ty) = scope.arrays[self.rng.gen_range(0..scope.arrays.len())];
+            let index = Expr::constant(self.rng.gen_range(0..ty.len as i64));
+            let value = self.gen_expr(scope, self.config.max_expr_depth);
+            Stmt::store(array, index, value)
+        } else {
+            let (target, _) = scope.scalars[self.rng.gen_range(0..scope.scalars.len())];
+            let value = self.gen_expr(scope, self.config.max_expr_depth);
+            Stmt::assign(target, value)
+        }
+    }
+
+    fn gen_control_stmt(
+        &mut self,
+        builder: &mut FunctionBuilder,
+        scope: &mut Scope,
+        loop_depth: usize,
+    ) -> Stmt {
+        // Bound the total nesting so that the branching process stays
+        // sub-critical and recursion depth remains small.
+        const MAX_NESTING: usize = 3;
+        let roll: f64 = self.rng.gen();
+        if roll < self.config.loop_prob {
+            if loop_depth < self.config.max_loop_depth.min(MAX_NESTING) {
+                self.gen_loop(builder, scope, loop_depth)
+            } else {
+                self.gen_simple_stmt(scope)
+            }
+        } else if roll < self.config.loop_prob + self.config.branch_prob {
+            if loop_depth < MAX_NESTING {
+                self.gen_branch(builder, scope, loop_depth)
+            } else {
+                self.gen_simple_stmt(scope)
+            }
+        } else {
+            self.gen_simple_stmt(scope)
+        }
+    }
+
+    fn gen_loop(
+        &mut self,
+        builder: &mut FunctionBuilder,
+        scope: &mut Scope,
+        loop_depth: usize,
+    ) -> Stmt {
+        let induction = builder.local(format!("i{}_{}", loop_depth, self.rng.gen_range(0..1000)), ScalarType::i32());
+        scope.scalars.push((induction, ScalarType::i32()));
+        let trip = self.rng.gen_range(2..=self.config.max_trip_count.max(2));
+        let body_len = self.rng.gen_range(1..=4);
+        let mut body = Vec::with_capacity(body_len);
+        for _ in 0..body_len {
+            body.push(self.gen_control_stmt(builder, scope, loop_depth + 1));
+        }
+        // Loops commonly index arrays with the induction variable; add one
+        // such access to make the memory behaviour realistic.
+        if !scope.arrays.is_empty() && self.rng.gen_bool(0.6) {
+            let (array, _) = scope.arrays[self.rng.gen_range(0..scope.arrays.len())];
+            let (target, _) = scope.scalars[self.rng.gen_range(0..scope.scalars.len())];
+            body.push(Stmt::assign(
+                target,
+                Expr::binary(BinaryOp::Add, Expr::var(target), Expr::index(array, Expr::var(induction))),
+            ));
+        }
+        Stmt::for_loop(induction, 0, trip, 1, body)
+    }
+
+    fn gen_branch(
+        &mut self,
+        builder: &mut FunctionBuilder,
+        scope: &mut Scope,
+        loop_depth: usize,
+    ) -> Stmt {
+        let cond = self.gen_condition(scope);
+        let then_len = self.rng.gen_range(1..=3);
+        let else_len = self.rng.gen_range(0..=2);
+        let mut then_body = Vec::with_capacity(then_len);
+        for _ in 0..then_len {
+            then_body.push(self.gen_control_stmt(builder, scope, loop_depth + 1));
+        }
+        let mut else_body = Vec::with_capacity(else_len);
+        for _ in 0..else_len {
+            else_body.push(self.gen_control_stmt(builder, scope, loop_depth + 1));
+        }
+        Stmt::if_else(cond, then_body, else_body)
+    }
+
+    fn gen_condition(&mut self, scope: &Scope) -> Expr {
+        let cmp = [BinaryOp::Lt, BinaryOp::Le, BinaryOp::Gt, BinaryOp::Ge, BinaryOp::Eq, BinaryOp::Ne]
+            [self.rng.gen_range(0..6)];
+        let lhs = self.gen_leaf(scope);
+        let rhs = if self.rng.gen_bool(0.5) {
+            Expr::constant(self.rng.gen_range(-64..64))
+        } else {
+            self.gen_leaf(scope)
+        };
+        Expr::binary(cmp, lhs, rhs)
+    }
+
+    fn gen_leaf(&mut self, scope: &Scope) -> Expr {
+        if !scope.arrays.is_empty() && self.rng.gen_bool(self.config.array_leaf_prob) {
+            let (array, ty) = scope.arrays[self.rng.gen_range(0..scope.arrays.len())];
+            let index = if self.rng.gen_bool(0.5) {
+                Expr::constant(self.rng.gen_range(0..ty.len as i64))
+            } else {
+                let (scalar, _) = scope.scalars[self.rng.gen_range(0..scope.scalars.len())];
+                Expr::var(scalar)
+            };
+            Expr::index(array, index)
+        } else if self.rng.gen_bool(0.2) {
+            Expr::constant(self.rng.gen_range(-128..128))
+        } else {
+            let (scalar, _) = scope.scalars[self.rng.gen_range(0..scope.scalars.len())];
+            Expr::var(scalar)
+        }
+    }
+
+    fn gen_expr(&mut self, scope: &Scope, depth: usize) -> Expr {
+        if depth == 0 || self.rng.gen_bool(0.25) {
+            return self.gen_leaf(scope);
+        }
+        let roll: f64 = self.rng.gen();
+        if roll < 0.08 {
+            let op = if self.rng.gen_bool(0.5) { UnaryOp::Neg } else { UnaryOp::Not };
+            Expr::unary(op, self.gen_expr(scope, depth - 1))
+        } else if roll < 0.14 {
+            Expr::select(
+                self.gen_condition(scope),
+                self.gen_expr(scope, depth - 1),
+                self.gen_expr(scope, depth - 1),
+            )
+        } else {
+            let op = self.random_binary_op();
+            Expr::binary(op, self.gen_expr(scope, depth - 1), self.gen_expr(scope, depth - 1))
+        }
+    }
+
+    fn random_binary_op(&mut self) -> BinaryOp {
+        if self.rng.gen_bool(self.config.div_prob) {
+            return if self.rng.gen_bool(0.5) { BinaryOp::Div } else { BinaryOp::Rem };
+        }
+        // Arithmetic dominates, with a healthy share of bitwise/shift logic.
+        const CHOICES: [(BinaryOp, u32); 8] = [
+            (BinaryOp::Add, 28),
+            (BinaryOp::Sub, 16),
+            (BinaryOp::Mul, 24),
+            (BinaryOp::And, 8),
+            (BinaryOp::Or, 7),
+            (BinaryOp::Xor, 7),
+            (BinaryOp::Shl, 5),
+            (BinaryOp::Shr, 5),
+        ];
+        let total: u32 = CHOICES.iter().map(|(_, w)| w).sum();
+        let mut roll = self.rng.gen_range(0..total);
+        for (op, weight) in CHOICES {
+            if roll < weight {
+                return op;
+            }
+            roll -= weight;
+        }
+        BinaryOp::Add
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::graph::extract_graph;
+
+    #[test]
+    fn straight_line_programs_have_no_control_flow() {
+        let mut generator = ProgramGenerator::new(SyntheticConfig::straight_line(), 7);
+        for program in generator.generate_many(20) {
+            assert!(!program.has_control_flow(), "{} has control flow", program.name);
+            assert!(extract_graph(&program, GraphKind::Dfg).is_ok());
+        }
+    }
+
+    #[test]
+    fn control_programs_usually_contain_loops_or_branches() {
+        let mut generator = ProgramGenerator::new(SyntheticConfig::control(), 11);
+        let programs = generator.generate_many(30);
+        let with_control = programs.iter().filter(|p| p.has_control_flow()).count();
+        assert!(with_control > 15, "only {with_control}/30 programs had control flow");
+        for program in &programs {
+            assert!(extract_graph(program, GraphKind::Cdfg).is_ok());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let mut a = ProgramGenerator::new(SyntheticConfig::control(), 1234);
+        let mut b = ProgramGenerator::new(SyntheticConfig::control(), 1234);
+        assert_eq!(a.generate_many(5), b.generate_many(5));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ProgramGenerator::new(SyntheticConfig::straight_line(), 1);
+        let mut b = ProgramGenerator::new(SyntheticConfig::straight_line(), 2);
+        assert_ne!(a.generate_many(5), b.generate_many(5));
+    }
+
+    #[test]
+    fn program_names_are_unique() {
+        let mut generator = ProgramGenerator::new(SyntheticConfig::tiny(ProgramFamily::StraightLine), 3);
+        let names: std::collections::HashSet<String> =
+            generator.generate_many(50).into_iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 50);
+    }
+
+    #[test]
+    fn generated_graphs_have_reasonable_size() {
+        let mut generator = ProgramGenerator::new(SyntheticConfig::control(), 5);
+        for program in generator.generate_many(10) {
+            let graph = extract_graph(&program, GraphKind::Cdfg).unwrap();
+            assert!(graph.node_count() >= 5);
+            assert!(graph.node_count() < 4000, "{} nodes is unexpectedly large", graph.node_count());
+        }
+    }
+}

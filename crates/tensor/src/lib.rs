@@ -1,0 +1,43 @@
+//! `gnn-tensor` — a small dense-matrix autodiff engine for graph neural networks.
+//!
+//! The Rust deep-learning ecosystem does not currently provide the
+//! message-passing layers the paper needs, so this crate supplies the
+//! substrate from scratch:
+//!
+//! * [`matrix::Matrix`] — dense row-major `f32` matrices with the linear
+//!   algebra and gather/scatter kernels message passing needs.
+//! * [`var::Var`] — reverse-mode automatic differentiation over matrices,
+//!   including segment aggregations and the loss functions used by the
+//!   prediction tasks.
+//! * [`nn`] — linear layers, MLPs and embedding tables.
+//! * [`optim`] — Adam and SGD optimisers plus gradient clipping.
+//!
+//! # Example
+//!
+//! ```
+//! use gnn_tensor::{Matrix, Var};
+//! use gnn_tensor::optim::Adam;
+//!
+//! // Fit y = 2x with a single weight.
+//! let weight = Var::parameter(Matrix::full(1, 1, 0.0));
+//! let mut adam = Adam::new(vec![weight.clone()], 0.1);
+//! let x = Matrix::column_vector(&[1.0, 2.0, 3.0]);
+//! let y = Matrix::column_vector(&[2.0, 4.0, 6.0]);
+//! for _ in 0..300 {
+//!     adam.zero_grad();
+//!     let prediction = Var::new(x.clone()).matmul(&weight);
+//!     prediction.mse(&y).backward();
+//!     adam.step();
+//! }
+//! assert!((weight.value().get(0, 0) - 2.0).abs() < 0.05);
+//! ```
+
+pub mod matrix;
+pub mod nn;
+pub mod optim;
+pub mod var;
+
+pub use matrix::Matrix;
+pub use nn::{he_uniform, xavier_uniform, Embedding, Linear, Mlp};
+pub use optim::{clip_grad_norm, Adam, Sgd};
+pub use var::Var;

@@ -1,0 +1,200 @@
+//! Neural-network building blocks: initialisation, linear layers, MLPs and
+//! embedding tables.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::matrix::Matrix;
+use crate::var::Var;
+
+/// Xavier/Glorot uniform initialisation for a `rows × cols` weight matrix.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let bound = (6.0 / (rows + cols).max(1) as f32).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-bound..=bound))
+}
+
+/// He/Kaiming uniform initialisation (suited to ReLU activations).
+pub fn he_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let bound = (6.0 / rows.max(1) as f32).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-bound..=bound))
+}
+
+/// A dense affine layer `y = x·W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Var,
+    bias: Var,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialised weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        Linear {
+            weight: Var::parameter(xavier_uniform(in_features, out_features, rng)),
+            bias: Var::parameter(Matrix::zeros(1, out_features)),
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Applies the layer to an `n × in_features` input.
+    pub fn forward(&self, input: &Var) -> Var {
+        input.matmul(&self.weight).add_row_broadcast(&self.bias)
+    }
+
+    /// The trainable parameters (weight then bias).
+    pub fn parameters(&self) -> Vec<Var> {
+        vec![self.weight.clone(), self.bias.clone()]
+    }
+}
+
+/// A feed-forward network with ReLU activations between layers.
+///
+/// The paper's regression head is the MLP `300-600-300-1`; graph-level models
+/// instantiate exactly that shape on top of pooled graph embeddings.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Creates an MLP from a list of layer widths, e.g. `[300, 600, 300, 1]`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two widths are given.
+    pub fn new(widths: &[usize], rng: &mut StdRng) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least an input and an output width");
+        let layers = widths
+            .windows(2)
+            .map(|pair| Linear::new(pair[0], pair[1], rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Number of affine layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Applies the network (ReLU between layers, no activation after the last).
+    pub fn forward(&self, input: &Var) -> Var {
+        let mut hidden = input.clone();
+        for (index, layer) in self.layers.iter().enumerate() {
+            hidden = layer.forward(&hidden);
+            if index + 1 < self.layers.len() {
+                hidden = hidden.relu();
+            }
+        }
+        hidden
+    }
+
+    /// All trainable parameters.
+    pub fn parameters(&self) -> Vec<Var> {
+        self.layers.iter().flat_map(Linear::parameters).collect()
+    }
+}
+
+/// A learned embedding table for categorical features.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: Var,
+}
+
+impl Embedding {
+    /// Creates a `vocab_size × dim` embedding table.
+    pub fn new(vocab_size: usize, dim: usize, rng: &mut StdRng) -> Self {
+        Embedding { table: Var::parameter(xavier_uniform(vocab_size.max(1), dim, rng)) }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.table.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.table.cols()
+    }
+
+    /// Looks up one embedding row per index (out-of-range indices are clamped
+    /// to the last row, which acts as the "misc" bucket).
+    pub fn forward(&self, indices: &[usize]) -> Var {
+        let vocab = self.vocab_size();
+        let clamped: Vec<usize> = indices.iter().map(|&index| index.min(vocab - 1)).collect();
+        self.table.gather_rows(&clamped)
+    }
+
+    /// The trainable parameters (the table).
+    pub fn parameters(&self) -> Vec<Var> {
+        vec![self.table.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_are_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_uniform(50, 30, &mut rng);
+        let bound = (6.0f32 / 80.0).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= bound + 1e-6));
+        assert!(w.data().iter().any(|v| v.abs() > bound / 10.0));
+        let h = he_uniform(50, 30, &mut rng);
+        assert!(h.data().iter().all(|v| v.abs() <= (6.0f32 / 50.0).sqrt() + 1e-6));
+    }
+
+    #[test]
+    fn linear_forward_shape_and_gradients() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = Linear::new(4, 3, &mut rng);
+        assert_eq!((layer.in_features(), layer.out_features()), (4, 3));
+        let input = Var::new(Matrix::full(5, 4, 0.5));
+        let output = layer.forward(&input);
+        assert_eq!(output.shape(), (5, 3));
+        output.sum().backward();
+        for param in layer.parameters() {
+            assert!(param.grad().is_some(), "all parameters receive gradients");
+        }
+    }
+
+    #[test]
+    fn mlp_matches_paper_head_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let head = Mlp::new(&[300, 600, 300, 1], &mut rng);
+        assert_eq!(head.depth(), 3);
+        let input = Var::new(Matrix::zeros(2, 300));
+        assert_eq!(head.forward(&input).shape(), (2, 1));
+        assert_eq!(head.parameters().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least an input and an output width")]
+    fn mlp_rejects_single_width() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = Mlp::new(&[10], &mut rng);
+    }
+
+    #[test]
+    fn embedding_lookup_and_clamping() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let table = Embedding::new(6, 4, &mut rng);
+        assert_eq!((table.vocab_size(), table.dim()), (6, 4));
+        let out = table.forward(&[0, 5, 99]);
+        assert_eq!(out.shape(), (3, 4));
+        // The out-of-range index collapses onto the last row.
+        assert_eq!(out.value().row(1), out.value().row(2));
+        out.sum().backward();
+        assert!(table.parameters()[0].grad().is_some());
+    }
+}

@@ -1,0 +1,239 @@
+//! Optimisers and gradient utilities.
+//!
+//! The paper trains every model with Adam; SGD is provided for ablations and
+//! tests. Optimisers own a list of parameter [`Var`]s and update their values
+//! in place from the accumulated gradients.
+
+use crate::matrix::Matrix;
+use crate::var::Var;
+
+/// Clips the global L2 norm of the gradients of `params` to `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &[Var], max_norm: f32) -> f32 {
+    let mut total = 0.0f32;
+    for param in params {
+        if let Some(grad) = param.grad() {
+            total += grad.data().iter().map(|g| g * g).sum::<f32>();
+        }
+    }
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for param in params {
+            if let Some(grad) = param.grad() {
+                param.zero_grad();
+                param.accumulate_grad(&grad.scale(scale));
+            }
+        }
+    }
+    norm
+}
+
+/// The Adam optimiser.
+#[derive(Debug)]
+pub struct Adam {
+    params: Vec<Var>,
+    learning_rate: f32,
+    beta1: f32,
+    beta2: f32,
+    epsilon: f32,
+    weight_decay: f32,
+    first_moment: Vec<Matrix>,
+    second_moment: Vec<Matrix>,
+    step_count: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with the usual defaults (β₁ = 0.9, β₂ = 0.999).
+    pub fn new(params: Vec<Var>, learning_rate: f32) -> Self {
+        let first_moment = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+        let second_moment = params.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect();
+        Adam {
+            params,
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            weight_decay: 0.0,
+            first_moment,
+            second_moment,
+            step_count: 0,
+        }
+    }
+
+    /// Sets decoupled weight decay (AdamW style).
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Changes the learning rate (e.g. for a decay schedule).
+    pub fn set_learning_rate(&mut self, learning_rate: f32) {
+        self.learning_rate = learning_rate;
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// Number of parameters tracked.
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Clears the gradients of all tracked parameters.
+    pub fn zero_grad(&self) {
+        for param in &self.params {
+            param.zero_grad();
+        }
+    }
+
+    /// Applies one Adam update from the accumulated gradients. Parameters with
+    /// no gradient are left untouched.
+    pub fn step(&mut self) {
+        self.step_count += 1;
+        let bias1 = 1.0 - self.beta1.powi(self.step_count as i32);
+        let bias2 = 1.0 - self.beta2.powi(self.step_count as i32);
+        for (index, param) in self.params.iter().enumerate() {
+            let Some(grad) = param.grad() else { continue };
+            let mut value = param.value();
+            if self.weight_decay > 0.0 {
+                value = value.map(|v| v * (1.0 - self.learning_rate * self.weight_decay));
+            }
+            let m = &mut self.first_moment[index];
+            let v = &mut self.second_moment[index];
+            *m = m.scale(self.beta1).add(&grad.scale(1.0 - self.beta1));
+            *v = v.scale(self.beta2).add(&grad.hadamard(&grad).scale(1.0 - self.beta2));
+            let update = Matrix::from_fn(value.rows(), value.cols(), |r, c| {
+                let m_hat = m.get(r, c) / bias1;
+                let v_hat = v.get(r, c) / bias2;
+                self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon)
+            });
+            param.set_value(value.sub(&update));
+        }
+    }
+}
+
+/// Plain stochastic gradient descent (used in tests and ablations).
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Var>,
+    learning_rate: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    pub fn new(params: Vec<Var>, learning_rate: f32) -> Self {
+        Sgd { params, learning_rate }
+    }
+
+    /// Clears the gradients of all tracked parameters.
+    pub fn zero_grad(&self) {
+        for param in &self.params {
+            param.zero_grad();
+        }
+    }
+
+    /// Applies one SGD update.
+    pub fn step(&self) {
+        for param in &self.params {
+            if let Some(grad) = param.grad() {
+                param.set_value(param.value().sub(&grad.scale(self.learning_rate)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_loss(param: &Var) -> Var {
+        // loss = sum((x - 3)^2)
+        param.add_scalar(-3.0).mul(&param.add_scalar(-3.0)).sum()
+    }
+
+    #[test]
+    fn adam_converges_on_a_quadratic() {
+        let param = Var::parameter(Matrix::full(2, 2, 10.0));
+        let mut adam = Adam::new(vec![param.clone()], 0.2);
+        for _ in 0..200 {
+            adam.zero_grad();
+            quadratic_loss(&param).backward();
+            adam.step();
+        }
+        for &v in param.value().data() {
+            assert!((v - 3.0).abs() < 0.05, "expected ~3.0, got {v}");
+        }
+    }
+
+    #[test]
+    fn sgd_converges_on_a_quadratic() {
+        let param = Var::parameter(Matrix::full(1, 3, -5.0));
+        let sgd = Sgd::new(vec![param.clone()], 0.05);
+        for _ in 0..300 {
+            sgd.zero_grad();
+            quadratic_loss(&param).backward();
+            sgd.step();
+        }
+        for &v in param.value().data() {
+            assert!((v - 3.0).abs() < 0.05, "expected ~3.0, got {v}");
+        }
+    }
+
+    #[test]
+    fn adam_skips_parameters_without_gradients() {
+        let used = Var::parameter(Matrix::full(1, 1, 1.0));
+        let unused = Var::parameter(Matrix::full(1, 1, 7.0));
+        let mut adam = Adam::new(vec![used.clone(), unused.clone()], 0.1);
+        adam.zero_grad();
+        quadratic_loss(&used).backward();
+        adam.step();
+        assert_ne!(used.value().get(0, 0), 1.0);
+        assert_eq!(unused.value().get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let param = Var::parameter(Matrix::full(1, 1, 5.0));
+        let mut plain = Adam::new(vec![param.clone()], 0.0);
+        plain.zero_grad();
+        quadratic_loss(&param).backward();
+        plain.step();
+        assert_eq!(param.value().get(0, 0), 5.0, "zero lr + no decay leaves the value unchanged");
+
+        let decayed_param = Var::parameter(Matrix::full(1, 1, 5.0));
+        let mut decayed = Adam::new(vec![decayed_param.clone()], 0.1).with_weight_decay(0.5);
+        decayed.zero_grad();
+        quadratic_loss(&decayed_param).backward();
+        decayed.step();
+        assert!(decayed_param.value().get(0, 0) < 5.0);
+    }
+
+    #[test]
+    fn grad_clipping_caps_the_norm() {
+        let param = Var::parameter(Matrix::full(1, 4, 100.0));
+        quadratic_loss(&param).backward();
+        let before = clip_grad_norm(&[param.clone()], 1.0);
+        assert!(before > 1.0);
+        let after: f32 = param
+            .grad()
+            .unwrap()
+            .data()
+            .iter()
+            .map(|g| g * g)
+            .sum::<f32>()
+            .sqrt();
+        assert!((after - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn learning_rate_can_be_adjusted() {
+        let mut adam = Adam::new(vec![], 0.01);
+        assert_eq!(adam.learning_rate(), 0.01);
+        adam.set_learning_rate(0.001);
+        assert_eq!(adam.learning_rate(), 0.001);
+        assert_eq!(adam.param_count(), 0);
+    }
+}

@@ -1,0 +1,936 @@
+//! Reverse-mode automatic differentiation over [`Matrix`] values.
+//!
+//! A [`Var`] is a node in a dynamically built computation graph. Operations on
+//! `Var`s record their inputs and a backward closure; calling
+//! [`Var::backward`] on a scalar output propagates gradients to every
+//! reachable node. Trainable leaves (created with [`Var::parameter`]) keep
+//! their gradients so an optimiser can update them.
+//!
+//! The operation set is tailored to message-passing GNNs: dense linear
+//! algebra, element-wise activations, row gather/scatter (the edge
+//! message-passing primitives), segment aggregations, pooling reductions and
+//! the two loss functions used by the prediction tasks.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+thread_local! {
+    static NEXT_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn next_id() -> u64 {
+    NEXT_ID.with(|cell| {
+        let id = cell.get();
+        cell.set(id + 1);
+        id
+    })
+}
+
+type BackwardFn = Box<dyn Fn(&Matrix, &[Var])>;
+
+struct VarInner {
+    id: u64,
+    value: RefCell<Matrix>,
+    grad: RefCell<Option<Matrix>>,
+    parents: Vec<Var>,
+    backward: Option<BackwardFn>,
+    trainable: bool,
+}
+
+/// A node of the autodiff graph holding a matrix value.
+#[derive(Clone)]
+pub struct Var(Rc<VarInner>);
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let value = self.0.value.borrow();
+        f.debug_struct("Var")
+            .field("id", &self.0.id)
+            .field("shape", &value.shape())
+            .field("trainable", &self.0.trainable)
+            .field("parents", &self.0.parents.len())
+            .finish()
+    }
+}
+
+impl Var {
+    fn make(value: Matrix, parents: Vec<Var>, backward: Option<BackwardFn>, trainable: bool) -> Var {
+        Var(Rc::new(VarInner {
+            id: next_id(),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            parents,
+            backward,
+            trainable,
+        }))
+    }
+
+    /// Creates a constant (non-trainable) leaf.
+    pub fn new(value: Matrix) -> Var {
+        Var::make(value, Vec::new(), None, false)
+    }
+
+    /// Creates a trainable leaf (a model parameter).
+    pub fn parameter(value: Matrix) -> Var {
+        Var::make(value, Vec::new(), None, true)
+    }
+
+    /// Creates a `1×1` constant.
+    pub fn scalar(value: f32) -> Var {
+        Var::new(Matrix::from_vec(1, 1, vec![value]))
+    }
+
+    /// Unique id of this node.
+    pub fn id(&self) -> u64 {
+        self.0.id
+    }
+
+    /// True if this is a trainable parameter leaf.
+    pub fn is_trainable(&self) -> bool {
+        self.0.trainable
+    }
+
+    /// A clone of the current value.
+    pub fn value(&self) -> Matrix {
+        self.0.value.borrow().clone()
+    }
+
+    /// Runs a closure with a borrowed view of the value (avoids cloning).
+    pub fn with_value<R>(&self, f: impl FnOnce(&Matrix) -> R) -> R {
+        f(&self.0.value.borrow())
+    }
+
+    /// Shape of the value.
+    pub fn shape(&self) -> (usize, usize) {
+        self.0.value.borrow().shape()
+    }
+
+    /// Number of rows of the value.
+    pub fn rows(&self) -> usize {
+        self.0.value.borrow().rows()
+    }
+
+    /// Number of columns of the value.
+    pub fn cols(&self) -> usize {
+        self.0.value.borrow().cols()
+    }
+
+    /// The scalar value of a `1×1` node.
+    ///
+    /// # Panics
+    /// Panics if the node is not `1×1`.
+    pub fn scalar_value(&self) -> f32 {
+        let value = self.0.value.borrow();
+        assert_eq!(value.shape(), (1, 1), "scalar_value on a non-scalar node");
+        value.get(0, 0)
+    }
+
+    /// Replaces the stored value (used by optimisers on parameter leaves).
+    pub fn set_value(&self, value: Matrix) {
+        *self.0.value.borrow_mut() = value;
+    }
+
+    /// A clone of the accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Matrix> {
+        self.0.grad.borrow().clone()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.0.grad.borrow_mut() = None;
+    }
+
+    /// Adds `delta` into the accumulated gradient.
+    pub fn accumulate_grad(&self, delta: &Matrix) {
+        let mut slot = self.0.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(grad) => grad.add_assign(delta),
+            None => *slot = Some(delta.clone()),
+        }
+    }
+
+    /// Post-order (inputs before outputs) traversal of the graph rooted here.
+    fn topological_order(&self) -> Vec<Var> {
+        let mut order: Vec<Var> = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack: Vec<(Var, usize)> = vec![(self.clone(), 0)];
+        while let Some((node, child_index)) = stack.pop() {
+            if child_index == 0 && visited.contains(&node.id()) {
+                continue;
+            }
+            if child_index < node.0.parents.len() {
+                let child = node.0.parents[child_index].clone();
+                stack.push((node, child_index + 1));
+                if !visited.contains(&child.id()) {
+                    stack.push((child, 0));
+                }
+            } else if visited.insert(node.id()) {
+                order.push(node);
+            }
+        }
+        order
+    }
+
+    /// Runs reverse-mode differentiation from this scalar node.
+    ///
+    /// # Panics
+    /// Panics if the node is not `1×1`.
+    pub fn backward(&self) {
+        assert_eq!(self.shape(), (1, 1), "backward must start from a scalar loss");
+        self.accumulate_grad(&Matrix::from_vec(1, 1, vec![1.0]));
+        let order = self.topological_order();
+        for node in order.iter().rev() {
+            let Some(backward) = &node.0.backward else { continue };
+            let grad = node.0.grad.borrow().clone();
+            if let Some(grad) = grad {
+                backward(&grad, &node.0.parents);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Element-wise arithmetic
+    // ------------------------------------------------------------------
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Var) -> Var {
+        let value = self.0.value.borrow().add(&other.0.value.borrow());
+        Var::make(
+            value,
+            vec![self.clone(), other.clone()],
+            Some(Box::new(|grad, parents| {
+                parents[0].accumulate_grad(grad);
+                parents[1].accumulate_grad(grad);
+            })),
+            false,
+        )
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, other: &Var) -> Var {
+        let value = self.0.value.borrow().sub(&other.0.value.borrow());
+        Var::make(
+            value,
+            vec![self.clone(), other.clone()],
+            Some(Box::new(|grad, parents| {
+                parents[0].accumulate_grad(grad);
+                parents[1].accumulate_grad(&grad.scale(-1.0));
+            })),
+            false,
+        )
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&self, other: &Var) -> Var {
+        let a = self.value();
+        let b = other.value();
+        let value = a.hadamard(&b);
+        Var::make(
+            value,
+            vec![self.clone(), other.clone()],
+            Some(Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.hadamard(&b));
+                parents[1].accumulate_grad(&grad.hadamard(&a));
+            })),
+            false,
+        )
+    }
+
+    /// Element-wise division with an epsilon guard on the denominator.
+    pub fn div_eps(&self, other: &Var, eps: f32) -> Var {
+        let a = self.value();
+        let b = other.value().map(|x| x + eps);
+        let value = a.zip_with(&b, |x, y| x / y);
+        Var::make(
+            value,
+            vec![self.clone(), other.clone()],
+            Some(Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.zip_with(&b, |g, y| g / y));
+                let d_b = grad.zip_with(&a, |g, x| g * x).zip_with(&b, |gx, y| -gx / (y * y));
+                parents[1].accumulate_grad(&d_b);
+            })),
+            false,
+        )
+    }
+
+    /// Multiplies every element by a constant.
+    pub fn scale(&self, factor: f32) -> Var {
+        let value = self.0.value.borrow().scale(factor);
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| parents[0].accumulate_grad(&grad.scale(factor)))),
+            false,
+        )
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&self, constant: f32) -> Var {
+        let value = self.0.value.borrow().map(|x| x + constant);
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(|grad, parents| parents[0].accumulate_grad(grad))),
+            false,
+        )
+    }
+
+    /// Multiplies every element by a trainable `1×1` scalar node.
+    ///
+    /// # Panics
+    /// Panics if `scalar` is not `1×1`.
+    pub fn mul_scalar_var(&self, scalar: &Var) -> Var {
+        assert_eq!(scalar.shape(), (1, 1), "mul_scalar_var expects a 1x1 scalar node");
+        let a = self.value();
+        let s = scalar.scalar_value();
+        let value = a.scale(s);
+        Var::make(
+            value,
+            vec![self.clone(), scalar.clone()],
+            Some(Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.scale(s));
+                let ds: f32 = grad.data().iter().zip(a.data()).map(|(g, x)| g * x).sum();
+                parents[1].accumulate_grad(&Matrix::from_vec(1, 1, vec![ds]));
+            })),
+            false,
+        )
+    }
+
+    /// Multiplies row `r` of an `n×d` node by element `r` of an `n×1` column
+    /// node (differentiable row-wise broadcast, used for attention weights).
+    ///
+    /// # Panics
+    /// Panics if `column` is not `n×1` with matching row count.
+    pub fn mul_col_broadcast(&self, column: &Var) -> Var {
+        let a = self.value();
+        let col = column.value();
+        assert_eq!(col.cols(), 1, "mul_col_broadcast expects an n×1 column");
+        assert_eq!(col.rows(), a.rows(), "mul_col_broadcast row mismatch");
+        let value = Matrix::from_fn(a.rows(), a.cols(), |r, c| a.get(r, c) * col.get(r, 0));
+        Var::make(
+            value,
+            vec![self.clone(), column.clone()],
+            Some(Box::new(move |grad, parents| {
+                let d_a = Matrix::from_fn(grad.rows(), grad.cols(), |r, c| grad.get(r, c) * col.get(r, 0));
+                parents[0].accumulate_grad(&d_a);
+                let d_col = Matrix::from_fn(grad.rows(), 1, |r, _| {
+                    (0..grad.cols()).map(|c| grad.get(r, c) * a.get(r, c)).sum()
+                });
+                parents[1].accumulate_grad(&d_col);
+            })),
+            false,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Matrix product `self × other`.
+    pub fn matmul(&self, other: &Var) -> Var {
+        let a = self.value();
+        let b = other.value();
+        let value = a.matmul(&b);
+        Var::make(
+            value,
+            vec![self.clone(), other.clone()],
+            Some(Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.matmul(&b.transpose()));
+                parents[1].accumulate_grad(&a.transpose().matmul(grad));
+            })),
+            false,
+        )
+    }
+
+    /// Adds a `1×d` row vector to every row of an `n×d` matrix.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ or `bias` is not a single row.
+    pub fn add_row_broadcast(&self, bias: &Var) -> Var {
+        let bias_value = bias.value();
+        assert_eq!(bias_value.rows(), 1, "bias must be a single row");
+        assert_eq!(bias_value.cols(), self.cols(), "bias width mismatch");
+        let value = {
+            let a = self.0.value.borrow();
+            Matrix::from_fn(a.rows(), a.cols(), |r, c| a.get(r, c) + bias_value.get(0, c))
+        };
+        Var::make(
+            value,
+            vec![self.clone(), bias.clone()],
+            Some(Box::new(|grad, parents| {
+                parents[0].accumulate_grad(grad);
+                parents[1].accumulate_grad(&grad.sum_axis0());
+            })),
+            false,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Activations
+    // ------------------------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Var {
+        self.leaky_relu(0.0)
+    }
+
+    /// Leaky rectified linear unit.
+    pub fn leaky_relu(&self, negative_slope: f32) -> Var {
+        let input = self.value();
+        let value = input.map(|x| if x > 0.0 { x } else { negative_slope * x });
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                let masked = grad.zip_with(&input, |g, x| if x > 0.0 { g } else { negative_slope * g });
+                parents[0].accumulate_grad(&masked);
+            })),
+            false,
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        let out = self.0.value.borrow().map(|x| 1.0 / (1.0 + (-x).exp()));
+        let captured = out.clone();
+        Var::make(
+            out,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                let local = grad.zip_with(&captured, |g, y| g * y * (1.0 - y));
+                parents[0].accumulate_grad(&local);
+            })),
+            false,
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var {
+        let out = self.0.value.borrow().map(f32::tanh);
+        let captured = out.clone();
+        Var::make(
+            out,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                let local = grad.zip_with(&captured, |g, y| g * (1.0 - y * y));
+                parents[0].accumulate_grad(&local);
+            })),
+            false,
+        )
+    }
+
+    /// Element-wise exponential (inputs are clamped to 30 to avoid overflow).
+    pub fn exp(&self) -> Var {
+        let out = self.0.value.borrow().map(|x| x.min(30.0).exp());
+        let captured = out.clone();
+        Var::make(
+            out,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.hadamard(&captured));
+            })),
+            false,
+        )
+    }
+
+    /// Element-wise `ln(x + eps)`.
+    pub fn log_eps(&self, eps: f32) -> Var {
+        let input = self.value();
+        let out = input.map(|x| (x + eps).ln());
+        Var::make(
+            out,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                let local = grad.zip_with(&input, |g, x| g / (x + eps));
+                parents[0].accumulate_grad(&local);
+            })),
+            false,
+        )
+    }
+
+    /// Element-wise `sqrt(x + eps)`.
+    pub fn sqrt_eps(&self, eps: f32) -> Var {
+        let out = self.0.value.borrow().map(|x| (x.max(0.0) + eps).sqrt());
+        let captured = out.clone();
+        Var::make(
+            out,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                let local = grad.zip_with(&captured, |g, y| g * 0.5 / y);
+                parents[0].accumulate_grad(&local);
+            })),
+            false,
+        )
+    }
+
+    /// Inverted dropout: keeps each element with probability `1 - p` and
+    /// rescales kept elements by `1/(1-p)`. With `p <= 0` this is the identity.
+    pub fn dropout(&self, p: f32, rng: &mut StdRng) -> Var {
+        if p <= 0.0 {
+            return self.scale(1.0);
+        }
+        let keep = 1.0 - p.clamp(0.0, 0.95);
+        let shape = self.shape();
+        let mask = Matrix::from_fn(shape.0, shape.1, |_, _| {
+            if rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        let captured = mask.clone();
+        let value = self.0.value.borrow().hadamard(&mask);
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.hadamard(&captured));
+            })),
+            false,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions and reshaping
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements, as a `1×1` node.
+    pub fn sum(&self) -> Var {
+        let shape = self.shape();
+        let value = Matrix::from_vec(1, 1, vec![self.0.value.borrow().sum()]);
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                let g = grad.get(0, 0);
+                parents[0].accumulate_grad(&Matrix::full(shape.0, shape.1, g));
+            })),
+            false,
+        )
+    }
+
+    /// Mean of all elements, as a `1×1` node.
+    pub fn mean(&self) -> Var {
+        let count = (self.rows() * self.cols()).max(1) as f32;
+        self.sum().scale(1.0 / count)
+    }
+
+    /// Column-wise sum, producing a `1×d` node (sum pooling over rows).
+    pub fn sum_axis0(&self) -> Var {
+        let rows = self.rows();
+        let value = self.0.value.borrow().sum_axis0();
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                let cols = grad.cols();
+                let expanded = Matrix::from_fn(rows, cols, |_, c| grad.get(0, c));
+                parents[0].accumulate_grad(&expanded);
+            })),
+            false,
+        )
+    }
+
+    /// Column-wise mean, producing a `1×d` node (mean pooling over rows).
+    pub fn mean_axis0(&self) -> Var {
+        let rows = self.rows().max(1) as f32;
+        self.sum_axis0().scale(1.0 / rows)
+    }
+
+    /// Horizontal concatenation of several nodes with equal row counts.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn concat_cols(parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols needs at least one part");
+        let values: Vec<Matrix> = parts.iter().map(Var::value).collect();
+        let refs: Vec<&Matrix> = values.iter().collect();
+        let value = Matrix::concat_cols(&refs);
+        let widths: Vec<usize> = values.iter().map(Matrix::cols).collect();
+        Var::make(
+            value,
+            parts.to_vec(),
+            Some(Box::new(move |grad, parents| {
+                let mut offset = 0;
+                for (parent, &width) in parents.iter().zip(&widths) {
+                    let slice = Matrix::from_fn(grad.rows(), width, |r, c| grad.get(r, offset + c));
+                    parent.accumulate_grad(&slice);
+                    offset += width;
+                }
+            })),
+            false,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Gather / scatter / segment operations (message passing primitives)
+    // ------------------------------------------------------------------
+
+    /// Selects rows by index (duplicates allowed). The backward pass
+    /// scatter-adds gradients back to the source rows.
+    pub fn gather_rows(&self, indices: &[usize]) -> Var {
+        let source_rows = self.rows();
+        let indices = indices.to_vec();
+        let value = self.0.value.borrow().gather_rows(&indices);
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.scatter_add_rows(&indices, source_rows));
+            })),
+            false,
+        )
+    }
+
+    /// Scatter-adds rows into an accumulator with `out_rows` rows; row `i` of
+    /// `self` is added to row `indices[i]` of the output.
+    pub fn scatter_add_rows(&self, indices: &[usize], out_rows: usize) -> Var {
+        let indices = indices.to_vec();
+        let value = self.0.value.borrow().scatter_add_rows(&indices, out_rows);
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.gather_rows(&indices));
+            })),
+            false,
+        )
+    }
+
+    /// Per-segment, per-column maximum. Rows of `self` are grouped by
+    /// `segments[i]`; empty segments produce zero rows. Gradient flows to the
+    /// arg-max row of each (segment, column).
+    pub fn segment_max(&self, segments: &[usize], num_segments: usize) -> Var {
+        self.segment_extremum(segments, num_segments, true)
+    }
+
+    /// Per-segment, per-column minimum (see [`Var::segment_max`]).
+    pub fn segment_min(&self, segments: &[usize], num_segments: usize) -> Var {
+        self.segment_extremum(segments, num_segments, false)
+    }
+
+    fn segment_extremum(&self, segments: &[usize], num_segments: usize, is_max: bool) -> Var {
+        let input = self.value();
+        assert_eq!(segments.len(), input.rows(), "one segment id per row is required");
+        let cols = input.cols();
+        let mut out = Matrix::zeros(num_segments, cols);
+        let mut arg: Vec<Vec<Option<usize>>> = vec![vec![None; cols]; num_segments];
+        for (row, &segment) in segments.iter().enumerate() {
+            assert!(segment < num_segments, "segment id {segment} out of range");
+            for c in 0..cols {
+                let candidate = input.get(row, c);
+                let better = match arg[segment][c] {
+                    None => true,
+                    Some(current_row) => {
+                        let current = input.get(current_row, c);
+                        if is_max {
+                            candidate > current
+                        } else {
+                            candidate < current
+                        }
+                    }
+                };
+                if better {
+                    arg[segment][c] = Some(row);
+                    out.set(segment, c, candidate);
+                }
+            }
+        }
+        let source_rows = input.rows();
+        Var::make(
+            out,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                let mut delta = Matrix::zeros(source_rows, cols);
+                for (segment, winners) in arg.iter().enumerate() {
+                    for (c, winner) in winners.iter().enumerate() {
+                        if let Some(row) = winner {
+                            let current = delta.get(*row, c);
+                            delta.set(*row, c, current + grad.get(segment, c));
+                        }
+                    }
+                }
+                parents[0].accumulate_grad(&delta);
+            })),
+            false,
+        )
+    }
+
+    /// Multiplies row `r` by the constant `factors[r]` (no gradient w.r.t. the
+    /// factors — they are structural constants such as `1/degree`).
+    ///
+    /// # Panics
+    /// Panics if `factors.len()` does not match the number of rows.
+    pub fn scale_rows(&self, factors: &[f32]) -> Var {
+        let input_shape = self.shape();
+        assert_eq!(factors.len(), input_shape.0, "one factor per row is required");
+        let factors = factors.to_vec();
+        let value = {
+            let input = self.0.value.borrow();
+            Matrix::from_fn(input_shape.0, input_shape.1, |r, c| input.get(r, c) * factors[r])
+        };
+        let captured = factors.clone();
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                let local = Matrix::from_fn(grad.rows(), grad.cols(), |r, c| grad.get(r, c) * captured[r]);
+                parents[0].accumulate_grad(&local);
+            })),
+            false,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Losses
+    // ------------------------------------------------------------------
+
+    /// Mean squared error against a constant target, as a scalar node.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn mse(&self, target: &Matrix) -> Var {
+        let prediction = self.value();
+        assert_eq!(prediction.shape(), target.shape(), "mse shape mismatch");
+        let count = (target.rows() * target.cols()).max(1) as f32;
+        let diff = prediction.sub(target);
+        let value = Matrix::from_vec(1, 1, vec![diff.data().iter().map(|d| d * d).sum::<f32>() / count]);
+        let captured = diff;
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                let g = grad.get(0, 0);
+                parents[0].accumulate_grad(&captured.scale(2.0 * g / count));
+            })),
+            false,
+        )
+    }
+
+    /// Numerically stable binary cross-entropy with logits against a constant
+    /// 0/1 target, as a scalar node.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn bce_with_logits(&self, target: &Matrix) -> Var {
+        let logits = self.value();
+        assert_eq!(logits.shape(), target.shape(), "bce shape mismatch");
+        let count = (target.rows() * target.cols()).max(1) as f32;
+        let total: f32 = logits
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(&x, &t)| x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln())
+            .sum();
+        let value = Matrix::from_vec(1, 1, vec![total / count]);
+        let captured_target = target.clone();
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                let g = grad.get(0, 0);
+                let local = logits.zip_with(&captured_target, |x, t| {
+                    let sigma = 1.0 / (1.0 + (-x).exp());
+                    g * (sigma - t) / count
+                });
+                parents[0].accumulate_grad(&local);
+            })),
+            false,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Finite-difference check of `d loss / d input[index]`.
+    fn numerical_grad(
+        build: &dyn Fn(&Var) -> Var,
+        input: &Matrix,
+        row: usize,
+        col: usize,
+        eps: f32,
+    ) -> f32 {
+        let mut plus = input.clone();
+        plus.set(row, col, input.get(row, col) + eps);
+        let mut minus = input.clone();
+        minus.set(row, col, input.get(row, col) - eps);
+        let loss_plus = build(&Var::new(plus)).scalar_value();
+        let loss_minus = build(&Var::new(minus)).scalar_value();
+        (loss_plus - loss_minus) / (2.0 * eps)
+    }
+
+    fn check_gradients(build: &dyn Fn(&Var) -> Var, input: Matrix, tolerance: f32) {
+        let leaf = Var::parameter(input.clone());
+        let loss = build(&leaf);
+        loss.backward();
+        let grad = leaf.grad().expect("gradient reaches the leaf");
+        for r in 0..input.rows() {
+            for c in 0..input.cols() {
+                let numeric = numerical_grad(build, &input, r, c, 1e-2);
+                let analytic = grad.get(r, c);
+                assert!(
+                    (numeric - analytic).abs() < tolerance.max(0.05 * numeric.abs()),
+                    "grad mismatch at ({r},{c}): analytic {analytic}, numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradcheck_elementwise_chain() {
+        let input = Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 0.3, -0.7, 1.5]);
+        check_gradients(
+            &|x: &Var| x.scale(1.5).add_scalar(0.2).tanh().mul(x).sum(),
+            input,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_matmul_and_bias() {
+        let weight = Matrix::from_vec(3, 2, vec![0.1, -0.2, 0.4, 0.3, -0.5, 0.6]);
+        let input = Matrix::from_vec(2, 3, vec![1.0, 2.0, -1.0, 0.5, -0.25, 0.75]);
+        let build = move |x: &Var| {
+            let w = Var::new(weight.clone());
+            let bias = Var::new(Matrix::row_vector(&[0.1, -0.1]));
+            x.matmul(&w).add_row_broadcast(&bias).relu().sum()
+        };
+        check_gradients(&build, input, 1e-2);
+    }
+
+    #[test]
+    fn gradcheck_gather_scatter() {
+        let input = Matrix::from_vec(3, 2, vec![1.0, -2.0, 0.5, 0.25, -1.5, 2.0]);
+        let build = |x: &Var| {
+            // Gather rows like edge sources, transform, scatter back like
+            // message aggregation, then reduce.
+            x.gather_rows(&[0, 0, 1, 2])
+                .scale(0.5)
+                .scatter_add_rows(&[1, 2, 2, 0], 3)
+                .sigmoid()
+                .sum()
+        };
+        check_gradients(&build, input, 1e-2);
+    }
+
+    #[test]
+    fn gradcheck_segment_max_and_scale_rows() {
+        let input = Matrix::from_vec(4, 2, vec![1.0, -2.0, 3.0, 0.5, -1.0, 2.5, 0.25, 0.75]);
+        let build = |x: &Var| {
+            x.scale_rows(&[1.0, 0.5, 2.0, 1.5])
+                .segment_max(&[0, 1, 0, 1], 2)
+                .mul(&Var::new(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0])))
+                .sum()
+        };
+        check_gradients(&build, input, 1e-2);
+    }
+
+    #[test]
+    fn gradcheck_losses() {
+        let target = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.5, 2.0]);
+        let input = Matrix::from_vec(2, 2, vec![0.8, -0.3, 0.9, 1.5]);
+        let t1 = target.clone();
+        check_gradients(&move |x: &Var| x.mse(&t1), input.clone(), 1e-2);
+        let binary = Matrix::from_vec(2, 2, vec![1.0, 0.0, 1.0, 0.0]);
+        check_gradients(&move |x: &Var| x.bce_with_logits(&binary), input, 1e-2);
+    }
+
+    #[test]
+    fn gradcheck_scalar_and_column_broadcasts() {
+        let input = Matrix::from_vec(3, 2, vec![0.5, -1.0, 2.0, 0.3, -0.7, 1.5]);
+        let build = |x: &Var| {
+            let scalar = Var::new(Matrix::from_vec(1, 1, vec![0.7]));
+            let column = Var::new(Matrix::column_vector(&[1.0, -0.5, 2.0]));
+            x.mul_scalar_var(&scalar).mul_col_broadcast(&column).sum()
+        };
+        check_gradients(&build, input, 1e-2);
+
+        // Gradients must also reach the scalar and the column themselves.
+        let x = Var::new(Matrix::full(2, 2, 3.0));
+        let scalar = Var::parameter(Matrix::from_vec(1, 1, vec![2.0]));
+        let column = Var::parameter(Matrix::column_vector(&[1.0, 4.0]));
+        x.mul_scalar_var(&scalar).mul_col_broadcast(&column).sum().backward();
+        assert_eq!(scalar.grad().unwrap().get(0, 0), 3.0 * (1.0 + 1.0 + 4.0 + 4.0));
+        assert_eq!(column.grad().unwrap().data(), &[12.0, 12.0]);
+    }
+
+    #[test]
+    fn gradcheck_pooling_and_concat() {
+        let input = Matrix::from_vec(3, 2, vec![0.2, -0.4, 1.0, 0.8, -0.6, 0.1]);
+        let build = |x: &Var| {
+            let pooled = Var::concat_cols(&[x.mean_axis0(), x.sum_axis0()]);
+            pooled.mul(&pooled).sum()
+        };
+        check_gradients(&build, input, 1e-2);
+    }
+
+    #[test]
+    fn gradcheck_division_and_sqrt() {
+        let input = Matrix::from_vec(2, 2, vec![0.5, 1.5, 2.0, 0.7]);
+        let build = |x: &Var| {
+            let denominator = x.mul(x).add_scalar(1.0);
+            x.div_eps(&denominator, 1e-6).sqrt_eps(1e-6).sum()
+        };
+        check_gradients(&build, input, 1e-2);
+    }
+
+    #[test]
+    fn gradients_accumulate_over_multiple_backward_passes() {
+        let param = Var::parameter(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        for _ in 0..3 {
+            let loss = param.mul(&param).sum();
+            loss.backward();
+        }
+        let grad = param.grad().unwrap();
+        // d/dx sum(x^2) = 2x, accumulated three times.
+        assert_eq!(grad.data(), &[6.0, 12.0]);
+        param.zero_grad();
+        assert!(param.grad().is_none());
+    }
+
+    #[test]
+    fn diamond_graphs_accumulate_correctly() {
+        let x = Var::parameter(Matrix::from_vec(1, 1, vec![3.0]));
+        let a = x.scale(2.0);
+        let b = x.scale(5.0);
+        let loss = a.add(&b).sum();
+        loss.backward();
+        assert_eq!(x.grad().unwrap().get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn dropout_is_identity_when_disabled_and_masks_otherwise() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Var::new(Matrix::full(4, 4, 1.0));
+        assert_eq!(x.dropout(0.0, &mut rng).value(), Matrix::full(4, 4, 1.0));
+        let dropped = x.dropout(0.5, &mut rng).value();
+        let zeros = dropped.data().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros > 0, "some elements must be dropped");
+        assert!(dropped.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn scalar_helpers_behave() {
+        let s = Var::scalar(4.5);
+        assert_eq!(s.scalar_value(), 4.5);
+        assert_eq!(s.shape(), (1, 1));
+        assert!(!s.is_trainable());
+        assert!(Var::parameter(Matrix::zeros(1, 1)).is_trainable());
+    }
+
+    #[test]
+    #[should_panic(expected = "backward must start from a scalar")]
+    fn backward_requires_scalar_output() {
+        let x = Var::parameter(Matrix::zeros(2, 2));
+        x.relu().backward();
+    }
+}

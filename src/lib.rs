@@ -1,0 +1,15 @@
+//! Facade crate re-exporting the whole HLS-GNN performance-prediction suite.
+//!
+//! See the individual crates for details:
+//! - [`hls_ir`]: IR graphs (DFG/CDFG) and node/edge features.
+//! - [`hls_progen`]: synthetic program generator and real-world kernels.
+//! - [`hls_sim`]: HLS scheduling/binding simulator and implementation model.
+//! - [`gnn_tensor`]: autodiff tensor engine.
+//! - [`gnn`]: message-passing layers and models.
+//! - [`hls_gnn_core`]: the three prediction approaches and the experiment harness.
+pub use gnn;
+pub use gnn_tensor;
+pub use hls_gnn_core;
+pub use hls_ir;
+pub use hls_progen;
+pub use hls_sim;

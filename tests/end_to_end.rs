@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: behavioural program → IR graph → HLS flow →
+//! dataset → trained predictors, exercising every crate of the workspace in
+//! one pipeline.
+
+use gnn::GnnKind;
+use hls_gnn_core::approach::{hls_baseline_mape, Approach, HierarchicalPredictor, OffTheShelfPredictor};
+use hls_gnn_core::dataset::{Dataset, DatasetBuilder, GraphSample};
+use hls_gnn_core::task::TargetMetric;
+use hls_gnn_core::train::TrainConfig;
+use hls_ir::ast::{BinaryOp, Expr, FunctionBuilder, Stmt};
+use hls_ir::graph::{extract_graph, GraphKind};
+use hls_ir::types::{ArrayType, ScalarType};
+use hls_progen::kernels::all_kernels;
+use hls_progen::synthetic::{ProgramFamily, SyntheticConfig};
+use hls_sim::{run_flow, FpgaDevice};
+
+fn fir_filter() -> hls_ir::ast::Function {
+    let mut f = FunctionBuilder::new("fir4");
+    let samples = f.array_param("samples", ArrayType::new(ScalarType::i16(), 16));
+    let coefficients = f.array_param("coefficients", ArrayType::new(ScalarType::i16(), 4));
+    let out = f.array_param("out", ArrayType::new(ScalarType::i32(), 16));
+    let (i, k) = (f.local("i", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let acc = f.local("acc", ScalarType::signed(48));
+    f.push(Stmt::for_loop(
+        i,
+        3,
+        16,
+        1,
+        vec![
+            Stmt::assign(acc, Expr::constant(0)),
+            Stmt::for_loop(
+                k,
+                0,
+                4,
+                1,
+                vec![Stmt::assign(
+                    acc,
+                    Expr::binary(
+                        BinaryOp::Add,
+                        Expr::var(acc),
+                        Expr::binary(
+                            BinaryOp::Mul,
+                            Expr::index(samples, Expr::binary(BinaryOp::Sub, Expr::var(i), Expr::var(k))),
+                            Expr::index(coefficients, Expr::var(k)),
+                        ),
+                    ),
+                )],
+            ),
+            Stmt::store(out, Expr::var(i), Expr::var(acc)),
+        ],
+    ));
+    f.ret(acc);
+    f.finish().expect("FIR filter is valid")
+}
+
+#[test]
+fn program_to_flow_to_sample_pipeline_is_consistent() {
+    let device = FpgaDevice::default();
+    let function = fir_filter();
+
+    // Front end: the same program yields a CDFG and a full flow result.
+    let graph = extract_graph(&function, GraphKind::Cdfg).expect("CDFG extraction");
+    let flow = run_flow(&function, &device).expect("flow");
+    assert!(graph.node_count() > 20);
+    assert!(flow.implementation.dsp > 0, "16-bit MACs still map to DSPs");
+    assert!(flow.hls_report.lut > 0);
+
+    // Dataset layer: the sample agrees with the flow and the graph.
+    let sample = GraphSample::from_function(&function, GraphKind::Cdfg, &device).expect("sample");
+    assert_eq!(sample.num_nodes(), graph.node_count());
+    assert_eq!(sample.targets, flow.implementation.as_targets());
+    assert_eq!(sample.hls_estimate, flow.hls_report.as_targets());
+    // Node-level labels line up with node count and are binary.
+    assert_eq!(sample.node_resource_types.len(), graph.node_count());
+    assert!(sample.node_resource_types.iter().flatten().all(|&v| v == 0.0 || v == 1.0));
+}
+
+#[test]
+fn dataset_and_flow_are_deterministic_end_to_end() {
+    let build = || {
+        DatasetBuilder::new(ProgramFamily::Control)
+            .count(6)
+            .seed(99)
+            .generator_config(SyntheticConfig::tiny(ProgramFamily::Control))
+            .build()
+            .expect("dataset builds")
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.samples.iter().zip(&b.samples) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.targets, y.targets);
+        assert_eq!(x.hls_estimate, y.hls_estimate);
+        assert_eq!(x.structure.edge_count(), y.structure.edge_count());
+    }
+}
+
+#[test]
+fn off_the_shelf_and_hierarchical_predictors_beat_nothing_and_stay_finite() {
+    let dataset = DatasetBuilder::new(ProgramFamily::StraightLine)
+        .count(20)
+        .seed(5)
+        .generator_config(SyntheticConfig::tiny(ProgramFamily::StraightLine))
+        .build()
+        .expect("dataset builds");
+    let split = dataset.split(0.8, 0.1, 5);
+    let mut config = TrainConfig::fast();
+    config.epochs = 6;
+
+    let mut base = OffTheShelfPredictor::new(GnnKind::GraphSage, &config);
+    base.fit(&split.train, &split.validation, &config).expect("fit base");
+    let mut infused = HierarchicalPredictor::new(GnnKind::GraphSage, &config);
+    infused.fit(&split.train, &split.validation, &config).expect("fit infused");
+
+    for approach in [&base as &dyn Approach, &infused as &dyn Approach] {
+        let mape = approach.evaluate(&split.test);
+        assert!(mape.iter().all(|m| m.is_finite() && *m >= 0.0), "{}: {mape:?}", approach.name());
+        let prediction = approach.predict(&split.test.samples[0]).expect("prediction");
+        assert!(prediction.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+}
+
+#[test]
+fn hls_report_is_a_poor_lut_ff_estimator_on_real_kernels() {
+    // The central premise of the paper: the HLS report's LUT/FF estimates are
+    // far off the implemented values on real applications, leaving room for a
+    // learned predictor. Our implementation model reproduces that gap.
+    let device = FpgaDevice::default();
+    let kernels = all_kernels();
+    let subset: Vec<_> = kernels.iter().take(12).collect();
+    let mut samples = Vec::new();
+    for kernel in subset {
+        samples.push(
+            GraphSample::from_function(&kernel.function, GraphKind::Cdfg, &device).expect("kernel sample"),
+        );
+    }
+    let dataset = Dataset::new(samples);
+    let baseline = hls_baseline_mape(&dataset);
+    assert!(
+        baseline[TargetMetric::Lut.index()] > 0.30,
+        "HLS LUT error should be large on real kernels, got {:.3}",
+        baseline[TargetMetric::Lut.index()]
+    );
+    assert!(
+        baseline[TargetMetric::Ff.index()] > 0.15,
+        "HLS FF error should be noticeable, got {:.3}",
+        baseline[TargetMetric::Ff.index()]
+    );
+    assert!(
+        baseline.iter().all(|m| m.is_finite()),
+        "HLS baseline errors must stay finite: {baseline:?}"
+    );
+}
+
+#[test]
+fn knowledge_rich_features_are_available_for_every_kernel_node() {
+    let device = FpgaDevice::default();
+    let kernels = all_kernels();
+    let kernel = kernels.iter().find(|k| k.name == "pb_gesummv").expect("kernel exists");
+    let sample = GraphSample::from_function(&kernel.function, GraphKind::Cdfg, &device).expect("sample");
+    assert_eq!(sample.node_aux_resources.len(), sample.num_nodes());
+    // At least some nodes must carry non-zero HLS resource estimates
+    // (multiplies, adders, array ports).
+    let nonzero = sample
+        .node_aux_resources
+        .iter()
+        .filter(|aux| aux.iter().any(|&v| v > 0.0))
+        .count();
+    assert!(nonzero * 4 > sample.num_nodes(), "only {nonzero}/{} nodes annotated", sample.num_nodes());
+}

@@ -1,0 +1,90 @@
+//! Property-based integration tests: for *any* seed/configuration, the
+//! program generator, the front end, the HLS flow and the dataset layer must
+//! uphold their structural invariants.
+
+use proptest::prelude::*;
+
+use hls_gnn_core::dataset::GraphSample;
+use hls_ir::graph::{extract_graph, EdgeKind, GraphKind, NodeKind};
+use hls_ir::lower::lower_function;
+use hls_progen::synthetic::{ProgramFamily, ProgramGenerator, SyntheticConfig};
+use hls_sim::{run_flow, FpgaDevice};
+
+fn generated_program(family: ProgramFamily, seed: u64) -> hls_ir::ast::Function {
+    let config = SyntheticConfig::tiny(family);
+    let mut generator = ProgramGenerator::new(config, seed);
+    generator.generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Every straight-line program lowers to a single basic block whose DFG is
+    /// a DAG with no back edges and no block nodes.
+    #[test]
+    fn straightline_programs_produce_acyclic_dfgs(seed in 0u64..10_000) {
+        let program = generated_program(ProgramFamily::StraightLine, seed);
+        let ir = lower_function(&program).expect("lowering succeeds");
+        prop_assert!(!ir.has_control_flow());
+        let graph = extract_graph(&program, GraphKind::Dfg).expect("DFG extraction succeeds");
+        prop_assert_eq!(graph.back_edge_count(), 0);
+        prop_assert!(graph.is_dag_ignoring_back_edges());
+        prop_assert!(graph.nodes().iter().all(|n| n.kind != NodeKind::Block));
+        prop_assert!(graph.edges().iter().all(|e| e.kind != EdgeKind::Control));
+    }
+
+    /// Every control-family program produces a CDFG whose cycles are fully
+    /// explained by marked back edges, and whose feature vectors line up with
+    /// the node/edge counts.
+    #[test]
+    fn control_programs_produce_wellformed_cdfgs(seed in 0u64..10_000) {
+        let program = generated_program(ProgramFamily::Control, seed);
+        let graph = extract_graph(&program, GraphKind::Cdfg).expect("CDFG extraction succeeds");
+        prop_assert!(graph.check_integrity().is_ok());
+        prop_assert!(graph.is_dag_ignoring_back_edges(),
+            "cycles must be explained by back edges in {}", program.name);
+        let node_features = hls_ir::features::node_features(&graph);
+        let edge_features = hls_ir::features::edge_features(&graph);
+        prop_assert_eq!(node_features.len(), graph.node_count());
+        prop_assert_eq!(edge_features.len(), graph.edge_count());
+        prop_assert!(node_features.iter().all(|f| f.bitwidth <= 256));
+    }
+
+    /// The HLS flow terminates on every generated program with physically
+    /// sensible outputs: non-negative resources, a critical path no smaller
+    /// than the register overhead, and one annotation per operation.
+    #[test]
+    fn hls_flow_outputs_are_physically_sensible(seed in 0u64..10_000, fast_clock in proptest::bool::ANY) {
+        let program = generated_program(ProgramFamily::Control, seed);
+        let device = if fast_clock { FpgaDevice::medium_250mhz() } else { FpgaDevice::medium_100mhz() };
+        let flow = run_flow(&program, &device).expect("flow succeeds");
+        prop_assert!(flow.implementation.cp_ns > 1.0);
+        prop_assert!(flow.implementation.cp_ns < 60.0, "CP {} ns is implausible", flow.implementation.cp_ns);
+        prop_assert!(flow.hls_report.latency_cycles >= 1);
+        prop_assert_eq!(flow.annotations.len(), flow.ir.op_count());
+        // Control operations never consume resources.
+        for annotation in &flow.annotations {
+            let op = flow.ir.op(annotation.op);
+            if op.is_control() {
+                prop_assert!(annotation.types.is_empty());
+            }
+        }
+    }
+
+    /// Dataset samples keep every per-node table aligned with the graph and
+    /// produce finite targets, for any seed.
+    #[test]
+    fn graph_samples_are_internally_consistent(seed in 0u64..10_000) {
+        let program = generated_program(ProgramFamily::Control, seed);
+        let sample = GraphSample::from_function(&program, GraphKind::Cdfg, &FpgaDevice::default())
+            .expect("sample builds");
+        prop_assert_eq!(sample.node_features.len(), sample.num_nodes());
+        prop_assert_eq!(sample.node_aux_resources.len(), sample.num_nodes());
+        prop_assert_eq!(sample.node_resource_types.len(), sample.num_nodes());
+        prop_assert!(sample.targets.iter().all(|t| t.is_finite() && *t >= 0.0));
+        prop_assert!(sample.structure.edge_relation.iter().all(|&r| r < GraphSample::NUM_RELATIONS));
+        // The HLS estimate and the implementation must not be identical across
+        // the board (otherwise the learning problem would be trivial).
+        prop_assert!(sample.targets != sample.hls_estimate);
+    }
+}
