@@ -15,9 +15,11 @@ fn bench_lowering(c: &mut Criterion) {
     group.sample_size(20);
     for name in ["ms_gemm_ncubed", "pb_jacobi_2d", "ch_sha_round"] {
         let kernel = kernels.iter().find(|k| k.name == name).expect("kernel exists");
-        group.bench_with_input(BenchmarkId::from_parameter(name), &kernel.function, |b, function| {
-            b.iter(|| lower_function(function).expect("lowering succeeds"))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &kernel.function,
+            |b, function| b.iter(|| lower_function(function).expect("lowering succeeds")),
+        );
     }
     group.finish();
 }
@@ -29,9 +31,11 @@ fn bench_full_flow(c: &mut Criterion) {
     group.sample_size(10);
     for name in ["ms_gemm_ncubed", "pb_2mm", "ch_aes_mixcolumn"] {
         let kernel = kernels.iter().find(|k| k.name == name).expect("kernel exists");
-        group.bench_with_input(BenchmarkId::from_parameter(name), &kernel.function, |b, function| {
-            b.iter(|| run_flow(function, &device).expect("flow succeeds"))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &kernel.function,
+            |b, function| b.iter(|| run_flow(function, &device).expect("flow succeeds")),
+        );
     }
     group.finish();
 }

@@ -5,8 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gnn::GnnKind;
-use hls_gnn_core::approach::{Approach, OffTheShelfPredictor};
+use hls_gnn_core::approach::GnnPredictor;
 use hls_gnn_core::dataset::{Dataset, GraphSample};
+use hls_gnn_core::predictor::Predictor;
 use hls_gnn_core::train::TrainConfig;
 use hls_ir::graph::{extract_graph, GraphKind};
 use hls_progen::kernels::all_kernels;
@@ -19,11 +20,11 @@ fn kernel_sample() -> GraphSample {
         .expect("flow runs on gemm")
 }
 
-fn trained_predictor(kind: GnnKind) -> OffTheShelfPredictor {
+fn trained_predictor(kind: GnnKind) -> GnnPredictor {
     let mut config = TrainConfig::fast();
     config.epochs = 1;
     let train = Dataset::new(vec![kernel_sample()]);
-    let mut predictor = OffTheShelfPredictor::new(kind, &config);
+    let mut predictor = GnnPredictor::off_the_shelf(kind, &config);
     predictor.fit(&train, &Dataset::default(), &config).expect("fit on one sample");
     predictor
 }
@@ -49,5 +50,20 @@ fn bench_model_inference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_graph_extraction, bench_model_inference);
+fn bench_batched_inference(c: &mut Criterion) {
+    // The serving path: one trained model, a sweep of designs per call.
+    let batch: Vec<GraphSample> = std::iter::repeat_with(kernel_sample).take(16).collect();
+    let predictor = trained_predictor(GnnKind::Rgcn);
+    let mut group = c.benchmark_group("gnn/predict_batch16_gemm");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("RGCN"), &batch, |b, batch| {
+        b.iter(|| {
+            let results = predictor.predict_batch(batch);
+            assert!(results.iter().all(Result::is_ok));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_extraction, bench_model_inference, bench_batched_inference);
 criterion_main!(benches);

@@ -6,7 +6,10 @@ use hls_gnn_core::experiments::{run_ablation, ExperimentConfig};
 
 fn main() {
     let config = ExperimentConfig::from_env();
-    println!("Running ablations at {:?} scale ({} CDFG programs)", config.scale, config.cdfg_programs);
+    println!(
+        "Running ablations at {:?} scale ({} CDFG programs)",
+        config.scale, config.cdfg_programs
+    );
     let report = match run_ablation(&config) {
         Ok(report) => report,
         Err(error) => {
@@ -15,10 +18,5 @@ fn main() {
         }
     };
     println!("{report}");
-    if let Ok(json) = serde_json::to_string_pretty(&report) {
-        std::fs::create_dir_all("results").ok();
-        if std::fs::write("results/ablation.json", json).is_ok() {
-            println!("wrote results/ablation.json");
-        }
-    }
+    hls_gnn_bench::write_report("ablation", &report);
 }

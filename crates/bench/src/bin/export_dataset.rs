@@ -11,7 +11,10 @@ fn write(dataset: &ExportedDataset, path: &str) {
     match dataset.to_json() {
         Ok(json) => {
             if std::fs::write(path, json).is_ok() {
-                println!("wrote {path} ({} graphs, {} nodes)", dataset.graph_count, dataset.node_count);
+                println!(
+                    "wrote {path} ({} graphs, {} nodes)",
+                    dataset.graph_count, dataset.node_count
+                );
             } else {
                 eprintln!("failed to write {path}");
             }

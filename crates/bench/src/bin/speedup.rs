@@ -15,10 +15,5 @@ fn main() {
         }
     };
     println!("{report}");
-    if let Ok(json) = serde_json::to_string_pretty(&report) {
-        std::fs::create_dir_all("results").ok();
-        if std::fs::write("results/speedup.json", json).is_ok() {
-            println!("wrote results/speedup.json");
-        }
-    }
+    hls_gnn_bench::write_report("speedup", &report);
 }

@@ -4,10 +4,19 @@
 use hls_gnn_core::experiments::{run_table2, ExperimentConfig};
 
 fn main() {
-    let config = ExperimentConfig::from_env();
+    let mut config = ExperimentConfig::from_env();
+    // HLSGNN_MODELS=rgcn,sage,... restricts the sweep (default: all 14).
+    if let Some(models) = hls_gnn_bench::models_from_env() {
+        config = config.with_models(models);
+    }
     println!(
-        "Running Table 2 at {:?} scale ({} DFG / {} CDFG programs, {} epochs, hidden {})",
-        config.scale, config.dfg_programs, config.cdfg_programs, config.train.epochs, config.train.hidden_dim
+        "Running Table 2 at {:?} scale ({} DFG / {} CDFG programs, {} epochs, hidden {}, {} models)",
+        config.scale,
+        config.dfg_programs,
+        config.cdfg_programs,
+        config.train.epochs,
+        config.train.hidden_dim,
+        config.table2_models.len()
     );
     let table = match run_table2(&config) {
         Ok(table) => table,
@@ -17,10 +26,5 @@ fn main() {
         }
     };
     println!("{table}");
-    if let Ok(json) = serde_json::to_string_pretty(&table) {
-        std::fs::create_dir_all("results").ok();
-        if std::fs::write("results/table2.json", json).is_ok() {
-            println!("wrote results/table2.json");
-        }
-    }
+    hls_gnn_bench::write_report("table2", &table);
 }

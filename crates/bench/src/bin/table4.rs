@@ -17,10 +17,5 @@ fn main() {
         }
     };
     println!("{table}");
-    if let Ok(json) = serde_json::to_string_pretty(&table) {
-        std::fs::create_dir_all("results").ok();
-        if std::fs::write("results/table4.json", json).is_ok() {
-            println!("wrote results/table4.json");
-        }
-    }
+    hls_gnn_bench::write_report("table4", &table);
 }

@@ -30,10 +30,5 @@ fn main() {
             .collect();
         println!("improvement of {predictor} over HLS -> {}", factors.join(", "));
     }
-    if let Ok(json) = serde_json::to_string_pretty(&table) {
-        std::fs::create_dir_all("results").ok();
-        if std::fs::write("results/table5.json", json).is_ok() {
-            println!("wrote results/table5.json");
-        }
-    }
+    hls_gnn_bench::write_report("table5", &table);
 }

@@ -1,0 +1,48 @@
+//! Shared helpers for the benchmark binaries.
+
+use std::str::FromStr;
+
+use gnn::GnnKind;
+
+/// Serialises a report to `results/<name>.json`, printing where it went.
+/// Failures are reported on stderr but never abort the run — the table on
+/// stdout is the primary artefact.
+pub fn write_report<T: serde::Serialize>(name: &str, report: &T) {
+    match serde_json::to_string_pretty(report) {
+        Ok(json) => {
+            let path = format!("results/{name}.json");
+            std::fs::create_dir_all("results").ok();
+            match std::fs::write(&path, json) {
+                Ok(()) => println!("wrote {path}"),
+                Err(error) => eprintln!("failed to write {path}: {error}"),
+            }
+        }
+        Err(error) => eprintln!("failed to serialise {name}: {error}"),
+    }
+}
+
+/// Parses the `HLSGNN_MODELS` environment variable — a comma-separated list
+/// of backbone names (`"rgcn,sage,pna"`) — into [`GnnKind`]s. Returns `None`
+/// when the variable is unset or empty (callers keep their default sweep);
+/// unknown names abort with a message listing the accepted values.
+pub fn models_from_env() -> Option<Vec<GnnKind>> {
+    let raw = std::env::var("HLSGNN_MODELS").ok()?;
+    if raw.trim().is_empty() {
+        return None;
+    }
+    let mut models = Vec::new();
+    // Tolerate stray separators ("rgcn,sage," or "rgcn,,sage").
+    for token in raw.split(',').map(str::trim).filter(|token| !token.is_empty()) {
+        match GnnKind::from_str(token) {
+            Ok(kind) => models.push(kind),
+            Err(error) => {
+                eprintln!("invalid HLSGNN_MODELS entry: {error}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if models.is_empty() {
+        return None;
+    }
+    Some(models)
+}

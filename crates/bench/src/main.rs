@@ -3,14 +3,24 @@
 fn main() {
     println!("hls-gnn-bench: benchmark harness for the HLS-GNN reproduction.");
     println!();
-    println!("Table / figure regeneration binaries (cargo run -p hls-gnn-bench --release --bin <name>):");
-    println!("  table2    MAPE of 14 off-the-shelf GNN models on DFG/CDFG corpora (Table 2)");
-    println!("  table3    node-level resource-type classification accuracy (Table 3)");
-    println!("  table4    the three approaches with RGCN/PNA backbones (Table 4)");
-    println!("  table5    generalisation to real applications vs the HLS report (Table 5)");
-    println!("  speedup   GNN inference vs full HLS flow wall-clock (the 40x timeliness claim)");
-    println!("  ablation  pooling / relational-edge / hierarchy ablations");
+    println!(
+        "Table / figure regeneration binaries (cargo run -p hls-gnn-bench --release --bin <name>):"
+    );
+    println!("  table2         MAPE of 14 off-the-shelf GNN models on DFG/CDFG corpora (Table 2)");
+    println!("  table3         node-level resource-type classification accuracy (Table 3)");
+    println!("  table4         the three approaches with RGCN/PNA backbones (Table 4)");
+    println!("  table5         generalisation to real applications vs the HLS report (Table 5)");
+    println!(
+        "  speedup        GNN inference vs full HLS flow wall-clock (the 40x timeliness claim)"
+    );
+    println!("  ablation       pooling / relational-edge / hierarchy ablations");
+    println!("  export_dataset benchmark corpora to the portable JSON release format");
+    println!("  train_predict  train a predictor chosen by spec string (e.g. hier/rgcn),");
+    println!("                 save it to JSON, reload it, and batch-predict a held-out sweep");
     println!();
-    println!("Scale is selected with HLSGNN_SCALE=fast|standard|paper (default: fast).");
+    println!("Environment:");
+    println!("  HLSGNN_SCALE=fast|standard|paper   corpus/model scale (default: fast)");
+    println!("  HLSGNN_MODELS=rgcn,sage,...        restrict the table2 sweep to these backbones");
+    println!();
     println!("Criterion micro-benchmarks: cargo bench -p hls-gnn-bench");
 }

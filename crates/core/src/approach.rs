@@ -1,65 +1,40 @@
-//! The three prediction strategies of §2 of the paper.
+//! The three prediction strategies of §2 of the paper, unified behind one
+//! implementation of the [`Predictor`] trait.
 //!
-//! * [`OffTheShelfPredictor`] — earliest prediction, Table-1 features only.
-//! * [`KnowledgeRichPredictor`] — late prediction, per-node resource values
-//!   from the HLS intermediate results as auxiliary inputs.
-//! * [`HierarchicalPredictor`] — the knowledge-infused approach: a node-level
-//!   resource-type classifier feeds a graph-level regressor; ground-truth
-//!   types are used during training and self-inferred types at inference, so
-//!   prediction still happens at the earliest stage with (almost) zero extra
-//!   inference cost.
+//! Historically each strategy was its own struct (`OffTheShelfPredictor`,
+//! `KnowledgeRichPredictor`, `HierarchicalPredictor`); they are now absorbed
+//! into [`GnnPredictor`], parameterised by a
+//! [`crate::builder::PredictorSpec`]:
+//!
+//! * [`ApproachKind::OffTheShelf`] — earliest prediction, Table-1 features
+//!   only.
+//! * [`ApproachKind::KnowledgeRich`] — late prediction, per-node resource
+//!   values from the HLS intermediate results as auxiliary inputs.
+//! * [`ApproachKind::Hierarchical`] — the knowledge-infused approach: a
+//!   node-level resource-type classifier feeds a graph-level regressor;
+//!   ground-truth types are used during training and self-inferred types at
+//!   inference, so prediction still happens at the earliest stage with
+//!   (almost) zero extra inference cost.
+//!
+//! This module also keeps the paper's evaluation protocol
+//! ([`seed_averaged_mape`]) and the HLS-report baseline
+//! ([`hls_baseline_mape`]).
 
-use gnn::GnnKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::builder::{ApproachKind, PredictorSpec};
 use crate::dataset::{Dataset, GraphSample};
-use crate::encode::FeatureMode;
 use crate::metrics::{mape_with_floor, TargetNormalizer};
 use crate::model::{GraphRegressor, NodeClassifierModel};
+use crate::persist::{SavedNormalizer, SavedPredictor, SavedTensor, SNAPSHOT_VERSION};
+use crate::predictor::Predictor;
 use crate::task::{ResourceClass, TargetMetric};
 use crate::train::{
-    evaluate_node_classifier, predict_regressor, train_node_classifier, train_regressor, TrainConfig,
+    evaluate_node_classifier, predict_regressor, train_node_classifier, train_regressor,
+    TrainConfig,
 };
 use crate::{Error, Result};
-
-/// A trained (or trainable) HLS performance predictor.
-pub trait Approach {
-    /// Human-readable name, e.g. `"RGCN-I"`.
-    fn name(&self) -> String;
-
-    /// Trains the predictor.
-    ///
-    /// # Errors
-    /// Returns [`Error::DatasetTooSmall`] for an empty training set.
-    fn fit(&mut self, train: &Dataset, validation: &Dataset, config: &TrainConfig) -> Result<()>;
-
-    /// Predicts the raw `[DSP, LUT, FF, CP]` values of one design.
-    ///
-    /// # Errors
-    /// Returns [`Error::NotTrained`] if called before [`Approach::fit`].
-    fn predict(&self, sample: &GraphSample) -> Result<[f64; TargetMetric::COUNT]>;
-
-    /// Per-target MAPE over a dataset (samples whose prediction fails are
-    /// skipped; this only happens for untrained models).
-    fn evaluate(&self, dataset: &Dataset) -> [f64; TargetMetric::COUNT] {
-        let mut predictions: Vec<Vec<f64>> = vec![Vec::new(); TargetMetric::COUNT];
-        let mut actuals: Vec<Vec<f64>> = vec![Vec::new(); TargetMetric::COUNT];
-        for sample in &dataset.samples {
-            if let Ok(predicted) = self.predict(sample) {
-                for target in 0..TargetMetric::COUNT {
-                    predictions[target].push(predicted[target]);
-                    actuals[target].push(sample.targets[target]);
-                }
-            }
-        }
-        let mut result = [0.0f64; TargetMetric::COUNT];
-        for target in 0..TargetMetric::COUNT {
-            result[target] = mape_with_floor(&predictions[target], &actuals[target], 1.0);
-        }
-        result
-    }
-}
 
 /// The paper's evaluation protocol (§5.1): train `runs` copies of a predictor
 /// with different seeds, rank them by mean validation MAPE, and report the
@@ -67,7 +42,10 @@ pub trait Approach {
 /// trained with five runs using different random number seeds and we report
 /// the average of three with least validation error").
 ///
-/// `make` builds a fresh, untrained predictor for a given seed.
+/// `make` builds a fresh, untrained predictor for a given seed; it may return
+/// any [`Predictor`] implementation, including `Box<dyn Predictor>` from the
+/// builder API. Evaluation goes through [`Predictor::evaluate`] and therefore
+/// the batched inference path.
 ///
 /// # Errors
 /// Propagates training errors; returns [`Error::Config`] when `runs` or `keep`
@@ -82,7 +60,7 @@ pub fn seed_averaged_mape<A, F>(
     keep: usize,
 ) -> Result<[f64; TargetMetric::COUNT]>
 where
-    A: Approach,
+    A: Predictor,
     F: FnMut(u64) -> A,
 {
     if runs == 0 || keep == 0 || keep > runs {
@@ -120,10 +98,11 @@ where
 /// truth — the baseline every approach is compared to in Table 5.
 pub fn hls_baseline_mape(dataset: &Dataset) -> [f64; TargetMetric::COUNT] {
     let mut result = [0.0f64; TargetMetric::COUNT];
-    for target in 0..TargetMetric::COUNT {
-        let predictions: Vec<f64> = dataset.samples.iter().map(|s| s.hls_estimate[target]).collect();
+    for (target, slot) in result.iter_mut().enumerate() {
+        let predictions: Vec<f64> =
+            dataset.samples.iter().map(|s| s.hls_estimate[target]).collect();
         let actuals: Vec<f64> = dataset.samples.iter().map(|s| s.targets[target]).collect();
-        result[target] = mape_with_floor(&predictions, &actuals, 1.0);
+        *slot = mape_with_floor(&predictions, &actuals, 1.0);
     }
     result
 }
@@ -135,104 +114,26 @@ fn ensure_nonempty(train: &Dataset) -> Result<()> {
     Ok(())
 }
 
-/// Approach 1: off-the-shelf GNN on raw IR graphs (earliest prediction).
+/// The GNN-based predictor implementing all three approaches of the paper,
+/// selected by its [`PredictorSpec`].
+///
+/// Construct one directly, through [`PredictorSpec::build`], or through
+/// [`crate::builder::PredictorBuilder`]; reload a trained one with
+/// [`crate::builder::load_predictor`].
 #[derive(Debug)]
-pub struct OffTheShelfPredictor {
-    kind: GnnKind,
-    config: TrainConfig,
-    model: Option<GraphRegressor>,
-    normalizer: Option<TargetNormalizer>,
-}
-
-impl OffTheShelfPredictor {
-    /// Creates an untrained predictor with the given GNN backbone.
-    pub fn new(kind: GnnKind, config: &TrainConfig) -> Self {
-        OffTheShelfPredictor { kind, config: config.clone(), model: None, normalizer: None }
-    }
-}
-
-impl Approach for OffTheShelfPredictor {
-    fn name(&self) -> String {
-        self.kind.name().to_owned()
-    }
-
-    fn fit(&mut self, train: &Dataset, _validation: &Dataset, config: &TrainConfig) -> Result<()> {
-        ensure_nonempty(train)?;
-        self.config = config.clone();
-        let normalizer = TargetNormalizer::fit(train);
-        let model = GraphRegressor::new(self.kind, FeatureMode::Base, config);
-        train_regressor(&model, &normalizer, train, config);
-        self.model = Some(model);
-        self.normalizer = Some(normalizer);
-        Ok(())
-    }
-
-    fn predict(&self, sample: &GraphSample) -> Result<[f64; TargetMetric::COUNT]> {
-        let (model, normalizer) = match (&self.model, &self.normalizer) {
-            (Some(model), Some(normalizer)) => (model, normalizer),
-            _ => return Err(Error::NotTrained(self.name())),
-        };
-        Ok(predict_regressor(model, normalizer, sample, None))
-    }
-}
-
-/// Approach 2: knowledge-rich GNN using per-node HLS resource estimates
-/// (latest prediction, best accuracy).
-#[derive(Debug)]
-pub struct KnowledgeRichPredictor {
-    kind: GnnKind,
-    config: TrainConfig,
-    model: Option<GraphRegressor>,
-    normalizer: Option<TargetNormalizer>,
-}
-
-impl KnowledgeRichPredictor {
-    /// Creates an untrained predictor with the given GNN backbone.
-    pub fn new(kind: GnnKind, config: &TrainConfig) -> Self {
-        KnowledgeRichPredictor { kind, config: config.clone(), model: None, normalizer: None }
-    }
-}
-
-impl Approach for KnowledgeRichPredictor {
-    fn name(&self) -> String {
-        format!("{}{}", self.kind.name(), FeatureMode::ResourceValues.suffix())
-    }
-
-    fn fit(&mut self, train: &Dataset, _validation: &Dataset, config: &TrainConfig) -> Result<()> {
-        ensure_nonempty(train)?;
-        self.config = config.clone();
-        let normalizer = TargetNormalizer::fit(train);
-        let model = GraphRegressor::new(self.kind, FeatureMode::ResourceValues, config);
-        train_regressor(&model, &normalizer, train, config);
-        self.model = Some(model);
-        self.normalizer = Some(normalizer);
-        Ok(())
-    }
-
-    fn predict(&self, sample: &GraphSample) -> Result<[f64; TargetMetric::COUNT]> {
-        let (model, normalizer) = match (&self.model, &self.normalizer) {
-            (Some(model), Some(normalizer)) => (model, normalizer),
-            _ => return Err(Error::NotTrained(self.name())),
-        };
-        Ok(predict_regressor(model, normalizer, sample, None))
-    }
-}
-
-/// Approach 3: the knowledge-infused hierarchical GNN.
-#[derive(Debug)]
-pub struct HierarchicalPredictor {
-    kind: GnnKind,
+pub struct GnnPredictor {
+    spec: PredictorSpec,
     config: TrainConfig,
     classifier: Option<NodeClassifierModel>,
     regressor: Option<GraphRegressor>,
     normalizer: Option<TargetNormalizer>,
 }
 
-impl HierarchicalPredictor {
-    /// Creates an untrained predictor with the given GNN backbone.
-    pub fn new(kind: GnnKind, config: &TrainConfig) -> Self {
-        HierarchicalPredictor {
-            kind,
+impl GnnPredictor {
+    /// Creates an untrained predictor for the given spec.
+    pub fn new(spec: PredictorSpec, config: &TrainConfig) -> Self {
+        GnnPredictor {
+            spec,
             config: config.clone(),
             classifier: None,
             regressor: None,
@@ -240,12 +141,28 @@ impl HierarchicalPredictor {
         }
     }
 
+    /// Approach 1: off-the-shelf GNN on raw IR graphs (earliest prediction).
+    pub fn off_the_shelf(backbone: gnn::GnnKind, config: &TrainConfig) -> Self {
+        GnnPredictor::new(PredictorSpec::new(ApproachKind::OffTheShelf, backbone), config)
+    }
+
+    /// Approach 2: knowledge-rich GNN using per-node HLS resource estimates.
+    pub fn knowledge_rich(backbone: gnn::GnnKind, config: &TrainConfig) -> Self {
+        GnnPredictor::new(PredictorSpec::new(ApproachKind::KnowledgeRich, backbone), config)
+    }
+
+    /// Approach 3: the knowledge-infused hierarchical GNN.
+    pub fn hierarchical(backbone: gnn::GnnKind, config: &TrainConfig) -> Self {
+        GnnPredictor::new(PredictorSpec::new(ApproachKind::Hierarchical, backbone), config)
+    }
+
     /// Per-class accuracy of the node-level stage (Table 3).
     ///
     /// # Errors
-    /// Returns [`Error::NotTrained`] before [`Approach::fit`].
+    /// Returns [`Error::NotTrained`] before [`Predictor::fit`] and
+    /// [`Error::Config`] for approaches without a node-level stage.
     pub fn node_accuracy(&self, dataset: &Dataset) -> Result<[f64; ResourceClass::COUNT]> {
-        let classifier = self.classifier.as_ref().ok_or_else(|| Error::NotTrained(self.name()))?;
+        let classifier = self.classifier_checked()?;
         Ok(evaluate_node_classifier(classifier, dataset))
     }
 
@@ -253,52 +170,184 @@ impl HierarchicalPredictor {
     /// of the graph-level stage).
     ///
     /// # Errors
-    /// Returns [`Error::NotTrained`] before [`Approach::fit`].
+    /// Returns [`Error::NotTrained`] before [`Predictor::fit`] and
+    /// [`Error::Config`] for approaches without a node-level stage.
     pub fn infer_types(&self, sample: &GraphSample) -> Result<Vec<[f32; 3]>> {
-        let classifier = self.classifier.as_ref().ok_or_else(|| Error::NotTrained(self.name()))?;
+        let classifier = self.classifier_checked()?;
         let mut rng = StdRng::seed_from_u64(0);
         Ok(classifier.predict_types(sample, &mut rng))
     }
+
+    /// Rebuilds a trained predictor from a snapshot.
+    ///
+    /// # Errors
+    /// Returns [`Error::Config`] when the snapshot's tensors do not match the
+    /// architecture implied by its spec and config.
+    pub fn from_saved(saved: &SavedPredictor) -> Result<Self> {
+        let regressor = GraphRegressor::new(
+            saved.spec.backbone,
+            saved.spec.approach.feature_mode(),
+            &saved.config,
+        );
+        regressor.load_state(&SavedTensor::to_state(&saved.regressor)?)?;
+        let classifier = match (&saved.classifier, saved.spec.approach.uses_classifier()) {
+            (Some(tensors), true) => {
+                let classifier = NodeClassifierModel::new(saved.spec.backbone, &saved.config);
+                classifier.load_state(&SavedTensor::to_state(tensors)?)?;
+                Some(classifier)
+            }
+            (None, false) => None,
+            (Some(_), false) => {
+                return Err(Error::Config(format!(
+                    "snapshot for {} carries a classifier but the approach has no node-level stage",
+                    saved.spec.name()
+                )))
+            }
+            (None, true) => {
+                return Err(Error::Config(format!(
+                    "snapshot for {} is missing the node-classifier stage",
+                    saved.spec.name()
+                )))
+            }
+        };
+        Ok(GnnPredictor {
+            spec: saved.spec,
+            config: saved.config.clone(),
+            classifier,
+            regressor: Some(regressor),
+            normalizer: Some(saved.normalizer.to_normalizer()),
+        })
+    }
+
+    fn classifier_checked(&self) -> Result<&NodeClassifierModel> {
+        if !self.spec.approach.uses_classifier() {
+            return Err(Error::Config(format!(
+                "{} has no node-level classifier stage (approach `{}`)",
+                self.name(),
+                self.spec.approach
+            )));
+        }
+        self.classifier.as_ref().ok_or_else(|| Error::NotTrained(self.name()))
+    }
+
+    /// Resolves the trained inference state once (the shared fast path used
+    /// by `predict_batch`).
+    fn trained_state(&self) -> Result<(&GraphRegressor, &TargetNormalizer)> {
+        match (&self.regressor, &self.normalizer) {
+            (Some(regressor), Some(normalizer)) => Ok((regressor, normalizer)),
+            _ => Err(Error::NotTrained(self.name())),
+        }
+    }
 }
 
-impl Approach for HierarchicalPredictor {
-    fn name(&self) -> String {
-        format!("{}{}", self.kind.name(), FeatureMode::ResourceTypes.suffix())
+impl Predictor for GnnPredictor {
+    fn spec(&self) -> PredictorSpec {
+        self.spec
+    }
+
+    fn is_trained(&self) -> bool {
+        self.regressor.is_some() && self.normalizer.is_some()
     }
 
     fn fit(&mut self, train: &Dataset, _validation: &Dataset, config: &TrainConfig) -> Result<()> {
         ensure_nonempty(train)?;
         self.config = config.clone();
-        // Stage 1: node-level classification, supervised by the ground-truth
-        // resource types (knowledge infusion happens here).
-        let classifier = NodeClassifierModel::new(self.kind, config);
-        train_node_classifier(&classifier, train, config);
-        // Stage 2: graph-level regression with ground-truth types as inputs.
+        // Stage 1 (hierarchical only): node-level classification, supervised
+        // by the ground-truth resource types (knowledge infusion).
+        self.classifier = if self.spec.approach.uses_classifier() {
+            let classifier = NodeClassifierModel::new(self.spec.backbone, config);
+            train_node_classifier(&classifier, train, config);
+            Some(classifier)
+        } else {
+            None
+        };
+        // Graph-level regression; the hierarchical approach trains on
+        // ground-truth types and self-infers them at prediction time.
         let normalizer = TargetNormalizer::fit(train);
-        let regressor = GraphRegressor::new(self.kind, FeatureMode::ResourceTypes, config);
+        let regressor =
+            GraphRegressor::new(self.spec.backbone, self.spec.approach.feature_mode(), config);
         train_regressor(&regressor, &normalizer, train, config);
-        self.classifier = Some(classifier);
         self.regressor = Some(regressor);
         self.normalizer = Some(normalizer);
         Ok(())
     }
 
-    fn predict(&self, sample: &GraphSample) -> Result<[f64; TargetMetric::COUNT]> {
-        let (regressor, normalizer) = match (&self.regressor, &self.normalizer) {
-            (Some(regressor), Some(normalizer)) => (regressor, normalizer),
-            _ => return Err(Error::NotTrained(self.name())),
+    fn predict_batch(&self, samples: &[GraphSample]) -> Vec<Result<[f64; TargetMetric::COUNT]>> {
+        // Resolve models, normaliser and the optional classifier once for the
+        // whole batch; the per-sample loop then only runs forward passes.
+        let (regressor, normalizer) = match self.trained_state() {
+            Ok(state) => state,
+            Err(error) => return samples.iter().map(|_| Err(error.clone())).collect(),
         };
-        // Hierarchical inference: the only inputs are the IR graph; the
-        // resource types are self-inferred by the first stage.
-        let types = self.infer_types(sample)?;
-        Ok(predict_regressor(regressor, normalizer, sample, Some(&types)))
+        let classifier = if self.spec.approach.uses_classifier() {
+            match self.classifier.as_ref() {
+                Some(classifier) => Some(classifier),
+                None => {
+                    let error = Error::NotTrained(self.name());
+                    return samples.iter().map(|_| Err(error.clone())).collect();
+                }
+            }
+        } else {
+            None
+        };
+        samples
+            .iter()
+            .map(|sample| {
+                // Hierarchical inference: the only inputs are the IR graph;
+                // resource types are self-inferred by the first stage.
+                let types = classifier.map(|classifier| {
+                    let mut rng = StdRng::seed_from_u64(0);
+                    classifier.predict_types(sample, &mut rng)
+                });
+                Ok(predict_regressor(regressor, normalizer, sample, types.as_deref()))
+            })
+            .collect()
+    }
+
+    fn save_json(&self) -> Result<String> {
+        let (regressor, normalizer) = self.trained_state()?;
+        // Refuse to serialise NaN/inf weights: JSON has no representation for
+        // them (they'd be written as null and fail on reload in the serving
+        // process), and a non-finite model is broken anyway — fail here,
+        // where the training run can still be fixed.
+        let ensure_finite = |state: &[gnn_tensor::Matrix]| -> Result<()> {
+            if state.iter().any(gnn_tensor::Matrix::has_non_finite) {
+                return Err(Error::Config(format!(
+                    "{} has non-finite weights (diverged training?); refusing to serialise",
+                    self.name()
+                )));
+            }
+            Ok(())
+        };
+        let regressor_state = regressor.state();
+        ensure_finite(&regressor_state)?;
+        let classifier = if self.spec.approach.uses_classifier() {
+            let classifier =
+                self.classifier.as_ref().ok_or_else(|| Error::NotTrained(self.name()))?;
+            let classifier_state = classifier.state();
+            ensure_finite(&classifier_state)?;
+            Some(SavedTensor::from_state(&classifier_state))
+        } else {
+            None
+        };
+        SavedPredictor {
+            version: SNAPSHOT_VERSION,
+            spec: self.spec,
+            config: self.config.clone(),
+            normalizer: SavedNormalizer::from_normalizer(normalizer),
+            regressor: SavedTensor::from_state(&regressor_state),
+            classifier,
+        }
+        .to_json()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::load_predictor;
     use crate::dataset::DatasetBuilder;
+    use gnn::GnnKind;
     use hls_progen::synthetic::{ProgramFamily, SyntheticConfig};
 
     fn tiny_split() -> (Dataset, Dataset, Dataset) {
@@ -316,36 +365,42 @@ mod tests {
     fn untrained_predictors_refuse_to_predict() {
         let (_, _, test) = tiny_split();
         let config = TrainConfig::fast();
-        let predictors: Vec<Box<dyn Approach>> = vec![
-            Box::new(OffTheShelfPredictor::new(GnnKind::Gcn, &config)),
-            Box::new(KnowledgeRichPredictor::new(GnnKind::Gcn, &config)),
-            Box::new(HierarchicalPredictor::new(GnnKind::Gcn, &config)),
+        let predictors: Vec<Box<dyn Predictor>> = vec![
+            Box::new(GnnPredictor::off_the_shelf(GnnKind::Gcn, &config)),
+            Box::new(GnnPredictor::knowledge_rich(GnnKind::Gcn, &config)),
+            Box::new(GnnPredictor::hierarchical(GnnKind::Gcn, &config)),
         ];
         for predictor in &predictors {
+            assert!(!predictor.is_trained());
             assert!(matches!(predictor.predict(&test.samples[0]), Err(Error::NotTrained(_))));
+            assert!(matches!(predictor.save_json(), Err(Error::NotTrained(_))));
+            let batch = predictor.predict_batch(&test.samples);
+            assert_eq!(batch.len(), test.len());
+            assert!(batch.iter().all(|r| matches!(r, Err(Error::NotTrained(_)))));
         }
     }
 
     #[test]
     fn names_follow_paper_notation() {
         let config = TrainConfig::fast();
-        assert_eq!(OffTheShelfPredictor::new(GnnKind::Rgcn, &config).name(), "RGCN");
-        assert_eq!(KnowledgeRichPredictor::new(GnnKind::Rgcn, &config).name(), "RGCN-R");
-        assert_eq!(HierarchicalPredictor::new(GnnKind::Pna, &config).name(), "PNA-I");
+        assert_eq!(GnnPredictor::off_the_shelf(GnnKind::Rgcn, &config).name(), "RGCN");
+        assert_eq!(GnnPredictor::knowledge_rich(GnnKind::Rgcn, &config).name(), "RGCN-R");
+        assert_eq!(GnnPredictor::hierarchical(GnnKind::Pna, &config).name(), "PNA-I");
     }
 
     #[test]
     fn all_three_approaches_train_and_predict() {
         let (train, validation, test) = tiny_split();
         let config = TrainConfig::fast();
-        let mut off_the_shelf = OffTheShelfPredictor::new(GnnKind::GraphSage, &config);
-        let mut knowledge_rich = KnowledgeRichPredictor::new(GnnKind::GraphSage, &config);
-        let mut hierarchical = HierarchicalPredictor::new(GnnKind::GraphSage, &config);
+        let mut off_the_shelf = GnnPredictor::off_the_shelf(GnnKind::GraphSage, &config);
+        let mut knowledge_rich = GnnPredictor::knowledge_rich(GnnKind::GraphSage, &config);
+        let mut hierarchical = GnnPredictor::hierarchical(GnnKind::GraphSage, &config);
         off_the_shelf.fit(&train, &validation, &config).unwrap();
         knowledge_rich.fit(&train, &validation, &config).unwrap();
         hierarchical.fit(&train, &validation, &config).unwrap();
 
-        for approach in [&off_the_shelf as &dyn Approach, &knowledge_rich, &hierarchical] {
+        for approach in [&off_the_shelf as &dyn Predictor, &knowledge_rich, &hierarchical] {
+            assert!(approach.is_trained());
             let prediction = approach.predict(&test.samples[0]).unwrap();
             assert!(prediction.iter().all(|v| v.is_finite() && *v >= 0.0));
             let mape = approach.evaluate(&test);
@@ -355,6 +410,50 @@ mod tests {
         assert!(accuracies.iter().all(|&a| (0.0..=1.0).contains(&a)));
         let types = hierarchical.infer_types(&test.samples[0]).unwrap();
         assert_eq!(types.len(), test.samples[0].num_nodes());
+
+        // The node-level stage only exists for the hierarchical approach.
+        assert!(matches!(off_the_shelf.node_accuracy(&test), Err(Error::Config(_))));
+        assert!(matches!(knowledge_rich.infer_types(&test.samples[0]), Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn predict_batch_matches_per_sample_predict() {
+        let (train, validation, test) = tiny_split();
+        let config = TrainConfig::fast();
+        for approach in ApproachKind::ALL {
+            let spec = PredictorSpec::new(approach, GnnKind::Gcn);
+            let mut predictor = GnnPredictor::new(spec, &config);
+            predictor.fit(&train, &validation, &config).unwrap();
+            let batch = predictor.predict_batch(&test.samples);
+            assert_eq!(batch.len(), test.len());
+            for (sample, batched) in test.samples.iter().zip(batch) {
+                let single = predictor.predict(sample).unwrap();
+                assert_eq!(single, batched.unwrap(), "{}: batch differs from single", spec.id());
+            }
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_predictions_exactly() {
+        let (train, validation, test) = tiny_split();
+        let config = TrainConfig::fast();
+        for approach in ApproachKind::ALL {
+            let spec = PredictorSpec::new(approach, GnnKind::GraphSage);
+            let mut predictor = GnnPredictor::new(spec, &config);
+            predictor.fit(&train, &validation, &config).unwrap();
+            let json = predictor.save_json().unwrap();
+            let reloaded = load_predictor(&json).unwrap();
+            assert_eq!(reloaded.spec(), spec);
+            assert!(reloaded.is_trained());
+            for sample in &test.samples {
+                assert_eq!(
+                    reloaded.predict(sample).unwrap(),
+                    predictor.predict(sample).unwrap(),
+                    "{}: reloaded model diverged",
+                    spec.id()
+                );
+            }
+        }
     }
 
     #[test]
@@ -363,7 +462,7 @@ mod tests {
         let mut config = TrainConfig::fast();
         config.epochs = 2;
         let averaged = seed_averaged_mape(
-            |_seed| OffTheShelfPredictor::new(GnnKind::Gcn, &config),
+            |_seed| GnnPredictor::off_the_shelf(GnnKind::Gcn, &config),
             &train,
             &validation,
             &test,
@@ -374,9 +473,21 @@ mod tests {
         .expect("seed averaging runs");
         assert!(averaged.iter().all(|m| m.is_finite() && *m >= 0.0));
 
+        // The protocol also accepts boxed predictors from the builder API.
+        let boxed = seed_averaged_mape(
+            |_seed| PredictorSpec::new(ApproachKind::OffTheShelf, GnnKind::Gcn).build(&config),
+            &train,
+            &validation,
+            &test,
+            &config,
+            2,
+            1,
+        );
+        assert!(boxed.is_ok());
+
         // Invalid setups are rejected.
         let invalid = seed_averaged_mape(
-            |_seed| OffTheShelfPredictor::new(GnnKind::Gcn, &config),
+            |_seed| GnnPredictor::off_the_shelf(GnnKind::Gcn, &config),
             &train,
             &validation,
             &test,
@@ -388,14 +499,33 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_weights_refuse_to_serialise() {
+        let (train, validation, _) = tiny_split();
+        let config = TrainConfig::fast();
+        let mut predictor = GnnPredictor::off_the_shelf(GnnKind::Gcn, &config);
+        predictor.fit(&train, &validation, &config).unwrap();
+        let params = predictor.regressor.as_ref().unwrap().parameters();
+        let (rows, cols) = params[0].shape();
+        params[0].set_value(gnn_tensor::Matrix::full(rows, cols, f32::NAN));
+        assert!(matches!(predictor.save_json(), Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn evaluating_an_untrained_model_reports_nan_not_zero() {
+        let (_, _, test) = tiny_split();
+        let config = TrainConfig::fast();
+        let predictor = GnnPredictor::off_the_shelf(GnnKind::Gcn, &config);
+        assert!(predictor.evaluate(&test).iter().all(|m| m.is_nan()));
+        // An empty dataset still evaluates to zeros, as before.
+        assert_eq!(predictor.evaluate(&Dataset::default()), [0.0; TargetMetric::COUNT]);
+    }
+
+    #[test]
     fn empty_training_set_is_rejected() {
         let config = TrainConfig::fast();
-        let mut predictor = OffTheShelfPredictor::new(GnnKind::Gcn, &config);
+        let mut predictor = GnnPredictor::off_the_shelf(GnnKind::Gcn, &config);
         let empty = Dataset::default();
-        assert!(matches!(
-            predictor.fit(&empty, &empty, &config),
-            Err(Error::DatasetTooSmall(_))
-        ));
+        assert!(matches!(predictor.fit(&empty, &empty, &config), Err(Error::DatasetTooSmall(_))));
     }
 
     #[test]

@@ -288,10 +288,11 @@ mod tests {
     #[test]
     fn cdfg_dataset_uses_control_relations() {
         let dataset = tiny_dataset(ProgramFamily::Control, 6);
-        assert!(dataset
-            .samples
+        assert!(dataset.samples.iter().any(|sample| sample
+            .structure
+            .edge_relation
             .iter()
-            .any(|sample| sample.structure.edge_relation.iter().any(|&r| r >= 2)));
+            .any(|&r| r >= 2)));
         assert_eq!(dataset.samples[0].structure.num_relations, GraphSample::NUM_RELATIONS);
     }
 

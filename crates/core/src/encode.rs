@@ -96,8 +96,10 @@ impl FeatureEncoder {
     pub fn encode(&self, sample: &GraphSample, type_override: Option<&[[f32; 3]]>) -> Var {
         let n = sample.num_nodes();
         let node_type_ids: Vec<usize> = sample.node_features.iter().map(|f| f.node_type).collect();
-        let bitwidth_ids: Vec<usize> = sample.node_features.iter().map(|f| f.bitwidth_bucket()).collect();
-        let category_ids: Vec<usize> = sample.node_features.iter().map(|f| f.opcode_category).collect();
+        let bitwidth_ids: Vec<usize> =
+            sample.node_features.iter().map(|f| f.bitwidth_bucket()).collect();
+        let category_ids: Vec<usize> =
+            sample.node_features.iter().map(|f| f.opcode_category).collect();
         let opcode_ids: Vec<usize> = sample.node_features.iter().map(|f| f.opcode).collect();
 
         let numeric = Matrix::from_fn(n, NUMERIC_BASE_FEATURES, |row, col| {

@@ -21,11 +21,11 @@ use hls_progen::synthetic::ProgramFamily;
 use hls_sim::{run_flow, FpgaDevice};
 use serde::{Deserialize, Serialize};
 
-use crate::approach::{
-    hls_baseline_mape, Approach, HierarchicalPredictor, KnowledgeRichPredictor, OffTheShelfPredictor,
-};
+use crate::approach::hls_baseline_mape;
+use crate::builder::{ApproachKind, PredictorSpec};
 use crate::dataset::{Dataset, DatasetBuilder, Split};
 use crate::model::NodeClassifierModel;
+use crate::predictor::Predictor;
 use crate::task::TargetMetric;
 use crate::train::{evaluate_node_classifier, train_node_classifier, TrainConfig};
 use crate::Result;
@@ -42,13 +42,28 @@ pub enum ExperimentScale {
 }
 
 impl ExperimentScale {
+    /// Values accepted by `HLSGNN_SCALE`, for error messages and docs.
+    pub const ACCEPTED_VALUES: &'static str = "fast, standard (alias: default), paper";
+
     /// Reads the scale from `HLSGNN_SCALE` (`fast` / `standard` / `paper`),
-    /// defaulting to [`ExperimentScale::Fast`].
+    /// defaulting to [`ExperimentScale::Fast`] when the variable is unset or
+    /// empty. An unrecognised value also falls back to `Fast`, but emits a
+    /// warning on stderr instead of silently masking the typo.
     pub fn from_env() -> Self {
-        match std::env::var("HLSGNN_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        let raw = std::env::var("HLSGNN_SCALE").unwrap_or_default();
+        let raw = raw.trim();
+        match raw.to_lowercase().as_str() {
+            "" | "fast" => ExperimentScale::Fast,
             "paper" => ExperimentScale::Paper,
             "standard" | "default" => ExperimentScale::Standard,
-            _ => ExperimentScale::Fast,
+            _ => {
+                eprintln!(
+                    "warning: unrecognised HLSGNN_SCALE value `{raw}`; falling back to `fast` \
+                     (accepted values: {})",
+                    Self::ACCEPTED_VALUES
+                );
+                ExperimentScale::Fast
+            }
         }
     }
 }
@@ -182,10 +197,15 @@ impl Table2 {
 impl fmt::Display for Table2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table 2: MAPE of graph-level regression (off-the-shelf approach)")?;
-        writeln!(f, "{:<10} {:>36} | {:>36}", "model", "DFG  (DSP/LUT/FF/CP)", "CDFG (DSP/LUT/FF/CP)")?;
+        writeln!(
+            f,
+            "{:<10} {:>36} | {:>36}",
+            "model", "DFG  (DSP/LUT/FF/CP)", "CDFG (DSP/LUT/FF/CP)"
+        )?;
         for row in &self.rows {
             let dfg: Vec<String> = row.dfg.iter().map(|v| format!("{:>7.2}%", v * 100.0)).collect();
-            let cdfg: Vec<String> = row.cdfg.iter().map(|v| format!("{:>7.2}%", v * 100.0)).collect();
+            let cdfg: Vec<String> =
+                row.cdfg.iter().map(|v| format!("{:>7.2}%", v * 100.0)).collect();
             writeln!(f, "{:<10} {} | {}", row.model, dfg.join(" "), cdfg.join(" "))?;
         }
         let (dfg_mean, cdfg_mean) = self.dataset_means();
@@ -203,11 +223,12 @@ pub fn run_table2(config: &ExperimentConfig) -> Result<Table2> {
     let cdfg = config.build_corpus(ProgramFamily::Control, config.cdfg_programs)?;
     let mut rows = Vec::new();
     for &kind in &config.table2_models {
-        let mut dfg_model = OffTheShelfPredictor::new(kind, &config.train);
+        let spec = PredictorSpec::new(ApproachKind::OffTheShelf, kind);
+        let mut dfg_model = spec.build(&config.train);
         dfg_model.fit(&dfg.train, &dfg.validation, &config.train)?;
         let dfg_mape = dfg_model.evaluate(&dfg.test);
 
-        let mut cdfg_model = OffTheShelfPredictor::new(kind, &config.train);
+        let mut cdfg_model = spec.build(&config.train);
         cdfg_model.fit(&cdfg.train, &cdfg.validation, &config.train)?;
         let cdfg_mape = cdfg_model.evaluate(&cdfg.test);
 
@@ -244,12 +265,23 @@ pub struct Table3 {
 impl fmt::Display for Table3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table 3: node-level resource-type classification accuracy")?;
-        writeln!(f, "{:<10} {:>27} | {:>27} | {:>27}", "model", "DFG (DSP/LUT/FF)", "CDFG (DSP/LUT/FF)", "Real (DSP/LUT/FF)")?;
+        writeln!(
+            f,
+            "{:<10} {:>27} | {:>27} | {:>27}",
+            "model", "DFG (DSP/LUT/FF)", "CDFG (DSP/LUT/FF)", "Real (DSP/LUT/FF)"
+        )?;
         for row in &self.rows {
             let fmt3 = |values: &[f64; 3]| {
                 values.iter().map(|v| format!("{:>8.2}%", v * 100.0)).collect::<Vec<_>>().join(" ")
             };
-            writeln!(f, "{:<10} {} | {} | {}", row.model, fmt3(&row.dfg), fmt3(&row.cdfg), fmt3(&row.real))?;
+            writeln!(
+                f,
+                "{:<10} {} | {} | {}",
+                row.model,
+                fmt3(&row.dfg),
+                fmt3(&row.cdfg),
+                fmt3(&row.real)
+            )?;
         }
         Ok(())
     }
@@ -316,10 +348,15 @@ pub struct Table4 {
 impl fmt::Display for Table4 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table 4: MAPE of the three approaches (RGCN / PNA backbones)")?;
-        writeln!(f, "{:<10} {:>36} | {:>36}", "predictor", "DFG  (DSP/LUT/FF/CP)", "CDFG (DSP/LUT/FF/CP)")?;
+        writeln!(
+            f,
+            "{:<10} {:>36} | {:>36}",
+            "predictor", "DFG  (DSP/LUT/FF/CP)", "CDFG (DSP/LUT/FF/CP)"
+        )?;
         for row in &self.rows {
             let dfg: Vec<String> = row.dfg.iter().map(|v| format!("{:>7.2}%", v * 100.0)).collect();
-            let cdfg: Vec<String> = row.cdfg.iter().map(|v| format!("{:>7.2}%", v * 100.0)).collect();
+            let cdfg: Vec<String> =
+                row.cdfg.iter().map(|v| format!("{:>7.2}%", v * 100.0)).collect();
             writeln!(f, "{:<10} {} | {}", row.predictor, dfg.join(" "), cdfg.join(" "))?;
         }
         Ok(())
@@ -329,18 +366,24 @@ impl fmt::Display for Table4 {
 /// The two backbones carried into Tables 4 and 5.
 pub const TABLE4_BACKBONES: [GnnKind; 2] = [GnnKind::Rgcn, GnnKind::Pna];
 
+/// The Table-4/5 row order per backbone: base, then knowledge-infused, then
+/// knowledge-rich.
+const TABLE4_APPROACHES: [ApproachKind; 3] =
+    [ApproachKind::OffTheShelf, ApproachKind::Hierarchical, ApproachKind::KnowledgeRich];
+
 fn fit_three_approaches(
     backbone: GnnKind,
     split: &Split,
     config: &ExperimentConfig,
-) -> Result<(OffTheShelfPredictor, HierarchicalPredictor, KnowledgeRichPredictor)> {
-    let mut base = OffTheShelfPredictor::new(backbone, &config.train);
-    base.fit(&split.train, &split.validation, &config.train)?;
-    let mut infused = HierarchicalPredictor::new(backbone, &config.train);
-    infused.fit(&split.train, &split.validation, &config.train)?;
-    let mut rich = KnowledgeRichPredictor::new(backbone, &config.train);
-    rich.fit(&split.train, &split.validation, &config.train)?;
-    Ok((base, infused, rich))
+) -> Result<Vec<Box<dyn Predictor>>> {
+    TABLE4_APPROACHES
+        .iter()
+        .map(|&approach| {
+            let mut predictor = PredictorSpec::new(approach, backbone).build(&config.train);
+            predictor.fit(&split.train, &split.validation, &config.train)?;
+            Ok(predictor)
+        })
+        .collect()
 }
 
 /// Runs the Table-4 comparison of the three approaches on synthetic corpora.
@@ -352,14 +395,9 @@ pub fn run_table4(config: &ExperimentConfig) -> Result<Table4> {
     let cdfg = config.build_corpus(ProgramFamily::Control, config.cdfg_programs)?;
     let mut rows = Vec::new();
     for backbone in TABLE4_BACKBONES {
-        let (dfg_base, dfg_infused, dfg_rich) = fit_three_approaches(backbone, &dfg, config)?;
-        let (cdfg_base, cdfg_infused, cdfg_rich) = fit_three_approaches(backbone, &cdfg, config)?;
-        let pairs: [(&dyn Approach, &dyn Approach); 3] = [
-            (&dfg_base, &cdfg_base),
-            (&dfg_infused, &cdfg_infused),
-            (&dfg_rich, &cdfg_rich),
-        ];
-        for (dfg_model, cdfg_model) in pairs {
+        let dfg_models = fit_three_approaches(backbone, &dfg, config)?;
+        let cdfg_models = fit_three_approaches(backbone, &cdfg, config)?;
+        for (dfg_model, cdfg_model) in dfg_models.iter().zip(&cdfg_models) {
             rows.push(Table4Row {
                 predictor: dfg_model.name(),
                 dfg: dfg_model.evaluate(&dfg.test),
@@ -428,11 +466,12 @@ impl fmt::Display for Table5 {
 pub fn run_table5(config: &ExperimentConfig) -> Result<Table5> {
     let cdfg = config.build_corpus(ProgramFamily::Control, config.cdfg_programs)?;
     let real = Dataset::real_world(&config.device)?;
-    let mut columns = vec![Table5Column { predictor: "HLS".to_owned(), mape: hls_baseline_mape(&real) }];
+    let mut columns =
+        vec![Table5Column { predictor: "HLS".to_owned(), mape: hls_baseline_mape(&real) }];
     for backbone in TABLE4_BACKBONES {
-        let (base, infused, rich) = fit_three_approaches(backbone, &cdfg, config)?;
-        for approach in [&base as &dyn Approach, &infused, &rich] {
-            columns.push(Table5Column { predictor: approach.name(), mape: approach.evaluate(&real) });
+        for approach in fit_three_approaches(backbone, &cdfg, config)? {
+            columns
+                .push(Table5Column { predictor: approach.name(), mape: approach.evaluate(&real) });
         }
     }
     Ok(Table5 { columns })
@@ -509,7 +548,11 @@ impl fmt::Display for SpeedupReport {
             writeln!(
                 f,
                 "{:<22} {:>16.1} {:>12.1} {:>11.1}x {:>13.0}x",
-                row.kernel, row.hls_flow_us, row.gnn_inference_us, row.speedup, row.calibrated_speedup
+                row.kernel,
+                row.hls_flow_us,
+                row.gnn_inference_us,
+                row.speedup,
+                row.calibrated_speedup
             )?;
         }
         writeln!(
@@ -529,7 +572,8 @@ impl fmt::Display for SpeedupReport {
 /// Propagates dataset-construction and training errors.
 pub fn run_speedup(config: &ExperimentConfig) -> Result<SpeedupReport> {
     let cdfg = config.build_corpus(ProgramFamily::Control, config.cdfg_programs.min(64))?;
-    let mut predictor = OffTheShelfPredictor::new(GnnKind::Rgcn, &config.train);
+    let mut predictor =
+        PredictorSpec::new(ApproachKind::OffTheShelf, GnnKind::Rgcn).build(&config.train);
     predictor.fit(&cdfg.train, &cdfg.validation, &config.train)?;
 
     let real = Dataset::real_world(&config.device)?;
@@ -599,7 +643,8 @@ pub fn run_ablation(config: &ExperimentConfig) -> Result<AblationReport> {
     for pooling in gnn::Pooling::ALL {
         let mut train = config.train.clone();
         train.pooling = pooling;
-        let mut predictor = OffTheShelfPredictor::new(GnnKind::Rgcn, &train);
+        let mut predictor =
+            PredictorSpec::new(ApproachKind::OffTheShelf, GnnKind::Rgcn).build(&train);
         predictor.fit(&cdfg.train, &cdfg.validation, &train)?;
         rows.push(AblationRow {
             setting: format!("RGCN/{} pooling", pooling.name()),
@@ -609,7 +654,8 @@ pub fn run_ablation(config: &ExperimentConfig) -> Result<AblationReport> {
 
     // Relational edges: RGCN (uses edge types) vs plain GCN (ignores them).
     for kind in [GnnKind::Gcn, GnnKind::Rgcn] {
-        let mut predictor = OffTheShelfPredictor::new(kind, &config.train);
+        let mut predictor =
+            PredictorSpec::new(ApproachKind::OffTheShelf, kind).build(&config.train);
         predictor.fit(&cdfg.train, &cdfg.validation, &config.train)?;
         rows.push(AblationRow {
             setting: format!("{} (relational: {})", kind.name(), kind.is_relational()),
@@ -618,7 +664,8 @@ pub fn run_ablation(config: &ExperimentConfig) -> Result<AblationReport> {
     }
 
     // Hierarchy: off-the-shelf vs knowledge-infused on the same backbone.
-    let mut infused = HierarchicalPredictor::new(GnnKind::Rgcn, &config.train);
+    let mut infused =
+        PredictorSpec::new(ApproachKind::Hierarchical, GnnKind::Rgcn).build(&config.train);
     infused.fit(&cdfg.train, &cdfg.validation, &config.train)?;
     rows.push(AblationRow {
         setting: "RGCN-I (hierarchical)".to_owned(),
@@ -659,7 +706,11 @@ mod tests {
         let config = smoke_config();
         let table = run_table2(&config).expect("table 2 runs");
         assert_eq!(table.rows.len(), 2);
-        assert!(table.rows.iter().all(|r| r.dfg.iter().chain(r.cdfg.iter()).all(|m| m.is_finite())));
+        assert!(table.rows.iter().all(|r| r
+            .dfg
+            .iter()
+            .chain(r.cdfg.iter())
+            .all(|m| m.is_finite())));
         let rendered = table.to_string();
         assert!(rendered.contains("GCN"));
         assert!(rendered.contains("RGCN"));

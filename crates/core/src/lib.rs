@@ -12,53 +12,77 @@
 //!   augmented with the auxiliary information each approach uses.
 //! * [`model`] provides the graph-level regressor (GNN stack + pooling +
 //!   `hidden-2·hidden-hidden-4` head) and the node-level classifier.
-//! * [`approach`] implements the three prediction strategies of §2: the
-//!   off-the-shelf approach, the knowledge-rich approach, and the
-//!   knowledge-infused hierarchical GNN.
+//! * [`predictor`] defines the dyn-safe [`Predictor`] trait — the single
+//!   interface every model is trained, batched and persisted through — and
+//!   [`approach`] implements the three prediction strategies of §2 behind it
+//!   (off-the-shelf, knowledge-rich, knowledge-infused hierarchical).
+//! * [`builder`] constructs any approach × backbone combination at runtime
+//!   from a [`PredictorSpec`] (parseable from strings like `"hier/rgcn"`),
+//!   and [`persist`] snapshots trained predictors to JSON and back.
 //! * [`train`] and [`metrics`] hold the shared training loops, MAPE/accuracy
 //!   metrics and target normalisation.
 //! * [`experiments`] regenerates every table and figure of the evaluation
 //!   section (Tables 2–5, the DFG-vs-CDFG analysis, the speed-up figure and
-//!   the ablations).
+//!   the ablations), driving everything through the [`Predictor`] API.
 //!
 //! # Quick start
 //!
 //! ```
+//! use hls_gnn_core::builder::PredictorBuilder;
 //! use hls_gnn_core::dataset::DatasetBuilder;
-//! use hls_gnn_core::approach::{Approach, OffTheShelfPredictor};
+//! use hls_gnn_core::predictor::Predictor;
 //! use hls_gnn_core::train::TrainConfig;
-//! use gnn::GnnKind;
 //! use hls_progen::synthetic::ProgramFamily;
 //!
 //! # fn main() -> Result<(), hls_gnn_core::Error> {
 //! // A tiny corpus so the example runs in seconds.
 //! let dataset = DatasetBuilder::new(ProgramFamily::StraightLine).count(24).seed(7).build()?;
 //! let split = dataset.split(0.8, 0.1, 42);
-//! let config = TrainConfig::fast();
-//! let mut predictor = OffTheShelfPredictor::new(GnnKind::GraphSage, &config);
-//! predictor.fit(&split.train, &split.validation, &config)?;
+//!
+//! // Select the model from a config string and train it.
+//! let predictor = PredictorBuilder::parse("base/sage")?
+//!     .config(TrainConfig::fast())
+//!     .train(&split.train, &split.validation)?;
+//!
+//! // Batched inference over the whole held-out set in one call.
+//! let predictions = predictor.predict_batch(&split.test.samples);
+//! assert_eq!(predictions.len(), split.test.len());
 //! let mape = predictor.evaluate(&split.test);
 //! assert!(mape.iter().all(|m| m.is_finite()));
+//!
+//! // Persist the trained model and revive it elsewhere.
+//! let snapshot = predictor.save_json()?;
+//! let reloaded = hls_gnn_core::builder::load_predictor(&snapshot)?;
+//! assert_eq!(
+//!     reloaded.predict(&split.test.samples[0])?,
+//!     predictor.predict(&split.test.samples[0])?,
+//! );
 //! # Ok(())
 //! # }
 //! ```
 
 pub mod approach;
+pub mod builder;
 pub mod dataset;
 pub mod encode;
 pub mod experiments;
 pub mod export;
 pub mod metrics;
 pub mod model;
+pub mod persist;
+pub mod predictor;
 pub mod task;
 pub mod train;
 
 use std::fmt;
 
-pub use approach::{Approach, HierarchicalPredictor, KnowledgeRichPredictor, OffTheShelfPredictor};
+pub use approach::{hls_baseline_mape, seed_averaged_mape, GnnPredictor};
+pub use builder::{load_predictor, ApproachKind, PredictorBuilder, PredictorSpec};
 pub use dataset::{Dataset, DatasetBuilder, GraphSample, Split};
 pub use encode::{FeatureEncoder, FeatureMode};
 pub use metrics::{accuracy, f1_score, mape, rmse, TargetNormalizer};
+pub use persist::SavedPredictor;
+pub use predictor::Predictor;
 pub use task::{ResourceClass, TargetMetric};
 pub use train::TrainConfig;
 

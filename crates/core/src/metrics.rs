@@ -11,11 +11,8 @@ pub fn mape_with_floor(predictions: &[f64], actuals: &[f64], floor: f64) -> f64 
     if predictions.is_empty() {
         return 0.0;
     }
-    let total: f64 = predictions
-        .iter()
-        .zip(actuals)
-        .map(|(p, a)| (p - a).abs() / a.abs().max(floor))
-        .sum();
+    let total: f64 =
+        predictions.iter().zip(actuals).map(|(p, a)| (p - a).abs() / a.abs().max(floor)).sum();
     total / predictions.len() as f64
 }
 
@@ -41,11 +38,7 @@ pub fn accuracy(scores: &[f64], labels: &[f64]) -> f64 {
     if scores.is_empty() {
         return 0.0;
     }
-    let correct = scores
-        .iter()
-        .zip(labels)
-        .filter(|(s, l)| (**s >= 0.5) == (**l >= 0.5))
-        .count();
+    let correct = scores.iter().zip(labels).filter(|(s, l)| (**s >= 0.5) == (**l >= 0.5)).count();
     correct as f64 / scores.len() as f64
 }
 
@@ -82,6 +75,22 @@ pub struct TargetNormalizer {
 }
 
 impl TargetNormalizer {
+    /// Rebuilds a normaliser from previously fitted statistics (used when
+    /// reloading a persisted predictor).
+    pub fn from_parts(mean: [f64; TargetMetric::COUNT], std: [f64; TargetMetric::COUNT]) -> Self {
+        TargetNormalizer { mean, std }
+    }
+
+    /// Per-target mean of `log1p(target)` estimated on the training set.
+    pub fn mean(&self) -> [f64; TargetMetric::COUNT] {
+        self.mean
+    }
+
+    /// Per-target standard deviation of `log1p(target)`.
+    pub fn std(&self) -> [f64; TargetMetric::COUNT] {
+        self.std
+    }
+
     /// Fits the normaliser on a training dataset.
     pub fn fit(train: &Dataset) -> Self {
         let count = train.len().max(1) as f64;
@@ -117,7 +126,10 @@ impl TargetNormalizer {
     }
 
     /// Maps normalised predictions back to raw target values.
-    pub fn denormalize(&self, normalized: &[f32; TargetMetric::COUNT]) -> [f64; TargetMetric::COUNT] {
+    pub fn denormalize(
+        &self,
+        normalized: &[f32; TargetMetric::COUNT],
+    ) -> [f64; TargetMetric::COUNT] {
         let mut out = [0.0f64; TargetMetric::COUNT];
         for (index, &value) in normalized.iter().enumerate() {
             let log_value = f64::from(value) * self.std[index] + self.mean[index];

@@ -263,7 +263,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         // Two regressors with different seeds have different weights.
         let source = GraphRegressor::new(GnnKind::Rgcn, FeatureMode::Base, &config);
-        let target = GraphRegressor::new(GnnKind::Rgcn, FeatureMode::Base, &config.clone().with_seed(99));
+        let target =
+            GraphRegressor::new(GnnKind::Rgcn, FeatureMode::Base, &config.clone().with_seed(99));
         let before = target.forward(&sample, None, false, &mut rng).value();
         target.load_state(&source.state()).expect("state loads");
         let after = target.forward(&sample, None, false, &mut rng).value();

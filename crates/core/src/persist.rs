@@ -1,0 +1,172 @@
+//! Model persistence: serde-serialisable snapshots of trained predictors.
+//!
+//! A [`SavedPredictor`] records everything needed to reconstruct a predictor
+//! bit-exactly in another process: the [`crate::builder::PredictorSpec`], the
+//! [`TrainConfig`] (which fixes every architecture dimension), the fitted
+//! target normaliser, and the parameter matrices of the regressor (and, for
+//! the hierarchical approach, the node classifier). JSON is the wire format;
+//! floats are written with shortest-round-trip formatting, so a
+//! save → load → predict cycle reproduces the original predictions exactly.
+
+use gnn_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::builder::PredictorSpec;
+use crate::metrics::TargetNormalizer;
+use crate::task::TargetMetric;
+use crate::train::TrainConfig;
+use crate::{Error, Result};
+
+/// Current snapshot format version, bumped on incompatible layout changes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One parameter matrix in row-major order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavedTensor {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major values (`rows * cols` entries).
+    pub data: Vec<f32>,
+}
+
+impl SavedTensor {
+    /// Snapshots a matrix.
+    pub fn from_matrix(matrix: &Matrix) -> Self {
+        SavedTensor { rows: matrix.rows(), cols: matrix.cols(), data: matrix.data().to_vec() }
+    }
+
+    /// Rebuilds the matrix.
+    ///
+    /// # Errors
+    /// Returns [`Error::Config`] when the data length does not match the
+    /// recorded shape.
+    pub fn to_matrix(&self) -> Result<Matrix> {
+        if self.data.len() != self.rows * self.cols {
+            return Err(Error::Config(format!(
+                "saved tensor claims {}x{} but carries {} values",
+                self.rows,
+                self.cols,
+                self.data.len()
+            )));
+        }
+        Ok(Matrix::from_vec(self.rows, self.cols, self.data.clone()))
+    }
+
+    /// Snapshots a whole parameter list (a model "state dict").
+    pub fn from_state(state: &[Matrix]) -> Vec<SavedTensor> {
+        state.iter().map(SavedTensor::from_matrix).collect()
+    }
+
+    /// Rebuilds a parameter list.
+    ///
+    /// # Errors
+    /// Returns [`Error::Config`] when any tensor is malformed.
+    pub fn to_state(tensors: &[SavedTensor]) -> Result<Vec<Matrix>> {
+        tensors.iter().map(SavedTensor::to_matrix).collect()
+    }
+}
+
+/// The fitted target-normalisation statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavedNormalizer {
+    /// Per-target mean of `log1p(target)` on the training set.
+    pub mean: [f64; TargetMetric::COUNT],
+    /// Per-target standard deviation of `log1p(target)`.
+    pub std: [f64; TargetMetric::COUNT],
+}
+
+impl SavedNormalizer {
+    /// Snapshots a fitted normaliser.
+    pub fn from_normalizer(normalizer: &TargetNormalizer) -> Self {
+        SavedNormalizer { mean: normalizer.mean(), std: normalizer.std() }
+    }
+
+    /// Rebuilds the normaliser.
+    pub fn to_normalizer(&self) -> TargetNormalizer {
+        TargetNormalizer::from_parts(self.mean, self.std)
+    }
+}
+
+/// A complete trained-predictor snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavedPredictor {
+    /// Snapshot format version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Which approach × backbone this is.
+    pub spec: PredictorSpec,
+    /// Hyper-parameters; these fix every architecture dimension, so the
+    /// snapshot is self-describing.
+    pub config: TrainConfig,
+    /// Fitted target normaliser.
+    pub normalizer: SavedNormalizer,
+    /// Graph-level regressor parameters, in [`crate::model::GraphRegressor`]
+    /// state order.
+    pub regressor: Vec<SavedTensor>,
+    /// Node-classifier parameters (hierarchical approach only).
+    pub classifier: Option<Vec<SavedTensor>>,
+}
+
+impl SavedPredictor {
+    /// Serialises the snapshot to pretty-printed JSON.
+    ///
+    /// # Errors
+    /// Returns [`Error::Config`] if serialisation fails.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| Error::Config(format!("failed to serialise predictor: {e}")))
+    }
+
+    /// Parses a snapshot from JSON, checking the format version.
+    ///
+    /// # Errors
+    /// Returns [`Error::Config`] on malformed input or a version mismatch.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let saved: SavedPredictor = serde_json::from_str(json)
+            .map_err(|e| Error::Config(format!("failed to parse predictor snapshot: {e}")))?;
+        if saved.version != SNAPSHOT_VERSION {
+            return Err(Error::Config(format!(
+                "predictor snapshot version {} is not supported (expected {SNAPSHOT_VERSION})",
+                saved.version
+            )));
+        }
+        Ok(saved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensors_round_trip_and_validate() {
+        let matrix = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 * 0.25 - 0.6);
+        let saved = SavedTensor::from_matrix(&matrix);
+        assert_eq!(saved.to_matrix().unwrap(), matrix);
+
+        let broken = SavedTensor { rows: 3, cols: 2, data: vec![0.0; 5] };
+        assert!(broken.to_matrix().is_err());
+    }
+
+    #[test]
+    fn normalizer_snapshot_round_trips() {
+        let normalizer = TargetNormalizer::from_parts([1.0, 2.0, 3.0, 4.0], [0.5, 0.5, 2.0, 1.0]);
+        let back = SavedNormalizer::from_normalizer(&normalizer).to_normalizer();
+        assert_eq!(back, normalizer);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let snapshot = SavedPredictor {
+            version: SNAPSHOT_VERSION + 1,
+            spec: "base/gcn".parse().unwrap(),
+            config: TrainConfig::fast(),
+            normalizer: SavedNormalizer { mean: [0.0; 4], std: [1.0; 4] },
+            regressor: Vec::new(),
+            classifier: None,
+        };
+        let json = snapshot.to_json().unwrap();
+        assert!(matches!(SavedPredictor::from_json(&json), Err(Error::Config(_))));
+    }
+}

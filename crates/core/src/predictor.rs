@@ -1,0 +1,132 @@
+//! The unified prediction-engine interface: every approach of the paper —
+//! and any future model — is driven through the dyn-safe [`Predictor`] trait.
+//!
+//! A `Box<dyn Predictor>` built by [`crate::builder::PredictorSpec::build`]
+//! (or reloaded from JSON with [`crate::builder::load_predictor`]) can be
+//! trained, evaluated, batched over a design sweep and persisted without the
+//! caller knowing which approach or GNN backbone is inside. All evaluation
+//! hot loops ([`Predictor::evaluate`], [`crate::approach::seed_averaged_mape`]
+//! and the experiment harness) are routed through
+//! [`Predictor::predict_batch`], so there is one inference code path to
+//! optimise.
+
+use crate::builder::PredictorSpec;
+use crate::dataset::{Dataset, GraphSample};
+use crate::metrics::mape_with_floor;
+use crate::task::TargetMetric;
+use crate::train::TrainConfig;
+use crate::Result;
+
+/// A trained (or trainable) HLS performance predictor.
+///
+/// The trait is object-safe: servers, bench binaries and config-driven tools
+/// hold predictors as `Box<dyn Predictor>` and select the concrete model at
+/// runtime with [`crate::builder::PredictorSpec::from_str`].
+pub trait Predictor {
+    /// The spec (approach × backbone) this predictor was built from.
+    fn spec(&self) -> PredictorSpec;
+
+    /// Human-readable name in the paper's notation, e.g. `"RGCN-I"`.
+    fn name(&self) -> String {
+        self.spec().name()
+    }
+
+    /// True once the predictor has been trained (or loaded from a snapshot).
+    fn is_trained(&self) -> bool;
+
+    /// Trains the predictor.
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::DatasetTooSmall`] for an empty training set.
+    fn fit(&mut self, train: &Dataset, validation: &Dataset, config: &TrainConfig) -> Result<()>;
+
+    /// Predicts the raw `[DSP, LUT, FF, CP]` values for every design in a
+    /// batch. This is the primary inference entry point: trained state is
+    /// resolved once per call and shared across the whole batch (the
+    /// "shared-normalizer fast path"), so predicting `n` designs costs one
+    /// setup plus `n` forward passes.
+    fn predict_batch(&self, samples: &[GraphSample]) -> Vec<Result<[f64; TargetMetric::COUNT]>>;
+
+    /// Predicts the raw `[DSP, LUT, FF, CP]` values of one design. Delegates
+    /// to [`Predictor::predict_batch`] with a single-element batch.
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::NotTrained`] if called before
+    /// [`Predictor::fit`].
+    fn predict(&self, sample: &GraphSample) -> Result<[f64; TargetMetric::COUNT]> {
+        self.predict_batch(std::slice::from_ref(sample))
+            .pop()
+            .expect("predict_batch returns one result per sample")
+    }
+
+    /// Per-target MAPE over a dataset, computed through
+    /// [`Predictor::predict_batch`]. Samples whose prediction fails are
+    /// skipped; if *every* prediction fails on a non-empty dataset (an
+    /// untrained model), the result is `NaN` per target rather than a
+    /// perfect-looking `0.0`. An empty dataset evaluates to zeros.
+    fn evaluate(&self, dataset: &Dataset) -> [f64; TargetMetric::COUNT] {
+        let mut predictions: Vec<Vec<f64>> = vec![Vec::new(); TargetMetric::COUNT];
+        let mut actuals: Vec<Vec<f64>> = vec![Vec::new(); TargetMetric::COUNT];
+        let batch = self.predict_batch(&dataset.samples);
+        for (sample, predicted) in dataset.samples.iter().zip(batch) {
+            if let Ok(predicted) = predicted {
+                for target in 0..TargetMetric::COUNT {
+                    predictions[target].push(predicted[target]);
+                    actuals[target].push(sample.targets[target]);
+                }
+            }
+        }
+        if !dataset.is_empty() && predictions[0].is_empty() {
+            return [f64::NAN; TargetMetric::COUNT];
+        }
+        let mut result = [0.0f64; TargetMetric::COUNT];
+        for target in 0..TargetMetric::COUNT {
+            result[target] = mape_with_floor(&predictions[target], &actuals[target], 1.0);
+        }
+        result
+    }
+
+    /// Serialises the trained state (spec, hyper-parameters, normaliser and
+    /// weights) to JSON. The snapshot reloads with
+    /// [`crate::builder::load_predictor`], producing a predictor whose
+    /// outputs match the original exactly.
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::NotTrained`] if called before
+    /// [`Predictor::fit`].
+    fn save_json(&self) -> Result<String>;
+}
+
+impl<P: Predictor + ?Sized> Predictor for Box<P> {
+    fn spec(&self) -> PredictorSpec {
+        (**self).spec()
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn is_trained(&self) -> bool {
+        (**self).is_trained()
+    }
+
+    fn fit(&mut self, train: &Dataset, validation: &Dataset, config: &TrainConfig) -> Result<()> {
+        (**self).fit(train, validation, config)
+    }
+
+    fn predict_batch(&self, samples: &[GraphSample]) -> Vec<Result<[f64; TargetMetric::COUNT]>> {
+        (**self).predict_batch(samples)
+    }
+
+    fn predict(&self, sample: &GraphSample) -> Result<[f64; TargetMetric::COUNT]> {
+        (**self).predict(sample)
+    }
+
+    fn evaluate(&self, dataset: &Dataset) -> [f64; TargetMetric::COUNT] {
+        (**self).evaluate(dataset)
+    }
+
+    fn save_json(&self) -> Result<String> {
+        (**self).save_json()
+    }
+}

@@ -18,7 +18,7 @@ use crate::task::{ResourceClass, TargetMetric};
 /// `default()` and `fast()` scale the same architecture down so the full
 /// table-generation harness and the test suite run on a CPU in reasonable
 /// time. The scale actually used is recorded in EXPERIMENTS.md.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TrainConfig {
     /// Number of passes over the training set.
     pub epochs: usize,
@@ -193,7 +193,7 @@ pub fn train_node_classifier(
 ) -> LossHistory {
     let params = model.parameters();
     let mut adam = Adam::new(params.clone(), config.learning_rate);
-    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x51_7c_c1b7).wrapping_add(3));
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x517c_c1b7).wrapping_add(3));
     let mut history = Vec::with_capacity(config.epochs);
 
     for _ in 0..config.epochs {
@@ -204,9 +204,10 @@ pub fn train_node_classifier(
             adam.zero_grad();
             for &index in batch {
                 let sample = &train.samples[index];
-                let labels = Matrix::from_fn(sample.num_nodes(), ResourceClass::COUNT, |node, class| {
-                    sample.node_resource_types[node][class]
-                });
+                let labels =
+                    Matrix::from_fn(sample.num_nodes(), ResourceClass::COUNT, |node, class| {
+                        sample.node_resource_types[node][class]
+                    });
                 let logits = model.forward(sample, true, &mut rng);
                 let loss = logits.bce_with_logits(&labels).scale(1.0 / batch.len() as f32);
                 epoch_loss += f64::from(loss.scalar_value()) * batch.len() as f64;

@@ -41,7 +41,13 @@ impl GraphData {
             edge_relation.iter().all(|&r| r < num_relations.max(1)),
             "edge relation out of range"
         );
-        GraphData { num_nodes, edge_src, edge_dst, edge_relation, num_relations: num_relations.max(1) }
+        GraphData {
+            num_nodes,
+            edge_src,
+            edge_dst,
+            edge_relation,
+            num_relations: num_relations.max(1),
+        }
     }
 
     /// Number of edges.

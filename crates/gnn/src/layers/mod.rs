@@ -40,7 +40,7 @@ pub trait GnnLayer {
 }
 
 /// The fourteen layer families evaluated in Table 2 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum GnnKind {
     /// Graph convolutional network.
     Gcn,
@@ -111,9 +111,10 @@ impl GnnKind {
         }
     }
 
-    /// Looks a kind up by its display name (case-insensitive).
+    /// Looks a kind up by its display name or alias; `Option`-returning
+    /// convenience over the [`std::str::FromStr`] impl.
     pub fn from_name(name: &str) -> Option<GnnKind> {
-        Self::ALL.iter().copied().find(|kind| kind.name().eq_ignore_ascii_case(name))
+        name.parse().ok()
     }
 
     /// SGC is a linear model: the stack skips inter-layer activations for it.
@@ -130,6 +131,35 @@ impl GnnKind {
 impl fmt::Display for GnnKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// Canonical form used for name matching throughout the workspace: ASCII
+/// letters and digits only, lowercased (`"GCN-V"` → `"gcnv"`). Spec parsers
+/// in other crates use the same rule so ids and parsing stay in sync.
+pub fn canonical_token(text: &str) -> String {
+    text.chars().filter(|c| c.is_ascii_alphanumeric()).map(|c| c.to_ascii_lowercase()).collect()
+}
+
+impl std::str::FromStr for GnnKind {
+    type Err = String;
+
+    /// Parses a backbone from its table name (`"RGCN"`, `"SAGE"`, ...) or a
+    /// config-friendly alias (`"rgcn"`, `"graphsage"`, `"gcn_v"`), case- and
+    /// separator-insensitively.
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let canonical = canonical_token(text);
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|&kind| {
+                canonical_token(kind.name()) == canonical
+                    || canonical == format!("{:?}", kind).to_ascii_lowercase()
+            })
+            .ok_or_else(|| {
+                let known: Vec<&str> = Self::ALL.iter().map(|k| k.name()).collect();
+                format!("unknown GNN backbone `{text}` (known: {})", known.join(", "))
+            })
     }
 }
 
@@ -175,7 +205,8 @@ pub(crate) mod prop {
     /// Mean of incoming messages (zero for isolated nodes).
     pub(crate) fn propagate_mean(graph: &GraphData, h: &Var) -> Var {
         let degrees = graph.in_degrees();
-        let inverse: Vec<f32> = degrees.iter().map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 }).collect();
+        let inverse: Vec<f32> =
+            degrees.iter().map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 }).collect();
         propagate_sum(graph, h).scale_rows(&inverse)
     }
 
@@ -187,7 +218,8 @@ pub(crate) mod prop {
         let edge_norm: Vec<f32> = (0..graph.edge_count())
             .map(|edge| norm(graph.edge_src[edge]) * norm(graph.edge_dst[edge]))
             .collect();
-        let self_norm: Vec<f32> = (0..graph.num_nodes).map(|node| norm(node) * norm(node)).collect();
+        let self_norm: Vec<f32> =
+            (0..graph.num_nodes).map(|node| norm(node) * norm(node)).collect();
         let neighbours = h
             .gather_rows(&graph.edge_src)
             .scale_rows(&edge_norm)
@@ -204,13 +236,7 @@ mod tests {
 
     pub(crate) fn small_graph() -> GraphData {
         // 5 nodes, a mix of relations, one isolated node (4).
-        GraphData::new(
-            5,
-            vec![0, 1, 2, 0, 3],
-            vec![1, 2, 3, 3, 0],
-            vec![0, 1, 0, 2, 1],
-            3,
-        )
+        GraphData::new(5, vec![0, 1, 2, 0, 3], vec![1, 2, 3, 3, 0], vec![0, 1, 0, 2, 1], 3)
     }
 
     pub(crate) fn random_features(nodes: usize, dim: usize, seed: u64) -> Var {
@@ -259,7 +285,8 @@ mod tests {
         for kind in GnnKind::ALL {
             let mut rng = StdRng::seed_from_u64(11);
             let layer = build_layer(kind, 4, 5, graph.num_relations, &mut rng);
-            let loss = layer.forward(&graph, &features).mul(&layer.forward(&graph, &features)).sum();
+            let loss =
+                layer.forward(&graph, &features).mul(&layer.forward(&graph, &features)).sum();
             loss.backward();
             let with_grad = layer.parameters().iter().filter(|p| p.grad().is_some()).count();
             assert!(

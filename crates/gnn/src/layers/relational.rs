@@ -46,11 +46,8 @@ impl GnnLayer for Gat {
         }
         let src_scores = self.attention_src.forward(&transformed);
         let dst_scores = self.attention_dst.forward(&transformed);
-        let edge_scores = src_scores
-            .gather_rows(&src)
-            .add(&dst_scores.gather_rows(&dst))
-            .leaky_relu(0.2)
-            .exp();
+        let edge_scores =
+            src_scores.gather_rows(&src).add(&dst_scores.gather_rows(&dst)).leaky_relu(0.2).exp();
         let normaliser = edge_scores.scatter_add_rows(&dst, graph.num_nodes);
         let attention = edge_scores.div_eps(&normaliser.gather_rows(&dst), 1e-9);
         transformed
@@ -113,7 +110,8 @@ impl Ggnn {
             }
             let src: Vec<usize> = edges.iter().map(|&e| graph.edge_src[e]).collect();
             let dst: Vec<usize> = edges.iter().map(|&e| graph.edge_dst[e]).collect();
-            let messages = linear.forward(&h.gather_rows(&src)).scatter_add_rows(&dst, graph.num_nodes);
+            let messages =
+                linear.forward(&h.gather_rows(&src)).scatter_add_rows(&dst, graph.num_nodes);
             total = Some(match total {
                 Some(acc) => acc.add(&messages),
                 None => messages,
@@ -130,8 +128,10 @@ impl GnnLayer for Ggnn {
     fn forward(&self, graph: &GraphData, h: &Var) -> Var {
         let state = self.state_projection.forward(h);
         let message = self.relation_messages(graph, h);
-        let update = self.update_message.forward(&message).add(&self.update_state.forward(&state)).sigmoid();
-        let reset = self.reset_message.forward(&message).add(&self.reset_state.forward(&state)).sigmoid();
+        let update =
+            self.update_message.forward(&message).add(&self.update_state.forward(&state)).sigmoid();
+        let reset =
+            self.reset_message.forward(&message).add(&self.reset_state.forward(&state)).sigmoid();
         let candidate = self
             .candidate_message
             .forward(&message)
@@ -143,7 +143,8 @@ impl GnnLayer for Ggnn {
     }
 
     fn parameters(&self) -> Vec<Var> {
-        let mut params: Vec<Var> = self.relation_linears.iter().flat_map(Linear::parameters).collect();
+        let mut params: Vec<Var> =
+            self.relation_linears.iter().flat_map(Linear::parameters).collect();
         for linear in [
             &self.state_projection,
             &self.update_message,
@@ -177,7 +178,9 @@ impl Rgcn {
     pub fn new(in_dim: usize, out_dim: usize, num_relations: usize, rng: &mut StdRng) -> Self {
         Rgcn {
             self_linear: Linear::new(in_dim, out_dim, rng),
-            relation_linears: (0..num_relations.max(1)).map(|_| Linear::new(in_dim, out_dim, rng)).collect(),
+            relation_linears: (0..num_relations.max(1))
+                .map(|_| Linear::new(in_dim, out_dim, rng))
+                .collect(),
             out_dim,
         }
     }

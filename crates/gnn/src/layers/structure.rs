@@ -70,7 +70,9 @@ impl GraphUNet {
 
     fn top_k(scores: &[f32], k: usize) -> Vec<usize> {
         let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut keep: Vec<usize> = order.into_iter().take(k).collect();
         keep.sort_unstable();
         keep
@@ -82,7 +84,8 @@ impl GnnLayer for GraphUNet {
         let scores = self.score_projection.forward(h).sigmoid();
         let k = ((graph.num_nodes as f64 * Self::KEEP_RATIO).ceil() as usize)
             .clamp(1, graph.num_nodes.max(1));
-        let score_values: Vec<f32> = (0..graph.num_nodes).map(|n| scores.value().get(n, 0)).collect();
+        let score_values: Vec<f32> =
+            (0..graph.num_nodes).map(|n| scores.value().get(n, 0)).collect();
         let keep = Self::top_k(&score_values, k);
 
         // Gated pooling: gradients flow into the projection through the gate.
@@ -125,6 +128,12 @@ mod tests {
         let plain = Gcn::new(1, 1, &mut rng);
         let mut rng2 = StdRng::seed_from_u64(0);
         let wrapped = VirtualNode::new(Box::new(Gcn::new(1, 1, &mut rng2)), 1, &mut rng2);
+        // The context projection's random weight can land on either sign; the
+        // ReLU would silently zero a negative one, so force it positive to
+        // make the global-broadcast assertion seed-independent.
+        for param in wrapped.context.parameters() {
+            param.set_value(param.value().map(f32::abs));
+        }
         let graph = chain(6);
         // Only node 0 carries signal.
         let mut features = Matrix::zeros(6, 1);

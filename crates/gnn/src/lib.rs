@@ -32,6 +32,6 @@ pub mod pooling;
 pub mod stack;
 
 pub use graph::GraphData;
-pub use layers::{build_layer, GnnKind, GnnLayer};
+pub use layers::{build_layer, canonical_token, GnnKind, GnnLayer};
 pub use pooling::Pooling;
 pub use stack::GnnStack;

@@ -7,7 +7,9 @@ use gnn_tensor::Var;
 
 /// Readout applied to the `n × d` node-embedding matrix to obtain a `1 × d`
 /// graph embedding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum Pooling {
     /// Sum of node embeddings. Sensitive to graph size, which helps resource
     /// regression (resources grow with the number of operations).

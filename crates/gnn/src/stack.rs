@@ -73,7 +73,13 @@ impl GnnStack {
 
     /// Runs the stack, producing `n × hidden_dim` node embeddings.
     /// Dropout is only applied when `training` is true.
-    pub fn forward(&self, graph: &GraphData, features: &Var, training: bool, rng: &mut StdRng) -> Var {
+    pub fn forward(
+        &self,
+        graph: &GraphData,
+        features: &Var,
+        training: bool,
+        rng: &mut StdRng,
+    ) -> Var {
         let mut hidden = features.clone();
         let activation = self.kind.uses_interlayer_activation();
         for (index, layer) in self.layers.iter().enumerate() {
@@ -160,13 +166,8 @@ mod tests {
         params.extend(head.parameters());
         let mut adam = Adam::new(params, 0.02);
 
-        let graph = GraphData::new(
-            5,
-            vec![0, 1, 2, 3, 0, 1, 2],
-            vec![4, 4, 4, 4, 3, 3, 0],
-            vec![0; 7],
-            1,
-        );
+        let graph =
+            GraphData::new(5, vec![0, 1, 2, 3, 0, 1, 2], vec![4, 4, 4, 4, 3, 3, 0], vec![0; 7], 1);
         let features = Matrix::full(5, 1, 1.0);
         let degrees: Vec<f32> = graph.in_degrees().iter().map(|&d| d as f32).collect();
         let target = Matrix::column_vector(&degrees);

@@ -3,7 +3,7 @@
 //! shape, respect isolated nodes, and remain deterministic.
 
 use gnn::{build_layer, GnnKind, GnnStack, GraphData, Pooling};
-use gnn_tensor::{Matrix, Var};
+use gnn_tensor::Var;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

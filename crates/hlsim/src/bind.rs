@@ -63,7 +63,9 @@ fn width_bucket(bits: u16) -> u16 {
 fn shareable_class(opcode: Opcode, bits: u16) -> Option<FuClass> {
     match opcode {
         // Wide multiplies and all divisions/remainders are worth sharing.
-        Opcode::Mul if bits > 11 => Some(FuClass { opcode: Opcode::Mul, width_bucket: width_bucket(bits) }),
+        Opcode::Mul if bits > 11 => {
+            Some(FuClass { opcode: Opcode::Mul, width_bucket: width_bucket(bits) })
+        }
         Opcode::SDiv | Opcode::UDiv | Opcode::SRem | Opcode::URem => {
             Some(FuClass { opcode: Opcode::SDiv, width_bucket: width_bucket(bits) })
         }
@@ -246,7 +248,10 @@ mod tests {
             0,
             16,
             1,
-            vec![Stmt::assign(acc, Expr::binary(BinaryOp::Add, Expr::var(acc), Expr::index(buf, Expr::var(i))))],
+            vec![Stmt::assign(
+                acc,
+                Expr::binary(BinaryOp::Add, Expr::var(acc), Expr::index(buf, Expr::var(i))),
+            )],
         ));
         f.ret(acc);
         let (_, _, binding) = bound(&f.finish().unwrap());

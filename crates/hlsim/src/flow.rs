@@ -76,7 +76,11 @@ pub fn run_flow_on_ir(
     run_stages(ir, decls, device)
 }
 
-fn run_stages(ir: IrFunction, decls: &[(VarId, ValueType)], device: &FpgaDevice) -> Result<FlowResult> {
+fn run_stages(
+    ir: IrFunction,
+    decls: &[(VarId, ValueType)],
+    device: &FpgaDevice,
+) -> Result<FlowResult> {
     let schedule = schedule_function(&ir, decls, device)?;
     let binding = bind(&ir, &schedule, device);
     let hls_report = HlsReport::from_binding(&binding, &schedule);
@@ -106,7 +110,11 @@ mod tests {
                 Expr::binary(
                     BinaryOp::Add,
                     Expr::var(acc),
-                    Expr::binary(BinaryOp::Mul, Expr::index(x, Expr::var(i)), Expr::index(y, Expr::var(i))),
+                    Expr::binary(
+                        BinaryOp::Mul,
+                        Expr::index(x, Expr::var(i)),
+                        Expr::index(y, Expr::var(i)),
+                    ),
                 ),
             )],
         ));

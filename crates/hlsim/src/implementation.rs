@@ -109,7 +109,7 @@ fn array_type_of(array: Option<VarId>, decls: &[(VarId, ValueType)]) -> Option<V
 fn has_small_const_operand(ir: &IrFunction, op_index: usize) -> bool {
     ir.ops[op_index].operands.iter().any(|operand| {
         let dep = ir.op(*operand);
-        dep.opcode == Opcode::Const && dep.const_value.map_or(false, |value| value.abs() < 1 << 10)
+        dep.opcode == Opcode::Const && dep.const_value.is_some_and(|value| value.abs() < 1 << 10)
     })
 }
 
@@ -127,7 +127,13 @@ fn implemented_cost(
         Opcode::Mul => {
             if hls_cost.dsp > 0 && has_small_const_operand(ir, op_index) {
                 // Constant multiplies strength-reduce to shift/add trees.
-                OperatorCost { dsp: 0, lut: bits, ff: 0, delay_ns: hls_cost.delay_ns * 0.6, latency: 0 }
+                OperatorCost {
+                    dsp: 0,
+                    lut: bits,
+                    ff: 0,
+                    delay_ns: hls_cost.delay_ns * 0.6,
+                    latency: 0,
+                }
             } else {
                 OperatorCost { lut: bits / 8, ..*hls_cost }
             }
@@ -167,7 +173,8 @@ fn implemented_cost(
                         }
                     } else {
                         OperatorCost {
-                            lut: (total_bits / (3 * u64::from(device.lut_inputs.max(4)))) as u32 + 8,
+                            lut: (total_bits / (3 * u64::from(device.lut_inputs.max(4)))) as u32
+                                + 8,
                             ff: bits,
                             delay_ns: hls_cost.delay_ns,
                             ..Default::default()
@@ -261,7 +268,9 @@ mod tests {
     use hls_ir::lower::lower_function;
     use hls_ir::types::{ArrayType, ScalarType};
 
-    fn run(func: &hls_ir::ast::Function) -> (IrFunction, crate::HlsReport, ImplementationResult, Vec<NodeAnnotation>) {
+    fn run(
+        func: &hls_ir::ast::Function,
+    ) -> (IrFunction, crate::HlsReport, ImplementationResult, Vec<NodeAnnotation>) {
         let device = FpgaDevice::default();
         let decls: Vec<_> = func.vars().map(|(id, d)| (id, d.ty)).collect();
         let ir = lower_function(func).unwrap();
@@ -287,7 +296,11 @@ mod tests {
                 Expr::binary(
                     BinaryOp::Add,
                     Expr::var(acc),
-                    Expr::binary(BinaryOp::Mul, Expr::index(buf, Expr::var(i)), Expr::index(buf, Expr::var(i))),
+                    Expr::binary(
+                        BinaryOp::Mul,
+                        Expr::index(buf, Expr::var(i)),
+                        Expr::index(buf, Expr::var(i)),
+                    ),
                 ),
             )],
         ));
@@ -300,8 +313,18 @@ mod tests {
         let (_, report, implementation, _) = run(&array_kernel());
         // HLS over-estimates LUT/FF on array-heavy designs, exactly the gap the
         // paper's predictors learn to close.
-        assert!(report.lut as f64 > implementation.lut as f64 * 1.3, "{} !> {}", report.lut, implementation.lut);
-        assert!(report.ff as f64 > implementation.ff as f64, "{} !> {}", report.ff, implementation.ff);
+        assert!(
+            report.lut as f64 > implementation.lut as f64 * 1.3,
+            "{} !> {}",
+            report.lut,
+            implementation.lut
+        );
+        assert!(
+            report.ff as f64 > implementation.ff as f64,
+            "{} !> {}",
+            report.ff,
+            implementation.ff
+        );
         // Routing makes the implemented critical path slower than the estimate.
         assert!(implementation.cp_ns > report.cp_ns * 0.95);
     }

@@ -87,11 +87,9 @@ pub fn characterize(op: &IrOp, array_type: Option<ValueType>, device: &FpgaDevic
     let bits = op.bits() as u32;
     let lut_inputs = device.lut_inputs.max(4);
     match op.opcode {
-        Opcode::Add | Opcode::Sub | Opcode::Neg => OperatorCost {
-            lut: bits,
-            delay_ns: 0.55 + 0.025 * bits as f64,
-            ..Default::default()
-        },
+        Opcode::Add | Opcode::Sub | Opcode::Neg => {
+            OperatorCost { lut: bits, delay_ns: 0.55 + 0.025 * bits as f64, ..Default::default() }
+        }
         Opcode::Mul => {
             if bits > 11 {
                 OperatorCost {
@@ -117,11 +115,9 @@ pub fn characterize(op: &IrOp, array_type: Option<ValueType>, device: &FpgaDevic
             latency: (bits / 8).max(2),
             ..Default::default()
         },
-        Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Not => OperatorCost {
-            lut: bits.div_ceil(2),
-            delay_ns: 0.35,
-            ..Default::default()
-        },
+        Opcode::And | Opcode::Or | Opcode::Xor | Opcode::Not => {
+            OperatorCost { lut: bits.div_ceil(2), delay_ns: 0.35, ..Default::default() }
+        }
         Opcode::Shl | Opcode::LShr | Opcode::AShr => OperatorCost {
             // Barrel shifter: log2(bits) mux stages.
             lut: bits * (32 - bits.leading_zeros()).max(1) / 3,
@@ -133,11 +129,9 @@ pub fn characterize(op: &IrOp, array_type: Option<ValueType>, device: &FpgaDevic
             delay_ns: 0.5 + 0.015 * bits as f64,
             ..Default::default()
         },
-        Opcode::Select | Opcode::Mux => OperatorCost {
-            lut: bits.div_ceil(lut_inputs - 4),
-            delay_ns: 0.3,
-            ..Default::default()
-        },
+        Opcode::Select | Opcode::Mux => {
+            OperatorCost { lut: bits.div_ceil(lut_inputs - 4), delay_ns: 0.3, ..Default::default() }
+        }
         Opcode::Phi => OperatorCost {
             // A loop-carried value: a mux plus the holding register.
             lut: bits.div_ceil(2),
@@ -145,24 +139,11 @@ pub fn characterize(op: &IrOp, array_type: Option<ValueType>, device: &FpgaDevic
             delay_ns: 0.3,
             ..Default::default()
         },
-        Opcode::Load => OperatorCost {
-            lut: 4,
-            ff: bits,
-            delay_ns: 1.6,
-            latency: 1,
-            ..Default::default()
-        },
-        Opcode::Store => OperatorCost {
-            lut: 3,
-            delay_ns: 1.2,
-            latency: 1,
-            ..Default::default()
-        },
-        Opcode::GetElementPtr => OperatorCost {
-            lut: 8,
-            delay_ns: 0.6,
-            ..Default::default()
-        },
+        Opcode::Load => {
+            OperatorCost { lut: 4, ff: bits, delay_ns: 1.6, latency: 1, ..Default::default() }
+        }
+        Opcode::Store => OperatorCost { lut: 3, delay_ns: 1.2, latency: 1, ..Default::default() },
+        Opcode::GetElementPtr => OperatorCost { lut: 8, delay_ns: 0.6, ..Default::default() },
         Opcode::Alloca | Opcode::ReadPort | Opcode::WritePort => {
             match array_type {
                 Some(ValueType::Array(array)) => {
@@ -242,7 +223,10 @@ mod tests {
     fn control_ops_are_free() {
         let device = FpgaDevice::default();
         for opcode in [Opcode::Br, Opcode::Ret, Opcode::Const, Opcode::Call] {
-            assert!(characterize(&op(opcode, 32), None, &device).is_empty(), "{opcode} should be free");
+            assert!(
+                characterize(&op(opcode, 32), None, &device).is_empty(),
+                "{opcode} should be free"
+            );
         }
     }
 

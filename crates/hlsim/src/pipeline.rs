@@ -65,7 +65,11 @@ fn loop_blocks(ir: &IrFunction, header: BlockId) -> Vec<BlockId> {
 }
 
 /// Runs the pipelining analysis over every loop of the function.
-pub fn analyze_loops(ir: &IrFunction, schedule: &Schedule, device: &FpgaDevice) -> Vec<LoopPipelineInfo> {
+pub fn analyze_loops(
+    ir: &IrFunction,
+    schedule: &Schedule,
+    device: &FpgaDevice,
+) -> Vec<LoopPipelineInfo> {
     let _ = device;
     let mut result = Vec::new();
     for block in &ir.blocks {
@@ -73,7 +77,7 @@ pub fn analyze_loops(ir: &IrFunction, schedule: &Schedule, device: &FpgaDevice) 
             continue;
         }
         let body = loop_blocks(ir, block.id);
-        let in_body = |id: BlockId| body.iter().any(|candidate| *candidate == id);
+        let in_body = |id: BlockId| body.contains(&id);
 
         // --- Recurrence-constrained II ------------------------------------
         // A loop-carried dependence shows up as a phi in the header whose
@@ -171,7 +175,11 @@ mod tests {
                 Expr::binary(
                     BinaryOp::Add,
                     Expr::var(acc),
-                    Expr::binary(BinaryOp::Mul, Expr::index(x, Expr::var(i)), Expr::index(x, Expr::var(i))),
+                    Expr::binary(
+                        BinaryOp::Mul,
+                        Expr::index(x, Expr::var(i)),
+                        Expr::index(x, Expr::var(i)),
+                    ),
                 ),
             )],
         ));
@@ -191,7 +199,11 @@ mod tests {
             0,
             16,
             1,
-            vec![Stmt::store(out, Expr::var(i), Expr::binary(BinaryOp::Add, Expr::index(a, Expr::var(i)), Expr::constant(1)))],
+            vec![Stmt::store(
+                out,
+                Expr::var(i),
+                Expr::binary(BinaryOp::Add, Expr::index(a, Expr::var(i)), Expr::constant(1)),
+            )],
         ));
         f.ret(i);
         f.finish().unwrap()
@@ -271,7 +283,14 @@ mod tests {
                     Expr::binary(
                         BinaryOp::Add,
                         Expr::var(acc),
-                        Expr::index(a, Expr::binary(BinaryOp::Add, Expr::binary(BinaryOp::Mul, Expr::var(i), Expr::constant(8)), Expr::var(j))),
+                        Expr::index(
+                            a,
+                            Expr::binary(
+                                BinaryOp::Add,
+                                Expr::binary(BinaryOp::Mul, Expr::var(i), Expr::constant(8)),
+                                Expr::var(j),
+                            ),
+                        ),
                     ),
                 )],
             )],

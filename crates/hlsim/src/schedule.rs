@@ -74,7 +74,11 @@ impl Schedule {
 const REGISTER_OVERHEAD_NS: f64 = 1.15;
 
 /// Looks up the declared array type of the variable an operation touches.
-fn array_type_of(ir: &IrFunction, array: Option<VarId>, decls: &[(VarId, ValueType)]) -> Option<ValueType> {
+fn array_type_of(
+    ir: &IrFunction,
+    array: Option<VarId>,
+    decls: &[(VarId, ValueType)],
+) -> Option<ValueType> {
     let _ = ir;
     let target = array?;
     decls.iter().find(|(var, _)| *var == target).map(|(_, ty)| *ty)
@@ -209,8 +213,10 @@ mod tests {
         let device = FpgaDevice::medium_100mhz();
         let short = lower_function(&chain_function(2)).unwrap();
         let long = lower_function(&chain_function(40)).unwrap();
-        let short_schedule = schedule_function(&short, &array_decls(&chain_function(2)), &device).unwrap();
-        let long_schedule = schedule_function(&long, &array_decls(&chain_function(40)), &device).unwrap();
+        let short_schedule =
+            schedule_function(&short, &array_decls(&chain_function(2)), &device).unwrap();
+        let long_schedule =
+            schedule_function(&long, &array_decls(&chain_function(40)), &device).unwrap();
         assert!(long_schedule.total_cycles > short_schedule.total_cycles);
         assert!(long_schedule.critical_path_ns <= device.clock_period_ns + 1.0);
     }
@@ -237,10 +243,8 @@ mod tests {
         let func = f.finish().unwrap();
         let ir = lower_function(&func).unwrap();
         let schedule = schedule_function(&ir, &array_decls(&func), &FpgaDevice::default()).unwrap();
-        let division = ir
-            .iter_ops()
-            .find(|op| op.opcode == hls_ir::Opcode::SDiv)
-            .expect("division present");
+        let division =
+            ir.iter_ops().find(|op| op.opcode == hls_ir::Opcode::SDiv).expect("division present");
         let entry = schedule.op(division.id);
         assert!(entry.finish_cycle > entry.start_cycle);
         assert_eq!(entry.finish_ns, 0.0);
@@ -257,7 +261,10 @@ mod tests {
             0,
             16,
             1,
-            vec![Stmt::assign(acc, Expr::binary(BinaryOp::Add, Expr::var(acc), Expr::index(x, Expr::var(i))))],
+            vec![Stmt::assign(
+                acc,
+                Expr::binary(BinaryOp::Add, Expr::var(acc), Expr::index(x, Expr::var(i))),
+            )],
         ));
         f.ret(acc);
         let func = f.finish().unwrap();
@@ -283,7 +290,8 @@ mod tests {
         let func = f.finish().unwrap();
         let ir = lower_function(&func).unwrap();
         let schedule = schedule_function(&ir, &array_decls(&func), &FpgaDevice::default()).unwrap();
-        let concurrency = schedule.max_concurrency(|index| ir.ops[index].opcode == hls_ir::Opcode::Mul);
+        let concurrency =
+            schedule.max_concurrency(|index| ir.ops[index].opcode == hls_ir::Opcode::Mul);
         assert_eq!(concurrency, 4);
     }
 }

@@ -328,11 +328,7 @@ impl Function {
 
     /// Iterator over the parameter variable ids.
     pub fn params(&self) -> impl Iterator<Item = VarId> + '_ {
-        self.decls
-            .iter()
-            .enumerate()
-            .filter(|(_, d)| d.is_param)
-            .map(|(i, _)| VarId(i))
+        self.decls.iter().enumerate().filter(|(_, d)| d.is_param).map(|(i, _)| VarId(i))
     }
 
     /// Total number of statements, counted recursively.
@@ -344,10 +340,7 @@ impl Function {
     /// to a CDFG rather than a plain DFG).
     pub fn has_control_flow(&self) -> bool {
         fn walk(stmts: &[Stmt]) -> bool {
-            stmts.iter().any(|s| match s {
-                Stmt::If { .. } | Stmt::For { .. } => true,
-                _ => false,
-            })
+            stmts.iter().any(|s| matches!(s, Stmt::If { .. } | Stmt::For { .. }))
         }
         walk(&self.body)
     }
@@ -554,7 +547,11 @@ mod tests {
         let out = f.local("out", ScalarType::i32());
         f.assign(
             out,
-            Expr::binary(BinaryOp::Add, Expr::binary(BinaryOp::Mul, Expr::var(a), Expr::var(x)), Expr::var(y)),
+            Expr::binary(
+                BinaryOp::Add,
+                Expr::binary(BinaryOp::Mul, Expr::var(a), Expr::var(x)),
+                Expr::var(y),
+            ),
         );
         f.ret(out);
         f.finish().expect("valid function")

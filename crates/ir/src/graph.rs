@@ -185,7 +185,7 @@ impl IrGraph {
     pub fn in_degrees(&self, kind: Option<EdgeKind>) -> Vec<usize> {
         let mut degrees = vec![0usize; self.nodes.len()];
         for edge in &self.edges {
-            if kind.map_or(true, |k| edge.kind == k) {
+            if kind.is_none_or(|k| edge.kind == k) {
                 degrees[edge.dst.0] += 1;
             }
         }
@@ -196,7 +196,7 @@ impl IrGraph {
     pub fn out_degrees(&self, kind: Option<EdgeKind>) -> Vec<usize> {
         let mut degrees = vec![0usize; self.nodes.len()];
         for edge in &self.edges {
-            if kind.map_or(true, |k| edge.kind == k) {
+            if kind.is_none_or(|k| edge.kind == k) {
                 degrees[edge.src.0] += 1;
             }
         }
@@ -412,15 +412,29 @@ fn build_graph(ir: &IrFunction, kind: GraphKind) -> IrGraph {
         match op.opcode {
             Opcode::Load => {
                 if let Some(&store) = last_store.get(&array) {
-                    if let (Some(&src), Some(&dst)) = (op_to_node.get(&store), op_to_node.get(&op.id)) {
-                        edges.push(IrEdge { src, dst, kind: EdgeKind::Memory, is_back_edge: false });
+                    if let (Some(&src), Some(&dst)) =
+                        (op_to_node.get(&store), op_to_node.get(&op.id))
+                    {
+                        edges.push(IrEdge {
+                            src,
+                            dst,
+                            kind: EdgeKind::Memory,
+                            is_back_edge: false,
+                        });
                     }
                 }
             }
             Opcode::Store => {
                 if let Some(&store) = last_store.get(&array) {
-                    if let (Some(&src), Some(&dst)) = (op_to_node.get(&store), op_to_node.get(&op.id)) {
-                        edges.push(IrEdge { src, dst, kind: EdgeKind::Memory, is_back_edge: false });
+                    if let (Some(&src), Some(&dst)) =
+                        (op_to_node.get(&store), op_to_node.get(&op.id))
+                    {
+                        edges.push(IrEdge {
+                            src,
+                            dst,
+                            kind: EdgeKind::Memory,
+                            is_back_edge: false,
+                        });
                     }
                 }
                 last_store.insert(array, op.id);
@@ -481,7 +495,11 @@ mod tests {
         let out = f.local("out", ScalarType::signed(64));
         f.assign(
             out,
-            Expr::binary(BinaryOp::Add, Expr::binary(BinaryOp::Mul, Expr::var(a), Expr::var(b)), Expr::var(c)),
+            Expr::binary(
+                BinaryOp::Add,
+                Expr::binary(BinaryOp::Mul, Expr::var(a), Expr::var(b)),
+                Expr::var(c),
+            ),
         );
         f.ret(out);
         extract_graph(&f.finish().unwrap(), GraphKind::Dfg).unwrap()

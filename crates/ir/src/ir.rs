@@ -258,14 +258,20 @@ impl IrFunction {
             }
             for operand in &op.operands {
                 if operand.0 >= self.ops.len() {
-                    return Err(format!("op %{} references missing operand %{}", op.id.0, operand.0));
+                    return Err(format!(
+                        "op %{} references missing operand %{}",
+                        op.id.0, operand.0
+                    ));
                 }
             }
         }
         for block in &self.blocks {
             for succ in &block.succs {
                 if succ.0 >= self.blocks.len() {
-                    return Err(format!("block {} references missing successor {}", block.id.0, succ.0));
+                    return Err(format!(
+                        "block {} references missing successor {}",
+                        block.id.0, succ.0
+                    ));
                 }
                 if !self.blocks[succ.0].preds.contains(&block.id) {
                     return Err(format!(
@@ -281,7 +287,13 @@ impl IrFunction {
 
 impl fmt::Display for IrFunction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "function @{} ({} ops, {} blocks)", self.name, self.op_count(), self.block_count())?;
+        writeln!(
+            f,
+            "function @{} ({} ops, {} blocks)",
+            self.name,
+            self.op_count(),
+            self.block_count()
+        )?;
         for block in &self.blocks {
             writeln!(
                 f,
@@ -306,10 +318,42 @@ mod tests {
     fn tiny_ir() -> IrFunction {
         let mut f = IrFunction::new("tiny");
         let entry = BlockId(0);
-        let a = f.push_op(entry, Opcode::ReadPort, BitWidth::new(32), Signedness::Signed, vec![], None, None);
-        let b = f.push_op(entry, Opcode::ReadPort, BitWidth::new(32), Signedness::Signed, vec![], None, None);
-        let m = f.push_op(entry, Opcode::Mul, BitWidth::new(64), Signedness::Signed, vec![a, b], None, None);
-        f.push_op(entry, Opcode::WritePort, BitWidth::new(64), Signedness::Signed, vec![m], None, None);
+        let a = f.push_op(
+            entry,
+            Opcode::ReadPort,
+            BitWidth::new(32),
+            Signedness::Signed,
+            vec![],
+            None,
+            None,
+        );
+        let b = f.push_op(
+            entry,
+            Opcode::ReadPort,
+            BitWidth::new(32),
+            Signedness::Signed,
+            vec![],
+            None,
+            None,
+        );
+        let m = f.push_op(
+            entry,
+            Opcode::Mul,
+            BitWidth::new(64),
+            Signedness::Signed,
+            vec![a, b],
+            None,
+            None,
+        );
+        f.push_op(
+            entry,
+            Opcode::WritePort,
+            BitWidth::new(64),
+            Signedness::Signed,
+            vec![m],
+            None,
+            None,
+        );
         f
     }
 

@@ -80,14 +80,7 @@ impl<'a> Lowerer<'a> {
             let ty = self.src.var_type(var);
             match ty {
                 ValueType::Scalar(s) => {
-                    let op = self.push(
-                        Opcode::ReadPort,
-                        s.width,
-                        s.signedness,
-                        vec![],
-                        None,
-                        None,
-                    );
+                    let op = self.push(Opcode::ReadPort, s.width, s.signedness, vec![], None, None);
                     self.ir.op_mut(op).source_var = Some(var);
                     self.scalar_env.insert(var, op);
                 }
@@ -150,10 +143,9 @@ impl<'a> Lowerer<'a> {
     }
 
     fn array_base(&mut self, var: VarId) -> Result<OpId> {
-        self.array_env
-            .get(&var)
-            .copied()
-            .ok_or_else(|| Error::Lowering(format!("array `{}` has no base op", self.src.var_name(var))))
+        self.array_env.get(&var).copied().ok_or_else(|| {
+            Error::Lowering(format!("array `{}` has no base op", self.src.var_name(var)))
+        })
     }
 
     fn lower_expr(&mut self, expr: &Expr) -> Result<(OpId, ScalarType)> {
@@ -201,19 +193,21 @@ impl<'a> Lowerer<'a> {
                 let signedness = if signed { Signedness::Signed } else { Signedness::Unsigned };
                 let max_bits = lhs_ty.bits().max(rhs_ty.bits());
                 let (opcode, width, out_sign) = match op {
-                    BinaryOp::Add => (Opcode::Add, BitWidth::add_result(lhs_ty.width, rhs_ty.width), signedness),
-                    BinaryOp::Sub => (Opcode::Sub, BitWidth::add_result(lhs_ty.width, rhs_ty.width), signedness),
-                    BinaryOp::Mul => (Opcode::Mul, BitWidth::mul_result(lhs_ty.width, rhs_ty.width), signedness),
-                    BinaryOp::Div => (
-                        if signed { Opcode::SDiv } else { Opcode::UDiv },
-                        lhs_ty.width,
-                        signedness,
-                    ),
-                    BinaryOp::Rem => (
-                        if signed { Opcode::SRem } else { Opcode::URem },
-                        lhs_ty.width,
-                        signedness,
-                    ),
+                    BinaryOp::Add => {
+                        (Opcode::Add, BitWidth::add_result(lhs_ty.width, rhs_ty.width), signedness)
+                    }
+                    BinaryOp::Sub => {
+                        (Opcode::Sub, BitWidth::add_result(lhs_ty.width, rhs_ty.width), signedness)
+                    }
+                    BinaryOp::Mul => {
+                        (Opcode::Mul, BitWidth::mul_result(lhs_ty.width, rhs_ty.width), signedness)
+                    }
+                    BinaryOp::Div => {
+                        (if signed { Opcode::SDiv } else { Opcode::UDiv }, lhs_ty.width, signedness)
+                    }
+                    BinaryOp::Rem => {
+                        (if signed { Opcode::SRem } else { Opcode::URem }, lhs_ty.width, signedness)
+                    }
                     BinaryOp::And => (Opcode::And, BitWidth::new(max_bits), signedness),
                     BinaryOp::Or => (Opcode::Or, BitWidth::new(max_bits), signedness),
                     BinaryOp::Xor => (Opcode::Xor, BitWidth::new(max_bits), signedness),
@@ -528,7 +522,11 @@ mod tests {
         let out = f.local("out", ScalarType::signed(64));
         f.assign(
             out,
-            Expr::binary(BinaryOp::Add, Expr::binary(BinaryOp::Mul, Expr::var(a), Expr::var(b)), Expr::var(c)),
+            Expr::binary(
+                BinaryOp::Add,
+                Expr::binary(BinaryOp::Mul, Expr::var(a), Expr::var(b)),
+                Expr::var(c),
+            ),
         );
         f.ret(out);
         f.finish().unwrap()
@@ -551,7 +549,11 @@ mod tests {
                 Expr::binary(
                     BinaryOp::Add,
                     Expr::var(acc),
-                    Expr::binary(BinaryOp::Mul, Expr::index(x, Expr::var(i)), Expr::index(y, Expr::var(i))),
+                    Expr::binary(
+                        BinaryOp::Mul,
+                        Expr::index(x, Expr::var(i)),
+                        Expr::index(y, Expr::var(i)),
+                    ),
                 ),
             )],
         ));
@@ -581,10 +583,9 @@ mod tests {
         assert!(!phi_ops.is_empty());
         assert!(phi_ops.iter().all(|op| op.operands.len() == 2));
         // A back edge exists: some block with a larger id points to a smaller one.
-        let has_back_edge = ir
-            .blocks
-            .iter()
-            .any(|b| b.succs.iter().any(|s| s.index() < b.id.index() || ir.block(*s).is_loop_header));
+        let has_back_edge = ir.blocks.iter().any(|b| {
+            b.succs.iter().any(|s| s.index() < b.id.index() || ir.block(*s).is_loop_header)
+        });
         assert!(has_back_edge);
     }
 

@@ -77,7 +77,8 @@ fn adpcm_quantize() -> Function {
 fn gsm_lar() -> Function {
     const COEFFS: i64 = 8;
     let mut f = FunctionBuilder::new("ch_gsm_lar");
-    let reflection = f.array_param("reflection", ArrayType::new(ScalarType::i16(), COEFFS as usize));
+    let reflection =
+        f.array_param("reflection", ArrayType::new(ScalarType::i16(), COEFFS as usize));
     let lar = f.array_param("lar", ArrayType::new(ScalarType::i16(), COEFFS as usize));
     let i = f.local("i", ScalarType::i32());
     let temp = f.local("temp", ScalarType::i32());
@@ -99,7 +100,11 @@ fn gsm_lar() -> Function {
                     vec![Stmt::assign(temp, add(shr(v(absolute), c(2)), c(15565)))],
                 )],
             ),
-            Stmt::store(lar, v(i), Expr::select(lt(at(reflection, v(i)), c(0)), sub(c(0), v(temp)), v(temp))),
+            Stmt::store(
+                lar,
+                v(i),
+                Expr::select(lt(at(reflection, v(i)), c(0)), sub(c(0), v(temp)), v(temp)),
+            ),
         ],
     ));
     f.ret(temp);
@@ -138,8 +143,17 @@ fn sha_round() -> Function {
             ),
             Stmt::store(w, add(v(t), c(16)), bor(shl(v(temp), c(1)), shr(v(temp), c(31)))),
             // Round function (ch variant) and state rotation.
-            Stmt::assign(func, bor(band(v(b), v(a)), band(Expr::unary(hls_ir::ast::UnaryOp::Not, v(b)), v(e)))),
-            Stmt::assign(temp, add(add(bor(shl(v(a), c(5)), shr(v(a), c(27))), v(func)), add(v(e), at(w, add(v(t), c(16)))))),
+            Stmt::assign(
+                func,
+                bor(band(v(b), v(a)), band(Expr::unary(hls_ir::ast::UnaryOp::Not, v(b)), v(e))),
+            ),
+            Stmt::assign(
+                temp,
+                add(
+                    add(bor(shl(v(a), c(5)), shr(v(a), c(27))), v(func)),
+                    add(v(e), at(w, add(v(t), c(16)))),
+                ),
+            ),
             Stmt::assign(e, v(b)),
             Stmt::assign(b, bor(shl(v(a), c(30)), shr(v(a), c(2)))),
             Stmt::assign(a, v(temp)),
@@ -197,8 +211,12 @@ fn mips_alu() -> Function {
 fn motion_comp() -> Function {
     const BLOCK: i64 = 8;
     let mut f = FunctionBuilder::new("ch_motion_comp");
-    let reference = f.array_param("reference", ArrayType::new(ScalarType::unsigned(8), (BLOCK * BLOCK) as usize));
-    let current = f.array_param("current", ArrayType::new(ScalarType::unsigned(8), (BLOCK * BLOCK) as usize));
+    let reference = f.array_param(
+        "reference",
+        ArrayType::new(ScalarType::unsigned(8), (BLOCK * BLOCK) as usize),
+    );
+    let current =
+        f.array_param("current", ArrayType::new(ScalarType::unsigned(8), (BLOCK * BLOCK) as usize));
     let (i, j) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
     let diff = f.local("diff", ScalarType::i32());
     let sad = f.local("sad", ScalarType::i32());
@@ -214,8 +232,14 @@ fn motion_comp() -> Function {
             BLOCK,
             1,
             vec![
-                Stmt::assign(diff, sub(at(current, idx2(i, j, BLOCK)), at(reference, idx2(i, j, BLOCK)))),
-                Stmt::assign(sad, add(v(sad), Expr::select(lt(v(diff), c(0)), sub(c(0), v(diff)), v(diff)))),
+                Stmt::assign(
+                    diff,
+                    sub(at(current, idx2(i, j, BLOCK)), at(reference, idx2(i, j, BLOCK))),
+                ),
+                Stmt::assign(
+                    sad,
+                    add(v(sad), Expr::select(lt(v(diff), c(0)), sub(c(0), v(diff)), v(diff))),
+                ),
             ],
         )],
     ));
@@ -242,11 +266,23 @@ fn dfmul_mantissa() -> Function {
         vec![
             Stmt::assign(mant_a, bor(band(at(a, v(i)), c(0xfffff)), c(1 << 20))),
             Stmt::assign(mant_b, bor(band(at(b, v(i)), c(0xfffff)), c(1 << 20))),
-            Stmt::assign(exp, sub(add(band(shr(at(a, v(i)), c(52)), c(0x7ff)), band(shr(at(b, v(i)), c(52)), c(0x7ff))), c(1023))),
+            Stmt::assign(
+                exp,
+                sub(
+                    add(
+                        band(shr(at(a, v(i)), c(52)), c(0x7ff)),
+                        band(shr(at(b, v(i)), c(52)), c(0x7ff)),
+                    ),
+                    c(1023),
+                ),
+            ),
             Stmt::assign(product, mul(v(mant_a), v(mant_b))),
             Stmt::if_else(
                 gt(shr(v(product), c(41)), c(0)),
-                vec![Stmt::assign(product, shr(v(product), c(1))), Stmt::assign(exp, add(v(exp), c(1)))],
+                vec![
+                    Stmt::assign(product, shr(v(product), c(1))),
+                    Stmt::assign(exp, add(v(exp), c(1))),
+                ],
                 vec![],
             ),
             Stmt::store(out, v(i), bor(shl(v(exp), c(52)), band(v(product), c(0xfffff)))),
@@ -264,10 +300,8 @@ fn dfadd_align() -> Function {
     let out = f.array_param("out", ArrayType::new(ScalarType::unsigned(64), PAIRS as usize));
     let i = f.local("i", ScalarType::i32());
     let (exp_a, exp_b) = (f.local("exp_a", ScalarType::i32()), f.local("exp_b", ScalarType::i32()));
-    let (mant_a, mant_b) = (
-        f.local("mant_a", ScalarType::unsigned(64)),
-        f.local("mant_b", ScalarType::unsigned(64)),
-    );
+    let (mant_a, mant_b) =
+        (f.local("mant_a", ScalarType::unsigned(64)), f.local("mant_b", ScalarType::unsigned(64)));
     let shift = f.local("shift", ScalarType::i32());
     let sum = f.local("sum", ScalarType::unsigned(64));
     f.push(Stmt::for_loop(
@@ -295,7 +329,10 @@ fn dfadd_align() -> Function {
             Stmt::assign(sum, add(v(mant_a), v(mant_b))),
             Stmt::if_else(
                 gt(shr(v(sum), c(21)), c(0)),
-                vec![Stmt::assign(sum, shr(v(sum), c(1))), Stmt::assign(exp_a, add(v(exp_a), c(1)))],
+                vec![
+                    Stmt::assign(sum, shr(v(sum), c(1))),
+                    Stmt::assign(exp_a, add(v(exp_a), c(1))),
+                ],
                 vec![],
             ),
             Stmt::store(out, v(i), bor(shl(v(exp_a), c(52)), v(sum))),
@@ -328,8 +365,14 @@ fn blowfish_round() -> Function {
             Stmt::assign(
                 feistel,
                 xor(
-                    add(at(sbox, band(shr(v(left), c(24)), c(255))), at(sbox, band(shr(v(left), c(16)), c(255)))),
-                    add(at(sbox, band(shr(v(left), c(8)), c(255))), at(sbox, band(v(left), c(255)))),
+                    add(
+                        at(sbox, band(shr(v(left), c(24)), c(255))),
+                        at(sbox, band(shr(v(left), c(16)), c(255))),
+                    ),
+                    add(
+                        at(sbox, band(shr(v(left), c(8)), c(255))),
+                        at(sbox, band(v(left), c(255))),
+                    ),
                 ),
             ),
             Stmt::assign(right, xor(v(right), v(feistel))),
@@ -397,7 +440,10 @@ fn aes_mixcolumn() -> Function {
                 vec![Stmt::assign(doubled, xor(v(doubled), c(0x1b)))],
                 vec![],
             ),
-            Stmt::assign(mixed, xor(xor(v(doubled), v(a1)), at(state, add(mul(v(col), c(4)), c(2))))),
+            Stmt::assign(
+                mixed,
+                xor(xor(v(doubled), v(a1)), at(state, add(mul(v(col), c(4)), c(2)))),
+            ),
             Stmt::store(state, mul(v(col), c(4)), v(mixed)),
         ],
     ));

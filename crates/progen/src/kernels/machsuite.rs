@@ -38,7 +38,11 @@ fn gemm_ncubed() -> Function {
     let a = f.array_param("a", ArrayType::new(ScalarType::i32(), (N * N) as usize));
     let b = f.array_param("b", ArrayType::new(ScalarType::i32(), (N * N) as usize));
     let out = f.array_param("out", ArrayType::new(ScalarType::i32(), (N * N) as usize));
-    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let (i, j, k) = (
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+        f.local("k", ScalarType::i32()),
+    );
     let sum = f.local("sum", ScalarType::signed(64));
     f.push(Stmt::for_loop(
         i,
@@ -57,7 +61,10 @@ fn gemm_ncubed() -> Function {
                     0,
                     N,
                     1,
-                    vec![Stmt::assign(sum, add(v(sum), mul(at(a, idx2(i, k, N)), at(b, idx2(k, j, N)))))],
+                    vec![Stmt::assign(
+                        sum,
+                        add(v(sum), mul(at(a, idx2(i, k, N)), at(b, idx2(k, j, N)))),
+                    )],
                 ),
                 Stmt::store(out, idx2(i, j, N), v(sum)),
             ],
@@ -74,7 +81,11 @@ fn gemm_blocked() -> Function {
     let b = f.array_param("b", ArrayType::new(ScalarType::i32(), (N * N) as usize));
     let out = f.array_param("out", ArrayType::new(ScalarType::i32(), (N * N) as usize));
     let (jj, kk) = (f.local("jj", ScalarType::i32()), f.local("kk", ScalarType::i32()));
-    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let (i, j, k) = (
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+        f.local("k", ScalarType::i32()),
+    );
     let acc = f.local("acc", ScalarType::signed(64));
     let inner = vec![Stmt::for_loop(
         i,
@@ -108,13 +119,7 @@ fn gemm_blocked() -> Function {
             )],
         )],
     )];
-    f.push(Stmt::for_loop(
-        jj,
-        0,
-        N,
-        B,
-        vec![Stmt::for_loop(kk, 0, N, B, inner)],
-    ));
+    f.push(Stmt::for_loop(jj, 0, N, B, vec![Stmt::for_loop(kk, 0, N, B, inner)]));
     f.ret(acc);
     f.finish().expect("gemm_blocked is valid")
 }
@@ -142,7 +147,10 @@ fn spmv_crs() -> Function {
                 1,
                 vec![Stmt::assign(
                     sum,
-                    add(v(sum), mul(at(values, idx2(i, j, NNZ)), at(vec_in, at(cols, idx2(i, j, NNZ))))),
+                    add(
+                        v(sum),
+                        mul(at(values, idx2(i, j, NNZ)), at(vec_in, at(cols, idx2(i, j, NNZ)))),
+                    ),
                 )],
             ),
             Stmt::store(out, v(i), v(sum)),
@@ -175,7 +183,13 @@ fn spmv_ellpack() -> Function {
                 1,
                 vec![Stmt::assign(
                     si,
-                    add(v(si), mul(at(nzval, add(mul(v(j), c(N)), v(i))), at(vec_in, at(cols, add(mul(v(j), c(N)), v(i)))))),
+                    add(
+                        v(si),
+                        mul(
+                            at(nzval, add(mul(v(j), c(N)), v(i))),
+                            at(vec_in, at(cols, add(mul(v(j), c(N)), v(i)))),
+                        ),
+                    ),
                 )],
             ),
             Stmt::store(out, v(i), v(si)),
@@ -219,7 +233,10 @@ fn stencil2d() -> Function {
                         vec![
                             Stmt::assign(
                                 mul_t,
-                                mul(at(filt, idx2(k1, k2, 3)), at(orig, add(mul(add(v(r), v(k1)), c(N)), add(v(col), v(k2))))),
+                                mul(
+                                    at(filt, idx2(k1, k2, 3)),
+                                    at(orig, add(mul(add(v(r), v(k1)), c(N)), add(v(col), v(k2)))),
+                                ),
                             ),
                             Stmt::assign(temp, add(v(temp), v(mul_t))),
                         ],
@@ -240,7 +257,11 @@ fn stencil3d() -> Function {
     let sol = f.array_param("sol", ArrayType::new(ScalarType::i32(), (D * D * D) as usize));
     let c0 = f.param("c0", ScalarType::i32());
     let c1 = f.param("c1", ScalarType::i32());
-    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let (i, j, k) = (
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+        f.local("k", ScalarType::i32()),
+    );
     let sum0 = f.local("sum0", ScalarType::signed(64));
     let sum1 = f.local("sum1", ScalarType::signed(64));
     f.push(Stmt::for_loop(
@@ -273,7 +294,11 @@ fn stencil3d() -> Function {
                             ),
                         ),
                     ),
-                    Stmt::store(sol, idx3(i, j, k, D, D), add(mul(v(c0), v(sum0)), mul(v(c1), v(sum1)))),
+                    Stmt::store(
+                        sol,
+                        idx3(i, j, k, D, D),
+                        add(mul(v(c0), v(sum0)), mul(v(c1), v(sum1))),
+                    ),
                 ],
             )],
         )],
@@ -288,7 +313,8 @@ fn md_knn() -> Function {
     let pos_x = f.array_param("pos_x", ArrayType::new(ScalarType::i32(), N as usize));
     let pos_y = f.array_param("pos_y", ArrayType::new(ScalarType::i32(), N as usize));
     let pos_z = f.array_param("pos_z", ArrayType::new(ScalarType::i32(), N as usize));
-    let nl = f.array_param("nl", ArrayType::new(ScalarType::unsigned(8), (N * NEIGHBOURS) as usize));
+    let nl =
+        f.array_param("nl", ArrayType::new(ScalarType::unsigned(8), (N * NEIGHBOURS) as usize));
     let force_x = f.array_param("force_x", ArrayType::new(ScalarType::i32(), N as usize));
     let (i, j) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
     let (dx, dy, dz) = (
@@ -313,10 +339,22 @@ fn md_knn() -> Function {
                 NEIGHBOURS,
                 1,
                 vec![
-                    Stmt::assign(dx, sub(at(pos_x, v(i)), at(pos_x, at(nl, idx2(i, j, NEIGHBOURS))))),
-                    Stmt::assign(dy, sub(at(pos_y, v(i)), at(pos_y, at(nl, idx2(i, j, NEIGHBOURS))))),
-                    Stmt::assign(dz, sub(at(pos_z, v(i)), at(pos_z, at(nl, idx2(i, j, NEIGHBOURS))))),
-                    Stmt::assign(r2, add(add(mul(v(dx), v(dx)), mul(v(dy), v(dy))), mul(v(dz), v(dz)))),
+                    Stmt::assign(
+                        dx,
+                        sub(at(pos_x, v(i)), at(pos_x, at(nl, idx2(i, j, NEIGHBOURS)))),
+                    ),
+                    Stmt::assign(
+                        dy,
+                        sub(at(pos_y, v(i)), at(pos_y, at(nl, idx2(i, j, NEIGHBOURS)))),
+                    ),
+                    Stmt::assign(
+                        dz,
+                        sub(at(pos_z, v(i)), at(pos_z, at(nl, idx2(i, j, NEIGHBOURS)))),
+                    ),
+                    Stmt::assign(
+                        r2,
+                        add(add(mul(v(dx), v(dx)), mul(v(dy), v(dy))), mul(v(dz), v(dz))),
+                    ),
                     Stmt::assign(r2inv, div(c(1 << 20), add(v(r2), c(1)))),
                     Stmt::assign(potential, mul(v(r2inv), mul(v(r2inv), v(r2inv)))),
                     Stmt::assign(fx, add(v(fx), mul(v(potential), v(dx)))),
@@ -355,12 +393,19 @@ fn nw() -> Function {
                 Stmt::assign(
                     score,
                     Expr::select(
-                        Expr::binary(hls_ir::ast::BinaryOp::Eq, at(seq_a, sub(v(i), c(1))), at(seq_b, sub(v(j), c(1)))),
+                        Expr::binary(
+                            hls_ir::ast::BinaryOp::Eq,
+                            at(seq_a, sub(v(i), c(1))),
+                            at(seq_b, sub(v(j), c(1))),
+                        ),
                         c(1),
                         c(-1),
                     ),
                 ),
-                Stmt::assign(up_left, add(at(m, add(mul(sub(v(i), c(1)), c(L + 1)), sub(v(j), c(1)))), v(score))),
+                Stmt::assign(
+                    up_left,
+                    add(at(m, add(mul(sub(v(i), c(1)), c(L + 1)), sub(v(j), c(1)))), v(score)),
+                ),
                 Stmt::assign(up, sub(at(m, add(mul(sub(v(i), c(1)), c(L + 1)), v(j))), c(1))),
                 Stmt::assign(left, sub(at(m, add(mul(v(i), c(L + 1)), sub(v(j), c(1)))), c(1))),
                 Stmt::assign(best, maxe(maxe(v(up_left), v(up)), v(left))),
@@ -402,7 +447,10 @@ fn kmp() -> Function {
             ),
             Stmt::if_else(
                 Expr::binary(hls_ir::ast::BinaryOp::Ge, v(q), c(PATTERN)),
-                vec![Stmt::assign(matches, add(v(matches), c(1))), Stmt::assign(q, at(kmp_next, sub(v(q), c(1))))],
+                vec![
+                    Stmt::assign(matches, add(v(matches), c(1))),
+                    Stmt::assign(q, at(kmp_next, sub(v(q), c(1)))),
+                ],
                 vec![],
             ),
         ],
@@ -462,13 +510,7 @@ fn sort_radix() -> Function {
         4,
         1,
         vec![
-            Stmt::for_loop(
-                i,
-                0,
-                4,
-                1,
-                vec![Stmt::store(bucket, v(i), c(0))],
-            ),
+            Stmt::for_loop(i, 0, 4, 1, vec![Stmt::store(bucket, v(i), c(0))]),
             Stmt::for_loop(
                 i,
                 0,
@@ -502,9 +544,12 @@ fn viterbi() -> Function {
     const STEPS: i64 = 8;
     let mut f = FunctionBuilder::new("ms_viterbi");
     let obs = f.array_param("obs", ArrayType::new(ScalarType::unsigned(8), STEPS as usize));
-    let transition = f.array_param("transition", ArrayType::new(ScalarType::i32(), (STATES * STATES) as usize));
-    let emission = f.array_param("emission", ArrayType::new(ScalarType::i32(), (STATES * STATES) as usize));
-    let llike = f.array_param("llike", ArrayType::new(ScalarType::i32(), (STEPS * STATES) as usize));
+    let transition =
+        f.array_param("transition", ArrayType::new(ScalarType::i32(), (STATES * STATES) as usize));
+    let emission =
+        f.array_param("emission", ArrayType::new(ScalarType::i32(), (STATES * STATES) as usize));
+    let llike =
+        f.array_param("llike", ArrayType::new(ScalarType::i32(), (STEPS * STATES) as usize));
     let (t, curr, prev) = (
         f.local("t", ScalarType::i32()),
         f.local("curr", ScalarType::i32()),
@@ -533,7 +578,10 @@ fn viterbi() -> Function {
                         Stmt::assign(
                             p,
                             add(
-                                add(at(llike, add(mul(sub(v(t), c(1)), c(STATES)), v(prev))), at(transition, idx2(prev, curr, STATES))),
+                                add(
+                                    at(llike, add(mul(sub(v(t), c(1)), c(STATES)), v(prev))),
+                                    at(transition, idx2(prev, curr, STATES)),
+                                ),
                                 at(emission, add(mul(v(curr), c(STATES)), at(obs, v(t)))),
                             ),
                         ),
@@ -553,7 +601,8 @@ fn fft_strided() -> Function {
     let mut f = FunctionBuilder::new("ms_fft_strided");
     let real = f.array_param("real", ArrayType::new(ScalarType::i32(), LEN as usize));
     let img = f.array_param("img", ArrayType::new(ScalarType::i32(), LEN as usize));
-    let real_twid = f.array_param("real_twid", ArrayType::new(ScalarType::i32(), (LEN / 2) as usize));
+    let real_twid =
+        f.array_param("real_twid", ArrayType::new(ScalarType::i32(), (LEN / 2) as usize));
     let img_twid = f.array_param("img_twid", ArrayType::new(ScalarType::i32(), (LEN / 2) as usize));
     let (span, odd) = (f.local("span", ScalarType::i32()), f.local("odd", ScalarType::i32()));
     let even = f.local("even", ScalarType::i32());
@@ -571,7 +620,10 @@ fn fft_strided() -> Function {
             1,
             vec![
                 Stmt::assign(even, band(v(odd), c(LEN / 2 - 1))),
-                Stmt::assign(temp, add(at(real, v(even)), at(real, band(add(v(odd), c(1)), c(LEN - 1))))),
+                Stmt::assign(
+                    temp,
+                    add(at(real, v(even)), at(real, band(add(v(odd), c(1)), c(LEN - 1)))),
+                ),
                 Stmt::store(real, v(even), v(temp)),
                 Stmt::assign(
                     rotated,
@@ -593,7 +645,8 @@ fn bfs_bulk() -> Function {
     const EDGES: i64 = 4;
     let mut f = FunctionBuilder::new("ms_bfs_bulk");
     let level = f.array_param("level", ArrayType::new(ScalarType::i8(), NODES as usize));
-    let edges = f.array_param("edges", ArrayType::new(ScalarType::unsigned(8), (NODES * EDGES) as usize));
+    let edges =
+        f.array_param("edges", ArrayType::new(ScalarType::unsigned(8), (NODES * EDGES) as usize));
     let (horizon, node, e) = (
         f.local("horizon", ScalarType::i32()),
         f.local("node", ScalarType::i32()),
@@ -691,10 +744,16 @@ fn backprop_layer() -> Function {
                 0,
                 IN,
                 1,
-                vec![Stmt::assign(sum, add(v(sum), mul(at(weights, idx2(i, j, OUT)), at(activations, v(i)))))],
+                vec![Stmt::assign(
+                    sum,
+                    add(v(sum), mul(at(weights, idx2(i, j, OUT)), at(activations, v(i)))),
+                )],
             ),
             // Piece-wise linear "sigmoid": clamp into a range then scale.
-            Stmt::assign(activated, Expr::select(gt(v(sum), c(1 << 16)), c(1 << 16), maxe(v(sum), c(0)))),
+            Stmt::assign(
+                activated,
+                Expr::select(gt(v(sum), c(1 << 16)), c(1 << 16), maxe(v(sum), c(0))),
+            ),
             Stmt::store(out, v(j), shr(mul(v(activated), at(deltas, v(j))), c(8))),
         ],
     ));

@@ -125,7 +125,11 @@ mod tests {
     #[test]
     fn every_kernel_has_loops() {
         for kernel in all_kernels() {
-            assert!(kernel.function.has_control_flow(), "kernel {} has no control flow", kernel.name);
+            assert!(
+                kernel.function.has_control_flow(),
+                "kernel {} has no control flow",
+                kernel.name
+            );
         }
     }
 

@@ -56,7 +56,11 @@ fn two_mm() -> Function {
     let cm = f.array_param("cm", ArrayType::new(ScalarType::i32(), NN));
     let tmp = f.array_param("tmp", ArrayType::new(ScalarType::i32(), NN));
     let d = f.array_param("d", ArrayType::new(ScalarType::i32(), NN));
-    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let (i, j, k) = (
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+        f.local("k", ScalarType::i32()),
+    );
     let acc = f.local("acc", ScalarType::signed(64));
     f.push(Stmt::for_loop(
         i,
@@ -75,7 +79,10 @@ fn two_mm() -> Function {
                     0,
                     N,
                     1,
-                    vec![Stmt::assign(acc, add(v(acc), mul(mul(v(alpha), at(a, idx2(i, k, N))), at(b, idx2(k, j, N)))))],
+                    vec![Stmt::assign(
+                        acc,
+                        add(v(acc), mul(mul(v(alpha), at(a, idx2(i, k, N))), at(b, idx2(k, j, N)))),
+                    )],
                 ),
                 Stmt::store(tmp, idx2(i, j, N), v(acc)),
             ],
@@ -98,7 +105,10 @@ fn two_mm() -> Function {
                     0,
                     N,
                     1,
-                    vec![Stmt::assign(acc, add(v(acc), mul(at(tmp, idx2(i, k, N)), at(cm, idx2(k, j, N)))))],
+                    vec![Stmt::assign(
+                        acc,
+                        add(v(acc), mul(at(tmp, idx2(i, k, N)), at(cm, idx2(k, j, N)))),
+                    )],
                 ),
                 Stmt::store(d, idx2(i, j, N), v(acc)),
             ],
@@ -117,7 +127,11 @@ fn three_mm() -> Function {
     let e = f.array_param("e", ArrayType::new(ScalarType::i32(), NN));
     let ff = f.array_param("f", ArrayType::new(ScalarType::i32(), NN));
     let g = f.array_param("g", ArrayType::new(ScalarType::i32(), NN));
-    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let (i, j, k) = (
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+        f.local("k", ScalarType::i32()),
+    );
     let acc = f.local("acc", ScalarType::signed(64));
     let matmul = |dst, lhs, rhs, i, j, k, acc| {
         Stmt::for_loop(
@@ -137,7 +151,10 @@ fn three_mm() -> Function {
                         0,
                         N,
                         1,
-                        vec![Stmt::assign(acc, add(v(acc), mul(at(lhs, idx2(i, k, N)), at(rhs, idx2(k, j, N)))))],
+                        vec![Stmt::assign(
+                            acc,
+                            add(v(acc), mul(at(lhs, idx2(i, k, N)), at(rhs, idx2(k, j, N)))),
+                        )],
                     ),
                     Stmt::store(dst, idx2(i, j, N), v(acc)),
                 ],
@@ -166,7 +183,13 @@ fn atax() -> Function {
         1,
         vec![
             Stmt::assign(acc, c(0)),
-            Stmt::for_loop(j, 0, N, 1, vec![Stmt::assign(acc, add(v(acc), mul(at(a, idx2(i, j, N)), at(x, v(j)))))]),
+            Stmt::for_loop(
+                j,
+                0,
+                N,
+                1,
+                vec![Stmt::assign(acc, add(v(acc), mul(at(a, idx2(i, j, N)), at(x, v(j)))))],
+            ),
             Stmt::store(tmp, v(i), v(acc)),
             Stmt::for_loop(
                 j,
@@ -250,12 +273,24 @@ fn doitgen() -> Function {
                             0,
                             N,
                             1,
-                            vec![Stmt::assign(acc, add(v(acc), mul(at(a, idx3(rr, q, s, R, N)), at(c4, idx2(s, pp, N)))))],
+                            vec![Stmt::assign(
+                                acc,
+                                add(
+                                    v(acc),
+                                    mul(at(a, idx3(rr, q, s, R, N)), at(c4, idx2(s, pp, N))),
+                                ),
+                            )],
                         ),
                         Stmt::store(sum, v(pp), v(acc)),
                     ],
                 ),
-                Stmt::for_loop(pp, 0, N, 1, vec![Stmt::store(a, idx3(rr, q, pp, R, N), at(sum, v(pp)))]),
+                Stmt::for_loop(
+                    pp,
+                    0,
+                    N,
+                    1,
+                    vec![Stmt::store(a, idx3(rr, q, pp, R, N), at(sum, v(pp)))],
+                ),
             ],
         )],
     ));
@@ -290,7 +325,11 @@ fn gemver() -> Function {
             0,
             N,
             1,
-            vec![Stmt::store(a, idx2(i, j, N), add(at(a, idx2(i, j, N)), mul(at(u1, v(i)), at(v1, v(j)))))],
+            vec![Stmt::store(
+                a,
+                idx2(i, j, N),
+                add(at(a, idx2(i, j, N)), mul(at(u1, v(i)), at(v1, v(j)))),
+            )],
         )],
     ));
     f.push(Stmt::for_loop(
@@ -305,7 +344,10 @@ fn gemver() -> Function {
                 0,
                 N,
                 1,
-                vec![Stmt::assign(acc, add(v(acc), mul(mul(v(beta), at(a, idx2(j, i, N))), at(y, v(j)))))],
+                vec![Stmt::assign(
+                    acc,
+                    add(v(acc), mul(mul(v(beta), at(a, idx2(j, i, N))), at(y, v(j)))),
+                )],
             ),
             Stmt::store(x, v(i), add(v(acc), at(z, v(i)))),
         ],
@@ -322,7 +364,10 @@ fn gemver() -> Function {
                 0,
                 N,
                 1,
-                vec![Stmt::assign(acc, add(v(acc), mul(mul(v(alpha), at(a, idx2(i, j, N))), at(x, v(j)))))],
+                vec![Stmt::assign(
+                    acc,
+                    add(v(acc), mul(mul(v(alpha), at(a, idx2(i, j, N))), at(x, v(j)))),
+                )],
             ),
             Stmt::store(w, v(i), v(acc)),
         ],
@@ -340,7 +385,8 @@ fn gesummv() -> Function {
     let x = f.array_param("x", ArrayType::new(ScalarType::i32(), N as usize));
     let y = f.array_param("y", ArrayType::new(ScalarType::i32(), N as usize));
     let (i, j) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
-    let (tmp, acc) = (f.local("tmp", ScalarType::signed(64)), f.local("acc", ScalarType::signed(64)));
+    let (tmp, acc) =
+        (f.local("tmp", ScalarType::signed(64)), f.local("acc", ScalarType::signed(64)));
     f.push(Stmt::for_loop(
         i,
         0,
@@ -386,7 +432,13 @@ fn mvt() -> Function {
         1,
         vec![
             Stmt::assign(acc, at(x1, v(i))),
-            Stmt::for_loop(j, 0, N, 1, vec![Stmt::assign(acc, add(v(acc), mul(at(a, idx2(i, j, N)), at(y1, v(j)))))]),
+            Stmt::for_loop(
+                j,
+                0,
+                N,
+                1,
+                vec![Stmt::assign(acc, add(v(acc), mul(at(a, idx2(i, j, N)), at(y1, v(j)))))],
+            ),
             Stmt::store(x1, v(i), v(acc)),
         ],
     ));
@@ -397,7 +449,13 @@ fn mvt() -> Function {
         1,
         vec![
             Stmt::assign(acc, at(x2, v(i))),
-            Stmt::for_loop(j, 0, N, 1, vec![Stmt::assign(acc, add(v(acc), mul(at(a, idx2(j, i, N)), at(y2, v(j)))))]),
+            Stmt::for_loop(
+                j,
+                0,
+                N,
+                1,
+                vec![Stmt::assign(acc, add(v(acc), mul(at(a, idx2(j, i, N)), at(y2, v(j)))))],
+            ),
             Stmt::store(x2, v(i), v(acc)),
         ],
     ));
@@ -411,7 +469,11 @@ fn symm() -> Function {
     let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
     let b = f.array_param("b", ArrayType::new(ScalarType::i32(), NN));
     let cm = f.array_param("cm", ArrayType::new(ScalarType::i32(), NN));
-    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let (i, j, k) = (
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+        f.local("k", ScalarType::i32()),
+    );
     let temp = f.local("temp", ScalarType::signed(64));
     f.push(Stmt::for_loop(
         i,
@@ -432,14 +494,23 @@ fn symm() -> Function {
                     1,
                     vec![Stmt::if_else(
                         lt(v(k), v(i)),
-                        vec![Stmt::assign(temp, add(v(temp), mul(at(b, idx2(k, j, N)), at(a, idx2(i, k, N)))))],
+                        vec![Stmt::assign(
+                            temp,
+                            add(v(temp), mul(at(b, idx2(k, j, N)), at(a, idx2(i, k, N)))),
+                        )],
                         vec![],
                     )],
                 ),
                 Stmt::store(
                     cm,
                     idx2(i, j, N),
-                    add(at(cm, idx2(i, j, N)), mul(v(alpha), add(mul(at(b, idx2(i, j, N)), at(a, idx2(i, i, N))), v(temp)))),
+                    add(
+                        at(cm, idx2(i, j, N)),
+                        mul(
+                            v(alpha),
+                            add(mul(at(b, idx2(i, j, N)), at(a, idx2(i, i, N))), v(temp)),
+                        ),
+                    ),
                 ),
             ],
         )],
@@ -454,7 +525,11 @@ fn syrk() -> Function {
     let beta = f.param("beta", ScalarType::i32());
     let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
     let cm = f.array_param("cm", ArrayType::new(ScalarType::i32(), NN));
-    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let (i, j, k) = (
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+        f.local("k", ScalarType::i32()),
+    );
     let acc = f.local("acc", ScalarType::signed(64));
     f.push(Stmt::for_loop(
         i,
@@ -473,7 +548,10 @@ fn syrk() -> Function {
                     0,
                     N,
                     1,
-                    vec![Stmt::assign(acc, add(v(acc), mul(mul(v(alpha), at(a, idx2(i, k, N))), at(a, idx2(j, k, N)))))],
+                    vec![Stmt::assign(
+                        acc,
+                        add(v(acc), mul(mul(v(alpha), at(a, idx2(i, k, N))), at(a, idx2(j, k, N)))),
+                    )],
                 ),
                 Stmt::store(cm, idx2(i, j, N), v(acc)),
             ],
@@ -489,7 +567,11 @@ fn syr2k() -> Function {
     let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
     let b = f.array_param("b", ArrayType::new(ScalarType::i32(), NN));
     let cm = f.array_param("cm", ArrayType::new(ScalarType::i32(), NN));
-    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let (i, j, k) = (
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+        f.local("k", ScalarType::i32()),
+    );
     let acc = f.local("acc", ScalarType::signed(64));
     f.push(Stmt::for_loop(
         i,
@@ -532,7 +614,11 @@ fn trmm() -> Function {
     let alpha = f.param("alpha", ScalarType::i32());
     let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
     let b = f.array_param("b", ArrayType::new(ScalarType::i32(), NN));
-    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let (i, j, k) = (
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+        f.local("k", ScalarType::i32()),
+    );
     let acc = f.local("acc", ScalarType::signed(64));
     f.push(Stmt::for_loop(
         i,
@@ -553,7 +639,10 @@ fn trmm() -> Function {
                     1,
                     vec![Stmt::if_else(
                         gt(v(k), v(i)),
-                        vec![Stmt::assign(acc, add(v(acc), mul(at(a, idx2(k, i, N)), at(b, idx2(k, j, N)))))],
+                        vec![Stmt::assign(
+                            acc,
+                            add(v(acc), mul(at(a, idx2(k, i, N)), at(b, idx2(k, j, N)))),
+                        )],
                         vec![],
                     )],
                 ),
@@ -568,7 +657,11 @@ fn trmm() -> Function {
 fn cholesky() -> Function {
     let mut f = FunctionBuilder::new("pb_cholesky");
     let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
-    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let (i, j, k) = (
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+        f.local("k", ScalarType::i32()),
+    );
     let acc = f.local("acc", ScalarType::signed(64));
     f.push(Stmt::for_loop(
         i,
@@ -592,7 +685,10 @@ fn cholesky() -> Function {
                             1,
                             vec![Stmt::if_else(
                                 lt(v(k), v(j)),
-                                vec![Stmt::assign(acc, sub(v(acc), mul(at(a, idx2(i, k, N)), at(a, idx2(j, k, N)))))],
+                                vec![Stmt::assign(
+                                    acc,
+                                    sub(v(acc), mul(at(a, idx2(i, k, N)), at(a, idx2(j, k, N)))),
+                                )],
                                 vec![],
                             )],
                         ),
@@ -609,7 +705,10 @@ fn cholesky() -> Function {
                 1,
                 vec![Stmt::if_else(
                     lt(v(k), v(i)),
-                    vec![Stmt::assign(acc, sub(v(acc), mul(at(a, idx2(i, k, N)), at(a, idx2(i, k, N)))))],
+                    vec![Stmt::assign(
+                        acc,
+                        sub(v(acc), mul(at(a, idx2(i, k, N)), at(a, idx2(i, k, N)))),
+                    )],
                     vec![],
                 )],
             ),
@@ -647,7 +746,10 @@ fn durbin() -> Function {
                 1,
                 vec![Stmt::if_else(
                     lt(v(i), v(k)),
-                    vec![Stmt::assign(sum, add(v(sum), mul(at(r, sub(sub(v(k), v(i)), c(1))), at(y, v(i)))))],
+                    vec![Stmt::assign(
+                        sum,
+                        add(v(sum), mul(at(r, sub(sub(v(k), v(i)), c(1))), at(y, v(i)))),
+                    )],
                     vec![],
                 )],
             ),
@@ -659,7 +761,11 @@ fn durbin() -> Function {
                 1,
                 vec![Stmt::if_else(
                     lt(v(i), v(k)),
-                    vec![Stmt::store(z, v(i), add(at(y, v(i)), mul(v(alpha), at(y, sub(sub(v(k), v(i)), c(1))))))],
+                    vec![Stmt::store(
+                        z,
+                        v(i),
+                        add(at(y, v(i)), mul(v(alpha), at(y, sub(sub(v(k), v(i)), c(1))))),
+                    )],
                     vec![],
                 )],
             ),
@@ -673,7 +779,11 @@ fn durbin() -> Function {
 fn lu() -> Function {
     let mut f = FunctionBuilder::new("pb_lu");
     let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
-    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let (i, j, k) = (
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+        f.local("k", ScalarType::i32()),
+    );
     let acc = f.local("acc", ScalarType::signed(64));
     f.push(Stmt::for_loop(
         i,
@@ -693,14 +803,25 @@ fn lu() -> Function {
                     N,
                     1,
                     vec![Stmt::if_else(
-                        Expr::binary(hls_ir::ast::BinaryOp::Lt, v(k), Expr::select(lt(v(i), v(j)), v(i), v(j))),
-                        vec![Stmt::assign(acc, sub(v(acc), mul(at(a, idx2(i, k, N)), at(a, idx2(k, j, N)))))],
+                        Expr::binary(
+                            hls_ir::ast::BinaryOp::Lt,
+                            v(k),
+                            Expr::select(lt(v(i), v(j)), v(i), v(j)),
+                        ),
+                        vec![Stmt::assign(
+                            acc,
+                            sub(v(acc), mul(at(a, idx2(i, k, N)), at(a, idx2(k, j, N)))),
+                        )],
                         vec![],
                     )],
                 ),
                 Stmt::if_else(
                     gt(v(i), v(j)),
-                    vec![Stmt::store(a, idx2(i, j, N), div(v(acc), add(at(a, idx2(j, j, N)), c(1))))],
+                    vec![Stmt::store(
+                        a,
+                        idx2(i, j, N),
+                        div(v(acc), add(at(a, idx2(j, j, N)), c(1))),
+                    )],
                     vec![Stmt::store(a, idx2(i, j, N), v(acc))],
                 ),
             ],
@@ -761,7 +882,10 @@ fn jacobi_1d() -> Function {
                 LEN - 1,
                 1,
                 vec![
-                    Stmt::assign(acc, add(add(at(a, sub(v(i), c(1))), at(a, v(i))), at(a, add(v(i), c(1))))),
+                    Stmt::assign(
+                        acc,
+                        add(add(at(a, sub(v(i), c(1))), at(a, v(i))), at(a, add(v(i), c(1)))),
+                    ),
                     Stmt::store(b, v(i), div(v(acc), c(3))),
                 ],
             ),
@@ -771,7 +895,10 @@ fn jacobi_1d() -> Function {
                 LEN - 1,
                 1,
                 vec![
-                    Stmt::assign(acc, add(add(at(b, sub(v(i), c(1))), at(b, v(i))), at(b, add(v(i), c(1))))),
+                    Stmt::assign(
+                        acc,
+                        add(add(at(b, sub(v(i), c(1))), at(b, v(i))), at(b, add(v(i), c(1)))),
+                    ),
                     Stmt::store(a, v(i), div(v(acc), c(3))),
                 ],
             ),
@@ -785,7 +912,11 @@ fn jacobi_2d() -> Function {
     let mut f = FunctionBuilder::new("pb_jacobi_2d");
     let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
     let b = f.array_param("b", ArrayType::new(ScalarType::i32(), NN));
-    let (t, i, j) = (f.local("t", ScalarType::i32()), f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let (t, i, j) = (
+        f.local("t", ScalarType::i32()),
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+    );
     let acc = f.local("acc", ScalarType::signed(64));
     f.push(Stmt::for_loop(
         t,
@@ -807,7 +938,13 @@ fn jacobi_2d() -> Function {
                         acc,
                         add(
                             add(at(a, idx2(i, j, N)), at(a, add(idx2(i, j, N), c(1)))),
-                            add(at(a, sub(idx2(i, j, N), c(1))), add(at(a, add(idx2(i, j, N), c(N))), at(a, sub(idx2(i, j, N), c(N))))),
+                            add(
+                                at(a, sub(idx2(i, j, N), c(1))),
+                                add(
+                                    at(a, add(idx2(i, j, N), c(N))),
+                                    at(a, sub(idx2(i, j, N), c(N))),
+                                ),
+                            ),
                         ),
                     ),
                     Stmt::store(b, idx2(i, j, N), div(v(acc), c(5))),
@@ -822,7 +959,11 @@ fn jacobi_2d() -> Function {
 fn seidel_2d() -> Function {
     let mut f = FunctionBuilder::new("pb_seidel_2d");
     let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
-    let (t, i, j) = (f.local("t", ScalarType::i32()), f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let (t, i, j) = (
+        f.local("t", ScalarType::i32()),
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+    );
     let acc = f.local("acc", ScalarType::signed(64));
     f.push(Stmt::for_loop(
         t,
@@ -844,10 +985,19 @@ fn seidel_2d() -> Function {
                         acc,
                         add(
                             add(
-                                add(at(a, sub(idx2(i, j, N), c(N + 1))), at(a, sub(idx2(i, j, N), c(N)))),
+                                add(
+                                    at(a, sub(idx2(i, j, N), c(N + 1))),
+                                    at(a, sub(idx2(i, j, N), c(N))),
+                                ),
                                 add(at(a, sub(idx2(i, j, N), c(1))), at(a, idx2(i, j, N))),
                             ),
-                            add(at(a, add(idx2(i, j, N), c(1))), add(at(a, add(idx2(i, j, N), c(N))), at(a, add(idx2(i, j, N), c(N + 1))))),
+                            add(
+                                at(a, add(idx2(i, j, N), c(1))),
+                                add(
+                                    at(a, add(idx2(i, j, N), c(N))),
+                                    at(a, add(idx2(i, j, N), c(N + 1))),
+                                ),
+                            ),
                         ),
                     ),
                     Stmt::store(a, idx2(i, j, N), div(v(acc), c(7))),
@@ -865,7 +1015,11 @@ fn fdtd_2d() -> Function {
     let ey = f.array_param("ey", ArrayType::new(ScalarType::i32(), NN));
     let hz = f.array_param("hz", ArrayType::new(ScalarType::i32(), NN));
     let fict = f.array_param("fict", ArrayType::new(ScalarType::i32(), 4));
-    let (t, i, j) = (f.local("t", ScalarType::i32()), f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let (t, i, j) = (
+        f.local("t", ScalarType::i32()),
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+    );
     let acc = f.local("acc", ScalarType::signed(64));
     f.push(Stmt::for_loop(
         t,
@@ -887,7 +1041,10 @@ fn fdtd_2d() -> Function {
                     vec![Stmt::store(
                         ey,
                         idx2(i, j, N),
-                        sub(at(ey, idx2(i, j, N)), shr(sub(at(hz, idx2(i, j, N)), at(hz, sub(idx2(i, j, N), c(N)))), c(1))),
+                        sub(
+                            at(ey, idx2(i, j, N)),
+                            shr(sub(at(hz, idx2(i, j, N)), at(hz, sub(idx2(i, j, N), c(N)))), c(1)),
+                        ),
                     )],
                 )],
             ),
@@ -905,11 +1062,18 @@ fn fdtd_2d() -> Function {
                         Stmt::assign(
                             acc,
                             sub(
-                                add(at(ex, add(idx2(i, j, N), c(1))), at(ey, add(idx2(i, j, N), c(N)))),
+                                add(
+                                    at(ex, add(idx2(i, j, N), c(1))),
+                                    at(ey, add(idx2(i, j, N), c(N))),
+                                ),
                                 add(at(ex, idx2(i, j, N)), at(ey, idx2(i, j, N))),
                             ),
                         ),
-                        Stmt::store(hz, idx2(i, j, N), sub(at(hz, idx2(i, j, N)), shr(mul(c(7), v(acc)), c(3)))),
+                        Stmt::store(
+                            hz,
+                            idx2(i, j, N),
+                            sub(at(hz, idx2(i, j, N)), shr(mul(c(7), v(acc)), c(3))),
+                        ),
                     ],
                 )],
             ),
@@ -956,16 +1120,29 @@ fn heat_3d() -> Function {
                             acc,
                             add(
                                 add(
-                                    sub(at(a, add(idx3(i, j, k, D, D), c(D * D))), shl(at(a, idx3(i, j, k, D, D)), c(1))),
+                                    sub(
+                                        at(a, add(idx3(i, j, k, D, D), c(D * D))),
+                                        shl(at(a, idx3(i, j, k, D, D)), c(1)),
+                                    ),
                                     at(a, sub(idx3(i, j, k, D, D), c(D * D))),
                                 ),
                                 add(
-                                    sub(at(a, add(idx3(i, j, k, D, D), c(D))), at(a, sub(idx3(i, j, k, D, D), c(D)))),
-                                    sub(at(a, add(idx3(i, j, k, D, D), c(1))), at(a, sub(idx3(i, j, k, D, D), c(1)))),
+                                    sub(
+                                        at(a, add(idx3(i, j, k, D, D), c(D))),
+                                        at(a, sub(idx3(i, j, k, D, D), c(D))),
+                                    ),
+                                    sub(
+                                        at(a, add(idx3(i, j, k, D, D), c(1))),
+                                        at(a, sub(idx3(i, j, k, D, D), c(1))),
+                                    ),
                                 ),
                             ),
                         ),
-                        Stmt::store(b, idx3(i, j, k, D, D), add(at(a, idx3(i, j, k, D, D)), shr(v(acc), c(3)))),
+                        Stmt::store(
+                            b,
+                            idx3(i, j, k, D, D),
+                            add(at(a, idx3(i, j, k, D, D)), shr(v(acc), c(3))),
+                        ),
                     ],
                 )],
             )],
@@ -981,7 +1158,11 @@ fn adi_like() -> Function {
     let vv = f.array_param("vv", ArrayType::new(ScalarType::i32(), NN));
     let p = f.array_param("p", ArrayType::new(ScalarType::i32(), NN));
     let q = f.array_param("q", ArrayType::new(ScalarType::i32(), NN));
-    let (t, i, j) = (f.local("t", ScalarType::i32()), f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let (t, i, j) = (
+        f.local("t", ScalarType::i32()),
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+    );
     let acc = f.local("acc", ScalarType::signed(64));
     f.push(Stmt::for_loop(
         t,
@@ -1001,12 +1182,23 @@ fn adi_like() -> Function {
                     N - 1,
                     1,
                     vec![
-                        Stmt::store(p, idx2(i, j, N), div(c(-1 << 8), add(at(p, sub(idx2(i, j, N), c(1))), c(3)))),
+                        Stmt::store(
+                            p,
+                            idx2(i, j, N),
+                            div(c(-1 << 8), add(at(p, sub(idx2(i, j, N), c(1))), c(3))),
+                        ),
                         Stmt::assign(
                             acc,
-                            sub(add(at(u, sub(idx2(j, i, N), c(1))), at(u, idx2(j, i, N))), at(q, sub(idx2(i, j, N), c(1)))),
+                            sub(
+                                add(at(u, sub(idx2(j, i, N), c(1))), at(u, idx2(j, i, N))),
+                                at(q, sub(idx2(i, j, N), c(1))),
+                            ),
                         ),
-                        Stmt::store(q, idx2(i, j, N), div(v(acc), add(at(p, sub(idx2(i, j, N), c(1))), c(3)))),
+                        Stmt::store(
+                            q,
+                            idx2(i, j, N),
+                            div(v(acc), add(at(p, sub(idx2(i, j, N), c(1))), c(3))),
+                        ),
                     ],
                 )],
             ),
@@ -1024,7 +1216,10 @@ fn adi_like() -> Function {
                     vec![Stmt::store(
                         vv,
                         idx2(i, j, N),
-                        add(mul(at(p, idx2(i, j, N)), at(vv, add(idx2(i, j, N), c(1)))), at(q, idx2(i, j, N))),
+                        add(
+                            mul(at(p, idx2(i, j, N)), at(vv, add(idx2(i, j, N), c(1)))),
+                            at(q, idx2(i, j, N)),
+                        ),
                     )],
                 )],
             ),
@@ -1039,7 +1234,11 @@ fn gramschmidt() -> Function {
     let a = f.array_param("a", ArrayType::new(ScalarType::i32(), NN));
     let r = f.array_param("r", ArrayType::new(ScalarType::i32(), NN));
     let q = f.array_param("q", ArrayType::new(ScalarType::i32(), NN));
-    let (k, i, j) = (f.local("k", ScalarType::i32()), f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let (k, i, j) = (
+        f.local("k", ScalarType::i32()),
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+    );
     let nrm = f.local("nrm", ScalarType::signed(64));
     f.push(Stmt::for_loop(
         k,
@@ -1053,7 +1252,10 @@ fn gramschmidt() -> Function {
                 0,
                 N,
                 1,
-                vec![Stmt::assign(nrm, add(v(nrm), mul(at(a, idx2(i, k, N)), at(a, idx2(i, k, N)))))],
+                vec![Stmt::assign(
+                    nrm,
+                    add(v(nrm), mul(at(a, idx2(i, k, N)), at(a, idx2(i, k, N)))),
+                )],
             ),
             Stmt::store(r, idx2(k, k, N), shr(v(nrm), c(4))),
             Stmt::for_loop(
@@ -1061,7 +1263,11 @@ fn gramschmidt() -> Function {
                 0,
                 N,
                 1,
-                vec![Stmt::store(q, idx2(i, k, N), div(at(a, idx2(i, k, N)), add(at(r, idx2(k, k, N)), c(1))))],
+                vec![Stmt::store(
+                    q,
+                    idx2(i, k, N),
+                    div(at(a, idx2(i, k, N)), add(at(r, idx2(k, k, N)), c(1))),
+                )],
             ),
             Stmt::for_loop(
                 j,
@@ -1077,7 +1283,10 @@ fn gramschmidt() -> Function {
                             0,
                             N,
                             1,
-                            vec![Stmt::assign(nrm, add(v(nrm), mul(at(q, idx2(i, k, N)), at(a, idx2(i, j, N)))))],
+                            vec![Stmt::assign(
+                                nrm,
+                                add(v(nrm), mul(at(q, idx2(i, k, N)), at(a, idx2(i, j, N)))),
+                            )],
                         ),
                         Stmt::store(r, idx2(k, j, N), v(nrm)),
                         Stmt::for_loop(
@@ -1088,7 +1297,10 @@ fn gramschmidt() -> Function {
                             vec![Stmt::store(
                                 a,
                                 idx2(i, j, N),
-                                sub(at(a, idx2(i, j, N)), mul(at(q, idx2(i, k, N)), at(r, idx2(k, j, N)))),
+                                sub(
+                                    at(a, idx2(i, j, N)),
+                                    mul(at(q, idx2(i, k, N)), at(r, idx2(k, j, N))),
+                                ),
                             )],
                         ),
                     ],
@@ -1106,7 +1318,11 @@ fn covariance() -> Function {
     let data = f.array_param("data", ArrayType::new(ScalarType::i32(), NN));
     let cov = f.array_param("cov", ArrayType::new(ScalarType::i32(), NN));
     let mean = f.array_param("mean", ArrayType::new(ScalarType::i32(), N as usize));
-    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let (i, j, k) = (
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+        f.local("k", ScalarType::i32()),
+    );
     let acc = f.local("acc", ScalarType::signed(64));
     f.push(Stmt::for_loop(
         j,
@@ -1115,7 +1331,13 @@ fn covariance() -> Function {
         1,
         vec![
             Stmt::assign(acc, c(0)),
-            Stmt::for_loop(i, 0, N, 1, vec![Stmt::assign(acc, add(v(acc), at(data, idx2(i, j, N))))]),
+            Stmt::for_loop(
+                i,
+                0,
+                N,
+                1,
+                vec![Stmt::assign(acc, add(v(acc), at(data, idx2(i, j, N))))],
+            ),
             Stmt::store(mean, v(j), div(v(acc), c(N))),
         ],
     ));
@@ -1151,7 +1373,10 @@ fn covariance() -> Function {
                         0,
                         N,
                         1,
-                        vec![Stmt::assign(acc, add(v(acc), mul(at(data, idx2(k, i, N)), at(data, idx2(k, j, N)))))],
+                        vec![Stmt::assign(
+                            acc,
+                            add(v(acc), mul(at(data, idx2(k, i, N)), at(data, idx2(k, j, N)))),
+                        )],
                     ),
                     Stmt::store(cov, idx2(i, j, N), div(v(acc), c(N - 1))),
                     Stmt::store(cov, idx2(j, i, N), at(cov, idx2(i, j, N))),
@@ -1170,7 +1395,11 @@ fn correlation() -> Function {
     let corr = f.array_param("corr", ArrayType::new(ScalarType::i32(), NN));
     let mean = f.array_param("mean", ArrayType::new(ScalarType::i32(), N as usize));
     let stddev = f.array_param("stddev", ArrayType::new(ScalarType::i32(), N as usize));
-    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let (i, j, k) = (
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+        f.local("k", ScalarType::i32()),
+    );
     let acc = f.local("acc", ScalarType::signed(64));
     f.push(Stmt::for_loop(
         j,
@@ -1179,7 +1408,13 @@ fn correlation() -> Function {
         1,
         vec![
             Stmt::assign(acc, c(0)),
-            Stmt::for_loop(i, 0, N, 1, vec![Stmt::assign(acc, add(v(acc), at(data, idx2(i, j, N))))]),
+            Stmt::for_loop(
+                i,
+                0,
+                N,
+                1,
+                vec![Stmt::assign(acc, add(v(acc), at(data, idx2(i, j, N))))],
+            ),
             Stmt::store(mean, v(j), div(v(acc), c(N))),
             Stmt::assign(acc, c(0)),
             Stmt::for_loop(
@@ -1191,7 +1426,10 @@ fn correlation() -> Function {
                     acc,
                     add(
                         v(acc),
-                        mul(sub(at(data, idx2(i, j, N)), at(mean, v(j))), sub(at(data, idx2(i, j, N)), at(mean, v(j)))),
+                        mul(
+                            sub(at(data, idx2(i, j, N)), at(mean, v(j))),
+                            sub(at(data, idx2(i, j, N)), at(mean, v(j))),
+                        ),
                     ),
                 )],
             ),
@@ -1246,7 +1484,11 @@ fn correlation() -> Function {
 fn floyd_warshall() -> Function {
     let mut f = FunctionBuilder::new("pb_floyd_warshall");
     let path = f.array_param("path", ArrayType::new(ScalarType::i32(), NN));
-    let (k, i, j) = (f.local("k", ScalarType::i32()), f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+    let (k, i, j) = (
+        f.local("k", ScalarType::i32()),
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+    );
     let through = f.local("through", ScalarType::i32());
     f.push(Stmt::for_loop(
         k,
@@ -1282,7 +1524,11 @@ fn nussinov_like() -> Function {
     let mut f = FunctionBuilder::new("pb_nussinov_like");
     let seq = f.array_param("seq", ArrayType::new(ScalarType::i8(), N as usize));
     let table = f.array_param("table", ArrayType::new(ScalarType::i32(), NN));
-    let (i, j, k) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()), f.local("k", ScalarType::i32()));
+    let (i, j, k) = (
+        f.local("i", ScalarType::i32()),
+        f.local("j", ScalarType::i32()),
+        f.local("k", ScalarType::i32()),
+    );
     let best = f.local("best", ScalarType::i32());
     let candidate = f.local("candidate", ScalarType::i32());
     f.push(Stmt::for_loop(
@@ -1304,7 +1550,11 @@ fn nussinov_like() -> Function {
                         add(
                             at(table, add(idx2(i, j, N), c(N))),
                             Expr::select(
-                                Expr::binary(hls_ir::ast::BinaryOp::Eq, at(seq, v(i)), at(seq, v(j))),
+                                Expr::binary(
+                                    hls_ir::ast::BinaryOp::Eq,
+                                    at(seq, v(i)),
+                                    at(seq, v(j)),
+                                ),
                                 c(1),
                                 c(0),
                             ),
@@ -1321,7 +1571,10 @@ fn nussinov_like() -> Function {
                             vec![
                                 Stmt::assign(
                                     candidate,
-                                    add(at(table, idx2(i, k, N)), at(table, add(mul(add(v(k), c(1)), c(N)), v(j)))),
+                                    add(
+                                        at(table, idx2(i, k, N)),
+                                        at(table, add(mul(add(v(k), c(1)), c(N)), v(j))),
+                                    ),
                                 ),
                                 Stmt::assign(best, maxe(v(best), v(candidate))),
                             ],

@@ -295,7 +295,8 @@ impl ProgramGenerator {
         scope: &mut Scope,
         loop_depth: usize,
     ) -> Stmt {
-        let induction = builder.local(format!("i{}_{}", loop_depth, self.rng.gen_range(0..1000)), ScalarType::i32());
+        let induction = builder
+            .local(format!("i{}_{}", loop_depth, self.rng.gen_range(0..1000)), ScalarType::i32());
         scope.scalars.push((induction, ScalarType::i32()));
         let trip = self.rng.gen_range(2..=self.config.max_trip_count.max(2));
         let body_len = self.rng.gen_range(1..=4);
@@ -310,7 +311,11 @@ impl ProgramGenerator {
             let (target, _) = scope.scalars[self.rng.gen_range(0..scope.scalars.len())];
             body.push(Stmt::assign(
                 target,
-                Expr::binary(BinaryOp::Add, Expr::var(target), Expr::index(array, Expr::var(induction))),
+                Expr::binary(
+                    BinaryOp::Add,
+                    Expr::var(target),
+                    Expr::index(array, Expr::var(induction)),
+                ),
             ));
         }
         Stmt::for_loop(induction, 0, trip, 1, body)
@@ -337,8 +342,9 @@ impl ProgramGenerator {
     }
 
     fn gen_condition(&mut self, scope: &Scope) -> Expr {
-        let cmp = [BinaryOp::Lt, BinaryOp::Le, BinaryOp::Gt, BinaryOp::Ge, BinaryOp::Eq, BinaryOp::Ne]
-            [self.rng.gen_range(0..6)];
+        let cmp =
+            [BinaryOp::Lt, BinaryOp::Le, BinaryOp::Gt, BinaryOp::Ge, BinaryOp::Eq, BinaryOp::Ne]
+                [self.rng.gen_range(0..6)];
         let lhs = self.gen_leaf(scope);
         let rhs = if self.rng.gen_bool(0.5) {
             Expr::constant(self.rng.gen_range(-64..64))
@@ -454,7 +460,8 @@ mod tests {
 
     #[test]
     fn program_names_are_unique() {
-        let mut generator = ProgramGenerator::new(SyntheticConfig::tiny(ProgramFamily::StraightLine), 3);
+        let mut generator =
+            ProgramGenerator::new(SyntheticConfig::tiny(ProgramFamily::StraightLine), 3);
         let names: std::collections::HashSet<String> =
             generator.generate_many(50).into_iter().map(|p| p.name).collect();
         assert_eq!(names.len(), 50);
@@ -466,7 +473,11 @@ mod tests {
         for program in generator.generate_many(10) {
             let graph = extract_graph(&program, GraphKind::Cdfg).unwrap();
             assert!(graph.node_count() >= 5);
-            assert!(graph.node_count() < 4000, "{} nodes is unexpectedly large", graph.node_count());
+            assert!(
+                graph.node_count() < 4000,
+                "{} nodes is unexpectedly large",
+                graph.node_count()
+            );
         }
     }
 }

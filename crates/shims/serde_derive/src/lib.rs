@@ -1,0 +1,256 @@
+//! Derive macros for the offline serde stand-in.
+//!
+//! Supports the two shapes this workspace derives on:
+//!
+//! * structs with named fields — serialized as JSON objects keyed by field
+//!   name;
+//! * enums whose variants are all units — serialized as the variant name
+//!   string (matching real serde's external representation for unit variants).
+//!
+//! There is no `syn`/`quote` in the offline environment, so the input item is
+//! parsed directly from the [`proc_macro::TokenStream`] and the impls are
+//! emitted as source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What was parsed out of the derive input.
+enum Item {
+    /// Struct name plus field names in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name plus unit-variant names in declaration order.
+    Enum(String, Vec<String>),
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`) and returns
+/// the remaining tokens.
+fn skip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut index = 0;
+    loop {
+        match tokens.get(index) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracket group.
+                index += 2;
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                index += 1;
+                if let Some(TokenTree::Group(group)) = tokens.get(index) {
+                    if group.delimiter() == Delimiter::Parenthesis {
+                        index += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return &tokens[index..],
+        }
+    }
+}
+
+/// Parses the field names of a named-field struct body.
+fn parse_struct_fields(body: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut rest: &[TokenTree] = &tokens;
+    while !rest.is_empty() {
+        rest = skip_attrs_and_vis(rest);
+        let name = match rest.first() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        };
+        match rest.get(1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "expected `:` after field `{name}` (tuple structs are unsupported)"
+                ))
+            }
+        }
+        fields.push(name);
+        // Skip the type: consume until a comma at zero angle-bracket depth.
+        let mut depth = 0i32;
+        let mut index = 2;
+        while let Some(token) = rest.get(index) {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        index += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            index += 1;
+        }
+        rest = &rest[index..];
+    }
+    Ok(fields)
+}
+
+/// Parses the variant names of an all-unit enum body.
+fn parse_enum_variants(body: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut rest: &[TokenTree] = &tokens;
+    while !rest.is_empty() {
+        rest = skip_attrs_and_vis(rest);
+        let name = match rest.first() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+        };
+        match rest.get(1) {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(name);
+                rest = &rest[2..];
+            }
+            Some(other) => {
+                return Err(format!(
+                    "variant `{name}` is not a unit variant (found `{other}`); only unit enums are supported"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let rest = skip_attrs_and_vis(&tokens);
+    let (keyword, rest) = match rest.first() {
+        Some(TokenTree::Ident(ident)) => (ident.to_string(), &rest[1..]),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let (name, rest) = match rest.first() {
+        Some(TokenTree::Ident(ident)) => (ident.to_string(), &rest[1..]),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    let body = match rest.first() {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => group,
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "`{name}` is generic; the offline serde derive does not support generics"
+            ))
+        }
+        other => return Err(format!("expected `{{` after `{keyword} {name}`, found {other:?}")),
+    };
+    match keyword.as_str() {
+        "struct" => Ok(Item::Struct(name, parse_struct_fields(body)?)),
+        "enum" => Ok(Item::Enum(name, parse_enum_variants(body)?)),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().expect("error tokens parse")
+}
+
+/// Derives `serde::Serialize` (offline stand-in).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(message) => return compile_error(&message),
+    };
+    let source = match item {
+        Item::Struct(name, fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|field| {
+                    format!(
+                        "fields.push((::std::string::ToString::to_string({field:?}), serde::Serialize::to_value(&self.{field})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|variant| format!("{name}::{variant} => {variant:?},\n"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Str(::std::string::ToString::to_string(match self {{ {arms} }}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    source.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (offline stand-in).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(message) => return compile_error(&message),
+    };
+    let source = match item {
+        Item::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|field| {
+                    format!(
+                        "{field}: match serde::Deserialize::from_value(serde::field(obj, {field:?})) {{\n\
+                             ::std::result::Result::Ok(v) => v,\n\
+                             ::std::result::Result::Err(e) => return ::std::result::Result::Err(\n\
+                                 serde::DeError::custom(::std::format!(\"{name}.{field}: {{e}}\"))),\n\
+                         }},\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+                         let obj = match value.as_object() {{\n\
+                             ::std::option::Option::Some(obj) => obj,\n\
+                             ::std::option::Option::None => return ::std::result::Result::Err(\n\
+                                 serde::DeError::custom(::std::format!(\"expected object for {name}, found {{value:?}}\"))),\n\
+                         }};\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|variant| {
+                    format!("{variant:?} => ::std::result::Result::Ok({name}::{variant}),\n")
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+                         let text = match value.as_str() {{\n\
+                             ::std::option::Option::Some(text) => text,\n\
+                             ::std::option::Option::None => return ::std::result::Result::Err(\n\
+                                 serde::DeError::custom(::std::format!(\"expected string for {name}, found {{value:?}}\"))),\n\
+                         }};\n\
+                         match text {{\n\
+                             {arms}\
+                             other => ::std::result::Result::Err(serde::DeError::custom(::std::format!(\n\
+                                 \"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    source.parse().expect("generated Deserialize impl parses")
+}

@@ -72,10 +72,7 @@ impl Mlp {
     /// Panics if fewer than two widths are given.
     pub fn new(widths: &[usize], rng: &mut StdRng) -> Self {
         assert!(widths.len() >= 2, "an MLP needs at least an input and an output width");
-        let layers = widths
-            .windows(2)
-            .map(|pair| Linear::new(pair[0], pair[1], rng))
-            .collect();
+        let layers = widths.windows(2).map(|pair| Linear::new(pair[0], pair[1], rng)).collect();
         Mlp { layers }
     }
 

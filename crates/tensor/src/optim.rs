@@ -215,16 +215,9 @@ mod tests {
     fn grad_clipping_caps_the_norm() {
         let param = Var::parameter(Matrix::full(1, 4, 100.0));
         quadratic_loss(&param).backward();
-        let before = clip_grad_norm(&[param.clone()], 1.0);
+        let before = clip_grad_norm(std::slice::from_ref(&param), 1.0);
         assert!(before > 1.0);
-        let after: f32 = param
-            .grad()
-            .unwrap()
-            .data()
-            .iter()
-            .map(|g| g * g)
-            .sum::<f32>()
-            .sqrt();
+        let after: f32 = param.grad().unwrap().data().iter().map(|g| g * g).sum::<f32>().sqrt();
         assert!((after - 1.0).abs() < 1e-3);
     }
 

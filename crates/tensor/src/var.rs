@@ -60,7 +60,12 @@ impl std::fmt::Debug for Var {
 }
 
 impl Var {
-    fn make(value: Matrix, parents: Vec<Var>, backward: Option<BackwardFn>, trainable: bool) -> Var {
+    fn make(
+        value: Matrix,
+        parents: Vec<Var>,
+        backward: Option<BackwardFn>,
+        trainable: bool,
+    ) -> Var {
         Var(Rc::new(VarInner {
             id: next_id(),
             value: RefCell::new(value),
@@ -317,7 +322,9 @@ impl Var {
             value,
             vec![self.clone(), column.clone()],
             Some(Box::new(move |grad, parents| {
-                let d_a = Matrix::from_fn(grad.rows(), grad.cols(), |r, c| grad.get(r, c) * col.get(r, 0));
+                let d_a = Matrix::from_fn(grad.rows(), grad.cols(), |r, c| {
+                    grad.get(r, c) * col.get(r, 0)
+                });
                 parents[0].accumulate_grad(&d_a);
                 let d_col = Matrix::from_fn(grad.rows(), 1, |r, _| {
                     (0..grad.cols()).map(|c| grad.get(r, c) * a.get(r, c)).sum()
@@ -388,7 +395,8 @@ impl Var {
             value,
             vec![self.clone()],
             Some(Box::new(move |grad, parents| {
-                let masked = grad.zip_with(&input, |g, x| if x > 0.0 { g } else { negative_slope * g });
+                let masked =
+                    grad.zip_with(&input, |g, x| if x > 0.0 { g } else { negative_slope * g });
                 parents[0].accumulate_grad(&masked);
             })),
             false,
@@ -623,9 +631,9 @@ impl Var {
         let mut arg: Vec<Vec<Option<usize>>> = vec![vec![None; cols]; num_segments];
         for (row, &segment) in segments.iter().enumerate() {
             assert!(segment < num_segments, "segment id {segment} out of range");
-            for c in 0..cols {
+            for (c, slot) in arg[segment].iter_mut().enumerate() {
                 let candidate = input.get(row, c);
-                let better = match arg[segment][c] {
+                let better = match *slot {
                     None => true,
                     Some(current_row) => {
                         let current = input.get(current_row, c);
@@ -637,7 +645,7 @@ impl Var {
                     }
                 };
                 if better {
-                    arg[segment][c] = Some(row);
+                    *slot = Some(row);
                     out.set(segment, c, candidate);
                 }
             }
@@ -680,7 +688,8 @@ impl Var {
             value,
             vec![self.clone()],
             Some(Box::new(move |grad, parents| {
-                let local = Matrix::from_fn(grad.rows(), grad.cols(), |r, c| grad.get(r, c) * captured[r]);
+                let local =
+                    Matrix::from_fn(grad.rows(), grad.cols(), |r, c| grad.get(r, c) * captured[r]);
                 parents[0].accumulate_grad(&local);
             })),
             false,
@@ -700,7 +709,8 @@ impl Var {
         assert_eq!(prediction.shape(), target.shape(), "mse shape mismatch");
         let count = (target.rows() * target.cols()).max(1) as f32;
         let diff = prediction.sub(target);
-        let value = Matrix::from_vec(1, 1, vec![diff.data().iter().map(|d| d * d).sum::<f32>() / count]);
+        let value =
+            Matrix::from_vec(1, 1, vec![diff.data().iter().map(|d| d * d).sum::<f32>() / count]);
         let captured = diff;
         Var::make(
             value,
@@ -788,11 +798,7 @@ mod tests {
     #[test]
     fn gradcheck_elementwise_chain() {
         let input = Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 0.3, -0.7, 1.5]);
-        check_gradients(
-            &|x: &Var| x.scale(1.5).add_scalar(0.2).tanh().mul(x).sum(),
-            input,
-            1e-2,
-        );
+        check_gradients(&|x: &Var| x.scale(1.5).add_scalar(0.2).tanh().mul(x).sum(), input, 1e-2);
     }
 
     #[test]

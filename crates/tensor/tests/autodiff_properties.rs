@@ -22,7 +22,10 @@ fn numeric_grad(build: &dyn Fn(&Var) -> Var, input: &Matrix, row: usize, col: us
 }
 
 /// Checks every entry of the analytic gradient against finite differences.
-fn assert_gradients_match(build: &dyn Fn(&Var) -> Var, input: &Matrix) -> Result<(), TestCaseError> {
+fn assert_gradients_match(
+    build: &dyn Fn(&Var) -> Var,
+    input: &Matrix,
+) -> Result<(), TestCaseError> {
     let leaf = Var::parameter(input.clone());
     build(&leaf).backward();
     let grad = leaf.grad().expect("gradient reaches the input");

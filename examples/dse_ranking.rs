@@ -12,9 +12,9 @@
 //! cargo run --release --example dse_ranking
 //! ```
 
-use gnn::GnnKind;
-use hls_gnn_core::approach::{Approach, OffTheShelfPredictor};
+use hls_gnn_core::builder::PredictorBuilder;
 use hls_gnn_core::dataset::{DatasetBuilder, GraphSample};
+use hls_gnn_core::predictor::Predictor;
 use hls_gnn_core::task::TargetMetric;
 use hls_gnn_core::train::TrainConfig;
 use hls_ir::ast::{BinaryOp, Expr, Function, FunctionBuilder, Stmt};
@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = FpgaDevice::default();
 
     // The candidate design points.
-    let variants = vec![
+    let variants = [
         ("dot_u1_16b", dot_product_variant("dot_u1_16b", 32, 1, 16)),
         ("dot_u2_16b", dot_product_variant("dot_u2_16b", 32, 2, 16)),
         ("dot_u4_16b", dot_product_variant("dot_u4_16b", 32, 4, 16)),
@@ -62,24 +62,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     // Train a predictor on generic synthetic programs (none of the candidates
-    // are in the training set — this is exactly the inductive setting).
+    // are in the training set — this is exactly the inductive setting). The
+    // model is selected by spec string, as a DSE tool would from its config.
     println!("training the predictor on 48 synthetic CDFG programs ...");
     let corpus = DatasetBuilder::new(ProgramFamily::Control).count(48).seed(3).build()?;
     let split = corpus.split(0.9, 0.05, 3);
     let mut config = TrainConfig::fast();
     config.epochs = 10;
     config.hidden_dim = 32;
-    let mut predictor = OffTheShelfPredictor::new(GnnKind::Rgcn, &config);
-    predictor.fit(&split.train, &split.validation, &config)?;
+    let predictor = PredictorBuilder::parse("base/rgcn")?
+        .config(config)
+        .train(&split.train, &split.validation)?;
 
-    // Score every candidate from its IR graph alone, then reveal ground truth.
+    // Extract every candidate's IR graph, then score the whole design space
+    // with one batched call — the serving-shaped DSE loop.
+    let candidates: Vec<GraphSample> = variants
+        .iter()
+        .map(|(_, function)| GraphSample::from_function(function, GraphKind::Cdfg, &device))
+        .collect::<Result<_, _>>()?;
+    let predictions = predictor.predict_batch(&candidates);
+
     let lut = TargetMetric::Lut.index();
     let dsp = TargetMetric::Dsp.index();
     let mut scored = Vec::new();
-    println!("\n{:<12} {:>14} {:>14} {:>10} {:>10}", "design", "pred LUT", "impl LUT", "pred DSP", "impl DSP");
-    for (name, function) in &variants {
-        let sample = GraphSample::from_function(function, GraphKind::Cdfg, &device)?;
-        let prediction = predictor.predict(&sample)?;
+    println!(
+        "\n{:<12} {:>14} {:>14} {:>10} {:>10}",
+        "design", "pred LUT", "impl LUT", "pred DSP", "impl DSP"
+    );
+    for ((name, _), (sample, prediction)) in
+        variants.iter().zip(candidates.iter().zip(&predictions))
+    {
+        let prediction = prediction.as_ref().expect("trained predictor scores every design");
         println!(
             "{:<12} {:>14.0} {:>14.0} {:>10.1} {:>10.0}",
             name, prediction[lut], sample.targets[lut], prediction[dsp], sample.targets[dsp]

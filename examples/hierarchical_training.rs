@@ -10,8 +10,9 @@
 //! ```
 
 use gnn::GnnKind;
-use hls_gnn_core::approach::{Approach, HierarchicalPredictor};
+use hls_gnn_core::approach::GnnPredictor;
 use hls_gnn_core::dataset::DatasetBuilder;
+use hls_gnn_core::predictor::Predictor;
 use hls_gnn_core::task::{ResourceClass, TargetMetric};
 use hls_gnn_core::train::TrainConfig;
 use hls_progen::synthetic::ProgramFamily;
@@ -29,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // HLS/implementation labels; stage 2 learns graph-level regression with
     // ground-truth types as additional node features.
     println!("hierarchical training (PNA backbone): node classifier, then graph regressor ...");
-    let mut predictor = HierarchicalPredictor::new(GnnKind::Pna, &config);
+    let mut predictor = GnnPredictor::hierarchical(GnnKind::Pna, &config);
     predictor.fit(&split.train, &split.validation, &config)?;
 
     // Stage-1 quality: per-class accuracy on the test split.

@@ -1,15 +1,16 @@
-//! Quickstart: build a small benchmark, train an off-the-shelf GNN predictor,
-//! and compare its predictions against the HLS report and the implementation
-//! ground truth on a held-out design.
+//! Quickstart: build a small benchmark, train a predictor selected from a
+//! spec string, batch-predict the held-out designs, and round-trip the
+//! trained model through JSON — the full prediction-engine API in one file.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use gnn::GnnKind;
-use hls_gnn_core::approach::{hls_baseline_mape, Approach, OffTheShelfPredictor};
+use hls_gnn_core::approach::hls_baseline_mape;
+use hls_gnn_core::builder::{load_predictor, PredictorBuilder};
 use hls_gnn_core::dataset::DatasetBuilder;
+use hls_gnn_core::predictor::Predictor;
 use hls_gnn_core::task::TargetMetric;
 use hls_gnn_core::train::TrainConfig;
 use hls_progen::synthetic::ProgramFamily;
@@ -28,15 +29,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dataset.total_nodes()
     );
 
-    // 2. Train the off-the-shelf approach with an RGCN backbone.
+    // 2. Select the model from a config string — any approach × backbone
+    //    combination parses, e.g. "base/gcn", "rich/pna", "hier/rgcn".
     let mut config = TrainConfig::fast();
     config.epochs = 10;
     config.hidden_dim = 32;
-    let mut predictor = OffTheShelfPredictor::new(GnnKind::Rgcn, &config);
-    println!("training {} (off-the-shelf approach, {} epochs) ...", predictor.name(), config.epochs);
-    predictor.fit(&split.train, &split.validation, &config)?;
+    let builder = PredictorBuilder::parse("base/rgcn")?.config(config.clone());
+    println!(
+        "training {} (spec `{}`, {} epochs) ...",
+        builder.spec().name(),
+        builder.spec(),
+        config.epochs
+    );
+    let predictor = builder.train(&split.train, &split.validation)?;
 
-    // 3. Evaluate: per-target MAPE of the GNN vs the HLS report baseline.
+    // 3. Evaluate: per-target MAPE of the GNN vs the HLS report baseline
+    //    (evaluate runs through the batched inference path).
     let gnn_mape = predictor.evaluate(&split.test);
     let hls_mape = hls_baseline_mape(&split.test);
     println!("\n{:<8} {:>12} {:>12}", "target", "GNN MAPE", "HLS MAPE");
@@ -49,19 +57,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 4. Look at one held-out design in detail.
-    let sample = &split.test.samples[0];
-    let prediction = predictor.predict(sample)?;
-    println!("\nheld-out design `{}`:", sample.name);
-    println!("{:<8} {:>12} {:>12} {:>12}", "target", "predicted", "implemented", "HLS report");
-    for target in TargetMetric::ALL {
+    // 4. Ship the trained model: save to JSON, reload, and batch-predict the
+    //    whole held-out set with the reloaded predictor.
+    let snapshot = predictor.save_json()?;
+    println!("\nserialised trained model: {} bytes of JSON", snapshot.len());
+    let served = load_predictor(&snapshot)?;
+    let predictions = served.predict_batch(&split.test.samples);
+    println!("batch prediction over {} held-out designs:", split.test.len());
+    println!("{:<14} {:>12} {:>12} {:>12}", "design", "pred LUT", "impl LUT", "HLS LUT");
+    let lut = TargetMetric::Lut.index();
+    for (sample, prediction) in split.test.samples.iter().zip(&predictions) {
+        let predicted = prediction.as_ref().expect("trained model predicts");
         println!(
-            "{:<8} {:>12.1} {:>12.1} {:>12.1}",
-            target.name(),
-            prediction[target.index()],
-            sample.targets[target.index()],
-            sample.hls_estimate[target.index()]
+            "{:<14} {:>12.1} {:>12.1} {:>12.1}",
+            sample.name, predicted[lut], sample.targets[lut], sample.hls_estimate[lut]
         );
     }
+
+    // The reloaded model predicts exactly like the original.
+    let original = predictor.predict(&split.test.samples[0])?;
+    let reloaded = served.predict(&split.test.samples[0])?;
+    assert_eq!(original, reloaded, "snapshot round trip must be exact");
+    println!("\nreloaded-model predictions match the original exactly.");
     Ok(())
 }

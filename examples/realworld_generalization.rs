@@ -8,8 +8,10 @@
 //! ```
 
 use gnn::GnnKind;
-use hls_gnn_core::approach::{hls_baseline_mape, Approach, HierarchicalPredictor, OffTheShelfPredictor};
+use hls_gnn_core::approach::{hls_baseline_mape, GnnPredictor};
+use hls_gnn_core::builder::PredictorBuilder;
 use hls_gnn_core::dataset::{Dataset, DatasetBuilder};
+use hls_gnn_core::predictor::Predictor;
 use hls_gnn_core::task::TargetMetric;
 use hls_gnn_core::train::TrainConfig;
 use hls_progen::kernels::Suite;
@@ -20,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = FpgaDevice::default();
 
     println!("building the synthetic CDFG training corpus ...");
-    let corpus = DatasetBuilder::new(ProgramFamily::Control).count(64).seed(17).device(device.clone()).build()?;
+    let corpus = DatasetBuilder::new(ProgramFamily::Control)
+        .count(64)
+        .seed(17)
+        .device(device.clone())
+        .build()?;
     let split = corpus.split(0.85, 0.1, 17);
 
     println!("building the real-world generalisation set (MachSuite / CHStone / PolyBench analogues) ...");
@@ -40,12 +46,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.hidden_dim = 32;
 
     println!("\ntraining the off-the-shelf and knowledge-infused predictors (RGCN backbone) ...");
-    let mut off_the_shelf = OffTheShelfPredictor::new(GnnKind::Rgcn, &config);
-    off_the_shelf.fit(&split.train, &split.validation, &config)?;
-    let mut infused = HierarchicalPredictor::new(GnnKind::Rgcn, &config);
+    let off_the_shelf = PredictorBuilder::parse("base/rgcn")?
+        .config(config.clone())
+        .train(&split.train, &split.validation)?;
+    // The hierarchical predictor is built concretely to reach the node-level
+    // diagnostics (`node_accuracy`) on top of the `Predictor` interface.
+    let mut infused = GnnPredictor::hierarchical(GnnKind::Rgcn, &config);
     infused.fit(&split.train, &split.validation, &config)?;
 
     let hls = hls_baseline_mape(&real);
+    // Both evaluations run the real-world suite through the batched path.
     let base_mape = off_the_shelf.evaluate(&real);
     let infused_mape = infused.evaluate(&real);
     let node_accuracy = infused.node_accuracy(&real)?;

@@ -6,10 +6,54 @@
 //! - [`hls_sim`]: HLS scheduling/binding simulator and implementation model.
 //! - [`gnn_tensor`]: autodiff tensor engine.
 //! - [`gnn`]: message-passing layers and models.
-//! - [`hls_gnn_core`]: the three prediction approaches and the experiment harness.
+//! - [`hls_gnn_core`]: the prediction engine — the [`prelude::Predictor`]
+//!   API, builder/registry, batched inference, persistence, and the
+//!   experiment harness.
+//!
+//! Most users only need the [`prelude`]:
+//!
+//! ```
+//! use hls_gnn::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dataset = DatasetBuilder::new(ProgramFamily::StraightLine).count(16).seed(1).build()?;
+//! let split = dataset.split(0.8, 0.1, 1);
+//! let predictor = PredictorBuilder::parse("base/gcn")?
+//!     .config(TrainConfig::fast())
+//!     .train(&split.train, &split.validation)?;
+//! let snapshot = predictor.save_json()?;
+//! let served = load_predictor(&snapshot)?;
+//! assert_eq!(
+//!     served.predict_batch(&split.test.samples).len(),
+//!     split.test.len(),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
 pub use gnn;
 pub use gnn_tensor;
 pub use hls_gnn_core;
 pub use hls_ir;
 pub use hls_progen;
 pub use hls_sim;
+
+/// The curated single-import surface of the prediction engine: everything
+/// needed to build a corpus, construct any predictor from a spec, train it,
+/// batch-predict, and persist/reload trained models.
+pub mod prelude {
+    pub use gnn::{GnnKind, Pooling};
+    pub use hls_gnn_core::approach::{hls_baseline_mape, seed_averaged_mape, GnnPredictor};
+    pub use hls_gnn_core::builder::{
+        load_predictor, ApproachKind, PredictorBuilder, PredictorSpec,
+    };
+    pub use hls_gnn_core::dataset::{Dataset, DatasetBuilder, GraphSample, Split};
+    pub use hls_gnn_core::experiments::{ExperimentConfig, ExperimentScale};
+    pub use hls_gnn_core::persist::SavedPredictor;
+    pub use hls_gnn_core::predictor::Predictor;
+    pub use hls_gnn_core::task::{ResourceClass, TargetMetric};
+    pub use hls_gnn_core::train::TrainConfig;
+    pub use hls_gnn_core::Error;
+    pub use hls_progen::synthetic::ProgramFamily;
+    pub use hls_sim::FpgaDevice;
+}

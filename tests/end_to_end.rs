@@ -3,8 +3,9 @@
 //! one pipeline.
 
 use gnn::GnnKind;
-use hls_gnn_core::approach::{hls_baseline_mape, Approach, HierarchicalPredictor, OffTheShelfPredictor};
+use hls_gnn_core::approach::{hls_baseline_mape, GnnPredictor};
 use hls_gnn_core::dataset::{Dataset, DatasetBuilder, GraphSample};
+use hls_gnn_core::predictor::Predictor;
 use hls_gnn_core::task::TargetMetric;
 use hls_gnn_core::train::TrainConfig;
 use hls_ir::ast::{BinaryOp, Expr, FunctionBuilder, Stmt};
@@ -40,7 +41,10 @@ fn fir_filter() -> hls_ir::ast::Function {
                         Expr::var(acc),
                         Expr::binary(
                             BinaryOp::Mul,
-                            Expr::index(samples, Expr::binary(BinaryOp::Sub, Expr::var(i), Expr::var(k))),
+                            Expr::index(
+                                samples,
+                                Expr::binary(BinaryOp::Sub, Expr::var(i), Expr::var(k)),
+                            ),
                             Expr::index(coefficients, Expr::var(k)),
                         ),
                     ),
@@ -108,12 +112,12 @@ fn off_the_shelf_and_hierarchical_predictors_beat_nothing_and_stay_finite() {
     let mut config = TrainConfig::fast();
     config.epochs = 6;
 
-    let mut base = OffTheShelfPredictor::new(GnnKind::GraphSage, &config);
+    let mut base = GnnPredictor::off_the_shelf(GnnKind::GraphSage, &config);
     base.fit(&split.train, &split.validation, &config).expect("fit base");
-    let mut infused = HierarchicalPredictor::new(GnnKind::GraphSage, &config);
+    let mut infused = GnnPredictor::hierarchical(GnnKind::GraphSage, &config);
     infused.fit(&split.train, &split.validation, &config).expect("fit infused");
 
-    for approach in [&base as &dyn Approach, &infused as &dyn Approach] {
+    for approach in [&base as &dyn Predictor, &infused as &dyn Predictor] {
         let mape = approach.evaluate(&split.test);
         assert!(mape.iter().all(|m| m.is_finite() && *m >= 0.0), "{}: {mape:?}", approach.name());
         let prediction = approach.predict(&split.test.samples[0]).expect("prediction");
@@ -132,7 +136,8 @@ fn hls_report_is_a_poor_lut_ff_estimator_on_real_kernels() {
     let mut samples = Vec::new();
     for kernel in subset {
         samples.push(
-            GraphSample::from_function(&kernel.function, GraphKind::Cdfg, &device).expect("kernel sample"),
+            GraphSample::from_function(&kernel.function, GraphKind::Cdfg, &device)
+                .expect("kernel sample"),
         );
     }
     let dataset = Dataset::new(samples);
@@ -158,14 +163,16 @@ fn knowledge_rich_features_are_available_for_every_kernel_node() {
     let device = FpgaDevice::default();
     let kernels = all_kernels();
     let kernel = kernels.iter().find(|k| k.name == "pb_gesummv").expect("kernel exists");
-    let sample = GraphSample::from_function(&kernel.function, GraphKind::Cdfg, &device).expect("sample");
+    let sample =
+        GraphSample::from_function(&kernel.function, GraphKind::Cdfg, &device).expect("sample");
     assert_eq!(sample.node_aux_resources.len(), sample.num_nodes());
     // At least some nodes must carry non-zero HLS resource estimates
     // (multiplies, adders, array ports).
-    let nonzero = sample
-        .node_aux_resources
-        .iter()
-        .filter(|aux| aux.iter().any(|&v| v > 0.0))
-        .count();
-    assert!(nonzero * 4 > sample.num_nodes(), "only {nonzero}/{} nodes annotated", sample.num_nodes());
+    let nonzero =
+        sample.node_aux_resources.iter().filter(|aux| aux.iter().any(|&v| v > 0.0)).count();
+    assert!(
+        nonzero * 4 > sample.num_nodes(),
+        "only {nonzero}/{} nodes annotated",
+        sample.num_nodes()
+    );
 }

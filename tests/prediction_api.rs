@@ -1,0 +1,162 @@
+//! Integration tests for the unified prediction-engine API: spec parsing,
+//! builder construction, batched inference, and model persistence — including
+//! the full registry round trip (train → save → load → predict_batch matches
+//! the original exactly) for every approach × backbone combination.
+
+use hls_gnn::prelude::*;
+
+fn tiny_split() -> (Dataset, Dataset, Dataset) {
+    use hls_progen::synthetic::SyntheticConfig;
+    let dataset = DatasetBuilder::new(ProgramFamily::Control)
+        .count(10)
+        .seed(77)
+        .generator_config(SyntheticConfig::tiny(ProgramFamily::Control))
+        .build()
+        .expect("corpus builds");
+    let split = dataset.split(0.7, 0.15, 7);
+    (split.train, split.validation, split.test)
+}
+
+fn one_epoch_config() -> TrainConfig {
+    let mut config = TrainConfig::fast();
+    config.epochs = 1;
+    config.hidden_dim = 8;
+    config.embed_dim = 3;
+    config
+}
+
+/// The acceptance scenario: every spec in the registry can be parsed from its
+/// string id, trained, saved to JSON, reloaded in a "fresh process"
+/// (`load_predictor` only sees the JSON), and the reloaded model's
+/// `predict_batch` output matches the original's per-sample `predict` output
+/// exactly.
+#[test]
+fn every_spec_round_trips_through_json_with_identical_predictions() {
+    let (train, validation, test) = tiny_split();
+    let config = one_epoch_config();
+    for spec in PredictorSpec::all() {
+        // Build through the string id, as a config-driven server would.
+        let parsed: PredictorSpec = spec.id().parse().expect("registry id parses");
+        assert_eq!(parsed, spec);
+        let mut predictor = parsed.build(&config);
+        assert_eq!(predictor.name(), spec.name());
+        predictor.fit(&train, &validation, &config).expect("training succeeds");
+
+        let snapshot = predictor.save_json().expect("trained model serialises");
+        let reloaded = load_predictor(&snapshot).expect("snapshot reloads");
+        assert_eq!(reloaded.spec(), spec);
+
+        let originals: Vec<[f64; 4]> =
+            test.samples.iter().map(|s| predictor.predict(s).expect("predicts")).collect();
+        let batched = reloaded.predict_batch(&test.samples);
+        for (index, (original, reloaded_result)) in originals.iter().zip(batched).enumerate() {
+            let reloaded_values = reloaded_result.expect("reloaded model predicts");
+            assert_eq!(
+                *original,
+                reloaded_values,
+                "{}: sample {index} diverged after the save/load round trip",
+                spec.id()
+            );
+        }
+    }
+}
+
+/// `predict` and `predict_batch` agree element-for-element for all three
+/// approaches (single-sample prediction is defined as a one-element batch).
+#[test]
+fn predict_equals_predict_batch_for_all_approaches() {
+    let (train, validation, test) = tiny_split();
+    let config = one_epoch_config();
+    for approach in ApproachKind::ALL {
+        let spec = PredictorSpec::new(approach, GnnKind::Rgcn);
+        let mut predictor = spec.build(&config);
+        predictor.fit(&train, &validation, &config).expect("training succeeds");
+        let batched = predictor.predict_batch(&test.samples);
+        assert_eq!(batched.len(), test.len());
+        for (sample, batched_result) in test.samples.iter().zip(batched) {
+            assert_eq!(
+                predictor.predict(sample).expect("single predict"),
+                batched_result.expect("batched predict"),
+                "{}: predict and predict_batch disagree",
+                spec.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn spec_strings_accept_the_documented_forms_and_reject_garbage() {
+    // Canonical ids.
+    assert_eq!(
+        "hier/rgcn".parse::<PredictorSpec>().unwrap(),
+        PredictorSpec::new(ApproachKind::Hierarchical, GnnKind::Rgcn)
+    );
+    assert_eq!(
+        "base/gcn".parse::<PredictorSpec>().unwrap(),
+        PredictorSpec::new(ApproachKind::OffTheShelf, GnnKind::Gcn)
+    );
+    assert_eq!(
+        "rich/sage".parse::<PredictorSpec>().unwrap(),
+        PredictorSpec::new(ApproachKind::KnowledgeRich, GnnKind::GraphSage)
+    );
+    // Long-form aliases and paper notation.
+    assert_eq!(
+        "hierarchical/GraphSage".parse::<PredictorSpec>().unwrap(),
+        PredictorSpec::new(ApproachKind::Hierarchical, GnnKind::GraphSage)
+    );
+    assert_eq!(
+        "RGCN-I".parse::<PredictorSpec>().unwrap(),
+        PredictorSpec::new(ApproachKind::Hierarchical, GnnKind::Rgcn)
+    );
+    assert_eq!(
+        "PNA".parse::<PredictorSpec>().unwrap(),
+        PredictorSpec::new(ApproachKind::OffTheShelf, GnnKind::Pna)
+    );
+    // Rejections keep the error informative.
+    for bad in ["", "unknown/rgcn", "hier/unknown", "definitely-not-a-model", "hier/"] {
+        let error = bad.parse::<PredictorSpec>().unwrap_err();
+        assert!(matches!(error, Error::Config(_)), "`{bad}` must fail with a config error");
+    }
+}
+
+/// Malformed or truncated snapshots are rejected instead of producing a
+/// half-initialised predictor.
+#[test]
+fn corrupt_snapshots_are_rejected() {
+    let (train, validation, _) = tiny_split();
+    let config = one_epoch_config();
+    let mut predictor = PredictorSpec::new(ApproachKind::OffTheShelf, GnnKind::Gcn).build(&config);
+    predictor.fit(&train, &validation, &config).expect("training succeeds");
+    let snapshot = predictor.save_json().expect("serialises");
+
+    assert!(load_predictor("{ not json").is_err());
+    assert!(load_predictor("{}").is_err());
+    // Truncating the weight list breaks the architecture check.
+    let truncated = snapshot.replace("\"regressor\": [", "\"regressor\": [\n    ");
+    let truncated = {
+        // Drop one tensor: replace the regressor list with an empty one.
+        let start = truncated.find("\"regressor\"").expect("field present");
+        let mut clipped = truncated[..start].to_owned();
+        clipped.push_str("\"regressor\": [],\n  \"classifier\": null\n}");
+        clipped
+    };
+    assert!(load_predictor(&truncated).is_err());
+}
+
+/// A trained predictor serialises the config it was trained with, so the
+/// snapshot is self-describing even when the caller's config has changed.
+#[test]
+fn snapshots_record_the_training_config() {
+    let (train, validation, test) = tiny_split();
+    let mut config = one_epoch_config();
+    config.hidden_dim = 12; // distinctive
+    let mut predictor = PredictorSpec::new(ApproachKind::OffTheShelf, GnnKind::Gcn).build(&config);
+    predictor.fit(&train, &validation, &config).expect("training succeeds");
+    let snapshot = predictor.save_json().expect("serialises");
+    assert!(snapshot.contains("\"hidden_dim\": 12"));
+    let reloaded = load_predictor(&snapshot).expect("reloads");
+    assert_eq!(
+        reloaded.predict(&test.samples[0]).expect("predicts"),
+        predictor.predict(&test.samples[0]).expect("predicts"),
+    );
+}
