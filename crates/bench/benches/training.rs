@@ -29,7 +29,7 @@ fn one_epoch_config() -> TrainConfig {
 fn bench_regressor_epoch(c: &mut Criterion) {
     let corpus = small_corpus();
     let config = one_epoch_config();
-    let normalizer = TargetNormalizer::fit(&corpus);
+    let normalizer = TargetNormalizer::fit(&corpus).expect("corpus has valid targets");
     let mut group = c.benchmark_group("train/regressor_epoch");
     group.sample_size(10);
     for kind in [GnnKind::Gcn, GnnKind::Rgcn, GnnKind::Pna] {

@@ -10,13 +10,15 @@ fn main() {
         config = config.with_models(models);
     }
     println!(
-        "Running Table 2 at {:?} scale ({} DFG / {} CDFG programs, {} epochs, hidden {}, {} models)",
+        "Running Table 2 at {:?} scale ({} DFG / {} CDFG programs, {} epochs, hidden {}, \
+         {} models, {} worker(s))",
         config.scale,
         config.dfg_programs,
         config.cdfg_programs,
         config.train.epochs,
         config.train.hidden_dim,
-        config.table2_models.len()
+        config.table2_models.len(),
+        config.parallel.workers()
     );
     let table = match run_table2(&config) {
         Ok(table) => table,

@@ -6,8 +6,11 @@ use hls_gnn_core::experiments::{run_table4, ExperimentConfig};
 fn main() {
     let config = ExperimentConfig::from_env();
     println!(
-        "Running Table 4 at {:?} scale ({} DFG / {} CDFG programs)",
-        config.scale, config.dfg_programs, config.cdfg_programs
+        "Running Table 4 at {:?} scale ({} DFG / {} CDFG programs, {} worker(s))",
+        config.scale,
+        config.dfg_programs,
+        config.cdfg_programs,
+        config.parallel.workers()
     );
     let table = match run_table4(&config) {
         Ok(table) => table,

@@ -8,8 +8,10 @@ use hls_gnn_core::task::TargetMetric;
 fn main() {
     let config = ExperimentConfig::from_env();
     println!(
-        "Running Table 5 at {:?} scale ({} CDFG training programs)",
-        config.scale, config.cdfg_programs
+        "Running Table 5 at {:?} scale ({} CDFG training programs, {} worker(s))",
+        config.scale,
+        config.cdfg_programs,
+        config.parallel.workers()
     );
     let table = match run_table5(&config) {
         Ok(table) => table,

@@ -14,6 +14,7 @@
 use hls_gnn_core::builder::{load_predictor, PredictorBuilder};
 use hls_gnn_core::experiments::ExperimentConfig;
 use hls_gnn_core::predictor::Predictor;
+use hls_gnn_core::runtime::predict_batch_sharded;
 use hls_gnn_core::task::TargetMetric;
 use hls_progen::synthetic::ProgramFamily;
 
@@ -72,8 +73,15 @@ fn main() {
     }
     let served = load_predictor(&json).expect("snapshot reloads");
 
-    let predictions = served.predict_batch(&split.test.samples);
-    println!("\nbatch prediction over {} held-out designs (reloaded model):", split.test.len());
+    // Large inference sets shard across HLSGNN_WORKERS threads, each worker
+    // rehydrating its own model from the snapshot; results are bit-identical
+    // to the serial path.
+    let predictions = predict_batch_sharded(&served, &split.test.samples, &config.parallel);
+    println!(
+        "\nbatch prediction over {} held-out designs (reloaded model, {} worker(s)):",
+        split.test.len(),
+        config.parallel.workers()
+    );
     println!("{:<16} {:>10} {:>10} {:>10} {:>10}", "design", "DSP", "LUT", "FF", "CP");
     for (sample, prediction) in split.test.samples.iter().zip(&predictions) {
         match prediction {

@@ -21,6 +21,9 @@ fn main() {
     println!("Environment:");
     println!("  HLSGNN_SCALE=fast|standard|paper   corpus/model scale (default: fast)");
     println!("  HLSGNN_MODELS=rgcn,sage,...        restrict the table2 sweep to these backbones");
+    println!("  HLSGNN_WORKERS=N                   parallel training/inference workers");
+    println!("                                     (0/unset = all hardware threads, 1 = serial;");
+    println!("                                      results are bit-identical for any N)");
     println!();
     println!("Criterion micro-benchmarks: cargo bench -p hls-gnn-bench");
 }

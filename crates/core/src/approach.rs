@@ -29,6 +29,7 @@ use crate::metrics::{mape_with_floor, TargetNormalizer};
 use crate::model::{GraphRegressor, NodeClassifierModel};
 use crate::persist::{SavedNormalizer, SavedPredictor, SavedTensor, SNAPSHOT_VERSION};
 use crate::predictor::Predictor;
+use crate::runtime::{self, ParallelConfig};
 use crate::task::{ResourceClass, TargetMetric};
 use crate::train::{
     evaluate_node_classifier, predict_regressor, train_node_classifier, train_regressor,
@@ -47,11 +48,17 @@ use crate::{Error, Result};
 /// builder API. Evaluation goes through [`Predictor::evaluate`] and therefore
 /// the batched inference path.
 ///
+/// The runs are embarrassingly parallel — each one's RNG state is derived
+/// purely from its seed — and execute on the runtime configured by
+/// `HLSGNN_WORKERS` ([`ParallelConfig::from_env`]). Use
+/// [`seed_averaged_mape_with`] to pass an explicit worker configuration. The
+/// reported metrics are bit-identical for every worker count.
+///
 /// # Errors
 /// Propagates training errors; returns [`Error::Config`] when `runs` or `keep`
 /// is zero or `keep > runs`.
 pub fn seed_averaged_mape<A, F>(
-    mut make: F,
+    make: F,
     train: &Dataset,
     validation: &Dataset,
     test: &Dataset,
@@ -61,26 +68,66 @@ pub fn seed_averaged_mape<A, F>(
 ) -> Result<[f64; TargetMetric::COUNT]>
 where
     A: Predictor,
-    F: FnMut(u64) -> A,
+    F: Fn(u64) -> A + Sync,
+{
+    seed_averaged_mape_with(
+        &ParallelConfig::from_env(),
+        make,
+        train,
+        validation,
+        test,
+        config,
+        runs,
+        keep,
+    )
+}
+
+/// [`seed_averaged_mape`] with an explicit worker configuration. Each worker
+/// constructs, trains and evaluates its own thread-confined predictor; only
+/// the (`Send`) per-run scores travel back to the coordinator, which ranks
+/// them in run order — so results are bit-identical to the serial protocol
+/// regardless of worker count.
+///
+/// # Errors
+/// Propagates training errors (the lowest-seed failure, matching the serial
+/// loop); returns [`Error::Config`] when `runs` or `keep` is zero or
+/// `keep > runs`.
+#[allow(clippy::too_many_arguments)]
+pub fn seed_averaged_mape_with<A, F>(
+    parallel: &ParallelConfig,
+    make: F,
+    train: &Dataset,
+    validation: &Dataset,
+    test: &Dataset,
+    config: &TrainConfig,
+    runs: usize,
+    keep: usize,
+) -> Result<[f64; TargetMetric::COUNT]>
+where
+    A: Predictor,
+    F: Fn(u64) -> A + Sync,
 {
     if runs == 0 || keep == 0 || keep > runs {
         return Err(Error::Config(format!(
             "invalid seed-averaging setup: runs = {runs}, keep = {keep}"
         )));
     }
-    let mut ranked: Vec<(f64, [f64; TargetMetric::COUNT])> = Vec::with_capacity(runs);
-    for run in 0..runs {
-        let seed = config.seed.wrapping_add(run as u64);
-        let run_config = config.clone().with_seed(seed);
-        let mut predictor = make(seed);
-        predictor.fit(train, validation, &run_config)?;
-        // Rank by validation error when a validation split exists, otherwise
-        // by training error (small corpora in tests may have no validation).
-        let ranking_set = if validation.is_empty() { train } else { validation };
-        let validation_mape = predictor.evaluate(ranking_set);
-        let score: f64 = validation_mape.iter().sum::<f64>() / TargetMetric::COUNT as f64;
-        ranked.push((score, predictor.evaluate(test)));
-    }
+    let mut ranked: Vec<(f64, [f64; TargetMetric::COUNT])> =
+        runtime::try_run_jobs(parallel, runs, |run| {
+            let seed = config.seed.wrapping_add(run as u64);
+            let run_config = config.clone().with_seed(seed);
+            let mut predictor = make(seed);
+            predictor.fit(train, validation, &run_config)?;
+            // Rank by validation error when a validation split exists,
+            // otherwise by training error (small corpora in tests may have no
+            // validation).
+            let ranking_set = if validation.is_empty() { train } else { validation };
+            let validation_mape = predictor.evaluate(ranking_set);
+            let score: f64 = validation_mape.iter().sum::<f64>() / TargetMetric::COUNT as f64;
+            Ok((score, predictor.evaluate(test)))
+        })?;
+    // Stable sort + run-order input keeps tie-breaks identical to the serial
+    // protocol.
     ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut averaged = [0.0f64; TargetMetric::COUNT];
     for (_, test_mape) in ranked.iter().take(keep) {
@@ -251,6 +298,11 @@ impl Predictor for GnnPredictor {
 
     fn fit(&mut self, train: &Dataset, _validation: &Dataset, config: &TrainConfig) -> Result<()> {
         ensure_nonempty(train)?;
+        // Validate the targets up front — the only fallible step. Failing
+        // *before* any mutation means a rejected refit leaves an already
+        // trained predictor fully intact (and a fresh one untouched), never
+        // a half-retrained mix of stages.
+        let normalizer = TargetNormalizer::fit(train)?;
         self.config = config.clone();
         // Stage 1 (hierarchical only): node-level classification, supervised
         // by the ground-truth resource types (knowledge infusion).
@@ -263,7 +315,6 @@ impl Predictor for GnnPredictor {
         };
         // Graph-level regression; the hierarchical approach trains on
         // ground-truth types and self-infers them at prediction time.
-        let normalizer = TargetNormalizer::fit(train);
         let regressor =
             GraphRegressor::new(self.spec.backbone, self.spec.approach.feature_mode(), config);
         train_regressor(&regressor, &normalizer, train, config);
@@ -304,9 +355,9 @@ impl Predictor for GnnPredictor {
             .collect()
     }
 
-    fn save_json(&self) -> Result<String> {
+    fn snapshot(&self) -> Result<SavedPredictor> {
         let (regressor, normalizer) = self.trained_state()?;
-        // Refuse to serialise NaN/inf weights: JSON has no representation for
+        // Refuse to export NaN/inf weights: JSON has no representation for
         // them (they'd be written as null and fail on reload in the serving
         // process), and a non-finite model is broken anyway — fail here,
         // where the training run can still be fixed.
@@ -330,15 +381,14 @@ impl Predictor for GnnPredictor {
         } else {
             None
         };
-        SavedPredictor {
+        Ok(SavedPredictor {
             version: SNAPSHOT_VERSION,
             spec: self.spec,
             config: self.config.clone(),
             normalizer: SavedNormalizer::from_normalizer(normalizer),
             regressor: SavedTensor::from_state(&regressor_state),
             classifier,
-        }
-        .to_json()
+        })
     }
 }
 
@@ -516,8 +566,8 @@ mod tests {
         let config = TrainConfig::fast();
         let predictor = GnnPredictor::off_the_shelf(GnnKind::Gcn, &config);
         assert!(predictor.evaluate(&test).iter().all(|m| m.is_nan()));
-        // An empty dataset still evaluates to zeros, as before.
-        assert_eq!(predictor.evaluate(&Dataset::default()), [0.0; TargetMetric::COUNT]);
+        // An empty dataset also evaluates to NaN — never a perfect-looking 0.
+        assert!(predictor.evaluate(&Dataset::default()).iter().all(|m| m.is_nan()));
     }
 
     #[test]

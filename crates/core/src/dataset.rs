@@ -157,20 +157,57 @@ impl Dataset {
 
     /// Randomly splits the dataset into train/validation/test parts with the
     /// given fractions (the remainder goes to test), shuffling with `seed`.
+    ///
+    /// Train and validation counts are rounded to the nearest sample, but the
+    /// rounding remainder is redistributed: if the implied test fraction is
+    /// nonzero, the test set receives at least one sample whenever that does
+    /// not require emptying the training set (independent rounding used to be
+    /// able to consume all samples — e.g. 5 samples at 0.7/0.2 rounded to
+    /// 4 + 1, silently leaving an empty test set for downstream metrics to
+    /// "ace"). The donated sample comes from the larger of train/validation,
+    /// preferring validation on a tie and never taking the last training
+    /// sample — a split that cannot train is worse than a missing test
+    /// sample.
+    ///
+    /// # Panics
+    /// Panics when either fraction is outside `[0, 1]`, not finite, or the
+    /// two sum past 1 — such a split is a configuration bug, not a dataset
+    /// property.
     pub fn split(&self, train_fraction: f64, validation_fraction: f64, seed: u64) -> Split {
-        let mut indices: Vec<usize> = (0..self.samples.len()).collect();
+        assert!(
+            (0.0..=1.0).contains(&train_fraction) && (0.0..=1.0).contains(&validation_fraction),
+            "split fractions must be within [0, 1], got train = {train_fraction}, \
+             validation = {validation_fraction}"
+        );
+        assert!(
+            train_fraction + validation_fraction <= 1.0 + 1e-9,
+            "split fractions must sum to at most 1, got train = {train_fraction}, \
+             validation = {validation_fraction}"
+        );
+        let count = self.samples.len();
+        let mut indices: Vec<usize> = (0..count).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         indices.shuffle(&mut rng);
-        let train_count = (self.samples.len() as f64 * train_fraction).round() as usize;
-        let validation_count = (self.samples.len() as f64 * validation_fraction).round() as usize;
+        let test_fraction = (1.0 - train_fraction - validation_fraction).max(0.0);
+        let mut train_count = ((count as f64 * train_fraction).round() as usize).min(count);
+        let mut validation_count =
+            ((count as f64 * validation_fraction).round() as usize).min(count - train_count);
+        if test_fraction > 1e-9 && train_count + validation_count == count && count > 0 {
+            // Redistribute the rounding remainder into the test set without
+            // ever emptying the training set.
+            if validation_count > 0 && (validation_count >= train_count || train_count <= 1) {
+                validation_count -= 1;
+            } else if train_count > 1 {
+                train_count -= 1;
+            }
+        }
         let take = |slice: &[usize]| {
             Dataset::new(slice.iter().map(|&index| self.samples[index].clone()).collect())
         };
-        let train_end = train_count.min(self.samples.len());
-        let validation_end = (train_count + validation_count).min(self.samples.len());
+        let validation_end = train_count + validation_count;
         Split {
-            train: take(&indices[..train_end]),
-            validation: take(&indices[train_end..validation_end]),
+            train: take(&indices[..train_count]),
+            validation: take(&indices[train_count..validation_end]),
             test: take(&indices[validation_end..]),
         }
     }
@@ -322,6 +359,50 @@ mod tests {
             split.train.samples.iter().map(|s| s.name.clone()).collect::<Vec<_>>(),
             again.train.samples.iter().map(|s| s.name.clone()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn split_remainder_is_redistributed_into_a_nonzero_test_fraction() {
+        // 5 samples at 0.7/0.2: independent rounding gives 4 + 1 = 5, which
+        // used to leave the 0.1 test fraction with zero samples.
+        let dataset = tiny_dataset(ProgramFamily::StraightLine, 5);
+        let split = dataset.split(0.7, 0.2, 3);
+        assert_eq!(split.train.len() + split.validation.len() + split.test.len(), 5);
+        assert!(!split.test.is_empty(), "a nonzero test fraction must yield a nonzero test set");
+        // A genuinely zero test fraction still yields an empty test set.
+        let no_test = dataset.split(0.8, 0.2, 3);
+        assert_eq!(no_test.test.len(), 0);
+        assert_eq!(no_test.train.len() + no_test.validation.len(), 5);
+    }
+
+    #[test]
+    fn split_redistribution_never_empties_the_train_set() {
+        // 2 samples at 0.4/0.4 round to 1 + 1; the test sample must come out
+        // of validation, not train (an untrainable split is worse than a
+        // missing test sample).
+        let pair = tiny_dataset(ProgramFamily::StraightLine, 2);
+        let split = pair.split(0.4, 0.4, 7);
+        assert_eq!(split.train.len(), 1);
+        assert_eq!(split.validation.len(), 0);
+        assert_eq!(split.test.len(), 1);
+        // A single sample stays in train even for a nonzero test fraction —
+        // the guarantee yields rather than producing an untrainable split.
+        let single = tiny_dataset(ProgramFamily::StraightLine, 1);
+        let split = single.split(0.7, 0.2, 7);
+        assert_eq!(split.train.len(), 1);
+        assert_eq!(split.test.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn split_rejects_out_of_range_fractions() {
+        tiny_dataset(ProgramFamily::StraightLine, 4).split(1.2, 0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn split_rejects_fractions_summing_past_one() {
+        tiny_dataset(ProgramFamily::StraightLine, 4).split(0.8, 0.5, 0);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!
 //! Every run is parameterised by an [`ExperimentConfig`]; the scale can be
 //! selected through the `HLSGNN_SCALE` environment variable (`fast`,
-//! `standard`, `paper`).
+//! `standard`, `paper`), and the worker count of the parallel runtime through
+//! `HLSGNN_WORKERS` (see [`crate::runtime::ParallelConfig`]). Every sweep
+//! trains its approach × backbone combinations on thread-confined workers and
+//! produces bit-identical tables for any worker count.
 
 use std::fmt;
 use std::time::Instant;
@@ -26,6 +29,7 @@ use crate::builder::{ApproachKind, PredictorSpec};
 use crate::dataset::{Dataset, DatasetBuilder, Split};
 use crate::model::NodeClassifierModel;
 use crate::predictor::Predictor;
+use crate::runtime::{self, ParallelConfig};
 use crate::task::TargetMetric;
 use crate::train::{evaluate_node_classifier, train_node_classifier, TrainConfig};
 use crate::Result;
@@ -85,6 +89,9 @@ pub struct ExperimentConfig {
     pub table2_models: Vec<GnnKind>,
     /// Target device.
     pub device: FpgaDevice,
+    /// Worker configuration for the parallel runtime (every preset reads
+    /// `HLSGNN_WORKERS`; tables are bit-identical for any worker count).
+    pub parallel: ParallelConfig,
 }
 
 impl ExperimentConfig {
@@ -100,6 +107,7 @@ impl ExperimentConfig {
             seed: 1,
             table2_models: GnnKind::ALL.to_vec(),
             device: FpgaDevice::default(),
+            parallel: ParallelConfig::from_env(),
         }
     }
 
@@ -113,6 +121,7 @@ impl ExperimentConfig {
             seed: 1,
             table2_models: GnnKind::ALL.to_vec(),
             device: FpgaDevice::default(),
+            parallel: ParallelConfig::from_env(),
         }
     }
 
@@ -127,6 +136,7 @@ impl ExperimentConfig {
             seed: 1,
             table2_models: GnnKind::ALL.to_vec(),
             device: FpgaDevice::default(),
+            parallel: ParallelConfig::from_env(),
         }
     }
 
@@ -142,6 +152,12 @@ impl ExperimentConfig {
     /// Restricts the Table-2 sweep to a subset of models.
     pub fn with_models(mut self, models: Vec<GnnKind>) -> Self {
         self.table2_models = models;
+        self
+    }
+
+    /// Overrides the worker configuration of the parallel runtime.
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
         self
     }
 
@@ -214,15 +230,18 @@ impl fmt::Display for Table2 {
 }
 
 /// Runs the Table-2 sweep: every configured model, trained on the DFG corpus
-/// and on the CDFG corpus with the off-the-shelf approach.
+/// and on the CDFG corpus with the off-the-shelf approach. The models train
+/// in parallel on `config.parallel` workers, one thread-confined model pair
+/// per job; the rows come back in model order and are bit-identical for any
+/// worker count.
 ///
 /// # Errors
 /// Propagates dataset-construction and training errors.
 pub fn run_table2(config: &ExperimentConfig) -> Result<Table2> {
     let dfg = config.build_corpus(ProgramFamily::StraightLine, config.dfg_programs)?;
     let cdfg = config.build_corpus(ProgramFamily::Control, config.cdfg_programs)?;
-    let mut rows = Vec::new();
-    for &kind in &config.table2_models {
+    let rows = runtime::try_run_jobs(&config.parallel, config.table2_models.len(), |index| {
+        let kind = config.table2_models[index];
         let spec = PredictorSpec::new(ApproachKind::OffTheShelf, kind);
         let mut dfg_model = spec.build(&config.train);
         dfg_model.fit(&dfg.train, &dfg.validation, &config.train)?;
@@ -232,8 +251,8 @@ pub fn run_table2(config: &ExperimentConfig) -> Result<Table2> {
         cdfg_model.fit(&cdfg.train, &cdfg.validation, &config.train)?;
         let cdfg_mape = cdfg_model.evaluate(&cdfg.test);
 
-        rows.push(Table2Row { model: kind.name().to_owned(), dfg: dfg_mape, cdfg: cdfg_mape });
-    }
+        Ok(Table2Row { model: kind.name().to_owned(), dfg: dfg_mape, cdfg: cdfg_mape })
+    })?;
     Ok(Table2 { rows })
 }
 
@@ -291,7 +310,8 @@ impl fmt::Display for Table3 {
 pub const TABLE3_MODELS: [GnnKind; 4] =
     [GnnKind::Gcn, GnnKind::GraphSage, GnnKind::Gin, GnnKind::Rgcn];
 
-/// Runs the Table-3 sweep: node classifiers on DFG, CDFG and real-world sets.
+/// Runs the Table-3 sweep: node classifiers on DFG, CDFG and real-world sets,
+/// one backbone per parallel worker.
 ///
 /// # Errors
 /// Propagates dataset-construction and training errors.
@@ -299,8 +319,8 @@ pub fn run_table3(config: &ExperimentConfig) -> Result<Table3> {
     let dfg = config.build_corpus(ProgramFamily::StraightLine, config.dfg_programs)?;
     let cdfg = config.build_corpus(ProgramFamily::Control, config.cdfg_programs)?;
     let real = Dataset::real_world(&config.device)?;
-    let mut rows = Vec::new();
-    for kind in TABLE3_MODELS {
+    let rows = runtime::run_jobs(&config.parallel, TABLE3_MODELS.len(), |index| {
+        let kind = TABLE3_MODELS[index];
         // DFG-trained classifier, evaluated on the DFG test split.
         let dfg_model = NodeClassifierModel::new(kind, &config.train);
         train_node_classifier(&dfg_model, &dfg.train, &config.train);
@@ -312,13 +332,13 @@ pub fn run_table3(config: &ExperimentConfig) -> Result<Table3> {
         train_node_classifier(&cdfg_model, &cdfg.train, &config.train);
         let cdfg_accuracy = evaluate_node_classifier(&cdfg_model, &cdfg.test);
         let real_accuracy = evaluate_node_classifier(&cdfg_model, &real);
-        rows.push(Table3Row {
+        Table3Row {
             model: kind.name().to_owned(),
             dfg: dfg_accuracy,
             cdfg: cdfg_accuracy,
             real: real_accuracy,
-        });
-    }
+        }
+    });
     Ok(Table3 { rows })
 }
 
@@ -371,40 +391,39 @@ pub const TABLE4_BACKBONES: [GnnKind; 2] = [GnnKind::Rgcn, GnnKind::Pna];
 const TABLE4_APPROACHES: [ApproachKind; 3] =
     [ApproachKind::OffTheShelf, ApproachKind::Hierarchical, ApproachKind::KnowledgeRich];
 
-fn fit_three_approaches(
-    backbone: GnnKind,
-    split: &Split,
-    config: &ExperimentConfig,
-) -> Result<Vec<Box<dyn Predictor>>> {
-    TABLE4_APPROACHES
-        .iter()
-        .map(|&approach| {
-            let mut predictor = PredictorSpec::new(approach, backbone).build(&config.train);
-            predictor.fit(&split.train, &split.validation, &config.train)?;
-            Ok(predictor)
-        })
-        .collect()
+/// The Table-4/5 registry combos in row order: backbone-major, approaches in
+/// the paper's presentation order. Each combo is one parallel training job.
+fn table45_combos() -> Vec<PredictorSpec> {
+    let mut combos = Vec::with_capacity(TABLE4_BACKBONES.len() * TABLE4_APPROACHES.len());
+    for backbone in TABLE4_BACKBONES {
+        for approach in TABLE4_APPROACHES {
+            combos.push(PredictorSpec::new(approach, backbone));
+        }
+    }
+    combos
 }
 
-/// Runs the Table-4 comparison of the three approaches on synthetic corpora.
+/// Runs the Table-4 comparison of the three approaches on synthetic corpora,
+/// one (backbone × approach) combo per parallel worker.
 ///
 /// # Errors
 /// Propagates dataset-construction and training errors.
 pub fn run_table4(config: &ExperimentConfig) -> Result<Table4> {
     let dfg = config.build_corpus(ProgramFamily::StraightLine, config.dfg_programs)?;
     let cdfg = config.build_corpus(ProgramFamily::Control, config.cdfg_programs)?;
-    let mut rows = Vec::new();
-    for backbone in TABLE4_BACKBONES {
-        let dfg_models = fit_three_approaches(backbone, &dfg, config)?;
-        let cdfg_models = fit_three_approaches(backbone, &cdfg, config)?;
-        for (dfg_model, cdfg_model) in dfg_models.iter().zip(&cdfg_models) {
-            rows.push(Table4Row {
-                predictor: dfg_model.name(),
-                dfg: dfg_model.evaluate(&dfg.test),
-                cdfg: cdfg_model.evaluate(&cdfg.test),
-            });
-        }
-    }
+    let combos = table45_combos();
+    let rows = runtime::try_run_jobs(&config.parallel, combos.len(), |index| {
+        let spec = combos[index];
+        let mut dfg_model = spec.build(&config.train);
+        dfg_model.fit(&dfg.train, &dfg.validation, &config.train)?;
+        let mut cdfg_model = spec.build(&config.train);
+        cdfg_model.fit(&cdfg.train, &cdfg.validation, &config.train)?;
+        Ok(Table4Row {
+            predictor: dfg_model.name(),
+            dfg: dfg_model.evaluate(&dfg.test),
+            cdfg: cdfg_model.evaluate(&cdfg.test),
+        })
+    })?;
     Ok(Table4 { rows })
 }
 
@@ -459,21 +478,22 @@ impl fmt::Display for Table5 {
 }
 
 /// Runs the Table-5 generalisation study: train on the synthetic CDFG corpus,
-/// evaluate on the real-world kernels, compare against the HLS report.
+/// evaluate on the real-world kernels, compare against the HLS report. The
+/// six GNN columns train one combo per parallel worker.
 ///
 /// # Errors
 /// Propagates dataset-construction and training errors.
 pub fn run_table5(config: &ExperimentConfig) -> Result<Table5> {
     let cdfg = config.build_corpus(ProgramFamily::Control, config.cdfg_programs)?;
     let real = Dataset::real_world(&config.device)?;
+    let combos = table45_combos();
     let mut columns =
         vec![Table5Column { predictor: "HLS".to_owned(), mape: hls_baseline_mape(&real) }];
-    for backbone in TABLE4_BACKBONES {
-        for approach in fit_three_approaches(backbone, &cdfg, config)? {
-            columns
-                .push(Table5Column { predictor: approach.name(), mape: approach.evaluate(&real) });
-        }
-    }
+    columns.extend(runtime::try_run_jobs(&config.parallel, combos.len(), |index| {
+        let mut predictor = combos[index].build(&config.train);
+        predictor.fit(&cdfg.train, &cdfg.validation, &config.train)?;
+        Ok(Table5Column { predictor: predictor.name(), mape: predictor.evaluate(&real) })
+    })?);
     Ok(Table5 { columns })
 }
 
@@ -631,46 +651,47 @@ impl fmt::Display for AblationReport {
     }
 }
 
-/// Runs the ablation sweep on the CDFG corpus.
+/// Runs the ablation sweep on the CDFG corpus, one setting per parallel
+/// worker.
 ///
 /// # Errors
 /// Propagates dataset-construction and training errors.
 pub fn run_ablation(config: &ExperimentConfig) -> Result<AblationReport> {
     let cdfg = config.build_corpus(ProgramFamily::Control, config.cdfg_programs)?;
-    let mut rows = Vec::new();
 
+    // The settings, in report order; each one is an independent training job.
+    let mut settings: Vec<(String, PredictorSpec, TrainConfig)> = Vec::new();
     // Pooling: mean vs sum readout on the RGCN backbone.
     for pooling in gnn::Pooling::ALL {
         let mut train = config.train.clone();
         train.pooling = pooling;
-        let mut predictor =
-            PredictorSpec::new(ApproachKind::OffTheShelf, GnnKind::Rgcn).build(&train);
-        predictor.fit(&cdfg.train, &cdfg.validation, &train)?;
-        rows.push(AblationRow {
-            setting: format!("RGCN/{} pooling", pooling.name()),
-            mape: predictor.evaluate(&cdfg.test),
-        });
+        settings.push((
+            format!("RGCN/{} pooling", pooling.name()),
+            PredictorSpec::new(ApproachKind::OffTheShelf, GnnKind::Rgcn),
+            train,
+        ));
     }
-
     // Relational edges: RGCN (uses edge types) vs plain GCN (ignores them).
     for kind in [GnnKind::Gcn, GnnKind::Rgcn] {
-        let mut predictor =
-            PredictorSpec::new(ApproachKind::OffTheShelf, kind).build(&config.train);
-        predictor.fit(&cdfg.train, &cdfg.validation, &config.train)?;
-        rows.push(AblationRow {
-            setting: format!("{} (relational: {})", kind.name(), kind.is_relational()),
-            mape: predictor.evaluate(&cdfg.test),
-        });
+        settings.push((
+            format!("{} (relational: {})", kind.name(), kind.is_relational()),
+            PredictorSpec::new(ApproachKind::OffTheShelf, kind),
+            config.train.clone(),
+        ));
     }
-
     // Hierarchy: off-the-shelf vs knowledge-infused on the same backbone.
-    let mut infused =
-        PredictorSpec::new(ApproachKind::Hierarchical, GnnKind::Rgcn).build(&config.train);
-    infused.fit(&cdfg.train, &cdfg.validation, &config.train)?;
-    rows.push(AblationRow {
-        setting: "RGCN-I (hierarchical)".to_owned(),
-        mape: infused.evaluate(&cdfg.test),
-    });
+    settings.push((
+        "RGCN-I (hierarchical)".to_owned(),
+        PredictorSpec::new(ApproachKind::Hierarchical, GnnKind::Rgcn),
+        config.train.clone(),
+    ));
+
+    let rows = runtime::try_run_jobs(&config.parallel, settings.len(), |index| {
+        let (setting, spec, train) = &settings[index];
+        let mut predictor = spec.build(train);
+        predictor.fit(&cdfg.train, &cdfg.validation, train)?;
+        Ok(AblationRow { setting: setting.clone(), mape: predictor.evaluate(&cdfg.test) })
+    })?;
 
     Ok(AblationReport { rows })
 }

@@ -21,9 +21,16 @@
 //!   and [`persist`] snapshots trained predictors to JSON and back.
 //! * [`train`] and [`metrics`] hold the shared training loops, MAPE/accuracy
 //!   metrics and target normalisation.
+//! * [`runtime`] is the deterministic parallel runtime: thread-confined
+//!   workers (the autodiff tape is `!Send`) train and evaluate independent
+//!   models concurrently, and rehydrate [`persist`] snapshots per thread to
+//!   shard batched inference. The worker count comes from `HLSGNN_WORKERS`;
+//!   results are bit-identical for any worker count.
 //! * [`experiments`] regenerates every table and figure of the evaluation
 //!   section (Tables 2–5, the DFG-vs-CDFG analysis, the speed-up figure and
-//!   the ablations), driving everything through the [`Predictor`] API.
+//!   the ablations), driving everything through the [`Predictor`] API — each
+//!   sweep training its approach × backbone combinations on [`runtime`]
+//!   workers.
 //!
 //! # Quick start
 //!
@@ -71,18 +78,20 @@ pub mod metrics;
 pub mod model;
 pub mod persist;
 pub mod predictor;
+pub mod runtime;
 pub mod task;
 pub mod train;
 
 use std::fmt;
 
-pub use approach::{hls_baseline_mape, seed_averaged_mape, GnnPredictor};
+pub use approach::{hls_baseline_mape, seed_averaged_mape, seed_averaged_mape_with, GnnPredictor};
 pub use builder::{load_predictor, ApproachKind, PredictorBuilder, PredictorSpec};
 pub use dataset::{Dataset, DatasetBuilder, GraphSample, Split};
 pub use encode::{FeatureEncoder, FeatureMode};
 pub use metrics::{accuracy, f1_score, mape, rmse, TargetNormalizer};
 pub use persist::SavedPredictor;
 pub use predictor::Predictor;
+pub use runtime::{predict_batch_sharded, ParallelConfig};
 pub use task::{ResourceClass, TargetMetric};
 pub use train::TrainConfig;
 

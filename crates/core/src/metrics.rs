@@ -1,15 +1,21 @@
 //! Evaluation metrics (MAPE, RMSE, accuracy, F1) and target normalisation.
+//!
+//! Degenerate inputs never fake success: an empty prediction set yields `NaN`
+//! (not a perfect-looking `0.0`), and [`TargetNormalizer::fit`] rejects empty
+//! or negative-target training sets instead of fitting confident garbage.
 
 use crate::dataset::Dataset;
 use crate::task::TargetMetric;
+use crate::{Error, Result};
 
 /// Mean absolute percentage error with a floor on the denominator (resource
 /// counts can legitimately be zero; the floor keeps the metric finite, which
 /// is also how HLS QoR comparisons conventionally handle zero utilisation).
+/// An empty input yields `NaN` — "no evidence", never a perfect score.
 pub fn mape_with_floor(predictions: &[f64], actuals: &[f64], floor: f64) -> f64 {
     assert_eq!(predictions.len(), actuals.len(), "mape length mismatch");
     if predictions.is_empty() {
-        return 0.0;
+        return f64::NAN;
     }
     let total: f64 =
         predictions.iter().zip(actuals).map(|(p, a)| (p - a).abs() / a.abs().max(floor)).sum();
@@ -21,30 +27,37 @@ pub fn mape(predictions: &[f64], actuals: &[f64]) -> f64 {
     mape_with_floor(predictions, actuals, 1.0)
 }
 
-/// Root-mean-square error.
+/// Root-mean-square error. An empty input yields `NaN`.
 pub fn rmse(predictions: &[f64], actuals: &[f64]) -> f64 {
     assert_eq!(predictions.len(), actuals.len(), "rmse length mismatch");
     if predictions.is_empty() {
-        return 0.0;
+        return f64::NAN;
     }
     let total: f64 = predictions.iter().zip(actuals).map(|(p, a)| (p - a) * (p - a)).sum();
     (total / predictions.len() as f64).sqrt()
 }
 
 /// Binary classification accuracy for probability/score predictions against
-/// 0/1 labels, thresholded at 0.5.
+/// 0/1 labels, thresholded at 0.5. An empty input yields `NaN` — an accuracy
+/// of `0.0` would claim every prediction was wrong, on no evidence.
 pub fn accuracy(scores: &[f64], labels: &[f64]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "accuracy length mismatch");
     if scores.is_empty() {
-        return 0.0;
+        return f64::NAN;
     }
     let correct = scores.iter().zip(labels).filter(|(s, l)| (**s >= 0.5) == (**l >= 0.5)).count();
     correct as f64 / scores.len() as f64
 }
 
 /// Binary F1 score (harmonic mean of precision and recall) at threshold 0.5.
+/// An empty input yields `NaN`; a non-empty input with no true positives
+/// yields `0.0` (the conventional F1 degenerate case — there *is* evidence,
+/// and it is all bad).
 pub fn f1_score(scores: &[f64], labels: &[f64]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "f1 length mismatch");
+    if scores.is_empty() {
+        return f64::NAN;
+    }
     let mut true_positive = 0.0f64;
     let mut false_positive = 0.0f64;
     let mut false_negative = 0.0f64;
@@ -92,13 +105,38 @@ impl TargetNormalizer {
     }
 
     /// Fits the normaliser on a training dataset.
-    pub fn fit(train: &Dataset) -> Self {
-        let count = train.len().max(1) as f64;
+    ///
+    /// # Errors
+    /// Returns [`Error::DatasetTooSmall`] for an empty dataset (the old
+    /// behaviour silently produced mean 0 / std `1e-3` — a confident-looking
+    /// normaliser fitted on nothing) and [`Error::Config`] when any target is
+    /// negative (previously clamped with `max(0.0)`, silently corrupting the
+    /// statistics; targets are resource counts and delays, so a negative
+    /// value is upstream garbage that must not be absorbed).
+    pub fn fit(train: &Dataset) -> Result<Self> {
+        if train.is_empty() {
+            return Err(Error::DatasetTooSmall(
+                "cannot fit a target normalizer on an empty dataset".to_owned(),
+            ));
+        }
+        for sample in &train.samples {
+            for (index, &target) in sample.targets.iter().enumerate() {
+                if !target.is_finite() || target < 0.0 {
+                    return Err(Error::Config(format!(
+                        "target {} of sample `{}` is {target}; targets are resource counts and \
+                         delays and must be finite and non-negative",
+                        TargetMetric::ALL[index].name(),
+                        sample.name
+                    )));
+                }
+            }
+        }
+        let count = train.len() as f64;
         let mut mean = [0.0; TargetMetric::COUNT];
         let mut std = [0.0; TargetMetric::COUNT];
         for sample in &train.samples {
             for (index, &target) in sample.targets.iter().enumerate() {
-                mean[index] += target.max(0.0).ln_1p();
+                mean[index] += target.ln_1p();
             }
         }
         for value in &mut mean {
@@ -106,14 +144,14 @@ impl TargetNormalizer {
         }
         for sample in &train.samples {
             for (index, &target) in sample.targets.iter().enumerate() {
-                let centred = target.max(0.0).ln_1p() - mean[index];
+                let centred = target.ln_1p() - mean[index];
                 std[index] += centred * centred;
             }
         }
         for value in &mut std {
             *value = (*value / count).sqrt().max(1e-3);
         }
-        TargetNormalizer { mean, std }
+        Ok(TargetNormalizer { mean, std })
     }
 
     /// Normalises a raw `[DSP, LUT, FF, CP]` target vector.
@@ -151,7 +189,15 @@ mod tests {
         let actuals = [100.0, 100.0, 50.0];
         let value = mape(&predictions, &actuals);
         assert!((value - (0.1 + 0.1 + 0.1) / 3.0).abs() < 1e-9);
-        assert_eq!(mape(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_yield_nan_not_a_perfect_score() {
+        assert!(mape(&[], &[]).is_nan());
+        assert!(mape_with_floor(&[], &[], 1.0).is_nan());
+        assert!(rmse(&[], &[]).is_nan());
+        assert!(accuracy(&[], &[]).is_nan());
+        assert!(f1_score(&[], &[]).is_nan());
     }
 
     #[test]
@@ -187,9 +233,23 @@ mod tests {
     }
 
     #[test]
+    fn normalizer_refuses_degenerate_training_sets() {
+        assert!(matches!(
+            TargetNormalizer::fit(&Dataset::default()),
+            Err(Error::DatasetTooSmall(_))
+        ));
+        let mut dataset = tiny_dataset();
+        dataset.samples[0].targets[2] = -4.0;
+        let error = TargetNormalizer::fit(&dataset).unwrap_err();
+        assert!(matches!(&error, Error::Config(message) if message.contains("FF")));
+        dataset.samples[0].targets[2] = f64::NAN;
+        assert!(matches!(TargetNormalizer::fit(&dataset), Err(Error::Config(_))));
+    }
+
+    #[test]
     fn normalizer_round_trips_training_targets() {
         let dataset = tiny_dataset();
-        let normalizer = TargetNormalizer::fit(&dataset);
+        let normalizer = TargetNormalizer::fit(&dataset).unwrap();
         for sample in &dataset.samples {
             let normalized = normalizer.normalize(&sample.targets);
             let recovered = normalizer.denormalize(&normalized);
@@ -202,7 +262,7 @@ mod tests {
     #[test]
     fn normalized_training_targets_are_roughly_centred() {
         let dataset = tiny_dataset();
-        let normalizer = TargetNormalizer::fit(&dataset);
+        let normalizer = TargetNormalizer::fit(&dataset).unwrap();
         let mut sums = [0.0f64; 4];
         for sample in &dataset.samples {
             for (index, value) in normalizer.normalize(&sample.targets).iter().enumerate() {

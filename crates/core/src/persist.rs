@@ -7,6 +7,12 @@
 //! the hierarchical approach, the node classifier). JSON is the wire format;
 //! floats are written with shortest-round-trip formatting, so a
 //! save → load → predict cycle reproduces the original predictions exactly.
+//!
+//! Snapshots are also the bridge across *threads*: unlike a live model
+//! (whose autodiff tape is `Rc`-based and `!Send`), every snapshot type here
+//! is plain data and `Send + Sync` — the parallel runtime
+//! ([`crate::runtime`]) ships trained state between workers as a
+//! [`SavedPredictor`] and rehydrates one thread-confined model per worker.
 
 use gnn_tensor::Matrix;
 use serde::{Deserialize, Serialize};
@@ -107,6 +113,16 @@ pub struct SavedPredictor {
     /// Node-classifier parameters (hierarchical approach only).
     pub classifier: Option<Vec<SavedTensor>>,
 }
+
+// The parallel runtime relies on snapshots crossing thread boundaries; keep
+// that guarantee explicit so a future `Rc`/`RefCell` field fails to compile
+// here rather than deep inside a scoped-thread bound.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SavedPredictor>();
+    assert_send_sync::<SavedTensor>();
+    assert_send_sync::<SavedNormalizer>();
+};
 
 impl SavedPredictor {
     /// Serialises the snapshot to pretty-printed JSON.

@@ -13,6 +13,7 @@
 use crate::builder::PredictorSpec;
 use crate::dataset::{Dataset, GraphSample};
 use crate::metrics::mape_with_floor;
+use crate::persist::SavedPredictor;
 use crate::task::TargetMetric;
 use crate::train::TrainConfig;
 use crate::Result;
@@ -63,7 +64,8 @@ pub trait Predictor {
     /// [`Predictor::predict_batch`]. Samples whose prediction fails are
     /// skipped; if *every* prediction fails on a non-empty dataset (an
     /// untrained model), the result is `NaN` per target rather than a
-    /// perfect-looking `0.0`. An empty dataset evaluates to zeros.
+    /// perfect-looking `0.0`. An empty dataset likewise evaluates to `NaN`
+    /// per target — there is no evidence to report a score on.
     fn evaluate(&self, dataset: &Dataset) -> [f64; TargetMetric::COUNT] {
         let mut predictions: Vec<Vec<f64>> = vec![Vec::new(); TargetMetric::COUNT];
         let mut actuals: Vec<Vec<f64>> = vec![Vec::new(); TargetMetric::COUNT];
@@ -86,15 +88,39 @@ pub trait Predictor {
         result
     }
 
-    /// Serialises the trained state (spec, hyper-parameters, normaliser and
-    /// weights) to JSON. The snapshot reloads with
-    /// [`crate::builder::load_predictor`], producing a predictor whose
-    /// outputs match the original exactly.
+    /// Exports the trained state (spec, hyper-parameters, normaliser and
+    /// weights) as a plain-`Matrix`, `Send + Sync` snapshot. This is the
+    /// bridge out of the `!Send` autodiff tape: the snapshot can cross
+    /// threads freely, so the parallel runtime rehydrates one per worker to
+    /// shard inference ([`crate::runtime::predict_batch_sharded`]), and
+    /// [`Predictor::save_json`] serialises it for another process.
+    ///
+    /// Contract: rehydrating the snapshot — through
+    /// [`crate::approach::GnnPredictor::from_saved`] or
+    /// [`crate::builder::load_predictor`] — must produce a predictor whose
+    /// outputs match this one *exactly*. The sharded-inference fast path
+    /// relies on that equivalence; an implementation that cannot express its
+    /// inference as a rehydrated [`crate::approach::GnnPredictor`] must
+    /// return an error here (the runtime then falls back to its serial
+    /// `predict_batch`).
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::NotTrained`] if called before
+    /// [`Predictor::fit`], and [`crate::Error::Config`] when the trained
+    /// weights are non-finite (a diverged run is refused rather than
+    /// exported).
+    fn snapshot(&self) -> Result<SavedPredictor>;
+
+    /// Serialises the trained state to JSON via [`Predictor::snapshot`]. The
+    /// result reloads with [`crate::builder::load_predictor`], producing a
+    /// predictor whose outputs match the original exactly.
     ///
     /// # Errors
     /// Returns [`crate::Error::NotTrained`] if called before
     /// [`Predictor::fit`].
-    fn save_json(&self) -> Result<String>;
+    fn save_json(&self) -> Result<String> {
+        self.snapshot()?.to_json()
+    }
 }
 
 impl<P: Predictor + ?Sized> Predictor for Box<P> {
@@ -124,6 +150,10 @@ impl<P: Predictor + ?Sized> Predictor for Box<P> {
 
     fn evaluate(&self, dataset: &Dataset) -> [f64; TargetMetric::COUNT] {
         (**self).evaluate(dataset)
+    }
+
+    fn snapshot(&self) -> Result<SavedPredictor> {
+        (**self).snapshot()
     }
 
     fn save_json(&self) -> Result<String> {

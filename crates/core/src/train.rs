@@ -159,7 +159,8 @@ pub fn predict_regressor(
     normalizer.denormalize(&normalized)
 }
 
-/// Per-target MAPE of a regressor over a dataset.
+/// Per-target MAPE of a regressor over a dataset. An empty dataset evaluates
+/// to `NaN` per target — an all-zero result would read as a perfect score.
 pub fn evaluate_regressor(
     model: &GraphRegressor,
     normalizer: &TargetNormalizer,
@@ -167,7 +168,7 @@ pub fn evaluate_regressor(
 ) -> [f64; TargetMetric::COUNT] {
     let mut result = [0.0f64; TargetMetric::COUNT];
     if dataset.is_empty() {
-        return result;
+        return [f64::NAN; TargetMetric::COUNT];
     }
     let mut predictions: Vec<Vec<f64>> = vec![Vec::new(); TargetMetric::COUNT];
     let mut actuals: Vec<Vec<f64>> = vec![Vec::new(); TargetMetric::COUNT];
@@ -283,7 +284,7 @@ mod tests {
         let dataset = tiny_dataset(12);
         let mut config = TrainConfig::fast();
         config.epochs = 8;
-        let normalizer = TargetNormalizer::fit(&dataset);
+        let normalizer = TargetNormalizer::fit(&dataset).unwrap();
         let model = GraphRegressor::new(GnnKind::GraphSage, FeatureMode::Base, &config);
         let history = train_regressor(&model, &normalizer, &dataset, &config);
         assert_eq!(history.len(), config.epochs);
@@ -313,7 +314,7 @@ mod tests {
     fn prediction_outputs_raw_scale_values() {
         let dataset = tiny_dataset(6);
         let config = TrainConfig::fast();
-        let normalizer = TargetNormalizer::fit(&dataset);
+        let normalizer = TargetNormalizer::fit(&dataset).unwrap();
         let model = GraphRegressor::new(GnnKind::Gcn, FeatureMode::Base, &config);
         let prediction = predict_regressor(&model, &normalizer, &dataset.samples[0], None);
         assert!(prediction.iter().all(|v| v.is_finite() && *v >= 0.0));

@@ -14,7 +14,7 @@
 
 use hls_gnn_core::builder::PredictorBuilder;
 use hls_gnn_core::dataset::{DatasetBuilder, GraphSample};
-use hls_gnn_core::predictor::Predictor;
+use hls_gnn_core::runtime::{predict_batch_sharded, ParallelConfig};
 use hls_gnn_core::task::TargetMetric;
 use hls_gnn_core::train::TrainConfig;
 use hls_ir::ast::{BinaryOp, Expr, Function, FunctionBuilder, Stmt};
@@ -75,12 +75,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .train(&split.train, &split.validation)?;
 
     // Extract every candidate's IR graph, then score the whole design space
-    // with one batched call — the serving-shaped DSE loop.
+    // with one batched call — the serving-shaped DSE loop. A big sweep shards
+    // across HLSGNN_WORKERS threads with bit-identical results.
     let candidates: Vec<GraphSample> = variants
         .iter()
         .map(|(_, function)| GraphSample::from_function(function, GraphKind::Cdfg, &device))
         .collect::<Result<_, _>>()?;
-    let predictions = predictor.predict_batch(&candidates);
+    let predictions = predict_batch_sharded(&predictor, &candidates, &ParallelConfig::from_env());
 
     let lut = TargetMetric::Lut.index();
     let dsp = TargetMetric::Dsp.index();

@@ -43,7 +43,9 @@ pub use hls_sim;
 /// batch-predict, and persist/reload trained models.
 pub mod prelude {
     pub use gnn::{GnnKind, Pooling};
-    pub use hls_gnn_core::approach::{hls_baseline_mape, seed_averaged_mape, GnnPredictor};
+    pub use hls_gnn_core::approach::{
+        hls_baseline_mape, seed_averaged_mape, seed_averaged_mape_with, GnnPredictor,
+    };
     pub use hls_gnn_core::builder::{
         load_predictor, ApproachKind, PredictorBuilder, PredictorSpec,
     };
@@ -51,6 +53,7 @@ pub mod prelude {
     pub use hls_gnn_core::experiments::{ExperimentConfig, ExperimentScale};
     pub use hls_gnn_core::persist::SavedPredictor;
     pub use hls_gnn_core::predictor::Predictor;
+    pub use hls_gnn_core::runtime::{predict_batch_sharded, ParallelConfig};
     pub use hls_gnn_core::task::{ResourceClass, TargetMetric};
     pub use hls_gnn_core::train::TrainConfig;
     pub use hls_gnn_core::Error;

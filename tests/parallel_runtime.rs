@@ -1,0 +1,202 @@
+//! Determinism guarantees of the parallel runtime — identical metrics at any
+//! worker count — plus regression tests for the metric-correctness fixes
+//! (NaN on empty inputs, normalizer input validation, split-rounding
+//! redistribution).
+
+use gnn::GnnKind;
+use hls_gnn_core::approach::{seed_averaged_mape_with, GnnPredictor};
+use hls_gnn_core::builder::PredictorSpec;
+use hls_gnn_core::dataset::{Dataset, DatasetBuilder};
+use hls_gnn_core::experiments::{run_table2, ExperimentConfig};
+use hls_gnn_core::metrics::TargetNormalizer;
+use hls_gnn_core::predictor::Predictor;
+use hls_gnn_core::runtime::{predict_batch_sharded, ParallelConfig};
+use hls_gnn_core::train::TrainConfig;
+use hls_gnn_core::{accuracy, mape, rmse, Error, TargetMetric};
+use hls_progen::synthetic::{ProgramFamily, SyntheticConfig};
+
+fn tiny_split() -> (Dataset, Dataset, Dataset) {
+    let dataset = DatasetBuilder::new(ProgramFamily::StraightLine)
+        .count(14)
+        .seed(33)
+        .generator_config(SyntheticConfig::tiny(ProgramFamily::StraightLine))
+        .build()
+        .expect("dataset builds");
+    let split = dataset.split(0.7, 0.15, 1);
+    (split.train, split.validation, split.test)
+}
+
+fn assert_bit_identical(serial: &[f64], parallel: &[f64], what: &str) {
+    for (index, (a, b)) in serial.iter().zip(parallel).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: target {index} differs between worker counts ({a} vs {b})"
+        );
+    }
+}
+
+#[test]
+fn seed_averaged_mape_is_bit_identical_across_worker_counts() {
+    let (train, validation, test) = tiny_split();
+    let mut config = TrainConfig::fast();
+    config.epochs = 2;
+    let protocol = |parallel: &ParallelConfig| {
+        seed_averaged_mape_with(
+            parallel,
+            |_seed| GnnPredictor::off_the_shelf(GnnKind::Gcn, &config),
+            &train,
+            &validation,
+            &test,
+            &config,
+            5,
+            3,
+        )
+        .expect("the paper protocol runs")
+    };
+    let serial = protocol(&ParallelConfig::serial());
+    for workers in [2, 4] {
+        let parallel = protocol(&ParallelConfig::with_workers(workers));
+        assert_bit_identical(&serial, &parallel, &format!("seed_averaged_mape x{workers}"));
+    }
+}
+
+#[test]
+fn table2_sweep_is_bit_identical_across_worker_counts() {
+    let mut config = ExperimentConfig::fast();
+    config.dfg_programs = 12;
+    config.cdfg_programs = 12;
+    config.train.epochs = 2;
+    config.train.hidden_dim = 8;
+    config.train.embed_dim = 3;
+    let config = config.with_models(vec![GnnKind::Gcn, GnnKind::Rgcn, GnnKind::GraphSage]);
+
+    let serial = run_table2(&config.clone().with_parallel(ParallelConfig::serial()))
+        .expect("serial table 2 runs");
+    let parallel = run_table2(&config.with_parallel(ParallelConfig::with_workers(4)))
+        .expect("parallel table 2 runs");
+
+    assert_eq!(serial.rows.len(), parallel.rows.len());
+    for (serial_row, parallel_row) in serial.rows.iter().zip(&parallel.rows) {
+        assert_eq!(serial_row.model, parallel_row.model, "row order must be preserved");
+        assert_bit_identical(&serial_row.dfg, &parallel_row.dfg, &serial_row.model);
+        assert_bit_identical(&serial_row.cdfg, &parallel_row.cdfg, &serial_row.model);
+    }
+}
+
+#[test]
+fn sharded_batch_prediction_matches_the_serial_path_exactly() {
+    let (train, validation, test) = tiny_split();
+    let config = TrainConfig::fast();
+    let mut predictor = GnnPredictor::hierarchical(GnnKind::GraphSage, &config);
+    predictor.fit(&train, &validation, &config).expect("fit");
+
+    let serial = predictor.predict_batch(&test.samples);
+    for workers in [2, 4, 16] {
+        let sharded = predict_batch_sharded(
+            &predictor,
+            &test.samples,
+            &ParallelConfig::with_workers(workers),
+        );
+        assert_eq!(serial.len(), sharded.len());
+        for (index, (a, b)) in serial.iter().zip(&sharded).enumerate() {
+            let (a, b) =
+                (a.as_ref().expect("serial predicts"), b.as_ref().expect("shard predicts"));
+            assert_bit_identical(a, b, &format!("sample {index} x{workers}"));
+        }
+    }
+
+    // An untrained predictor cannot be snapshotted; the sharded path falls
+    // back to the serial one and reports the per-sample errors unchanged.
+    let untrained = GnnPredictor::off_the_shelf(GnnKind::Gcn, &config);
+    let fallback =
+        predict_batch_sharded(&untrained, &test.samples, &ParallelConfig::with_workers(4));
+    assert_eq!(fallback.len(), test.len());
+    assert!(fallback.iter().all(|r| matches!(r, Err(Error::NotTrained(_)))));
+}
+
+#[test]
+fn empty_dataset_metrics_report_nan_not_perfection() {
+    // The free-standing metrics.
+    assert!(mape(&[], &[]).is_nan());
+    assert!(rmse(&[], &[]).is_nan());
+    assert!(accuracy(&[], &[]).is_nan());
+
+    // Predictor::evaluate on an empty dataset: NaN per target, not 0%.
+    let (train, validation, _) = tiny_split();
+    let config = TrainConfig::fast();
+    let mut predictor = GnnPredictor::off_the_shelf(GnnKind::Gcn, &config);
+    predictor.fit(&train, &validation, &config).expect("fit");
+    let empty = predictor.evaluate(&Dataset::default());
+    assert!(empty.iter().all(|m| m.is_nan()), "empty dataset must not score 0: {empty:?}");
+}
+
+#[test]
+fn normalizer_rejects_empty_and_negative_training_sets() {
+    assert!(matches!(TargetNormalizer::fit(&Dataset::default()), Err(Error::DatasetTooSmall(_))));
+
+    let mut dataset = DatasetBuilder::new(ProgramFamily::StraightLine)
+        .count(4)
+        .seed(5)
+        .generator_config(SyntheticConfig::tiny(ProgramFamily::StraightLine))
+        .build()
+        .expect("dataset builds");
+    dataset.samples[1].targets[TargetMetric::Lut.index()] = -10.0;
+    assert!(matches!(TargetNormalizer::fit(&dataset), Err(Error::Config(_))));
+    // A poisoned corpus is rejected end to end, not absorbed into training.
+    let config = TrainConfig::fast();
+    let mut predictor = GnnPredictor::off_the_shelf(GnnKind::Gcn, &config);
+    assert!(matches!(predictor.fit(&dataset, &Dataset::default(), &config), Err(Error::Config(_))));
+
+    // A rejected *refit* must leave an already-trained predictor fully
+    // intact — validation runs before any stage is mutated.
+    let (train, validation, test) = tiny_split();
+    let mut trained = GnnPredictor::hierarchical(GnnKind::Gcn, &config);
+    trained.fit(&train, &validation, &config).expect("fit on clean data");
+    let before = trained.predict(&test.samples[0]).expect("predict");
+    assert!(matches!(trained.fit(&dataset, &validation, &config), Err(Error::Config(_))));
+    assert!(trained.is_trained());
+    assert_eq!(before, trained.predict(&test.samples[0]).expect("predict after failed refit"));
+}
+
+#[test]
+fn split_guarantees_a_nonzero_test_set_for_nonzero_test_fractions() {
+    let dataset = DatasetBuilder::new(ProgramFamily::StraightLine)
+        .count(5)
+        .seed(8)
+        .generator_config(SyntheticConfig::tiny(ProgramFamily::StraightLine))
+        .build()
+        .expect("dataset builds");
+    // 0.7/0.2 over 5 samples used to round to 4 + 1, leaving test empty.
+    let split = dataset.split(0.7, 0.2, 11);
+    assert_eq!(split.train.len() + split.validation.len() + split.test.len(), 5);
+    assert!(!split.test.is_empty());
+
+    for (train_fraction, validation_fraction) in [(1.5, 0.0), (-0.1, 0.5), (0.9, 0.2)] {
+        let result =
+            std::panic::catch_unwind(|| dataset.split(train_fraction, validation_fraction, 0));
+        assert!(result.is_err(), "split({train_fraction}, {validation_fraction}) must be rejected");
+    }
+}
+
+#[test]
+fn snapshots_cross_threads_and_rehydrate_exactly() {
+    let (train, validation, test) = tiny_split();
+    let config = TrainConfig::fast();
+    let spec: PredictorSpec = "hier/sage".parse().expect("spec parses");
+    let mut predictor = spec.build(&config);
+    predictor.fit(&train, &validation, &config).expect("fit");
+    let expected = predictor.predict(&test.samples[0]).expect("predict");
+
+    // The snapshot is plain `Send + Sync` data: move it to another thread,
+    // rehydrate there, and get bit-identical predictions back.
+    let snapshot = predictor.snapshot().expect("trained predictor snapshots");
+    let sample = test.samples[0].clone();
+    let from_worker = std::thread::spawn(move || {
+        let rehydrated = GnnPredictor::from_saved(&snapshot).expect("snapshot rehydrates");
+        rehydrated.predict(&sample).expect("rehydrated predict")
+    })
+    .join()
+    .expect("worker thread");
+    assert_eq!(expected, from_worker);
+}
