@@ -11,14 +11,15 @@ fn main() {
     }
     println!(
         "Running Table 2 at {:?} scale ({} DFG / {} CDFG programs, {} epochs, hidden {}, \
-         {} models, {} worker(s))",
+         {} models, {} worker(s), fusing up to {} graphs/tape)",
         config.scale,
         config.dfg_programs,
         config.cdfg_programs,
         config.train.epochs,
         config.train.hidden_dim,
         config.table2_models.len(),
-        config.parallel.workers()
+        config.parallel.workers(),
+        hls_gnn_core::runtime::BatchConfig::from_env().effective_width(config.train.batch_size)
     );
     let table = match run_table2(&config) {
         Ok(table) => table,

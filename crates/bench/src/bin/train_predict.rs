@@ -11,10 +11,12 @@
 //! `hier/rgcn`, ...) and the paper's table notation (`RGCN-I`). Scale is
 //! controlled by `HLSGNN_SCALE` as usual.
 
+use std::time::Instant;
+
 use hls_gnn_core::builder::{load_predictor, PredictorBuilder};
 use hls_gnn_core::experiments::ExperimentConfig;
 use hls_gnn_core::predictor::Predictor;
-use hls_gnn_core::runtime::predict_batch_sharded;
+use hls_gnn_core::runtime::{predict_batch_sharded, BatchConfig};
 use hls_gnn_core::task::TargetMetric;
 use hls_progen::synthetic::ProgramFamily;
 
@@ -32,11 +34,14 @@ fn main() {
     };
     let config = ExperimentConfig::from_env();
     println!(
-        "training {} ({}) on {} synthetic CDFG programs at {:?} scale",
+        "training {} ({}) on {} synthetic CDFG programs at {:?} scale \
+         (fusion width {}, {} worker(s))",
         builder.spec().name(),
         builder.spec(),
         config.cdfg_programs,
-        config.scale
+        config.scale,
+        BatchConfig::from_env().effective_width(config.train.batch_size),
+        config.parallel.workers()
     );
 
     let corpus = match hls_gnn_core::dataset::DatasetBuilder::new(ProgramFamily::Control)
@@ -53,6 +58,7 @@ fn main() {
     };
     let split = corpus.split(0.8, 0.1, config.seed.wrapping_add(7));
 
+    let train_start = Instant::now();
     let predictor =
         match builder.config(config.train.clone()).train(&split.train, &split.validation) {
             Ok(predictor) => predictor,
@@ -61,6 +67,7 @@ fn main() {
                 std::process::exit(1);
             }
         };
+    println!("trained in {:.2} s", train_start.elapsed().as_secs_f64());
 
     // Persist, reload, and serve the held-out set from the reloaded model.
     let json = predictor.save_json().expect("trained predictor serialises");
@@ -76,10 +83,13 @@ fn main() {
     // Large inference sets shard across HLSGNN_WORKERS threads, each worker
     // rehydrating its own model from the snapshot; results are bit-identical
     // to the serial path.
+    let inference_start = Instant::now();
     let predictions = predict_batch_sharded(&served, &split.test.samples, &config.parallel);
+    let inference_seconds = inference_start.elapsed().as_secs_f64();
     println!(
-        "\nbatch prediction over {} held-out designs (reloaded model, {} worker(s)):",
+        "\nbatch prediction over {} held-out designs in {:.1} ms (reloaded model, {} worker(s)):",
         split.test.len(),
+        inference_seconds * 1e3,
         config.parallel.workers()
     );
     println!("{:<16} {:>10} {:>10} {:>10} {:>10}", "design", "DSP", "LUT", "FF", "CP");

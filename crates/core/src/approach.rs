@@ -29,7 +29,7 @@ use crate::metrics::{mape_with_floor, TargetNormalizer};
 use crate::model::{GraphRegressor, NodeClassifierModel};
 use crate::persist::{SavedNormalizer, SavedPredictor, SavedTensor, SNAPSHOT_VERSION};
 use crate::predictor::Predictor;
-use crate::runtime::{self, ParallelConfig};
+use crate::runtime::{self, BatchConfig, ParallelConfig};
 use crate::task::{ResourceClass, TargetMetric};
 use crate::train::{
     evaluate_node_classifier, predict_regressor, train_node_classifier, train_regressor,
@@ -285,6 +285,82 @@ impl GnnPredictor {
             _ => Err(Error::NotTrained(self.name())),
         }
     }
+
+    /// [`Predictor::predict_batch`] with an explicit fusion width. Width 1
+    /// runs the legacy per-sample forwards; larger widths fuse that many
+    /// graphs per tape ([`GraphRegressor::forward_batch`]). Inference through
+    /// the fused tape is bit-identical to the per-sample path at every width,
+    /// so this only changes the cost of a sweep, never its result.
+    pub fn predict_batch_with(
+        &self,
+        samples: &[GraphSample],
+        batch_config: &BatchConfig,
+    ) -> Vec<Result<[f64; TargetMetric::COUNT]>> {
+        // Resolve models, normaliser and the optional classifier once for the
+        // whole batch; the per-chunk loop then only runs forward passes.
+        let (regressor, normalizer) = match self.trained_state() {
+            Ok(state) => state,
+            Err(error) => return samples.iter().map(|_| Err(error.clone())).collect(),
+        };
+        let classifier = if self.spec.approach.uses_classifier() {
+            match self.classifier.as_ref() {
+                Some(classifier) => Some(classifier),
+                None => {
+                    let error = Error::NotTrained(self.name());
+                    return samples.iter().map(|_| Err(error.clone())).collect();
+                }
+            }
+        } else {
+            None
+        };
+        // Hierarchical inference: the only inputs are the IR graph; resource
+        // types are self-inferred by the node-level stage, which stays
+        // per-graph (its labels are per-node) — only the graph-level
+        // regression fuses.
+        let infer_types = |classifier: &NodeClassifierModel, sample: &GraphSample| {
+            let mut rng = StdRng::seed_from_u64(0);
+            classifier.predict_types(sample, &mut rng)
+        };
+        let predict_one = |sample: &GraphSample| {
+            let types = classifier.map(|classifier| infer_types(classifier, sample));
+            Ok(predict_regressor(regressor, normalizer, sample, types.as_deref()))
+        };
+        let width = batch_config.effective_width(self.config.batch_size);
+        if width == 1 {
+            // Legacy per-sample forwards (exact historical behaviour).
+            return samples.iter().map(predict_one).collect();
+        }
+        let mut results = Vec::with_capacity(samples.len());
+        let sizes: Vec<usize> = samples.iter().map(GraphSample::num_nodes).collect();
+        let mut start = 0;
+        for length in
+            batch_config.plan_chunks(&sizes, self.config.batch_size, self.config.hidden_dim)
+        {
+            let chunk = &samples[start..start + length];
+            start += length;
+            if length == 1 {
+                // A graph that fills the node budget on its own: the plain
+                // per-graph path skips the fuse/encode-batch copies.
+                results.push(predict_one(&chunk[0]));
+                continue;
+            }
+            let refs: Vec<&GraphSample> = chunk.iter().collect();
+            let overrides: Option<Vec<Vec<[f32; 3]>>> = classifier.map(|classifier| {
+                chunk.iter().map(|sample| infer_types(classifier, sample)).collect()
+            });
+            let mut rng = StdRng::seed_from_u64(0);
+            let output =
+                regressor.forward_batch(&refs, overrides.as_deref(), false, &mut rng).value();
+            for row in 0..chunk.len() {
+                let mut normalized = [0.0f32; TargetMetric::COUNT];
+                for (index, value) in normalized.iter_mut().enumerate() {
+                    *value = output.get(row, index);
+                }
+                results.push(Ok(normalizer.denormalize(&normalized)));
+            }
+        }
+        results
+    }
 }
 
 impl Predictor for GnnPredictor {
@@ -298,7 +374,8 @@ impl Predictor for GnnPredictor {
 
     fn fit(&mut self, train: &Dataset, _validation: &Dataset, config: &TrainConfig) -> Result<()> {
         ensure_nonempty(train)?;
-        // Validate the targets up front — the only fallible step. Failing
+        config.validate()?;
+        // Validate the targets up front — the only other fallible step. Failing
         // *before* any mutation means a rejected refit leaves an already
         // trained predictor fully intact (and a fresh one untouched), never
         // a half-retrained mix of stages.
@@ -324,35 +401,7 @@ impl Predictor for GnnPredictor {
     }
 
     fn predict_batch(&self, samples: &[GraphSample]) -> Vec<Result<[f64; TargetMetric::COUNT]>> {
-        // Resolve models, normaliser and the optional classifier once for the
-        // whole batch; the per-sample loop then only runs forward passes.
-        let (regressor, normalizer) = match self.trained_state() {
-            Ok(state) => state,
-            Err(error) => return samples.iter().map(|_| Err(error.clone())).collect(),
-        };
-        let classifier = if self.spec.approach.uses_classifier() {
-            match self.classifier.as_ref() {
-                Some(classifier) => Some(classifier),
-                None => {
-                    let error = Error::NotTrained(self.name());
-                    return samples.iter().map(|_| Err(error.clone())).collect();
-                }
-            }
-        } else {
-            None
-        };
-        samples
-            .iter()
-            .map(|sample| {
-                // Hierarchical inference: the only inputs are the IR graph;
-                // resource types are self-inferred by the first stage.
-                let types = classifier.map(|classifier| {
-                    let mut rng = StdRng::seed_from_u64(0);
-                    classifier.predict_types(sample, &mut rng)
-                });
-                Ok(predict_regressor(regressor, normalizer, sample, types.as_deref()))
-            })
-            .collect()
+        self.predict_batch_with(samples, &BatchConfig::from_env())
     }
 
     fn snapshot(&self) -> Result<SavedPredictor> {

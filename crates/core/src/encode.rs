@@ -142,6 +142,109 @@ impl FeatureEncoder {
         Var::concat_cols(&parts)
     }
 
+    /// Encodes a fused mini-batch: one feature matrix covering every node of
+    /// every sample, rows in sample order then node order — exactly the node
+    /// order of [`gnn::GraphBatch::fuse`] over the same samples. Each
+    /// embedding table is consulted once for the whole batch, and every row
+    /// is bit-identical to the row [`FeatureEncoder::encode`] would produce
+    /// for that sample alone.
+    ///
+    /// `type_overrides`, when provided, must carry one override per sample
+    /// (see [`FeatureEncoder::encode`]).
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or an override has the wrong length.
+    pub fn encode_batch(
+        &self,
+        samples: &[&GraphSample],
+        type_overrides: Option<&[Vec<[f32; 3]>]>,
+    ) -> Var {
+        assert!(!samples.is_empty(), "cannot encode an empty batch");
+        if let Some(overrides) = type_overrides {
+            assert_eq!(overrides.len(), samples.len(), "one type override per sample");
+        }
+        let total_nodes: usize = samples.iter().map(|s| s.num_nodes()).sum();
+        let mut node_type_ids = Vec::with_capacity(total_nodes);
+        let mut bitwidth_ids = Vec::with_capacity(total_nodes);
+        let mut category_ids = Vec::with_capacity(total_nodes);
+        let mut opcode_ids = Vec::with_capacity(total_nodes);
+        let mut numeric = Matrix::zeros(total_nodes, NUMERIC_BASE_FEATURES);
+        let mut row = 0;
+        for sample in samples {
+            // Index by node position (not by iterating the feature list) so a
+            // sample with missing per-node entries panics like the per-graph
+            // encoder would, instead of silently shifting every following
+            // sample's rows.
+            for node in 0..sample.num_nodes() {
+                let feature = &sample.node_features[node];
+                node_type_ids.push(feature.node_type);
+                bitwidth_ids.push(feature.bitwidth_bucket());
+                category_ids.push(feature.opcode_category);
+                opcode_ids.push(feature.opcode);
+                numeric.set(row, 0, f32::from(feature.is_start_of_path));
+                numeric.set(row, 1, (feature.cluster_group as f32 / 32.0).clamp(-1.0, 8.0));
+                row += 1;
+            }
+        }
+
+        let mut parts = vec![
+            self.node_type.forward(&node_type_ids),
+            self.bitwidth.forward(&bitwidth_ids),
+            self.category.forward(&category_ids),
+            self.opcode.forward(&opcode_ids),
+            Var::new(numeric),
+        ];
+
+        match self.mode {
+            FeatureMode::Base => {}
+            FeatureMode::ResourceValues => {
+                let mut aux = Matrix::zeros(total_nodes, 3);
+                let mut row = 0;
+                for sample in samples {
+                    for node in 0..sample.num_nodes() {
+                        for (col, &value) in sample.node_aux_resources[node].iter().enumerate() {
+                            aux.set(row, col, (value.max(0.0) + 1.0).ln());
+                        }
+                        row += 1;
+                    }
+                }
+                parts.push(Var::new(aux));
+            }
+            FeatureMode::ResourceTypes => {
+                let mut aux = Matrix::zeros(total_nodes, 3);
+                let mut row = 0;
+                for (index, sample) in samples.iter().enumerate() {
+                    let flags: &[[f32; 3]] = match type_overrides {
+                        Some(overrides) => {
+                            let flags = &overrides[index];
+                            assert_eq!(
+                                flags.len(),
+                                sample.num_nodes(),
+                                "type override must cover every node"
+                            );
+                            flags
+                        }
+                        None => &sample.node_resource_types,
+                    };
+                    assert_eq!(
+                        flags.len(),
+                        sample.num_nodes(),
+                        "resource-type flags must cover every node"
+                    );
+                    for values in flags {
+                        for (col, &value) in values.iter().enumerate() {
+                            aux.set(row, col, value);
+                        }
+                        row += 1;
+                    }
+                }
+                parts.push(Var::new(aux));
+            }
+        }
+
+        Var::concat_cols(&parts)
+    }
+
     /// Trainable parameters (the four embedding tables).
     pub fn parameters(&self) -> Vec<Var> {
         let mut params = self.node_type.parameters();

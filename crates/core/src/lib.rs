@@ -20,12 +20,18 @@
 //!   from a [`PredictorSpec`] (parseable from strings like `"hier/rgcn"`),
 //!   and [`persist`] snapshots trained predictors to JSON and back.
 //! * [`train`] and [`metrics`] hold the shared training loops, MAPE/accuracy
-//!   metrics and target normalisation.
-//! * [`runtime`] is the deterministic parallel runtime: thread-confined
-//!   workers (the autodiff tape is `!Send`) train and evaluate independent
-//!   models concurrently, and rehydrate [`persist`] snapshots per thread to
-//!   shard batched inference. The worker count comes from `HLSGNN_WORKERS`;
-//!   results are bit-identical for any worker count.
+//!   metrics and target normalisation. Mini-batches run on the fused
+//!   batching engine: [`gnn::GraphBatch`] disjoint-unions the batch into one
+//!   block-diagonal super-graph so a single autodiff tape covers the whole
+//!   gradient step (`HLSGNN_BATCH=1` selects the exact legacy
+//!   one-tape-per-graph path).
+//! * [`runtime`] is the deterministic execution layer: the parallel runtime
+//!   (thread-confined workers — the autodiff tape is `!Send` — that train
+//!   and evaluate independent models concurrently and rehydrate [`persist`]
+//!   snapshots per thread to shard batched inference; `HLSGNN_WORKERS`) and
+//!   the fused-batching configuration ([`runtime::BatchConfig`];
+//!   `HLSGNN_BATCH`, `HLSGNN_BATCH_NODES`). Results are bit-identical for
+//!   any worker count and fusion width.
 //! * [`experiments`] regenerates every table and figure of the evaluation
 //!   section (Tables 2–5, the DFG-vs-CDFG analysis, the speed-up figure and
 //!   the ablations), driving everything through the [`Predictor`] API — each
@@ -91,7 +97,7 @@ pub use encode::{FeatureEncoder, FeatureMode};
 pub use metrics::{accuracy, f1_score, mape, rmse, TargetNormalizer};
 pub use persist::SavedPredictor;
 pub use predictor::Predictor;
-pub use runtime::{predict_batch_sharded, ParallelConfig};
+pub use runtime::{predict_batch_sharded, BatchConfig, ParallelConfig};
 pub use task::{ResourceClass, TargetMetric};
 pub use train::TrainConfig;
 

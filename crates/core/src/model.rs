@@ -2,7 +2,7 @@
 //! (feature encoder → GNN stack → pooling → FFN head) and the node-level
 //! resource-type classifier (feature encoder → GNN stack → linear head).
 
-use gnn::{GnnKind, GnnStack, Pooling};
+use gnn::{GnnKind, GnnStack, GraphBatch, Pooling};
 use gnn_tensor::{Linear, Mlp, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -68,6 +68,40 @@ impl GraphRegressor {
         let features = self.encoder.encode(sample, type_override);
         let embeddings = self.stack.forward(&sample.structure, &features, training, rng);
         let pooled = self.pooling.apply(&embeddings);
+        self.head.forward(&pooled)
+    }
+
+    /// Fused forward pass over a mini-batch, producing a `B × 4` normalised
+    /// prediction matrix — one row per sample, in order. The samples'
+    /// structures are disjoint-unioned into one [`GraphBatch`] super-graph,
+    /// so the whole mini-batch shares a single autodiff tape; segment-aware
+    /// pooling reads out one graph embedding per member graph.
+    ///
+    /// At inference (`training = false`, dropout inactive) every output row
+    /// is bit-identical to the `1 × 4` result of [`GraphRegressor::forward`]
+    /// on that sample alone. During training the fused tape draws dropout
+    /// masks in one pass over the super-graph, so with nonzero dropout the
+    /// RNG stream differs from per-graph forwards.
+    ///
+    /// `type_overrides`, when provided, carries one override per sample (the
+    /// knowledge-infused inference path).
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or an override has the wrong length.
+    pub fn forward_batch(
+        &self,
+        samples: &[&GraphSample],
+        type_overrides: Option<&[Vec<[f32; 3]>]>,
+        training: bool,
+        rng: &mut StdRng,
+    ) -> Var {
+        assert!(!samples.is_empty(), "cannot run a fused forward pass on an empty batch");
+        let structures: Vec<&gnn::GraphData> = samples.iter().map(|s| &s.structure).collect();
+        let batch = GraphBatch::fuse(&structures);
+        let features = self.encoder.encode_batch(samples, type_overrides);
+        let embeddings = self.stack.forward(batch.graph(), &features, training, rng);
+        let pooled =
+            self.pooling.apply_segmented(&embeddings, batch.segments(), batch.num_graphs());
         self.head.forward(&pooled)
     }
 

@@ -43,9 +43,12 @@ pub trait Predictor {
 
     /// Predicts the raw `[DSP, LUT, FF, CP]` values for every design in a
     /// batch. This is the primary inference entry point: trained state is
-    /// resolved once per call and shared across the whole batch (the
-    /// "shared-normalizer fast path"), so predicting `n` designs costs one
-    /// setup plus `n` forward passes.
+    /// resolved once per call and shared across the whole batch, and the
+    /// fused mini-batching engine unions several graphs per forward tape
+    /// (`HLSGNN_BATCH`; see [`crate::runtime::BatchConfig`]), so predicting
+    /// `n` designs costs one setup plus `⌈n / width⌉` fused forward passes.
+    /// Fused inference is bit-identical to per-sample inference, so the
+    /// result never depends on chunk boundaries.
     fn predict_batch(&self, samples: &[GraphSample]) -> Vec<Result<[f64; TargetMetric::COUNT]>>;
 
     /// Predicts the raw `[DSP, LUT, FF, CP]` values of one design. Delegates

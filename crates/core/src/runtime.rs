@@ -115,6 +115,193 @@ impl Default for ParallelConfig {
     }
 }
 
+/// Fusion-width configuration for the fused graph mini-batching engine.
+///
+/// The *fusion width* is how many graphs share one autodiff tape:
+/// [`gnn::GraphBatch`] disjoint-unions that many graphs into a block-diagonal
+/// super-graph, so a mini-batch costs one forward/backward pass instead of
+/// one per graph. The width never changes the SGD protocol — mini-batch
+/// boundaries, shuffling and loss scaling follow `TrainConfig::batch_size`
+/// exactly; it only controls how each mini-batch's tape is built.
+///
+/// * [`BatchConfig::default_fused`] (the `HLSGNN_BATCH`-unset default) fuses
+///   each whole mini-batch (training) or inference chunk into one tape.
+/// * [`BatchConfig::legacy`] (`HLSGNN_BATCH=1`) is the exact pre-fusion code
+///   path: one tape per graph, gradients accumulated across the mini-batch.
+///   Bit-identical to the historical behaviour.
+/// * [`BatchConfig::with_width`] (`HLSGNN_BATCH=N`) caps the fusion width at
+///   `N` graphs per tape regardless of the configured batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchConfig {
+    /// `None` = fuse the configured batch size; `Some(n)` = force width `n`.
+    width_override: Option<NonZeroUsize>,
+    /// `None` = derive the per-tape node budget from the hidden dimension;
+    /// `Some(n)` = cap every fused tape at `n` nodes.
+    node_budget_override: Option<NonZeroUsize>,
+}
+
+impl BatchConfig {
+    /// The environment variable the default entry points read the fusion
+    /// width from.
+    pub const ENV_VAR: &'static str = "HLSGNN_BATCH";
+
+    /// The environment variable overriding the per-tape node budget.
+    pub const NODE_BUDGET_ENV_VAR: &'static str = "HLSGNN_BATCH_NODES";
+
+    /// The default working-set target of one fused tape, in `f32` elements of
+    /// one `nodes × hidden` intermediate: 24 576 floats = 96 KiB. Profiling
+    /// showed per-op time jumping ~2× once intermediates cross ~128 KiB —
+    /// every op allocates a fresh buffer, and beyond glibc's `MMAP_THRESHOLD`
+    /// each allocation becomes an mmap/munmap round trip with page-fault
+    /// zeroing — so the budget keeps fused tapes safely under that cliff.
+    pub const DEFAULT_BUDGET_FLOATS: usize = 24_576;
+
+    /// Default cap on the nodes of one fused tape regardless of hidden width.
+    /// Empirically (width sweeps over 20–300-node graphs at hidden 16/32 on a
+    /// single-core container), fused forwards are fastest when a tape holds
+    /// roughly 64–128 nodes — small enough that the gathered node-embedding
+    /// matrix stays L1-resident — and degrade once tapes grow past ~256
+    /// nodes, eventually losing to per-graph forwards. Large graphs therefore
+    /// run one per tape (exactly as fast as the per-graph path), while small
+    /// graphs — real HLS kernels are typically well under 128 nodes — fuse
+    /// several per tape.
+    pub const MAX_FUSED_NODES: usize = 128;
+
+    /// Fuse each mini-batch up to the derived node budget (the default).
+    pub fn default_fused() -> Self {
+        BatchConfig { width_override: None, node_budget_override: None }
+    }
+
+    /// One tape per graph: the exact legacy per-graph code path.
+    pub fn legacy() -> Self {
+        BatchConfig::with_width(1)
+    }
+
+    /// Forces a fixed fusion width; `0` is treated as "no override" (fuse the
+    /// configured batch size).
+    pub fn with_width(width: usize) -> Self {
+        BatchConfig { width_override: NonZeroUsize::new(width), node_budget_override: None }
+    }
+
+    /// Caps every fused tape at `nodes` nodes instead of the derived budget;
+    /// `0` restores the derived budget.
+    pub fn with_node_budget(mut self, nodes: usize) -> Self {
+        self.node_budget_override = NonZeroUsize::new(nodes);
+        self
+    }
+
+    /// Reads the fusion configuration from `HLSGNN_BATCH` (width: unset,
+    /// empty or `0` = the configured batch size; `1` = the exact legacy
+    /// per-graph path) and `HLSGNN_BATCH_NODES` (per-tape node budget: unset
+    /// or `0` = derived from the hidden dimension). Unparseable values warn
+    /// on stderr and fall back to the default. Read once per process
+    /// (consistent with [`ParallelConfig::from_env`]).
+    pub fn from_env() -> Self {
+        static CACHE: std::sync::OnceLock<BatchConfig> = std::sync::OnceLock::new();
+        *CACHE.get_or_init(|| {
+            Self::from_env_values(
+                &std::env::var(Self::ENV_VAR).unwrap_or_default(),
+                &std::env::var(Self::NODE_BUDGET_ENV_VAR).unwrap_or_default(),
+            )
+        })
+    }
+
+    /// The parsing behind [`BatchConfig::from_env`], separated from the
+    /// process environment so it can be tested without races on env state.
+    fn from_env_values(raw_width: &str, raw_budget: &str) -> Self {
+        let parse = |raw: &str, what: &str, meaning: &str| -> Option<NonZeroUsize> {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                return None;
+            }
+            match raw.parse::<usize>() {
+                Ok(value) => NonZeroUsize::new(value),
+                Err(_) => {
+                    eprintln!(
+                        "warning: unrecognised {what} value `{raw}`; falling back to the \
+                         default ({meaning})"
+                    );
+                    None
+                }
+            }
+        };
+        BatchConfig {
+            width_override: parse(
+                raw_width,
+                Self::ENV_VAR,
+                "expected a fusion width, 0 or unset = batch size, 1 = legacy per-graph tapes",
+            ),
+            node_budget_override: parse(
+                raw_budget,
+                Self::NODE_BUDGET_ENV_VAR,
+                "expected a per-tape node budget, 0 or unset = derived from the hidden dimension",
+            ),
+        }
+    }
+
+    /// The fusion width to use for a configured mini-batch size (always at
+    /// least 1).
+    pub fn effective_width(&self, configured_batch_size: usize) -> usize {
+        match self.width_override {
+            Some(width) => width.get(),
+            None => configured_batch_size.max(1),
+        }
+    }
+
+    /// True when the configuration selects the exact legacy per-graph path
+    /// for the given configured batch size.
+    pub fn is_legacy(&self, configured_batch_size: usize) -> bool {
+        self.effective_width(configured_batch_size) == 1
+    }
+
+    /// Maximum node count of one fused tape for a model of the given hidden
+    /// dimension: [`BatchConfig::MAX_FUSED_NODES`], shrunk further for very
+    /// wide models so a `nodes × hidden` intermediate stays under
+    /// [`BatchConfig::DEFAULT_BUDGET_FLOATS`]. Overridable via
+    /// [`BatchConfig::with_node_budget`] / `HLSGNN_BATCH_NODES`. Always at
+    /// least 1.
+    pub fn node_budget(&self, hidden_dim: usize) -> usize {
+        match self.node_budget_override {
+            Some(nodes) => nodes.get(),
+            None => {
+                Self::MAX_FUSED_NODES.min(Self::DEFAULT_BUDGET_FLOATS / hidden_dim.max(1)).max(1)
+            }
+        }
+    }
+
+    /// Deterministically packs a run of samples (given their node counts, in
+    /// order) into fused chunks: a chunk closes once it holds
+    /// [`BatchConfig::effective_width`] graphs or fusing the next graph would
+    /// exceed the node budget. Every chunk holds at least one graph (a graph
+    /// larger than the whole budget still forms its own chunk). Returns the
+    /// chunk lengths; they sum to `sizes.len()`.
+    pub fn plan_chunks(
+        &self,
+        sizes: &[usize],
+        configured_batch_size: usize,
+        hidden_dim: usize,
+    ) -> Vec<usize> {
+        let width = self.effective_width(configured_batch_size);
+        let budget = self.node_budget(hidden_dim);
+        let mut lengths = Vec::new();
+        let mut count = 0usize;
+        let mut nodes = 0usize;
+        for &size in sizes {
+            if count > 0 && (count >= width || nodes + size > budget) {
+                lengths.push(count);
+                count = 0;
+                nodes = 0;
+            }
+            count += 1;
+            nodes += size;
+        }
+        if count > 0 {
+            lengths.push(count);
+        }
+        lengths
+    }
+}
+
 /// Runs `jobs` independent jobs and returns their results in job order.
 ///
 /// With one worker (or at most one job) this is a plain serial loop — the
@@ -295,6 +482,54 @@ mod tests {
         assert!(!ParallelConfig::with_workers(3).is_serial());
         assert_eq!(ParallelConfig::with_workers(0).workers(), 1);
         assert!(ParallelConfig::available().workers() >= 1);
+    }
+
+    #[test]
+    fn batch_env_parsing_covers_the_grammar() {
+        assert_eq!(BatchConfig::from_env_values("", ""), BatchConfig::default_fused());
+        assert_eq!(BatchConfig::from_env_values("0", " "), BatchConfig::default_fused());
+        assert_eq!(BatchConfig::from_env_values("1", ""), BatchConfig::legacy());
+        assert_eq!(BatchConfig::from_env_values(" 8 ", ""), BatchConfig::with_width(8));
+        assert_eq!(
+            BatchConfig::from_env_values("8", "512"),
+            BatchConfig::with_width(8).with_node_budget(512)
+        );
+        // Garbage warns and falls back instead of panicking or masking.
+        assert_eq!(BatchConfig::from_env_values("many", "wide"), BatchConfig::default_fused());
+        assert!(BatchConfig::legacy().is_legacy(16));
+        assert!(!BatchConfig::default_fused().is_legacy(16));
+        assert!(BatchConfig::default_fused().is_legacy(1));
+        assert_eq!(BatchConfig::with_width(0), BatchConfig::default_fused());
+        assert_eq!(BatchConfig::default_fused().effective_width(16), 16);
+        assert_eq!(BatchConfig::with_width(4).effective_width(16), 4);
+    }
+
+    #[test]
+    fn node_budget_derivation_and_overrides() {
+        let config = BatchConfig::default_fused();
+        // Narrow models cap at MAX_FUSED_NODES, very wide models shrink so
+        // one nodes × hidden intermediate stays within the float budget.
+        assert_eq!(config.node_budget(16), BatchConfig::MAX_FUSED_NODES);
+        assert_eq!(config.node_budget(32), BatchConfig::MAX_FUSED_NODES);
+        assert_eq!(config.node_budget(300), BatchConfig::DEFAULT_BUDGET_FLOATS / 300);
+        assert_eq!(config.node_budget(usize::MAX), 1);
+        assert_eq!(config.with_node_budget(64).node_budget(300), 64);
+        assert_eq!(config.with_node_budget(64).with_node_budget(0).node_budget(300), 81);
+    }
+
+    #[test]
+    fn chunk_planning_respects_width_and_budget_and_covers_all_samples() {
+        let config = BatchConfig::default_fused().with_node_budget(100);
+        // Width cap.
+        assert_eq!(config.plan_chunks(&[10; 7], 3, 16), vec![3, 3, 1]);
+        // Budget cap (40+40 fits, a third 40 would overflow).
+        assert_eq!(config.plan_chunks(&[40; 5], 16, 16), vec![2, 2, 1]);
+        // An over-budget graph still forms its own chunk.
+        assert_eq!(config.plan_chunks(&[250, 10, 10], 16, 16), vec![1, 2]);
+        // Legacy width packs one graph per chunk.
+        assert_eq!(BatchConfig::legacy().plan_chunks(&[10; 3], 16, 16), vec![1, 1, 1]);
+        // Empty input plans nothing.
+        assert!(config.plan_chunks(&[], 16, 16).is_empty());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use rand::SeedableRng;
 use crate::dataset::{Dataset, GraphSample};
 use crate::metrics::{accuracy, mape_with_floor, TargetNormalizer};
 use crate::model::{GraphRegressor, NodeClassifierModel};
+use crate::runtime::BatchConfig;
 use crate::task::{ResourceClass, TargetMetric};
 
 /// Hyper-parameters shared by all models.
@@ -98,6 +99,24 @@ impl TrainConfig {
         self.seed = seed;
         self
     }
+
+    /// Validates the hyper-parameters. A `batch_size` of zero is a
+    /// configuration error — it used to be silently rewritten to 1, which
+    /// masked typos and made the effective SGD protocol differ from the
+    /// configured one.
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::Config`] describing the invalid field.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.batch_size == 0 {
+            return Err(crate::Error::Config(
+                "TrainConfig::batch_size must be at least 1 (0 would make every \
+                 gradient step empty); configure the number of graphs per step explicitly"
+                    .to_owned(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for TrainConfig {
@@ -109,13 +128,55 @@ impl Default for TrainConfig {
 /// Per-epoch mean training loss, returned by the training loops.
 pub type LossHistory = Vec<f64>;
 
-/// Trains a graph-level regressor in place. Returns the per-epoch mean loss.
+/// Trains a graph-level regressor in place, on the fusion width configured by
+/// `HLSGNN_BATCH` ([`BatchConfig::from_env`]). Returns the per-epoch mean
+/// loss. Use [`train_regressor_with`] to pass an explicit fusion width.
+///
+/// # Panics
+/// Panics if `config.batch_size` is zero — reject such configs up front with
+/// [`TrainConfig::validate`].
 pub fn train_regressor(
     model: &GraphRegressor,
     normalizer: &TargetNormalizer,
     train: &Dataset,
     config: &TrainConfig,
 ) -> LossHistory {
+    train_regressor_with(&BatchConfig::from_env(), model, normalizer, train, config)
+}
+
+/// [`train_regressor`] with an explicit fusion width.
+///
+/// The SGD protocol — shuffling, mini-batch boundaries, loss scaling — is
+/// identical for every fusion width; the width only controls how many graphs
+/// share one autodiff tape per gradient step:
+///
+/// * width 1 ([`BatchConfig::legacy`]): one tape per graph, gradients
+///   accumulated across the mini-batch — the exact historical code path,
+///   bit-identical to pre-fusion releases.
+/// * width ≥ mini-batch size (the default): the whole mini-batch fuses into
+///   one [`gnn::GraphBatch`] super-graph; one `B × 4` forward and one batched
+///   MSE replace `B` per-graph tapes. The fused loss `mean((P − T)²)` over
+///   the `B × 4` prediction matrix equals the mean of the per-graph MSEs, so
+///   gradient *semantics* match the legacy path exactly (floating-point
+///   association and, with nonzero dropout, mask streams differ).
+/// * intermediate widths fuse sub-chunks of the mini-batch and accumulate,
+///   trading tape size against peak memory.
+///
+/// With `config.batch_size == 1` every path collapses to the same single
+/// graph per step and the results are bit-identical regardless of width.
+///
+/// # Panics
+/// Panics if `config.batch_size` is zero — reject such configs up front with
+/// [`TrainConfig::validate`].
+pub fn train_regressor_with(
+    batch_config: &BatchConfig,
+    model: &GraphRegressor,
+    normalizer: &TargetNormalizer,
+    train: &Dataset,
+    config: &TrainConfig,
+) -> LossHistory {
+    assert!(config.batch_size > 0, "TrainConfig::batch_size must be at least 1 (see validate())");
+    let width = batch_config.effective_width(config.batch_size);
     let params = model.parameters();
     let mut adam = Adam::new(params.clone(), config.learning_rate);
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9e37_79b9).wrapping_add(17));
@@ -125,15 +186,55 @@ pub fn train_regressor(
         let mut order: Vec<usize> = (0..train.len()).collect();
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
-        for batch in order.chunks(config.batch_size.max(1)) {
+        for batch in order.chunks(config.batch_size) {
             adam.zero_grad();
-            for &index in batch {
-                let sample = &train.samples[index];
-                let target = Matrix::row_vector(&normalizer.normalize(&sample.targets));
-                let prediction = model.forward(sample, None, true, &mut rng);
-                let loss = prediction.mse(&target).scale(1.0 / batch.len() as f32);
-                epoch_loss += f64::from(loss.scalar_value()) * batch.len() as f64;
-                loss.backward();
+            if width == 1 {
+                // Legacy per-graph tapes (exact historical behaviour).
+                for &index in batch {
+                    let sample = &train.samples[index];
+                    let target = Matrix::row_vector(&normalizer.normalize(&sample.targets));
+                    let prediction = model.forward(sample, None, true, &mut rng);
+                    let loss = prediction.mse(&target).scale(1.0 / batch.len() as f32);
+                    epoch_loss += f64::from(loss.scalar_value()) * batch.len() as f64;
+                    loss.backward();
+                }
+            } else {
+                let sizes: Vec<usize> =
+                    batch.iter().map(|&index| train.samples[index].num_nodes()).collect();
+                let mut start = 0;
+                for length in batch_config.plan_chunks(&sizes, config.batch_size, config.hidden_dim)
+                {
+                    let chunk = &batch[start..start + length];
+                    start += length;
+                    if length == 1 {
+                        // A graph that fills (or overflows) the node budget on
+                        // its own: run it on the plain per-graph path, which
+                        // skips the fuse/encode-batch copies entirely.
+                        let sample = &train.samples[chunk[0]];
+                        let target = Matrix::row_vector(&normalizer.normalize(&sample.targets));
+                        let prediction = model.forward(sample, None, true, &mut rng);
+                        let loss = prediction.mse(&target).scale(1.0 / batch.len() as f32);
+                        epoch_loss += f64::from(loss.scalar_value()) * batch.len() as f64;
+                        loss.backward();
+                        continue;
+                    }
+                    let samples: Vec<&GraphSample> =
+                        chunk.iter().map(|&index| &train.samples[index]).collect();
+                    let normalized: Vec<[f32; TargetMetric::COUNT]> =
+                        samples.iter().map(|s| normalizer.normalize(&s.targets)).collect();
+                    let targets =
+                        Matrix::from_fn(samples.len(), TargetMetric::COUNT, |row, col| {
+                            normalized[row][col]
+                        });
+                    let prediction = model.forward_batch(&samples, None, true, &mut rng);
+                    // Batched MSE over the chunk × targets matrix: its mean
+                    // equals the mean of the per-graph MSEs, so scaling by
+                    // |chunk| / |batch| accumulates the same gradient the
+                    // legacy loop sums one graph at a time.
+                    let chunk_loss = prediction.mse(&targets);
+                    epoch_loss += f64::from(chunk_loss.scalar_value()) * chunk.len() as f64;
+                    chunk_loss.scale(chunk.len() as f32 / batch.len() as f32).backward();
+                }
             }
             clip_grad_norm(&params, config.grad_clip);
             adam.step();
@@ -187,11 +288,16 @@ pub fn evaluate_regressor(
 
 /// Trains a node-level resource-type classifier in place. Returns the
 /// per-epoch mean loss.
+///
+/// # Panics
+/// Panics if `config.batch_size` is zero — reject such configs up front with
+/// [`TrainConfig::validate`].
 pub fn train_node_classifier(
     model: &NodeClassifierModel,
     train: &Dataset,
     config: &TrainConfig,
 ) -> LossHistory {
+    assert!(config.batch_size > 0, "TrainConfig::batch_size must be at least 1 (see validate())");
     let params = model.parameters();
     let mut adam = Adam::new(params.clone(), config.learning_rate);
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x517c_c1b7).wrapping_add(3));
@@ -201,7 +307,7 @@ pub fn train_node_classifier(
         let mut order: Vec<usize> = (0..train.len()).collect();
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
-        for batch in order.chunks(config.batch_size.max(1)) {
+        for batch in order.chunks(config.batch_size) {
             adam.zero_grad();
             for &index in batch {
                 let sample = &train.samples[index];
@@ -277,6 +383,54 @@ mod tests {
         assert_eq!(paper.epochs, 100);
         assert_eq!(TrainConfig::default(), standard);
         assert_eq!(fast.with_seed(9).seed, 9);
+    }
+
+    #[test]
+    fn zero_batch_sizes_are_rejected_not_clamped() {
+        let mut config = TrainConfig::fast();
+        assert!(config.validate().is_ok());
+        config.batch_size = 0;
+        let error = config.validate().unwrap_err();
+        assert!(matches!(&error, crate::Error::Config(message) if message.contains("batch_size")));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be at least 1")]
+    fn regressor_training_panics_on_zero_batch_size() {
+        let dataset = tiny_dataset(4);
+        let mut config = TrainConfig::fast();
+        config.batch_size = 0;
+        let normalizer = TargetNormalizer::fit(&dataset).unwrap();
+        let model = GraphRegressor::new(GnnKind::Gcn, FeatureMode::Base, &config);
+        let _ = train_regressor(&model, &normalizer, &dataset, &config);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size must be at least 1")]
+    fn classifier_training_panics_on_zero_batch_size() {
+        let dataset = tiny_dataset(4);
+        let mut config = TrainConfig::fast();
+        config.batch_size = 0;
+        let model = NodeClassifierModel::new(GnnKind::Gcn, &config);
+        let _ = train_node_classifier(&model, &dataset, &config);
+    }
+
+    #[test]
+    fn fused_training_reduces_loss_like_the_legacy_path() {
+        let dataset = tiny_dataset(12);
+        let mut config = TrainConfig::fast();
+        config.epochs = 6;
+        let normalizer = TargetNormalizer::fit(&dataset).unwrap();
+        let model = GraphRegressor::new(GnnKind::GraphSage, FeatureMode::Base, &config);
+        let batch = crate::runtime::BatchConfig::default_fused().with_node_budget(1_000_000);
+        let history = train_regressor_with(&batch, &model, &normalizer, &dataset, &config);
+        assert_eq!(history.len(), config.epochs);
+        assert!(
+            history.last().unwrap() < history.first().unwrap(),
+            "fused training must reduce the loss: {history:?}"
+        );
+        let mape = evaluate_regressor(&model, &normalizer, &dataset);
+        assert!(mape.iter().all(|m| m.is_finite()));
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Fused mini-batch super-graphs.
+//!
+//! Training and batched inference fuse `B` graphs into one block-diagonal
+//! [`GraphBatch`]: node ids are offset, edge/relation lists concatenated, and
+//! every node carries the id of its member graph (its *segment*). One
+//! forward/backward tape then covers the whole mini-batch; segment-aware
+//! pooling ([`crate::Pooling::apply_segmented`]) reads out a `B × d`
+//! graph-embedding matrix.
+//!
+//! Because member graphs keep their node order and their edges stay
+//! contiguous and in order, every purely local message-passing operation
+//! (gather / scatter / per-destination aggregation) computes bit-identical
+//! per-node values on the fused graph and on the member graphs in isolation.
+//! Layers with whole-graph operations consult [`GraphData::segments`] to stay
+//! per-member-graph.
+
+use crate::graph::GraphData;
+
+/// The disjoint union of `B` graphs, ready for one fused forward pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphBatch {
+    graph: GraphData,
+    node_offsets: Vec<usize>,
+}
+
+impl GraphBatch {
+    /// Fuses `parts` into one block-diagonal super-graph. Part `g`'s node `v`
+    /// becomes fused node `node_offsets[g] + v`; relation ids are shared, so
+    /// every part must agree on `num_relations`.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty, if the parts disagree on `num_relations`,
+    /// or if a part is itself already fused.
+    pub fn fuse(parts: &[&GraphData]) -> GraphBatch {
+        assert!(!parts.is_empty(), "cannot fuse an empty batch of graphs");
+        let num_relations = parts[0].num_relations;
+        let total_nodes: usize = parts.iter().map(|g| g.num_nodes).sum();
+        let total_edges: usize = parts.iter().map(|g| g.edge_count()).sum();
+        let mut edge_src = Vec::with_capacity(total_edges);
+        let mut edge_dst = Vec::with_capacity(total_edges);
+        let mut edge_relation = Vec::with_capacity(total_edges);
+        let mut node_segment = Vec::with_capacity(total_nodes);
+        let mut node_offsets = Vec::with_capacity(parts.len() + 1);
+        let mut offset = 0;
+        for (segment, part) in parts.iter().enumerate() {
+            assert_eq!(
+                part.num_relations, num_relations,
+                "cannot fuse graphs with different relation vocabularies"
+            );
+            assert!(part.segments().is_none(), "cannot fuse an already-fused super-graph");
+            node_offsets.push(offset);
+            node_segment.extend(std::iter::repeat_n(segment, part.num_nodes));
+            edge_src.extend(part.edge_src.iter().map(|&src| src + offset));
+            edge_dst.extend(part.edge_dst.iter().map(|&dst| dst + offset));
+            edge_relation.extend_from_slice(&part.edge_relation);
+            offset += part.num_nodes;
+        }
+        node_offsets.push(offset);
+        let graph = GraphData {
+            num_nodes: total_nodes,
+            edge_src,
+            edge_dst,
+            edge_relation,
+            num_relations,
+            node_segment,
+            num_graphs: parts.len(),
+        };
+        GraphBatch { graph, node_offsets }
+    }
+
+    /// The fused super-graph (its [`GraphData::segments`] are set).
+    pub fn graph(&self) -> &GraphData {
+        &self.graph
+    }
+
+    /// Number of member graphs.
+    pub fn num_graphs(&self) -> usize {
+        self.graph.num_graphs
+    }
+
+    /// Total node count across all member graphs.
+    pub fn total_nodes(&self) -> usize {
+        self.graph.num_nodes
+    }
+
+    /// Per-node member-graph ids (length [`GraphBatch::total_nodes`]).
+    pub fn segments(&self) -> &[usize] {
+        &self.graph.node_segment
+    }
+
+    /// Node-offset prefix table of length `B + 1`: member graph `g` owns the
+    /// fused node range `node_offsets[g]..node_offsets[g + 1]`.
+    pub fn node_offsets(&self) -> &[usize] {
+        &self.node_offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> GraphData {
+        GraphData::new(3, vec![0, 1, 2], vec![1, 2, 0], vec![0, 1, 0], 2)
+    }
+
+    fn pair() -> GraphData {
+        GraphData::new(2, vec![0], vec![1], vec![1], 2)
+    }
+
+    #[test]
+    fn fuse_offsets_nodes_and_concatenates_edges() {
+        let a = triangle();
+        let b = pair();
+        let batch = GraphBatch::fuse(&[&a, &b]);
+        assert_eq!(batch.num_graphs(), 2);
+        assert_eq!(batch.total_nodes(), 5);
+        assert_eq!(batch.node_offsets(), &[0, 3, 5]);
+        assert_eq!(batch.segments(), &[0, 0, 0, 1, 1]);
+        let fused = batch.graph();
+        assert_eq!(fused.edge_src, vec![0, 1, 2, 3]);
+        assert_eq!(fused.edge_dst, vec![1, 2, 0, 4]);
+        assert_eq!(fused.edge_relation, vec![0, 1, 0, 1]);
+        assert_eq!(fused.num_relations, 2);
+        assert_eq!(fused.num_graphs(), 2);
+        assert_eq!(fused.segments(), Some(&[0usize, 0, 0, 1, 1][..]));
+        // Degrees are block-diagonal: no cross-graph edges exist.
+        assert_eq!(fused.in_degrees(), vec![1, 1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn fusing_one_graph_preserves_connectivity() {
+        let a = triangle();
+        let batch = GraphBatch::fuse(&[&a]);
+        assert_eq!(batch.num_graphs(), 1);
+        assert_eq!(batch.graph().edge_src, a.edge_src);
+        assert_eq!(batch.graph().segments(), Some(&[0usize, 0, 0][..]));
+    }
+
+    #[test]
+    fn fused_subgraphs_carry_their_segments() {
+        let batch = GraphBatch::fuse(&[&triangle(), &pair()]);
+        let sub = batch.graph().induced_subgraph(&[0, 2, 3]);
+        assert_eq!(sub.segments(), Some(&[0usize, 0, 1][..]));
+        assert_eq!(sub.num_graphs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batches_are_rejected() {
+        let _ = GraphBatch::fuse(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different relation vocabularies")]
+    fn mismatched_relation_vocabularies_are_rejected() {
+        let other = GraphData::new(1, vec![], vec![], vec![], 5);
+        let _ = GraphBatch::fuse(&[&triangle(), &other]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-fused")]
+    fn refusing_nested_fusion() {
+        let a = triangle();
+        let batch = GraphBatch::fuse(&[&a]);
+        let _ = GraphBatch::fuse(&[batch.graph()]);
+    }
+}

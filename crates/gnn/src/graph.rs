@@ -5,6 +5,12 @@
 //! reused by the three prediction approaches with different feature sets.
 
 /// Connectivity of one graph: a directed multigraph with typed edges.
+///
+/// A `GraphData` may also be a *fused super-graph* built by
+/// [`crate::batch::GraphBatch::fuse`]: the disjoint union of several member
+/// graphs, with per-node segment ids recording which member each node came
+/// from. Single graphs carry no segment information ([`GraphData::segments`]
+/// returns `None`) and behave exactly as before.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GraphData {
     /// Number of nodes.
@@ -17,6 +23,11 @@ pub struct GraphData {
     pub edge_relation: Vec<usize>,
     /// Number of distinct relations.
     pub num_relations: usize,
+    /// Per-node member-graph id for fused super-graphs; empty for a single
+    /// graph. Segment ids are non-decreasing (member graphs are contiguous).
+    pub(crate) node_segment: Vec<usize>,
+    /// Number of member graphs (1 for a single graph).
+    pub(crate) num_graphs: usize,
 }
 
 impl GraphData {
@@ -24,8 +35,9 @@ impl GraphData {
     /// all indices are in range.
     ///
     /// # Panics
-    /// Panics if the edge lists have different lengths or contain
-    /// out-of-range node/relation indices.
+    /// Panics if `num_nodes` is zero (an empty graph has no readout and would
+    /// poison downstream pooling), if the edge lists have different lengths,
+    /// or if they contain out-of-range node/relation indices.
     pub fn new(
         num_nodes: usize,
         edge_src: Vec<usize>,
@@ -33,6 +45,7 @@ impl GraphData {
         edge_relation: Vec<usize>,
         num_relations: usize,
     ) -> Self {
+        assert!(num_nodes > 0, "a graph needs at least one node");
         assert_eq!(edge_src.len(), edge_dst.len(), "edge list length mismatch");
         assert_eq!(edge_src.len(), edge_relation.len(), "edge relation length mismatch");
         assert!(edge_src.iter().all(|&n| n < num_nodes), "edge source out of range");
@@ -47,6 +60,26 @@ impl GraphData {
             edge_dst,
             edge_relation,
             num_relations: num_relations.max(1),
+            node_segment: Vec::new(),
+            num_graphs: 1,
+        }
+    }
+
+    /// Number of member graphs fused into this structure (1 for a single
+    /// graph).
+    pub fn num_graphs(&self) -> usize {
+        self.num_graphs
+    }
+
+    /// Per-node member-graph ids of a fused super-graph, or `None` for a
+    /// single graph. Layers with whole-graph operations (virtual-node
+    /// context, U-Net pooling, PNA degree scalers) use this to stay
+    /// per-member-graph under fusion.
+    pub fn segments(&self) -> Option<&[usize]> {
+        if self.node_segment.is_empty() {
+            None
+        } else {
+            Some(&self.node_segment)
         }
     }
 
@@ -107,6 +140,8 @@ impl GraphData {
             edge_dst,
             edge_relation,
             num_relations: self.num_relations * 2,
+            node_segment: self.node_segment.clone(),
+            num_graphs: self.num_graphs,
         }
     }
 
@@ -135,6 +170,12 @@ impl GraphData {
             edge_dst,
             edge_relation,
             num_relations: self.num_relations,
+            node_segment: if self.node_segment.is_empty() {
+                Vec::new()
+            } else {
+                keep.iter().map(|&old| self.node_segment[old]).collect()
+            },
+            num_graphs: self.num_graphs,
         }
     }
 }
@@ -188,5 +229,23 @@ mod tests {
         let g = GraphData::new(2, vec![], vec![], vec![], 0);
         assert_eq!(g.num_relations, 1);
         assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_graphs_are_rejected_at_construction() {
+        // Regression test: a 0-node graph used to flow through to pooling,
+        // where a mean readout over an empty embedding matrix poisoned the
+        // tape with NaN.
+        let _ = GraphData::new(0, vec![], vec![], vec![], 1);
+    }
+
+    #[test]
+    fn single_graphs_carry_no_segments() {
+        let g = triangle();
+        assert_eq!(g.num_graphs(), 1);
+        assert!(g.segments().is_none());
+        assert!(g.with_reverse_edges().segments().is_none());
+        assert!(g.induced_subgraph(&[0, 1]).segments().is_none());
     }
 }

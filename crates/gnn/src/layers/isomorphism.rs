@@ -70,9 +70,33 @@ impl Pna {
     fn degree_scalers(graph: &GraphData) -> (Vec<f32>, Vec<f32>) {
         let degrees = graph.in_degrees();
         let logs: Vec<f32> = degrees.iter().map(|&d| ((d + 1) as f32).ln()).collect();
-        let mean_log = (logs.iter().sum::<f32>() / logs.len().max(1) as f32).max(1e-3);
-        let amplification: Vec<f32> = logs.iter().map(|&l| l / mean_log).collect();
-        let attenuation: Vec<f32> = logs.iter().map(|&l| mean_log / l.max(1e-3)).collect();
+        // The normalising mean log-degree is a whole-graph statistic: on a
+        // fused super-graph each member graph keeps its own mean, exactly as
+        // it would in isolation.
+        let mean_log_of = |segment: &[f32]| -> f32 {
+            (segment.iter().sum::<f32>() / segment.len().max(1) as f32).max(1e-3)
+        };
+        let node_mean_log: Vec<f32> = match graph.segments() {
+            None => vec![mean_log_of(&logs); graph.num_nodes],
+            Some(segments) => {
+                let mut sums = vec![0.0f32; graph.num_graphs()];
+                let mut counts = vec![0usize; graph.num_graphs()];
+                for (node, &segment) in segments.iter().enumerate() {
+                    sums[segment] += logs[node];
+                    counts[segment] += 1;
+                }
+                let means: Vec<f32> = sums
+                    .iter()
+                    .zip(&counts)
+                    .map(|(&sum, &count)| (sum / count.max(1) as f32).max(1e-3))
+                    .collect();
+                segments.iter().map(|&segment| means[segment]).collect()
+            }
+        };
+        let amplification: Vec<f32> =
+            logs.iter().zip(&node_mean_log).map(|(&l, &m)| l / m).collect();
+        let attenuation: Vec<f32> =
+            logs.iter().zip(&node_mean_log).map(|(&l, &m)| m / l.max(1e-3)).collect();
         (amplification, attenuation)
     }
 }

@@ -12,6 +12,31 @@ use rand::rngs::StdRng;
 use super::GnnLayer;
 use crate::graph::GraphData;
 
+/// Maps a relation's destination list onto a compact index space: the
+/// distinct destinations in first-appearance order, plus the list rewritten
+/// to those compact ids.
+///
+/// On a fused super-graph most relations touch only a small fraction of the
+/// node set, but `scatter_add_rows(dst, num_nodes)` + full-width scale/add
+/// cost `O(num_nodes × d)` *per relation* regardless. Aggregating into the
+/// compact space first and applying one [`Var::scatter_add_onto`] over all
+/// relations keeps each layer at `O(edges × d + num_nodes × d)` total — and
+/// preserves the exact per-node, per-relation accumulation order of the
+/// full-width loop, so fused results stay bit-identical to per-graph runs.
+fn compact_targets(num_nodes: usize, dst: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let mut compact_of = vec![usize::MAX; num_nodes];
+    let mut active = Vec::new();
+    let mut compact_dst = Vec::with_capacity(dst.len());
+    for &node in dst {
+        if compact_of[node] == usize::MAX {
+            compact_of[node] = active.len();
+            active.push(node);
+        }
+        compact_dst.push(compact_of[node]);
+    }
+    (active, compact_dst)
+}
+
 /// Graph attention network layer (Veličković et al.) with a single head and
 /// implicit self loops.
 #[derive(Debug)]
@@ -102,6 +127,35 @@ impl Ggnn {
     }
 
     fn relation_messages(&self, graph: &GraphData, h: &Var) -> Var {
+        if graph.segments().is_some() {
+            // Fused super-graph: aggregate each relation in its compact
+            // destination space, then apply every relation's per-node sum in
+            // one scatter onto a zero base — the same per-relation partial
+            // sums and relation-order accumulation as the loop below (see
+            // `compact_targets`).
+            let mut partials: Vec<Var> = Vec::new();
+            let mut targets: Vec<usize> = Vec::new();
+            for (relation, linear) in self.relation_linears.iter().enumerate() {
+                let edges = graph.edges_of_relation(relation);
+                if edges.is_empty() {
+                    continue;
+                }
+                let src: Vec<usize> = edges.iter().map(|&e| graph.edge_src[e]).collect();
+                let dst: Vec<usize> = edges.iter().map(|&e| graph.edge_dst[e]).collect();
+                let (active, compact_dst) = compact_targets(graph.num_nodes, &dst);
+                partials.push(
+                    linear
+                        .forward(&h.gather_rows(&src))
+                        .scatter_add_rows(&compact_dst, active.len()),
+                );
+                targets.extend(active);
+            }
+            if !partials.is_empty() {
+                let base = Var::new(gnn_tensor::Matrix::zeros(graph.num_nodes, self.out_dim));
+                return base.scatter_add_onto(&Var::concat_rows(&partials), &targets);
+            }
+            return self.state_projection.forward(h).scale(0.0);
+        }
         let mut total: Option<Var> = None;
         for (relation, linear) in self.relation_linears.iter().enumerate() {
             let edges = graph.edges_of_relation(relation);
@@ -188,7 +242,40 @@ impl Rgcn {
 
 impl GnnLayer for Rgcn {
     fn forward(&self, graph: &GraphData, h: &Var) -> Var {
-        let mut out = self.self_linear.forward(h);
+        let out = self.self_linear.forward(h);
+        if graph.segments().is_some() {
+            // Fused super-graph: aggregate each relation in its compact
+            // destination space, then apply every relation's contribution in
+            // one scatter — same values and accumulation order as the
+            // full-width loop below, without its O(relations × nodes × d)
+            // cost.
+            let mut partials: Vec<Var> = Vec::new();
+            let mut targets: Vec<usize> = Vec::new();
+            for (relation, linear) in self.relation_linears.iter().enumerate() {
+                let edges = graph.edges_of_relation(relation);
+                if edges.is_empty() {
+                    continue;
+                }
+                let src: Vec<usize> = edges.iter().map(|&e| graph.edge_src[e]).collect();
+                let dst: Vec<usize> = edges.iter().map(|&e| graph.edge_dst[e]).collect();
+                let (active, compact_dst) = compact_targets(graph.num_nodes, &dst);
+                let degrees = graph.in_degrees_for_relation(relation);
+                let inverse: Vec<f32> =
+                    active.iter().map(|&node| 1.0 / degrees[node] as f32).collect();
+                partials.push(
+                    linear
+                        .forward(&h.gather_rows(&src))
+                        .scatter_add_rows(&compact_dst, active.len())
+                        .scale_rows(&inverse),
+                );
+                targets.extend(active);
+            }
+            return match partials.is_empty() {
+                true => out,
+                false => out.scatter_add_onto(&Var::concat_rows(&partials), &targets),
+            };
+        }
+        let mut out = out;
         for (relation, linear) in self.relation_linears.iter().enumerate() {
             let edges = graph.edges_of_relation(relation);
             if edges.is_empty() {
@@ -247,7 +334,38 @@ impl Film {
 
 impl GnnLayer for Film {
     fn forward(&self, graph: &GraphData, h: &Var) -> Var {
-        let mut out = self.self_linear.forward(h);
+        let out = self.self_linear.forward(h);
+        if graph.segments().is_some() {
+            // Fused super-graph: compact per-relation aggregation, one final
+            // scatter (see `compact_targets`).
+            let mut partials: Vec<Var> = Vec::new();
+            let mut targets: Vec<usize> = Vec::new();
+            for relation in 0..self.relation_weights.len() {
+                let edges = graph.edges_of_relation(relation);
+                if edges.is_empty() {
+                    continue;
+                }
+                let src: Vec<usize> = edges.iter().map(|&e| graph.edge_src[e]).collect();
+                let dst: Vec<usize> = edges.iter().map(|&e| graph.edge_dst[e]).collect();
+                let sources = self.relation_weights[relation].forward(&h.gather_rows(&src));
+                let gamma = self.relation_gamma[relation].forward(&h.gather_rows(&dst)).sigmoid();
+                let beta = self.relation_beta[relation].forward(&h.gather_rows(&dst));
+                let (active, compact_dst) = compact_targets(graph.num_nodes, &dst);
+                let degrees = graph.in_degrees_for_relation(relation);
+                let inverse: Vec<f32> =
+                    active.iter().map(|&node| 1.0 / degrees[node] as f32).collect();
+                let modulated = gamma.mul(&sources).add(&beta);
+                partials.push(
+                    modulated.scatter_add_rows(&compact_dst, active.len()).scale_rows(&inverse),
+                );
+                targets.extend(active);
+            }
+            return match partials.is_empty() {
+                true => out,
+                false => out.scatter_add_onto(&Var::concat_rows(&partials), &targets),
+            };
+        }
+        let mut out = out;
         for relation in 0..self.relation_weights.len() {
             let edges = graph.edges_of_relation(relation);
             if edges.is_empty() {

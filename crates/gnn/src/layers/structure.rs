@@ -25,8 +25,21 @@ impl VirtualNode<dyn GnnLayer> {
 
 impl GnnLayer for VirtualNode<dyn GnnLayer> {
     fn forward(&self, graph: &GraphData, h: &Var) -> Var {
-        let virtual_state = self.context.forward(&h.mean_axis0()).relu();
-        let enriched = h.add_row_broadcast(&virtual_state);
+        let enriched = match graph.segments() {
+            // Fused super-graph: one virtual node per member graph. The
+            // per-segment mean reproduces each member's `mean_axis0` exactly,
+            // and the gather broadcasts each member's context to its own
+            // nodes only.
+            Some(segments) => {
+                let contexts =
+                    self.context.forward(&h.segment_mean(segments, graph.num_graphs())).relu();
+                h.add(&contexts.gather_rows(segments))
+            }
+            None => {
+                let virtual_state = self.context.forward(&h.mean_axis0()).relu();
+                h.add_row_broadcast(&virtual_state)
+            }
+        };
         self.inner.forward(graph, &enriched)
     }
 
@@ -77,16 +90,41 @@ impl GraphUNet {
         keep.sort_unstable();
         keep
     }
+
+    /// The kept-node set: the top `KEEP_RATIO` of each member graph by score.
+    /// On a fused super-graph every member pools independently, exactly as it
+    /// would in isolation; kept indices come back in ascending fused order.
+    fn pooled_nodes(graph: &GraphData, score_values: &[f32]) -> Vec<usize> {
+        let keep_of = |start: usize, len: usize| -> Vec<usize> {
+            let k = ((len as f64 * Self::KEEP_RATIO).ceil() as usize).clamp(1, len.max(1));
+            Self::top_k(&score_values[start..start + len], k)
+                .into_iter()
+                .map(|local| local + start)
+                .collect()
+        };
+        match graph.segments() {
+            None => keep_of(0, graph.num_nodes),
+            Some(segments) => {
+                let mut keep = Vec::new();
+                let mut start = 0;
+                for node in 1..=segments.len() {
+                    if node == segments.len() || segments[node] != segments[start] {
+                        keep.extend(keep_of(start, node - start));
+                        start = node;
+                    }
+                }
+                keep
+            }
+        }
+    }
 }
 
 impl GnnLayer for GraphUNet {
     fn forward(&self, graph: &GraphData, h: &Var) -> Var {
         let scores = self.score_projection.forward(h).sigmoid();
-        let k = ((graph.num_nodes as f64 * Self::KEEP_RATIO).ceil() as usize)
-            .clamp(1, graph.num_nodes.max(1));
         let score_values: Vec<f32> =
-            (0..graph.num_nodes).map(|n| scores.value().get(n, 0)).collect();
-        let keep = Self::top_k(&score_values, k);
+            scores.with_value(|value| (0..graph.num_nodes).map(|n| value.get(n, 0)).collect());
+        let keep = Self::pooled_nodes(graph, &score_values);
 
         // Gated pooling: gradients flow into the projection through the gate.
         let pooled = h.gather_rows(&keep).mul_col_broadcast(&scores.gather_rows(&keep));

@@ -8,6 +8,12 @@
 //! [`gnn_tensor`] autodiff engine; feature encoding and the task-specific
 //! heads live in the `hls-gnn-core` crate.
 //!
+//! For mini-batch training and batched inference, [`GraphBatch`] fuses
+//! several graphs into one block-diagonal super-graph whose nodes carry
+//! member-graph segment ids; every layer then computes, per node, exactly
+//! what it would compute on the member graph in isolation, and
+//! [`Pooling::apply_segmented`] reads out one graph embedding per member.
+//!
 //! # Example
 //!
 //! ```
@@ -26,11 +32,13 @@
 //! assert_eq!(graph_embedding.shape(), (1, 16));
 //! ```
 
+pub mod batch;
 pub mod graph;
 pub mod layers;
 pub mod pooling;
 pub mod stack;
 
+pub use batch::GraphBatch;
 pub use graph::GraphData;
 pub use layers::{build_layer, canonical_token, GnnKind, GnnLayer};
 pub use pooling::Pooling;

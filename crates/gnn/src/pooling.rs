@@ -38,6 +38,27 @@ impl Pooling {
             Pooling::Mean => node_embeddings.mean_axis0(),
         }
     }
+
+    /// Segment-aware readout for fused mini-batches: nodes are grouped by
+    /// `segments` (one member-graph id per embedding row) and reduced per
+    /// group, yielding a `num_graphs × d` graph-embedding matrix. With a
+    /// single segment covering every row this is bit-identical to
+    /// [`Pooling::apply`].
+    ///
+    /// # Panics
+    /// Panics if `segments.len()` differs from the embedding row count or a
+    /// segment id is `>= num_graphs`.
+    pub fn apply_segmented(
+        self,
+        node_embeddings: &Var,
+        segments: &[usize],
+        num_graphs: usize,
+    ) -> Var {
+        match self {
+            Pooling::Sum => node_embeddings.segment_sum(segments, num_graphs),
+            Pooling::Mean => node_embeddings.segment_mean(segments, num_graphs),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -71,6 +92,31 @@ mod tests {
         Pooling::Mean.apply(&h).sum().backward();
         let grad = h.grad().unwrap();
         assert!((grad.get(0, 0) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segmented_readout_matches_per_segment_application() {
+        // Two member graphs: rows 0-1 and rows 2-4.
+        let h = Var::new(Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32 * 0.25));
+        let segments = [0usize, 0, 1, 1, 1];
+        for pooling in Pooling::ALL {
+            let batched = pooling.apply_segmented(&h, &segments, 2).value();
+            assert_eq!(batched.shape(), (2, 3));
+            let first = pooling.apply(&Var::new(Matrix::from_fn(2, 3, |r, c| h.value().get(r, c))));
+            let second =
+                pooling.apply(&Var::new(Matrix::from_fn(3, 3, |r, c| h.value().get(r + 2, c))));
+            assert_eq!(batched.row(0), first.value().row(0), "{}", pooling.name());
+            assert_eq!(batched.row(1), second.value().row(0), "{}", pooling.name());
+        }
+    }
+
+    #[test]
+    fn segmented_readout_is_differentiable() {
+        let h = Var::parameter(Matrix::full(4, 2, 3.0));
+        Pooling::Mean.apply_segmented(&h, &[0, 0, 0, 1], 2).sum().backward();
+        let grad = h.grad().unwrap();
+        assert!((grad.get(0, 0) - 1.0 / 3.0).abs() < 1e-6);
+        assert!((grad.get(3, 0) - 1.0).abs() < 1e-6);
     }
 
     #[test]

@@ -249,6 +249,23 @@ impl Matrix {
         out
     }
 
+    /// Vertically concatenates matrices with the same number of columns.
+    ///
+    /// # Panics
+    /// Panics if the matrices disagree on the column count or the list is
+    /// empty.
+    pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_rows needs at least one matrix");
+        let cols = parts[0].cols;
+        assert!(parts.iter().all(|m| m.cols == cols), "concat_rows column mismatch");
+        let total_rows: usize = parts.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(total_rows * cols);
+        for part in parts {
+            data.extend_from_slice(&part.data);
+        }
+        Matrix { rows: total_rows, cols, data }
+    }
+
     /// Selects rows by index (rows may repeat).
     ///
     /// # Panics

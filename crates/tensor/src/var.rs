@@ -47,6 +47,23 @@ struct VarInner {
 #[derive(Clone)]
 pub struct Var(Rc<VarInner>);
 
+impl Drop for VarInner {
+    /// Iterative teardown. The default recursive drop of the `parents` chain
+    /// overflows the thread stack on long tapes (a deep op chain, or a fused
+    /// mini-batch tape freed at the end of a training step), so uniquely-owned
+    /// ancestors are unlinked onto an explicit worklist instead.
+    fn drop(&mut self) {
+        let mut worklist: Vec<Var> = std::mem::take(&mut self.parents);
+        while let Some(mut parent) = worklist.pop() {
+            if let Some(inner) = Rc::get_mut(&mut parent.0) {
+                worklist.append(&mut inner.parents);
+            }
+            // `parent` drops here; its parent list is already empty when we
+            // were its last owner, so the implicit drop never recurses.
+        }
+    }
+}
+
 impl std::fmt::Debug for Var {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let value = self.0.value.borrow();
@@ -192,9 +209,11 @@ impl Var {
         let order = self.topological_order();
         for node in order.iter().rev() {
             let Some(backward) = &node.0.backward else { continue };
-            let grad = node.0.grad.borrow().clone();
-            if let Some(grad) = grad {
-                backward(&grad, &node.0.parents);
+            // A borrow suffices: the closure only mutates the *parents'*
+            // gradient slots, never this node's own.
+            let grad = node.0.grad.borrow();
+            if let Some(grad) = grad.as_ref() {
+                backward(grad, &node.0.parents);
             }
         }
     }
@@ -557,10 +576,13 @@ impl Var {
     /// Panics if `parts` is empty or row counts differ.
     pub fn concat_cols(parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "concat_cols needs at least one part");
-        let values: Vec<Matrix> = parts.iter().map(Var::value).collect();
-        let refs: Vec<&Matrix> = values.iter().collect();
+        // Borrow the part values instead of cloning them — the concatenation
+        // itself is the only copy.
+        let values: Vec<std::cell::Ref<'_, Matrix>> =
+            parts.iter().map(|part| part.0.value.borrow()).collect();
+        let refs: Vec<&Matrix> = values.iter().map(|value| &**value).collect();
         let value = Matrix::concat_cols(&refs);
-        let widths: Vec<usize> = values.iter().map(Matrix::cols).collect();
+        let widths: Vec<usize> = refs.iter().map(|part| part.cols()).collect();
         Var::make(
             value,
             parts.to_vec(),
@@ -570,6 +592,35 @@ impl Var {
                     let slice = Matrix::from_fn(grad.rows(), width, |r, c| grad.get(r, offset + c));
                     parent.accumulate_grad(&slice);
                     offset += width;
+                }
+            })),
+            false,
+        )
+    }
+
+    /// Vertical concatenation of several nodes with equal column counts.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or column counts differ.
+    pub fn concat_rows(parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_rows needs at least one part");
+        // Borrow the part values instead of cloning them — the concatenation
+        // itself is the only copy.
+        let values: Vec<std::cell::Ref<'_, Matrix>> =
+            parts.iter().map(|part| part.0.value.borrow()).collect();
+        let refs: Vec<&Matrix> = values.iter().map(|value| &**value).collect();
+        let value = Matrix::concat_rows(&refs);
+        let heights: Vec<usize> = refs.iter().map(|part| part.rows()).collect();
+        Var::make(
+            value,
+            parts.to_vec(),
+            Some(Box::new(move |grad, parents| {
+                let mut offset = 0;
+                for (parent, &height) in parents.iter().zip(&heights) {
+                    let slice =
+                        Matrix::from_fn(height, grad.cols(), |r, c| grad.get(offset + r, c));
+                    parent.accumulate_grad(&slice);
+                    offset += height;
                 }
             })),
             false,
@@ -609,6 +660,86 @@ impl Var {
             })),
             false,
         )
+    }
+
+    /// Returns a copy of `self` (`n × d`) with row `indices[i]` incremented
+    /// by row `i` of `rows`, rows applied in order. Equivalent to
+    /// `self.add(&rows.scatter_add_rows(indices, n))` but without
+    /// materialising the sparse intermediate, and with the same per-element
+    /// left-to-right accumulation order as repeatedly adding per-group
+    /// scatters onto `self` (groups in row order) — which makes it the exact
+    /// fused form of the relational layers' per-relation accumulation loop.
+    ///
+    /// # Panics
+    /// Panics if column counts differ, `indices.len() != rows.rows()`, or an
+    /// index is out of bounds.
+    pub fn scatter_add_onto(&self, rows: &Var, indices: &[usize]) -> Var {
+        let mut value = self.value();
+        let add = rows.value();
+        assert_eq!(self.cols(), add.cols(), "scatter_add_onto column mismatch");
+        assert_eq!(indices.len(), add.rows(), "one target index per added row is required");
+        let base_rows = value.rows();
+        for (row, &target) in indices.iter().enumerate() {
+            assert!(target < base_rows, "scatter index {target} out of bounds ({base_rows} rows)");
+            for (slot, delta) in value.row_mut(target).iter_mut().zip(add.row(row)) {
+                *slot += delta;
+            }
+        }
+        let indices = indices.to_vec();
+        Var::make(
+            value,
+            vec![self.clone(), rows.clone()],
+            Some(Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(grad);
+                parents[1].accumulate_grad(&grad.gather_rows(&indices));
+            })),
+            false,
+        )
+    }
+
+    /// Per-segment, per-column sum: row `i` of `self` is added into row
+    /// `segments[i]` of a `num_segments × d` output. Rows are accumulated in
+    /// row order, so a single segment covering every row reproduces
+    /// [`Var::sum_axis0`] bit-for-bit. Empty segments yield zero rows.
+    ///
+    /// # Panics
+    /// Panics if `segments.len()` differs from the row count or a segment id
+    /// is out of range.
+    pub fn segment_sum(&self, segments: &[usize], num_segments: usize) -> Var {
+        let input = self.value();
+        assert_eq!(segments.len(), input.rows(), "one segment id per row is required");
+        assert!(
+            segments.iter().all(|&s| s < num_segments),
+            "segment id out of range (num_segments = {num_segments})"
+        );
+        let segments = segments.to_vec();
+        let value = input.scatter_add_rows(&segments, num_segments);
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.gather_rows(&segments));
+            })),
+            false,
+        )
+    }
+
+    /// Per-segment, per-column mean (see [`Var::segment_sum`]). A single
+    /// segment covering every row reproduces [`Var::mean_axis0`] bit-for-bit;
+    /// empty segments yield zero rows (not NaN).
+    ///
+    /// # Panics
+    /// Panics if `segments.len()` differs from the row count or a segment id
+    /// is out of range.
+    pub fn segment_mean(&self, segments: &[usize], num_segments: usize) -> Var {
+        let mut counts = vec![0usize; num_segments];
+        for &segment in segments {
+            assert!(segment < num_segments, "segment id out of range");
+            counts[segment] += 1;
+        }
+        let inverse: Vec<f32> =
+            counts.iter().map(|&c| if c == 0 { 0.0 } else { 1.0 / c as f32 }).collect();
+        self.segment_sum(segments, num_segments).scale_rows(&inverse)
     }
 
     /// Per-segment, per-column maximum. Rows of `self` are grouped by
@@ -838,6 +969,61 @@ mod tests {
                 .sum()
         };
         check_gradients(&build, input, 1e-2);
+    }
+
+    #[test]
+    fn gradcheck_segment_sum_and_mean() {
+        let input =
+            Matrix::from_vec(5, 2, vec![1.0, -2.0, 3.0, 0.5, -1.0, 2.5, 0.25, 0.75, 2.0, -0.5]);
+        let segments = [0usize, 2, 0, 1, 2];
+        let build_sum = move |x: &Var| {
+            x.segment_sum(&segments, 3)
+                .mul(&Var::new(Matrix::from_fn(3, 2, |r, c| (r + c) as f32 + 0.5)))
+                .sum()
+        };
+        check_gradients(&build_sum, input.clone(), 1e-2);
+        let build_mean = move |x: &Var| {
+            x.segment_mean(&segments, 3)
+                .mul(&Var::new(Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 - 1.5)))
+                .sum()
+        };
+        check_gradients(&build_mean, input, 1e-2);
+    }
+
+    #[test]
+    fn single_segment_reductions_match_axis0_reductions_exactly() {
+        let input = Matrix::from_fn(7, 3, |r, c| ((r * 3 + c) as f32).sin());
+        let x = Var::new(input);
+        let segments = vec![0usize; 7];
+        assert_eq!(x.segment_sum(&segments, 1).value(), x.sum_axis0().value());
+        assert_eq!(x.segment_mean(&segments, 1).value(), x.mean_axis0().value());
+    }
+
+    #[test]
+    fn empty_segments_produce_zero_rows_not_nan() {
+        let x = Var::new(Matrix::full(2, 2, 3.0));
+        let mean = x.segment_mean(&[2, 2], 3).value();
+        assert_eq!(mean.row(0), &[0.0, 0.0]);
+        assert_eq!(mean.row(1), &[0.0, 0.0]);
+        assert_eq!(mean.row(2), &[3.0, 3.0]);
+        assert!(!mean.has_non_finite());
+    }
+
+    #[test]
+    fn deep_tapes_backward_and_drop_without_overflowing_the_stack() {
+        // Regression test for the explicit-stack traversal and the iterative
+        // tape teardown: a recursive DFS or recursive `Drop` would blow the
+        // 2 MiB default test-thread stack long before 200k nodes.
+        let leaf = Var::parameter(Matrix::from_vec(1, 1, vec![0.5]));
+        let mut node = leaf.clone();
+        for _ in 0..200_000 {
+            node = node.add_scalar(0.0);
+        }
+        let loss = node.sum();
+        loss.backward();
+        assert_eq!(leaf.grad().unwrap().get(0, 0), 1.0);
+        drop(loss);
+        drop(node);
     }
 
     #[test]

@@ -76,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Extract every candidate's IR graph, then score the whole design space
     // with one batched call — the serving-shaped DSE loop. A big sweep shards
-    // across HLSGNN_WORKERS threads with bit-identical results.
+    // across HLSGNN_WORKERS threads, and within each shard the fused
+    // mini-batching engine (HLSGNN_BATCH) unions several candidate graphs
+    // per forward tape; predictions are bit-identical at every worker count
+    // and fusion width.
     let candidates: Vec<GraphSample> = variants
         .iter()
         .map(|(_, function)| GraphSample::from_function(function, GraphKind::Cdfg, &device))

@@ -42,7 +42,7 @@ pub use hls_sim;
 /// needed to build a corpus, construct any predictor from a spec, train it,
 /// batch-predict, and persist/reload trained models.
 pub mod prelude {
-    pub use gnn::{GnnKind, Pooling};
+    pub use gnn::{GnnKind, GraphBatch, Pooling};
     pub use hls_gnn_core::approach::{
         hls_baseline_mape, seed_averaged_mape, seed_averaged_mape_with, GnnPredictor,
     };
@@ -53,7 +53,7 @@ pub mod prelude {
     pub use hls_gnn_core::experiments::{ExperimentConfig, ExperimentScale};
     pub use hls_gnn_core::persist::SavedPredictor;
     pub use hls_gnn_core::predictor::Predictor;
-    pub use hls_gnn_core::runtime::{predict_batch_sharded, ParallelConfig};
+    pub use hls_gnn_core::runtime::{predict_batch_sharded, BatchConfig, ParallelConfig};
     pub use hls_gnn_core::task::{ResourceClass, TargetMetric};
     pub use hls_gnn_core::train::TrainConfig;
     pub use hls_gnn_core::Error;
