@@ -254,11 +254,14 @@ impl PredictorBuilder {
 
 /// Revives a predictor from a JSON snapshot produced by
 /// [`Predictor::save_json`]. The reloaded predictor's outputs match the
-/// original exactly.
+/// original exactly. Version-less legacy snapshots load as format version 1;
+/// snapshots from a newer format version are refused.
 ///
 /// # Errors
-/// Returns [`Error::Config`] on malformed JSON or an architecture mismatch
-/// between the snapshot and its recorded hyper-parameters.
+/// Returns [`Error::Parse`] on truncated/malformed JSON or an unknown future
+/// snapshot version (never panics on bad bytes), and [`Error::Config`] on an
+/// architecture mismatch between the snapshot's tensors and its recorded
+/// hyper-parameters.
 pub fn load_predictor(json: &str) -> Result<Box<dyn Predictor>> {
     let saved = SavedPredictor::from_json(json)?;
     Ok(Box::new(GnnPredictor::from_saved(&saved)?))

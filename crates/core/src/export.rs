@@ -8,9 +8,13 @@
 //! labels and graph-level targets, so external tools (or Python notebooks)
 //! can consume the corpus without running the Rust flow.
 
+use gnn::GraphData;
+use hls_ir::features::NodeFeatures;
+use hls_ir::graph::GraphKind;
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::{Dataset, GraphSample};
+use crate::Error;
 
 /// One exported node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -93,6 +97,108 @@ impl From<&GraphSample> for ExportedGraph {
             targets: sample.targets,
             hls_estimate: sample.hls_estimate,
         }
+    }
+}
+
+impl ExportedGraph {
+    /// Rebuilds an in-memory [`GraphSample`] from the release format — the
+    /// inverse of `ExportedGraph::from(&sample)`. This is how the serving
+    /// subsystem accepts graphs over the wire, so every structural invariant
+    /// is *checked* and reported as a typed error: the constructors behind
+    /// [`GraphSample`] panic on malformed input, which is correct for
+    /// internally-built graphs but unacceptable for bytes from a socket.
+    ///
+    /// # Errors
+    /// Returns [`Error::Parse`] when the graph has no nodes, an edge endpoint
+    /// or relation id is out of range, a categorical feature exceeds its
+    /// embedding vocabulary, or the kind string is unknown.
+    pub fn to_sample(&self) -> crate::Result<GraphSample> {
+        let kind = match self.kind.as_str() {
+            "dfg" => GraphKind::Dfg,
+            "cdfg" => GraphKind::Cdfg,
+            other => {
+                return Err(Error::Parse(format!(
+                    "unknown graph kind `{other}` (expected `dfg` or `cdfg`)"
+                )))
+            }
+        };
+        let num_nodes = self.nodes.len();
+        if num_nodes == 0 {
+            return Err(Error::Parse("an exported graph needs at least one node".to_owned()));
+        }
+        for (index, node) in self.nodes.iter().enumerate() {
+            let vocab_checks = [
+                ("node_type", node.node_type, NodeFeatures::NODE_TYPE_VOCAB),
+                ("opcode_category", node.opcode_category, NodeFeatures::OPCODE_CATEGORY_VOCAB),
+                ("opcode", node.opcode, NodeFeatures::OPCODE_VOCAB),
+            ];
+            for (field, value, vocab) in vocab_checks {
+                if value >= vocab {
+                    return Err(Error::Parse(format!(
+                        "node {index}: {field} {value} exceeds the vocabulary ({vocab})"
+                    )));
+                }
+            }
+            if node.is_start_of_path > 1 {
+                return Err(Error::Parse(format!(
+                    "node {index}: is_start_of_path must be 0 or 1, got {}",
+                    node.is_start_of_path
+                )));
+            }
+        }
+        let mut edge_src = Vec::with_capacity(self.edges.len());
+        let mut edge_dst = Vec::with_capacity(self.edges.len());
+        let mut edge_relation = Vec::with_capacity(self.edges.len());
+        for (index, edge) in self.edges.iter().enumerate() {
+            if edge.src >= num_nodes || edge.dst >= num_nodes {
+                return Err(Error::Parse(format!(
+                    "edge {index}: endpoint {} -> {} out of range for {num_nodes} nodes",
+                    edge.src, edge.dst
+                )));
+            }
+            if edge.relation >= GraphSample::NUM_RELATIONS {
+                return Err(Error::Parse(format!(
+                    "edge {index}: relation {} exceeds the vocabulary ({})",
+                    edge.relation,
+                    GraphSample::NUM_RELATIONS
+                )));
+            }
+            edge_src.push(edge.src);
+            edge_dst.push(edge.dst);
+            edge_relation.push(edge.relation);
+        }
+        // All indices were validated above, so the panicking constructor is
+        // safe to call. Exported edges already include the mirrored copies,
+        // so no `with_reverse_edges` here.
+        let structure = GraphData::new(
+            num_nodes,
+            edge_src,
+            edge_dst,
+            edge_relation,
+            GraphSample::NUM_RELATIONS,
+        );
+        let node_features = self
+            .nodes
+            .iter()
+            .map(|node| NodeFeatures {
+                node_type: node.node_type,
+                bitwidth: node.bitwidth,
+                opcode_category: node.opcode_category,
+                opcode: node.opcode,
+                is_start_of_path: node.is_start_of_path,
+                cluster_group: node.cluster_group,
+            })
+            .collect();
+        Ok(GraphSample {
+            name: self.name.clone(),
+            kind,
+            structure,
+            node_features,
+            node_aux_resources: self.nodes.iter().map(|n| n.hls_resources).collect(),
+            node_resource_types: self.nodes.iter().map(|n| n.resource_types).collect(),
+            targets: self.targets,
+            hls_estimate: self.hls_estimate,
+        })
     }
 }
 
@@ -195,5 +301,53 @@ mod tests {
     #[test]
     fn malformed_json_is_rejected() {
         assert!(ExportedDataset::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn exported_graphs_rebuild_into_equivalent_samples() {
+        let dataset = tiny_dataset();
+        for sample in &dataset.samples {
+            let rebuilt = ExportedGraph::from(sample).to_sample().expect("export round trips");
+            assert_eq!(rebuilt.name, sample.name);
+            assert_eq!(rebuilt.kind, sample.kind);
+            assert_eq!(rebuilt.structure, sample.structure);
+            assert_eq!(rebuilt.node_features, sample.node_features);
+            assert_eq!(rebuilt.node_aux_resources, sample.node_aux_resources);
+            assert_eq!(rebuilt.node_resource_types, sample.node_resource_types);
+            assert_eq!(rebuilt.targets, sample.targets);
+            assert_eq!(rebuilt.hls_estimate, sample.hls_estimate);
+            assert_eq!(rebuilt.structure.content_hash(), sample.structure.content_hash());
+        }
+    }
+
+    #[test]
+    fn malformed_exported_graphs_are_rejected_not_panicked_on() {
+        let dataset = tiny_dataset();
+        let good = ExportedGraph::from(&dataset.samples[0]);
+
+        let mut bad_kind = good.clone();
+        bad_kind.kind = "cfg".to_owned();
+        assert!(matches!(bad_kind.to_sample(), Err(crate::Error::Parse(_))));
+
+        let mut empty = good.clone();
+        empty.nodes.clear();
+        empty.edges.clear();
+        assert!(matches!(empty.to_sample(), Err(crate::Error::Parse(_))));
+
+        let mut dangling_edge = good.clone();
+        dangling_edge.edges[0].dst = good.nodes.len() + 7;
+        assert!(matches!(dangling_edge.to_sample(), Err(crate::Error::Parse(_))));
+
+        let mut bad_relation = good.clone();
+        bad_relation.edges[0].relation = crate::dataset::GraphSample::NUM_RELATIONS;
+        assert!(matches!(bad_relation.to_sample(), Err(crate::Error::Parse(_))));
+
+        let mut bad_vocab = good.clone();
+        bad_vocab.nodes[0].opcode = usize::MAX;
+        assert!(matches!(bad_vocab.to_sample(), Err(crate::Error::Parse(_))));
+
+        let mut bad_flag = good;
+        bad_flag.nodes[0].is_start_of_path = 2;
+        assert!(matches!(bad_flag.to_sample(), Err(crate::Error::Parse(_))));
     }
 }

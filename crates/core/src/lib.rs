@@ -113,6 +113,12 @@ pub enum Error {
     NotTrained(String),
     /// Configuration error (invalid hyper-parameters, unknown model name, ...).
     Config(String),
+    /// Malformed serialised input: truncated or invalid JSON, a snapshot from
+    /// an unknown future format version, or a structurally invalid exported
+    /// graph. Distinct from [`Error::Config`] so callers that accept
+    /// untrusted bytes (the serving subsystem, file loaders) can map parse
+    /// failures to "bad request" rather than "server misconfigured".
+    Parse(String),
 }
 
 impl fmt::Display for Error {
@@ -122,6 +128,7 @@ impl fmt::Display for Error {
             Error::DatasetTooSmall(msg) => write!(f, "dataset too small: {msg}"),
             Error::NotTrained(msg) => write!(f, "model not trained: {msg}"),
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
         }
     }
 }

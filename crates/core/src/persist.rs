@@ -96,7 +96,14 @@ impl SavedNormalizer {
 }
 
 /// A complete trained-predictor snapshot.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Deserialisation is hand-written (not derived) for one reason: the
+/// `version` field. Snapshots written before the field existed carry no
+/// `version` key at all; those legacy files are accepted and read as
+/// [`SNAPSHOT_VERSION`] 1, whose layout they share. Snapshots from a *newer*
+/// format version are rejected with a typed [`Error::Parse`] instead of being
+/// misinterpreted field-by-field.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SavedPredictor {
     /// Snapshot format version ([`SNAPSHOT_VERSION`]).
     pub version: u32,
@@ -112,6 +119,39 @@ pub struct SavedPredictor {
     pub regressor: Vec<SavedTensor>,
     /// Node-classifier parameters (hierarchical approach only).
     pub classifier: Option<Vec<SavedTensor>>,
+}
+
+impl Deserialize for SavedPredictor {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let obj = value.as_object().ok_or_else(|| {
+            serde::DeError::custom(format!("expected object for SavedPredictor, found {value:?}"))
+        })?;
+        let field = |name: &str| serde::field(obj, name);
+        // A missing (or null) version marks a legacy file from before the
+        // field existed; its layout is exactly version 1 — the literal, not
+        // `SNAPSHOT_VERSION`, which will move past 1 while legacy files
+        // stay what they are.
+        let version = match field("version") {
+            serde::Value::Null => 1,
+            value => u32::from_value(value)
+                .map_err(|e| serde::DeError::custom(format!("SavedPredictor.version: {e}")))?,
+        };
+        macro_rules! parse_field {
+            ($name:literal) => {
+                Deserialize::from_value(field($name)).map_err(|e| {
+                    serde::DeError::custom(format!(concat!("SavedPredictor.", $name, ": {}"), e))
+                })?
+            };
+        }
+        Ok(SavedPredictor {
+            version,
+            spec: parse_field!("spec"),
+            config: parse_field!("config"),
+            normalizer: parse_field!("normalizer"),
+            regressor: parse_field!("regressor"),
+            classifier: parse_field!("classifier"),
+        })
+    }
 }
 
 // The parallel runtime relies on snapshots crossing thread boundaries; keep
@@ -136,16 +176,32 @@ impl SavedPredictor {
 
     /// Parses a snapshot from JSON, checking the format version.
     ///
+    /// Files written before the `version` field existed (no `version` key)
+    /// are accepted and read as version 1 — their layout is identical.
+    /// Versions newer than [`SNAPSHOT_VERSION`] are refused: a future format
+    /// may have changed field meanings, and misreading weights silently would
+    /// be far worse than a typed error.
+    ///
     /// # Errors
-    /// Returns [`Error::Config`] on malformed input or a version mismatch.
+    /// Returns [`Error::Parse`] on truncated or malformed JSON, on a value
+    /// whose shape does not match the schema, and on an unknown future
+    /// format version. Never panics, regardless of input.
     pub fn from_json(json: &str) -> Result<Self> {
         let saved: SavedPredictor = serde_json::from_str(json)
-            .map_err(|e| Error::Config(format!("failed to parse predictor snapshot: {e}")))?;
-        if saved.version != SNAPSHOT_VERSION {
-            return Err(Error::Config(format!(
-                "predictor snapshot version {} is not supported (expected {SNAPSHOT_VERSION})",
+            .map_err(|e| Error::Parse(format!("failed to parse predictor snapshot: {e}")))?;
+        if saved.version > SNAPSHOT_VERSION {
+            return Err(Error::Parse(format!(
+                "predictor snapshot version {} is from a newer format than this build \
+                 understands (supported: 1..={SNAPSHOT_VERSION}); refusing to reinterpret it",
                 saved.version
             )));
+        }
+        if saved.version == 0 {
+            return Err(Error::Parse(
+                "predictor snapshot declares version 0, which was never a valid format \
+                 (legacy files simply omit the field)"
+                    .to_owned(),
+            ));
         }
         Ok(saved)
     }
@@ -172,17 +228,41 @@ mod tests {
         assert_eq!(back, normalizer);
     }
 
-    #[test]
-    fn version_mismatch_is_rejected() {
-        let snapshot = SavedPredictor {
-            version: SNAPSHOT_VERSION + 1,
+    fn snapshot_with_version(version: u32) -> SavedPredictor {
+        SavedPredictor {
+            version,
             spec: "base/gcn".parse().unwrap(),
             config: TrainConfig::fast(),
             normalizer: SavedNormalizer { mean: [0.0; 4], std: [1.0; 4] },
             regressor: Vec::new(),
             classifier: None,
-        };
-        let json = snapshot.to_json().unwrap();
-        assert!(matches!(SavedPredictor::from_json(&json), Err(Error::Config(_))));
+        }
+    }
+
+    #[test]
+    fn future_versions_are_rejected_with_a_typed_error() {
+        for version in [SNAPSHOT_VERSION + 1, 7, u32::MAX] {
+            let json = snapshot_with_version(version).to_json().unwrap();
+            let error = SavedPredictor::from_json(&json).unwrap_err();
+            assert!(matches!(&error, Error::Parse(message) if message.contains("newer format")));
+        }
+        // Version 0 never existed; an explicit 0 is malformed, not legacy.
+        let json = snapshot_with_version(0).to_json().unwrap();
+        assert!(matches!(SavedPredictor::from_json(&json), Err(Error::Parse(_))));
+    }
+
+    #[test]
+    fn version_less_legacy_files_are_accepted_as_version_one() {
+        let current = snapshot_with_version(SNAPSHOT_VERSION);
+        let json = current.to_json().unwrap();
+        // Strip the version line to reproduce a pre-versioning file.
+        let legacy: String = json
+            .lines()
+            .filter(|line| !line.contains("\"version\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(!legacy.contains("version"));
+        let reloaded = SavedPredictor::from_json(&legacy).expect("legacy snapshot loads");
+        assert_eq!(reloaded, current);
     }
 }

@@ -145,6 +145,41 @@ impl GraphData {
         }
     }
 
+    /// A canonical 64-bit content hash of the graph structure (FNV-1a over a
+    /// length-prefixed encoding of every structural field: node count,
+    /// relation vocabulary, edge lists, member-graph count and per-node
+    /// segment ids). Two graphs compare equal ([`PartialEq`]) if and only if
+    /// they hash equal up to FNV collisions; perturbing any single field —
+    /// an edge endpoint, a relation id, a segment id, the node count —
+    /// changes the hash. Used by the prediction cache of the serving
+    /// subsystem to content-address graphs.
+    pub fn content_hash(&self) -> u64 {
+        // FNV-1a, 64-bit: offset basis / prime from the reference spec.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.num_nodes as u64);
+        eat(self.num_relations as u64);
+        eat(self.num_graphs as u64);
+        // Length prefixes keep the encoding unambiguous: moving a value
+        // between adjacent lists cannot produce the same byte stream.
+        eat(self.edge_src.len() as u64);
+        for edge in 0..self.edge_count() {
+            eat(self.edge_src[edge] as u64);
+            eat(self.edge_dst[edge] as u64);
+            eat(self.edge_relation[edge] as u64);
+        }
+        eat(self.node_segment.len() as u64);
+        for &segment in &self.node_segment {
+            eat(segment as u64);
+        }
+        hash
+    }
+
     /// Induced subgraph over `keep` (in the given order). Returns the subgraph
     /// together with, for every kept node, its index in the original graph.
     pub fn induced_subgraph(&self, keep: &[usize]) -> GraphData {
@@ -238,6 +273,61 @@ mod tests {
         // where a mean readout over an empty embedding matrix poisoned the
         // tape with NaN.
         let _ = GraphData::new(0, vec![], vec![], vec![], 1);
+    }
+
+    #[test]
+    fn content_hash_is_canonical_and_sensitive_to_every_field() {
+        let base = triangle();
+        assert_eq!(base.content_hash(), triangle().content_hash(), "equal graphs hash equal");
+
+        // Perturb each structural field in turn; every variant must move the
+        // hash away from the baseline.
+        let mut variants: Vec<(&str, GraphData)> = Vec::new();
+        let mut edge_moved = base.clone();
+        edge_moved.edge_dst[1] = 0;
+        variants.push(("edge endpoint", edge_moved));
+        let mut relation_changed = base.clone();
+        relation_changed.edge_relation[0] = 1;
+        variants.push(("relation id", relation_changed));
+        variants.push((
+            "node count",
+            GraphData::new(4, vec![0, 1, 2], vec![1, 2, 0], vec![0, 1, 0], 2),
+        ));
+        variants.push((
+            "relation vocabulary",
+            GraphData::new(3, vec![0, 1, 2], vec![1, 2, 0], vec![0, 1, 0], 3),
+        ));
+        let mut edge_dropped = base.clone();
+        edge_dropped.edge_src.pop();
+        edge_dropped.edge_dst.pop();
+        edge_dropped.edge_relation.pop();
+        variants.push(("edge count", edge_dropped));
+        let mut segmented = base.clone();
+        segmented.node_segment = vec![0, 0, 1];
+        segmented.num_graphs = 2;
+        variants.push(("segment ids", segmented));
+        let mut resegmented = base.clone();
+        resegmented.node_segment = vec![0, 1, 1];
+        resegmented.num_graphs = 2;
+        for (name, variant) in &variants {
+            assert_ne!(
+                variant.content_hash(),
+                base.content_hash(),
+                "perturbing the {name} must change the hash"
+            );
+        }
+        // Two different segmentations of the same connectivity also differ.
+        assert_ne!(segmented_hash(&variants), resegmented.content_hash());
+
+        // Swapping values *between* lists must not collide (the encoding is
+        // length-prefixed and field-ordered).
+        let a = GraphData::new(2, vec![0], vec![1], vec![0], 1);
+        let b = GraphData::new(2, vec![1], vec![0], vec![0], 1);
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    fn segmented_hash(variants: &[(&str, GraphData)]) -> u64 {
+        variants.iter().find(|(name, _)| *name == "segment ids").expect("present").1.content_hash()
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! A tiny blocking HTTP/1.1 client — enough for the load generator, the CI
+//! smoke test and examples to talk to the server without external crates.
+//!
+//! Supports keep-alive: one [`HttpClient`] holds one connection and reuses it
+//! across requests, reconnecting transparently if the server closed it.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One response: status code and body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpReply {
+    /// Status code (200, 503, ...).
+    pub status: u16,
+    /// Body as text.
+    pub body: String,
+}
+
+/// A keep-alive connection to one server.
+pub struct HttpClient {
+    addr: SocketAddr,
+    connection: Option<BufReader<TcpStream>>,
+}
+
+impl HttpClient {
+    /// Creates a client for `addr`; connects lazily.
+    pub fn new(addr: SocketAddr) -> Self {
+        HttpClient { addr, connection: None }
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    /// Propagates connect/read/write failures.
+    pub fn get(&mut self, path: &str) -> io::Result<HttpReply> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    /// Propagates connect/read/write failures.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<HttpReply> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn connect(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
+        if self.connection.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(5))?;
+            stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+            stream.set_nodelay(true)?;
+            self.connection = Some(BufReader::new(stream));
+        }
+        Ok(self.connection.as_mut().expect("just connected"))
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> io::Result<HttpReply> {
+        // One transparent retry: a keep-alive peer may have closed the idle
+        // connection between our requests.
+        match self.request_once(method, path, body) {
+            Ok(reply) => Ok(reply),
+            Err(_) if self.connection.is_some() => {
+                self.connection = None;
+                self.request_once(method, path, body)
+            }
+            Err(error) => Err(error),
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpReply> {
+        let addr = self.addr;
+        let reader = self.connect()?;
+        let payload = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n",
+            payload.len()
+        );
+        {
+            // Single write per request: see the NODELAY note in `connect`.
+            let mut message = head.into_bytes();
+            message.extend_from_slice(payload.as_bytes());
+            let stream = reader.get_mut();
+            stream.write_all(&message)?;
+            stream.flush()?;
+        }
+        match read_reply(reader) {
+            Ok((reply, close)) => {
+                if close {
+                    self.connection = None;
+                }
+                Ok(reply)
+            }
+            Err(error) => {
+                self.connection = None;
+                Err(error)
+            }
+        }
+    }
+}
+
+/// Reads one response; the boolean reports whether the server asked to close
+/// the connection afterwards.
+fn read_reply(reader: &mut BufReader<TcpStream>) -> io::Result<(HttpReply, bool)> {
+    let invalid = |message: &str| io::Error::new(io::ErrorKind::InvalidData, message.to_owned());
+    let mut line = read_line(reader)?;
+    let status: u16 = line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| invalid("malformed status line"))?;
+    let mut content_length = 0usize;
+    let mut close = false;
+    loop {
+        line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let (name, value) = (name.trim().to_ascii_lowercase(), value.trim());
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| invalid("bad content-length"))?;
+        } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+            close = true;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| invalid("body is not UTF-8"))?;
+    Ok((HttpReply { status, body }, close))
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> io::Result<String> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        let read = reader.read(&mut byte)?;
+        if read == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"));
+        }
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 header"));
+        }
+        line.push(byte[0]);
+        if line.len() > 64 * 1024 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "header line too long"));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Wire types of the prediction service.
+//!
+//! Requests and responses are plain JSON. A prediction request carries
+//! *either* a serialised graph in the benchmark release format
+//! ([`ExportedGraph`], the same schema `export_dataset` writes) *or* the name
+//! of a built-in real-world kernel from `hls-progen` (e.g. `"ms_gemm"`),
+//! which the service lowers through the HLS flow on first use and then
+//! memoises. Responses echo the design name and report the raw
+//! `[DSP, LUT, FF, CP]` prediction plus serving metadata (cache hit,
+//! coalesced batch size, latency).
+
+use serde::{Deserialize, Serialize};
+
+use hls_gnn_core::dataset::GraphSample;
+use hls_gnn_core::export::ExportedGraph;
+use hls_gnn_core::task::TargetMetric;
+
+/// A prediction request: exactly one of `graph` / `kernel` must be present.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// A full graph in the benchmark release format.
+    pub graph: Option<ExportedGraph>,
+    /// The name of a built-in real-world kernel (MachSuite / CHStone /
+    /// PolyBench analogue).
+    pub kernel: Option<String>,
+}
+
+impl PredictRequest {
+    /// A request carrying the given sample as a serialised graph.
+    pub fn for_sample(sample: &GraphSample) -> Self {
+        PredictRequest { graph: Some(ExportedGraph::from(sample)), kernel: None }
+    }
+
+    /// A request naming a built-in kernel.
+    pub fn for_kernel(name: impl Into<String>) -> Self {
+        PredictRequest { graph: None, kernel: Some(name.into()) }
+    }
+}
+
+/// A successful prediction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// The design name (echoed from the graph, or the kernel name).
+    pub name: String,
+    /// Raw `[DSP, LUT, FF, CP]` prediction — bit-identical to what
+    /// `Predictor::predict_batch` returns for the same graph in-process.
+    pub prediction: [f64; TargetMetric::COUNT],
+    /// True when the prediction came from the cache.
+    pub cached: bool,
+    /// How many requests shared the fused micro-batch that computed this
+    /// prediction (0 for cache hits — nothing was computed).
+    pub coalesced: usize,
+    /// Server-side latency in microseconds, from admission to completion.
+    pub latency_us: u64,
+}
+
+/// A JSON error body (sent with 4xx/5xx statuses).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Human-readable description.
+    pub error: String,
+}
+
+/// Cache section of [`StatsResponse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStatsBody {
+    /// Configured capacity (0 = disabled).
+    pub capacity: usize,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    /// Evictions.
+    pub evictions: u64,
+}
+
+/// Latency section of [`StatsResponse`], over a sliding window of recent
+/// requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyStatsBody {
+    /// Requests the percentiles are computed over.
+    pub window: usize,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst latency in the window, microseconds.
+    pub max_us: u64,
+}
+
+/// The `/stats` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// Model name in paper notation (e.g. `"RGCN-I"`).
+    pub model: String,
+    /// Canonical spec id (e.g. `"hier/rgcn"`).
+    pub spec: String,
+    /// Worker threads.
+    pub workers: usize,
+    /// Maximum requests coalesced into one micro-batch.
+    pub coalesce_width: usize,
+    /// Per-tape node budget the coalescer respects.
+    pub node_budget: usize,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Queue admission bound.
+    pub queue_bound: usize,
+    /// Total requests admitted (including cache hits, excluding shed).
+    pub requests: u64,
+    /// Requests answered successfully.
+    pub served: u64,
+    /// Requests shed with 503 at the admission bound.
+    pub shed: u64,
+    /// Requests that failed in the model.
+    pub errors: u64,
+    /// Prediction-cache counters.
+    pub cache: CacheStatsBody,
+    /// Recent-latency summary.
+    pub latency: LatencyStatsBody,
+}

@@ -1,0 +1,494 @@
+//! The in-process prediction service: coalescing queue + sharded workers +
+//! prediction cache behind an embeddable [`ServiceHandle`].
+//!
+//! # Architecture
+//!
+//! * Frontend threads (HTTP connections, tests, the load generator) call
+//!   [`ServiceHandle::predict_sample`]. The request is fingerprinted
+//!   ([`crate::fingerprint::sample_fingerprint`]); a cache hit returns
+//!   immediately, a miss is admitted to the bounded
+//!   [`crate::queue::CoalescingQueue`] (or shed with
+//!   [`ServeError::Overloaded`] when the queue is full).
+//! * N worker threads each rehydrate their own model from the shared
+//!   [`SavedPredictor`] snapshot — the autodiff tape is `Rc`-based and
+//!   `!Send`, so live models never cross threads; only the plain-data
+//!   snapshot does (the same discipline as the training runtime). Each
+//!   worker drains a micro-batch (bounded by the fusion width and the
+//!   `HLSGNN_BATCH_NODES` node budget) and runs it through
+//!   [`GnnPredictor::predict_batch_with`], so concurrent requests share one
+//!   fused autodiff tape exactly like training mini-batches do.
+//! * Because fused inference is bit-identical to per-sample inference at any
+//!   width, coalescing never changes *what* is predicted — served results
+//!   are bit-identical to a direct `predict_batch` call on the same graphs,
+//!   no matter how requests happened to batch, which worker took them, or
+//!   whether the cache was involved.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hls_gnn_core::approach::GnnPredictor;
+use hls_gnn_core::dataset::GraphSample;
+use hls_gnn_core::persist::SavedPredictor;
+use hls_gnn_core::predictor::Predictor;
+use hls_gnn_core::runtime::BatchConfig;
+use hls_gnn_core::task::TargetMetric;
+use hls_ir::graph::GraphKind;
+use hls_sim::FpgaDevice;
+
+use crate::cache::PredictionCache;
+use crate::fingerprint::{sample_fingerprint, Fingerprint};
+use crate::protocol::{CacheStatsBody, LatencyStatsBody, PredictRequest, StatsResponse};
+use crate::queue::{CoalescingQueue, SubmitError};
+
+/// Serving-layer errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The queue is at its admission bound; the request was shed. Retry
+    /// later (the HTTP frontend maps this to 503).
+    Overloaded {
+        /// The configured queue bound, for the error message.
+        queue_bound: usize,
+    },
+    /// The request itself is malformed (bad graph, unknown kernel, both or
+    /// neither payload present). Maps to 400.
+    BadRequest(String),
+    /// The model failed on an admitted request. Maps to 500.
+    Model(hls_gnn_core::Error),
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_bound } => {
+                write!(f, "service overloaded: queue is at its bound of {queue_bound}; retry later")
+            }
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Model(error) => write!(f, "prediction failed: {error}"),
+            ServeError::ShuttingDown => f.write_str("service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<hls_gnn_core::Error> for ServeError {
+    fn from(error: hls_gnn_core::Error) -> Self {
+        ServeError::Model(error)
+    }
+}
+
+/// Service configuration. Every knob also has an `HLSGNN_SERVE_*`
+/// environment variable (see [`ServeConfig::from_env`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads; 0 = one per available hardware thread.
+    pub workers: usize,
+    /// Prediction-cache capacity in entries; 0 disables the cache.
+    pub cache_capacity: usize,
+    /// Queue admission bound (requests waiting); beyond it requests are shed
+    /// with 503. Clamped to at least 1.
+    pub queue_bound: usize,
+    /// Maximum requests coalesced into one fused micro-batch; 0 = the model
+    /// snapshot's training batch size (or `HLSGNN_BATCH` when set).
+    pub coalesce_width: usize,
+    /// Artificial per-micro-batch delay, for load/shedding tests
+    /// (`HLSGNN_SERVE_DELAY_MS`). Zero in production.
+    pub worker_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            cache_capacity: 1024,
+            queue_bound: 256,
+            coalesce_width: 0,
+            worker_delay: Duration::ZERO,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Environment variable naming the worker count.
+    pub const WORKERS_ENV_VAR: &'static str = "HLSGNN_SERVE_WORKERS";
+    /// Environment variable naming the cache capacity.
+    pub const CACHE_ENV_VAR: &'static str = "HLSGNN_SERVE_CACHE";
+    /// Environment variable naming the queue bound.
+    pub const QUEUE_ENV_VAR: &'static str = "HLSGNN_SERVE_QUEUE";
+    /// Environment variable naming the coalescing width.
+    pub const COALESCE_ENV_VAR: &'static str = "HLSGNN_SERVE_COALESCE";
+    /// Environment variable injecting an artificial worker delay (ms).
+    pub const DELAY_ENV_VAR: &'static str = "HLSGNN_SERVE_DELAY_MS";
+
+    /// Reads the configuration from the `HLSGNN_SERVE_*` environment
+    /// variables, falling back to the defaults for unset, empty or
+    /// unparseable values (unparseable values warn on stderr, consistent
+    /// with `HLSGNN_WORKERS`).
+    pub fn from_env() -> Self {
+        let defaults = ServeConfig::default();
+        let parse = |var: &str, default: usize| -> usize {
+            let raw = std::env::var(var).unwrap_or_default();
+            let raw = raw.trim();
+            if raw.is_empty() {
+                return default;
+            }
+            match raw.parse::<usize>() {
+                Ok(value) => value,
+                Err(_) => {
+                    eprintln!(
+                        "warning: unrecognised {var} value `{raw}`; using the default \
+                         ({default})"
+                    );
+                    default
+                }
+            }
+        };
+        ServeConfig {
+            workers: parse(Self::WORKERS_ENV_VAR, defaults.workers),
+            cache_capacity: parse(Self::CACHE_ENV_VAR, defaults.cache_capacity),
+            queue_bound: parse(Self::QUEUE_ENV_VAR, defaults.queue_bound),
+            coalesce_width: parse(Self::COALESCE_ENV_VAR, defaults.coalesce_width),
+            worker_delay: Duration::from_millis(parse(Self::DELAY_ENV_VAR, 0) as u64),
+        }
+    }
+}
+
+/// One served prediction plus its serving metadata.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Served {
+    /// Raw `[DSP, LUT, FF, CP]` prediction.
+    pub prediction: [f64; TargetMetric::COUNT],
+    /// True when the prediction came from the cache.
+    pub cached: bool,
+    /// Requests that shared the computing micro-batch (0 for cache hits).
+    pub coalesced: usize,
+    /// Admission-to-completion latency.
+    pub latency: Duration,
+}
+
+struct Job {
+    sample: GraphSample,
+    fingerprint: Fingerprint,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<Served, ServeError>>,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Sliding window of recent request latencies (microseconds).
+struct LatencyWindow {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyWindow {
+    const CAPACITY: usize = 4096;
+
+    fn new() -> Self {
+        LatencyWindow { samples: Vec::new(), next: 0 }
+    }
+
+    fn record(&mut self, micros: u64) {
+        if self.samples.len() < Self::CAPACITY {
+            self.samples.push(micros);
+        } else {
+            self.samples[self.next] = micros;
+        }
+        self.next = (self.next + 1) % Self::CAPACITY;
+    }
+
+    fn summary(&self) -> LatencyStatsBody {
+        if self.samples.is_empty() {
+            return LatencyStatsBody { window: 0, p50_us: 0, p99_us: 0, max_us: 0 };
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let percentile = |p: f64| -> u64 {
+            let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        LatencyStatsBody {
+            window: sorted.len(),
+            p50_us: percentile(0.50),
+            p99_us: percentile(0.99),
+            max_us: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+struct ServiceInner {
+    snapshot: SavedPredictor,
+    model: String,
+    spec: String,
+    queue: CoalescingQueue<Job>,
+    cache: Mutex<PredictionCache>,
+    counters: Counters,
+    latency: Mutex<LatencyWindow>,
+    kernel_samples: Mutex<HashMap<String, GraphSample>>,
+    batch: BatchConfig,
+    coalesce_width: usize,
+    node_budget: usize,
+    workers: usize,
+    worker_delay: Duration,
+}
+
+impl ServiceInner {
+    fn record_latency(&self, latency: Duration) {
+        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        self.latency.lock().expect("latency lock poisoned").record(micros);
+    }
+}
+
+/// Handle to a running in-process prediction service. Cloneable; all clones
+/// drive the same service. Call [`ServiceHandle::shutdown`] to stop the
+/// workers (drains the backlog first).
+#[derive(Clone)]
+pub struct ServiceHandle {
+    inner: Arc<ServiceInner>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServiceHandle {
+    /// Starts the service: validates that the snapshot rehydrates, then
+    /// spawns the worker pool. Each worker owns a thread-confined model
+    /// rebuilt from the snapshot.
+    ///
+    /// # Errors
+    /// Returns the rehydration error when the snapshot does not describe a
+    /// loadable model (the failure surfaces here, once, instead of inside
+    /// every worker).
+    pub fn start(snapshot: SavedPredictor, config: &ServeConfig) -> hls_gnn_core::Result<Self> {
+        // Fail fast — and give the workers the right to assume success.
+        let probe = GnnPredictor::from_saved(&snapshot)?;
+        let batch = BatchConfig::from_env();
+        let coalesce_width = if config.coalesce_width > 0 {
+            config.coalesce_width
+        } else {
+            batch.effective_width(snapshot.config.batch_size)
+        };
+        let node_budget = batch.node_budget(snapshot.config.hidden_dim);
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let inner = Arc::new(ServiceInner {
+            model: probe.spec().name(),
+            spec: probe.spec().id(),
+            snapshot,
+            queue: CoalescingQueue::new(config.queue_bound),
+            cache: Mutex::new(PredictionCache::new(config.cache_capacity)),
+            counters: Counters::default(),
+            latency: Mutex::new(LatencyWindow::new()),
+            kernel_samples: Mutex::new(HashMap::new()),
+            batch,
+            coalesce_width,
+            node_budget,
+            workers,
+            worker_delay: config.worker_delay,
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("hls-gnn-serve-worker-{index}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+        Ok(ServiceHandle { inner, workers: Arc::new(Mutex::new(handles)) })
+    }
+
+    /// Serves one sample: cache lookup, then coalesced computation.
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] when the queue is full,
+    /// [`ServeError::Model`] when prediction fails,
+    /// [`ServeError::ShuttingDown`] after [`ServiceHandle::shutdown`].
+    pub fn predict_sample(&self, sample: GraphSample) -> Result<Served, ServeError> {
+        // A stopping service refuses *all* new requests, cached or not —
+        // "shutdown but still answering reads" would be a confusing
+        // half-state for operators draining traffic away.
+        if self.inner.queue.is_closed() {
+            return Err(ServeError::ShuttingDown);
+        }
+        let admitted = Instant::now();
+        let fingerprint = sample_fingerprint(&sample);
+        if let Some(prediction) = self.inner.cache.lock().expect("cache lock").get(fingerprint) {
+            // `requests` counts admissions only (cache hits and enqueued
+            // work) — shed and refused requests have their own counters, so
+            // the /stats identities `requests = served + in flight` and
+            // `shed ∉ requests` hold.
+            self.inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+            let latency = admitted.elapsed();
+            self.inner.record_latency(latency);
+            self.inner.counters.served.fetch_add(1, Ordering::Relaxed);
+            return Ok(Served { prediction, cached: true, coalesced: 0, latency });
+        }
+        let (reply, receiver) = mpsc::channel();
+        let job = Job { sample, fingerprint, enqueued: admitted, reply };
+        self.inner.queue.try_submit(job).map_err(|rejected| match rejected {
+            SubmitError::Full(_) => {
+                self.inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+                ServeError::Overloaded { queue_bound: self.inner.queue.bound() }
+            }
+            SubmitError::Closed(_) => ServeError::ShuttingDown,
+        })?;
+        self.inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+        // A dropped sender (worker gone mid-shutdown) reads as shutdown.
+        receiver.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Serves a wire-format request: resolves the graph or kernel payload,
+    /// then predicts. Returns the design name alongside the result.
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] for malformed payloads, plus everything
+    /// [`ServiceHandle::predict_sample`] returns.
+    pub fn predict_request(
+        &self,
+        request: &PredictRequest,
+    ) -> Result<(String, Served), ServeError> {
+        let (name, sample) = self.resolve(request)?;
+        let served = self.predict_sample(sample)?;
+        Ok((name, served))
+    }
+
+    fn resolve(&self, request: &PredictRequest) -> Result<(String, GraphSample), ServeError> {
+        match (&request.graph, &request.kernel) {
+            (Some(_), Some(_)) => Err(ServeError::BadRequest(
+                "provide either `graph` or `kernel`, not both".to_owned(),
+            )),
+            (None, None) => Err(ServeError::BadRequest(
+                "the request must carry a `graph` payload or a `kernel` name".to_owned(),
+            )),
+            (Some(graph), None) => {
+                let sample =
+                    graph.to_sample().map_err(|error| ServeError::BadRequest(error.to_string()))?;
+                Ok((graph.name.clone(), sample))
+            }
+            (None, Some(kernel)) => self.kernel_sample(kernel),
+        }
+    }
+
+    /// Looks a built-in kernel up, lowering it through the HLS flow once and
+    /// memoising the resulting sample (the flow is deterministic).
+    fn kernel_sample(&self, name: &str) -> Result<(String, GraphSample), ServeError> {
+        if let Some(sample) = self.inner.kernel_samples.lock().expect("kernel lock").get(name) {
+            return Ok((name.to_owned(), sample.clone()));
+        }
+        let kernel = hls_progen::all_kernels()
+            .into_iter()
+            .find(|kernel| kernel.name == name)
+            .ok_or_else(|| ServeError::BadRequest(format!("unknown kernel `{name}`")))?;
+        let sample =
+            GraphSample::from_function(&kernel.function, GraphKind::Cdfg, &FpgaDevice::default())
+                .map_err(ServeError::Model)?;
+        self.inner
+            .kernel_samples
+            .lock()
+            .expect("kernel lock")
+            .insert(name.to_owned(), sample.clone());
+        Ok((name.to_owned(), sample))
+    }
+
+    /// A point-in-time stats snapshot (the `/stats` document).
+    pub fn stats(&self) -> StatsResponse {
+        let cache = self.inner.cache.lock().expect("cache lock");
+        let counters = cache.counters();
+        let cache_body = CacheStatsBody {
+            capacity: cache.capacity(),
+            entries: cache.len(),
+            hits: counters.hits,
+            misses: counters.misses,
+            evictions: counters.evictions,
+        };
+        drop(cache);
+        StatsResponse {
+            model: self.inner.model.clone(),
+            spec: self.inner.spec.clone(),
+            workers: self.inner.workers,
+            coalesce_width: self.inner.coalesce_width,
+            node_budget: self.inner.node_budget,
+            queue_depth: self.inner.queue.len(),
+            queue_bound: self.inner.queue.bound(),
+            requests: self.inner.counters.requests.load(Ordering::Relaxed),
+            served: self.inner.counters.served.load(Ordering::Relaxed),
+            shed: self.inner.counters.shed.load(Ordering::Relaxed),
+            errors: self.inner.counters.errors.load(Ordering::Relaxed),
+            cache: cache_body,
+            latency: self.inner.latency.lock().expect("latency lock").summary(),
+        }
+    }
+
+    /// The model name in paper notation (e.g. `"RGCN-I"`).
+    pub fn model_name(&self) -> &str {
+        &self.inner.model
+    }
+
+    /// Graceful shutdown: closes the queue (new submissions are refused),
+    /// lets the workers drain the backlog, and joins them. Idempotent; safe
+    /// to call from any clone.
+    pub fn shutdown(&self) {
+        self.inner.queue.close();
+        let mut workers = self.workers.lock().expect("worker lock");
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &ServiceInner) {
+    // Thread-confined model: rebuilt here, on this worker's thread, from the
+    // shared plain-data snapshot. `start` validated the snapshot, so a
+    // failure can only mean the process is out of memory — exit the worker.
+    let Ok(predictor) = GnnPredictor::from_saved(&inner.snapshot) else {
+        return;
+    };
+    let width = inner.coalesce_width;
+    let budget = inner.node_budget;
+    while let Some(batch) = inner.queue.drain_coalesced(|next, taken| {
+        let taken_nodes: usize = taken.iter().map(|job| job.sample.num_nodes()).sum();
+        taken.len() < width && taken_nodes + next.sample.num_nodes() <= budget
+    }) {
+        if !inner.worker_delay.is_zero() {
+            std::thread::sleep(inner.worker_delay);
+        }
+        let coalesced = batch.len();
+        let mut samples = Vec::with_capacity(coalesced);
+        let mut metas = Vec::with_capacity(coalesced);
+        for job in batch {
+            samples.push(job.sample);
+            metas.push((job.fingerprint, job.enqueued, job.reply));
+        }
+        let results = predictor.predict_batch_with(&samples, &inner.batch);
+        for ((fingerprint, enqueued, reply), result) in metas.into_iter().zip(results) {
+            let outcome = match result {
+                Ok(prediction) => {
+                    inner.cache.lock().expect("cache lock").insert(fingerprint, prediction);
+                    let latency = enqueued.elapsed();
+                    inner.record_latency(latency);
+                    inner.counters.served.fetch_add(1, Ordering::Relaxed);
+                    Ok(Served { prediction, cached: false, coalesced, latency })
+                }
+                Err(error) => {
+                    inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    Err(ServeError::Model(error))
+                }
+            };
+            // The requester may have given up; dropping the result is fine.
+            let _ = reply.send(outcome);
+        }
+    }
+}

@@ -9,6 +9,9 @@
 //! - [`hls_gnn_core`]: the prediction engine — the [`prelude::Predictor`]
 //!   API, builder/registry, batched inference, persistence, and the
 //!   experiment harness.
+//! - [`hls_gnn_serve`]: the serving subsystem — an HTTP frontend, request
+//!   coalescing onto fused tapes, sharded workers and a prediction cache
+//!   over trained snapshots.
 //!
 //! Most users only need the [`prelude`]:
 //!
@@ -34,6 +37,7 @@
 pub use gnn;
 pub use gnn_tensor;
 pub use hls_gnn_core;
+pub use hls_gnn_serve;
 pub use hls_ir;
 pub use hls_progen;
 pub use hls_sim;
@@ -57,6 +61,7 @@ pub mod prelude {
     pub use hls_gnn_core::task::{ResourceClass, TargetMetric};
     pub use hls_gnn_core::train::TrainConfig;
     pub use hls_gnn_core::Error;
+    pub use hls_gnn_serve::{ServeConfig, ServiceHandle};
     pub use hls_progen::synthetic::ProgramFamily;
     pub use hls_sim::FpgaDevice;
 }

@@ -160,3 +160,83 @@ fn snapshots_record_the_training_config() {
         predictor.predict(&test.samples[0]).expect("predicts"),
     );
 }
+
+/// Satellite regression: feeding `load_predictor` truncated or mangled bytes
+/// of a *real* saved model must never panic — every failure surfaces as a
+/// typed error ([`Error::Parse`] at the JSON/schema stage, [`Error::Config`]
+/// when a value-level mutation survives parsing but breaks the architecture
+/// check).
+#[test]
+fn mangled_snapshots_fail_with_typed_errors_never_panics() {
+    let (train, validation, _) = tiny_split();
+    let config = one_epoch_config();
+    let mut predictor = PredictorSpec::new(ApproachKind::Hierarchical, GnnKind::Gcn).build(&config);
+    predictor.fit(&train, &validation, &config).expect("training succeeds");
+    let snapshot = predictor.save_json().expect("serialises");
+
+    // Truncations at a spread of offsets, including inside numbers, strings
+    // and the header.
+    let step = (snapshot.len() / 97).max(1);
+    for cut in (0..snapshot.len()).step_by(step) {
+        // `get` sidesteps char-boundary panics (the JSON is ASCII today, but
+        // this test must not depend on that).
+        let Some(truncated) = snapshot.get(..cut) else { continue };
+        match load_predictor(truncated) {
+            Err(Error::Parse(_) | Error::Config(_)) => {}
+            Err(other) => panic!("truncation at {cut} produced unexpected error {other:?}"),
+            Ok(_) => panic!("truncation at {cut} must not produce a predictor"),
+        }
+    }
+
+    // Structural mangling: clobber a window of bytes with junk at several
+    // positions.
+    for start in (0..snapshot.len().saturating_sub(8)).step_by(snapshot.len() / 23 + 1) {
+        let mut mangled = snapshot.clone().into_bytes();
+        for byte in &mut mangled[start..start + 8] {
+            *byte = b'!';
+        }
+        let mangled = String::from_utf8_lossy(&mangled).into_owned();
+        assert!(
+            load_predictor(&mangled).is_err(),
+            "mangling at {start} must not produce a predictor"
+        );
+    }
+
+    // The original still loads after all that (no global state was harmed).
+    assert!(load_predictor(&snapshot).is_ok());
+}
+
+/// Satellite: version-less legacy snapshots load as format version 1;
+/// snapshots declaring a newer version are refused with a typed parse error.
+#[test]
+fn snapshot_versioning_accepts_legacy_and_rejects_future_files() {
+    let (train, validation, test) = tiny_split();
+    let config = one_epoch_config();
+    let mut predictor = PredictorSpec::new(ApproachKind::OffTheShelf, GnnKind::Gcn).build(&config);
+    predictor.fit(&train, &validation, &config).expect("training succeeds");
+    let snapshot = predictor.save_json().expect("serialises");
+    assert!(snapshot.contains("\"version\": 1"));
+
+    // A legacy file is the same document without the version field.
+    let legacy: String = snapshot
+        .lines()
+        .filter(|line| !line.contains("\"version\""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let reloaded = load_predictor(&legacy).expect("legacy snapshot loads");
+    assert_eq!(
+        reloaded.predict(&test.samples[0]).expect("predicts"),
+        predictor.predict(&test.samples[0]).expect("predicts"),
+        "legacy reload must predict identically"
+    );
+
+    // A future version is refused up front with Error::Parse.
+    let future = snapshot.replace("\"version\": 1", "\"version\": 99");
+    match load_predictor(&future) {
+        Err(Error::Parse(message)) => {
+            assert!(message.contains("newer format"), "unhelpful message: {message}")
+        }
+        Err(other) => panic!("future version must fail with Error::Parse, got {other:?}"),
+        Ok(_) => panic!("future version must not load"),
+    }
+}

@@ -1,0 +1,360 @@
+//! Acceptance tests for the serving subsystem.
+//!
+//! The load-bearing guarantee: **served predictions are bit-identical to a
+//! direct `predict_batch` call** on the same model and graphs — for worker
+//! counts 1 and 4, with the prediction cache enabled and disabled, under
+//! concurrent submission (arbitrary coalescing patterns), and over the HTTP
+//! wire format. This holds because fused multi-graph inference is
+//! bit-identical to per-sample inference (asserted exactly below), so *how*
+//! requests happen to batch can never change *what* is predicted.
+
+use std::collections::HashMap;
+
+use hls_gnn::prelude::*;
+use hls_gnn_core::encode::FeatureMode;
+use hls_gnn_core::model::GraphRegressor;
+use hls_gnn_serve::{
+    sample_fingerprint, HttpClient, HttpServer, PredictRequest, PredictResponse, ServeConfig,
+    ServeError, ServiceHandle, StatsResponse,
+};
+use hls_progen::synthetic::SyntheticConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn corpus(count: usize, seed: u64) -> Dataset {
+    DatasetBuilder::new(ProgramFamily::StraightLine)
+        .count(count)
+        .seed(seed)
+        .generator_config(SyntheticConfig::tiny(ProgramFamily::StraightLine))
+        .build()
+        .expect("corpus builds")
+}
+
+fn trained(spec: &str, split: &Split) -> Box<dyn Predictor> {
+    PredictorBuilder::parse(spec)
+        .expect("spec parses")
+        .config(TrainConfig::fast())
+        .train(&split.train, &split.validation)
+        .expect("training succeeds")
+}
+
+/// The foundation of the serving guarantee, asserted *exactly*: fusing
+/// several graphs onto one tape produces bit-identical outputs to running
+/// each graph on its own tape. (tests/batching.rs checks the same property
+/// registry-wide with a tolerance; serving depends on exact equality, so a
+/// regression here must fail loudly.)
+#[test]
+fn fused_multigraph_inference_is_bit_identical_to_per_sample_inference() {
+    let dataset = corpus(6, 11);
+    let refs: Vec<&GraphSample> = dataset.samples.iter().collect();
+    let config = TrainConfig::fast();
+    for kind in [GnnKind::Gcn, GnnKind::Rgcn, GnnKind::GraphSage, GnnKind::Pna] {
+        for mode in [FeatureMode::Base, FeatureMode::ResourceValues, FeatureMode::ResourceTypes] {
+            let model = GraphRegressor::new(kind, mode, &config);
+            let mut rng = StdRng::seed_from_u64(0);
+            let fused = model.forward_batch(&refs, None, false, &mut rng).value();
+            for (row, sample) in refs.iter().enumerate() {
+                let single = model.forward(sample, None, false, &mut rng).value();
+                for target in 0..TargetMetric::COUNT {
+                    assert_eq!(
+                        fused.get(row, target).to_bits(),
+                        single.get(0, target).to_bits(),
+                        "{kind:?}/{mode:?}: fused row {row} target {target} is not bit-identical"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The acceptance scenario: for worker counts 1 and 4, cache off and on,
+/// across a plain and a hierarchical model, concurrently served predictions
+/// are bit-identical to direct `predict_batch`, and a second (cache-hit)
+/// pass returns the same bits.
+#[test]
+fn served_predictions_are_bit_identical_to_direct_predict_batch() {
+    let dataset = corpus(14, 33);
+    let split = dataset.split(0.7, 0.15, 1);
+    // Serve the whole corpus, not just the held-out split: 14 concurrent
+    // requests give the coalescer real contention at width > 1.
+    let samples = dataset.samples.clone();
+
+    for spec in ["base/gcn", "hier/gcn"] {
+        let predictor = trained(spec, &split);
+        let direct: Vec<[f64; 4]> = predictor
+            .predict_batch(&samples)
+            .into_iter()
+            .map(|result| result.expect("direct prediction succeeds"))
+            .collect();
+        let snapshot = predictor.snapshot().expect("snapshot exports");
+
+        for workers in [1usize, 4] {
+            for cache_capacity in [0usize, 128] {
+                let config = ServeConfig {
+                    workers,
+                    cache_capacity,
+                    queue_bound: 64,
+                    ..ServeConfig::default()
+                };
+                let service =
+                    ServiceHandle::start(snapshot.clone(), &config).expect("service starts");
+
+                // Concurrent submission from four frontend threads, so the
+                // coalescer sees real contention and arbitrary batch shapes.
+                let mut joins = Vec::new();
+                for (index, sample) in samples.iter().cloned().enumerate() {
+                    let service = service.clone();
+                    joins.push(std::thread::spawn(move || {
+                        (index, service.predict_sample(sample).expect("served"))
+                    }));
+                }
+                let mut first_pass = vec![None; samples.len()];
+                for join in joins {
+                    let (index, served) = join.join().expect("client thread");
+                    assert!(!served.cached, "first pass cannot hit the cache");
+                    first_pass[index] = Some(served);
+                }
+                for (index, served) in first_pass.iter().enumerate() {
+                    let served = served.as_ref().expect("every sample served");
+                    assert_eq!(
+                        served.prediction, direct[index],
+                        "{spec} workers={workers} cache={cache_capacity}: served sample {index} \
+                         is not bit-identical to direct predict_batch"
+                    );
+                }
+
+                // Second pass: with the cache on, every request must hit and
+                // return the same bits; with it off, everything recomputes —
+                // to the same bits.
+                for (index, sample) in samples.iter().cloned().enumerate() {
+                    let served = service.predict_sample(sample).expect("served again");
+                    assert_eq!(served.cached, cache_capacity > 0);
+                    assert_eq!(
+                        served.prediction, direct[index],
+                        "{spec}: cache-hit and cache-miss predictions must be bit-identical"
+                    );
+                }
+
+                let stats = service.stats();
+                assert_eq!(stats.requests, 2 * samples.len() as u64);
+                assert_eq!(stats.served, 2 * samples.len() as u64);
+                assert_eq!(stats.shed, 0);
+                assert_eq!(stats.errors, 0);
+                if cache_capacity > 0 {
+                    assert_eq!(stats.cache.hits, samples.len() as u64);
+                    assert_eq!(stats.cache.entries, samples.len());
+                } else {
+                    assert_eq!(stats.cache.hits, 0);
+                    assert_eq!(stats.cache.capacity, 0);
+                }
+                assert_eq!(stats.workers, workers);
+                assert!(stats.latency.window > 0);
+
+                service.shutdown();
+                let refused = service.predict_sample(samples[0].clone());
+                assert_eq!(refused.unwrap_err(), ServeError::ShuttingDown);
+            }
+        }
+    }
+}
+
+/// Satellite: canonical content hashing. Equal samples fingerprint equal;
+/// perturbing any model input — an edge, a relation, a node feature, an
+/// auxiliary resource value, a resource-type flag — changes the fingerprint;
+/// the name and ground-truth labels (never model inputs) do not.
+#[test]
+fn sample_fingerprints_are_canonical_and_perturbation_sensitive() {
+    let dataset = corpus(2, 21);
+    let sample = dataset.samples[0].clone();
+    assert_eq!(sample_fingerprint(&sample), sample_fingerprint(&sample.clone()));
+    assert_ne!(
+        sample_fingerprint(&dataset.samples[0]),
+        sample_fingerprint(&dataset.samples[1]),
+        "different programs must fingerprint differently"
+    );
+
+    let base = sample_fingerprint(&sample);
+    let mut renamed = sample.clone();
+    renamed.name = "other-name".to_owned();
+    assert_eq!(sample_fingerprint(&renamed), base, "the name is not a model input");
+    let mut relabelled = sample.clone();
+    relabelled.targets[0] += 1.0;
+    relabelled.hls_estimate[1] += 1.0;
+    assert_eq!(sample_fingerprint(&relabelled), base, "labels are not model inputs");
+
+    let mut edge = sample.clone();
+    edge.structure.edge_dst[0] = (edge.structure.edge_dst[0] + 1) % edge.structure.num_nodes;
+    let mut relation = sample.clone();
+    relation.structure.edge_relation[0] =
+        (relation.structure.edge_relation[0] + 1) % relation.structure.num_relations;
+    let mut feature = sample.clone();
+    feature.node_features[0].bitwidth = feature.node_features[0].bitwidth.wrapping_add(1);
+    let mut opcode = sample.clone();
+    opcode.node_features[0].opcode = (opcode.node_features[0].opcode + 1) % 2;
+    let mut aux = sample.clone();
+    aux.node_aux_resources[0][1] += 1.0;
+    let mut types = sample.clone();
+    types.node_resource_types[0][2] = 1.0 - types.node_resource_types[0][2];
+    for (what, perturbed) in [
+        ("edge endpoint", &edge),
+        ("relation id", &relation),
+        ("bitwidth feature", &feature),
+        ("opcode feature", &opcode),
+        ("aux resource", &aux),
+        ("resource type", &types),
+    ] {
+        assert_ne!(
+            sample_fingerprint(perturbed),
+            base,
+            "perturbing the {what} must change the fingerprint"
+        );
+    }
+}
+
+/// Admission control: with one deliberately slowed worker and a queue bound
+/// of 1, concurrent requests beyond the bound are shed with
+/// [`ServeError::Overloaded`] and counted in the stats.
+#[test]
+fn a_full_queue_sheds_requests_with_overloaded() {
+    let dataset = corpus(6, 5);
+    let split = dataset.split(0.7, 0.15, 1);
+    let predictor = trained("base/gcn", &split);
+    let config = ServeConfig {
+        workers: 1,
+        cache_capacity: 0,
+        queue_bound: 1,
+        worker_delay: std::time::Duration::from_millis(400),
+        ..ServeConfig::default()
+    };
+    let service =
+        ServiceHandle::start(predictor.snapshot().expect("snapshot"), &config).expect("starts");
+
+    // Occupy the worker (it sleeps 400 ms per micro-batch), then race three
+    // more submissions at the bound-1 queue: at most one can be admitted
+    // while the worker is busy (a racer thread would have to be delayed by
+    // hundreds of milliseconds for the queue to empty under it).
+    let occupant = {
+        let service = service.clone();
+        let sample = split.test.samples[0].clone();
+        std::thread::spawn(move || service.predict_sample(sample))
+    };
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let racers: Vec<_> = (0..3)
+        .map(|index| {
+            let service = service.clone();
+            let sample = split.train.samples[index].clone();
+            std::thread::spawn(move || service.predict_sample(sample))
+        })
+        .collect();
+    let outcomes: Vec<_> = racers.into_iter().map(|j| j.join().expect("racer")).collect();
+    let shed = outcomes
+        .iter()
+        .filter(|outcome| matches!(outcome, Err(ServeError::Overloaded { queue_bound: 1 })))
+        .count();
+    assert!(
+        (1..=3).contains(&shed),
+        "with a bound-1 queue and a busy worker, racing 3 requests must shed 1..=3, shed {shed}"
+    );
+    assert!(occupant.join().expect("occupant").is_ok());
+    for served in outcomes.into_iter().flatten() {
+        assert!(served.prediction.iter().all(|v| v.is_finite()));
+    }
+    let stats = service.stats();
+    assert_eq!(stats.shed, shed as u64);
+    // `requests` counts admissions only; shed requests are not in it.
+    assert_eq!(stats.requests, 4 - shed as u64);
+    service.shutdown();
+}
+
+/// The HTTP frontend end to end: predictions over the wire are bit-identical
+/// to direct `predict_batch` (the JSON float encoding is
+/// shortest-round-trip), the error paths map to the right statuses, /stats
+/// parses, and /shutdown stops the accept loop.
+#[test]
+fn http_frontend_serves_bit_identical_predictions_and_typed_errors() {
+    let dataset = corpus(10, 13);
+    let split = dataset.split(0.7, 0.15, 1);
+    let predictor = trained("base/gcn", &split);
+    let samples = split.test.samples.clone();
+    let direct: HashMap<String, [f64; 4]> = samples
+        .iter()
+        .zip(predictor.predict_batch(&samples))
+        .map(|(sample, result)| (sample.name.clone(), result.expect("direct")))
+        .collect();
+
+    let config = ServeConfig { workers: 2, cache_capacity: 64, ..ServeConfig::default() };
+    let service =
+        ServiceHandle::start(predictor.snapshot().expect("snapshot"), &config).expect("starts");
+    let server = HttpServer::bind(service.clone(), "127.0.0.1:0").expect("binds");
+    let mut client = HttpClient::new(server.local_addr());
+
+    // Liveness.
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("ok"));
+
+    // Graph predictions: bit-identical over the wire, cached on repeat.
+    for sample in &samples {
+        let body = serde_json::to_string(&PredictRequest::for_sample(sample)).expect("serialises");
+        let reply = client.post("/predict", &body).expect("predict");
+        assert_eq!(reply.status, 200, "body: {}", reply.body);
+        let parsed: PredictResponse = serde_json::from_str(&reply.body).expect("response parses");
+        assert_eq!(parsed.name, sample.name);
+        assert!(!parsed.cached);
+        assert_eq!(
+            parsed.prediction, direct[&sample.name],
+            "wire prediction for {} is not bit-identical",
+            sample.name
+        );
+        let again = client.post("/predict", &body).expect("predict again");
+        let parsed_again: PredictResponse =
+            serde_json::from_str(&again.body).expect("response parses");
+        assert!(parsed_again.cached, "repeat request must hit the cache");
+        assert_eq!(parsed_again.prediction, direct[&sample.name]);
+    }
+
+    // A named built-in kernel resolves, predicts, and is memoised.
+    let kernel = hls_progen::all_kernels().into_iter().next().expect("kernels exist");
+    let body = serde_json::to_string(&PredictRequest::for_kernel(&kernel.name)).expect("request");
+    let reply = client.post("/predict", &body).expect("kernel predict");
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+    let parsed: PredictResponse = serde_json::from_str(&reply.body).expect("parses");
+    assert_eq!(parsed.name, kernel.name);
+    assert!(parsed.prediction.iter().all(|v| v.is_finite()));
+
+    // Error mapping.
+    assert_eq!(client.post("/predict", "{ not json").expect("reply").status, 400);
+    assert_eq!(client.post("/predict", "{}").expect("reply").status, 400);
+    let both = format!(
+        "{{\"kernel\": \"{}\", \"graph\": {}}}",
+        kernel.name,
+        serde_json::to_string(&hls_gnn_core::export::ExportedGraph::from(&samples[0]))
+            .expect("graph serialises")
+    );
+    assert_eq!(client.post("/predict", &both).expect("reply").status, 400);
+    let unknown =
+        serde_json::to_string(&PredictRequest::for_kernel("no_such_kernel")).expect("request");
+    let reply = client.post("/predict", &unknown).expect("reply");
+    assert_eq!(reply.status, 400);
+    assert!(reply.body.contains("unknown kernel"));
+    assert_eq!(client.get("/no-such-route").expect("reply").status, 404);
+    assert_eq!(client.get("/predict").expect("reply").status, 405);
+
+    // Stats document.
+    let stats_reply = client.get("/stats").expect("stats");
+    assert_eq!(stats_reply.status, 200);
+    let stats: StatsResponse = serde_json::from_str(&stats_reply.body).expect("stats parse");
+    assert_eq!(stats.model, "GCN");
+    assert_eq!(stats.spec, "base/gcn");
+    assert_eq!(stats.shed, 0);
+    assert!(stats.served >= 2 * samples.len() as u64);
+    assert!(stats.cache.hits >= samples.len() as u64);
+    assert!(stats.latency.p50_us <= stats.latency.p99_us);
+    assert!(stats.latency.p99_us <= stats.latency.max_us);
+
+    // Graceful shutdown: /shutdown stops the accept loop; wait() returns.
+    let reply = client.post("/shutdown", "").expect("shutdown");
+    assert_eq!(reply.status, 200);
+    server.wait();
+    service.shutdown();
+}
