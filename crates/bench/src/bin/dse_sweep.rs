@@ -1,0 +1,244 @@
+//! Validates the DSE engine end to end with the classic surrogate protocol:
+//! synthesise a *small seeded sample* of each design space through the
+//! `hls_sim` flow, train the predictor on exactly that sample, then rank the
+//! **held-out remainder** of the space — does the model order candidates the
+//! way the implementation flow does, and does the budgeted evolutionary
+//! search recover the exhaustive Pareto front at a fraction of the cost?
+//!
+//! For each kernel family (the 324-point `dot` space and the 72-point `fir`
+//! space) the sweep:
+//!
+//! 1. samples 20% of the space, labels it with the flow, and trains the
+//!    predictor on it (the "synthesise a few, rank the rest" DSE loop);
+//! 2. explores exhaustively, reporting held-out Spearman ρ / Kendall τ per
+//!    target, the per-target *regret* of trusting the predicted argmin, and
+//!    the ground-truth hypervolume ratio of the predicted front against the
+//!    true front;
+//! 3. runs the NSGA-II searcher with a budget of 25% of the space and
+//!    reports the fraction of the exhaustive (predicted) hypervolume it
+//!    recovers.
+//!
+//! ```text
+//! cargo run -p hls-gnn-bench --release --bin dse_sweep [-- spec]
+//! ```
+//!
+//! `HLSGNN_SCALE` sets the training scale as usual; the default spec is
+//! `base/rgcn`.
+
+use std::time::Instant;
+
+use hls_gnn_core::builder::PredictorBuilder;
+use hls_gnn_core::experiments::ExperimentConfig;
+use hls_gnn_core::metrics::{kendall_tau, spearman_rho};
+use hls_gnn_core::predictor::Predictor;
+use hls_gnn_core::task::TargetMetric;
+use hls_gnn_dse::{
+    hypervolume, pareto_front, sample_training_set, DesignSpace, EvaluatedPoint, Evaluator,
+    Exhaustive, Explorer, Nsga2,
+};
+use hls_sim::FpgaDevice;
+
+/// Rank agreement and regret for one target, measured on the held-out part
+/// of the space only.
+#[derive(Debug, serde::Serialize)]
+struct TargetValidation {
+    target: String,
+    spearman: f64,
+    kendall: f64,
+    /// Relative ground-truth excess of the predicted-argmin design over the
+    /// true optimum: 0 means the predictor's favourite *is* the true best.
+    regret: f64,
+}
+
+/// The sweep result for one kernel family.
+#[derive(Debug, serde::Serialize)]
+struct FamilyReport {
+    space: String,
+    space_size: usize,
+    /// Design points whose flow labels the predictor was trained on.
+    training_designs: usize,
+    /// Held-out designs the rank metrics are computed over.
+    heldout_designs: usize,
+    targets: Vec<TargetValidation>,
+    /// Ground-truth hypervolume of the predicted front / the true front
+    /// (held-out designs only).
+    front_true_hypervolume_ratio: f64,
+    /// Predicted-front hypervolume recovered by NSGA-II relative to the
+    /// exhaustive front (shared reference point).
+    evolutionary_hypervolume_ratio: f64,
+    evolutionary_evaluations: usize,
+    evolutionary_fraction: f64,
+}
+
+#[derive(Debug, serde::Serialize)]
+struct SweepReport {
+    model: String,
+    seed: u64,
+    families: Vec<FamilyReport>,
+}
+
+fn main() {
+    let spec_text = std::env::args().nth(1).unwrap_or_else(|| "base/rgcn".to_owned());
+    let config = ExperimentConfig::from_env();
+    let seed = config.seed;
+    if PredictorBuilder::parse(&spec_text).is_err() {
+        eprintln!("invalid spec `{spec_text}`");
+        std::process::exit(2);
+    }
+
+    let mut families = Vec::new();
+    let mut model = String::new();
+    for space in [DesignSpace::dot(), DesignSpace::fir()] {
+        match validate_family(&space, &spec_text, &config, seed) {
+            Ok((report, name)) => {
+                families.push(report);
+                model = name;
+            }
+            Err(error) => {
+                eprintln!("{} sweep failed: {error}", space.name());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let report = SweepReport { model, seed, families };
+    hls_gnn_bench::write_report("dse_sweep", &report);
+}
+
+/// The surrogate training-sample size for a space: roughly 20%, clamped to
+/// a trainable floor.
+fn sample_count(space: &DesignSpace) -> usize {
+    (space.len() / 5).clamp(24.min(space.len()), 64)
+}
+
+fn validate_family(
+    space: &DesignSpace,
+    spec_text: &str,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> hls_gnn_core::Result<(FamilyReport, String)> {
+    let device = FpgaDevice::default();
+    println!("=== {} ({} points) ===", space.name(), space.len());
+
+    // Surrogate training set: label 20% of the space through the flow.
+    let (trained_indices, corpus) = sample_training_set(space, &device, seed, sample_count(space))?;
+    let split = corpus.split(0.85, 0.1, seed.wrapping_add(7));
+    let train_start = Instant::now();
+    let predictor = PredictorBuilder::parse(spec_text)?
+        .config(config.train.clone())
+        .train(&split.train, &split.validation)?;
+    println!(
+        "trained {} on {} sampled designs at {:?} scale in {:.2} s",
+        predictor.name(),
+        corpus.len(),
+        config.scale,
+        train_start.elapsed().as_secs_f64()
+    );
+
+    // Exhaustive pass: every candidate, predicted and simulated.
+    let sweep_start = Instant::now();
+    let mut evaluator =
+        Evaluator::new(space, predictor.as_ref(), device.clone(), config.parallel.clone());
+    let exhaustive = Exhaustive.explore(&mut evaluator)?;
+    println!(
+        "exhaustive: {} designs in {:.2} s ({} model calls, {} fingerprint reuses)",
+        exhaustive.distinct_evaluations,
+        sweep_start.elapsed().as_secs_f64(),
+        exhaustive.predictions_computed,
+        exhaustive.prediction_reuses
+    );
+
+    // Rank metrics on the held-out designs only — the training sample must
+    // not flatter the correlation.
+    let heldout: Vec<&EvaluatedPoint> = exhaustive
+        .evaluated
+        .iter()
+        .filter(|point| !trained_indices.contains(&point.index))
+        .collect();
+    let mut targets = Vec::with_capacity(TargetMetric::COUNT);
+    for target in TargetMetric::ALL {
+        let slot = target.index();
+        let predicted: Vec<f64> = heldout.iter().map(|p| p.predicted[slot]).collect();
+        let actual: Vec<f64> = heldout.iter().map(|p| p.ground_truth[slot]).collect();
+        let argmin = (0..predicted.len())
+            .min_by(|&a, &b| predicted[a].total_cmp(&predicted[b]).then(a.cmp(&b)))
+            .expect("the held-out set is non-empty");
+        let best_true = actual.iter().copied().fold(f64::INFINITY, f64::min);
+        let regret = (actual[argmin] - best_true) / best_true.max(1.0);
+        let validation = TargetValidation {
+            target: target.name().to_owned(),
+            spearman: spearman_rho(&predicted, &actual),
+            kendall: kendall_tau(&predicted, &actual),
+            regret,
+        };
+        println!(
+            "  {:<4} held-out Spearman {:>6.3}  Kendall {:>6.3}  argmin regret {:>6.1}%",
+            validation.target,
+            validation.spearman,
+            validation.kendall,
+            validation.regret * 100.0
+        );
+        targets.push(validation);
+    }
+
+    // How much true front quality does trusting the predicted front cost?
+    // (Held-out designs only; the trained ones are already synthesised.)
+    let true_objectives: Vec<Vec<f64>> = heldout.iter().map(|p| p.ground_truth.to_vec()).collect();
+    let true_reference = hls_gnn_dse::reference_point_of(heldout.iter().map(|p| &p.ground_truth));
+    let true_front = pareto_front(&true_objectives);
+    let true_front_objectives: Vec<Vec<f64>> =
+        true_front.iter().map(|&p| true_objectives[p].clone()).collect();
+    let heldout_predicted: Vec<Vec<f64>> = heldout.iter().map(|p| p.predicted.to_vec()).collect();
+    let predicted_front_truths: Vec<Vec<f64>> = pareto_front(&heldout_predicted)
+        .into_iter()
+        .map(|p| heldout[p].ground_truth.to_vec())
+        .collect();
+    let true_hv = hypervolume(&true_front_objectives, &true_reference);
+    let predicted_hv = hypervolume(&predicted_front_truths, &true_reference);
+    let front_true_hypervolume_ratio =
+        if true_hv > 0.0 { predicted_hv / true_hv } else { f64::NAN };
+    println!(
+        "  predicted front recovers {:.1}% of the held-out true-front hypervolume \
+         ({} vs {} designs)",
+        front_true_hypervolume_ratio * 100.0,
+        predicted_front_truths.len(),
+        true_front.len()
+    );
+
+    // Budgeted evolutionary pass: ≤ 25% of the space, judged on the
+    // predicted objectives against the exhaustive front with one shared
+    // reference.
+    let budget = space.len() / 4;
+    let reference = hls_gnn_dse::reference_point(&exhaustive.evaluated);
+    let exhaustive_hv = hls_gnn_dse::front_hypervolume(&exhaustive.front, &reference);
+    let search_start = Instant::now();
+    let mut evaluator = Evaluator::new(space, predictor.as_ref(), device, config.parallel.clone());
+    let evolved = Nsga2::with_budget(seed, budget).explore(&mut evaluator)?;
+    let evolved_hv = hls_gnn_dse::front_hypervolume(&evolved.front, &reference);
+    let evolutionary_hypervolume_ratio =
+        if exhaustive_hv > 0.0 { evolved_hv / exhaustive_hv } else { f64::NAN };
+    let evolutionary_fraction = evolved.distinct_evaluations as f64 / space.len() as f64;
+    println!(
+        "  nsga2: {:.1}% of exhaustive hypervolume from {} evaluations ({:.1}% of the space) \
+         in {:.2} s\n",
+        evolutionary_hypervolume_ratio * 100.0,
+        evolved.distinct_evaluations,
+        evolutionary_fraction * 100.0,
+        search_start.elapsed().as_secs_f64()
+    );
+
+    Ok((
+        FamilyReport {
+            space: space.name().to_owned(),
+            space_size: space.len(),
+            training_designs: trained_indices.len(),
+            heldout_designs: heldout.len(),
+            targets,
+            front_true_hypervolume_ratio,
+            evolutionary_hypervolume_ratio,
+            evolutionary_evaluations: evolved.distinct_evaluations,
+            evolutionary_fraction,
+        },
+        predictor.name(),
+    ))
+}

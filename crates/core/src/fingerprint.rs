@@ -1,0 +1,149 @@
+//! Content fingerprints of prediction inputs, shared by every subsystem that
+//! memoises on *what is predicted on* rather than who asked.
+//!
+//! The serving cache and the design-space-exploration engine both key their
+//! memoisation on this fingerprint: two byte-identical graphs must share a
+//! cache entry no matter how they were named, when they arrived, or which
+//! design point lowered to them. [`sample_fingerprint`] therefore hashes
+//! every model input of a [`GraphSample`] — the full connectivity (the same
+//! canonical field ordering as [`gnn::GraphData::content_hash`], streamed
+//! directly so no stage of the fingerprint narrows below 128 bits), the
+//! graph kind, the Table-1 node features, the auxiliary per-node HLS
+//! resource estimates and the resource-type flags — and deliberately
+//! excludes the sample name and the ground-truth labels, which never reach
+//! the model at inference time.
+//!
+//! The fingerprint is 128-bit FNV-1a. A 64-bit key would make accidental
+//! collisions (two different designs silently sharing a cached prediction) a
+//! realistic event over millions of served designs; at 128 bits they are not.
+
+use crate::dataset::GraphSample;
+use hls_ir::graph::GraphKind;
+
+/// A 128-bit content fingerprint of a prediction input.
+pub type Fingerprint = u128;
+
+/// Incremental FNV-1a (128-bit) hasher over little-endian words.
+#[derive(Debug, Clone)]
+pub struct Fnv128 {
+    hash: u128,
+}
+
+impl Fnv128 {
+    const OFFSET_BASIS: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+    /// Starts a hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv128 { hash: Self::OFFSET_BASIS }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.hash ^= u128::from(byte);
+            self.hash = self.hash.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Feeds one 64-bit word (little-endian).
+    pub fn write_u64(&mut self, word: u64) {
+        self.write(&word.to_le_bytes());
+    }
+
+    /// Feeds one `f32` by bit pattern, so `-0.0` and `0.0` (and every NaN
+    /// payload) are distinct inputs — the cache must never conflate values
+    /// the model could distinguish.
+    pub fn write_f32(&mut self, value: f32) {
+        self.write(&value.to_bits().to_le_bytes());
+    }
+
+    /// The accumulated fingerprint.
+    pub fn finish(&self) -> Fingerprint {
+        self.hash
+    }
+}
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Fnv128::new()
+    }
+}
+
+/// Canonical fingerprint of everything a predictor reads from a sample.
+pub fn sample_fingerprint(sample: &GraphSample) -> Fingerprint {
+    let mut hasher = Fnv128::new();
+    // The graph structure, streamed field by field (same canonical,
+    // length-prefixed ordering as `GraphData::content_hash`). Hashing the
+    // 64-bit content_hash instead would funnel all structural entropy
+    // through 64 bits and cap the whole fingerprint's collision resistance
+    // there.
+    let structure = &sample.structure;
+    hasher.write_u64(structure.num_nodes as u64);
+    hasher.write_u64(structure.num_relations as u64);
+    hasher.write_u64(structure.num_graphs() as u64);
+    hasher.write_u64(structure.edge_src.len() as u64);
+    for edge in 0..structure.edge_count() {
+        hasher.write_u64(structure.edge_src[edge] as u64);
+        hasher.write_u64(structure.edge_dst[edge] as u64);
+        hasher.write_u64(structure.edge_relation[edge] as u64);
+    }
+    let segments = structure.segments().unwrap_or(&[]);
+    hasher.write_u64(segments.len() as u64);
+    for &segment in segments {
+        hasher.write_u64(segment as u64);
+    }
+    hasher.write_u64(match sample.kind {
+        GraphKind::Dfg => 0,
+        GraphKind::Cdfg => 1,
+    });
+    hasher.write_u64(sample.node_features.len() as u64);
+    for feature in &sample.node_features {
+        hasher.write_u64(feature.node_type as u64);
+        hasher.write_u64(u64::from(feature.bitwidth));
+        hasher.write_u64(feature.opcode_category as u64);
+        hasher.write_u64(feature.opcode as u64);
+        hasher.write_u64(u64::from(feature.is_start_of_path));
+        hasher.write_u64(feature.cluster_group as u64);
+    }
+    for aux in &sample.node_aux_resources {
+        for &value in aux {
+            hasher.write_f32(value);
+        }
+    }
+    for types in &sample.node_resource_types {
+        for &value in types {
+            hasher.write_f32(value);
+        }
+    }
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_order_sensitive_and_deterministic() {
+        let mut a = Fnv128::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv128::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+        let mut c = Fnv128::new();
+        c.write_u64(1);
+        c.write_u64(2);
+        assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn float_bit_patterns_are_distinguished() {
+        let mut pos = Fnv128::new();
+        pos.write_f32(0.0);
+        let mut neg = Fnv128::new();
+        neg.write_f32(-0.0);
+        assert_ne!(pos.finish(), neg.finish());
+    }
+}

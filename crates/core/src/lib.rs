@@ -80,6 +80,7 @@ pub mod dataset;
 pub mod encode;
 pub mod experiments;
 pub mod export;
+pub mod fingerprint;
 pub mod metrics;
 pub mod model;
 pub mod persist;
@@ -94,7 +95,8 @@ pub use approach::{hls_baseline_mape, seed_averaged_mape, seed_averaged_mape_wit
 pub use builder::{load_predictor, ApproachKind, PredictorBuilder, PredictorSpec};
 pub use dataset::{Dataset, DatasetBuilder, GraphSample, Split};
 pub use encode::{FeatureEncoder, FeatureMode};
-pub use metrics::{accuracy, f1_score, mape, rmse, TargetNormalizer};
+pub use fingerprint::{sample_fingerprint, Fingerprint};
+pub use metrics::{accuracy, f1_score, kendall_tau, mape, rmse, spearman_rho, TargetNormalizer};
 pub use persist::SavedPredictor;
 pub use predictor::Predictor;
 pub use runtime::{predict_batch_sharded, BatchConfig, ParallelConfig};

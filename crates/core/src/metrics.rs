@@ -79,6 +79,110 @@ pub fn f1_score(scores: &[f64], labels: &[f64]) -> f64 {
     2.0 * precision * recall / (precision + recall)
 }
 
+/// Average ranks (1-based, ties share the mean of their positions), the rank
+/// transform behind Spearman's ρ.
+fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut ranks = vec![0.0f64; values.len()];
+    let mut start = 0;
+    while start < order.len() {
+        let mut end = start + 1;
+        while end < order.len() && values[order[end]] == values[order[start]] {
+            end += 1;
+        }
+        // Positions start..end (0-based) share the average 1-based rank.
+        let shared = (start + end + 1) as f64 / 2.0;
+        for &index in &order[start..end] {
+            ranks[index] = shared;
+        }
+        start = end;
+    }
+    ranks
+}
+
+/// Spearman's rank correlation coefficient ρ: the Pearson correlation of the
+/// average ranks of the two inputs (ties receive the mean of the ranks they
+/// occupy). Used to validate predicted design rankings against ground truth —
+/// a DSE loop only needs the *ordering* of candidates to be right.
+///
+/// Degenerate inputs yield `NaN` rather than a fake score: fewer than two
+/// observations, a constant input (zero rank variance leaves the
+/// correlation undefined — claiming 0 would report "no monotone relation"
+/// on no evidence), or any `NaN` observation (an unordered value has no
+/// rank; silently ranking it last would launder a diverged prediction into
+/// a confident-looking score).
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "spearman length mismatch");
+    if a.len() < 2 || a.iter().chain(b).any(|value| value.is_nan()) {
+        return f64::NAN;
+    }
+    let ranks_a = average_ranks(a);
+    let ranks_b = average_ranks(b);
+    let n = a.len() as f64;
+    let mean = (n + 1.0) / 2.0;
+    let mut covariance = 0.0f64;
+    let mut variance_a = 0.0f64;
+    let mut variance_b = 0.0f64;
+    for (ra, rb) in ranks_a.iter().zip(&ranks_b) {
+        covariance += (ra - mean) * (rb - mean);
+        variance_a += (ra - mean) * (ra - mean);
+        variance_b += (rb - mean) * (rb - mean);
+    }
+    if variance_a == 0.0 || variance_b == 0.0 {
+        return f64::NAN;
+    }
+    covariance / (variance_a * variance_b).sqrt()
+}
+
+/// Kendall's rank correlation coefficient τ (the τ-b variant, which corrects
+/// for ties): concordant minus discordant pairs over the geometric mean of
+/// the tie-adjusted pair counts. O(n²) pair enumeration — ample for design
+/// sweeps of a few thousand candidates.
+///
+/// Degenerate inputs yield `NaN`: fewer than two observations, an input
+/// whose values are all tied (no orderable pairs on that side), or any
+/// `NaN` observation (see [`spearman_rho`]).
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "kendall length mismatch");
+    let n = a.len();
+    if n < 2 || a.iter().chain(b).any(|value| value.is_nan()) {
+        return f64::NAN;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_a = 0i64;
+    let mut ties_b = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i].total_cmp(&a[j]);
+            let db = b[i].total_cmp(&b[j]);
+            match (da.is_eq(), db.is_eq()) {
+                (true, true) => {
+                    ties_a += 1;
+                    ties_b += 1;
+                }
+                (true, false) => ties_a += 1,
+                (false, true) => ties_b += 1,
+                (false, false) => {
+                    if da == db {
+                        concordant += 1;
+                    } else {
+                        discordant += 1;
+                    }
+                }
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as i64;
+    let orderable_a = pairs - ties_a;
+    let orderable_b = pairs - ties_b;
+    if orderable_a == 0 || orderable_b == 0 {
+        return f64::NAN;
+    }
+    (concordant - discordant) as f64 / ((orderable_a as f64) * (orderable_b as f64)).sqrt()
+}
+
 /// Per-target normalisation of the regression labels: `log1p` followed by
 /// standardisation with statistics estimated on the training set.
 #[derive(Debug, Clone, PartialEq)]
@@ -221,6 +325,52 @@ mod tests {
         // precision = 1/2, recall = 1/2 -> f1 = 1/2.
         assert!((f1_score(&scores, &labels) - 0.5).abs() < 1e-9);
         assert_eq!(f1_score(&[0.1], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_matches_hand_computation() {
+        // Perfect agreement and perfect inversion.
+        assert!((spearman_rho(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-12);
+        assert!((spearman_rho(&[1.0, 2.0, 3.0], &[30.0, 20.0, 10.0]) + 1.0).abs() < 1e-12);
+        // One swapped adjacent pair: ρ = 1 - 6·Σd²/(n(n²-1)) = 1 - 12/120.
+        let rho = spearman_rho(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 3.0, 2.0, 4.0, 5.0]);
+        assert!((rho - 0.9).abs() < 1e-12, "got {rho}");
+        // With a tie: ranks a = [1, 2.5, 2.5, 4], b = [1, 2, 3, 4] →
+        // ρ = 4.5/√(4.5·5) = √0.9.
+        let rho = spearman_rho(&[1.0, 2.0, 2.0, 3.0], &[1.0, 2.0, 3.0, 4.0]);
+        assert!((rho - 0.9f64.sqrt()).abs() < 1e-12, "got {rho}");
+        // Monotone nonlinearity is invisible to a rank metric.
+        let rho = spearman_rho(&[1.0, 2.0, 3.0, 4.0], &[1.0, 8.0, 27.0, 64.0]);
+        assert!((rho - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_matches_hand_computation() {
+        assert!((kendall_tau(&[1.0, 2.0, 3.0], &[5.0, 6.0, 7.0]) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&[1.0, 2.0, 3.0], &[7.0, 6.0, 5.0]) + 1.0).abs() < 1e-12);
+        // One swapped adjacent pair among n=5: 9 concordant, 1 discordant →
+        // τ = 8/10.
+        let tau = kendall_tau(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 3.0, 2.0, 4.0, 5.0]);
+        assert!((tau - 0.8).abs() < 1e-12, "got {tau}");
+        // τ-b with one tied pair in a: C=5, D=0, 1 of 6 pairs tied in a →
+        // τ = 5/√(5·6).
+        let tau = kendall_tau(&[1.0, 2.0, 2.0, 3.0], &[1.0, 2.0, 3.0, 4.0]);
+        assert!((tau - 5.0 / 30.0f64.sqrt()).abs() < 1e-12, "got {tau}");
+    }
+
+    #[test]
+    fn rank_correlations_are_nan_on_empty_and_degenerate_inputs() {
+        assert!(spearman_rho(&[], &[]).is_nan());
+        assert!(kendall_tau(&[], &[]).is_nan());
+        assert!(spearman_rho(&[1.0], &[2.0]).is_nan());
+        assert!(kendall_tau(&[1.0], &[2.0]).is_nan());
+        // A constant side has no orderable pairs: undefined, not 0.
+        assert!(spearman_rho(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0]).is_nan());
+        assert!(kendall_tau(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]).is_nan());
+        // A NaN observation has no rank: the result is NaN, never a finite
+        // score with the NaN silently ranked last.
+        assert!(spearman_rho(&[1.0, f64::NAN, 3.0], &[1.0, 2.0, 3.0]).is_nan());
+        assert!(kendall_tau(&[1.0, 2.0, 3.0], &[1.0, f64::NAN, 3.0]).is_nan());
     }
 
     fn tiny_dataset() -> Dataset {

@@ -1,0 +1,473 @@
+//! Pluggable search strategies behind the [`Explorer`] trait.
+//!
+//! Every strategy speaks to the design space only through the memoising
+//! [`Evaluator`], submitting whole generations so candidate predictions
+//! share sharded workers and fused tapes. All strategies are deterministic
+//! for a fixed seed: the RNG is the workspace's seeded SplitMix64, candidate
+//! sets are kept in canonical orders (never `HashMap` iteration order), and
+//! the evaluator's results are bit-identical at any `HLSGNN_WORKERS` value —
+//! so a strategy's output is byte-stable across runs *and* worker counts.
+//!
+//! The built-in strategies:
+//!
+//! * [`Exhaustive`] — evaluate the entire space; the reference answer.
+//! * [`RandomSearch`] — seeded uniform sampling without replacement.
+//! * [`SimulatedAnnealing`] — parallel Metropolis chains over a scalarised
+//!   energy with geometric cooling.
+//! * [`Nsga2`] — NSGA-II-style evolutionary search: constrained
+//!   non-dominated sorting, crowding-distance selection, uniform crossover
+//!   and per-knob reset mutation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hls_gnn_core::Result;
+
+use crate::evaluate::{EvaluatedPoint, Evaluator};
+use crate::pareto::{crowding_distance, non_dominated_sort, pareto_front_constrained};
+use crate::space::{distinct_indices, DesignPoint};
+
+/// The outcome of one exploration run.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// Strategy name (`"exhaustive"`, `"random"`, `"anneal"`, `"nsga2"`).
+    pub strategy: String,
+    /// Every distinct design evaluated, ascending by canonical index.
+    pub evaluated: Vec<EvaluatedPoint>,
+    /// The non-dominated subset of `evaluated` under constrained
+    /// domination, ascending by canonical index.
+    pub front: Vec<EvaluatedPoint>,
+    /// Distinct design points evaluated (the DSE cost).
+    pub distinct_evaluations: usize,
+    /// Model predictions actually computed (≤ evaluations: clamped
+    /// duplicates share one prediction via the content fingerprint).
+    pub predictions_computed: usize,
+    /// Evaluations served from the fingerprint memo.
+    pub prediction_reuses: usize,
+}
+
+/// A search strategy over a design space.
+pub trait Explorer {
+    /// Strategy name used in reports and output file names.
+    fn name(&self) -> &'static str;
+
+    /// Runs the search against a fresh evaluator.
+    ///
+    /// # Errors
+    /// Propagates evaluation failures.
+    fn explore(&self, evaluator: &mut Evaluator<'_>) -> Result<Exploration>;
+}
+
+/// Wraps up an exploration from whatever the evaluator has accumulated.
+fn finish(name: &str, evaluator: &Evaluator<'_>) -> Exploration {
+    let evaluated = evaluator.evaluated();
+    let front_positions = pareto_front_constrained(&evaluated);
+    // Requested points that clamped to the same effective kernel are the
+    // same design; the front reports each design once (lowest index wins —
+    // `evaluated` is ascending by index).
+    let mut seen_designs: Vec<&str> = Vec::new();
+    let mut front: Vec<EvaluatedPoint> = Vec::new();
+    for &position in &front_positions {
+        let member = &evaluated[position];
+        if !seen_designs.contains(&member.design.as_str()) {
+            seen_designs.push(&member.design);
+            front.push(member.clone());
+        }
+    }
+    Exploration {
+        strategy: name.to_owned(),
+        front,
+        distinct_evaluations: evaluator.evaluations(),
+        predictions_computed: evaluator.predictions_computed(),
+        prediction_reuses: evaluator.prediction_reuses(),
+        evaluated,
+    }
+}
+
+/// Evaluates the whole space — the ground truth every cheaper strategy is
+/// judged against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exhaustive;
+
+impl Explorer for Exhaustive {
+    fn name(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn explore(&self, evaluator: &mut Evaluator<'_>) -> Result<Exploration> {
+        let all: Vec<usize> = (0..evaluator.space().len()).collect();
+        evaluator.evaluate(&all)?;
+        Ok(finish(self.name(), evaluator))
+    }
+}
+
+/// Seeded uniform sampling of `budget` distinct points.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSearch {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of distinct points to evaluate (clamped to the space size).
+    pub budget: usize,
+}
+
+impl Explorer for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn explore(&self, evaluator: &mut Evaluator<'_>) -> Result<Exploration> {
+        let space_len = evaluator.space().len();
+        let budget = self.budget.clamp(1, space_len);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let chosen = distinct_indices(&mut rng, space_len, budget);
+        evaluator.evaluate(&chosen)?;
+        Ok(finish(self.name(), evaluator))
+    }
+}
+
+/// Scalarised annealing energy: log-compressed objective sum plus a heavy
+/// constraint penalty. Log compression keeps the LUT/FF counts (thousands)
+/// from drowning the DSP/CP objectives (tens).
+fn annealing_energy(point: &EvaluatedPoint) -> f64 {
+    let compressed: f64 = point.predicted.iter().map(|value| value.max(0.0).ln_1p()).sum();
+    compressed + 10.0 * point.violation
+}
+
+/// Parallel Metropolis chains over the knob lattice with geometric cooling.
+/// Every round proposes one single-knob move per chain and evaluates all
+/// proposals as one generation. The Pareto front is extracted from *all*
+/// designs visited, not just the final chain states — an annealer is a
+/// sampler here, the archive does the multi-objective work.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedAnnealing {
+    /// RNG seed.
+    pub seed: u64,
+    /// Cap on distinct evaluations (clamped to the space size).
+    pub budget: usize,
+    /// Number of parallel chains (one proposal each per round).
+    pub chains: usize,
+    /// Initial Metropolis temperature.
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per round, in `(0, 1]`.
+    pub cooling: f64,
+}
+
+impl SimulatedAnnealing {
+    /// A reasonable default schedule for a given budget.
+    pub fn with_budget(seed: u64, budget: usize) -> Self {
+        SimulatedAnnealing { seed, budget, chains: 4, initial_temperature: 1.0, cooling: 0.92 }
+    }
+}
+
+impl Explorer for SimulatedAnnealing {
+    fn name(&self) -> &'static str {
+        "anneal"
+    }
+
+    fn explore(&self, evaluator: &mut Evaluator<'_>) -> Result<Exploration> {
+        let space_len = evaluator.space().len();
+        let budget = self.budget.clamp(1, space_len);
+        let chains = self.chains.clamp(1, budget);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut current: Vec<usize> = (0..chains).map(|_| rng.gen_range(0..space_len)).collect();
+        let mut energies: Vec<f64> =
+            evaluator.evaluate(&current)?.iter().map(annealing_energy).collect();
+
+        let mut temperature = self.initial_temperature.max(1e-6);
+        // Memo hits cost nothing, so a round can make no budget progress;
+        // the round cap bounds the walk independently of the budget.
+        let max_rounds = 4 * budget.div_ceil(chains) + 16;
+        for _ in 0..max_rounds {
+            if evaluator.evaluations() >= budget {
+                break;
+            }
+            // Propose one single-knob move per chain.
+            let space = evaluator.space();
+            let proposals: Vec<usize> = current
+                .iter()
+                .map(|&index| {
+                    let point = space.point(index);
+                    let knob_slot = rng.gen_range(0..space.knobs().len());
+                    let knob = &space.knobs()[knob_slot];
+                    let position = knob
+                        .domain
+                        .iter()
+                        .position(|&value| value == point.values[knob_slot])
+                        .expect("point values are in-domain");
+                    let step: i64 = if rng.gen_bool(0.5) { 1 } else { -1 };
+                    let moved =
+                        (position as i64 + step).clamp(0, knob.cardinality() as i64 - 1) as usize;
+                    let mut values = point.values.clone();
+                    values[knob_slot] = knob.domain[moved];
+                    space
+                        .index_of(&DesignPoint::new(values))
+                        .expect("single-knob moves stay inside the space")
+                })
+                .collect();
+
+            // Respect the budget: never evaluate more *new* points than the
+            // remaining allowance; chains whose proposal was trimmed keep
+            // their current state this round.
+            let known: Vec<bool> =
+                proposals.iter().map(|&index| evaluator.is_evaluated(index)).collect();
+            let mut allowance = budget.saturating_sub(evaluator.evaluations());
+            let mut admitted: Vec<usize> = Vec::new();
+            let mut admitted_chains: Vec<usize> = Vec::new();
+            let mut seen_new: Vec<usize> = Vec::new();
+            for (chain, &proposal) in proposals.iter().enumerate() {
+                let is_new = !known[chain] && !seen_new.contains(&proposal);
+                if is_new {
+                    if allowance == 0 {
+                        continue;
+                    }
+                    allowance -= 1;
+                    seen_new.push(proposal);
+                }
+                admitted.push(proposal);
+                admitted_chains.push(chain);
+            }
+            let evaluated = evaluator.evaluate(&admitted)?;
+
+            for (slot, &chain) in admitted_chains.iter().enumerate() {
+                let proposed_energy = annealing_energy(&evaluated[slot]);
+                let delta = proposed_energy - energies[chain];
+                let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
+                if accept {
+                    current[chain] = admitted[slot];
+                    energies[chain] = proposed_energy;
+                }
+            }
+            temperature = (temperature * self.cooling).max(1e-6);
+        }
+        Ok(finish(self.name(), evaluator))
+    }
+}
+
+/// NSGA-II-style evolutionary search with constrained domination.
+#[derive(Debug, Clone, Copy)]
+pub struct Nsga2 {
+    /// RNG seed.
+    pub seed: u64,
+    /// Population size (clamped to the space size).
+    pub population: usize,
+    /// Number of generations after the initial population.
+    pub generations: usize,
+    /// Cap on distinct evaluations (clamped to the space size).
+    pub budget: usize,
+}
+
+impl Nsga2 {
+    /// A population/generation split for a given evaluation budget: the
+    /// population takes roughly a third of the budget up front, leaving the
+    /// rest for generational refinement.
+    pub fn with_budget(seed: u64, budget: usize) -> Self {
+        let population = (budget / 3).clamp(4, 64);
+        Nsga2 { seed, population, generations: 12, budget }
+    }
+
+    /// Binary tournament by (rank ascending, crowding descending, index
+    /// ascending).
+    fn tournament(
+        rng: &mut StdRng,
+        population: &[usize],
+        rank: &[usize],
+        crowding: &[f64],
+    ) -> usize {
+        let a = rng.gen_range(0..population.len());
+        let b = rng.gen_range(0..population.len());
+        let better = |x: usize, y: usize| -> bool {
+            rank[x]
+                .cmp(&rank[y])
+                .then(crowding[y].total_cmp(&crowding[x]))
+                .then(population[x].cmp(&population[y]))
+                .is_lt()
+        };
+        if better(b, a) {
+            population[b]
+        } else {
+            population[a]
+        }
+    }
+}
+
+impl Explorer for Nsga2 {
+    fn name(&self) -> &'static str {
+        "nsga2"
+    }
+
+    fn explore(&self, evaluator: &mut Evaluator<'_>) -> Result<Exploration> {
+        let space_len = evaluator.space().len();
+        let budget = self.budget.clamp(2, space_len);
+        let population_size = self.population.clamp(2, budget);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Distinct random initial population.
+        let mut population = distinct_indices(&mut rng, space_len, population_size);
+        let mut members = evaluator.evaluate(&population)?;
+
+        for _ in 0..self.generations {
+            if evaluator.evaluations() >= budget {
+                break;
+            }
+            // Rank + crowding of the current population for selection.
+            let fronts = non_dominated_sort(&members);
+            let mut rank = vec![0usize; members.len()];
+            let mut crowding = vec![0.0f64; members.len()];
+            for (depth, front) in fronts.iter().enumerate() {
+                let distances = crowding_distance(&members, front);
+                for (&member, distance) in front.iter().zip(distances) {
+                    rank[member] = depth;
+                    crowding[member] = distance;
+                }
+            }
+
+            // Breed one offspring generation.
+            let space = evaluator.space();
+            let knob_count = space.knobs().len();
+            let mut offspring: Vec<usize> = Vec::with_capacity(population_size);
+            for _ in 0..population_size {
+                let parent_a =
+                    space.point(Self::tournament(&mut rng, &population, &rank, &crowding));
+                let parent_b =
+                    space.point(Self::tournament(&mut rng, &population, &rank, &crowding));
+                let mut child: Vec<u32> = parent_a
+                    .values
+                    .iter()
+                    .zip(&parent_b.values)
+                    .map(|(&a, &b)| if rng.gen_bool(0.5) { a } else { b })
+                    .collect();
+                for (slot, knob) in space.knobs().iter().enumerate() {
+                    if rng.gen::<f64>() < 1.0 / knob_count as f64 {
+                        child[slot] = knob.domain[rng.gen_range(0..knob.cardinality())];
+                    }
+                }
+                offspring.push(
+                    space
+                        .index_of(&DesignPoint::new(child))
+                        .expect("crossover of in-domain values stays in-domain"),
+                );
+            }
+
+            // Budget trim: drop offspring that would exceed the allowance of
+            // *new* evaluations (already-evaluated points are free).
+            let mut allowance = budget.saturating_sub(evaluator.evaluations());
+            let mut admitted: Vec<usize> = Vec::new();
+            for candidate in offspring {
+                let is_new = !evaluator.is_evaluated(candidate) && !admitted.contains(&candidate);
+                if is_new {
+                    if allowance == 0 {
+                        continue;
+                    }
+                    allowance -= 1;
+                }
+                admitted.push(candidate);
+            }
+            evaluator.evaluate(&admitted)?;
+
+            // Environmental selection over parents ∪ offspring (distinct,
+            // canonical order for determinism).
+            let mut combined: Vec<usize> = population.iter().copied().chain(admitted).collect();
+            combined.sort_unstable();
+            combined.dedup();
+            let combined_members = evaluator.evaluate(&combined)?;
+            let fronts = non_dominated_sort(&combined_members);
+            let mut next: Vec<usize> = Vec::with_capacity(population_size);
+            for front in fronts {
+                if next.len() >= population_size {
+                    break;
+                }
+                if next.len() + front.len() <= population_size {
+                    next.extend(front.iter().map(|&position| combined[position]));
+                } else {
+                    let distances = crowding_distance(&combined_members, &front);
+                    let mut order: Vec<usize> = (0..front.len()).collect();
+                    order.sort_by(|&a, &b| {
+                        distances[b]
+                            .total_cmp(&distances[a])
+                            .then(combined[front[a]].cmp(&combined[front[b]]))
+                    });
+                    for position in order {
+                        if next.len() >= population_size {
+                            break;
+                        }
+                        next.push(combined[front[position]]);
+                    }
+                }
+            }
+            population = next;
+            members = evaluator.evaluate(&population)?;
+        }
+        Ok(finish(self.name(), evaluator))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DesignSpace;
+    use crate::testing::StubPredictor;
+    use hls_gnn_core::runtime::ParallelConfig;
+    use hls_sim::FpgaDevice;
+
+    fn run(strategy: &dyn Explorer, space: &DesignSpace, workers: usize) -> Exploration {
+        let stub = StubPredictor;
+        let mut evaluator = Evaluator::new(
+            space,
+            &stub,
+            FpgaDevice::default(),
+            ParallelConfig::with_workers(workers),
+        );
+        strategy.explore(&mut evaluator).expect("exploration succeeds")
+    }
+
+    #[test]
+    fn exhaustive_covers_the_space_and_extracts_a_front() {
+        let space = DesignSpace::dot_tiny();
+        let result = run(&Exhaustive, &space, 1);
+        assert_eq!(result.distinct_evaluations, space.len());
+        assert_eq!(result.evaluated.len(), space.len());
+        assert!(!result.front.is_empty());
+        assert!(result.front.len() <= result.evaluated.len());
+    }
+
+    #[test]
+    fn budgeted_strategies_respect_their_budgets() {
+        let space = DesignSpace::fir();
+        for strategy in [
+            &RandomSearch { seed: 9, budget: 18 } as &dyn Explorer,
+            &SimulatedAnnealing::with_budget(9, 18),
+            &Nsga2 { seed: 9, population: 6, generations: 8, budget: 18 },
+        ] {
+            let result = run(strategy, &space, 1);
+            assert!(
+                result.distinct_evaluations <= 18,
+                "{} evaluated {} of a budget of 18",
+                result.strategy,
+                result.distinct_evaluations
+            );
+            assert!(result.distinct_evaluations >= 6, "{} barely searched", result.strategy);
+        }
+    }
+
+    #[test]
+    fn searches_are_deterministic_for_a_fixed_seed_and_any_worker_count() {
+        let space = DesignSpace::dot_tiny();
+        for strategy in [
+            &RandomSearch { seed: 3, budget: 8 } as &dyn Explorer,
+            &SimulatedAnnealing::with_budget(3, 8),
+            &Nsga2 { seed: 3, population: 4, generations: 3, budget: 10 },
+        ] {
+            let baseline = run(strategy, &space, 1);
+            for workers in [1, 4] {
+                let repeat = run(strategy, &space, workers);
+                assert_eq!(
+                    baseline.evaluated, repeat.evaluated,
+                    "{} diverged at {workers} workers",
+                    baseline.strategy
+                );
+                assert_eq!(baseline.front, repeat.front);
+            }
+        }
+    }
+}

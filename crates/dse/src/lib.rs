@@ -1,0 +1,81 @@
+//! `hls-gnn-dse` — multi-objective design-space exploration over trained
+//! HLS-GNN predictors.
+//!
+//! The paper's payoff for fast GNN-based QoR prediction is *rapid design
+//! ranking*: scoring pragma/precision variants of a kernel before running
+//! HLS. This crate turns that pitch into a subsystem (std-only, like
+//! `serve`):
+//!
+//! * [`space`] — the design-space model: typed knob domains
+//!   ([`space::KnobKind`]: unroll, pipeline II, array partition, bitwidth,
+//!   problem size) over parameterized kernel [`templates`] built on
+//!   [`hls_ir::ast::FunctionBuilder`], canonically indexed so search
+//!   strategies address candidates by number.
+//! * [`evaluate`] — the memoising evaluation gate: each [`space::DesignPoint`]
+//!   lowers to a `GraphSample` exactly once, predictions are memoised by the
+//!   128-bit content fingerprint shared with the serving cache
+//!   ([`hls_gnn_core::fingerprint`]), and each generation is scored through
+//!   `predict_batch_sharded` so candidates share workers and fused tapes.
+//! * [`explore`] — pluggable strategies behind the [`explore::Explorer`]
+//!   trait: exhaustive grid, seeded random sampling, simulated annealing and
+//!   an NSGA-II-style evolutionary searcher. Deterministic for a fixed seed
+//!   at any worker count.
+//! * [`pareto`] — the multi-objective machinery: Pareto-front extraction
+//!   over the four predicted targets (DSP/LUT/FF/CP), non-dominated sorting,
+//!   crowding distance, the hypervolume indicator, and
+//!   [`hls_sim::FpgaDevice`] resource-cap constraint handling via
+//!   constrained domination.
+//! * [`report`] — byte-stable JSON reports (`results/dse_*.json`) including
+//!   predicted-vs-simulated rank agreement.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hls_gnn_core::builder::PredictorBuilder;
+//! use hls_gnn_core::dataset::DatasetBuilder;
+//! use hls_gnn_core::runtime::ParallelConfig;
+//! use hls_gnn_core::train::TrainConfig;
+//! use hls_gnn_dse::{DesignSpace, Evaluator, Explorer, Nsga2};
+//! use hls_progen::synthetic::{ProgramFamily, SyntheticConfig};
+//! use hls_sim::FpgaDevice;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Train a small predictor (a real DSE run would load a snapshot).
+//! let corpus = DatasetBuilder::new(ProgramFamily::Control)
+//!     .count(12)
+//!     .seed(5)
+//!     .generator_config(SyntheticConfig::tiny(ProgramFamily::Control))
+//!     .build()?;
+//! let split = corpus.split(0.8, 0.1, 5);
+//! let predictor = PredictorBuilder::parse("base/gcn")?
+//!     .config(TrainConfig::fast())
+//!     .train(&split.train, &split.validation)?;
+//!
+//! // Explore a 12-point space with a budgeted evolutionary search.
+//! let space = DesignSpace::dot_tiny();
+//! let mut evaluator =
+//!     Evaluator::new(&space, &predictor, FpgaDevice::default(), ParallelConfig::serial());
+//! let result = Nsga2 { seed: 1, population: 4, generations: 2, budget: 8 }
+//!     .explore(&mut evaluator)?;
+//! assert!(!result.front.is_empty());
+//! assert!(result.distinct_evaluations <= 8);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod evaluate;
+pub mod explore;
+pub mod pareto;
+pub mod report;
+pub mod space;
+pub mod templates;
+pub mod testing;
+
+pub use evaluate::{sample_training_set, EvaluatedPoint, Evaluator};
+pub use explore::{Exhaustive, Exploration, Explorer, Nsga2, RandomSearch, SimulatedAnnealing};
+pub use pareto::{
+    constrained_dominates, crowding_distance, dominates, hypervolume, non_dominated_sort,
+    pareto_front, pareto_front_constrained,
+};
+pub use report::{front_hypervolume, reference_point, reference_point_of, DseReport, ReportPoint};
+pub use space::{DesignPoint, DesignSpace, Knob, KnobKind};

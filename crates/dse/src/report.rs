@@ -1,0 +1,161 @@
+//! Serialisable exploration reports — the `results/dse_*.json` artefacts.
+//!
+//! Reports are pure functions of the exploration (no timestamps, wall-clock
+//! times or machine identifiers), so a fixed seed produces byte-identical
+//! JSON across runs and worker counts — the property the `dse-smoke` CI job
+//! pins with `cmp`.
+
+use hls_gnn_core::metrics::{kendall_tau, spearman_rho};
+use hls_gnn_core::task::TargetMetric;
+
+use crate::evaluate::EvaluatedPoint;
+use crate::explore::Exploration;
+use crate::pareto::hypervolume;
+use crate::space::DesignSpace;
+
+/// One design in a report.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ReportPoint {
+    /// Canonical index in the space.
+    pub index: usize,
+    /// Kernel name (effective knob values).
+    pub design: String,
+    /// Knob assignment as `knob=value` pairs.
+    pub knobs: String,
+    /// Predicted `[DSP, LUT, FF, CP]`.
+    pub predicted: [f64; TargetMetric::COUNT],
+    /// `hls_sim` ground truth `[DSP, LUT, FF, CP]`.
+    pub ground_truth: [f64; TargetMetric::COUNT],
+    /// Predicted fractional `[DSP, LUT, FF]` device utilisation.
+    pub utilization: [f64; 3],
+    /// Whether the predicted usage fits the device.
+    pub feasible: bool,
+}
+
+impl ReportPoint {
+    fn new(space: &DesignSpace, point: &EvaluatedPoint) -> Self {
+        ReportPoint {
+            index: point.index,
+            design: point.design.clone(),
+            knobs: space.describe(&point.point),
+            predicted: point.predicted,
+            ground_truth: point.ground_truth,
+            utilization: point.utilization,
+            feasible: point.feasible,
+        }
+    }
+}
+
+/// Predicted-vs-ground-truth rank agreement over the evaluated designs.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct RankAgreement {
+    /// Target name (`DSP`, `LUT`, `FF`, `CP`).
+    pub target: String,
+    /// Spearman's ρ (NaN serialises as `null` on degenerate inputs).
+    pub spearman: f64,
+    /// Kendall's τ-b.
+    pub kendall: f64,
+}
+
+/// The full report of one exploration run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DseReport {
+    /// Space name.
+    pub space: String,
+    /// Number of points in the full space.
+    pub space_size: usize,
+    /// Strategy name.
+    pub strategy: String,
+    /// The predictor that scored the candidates (paper notation).
+    pub model: String,
+    /// Search seed.
+    pub seed: u64,
+    /// Distinct design points evaluated.
+    pub distinct_evaluations: usize,
+    /// Model predictions actually computed (fingerprint-deduplicated).
+    pub predictions_computed: usize,
+    /// Evaluations served from the fingerprint memo.
+    pub prediction_reuses: usize,
+    /// Reference point of the hypervolume (per-objective max over the
+    /// evaluated designs, scaled by 1.1).
+    pub reference: [f64; TargetMetric::COUNT],
+    /// Hypervolume of the predicted front against `reference`.
+    pub hypervolume: f64,
+    /// Per-target rank agreement between predicted and simulated orderings
+    /// over every evaluated design.
+    pub rank_agreement: Vec<RankAgreement>,
+    /// The non-dominated designs.
+    pub front: Vec<ReportPoint>,
+    /// Every evaluated design, ascending by index.
+    pub evaluated: Vec<ReportPoint>,
+}
+
+/// A hypervolume reference point for a set of objective vectors: the
+/// per-objective maximum, floored at 1.0 per objective (so an all-zero
+/// objective — e.g. DSP on a multiplier-free space — still yields a usable
+/// axis instead of a zero-thickness one) and stretched by 10% so boundary
+/// designs contribute volume.
+pub fn reference_point_of<'a>(
+    objectives: impl IntoIterator<Item = &'a [f64; TargetMetric::COUNT]>,
+) -> [f64; TargetMetric::COUNT] {
+    let mut reference = [1.0f64; TargetMetric::COUNT];
+    for vector in objectives {
+        for (slot, &value) in vector.iter().enumerate() {
+            reference[slot] = reference[slot].max(value);
+        }
+    }
+    for value in &mut reference {
+        *value *= 1.1;
+    }
+    reference
+}
+
+/// [`reference_point_of`] over the *predicted* objectives of evaluated
+/// designs — the reference the engine's own reports use.
+pub fn reference_point(points: &[EvaluatedPoint]) -> [f64; TargetMetric::COUNT] {
+    reference_point_of(points.iter().map(|point| &point.predicted))
+}
+
+/// Hypervolume of a front's predicted objectives against a reference point.
+pub fn front_hypervolume(front: &[EvaluatedPoint], reference: &[f64; TargetMetric::COUNT]) -> f64 {
+    let objectives: Vec<Vec<f64>> = front.iter().map(|point| point.predicted.to_vec()).collect();
+    hypervolume(&objectives, reference)
+}
+
+impl DseReport {
+    /// Builds the report for one exploration. The hypervolume reference is
+    /// derived from this run's own evaluated set; cross-strategy comparisons
+    /// (the `dse_sweep` bench) recompute both fronts against one shared
+    /// reference instead.
+    pub fn new(space: &DesignSpace, exploration: &Exploration, model: &str, seed: u64) -> Self {
+        let reference = reference_point(&exploration.evaluated);
+        let mut rank_agreement = Vec::with_capacity(TargetMetric::COUNT);
+        for target in TargetMetric::ALL {
+            let slot = target.index();
+            let predicted: Vec<f64> =
+                exploration.evaluated.iter().map(|p| p.predicted[slot]).collect();
+            let actual: Vec<f64> =
+                exploration.evaluated.iter().map(|p| p.ground_truth[slot]).collect();
+            rank_agreement.push(RankAgreement {
+                target: target.name().to_owned(),
+                spearman: spearman_rho(&predicted, &actual),
+                kendall: kendall_tau(&predicted, &actual),
+            });
+        }
+        DseReport {
+            space: space.name().to_owned(),
+            space_size: space.len(),
+            strategy: exploration.strategy.clone(),
+            model: model.to_owned(),
+            seed,
+            distinct_evaluations: exploration.distinct_evaluations,
+            predictions_computed: exploration.predictions_computed,
+            prediction_reuses: exploration.prediction_reuses,
+            reference,
+            hypervolume: front_hypervolume(&exploration.front, &reference),
+            rank_agreement,
+            front: exploration.front.iter().map(|p| ReportPoint::new(space, p)).collect(),
+            evaluated: exploration.evaluated.iter().map(|p| ReportPoint::new(space, p)).collect(),
+        }
+    }
+}

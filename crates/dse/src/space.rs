@@ -1,0 +1,395 @@
+//! The design-space model: typed knobs over parameterized kernel templates.
+//!
+//! A [`DesignSpace`] couples a kernel template (a function of knob values,
+//! built on [`hls_ir::ast::FunctionBuilder`]) with one typed domain per
+//! [`Knob`]. The space is finite and canonically ordered: every
+//! [`DesignPoint`] has a unique mixed-radix index in `0..space.len()`, so
+//! search strategies address candidates by index, memoisation is keyed
+//! deterministically, and an exhaustive sweep is simply `0..len`.
+//!
+//! Knob values feed the template as *requested* values; templates clamp them
+//! to what the kernel can structurally honour (e.g. partitioning an array
+//! into more banks than there are unrolled lanes adds nothing, so the
+//! effective bank count is `min(partition, unroll)`). Distinct points may
+//! therefore lower to byte-identical kernels — exactly the redundancy the
+//! content-fingerprint memoisation in [`crate::evaluate`] collapses.
+
+use std::fmt;
+use std::str::FromStr;
+
+use hls_gnn_core::{Error, Result};
+use hls_ir::ast::Function;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::templates::Template;
+
+/// Draws `count` distinct point indices from `0..space_len`, uniformly and
+/// in draw order, by seeded rejection sampling — the shared primitive behind
+/// random search, NSGA-II initial populations and surrogate training-set
+/// sampling. `count` is clamped to `space_len`. Deterministic for a given
+/// RNG state; callers needing a canonical order sort the result themselves.
+pub(crate) fn distinct_indices(rng: &mut StdRng, space_len: usize, count: usize) -> Vec<usize> {
+    let count = count.min(space_len);
+    let mut chosen: Vec<usize> = Vec::with_capacity(count);
+    while chosen.len() < count {
+        let candidate = rng.gen_range(0..space_len);
+        if !chosen.contains(&candidate) {
+            chosen.push(candidate);
+        }
+    }
+    chosen
+}
+
+/// The kind of a design knob — what the value means to the kernel template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum KnobKind {
+    /// Problem size (array length / output count) of the kernel.
+    ProblemSize,
+    /// Loop unroll factor: how many copies of the body are instantiated per
+    /// iteration.
+    Unroll,
+    /// Operand bitwidth of the kernel's data arrays.
+    Bitwidth,
+    /// Number of memory banks the hot arrays are cyclically partitioned
+    /// into (clamped to the unroll factor by the templates).
+    ArrayPartition,
+    /// Initiation-interval pressure: the number of interleaved accumulator
+    /// chains, which shortens the loop-carried recurrence the scheduler must
+    /// pipeline around (clamped to the unroll factor).
+    PipelineII,
+}
+
+impl KnobKind {
+    /// Short identifier used in design names, reports and the CLI knob table.
+    pub fn name(self) -> &'static str {
+        match self {
+            KnobKind::ProblemSize => "size",
+            KnobKind::Unroll => "unroll",
+            KnobKind::Bitwidth => "bitwidth",
+            KnobKind::ArrayPartition => "partition",
+            KnobKind::PipelineII => "accumulators",
+        }
+    }
+}
+
+impl fmt::Display for KnobKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One tunable dimension of a design space: a kind plus its finite,
+/// ascending value domain.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct Knob {
+    /// What the values mean to the template.
+    pub kind: KnobKind,
+    /// The allowed values, ascending and duplicate-free.
+    pub domain: Vec<u32>,
+}
+
+impl Knob {
+    /// Creates a knob over the given domain.
+    ///
+    /// # Panics
+    /// Panics on an empty, unsorted or duplicated domain — domains are
+    /// compiled into the space definition, so a malformed one is a
+    /// programming error, not an input error.
+    pub fn new(kind: KnobKind, domain: Vec<u32>) -> Self {
+        assert!(!domain.is_empty(), "knob `{kind}` has an empty domain");
+        assert!(
+            domain.windows(2).all(|pair| pair[0] < pair[1]),
+            "knob `{kind}` domain must be strictly ascending, got {domain:?}"
+        );
+        Knob { kind, domain }
+    }
+
+    /// Number of values in the domain.
+    pub fn cardinality(&self) -> usize {
+        self.domain.len()
+    }
+}
+
+/// One candidate design: a chosen value for every knob of its space, in knob
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize)]
+pub struct DesignPoint {
+    /// The chosen value per knob (parallel to `DesignSpace::knobs`).
+    pub values: Vec<u32>,
+}
+
+impl DesignPoint {
+    /// Creates a point from explicit knob values.
+    pub fn new(values: Vec<u32>) -> Self {
+        DesignPoint { values }
+    }
+}
+
+/// A finite, canonically indexed design space over one kernel template.
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    name: String,
+    template: Template,
+    knobs: Vec<Knob>,
+}
+
+impl DesignSpace {
+    /// The named spaces accepted by [`DesignSpace::from_str`] and the CLI.
+    pub const NAMED: [&'static str; 5] = ["dot", "dot-tiny", "fir", "fir-tiny", "stencil"];
+
+    pub(crate) fn new(name: &str, template: Template, knobs: Vec<Knob>) -> Self {
+        assert!(!knobs.is_empty(), "a design space needs at least one knob");
+        DesignSpace { name: name.to_owned(), template, knobs }
+    }
+
+    /// Dot-product accumulator family: 324 points over problem size, unroll,
+    /// bitwidth, array partitioning and accumulator interleaving.
+    pub fn dot() -> Self {
+        DesignSpace::new(
+            "dot",
+            Template::DotProduct,
+            vec![
+                Knob::new(KnobKind::ProblemSize, vec![16, 32, 64]),
+                Knob::new(KnobKind::Unroll, vec![1, 2, 4, 8]),
+                Knob::new(KnobKind::Bitwidth, vec![8, 16, 32]),
+                Knob::new(KnobKind::ArrayPartition, vec![1, 2, 4]),
+                Knob::new(KnobKind::PipelineII, vec![1, 2, 4]),
+            ],
+        )
+    }
+
+    /// A 12-point slice of the dot-product space, small enough for smoke
+    /// tests and byte-identity CI checks.
+    pub fn dot_tiny() -> Self {
+        DesignSpace::new(
+            "dot-tiny",
+            Template::DotProduct,
+            vec![
+                Knob::new(KnobKind::ProblemSize, vec![16]),
+                Knob::new(KnobKind::Unroll, vec![1, 2]),
+                Knob::new(KnobKind::Bitwidth, vec![8, 16, 32]),
+                Knob::new(KnobKind::ArrayPartition, vec![1]),
+                Knob::new(KnobKind::PipelineII, vec![1, 2]),
+            ],
+        )
+    }
+
+    /// FIR filter family (8 taps): 72 points over output count, inner-loop
+    /// unroll, bitwidth, coefficient partitioning and accumulator
+    /// interleaving.
+    pub fn fir() -> Self {
+        DesignSpace::new(
+            "fir",
+            Template::Fir,
+            vec![
+                Knob::new(KnobKind::ProblemSize, vec![16, 32]),
+                Knob::new(KnobKind::Unroll, vec![1, 2, 4]),
+                Knob::new(KnobKind::Bitwidth, vec![8, 16, 32]),
+                Knob::new(KnobKind::ArrayPartition, vec![1, 2]),
+                Knob::new(KnobKind::PipelineII, vec![1, 2]),
+            ],
+        )
+    }
+
+    /// An 8-point slice of the FIR space for smoke tests.
+    pub fn fir_tiny() -> Self {
+        DesignSpace::new(
+            "fir-tiny",
+            Template::Fir,
+            vec![
+                Knob::new(KnobKind::ProblemSize, vec![16]),
+                Knob::new(KnobKind::Unroll, vec![1, 2]),
+                Knob::new(KnobKind::Bitwidth, vec![8, 16]),
+                Knob::new(KnobKind::ArrayPartition, vec![1]),
+                Knob::new(KnobKind::PipelineII, vec![1, 2]),
+            ],
+        )
+    }
+
+    /// Three-point stencil family: 54 points over problem size, unroll,
+    /// bitwidth and input partitioning (no loop-carried recurrence, so no
+    /// accumulator knob).
+    pub fn stencil() -> Self {
+        DesignSpace::new(
+            "stencil",
+            Template::Stencil,
+            vec![
+                Knob::new(KnobKind::ProblemSize, vec![16, 32, 64]),
+                Knob::new(KnobKind::Unroll, vec![1, 2, 4]),
+                Knob::new(KnobKind::Bitwidth, vec![8, 16, 32]),
+                Knob::new(KnobKind::ArrayPartition, vec![1, 2]),
+            ],
+        )
+    }
+
+    /// Name of the space (used in reports and output file names).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The knobs, in canonical order.
+    pub fn knobs(&self) -> &[Knob] {
+        &self.knobs
+    }
+
+    /// Total number of design points (the product of the domain sizes).
+    pub fn len(&self) -> usize {
+        self.knobs.iter().map(Knob::cardinality).product()
+    }
+
+    /// True when the space has no points (never the case for built-in
+    /// spaces; knob domains are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decodes a canonical index into a design point (mixed-radix, first
+    /// knob most significant).
+    ///
+    /// # Panics
+    /// Panics when `index >= self.len()`.
+    pub fn point(&self, index: usize) -> DesignPoint {
+        assert!(index < self.len(), "point index {index} out of range (len {})", self.len());
+        let mut remainder = index;
+        let mut values = vec![0u32; self.knobs.len()];
+        for (slot, knob) in self.knobs.iter().enumerate().rev() {
+            let radix = knob.cardinality();
+            values[slot] = knob.domain[remainder % radix];
+            remainder /= radix;
+        }
+        DesignPoint::new(values)
+    }
+
+    /// Encodes a design point back to its canonical index; `None` when a
+    /// value is outside its knob's domain or the arity is wrong.
+    pub fn index_of(&self, point: &DesignPoint) -> Option<usize> {
+        if point.values.len() != self.knobs.len() {
+            return None;
+        }
+        let mut index = 0usize;
+        for (knob, &value) in self.knobs.iter().zip(&point.values) {
+            let position = knob.domain.iter().position(|&v| v == value)?;
+            index = index * knob.cardinality() + position;
+        }
+        Some(index)
+    }
+
+    /// The value a point assigns to the first knob of the given kind, or the
+    /// kind's neutral default (1) when the space has no such knob.
+    pub fn value_of(&self, point: &DesignPoint, kind: KnobKind) -> u32 {
+        self.knobs
+            .iter()
+            .zip(&point.values)
+            .find(|(knob, _)| knob.kind == kind)
+            .map(|(_, &value)| value)
+            .unwrap_or(1)
+    }
+
+    /// Renders a point as `knob=value` pairs in knob order.
+    pub fn describe(&self, point: &DesignPoint) -> String {
+        self.knobs
+            .iter()
+            .zip(&point.values)
+            .map(|(knob, value)| format!("{}={}", knob.kind, value))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Lowers a design point to its behavioural kernel. The function name
+    /// encodes the *effective* (post-clamp) knob values, so two points that
+    /// collapse to the same design produce byte-identical functions — and
+    /// therefore identical content fingerprints downstream.
+    ///
+    /// # Errors
+    /// Returns [`Error::Config`] for a point whose values are outside the
+    /// space, and propagates template construction failures.
+    pub fn instantiate(&self, point: &DesignPoint) -> Result<Function> {
+        if self.index_of(point).is_none() {
+            return Err(Error::Config(format!(
+                "design point {:?} is not a member of space `{}`",
+                point.values, self.name
+            )));
+        }
+        self.template.instantiate(self, point)
+    }
+}
+
+impl FromStr for DesignSpace {
+    type Err = Error;
+
+    fn from_str(text: &str) -> Result<Self> {
+        match text.trim() {
+            "dot" => Ok(DesignSpace::dot()),
+            "dot-tiny" => Ok(DesignSpace::dot_tiny()),
+            "fir" => Ok(DesignSpace::fir()),
+            "fir-tiny" => Ok(DesignSpace::fir_tiny()),
+            "stencil" => Ok(DesignSpace::stencil()),
+            other => Err(Error::Config(format!(
+                "unknown design space `{other}` (expected one of: {})",
+                Self::NAMED.join(", ")
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_spaces_parse_and_have_the_advertised_sizes() {
+        assert_eq!(DesignSpace::dot().len(), 324);
+        assert_eq!(DesignSpace::fir().len(), 72);
+        assert_eq!(DesignSpace::stencil().len(), 54);
+        assert_eq!(DesignSpace::dot_tiny().len(), 12);
+        assert_eq!(DesignSpace::fir_tiny().len(), 8);
+        for name in DesignSpace::NAMED {
+            let space: DesignSpace = name.parse().expect("named space parses");
+            assert_eq!(space.name(), name);
+        }
+        assert!("warp".parse::<DesignSpace>().is_err());
+    }
+
+    #[test]
+    fn point_indexing_round_trips_over_the_whole_space() {
+        let space = DesignSpace::fir();
+        for index in 0..space.len() {
+            let point = space.point(index);
+            assert_eq!(space.index_of(&point), Some(index));
+            for (knob, value) in space.knobs().iter().zip(&point.values) {
+                assert!(knob.domain.contains(value));
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_points_are_rejected() {
+        let space = DesignSpace::dot_tiny();
+        assert_eq!(space.index_of(&DesignPoint::new(vec![16, 3, 8, 1, 1])), None);
+        assert_eq!(space.index_of(&DesignPoint::new(vec![16, 1])), None);
+        assert!(space.instantiate(&DesignPoint::new(vec![16, 3, 8, 1, 1])).is_err());
+    }
+
+    #[test]
+    fn value_of_reads_by_kind_with_a_neutral_default() {
+        let space = DesignSpace::stencil();
+        let point = space.point(0);
+        assert_eq!(space.value_of(&point, KnobKind::ProblemSize), 16);
+        // The stencil space has no PipelineII knob; the neutral default is 1.
+        assert_eq!(space.value_of(&point, KnobKind::PipelineII), 1);
+    }
+
+    #[test]
+    fn describe_lists_knobs_in_order() {
+        let space = DesignSpace::dot_tiny();
+        let text = space.describe(&space.point(0));
+        assert!(text.starts_with("size=16 unroll=1"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_domains_are_rejected() {
+        Knob::new(KnobKind::Unroll, vec![4, 2]);
+    }
+}

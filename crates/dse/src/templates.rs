@@ -1,0 +1,297 @@
+//! Parameterized kernel templates behind the built-in design spaces.
+//!
+//! Each template maps a [`DesignPoint`] to a behavioural [`Function`] via
+//! [`hls_ir::ast::FunctionBuilder`], the way an HLS pragma sweep maps a
+//! directive file to a concrete design:
+//!
+//! * **unroll** duplicates the loop body `u` times and steps the loop by `u`;
+//! * **array partition** splits the hot arrays into `p` cyclic banks (bank
+//!   `k` holds elements `≡ k (mod p)`), enabling `p` concurrent reads — the
+//!   bank index of each unrolled lane is a compile-time constant because the
+//!   templates clamp `p` to divide the unroll factor;
+//! * **pipeline II** interleaves `a` accumulator chains, shortening the
+//!   loop-carried recurrence the scheduler must pipeline around;
+//! * **bitwidth** and **problem size** set the operand type and trip counts.
+//!
+//! Clamping means distinct requested points can lower to byte-identical
+//! kernels (partitioning a non-unrolled loop adds nothing); the function
+//! name encodes only *effective* values so such duplicates are truly
+//! identical — same name, same graph, same content fingerprint — and the
+//! evaluator's memoisation collapses them.
+
+use hls_gnn_core::Result;
+use hls_ir::ast::{BinaryOp, Expr, Function, FunctionBuilder, Stmt, VarId};
+use hls_ir::types::{ArrayType, ScalarType};
+
+use crate::space::{DesignPoint, DesignSpace, KnobKind};
+
+/// The kernel families the built-in spaces are defined over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Template {
+    /// Dot-product accumulator (multiply-add reduction).
+    DotProduct,
+    /// 8-tap FIR filter (sliding window multiply-accumulate).
+    Fir,
+    /// Three-point weighted stencil (no loop-carried recurrence).
+    Stencil,
+}
+
+impl Template {
+    /// Lowers a point of `space` to its kernel.
+    pub(crate) fn instantiate(&self, space: &DesignSpace, point: &DesignPoint) -> Result<Function> {
+        let knobs = EffectiveKnobs::resolve(space, point);
+        match self {
+            Template::DotProduct => dot_product(&knobs),
+            Template::Fir => fir(&knobs),
+            Template::Stencil => stencil(&knobs),
+        }
+    }
+}
+
+/// Knob values after clamping to what the kernel can structurally honour.
+struct EffectiveKnobs {
+    size: u32,
+    unroll: u32,
+    bits: u16,
+    partition: u32,
+    accumulators: u32,
+}
+
+impl EffectiveKnobs {
+    fn resolve(space: &DesignSpace, point: &DesignPoint) -> Self {
+        let size = space.value_of(point, KnobKind::ProblemSize).max(1);
+        let unroll = space.value_of(point, KnobKind::Unroll).clamp(1, size);
+        // Banks beyond the unrolled lanes (and accumulator chains beyond
+        // them) cannot be exercised; clamping keeps every point lowerable
+        // and keeps the bank of each lane a compile-time constant.
+        let partition = space.value_of(point, KnobKind::ArrayPartition).clamp(1, unroll);
+        let accumulators = space.value_of(point, KnobKind::PipelineII).clamp(1, unroll);
+        assert!(
+            size.is_power_of_two() && unroll.is_power_of_two() && partition.is_power_of_two(),
+            "built-in domains are powers of two (got size={size} unroll={unroll} \
+             partition={partition})"
+        );
+        let bits = space.value_of(point, KnobKind::Bitwidth).clamp(1, 64) as u16;
+        EffectiveKnobs { size, unroll, bits, partition, accumulators }
+    }
+}
+
+fn v(x: VarId) -> Expr {
+    Expr::var(x)
+}
+
+fn c(value: i64) -> Expr {
+    Expr::constant(value)
+}
+
+fn add(a: Expr, b: Expr) -> Expr {
+    Expr::binary(BinaryOp::Add, a, b)
+}
+
+fn mul(a: Expr, b: Expr) -> Expr {
+    Expr::binary(BinaryOp::Mul, a, b)
+}
+
+fn shl(a: Expr, b: Expr) -> Expr {
+    Expr::binary(BinaryOp::Shl, a, b)
+}
+
+fn shr(a: Expr, b: Expr) -> Expr {
+    Expr::binary(BinaryOp::Shr, a, b)
+}
+
+/// Read of cyclically banked element `base + offset`, where `base` is the
+/// loop induction variable (always a multiple of the unroll factor, hence of
+/// the bank count): the bank is the compile-time constant `offset % banks`
+/// and the in-bank index is `(base + offset) / banks`, a right shift because
+/// bank counts are powers of two.
+fn banked(banks: &[VarId], base: VarId, offset: i64) -> Expr {
+    let count = banks.len();
+    let bank = banks[(offset as usize) % count];
+    let flat = add(v(base), c(offset));
+    if count == 1 {
+        Expr::index(bank, flat)
+    } else {
+        Expr::index(bank, shr(flat, c(count.trailing_zeros() as i64)))
+    }
+}
+
+/// Declares `count` cyclic banks of an array parameter, each holding
+/// `len / count` (+ `pad`) elements.
+fn bank_params(
+    f: &mut FunctionBuilder,
+    stem: &str,
+    count: u32,
+    len: u32,
+    pad: u32,
+    elem: ScalarType,
+) -> Vec<VarId> {
+    (0..count)
+        .map(|bank| {
+            f.array_param(
+                format!("{stem}{bank}"),
+                ArrayType::new(elem, (len / count + pad) as usize),
+            )
+        })
+        .collect()
+}
+
+/// `acc_0 + acc_1 + ... + acc_{n-1}` as a left-leaning add chain.
+fn sum_vars(vars: &[VarId]) -> Expr {
+    let mut total = v(vars[0]);
+    for &var in &vars[1..] {
+        total = add(total, v(var));
+    }
+    total
+}
+
+/// Dot product: `total = Σ x[i]·y[i]` with unrolled lanes, banked operand
+/// arrays and interleaved accumulators.
+fn dot_product(k: &EffectiveKnobs) -> Result<Function> {
+    let name = format!(
+        "dse_dot_n{}_u{}_b{}_p{}_a{}",
+        k.size, k.unroll, k.bits, k.partition, k.accumulators
+    );
+    let mut f = FunctionBuilder::new(name);
+    let elem = ScalarType::signed(k.bits);
+    let x = bank_params(&mut f, "x", k.partition, k.size, 0, elem);
+    let y = bank_params(&mut f, "y", k.partition, k.size, 0, elem);
+    let accs: Vec<VarId> =
+        (0..k.accumulators).map(|i| f.local(format!("acc{i}"), ScalarType::signed(64))).collect();
+    let i = f.local("i", ScalarType::i32());
+    let total = f.local("total", ScalarType::signed(64));
+    for &acc in &accs {
+        f.assign(acc, c(0));
+    }
+    let mut body = Vec::new();
+    for lane in 0..k.unroll {
+        let product = mul(banked(&x, i, lane as i64), banked(&y, i, lane as i64));
+        let acc = accs[(lane % k.accumulators) as usize];
+        body.push(Stmt::assign(acc, add(v(acc), product)));
+    }
+    f.push(Stmt::for_loop(i, 0, k.size as i64, k.unroll as i64, body));
+    f.assign(total, sum_vars(&accs));
+    f.ret(total);
+    Ok(f.finish()?)
+}
+
+/// Number of taps of the FIR template (fixed; the problem-size knob sets the
+/// output count).
+const FIR_TAPS: u32 = 8;
+
+/// FIR filter: `out[i] = Σ_t x[i+t]·coef[t]`, inner tap loop unrolled with
+/// banked coefficients and interleaved accumulators.
+fn fir(k: &EffectiveKnobs) -> Result<Function> {
+    let name = format!(
+        "dse_fir_n{}_u{}_b{}_p{}_a{}",
+        k.size, k.unroll, k.bits, k.partition, k.accumulators
+    );
+    let mut f = FunctionBuilder::new(name);
+    let elem = ScalarType::signed(k.bits);
+    let x = f.array_param("x", ArrayType::new(elem, (k.size + FIR_TAPS) as usize));
+    let coef = bank_params(&mut f, "coef", k.partition, FIR_TAPS, 0, elem);
+    let out = f.local_array("out", ArrayType::new(ScalarType::signed(64), k.size as usize));
+    let accs: Vec<VarId> =
+        (0..k.accumulators).map(|i| f.local(format!("acc{i}"), ScalarType::signed(64))).collect();
+    let i = f.local("i", ScalarType::i32());
+    let t = f.local("t", ScalarType::i32());
+    let checksum = f.local("checksum", ScalarType::signed(64));
+    f.assign(checksum, c(0));
+    let mut outer = Vec::new();
+    for &acc in &accs {
+        outer.push(Stmt::assign(acc, c(0)));
+    }
+    let mut inner = Vec::new();
+    for lane in 0..k.unroll {
+        let sample = Expr::index(x, add(v(i), add(v(t), c(lane as i64))));
+        let weight = banked(&coef, t, lane as i64);
+        let acc = accs[(lane % k.accumulators) as usize];
+        inner.push(Stmt::assign(acc, add(v(acc), mul(sample, weight))));
+    }
+    outer.push(Stmt::for_loop(t, 0, FIR_TAPS as i64, k.unroll as i64, inner));
+    outer.push(Stmt::store(out, v(i), sum_vars(&accs)));
+    outer.push(Stmt::assign(checksum, add(v(checksum), sum_vars(&accs))));
+    f.push(Stmt::for_loop(i, 0, k.size as i64, 1, outer));
+    f.ret(checksum);
+    Ok(f.finish()?)
+}
+
+/// Three-point stencil: `y[i] = (x[i] + 2·x[i+1] + x[i+2]) >> 2` with
+/// unrolled lanes over banked input.
+fn stencil(k: &EffectiveKnobs) -> Result<Function> {
+    let name = format!("dse_sten_n{}_u{}_b{}_p{}", k.size, k.unroll, k.bits, k.partition);
+    let mut f = FunctionBuilder::new(name);
+    let elem = ScalarType::signed(k.bits);
+    // Each bank carries two pad elements so the `i+2` halo read stays in
+    // range at the right edge.
+    let x = bank_params(&mut f, "x", k.partition, k.size, 2, elem);
+    let y = f.local_array("y", ArrayType::new(ScalarType::signed(64), k.size as usize));
+    let i = f.local("i", ScalarType::i32());
+    let checksum = f.local("checksum", ScalarType::signed(64));
+    f.assign(checksum, c(0));
+    let mut body = Vec::new();
+    for lane in 0..k.unroll {
+        let lane = lane as i64;
+        let blended = shr(
+            add(
+                add(banked(&x, i, lane), shl(banked(&x, i, lane + 1), c(1))),
+                banked(&x, i, lane + 2),
+            ),
+            c(2),
+        );
+        body.push(Stmt::store(y, add(v(i), c(lane)), blended.clone()));
+        body.push(Stmt::assign(checksum, add(v(checksum), blended)));
+    }
+    f.push(Stmt::for_loop(i, 0, k.size as i64, k.unroll as i64, body));
+    f.ret(checksum);
+    Ok(f.finish()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::graph::{extract_graph, GraphKind};
+
+    #[test]
+    fn every_point_of_every_named_space_lowers_to_a_valid_cdfg() {
+        for name in DesignSpace::NAMED {
+            let space: DesignSpace = name.parse().unwrap();
+            for index in 0..space.len() {
+                let point = space.point(index);
+                let function = space
+                    .instantiate(&point)
+                    .unwrap_or_else(|e| panic!("{name}[{index}] failed to instantiate: {e}"));
+                assert!(function.has_control_flow(), "{name}[{index}] has no loop");
+                let graph = extract_graph(&function, GraphKind::Cdfg)
+                    .unwrap_or_else(|e| panic!("{name}[{index}] failed to lower: {e}"));
+                assert!(graph.node_count() > 5, "{name}[{index}] is suspiciously small");
+            }
+        }
+    }
+
+    #[test]
+    fn clamped_points_lower_to_identical_functions() {
+        let space = DesignSpace::dot();
+        // unroll=1 leaves nothing for partitioning or interleaving to do:
+        // every (partition, accumulators) combination collapses to the same
+        // effective design, name included.
+        let base =
+            space.instantiate(&DesignPoint::new(vec![16, 1, 8, 1, 1])).expect("base point lowers");
+        let clamped = space
+            .instantiate(&DesignPoint::new(vec![16, 1, 8, 4, 4]))
+            .expect("clamped point lowers");
+        assert_eq!(base, clamped);
+        assert_eq!(base.name, "dse_dot_n16_u1_b8_p1_a1");
+    }
+
+    #[test]
+    fn knob_values_change_the_lowered_kernel() {
+        let space = DesignSpace::dot();
+        let narrow = space.instantiate(&DesignPoint::new(vec![16, 2, 8, 1, 1])).unwrap();
+        let wide = space.instantiate(&DesignPoint::new(vec![16, 2, 32, 1, 1])).unwrap();
+        let unrolled = space.instantiate(&DesignPoint::new(vec![16, 8, 8, 1, 1])).unwrap();
+        assert_ne!(narrow, wide);
+        assert_ne!(narrow, unrolled);
+        assert!(unrolled.stmt_count() > narrow.stmt_count());
+    }
+}

@@ -1,0 +1,66 @@
+//! Deterministic test doubles for exercising search machinery without
+//! training a model. Not part of the supported API surface.
+#![doc(hidden)]
+
+use hls_gnn_core::builder::PredictorSpec;
+use hls_gnn_core::dataset::{Dataset, GraphSample};
+use hls_gnn_core::fingerprint::sample_fingerprint;
+use hls_gnn_core::persist::SavedPredictor;
+use hls_gnn_core::predictor::Predictor;
+use hls_gnn_core::task::TargetMetric;
+use hls_gnn_core::train::TrainConfig;
+use hls_gnn_core::{Error, Result};
+
+/// A trained-looking predictor whose outputs are a cheap deterministic
+/// function of the graph: objectives grow with node/edge counts, plus a
+/// fingerprint-derived jitter so distinct designs rarely tie. No training,
+/// no tapes — search-strategy tests run in milliseconds.
+///
+/// `snapshot()` is refused, which makes [`predict_batch_sharded`] fall back
+/// to the serial path — the stub is deliberately insensitive to the worker
+/// count, so determinism tests exercise the *strategy's* scheduling, not the
+/// runtime's.
+///
+/// [`predict_batch_sharded`]: hls_gnn_core::runtime::predict_batch_sharded
+#[derive(Debug, Clone, Default)]
+pub struct StubPredictor;
+
+impl Predictor for StubPredictor {
+    fn spec(&self) -> PredictorSpec {
+        "base/gcn".parse().expect("the stub spec is registered")
+    }
+
+    fn is_trained(&self) -> bool {
+        true
+    }
+
+    fn fit(
+        &mut self,
+        _train: &Dataset,
+        _validation: &Dataset,
+        _config: &TrainConfig,
+    ) -> Result<()> {
+        Ok(())
+    }
+
+    fn predict_batch(&self, samples: &[GraphSample]) -> Vec<Result<[f64; TargetMetric::COUNT]>> {
+        samples
+            .iter()
+            .map(|sample| {
+                let nodes = sample.num_nodes() as f64;
+                let edges = sample.structure.edge_count() as f64;
+                let jitter = (sample_fingerprint(sample) % 997) as f64 / 997.0;
+                Ok([
+                    (nodes / 8.0).floor() + jitter,
+                    30.0 * nodes + 5.0 * edges + 10.0 * jitter,
+                    20.0 * nodes + 7.0 * jitter,
+                    4.0 + 3.0 * jitter,
+                ])
+            })
+            .collect()
+    }
+
+    fn snapshot(&self) -> Result<SavedPredictor> {
+        Err(Error::NotTrained("the stub predictor has no weights to snapshot".to_owned()))
+    }
+}

@@ -1,0 +1,208 @@
+//! Integration tests of the DSE subsystem: Pareto-front invariants
+//! (property-based), exhaustive-vs-evolutionary agreement on a small space,
+//! and byte-stable determinism of exploration reports across worker counts.
+
+use proptest::prelude::*;
+
+use hls_gnn_core::runtime::ParallelConfig;
+use hls_gnn_dse::testing::StubPredictor;
+use hls_gnn_dse::{
+    dominates, front_hypervolume, pareto_front, reference_point, DesignSpace, DseReport, Evaluator,
+    Exhaustive, Exploration, Explorer, Nsga2, RandomSearch, SimulatedAnnealing,
+};
+use hls_sim::FpgaDevice;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy: a candidate set of 1..=24 objective vectors with 2..=4
+/// objectives, values drawn from a small grid so domination and duplicates
+/// actually occur.
+fn candidate_sets() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..=24, 2usize..=4, 0u64..1_000_000).prop_map(|(count, arity, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count).map(|_| (0..arity).map(|_| rng.gen_range(0u32..6) as f64).collect()).collect()
+    })
+}
+
+/// Deterministic pseudo-shuffle of positions.
+fn shuffled(len: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..len).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..len).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The extracted front is the same *set* of objective vectors for any
+    /// permutation of the candidates.
+    #[test]
+    fn front_is_invariant_to_candidate_order(candidates in candidate_sets(), seed in 0u64..1000) {
+        let baseline: Vec<Vec<f64>> = pareto_front(&candidates)
+            .into_iter()
+            .map(|p| candidates[p].clone())
+            .collect();
+        let order = shuffled(candidates.len(), seed);
+        let permuted: Vec<Vec<f64>> = order.iter().map(|&p| candidates[p].clone()).collect();
+        let permuted_front: Vec<Vec<f64>> = pareto_front(&permuted)
+            .into_iter()
+            .map(|p| permuted[p].clone())
+            .collect();
+        let mut a = baseline.clone();
+        let mut b = permuted_front.clone();
+        a.sort_by(|x, y| x.partial_cmp(y).expect("grid values are comparable"));
+        b.sort_by(|x, y| x.partial_cmp(y).expect("grid values are comparable"));
+        prop_assert_eq!(a, b);
+    }
+
+    /// No front member is dominated by any candidate.
+    #[test]
+    fn front_contains_no_dominated_point(candidates in candidate_sets()) {
+        let front = pareto_front(&candidates);
+        for &member in &front {
+            for other in &candidates {
+                prop_assert!(
+                    !dominates(other, &candidates[member]),
+                    "front member {:?} is dominated by {:?}",
+                    &candidates[member],
+                    other
+                );
+            }
+        }
+    }
+
+    /// Every excluded candidate is dominated by some front member.
+    #[test]
+    fn front_dominates_every_excluded_point(candidates in candidate_sets()) {
+        let front = pareto_front(&candidates);
+        for (position, candidate) in candidates.iter().enumerate() {
+            if front.contains(&position) {
+                continue;
+            }
+            prop_assert!(
+                front.iter().any(|&member| dominates(&candidates[member], candidate)),
+                "excluded candidate {:?} is dominated by no front member",
+                candidate
+            );
+        }
+    }
+
+    /// Hypervolume never shrinks when candidates are added.
+    #[test]
+    fn hypervolume_is_monotone_under_union(candidates in candidate_sets()) {
+        let arity = candidates[0].len();
+        let reference = vec![7.0; arity];
+        let partial: Vec<Vec<f64>> =
+            candidates.iter().take(candidates.len() / 2).cloned().collect();
+        let partial_hv = hls_gnn_dse::hypervolume(&partial, &reference);
+        let full_hv = hls_gnn_dse::hypervolume(&candidates, &reference);
+        prop_assert!(full_hv >= partial_hv - 1e-9, "{full_hv} < {partial_hv}");
+    }
+}
+
+fn explore(strategy: &dyn Explorer, space: &DesignSpace, workers: usize) -> Exploration {
+    let stub = StubPredictor;
+    let mut evaluator =
+        Evaluator::new(space, &stub, FpgaDevice::default(), ParallelConfig::with_workers(workers));
+    strategy.explore(&mut evaluator).expect("exploration succeeds")
+}
+
+/// On a space small enough for the evolutionary budget to cover it, NSGA-II
+/// must agree with the exhaustive front exactly — same designs, same
+/// objectives.
+#[test]
+fn exhaustive_and_evolutionary_agree_on_a_small_space() {
+    let space = DesignSpace::dot_tiny();
+    let exhaustive = explore(&Exhaustive, &space, 1);
+    let evolved = explore(
+        &Nsga2 { seed: 11, population: 6, generations: 10, budget: space.len() },
+        &space,
+        1,
+    );
+    // Fronts agree at the *design* level (requested points clamping to one
+    // kernel are the same design; each front reports a design once).
+    let full: Vec<&str> = exhaustive.front.iter().map(|p| p.design.as_str()).collect();
+    let found: Vec<&str> = evolved.front.iter().map(|p| p.design.as_str()).collect();
+    assert_eq!(full, found, "fronts disagree on a fully-searchable space");
+    for (a, b) in exhaustive.front.iter().zip(&evolved.front) {
+        assert_eq!(a.predicted, b.predicted);
+    }
+}
+
+/// With a quarter of the budget on a mid-size space, the evolutionary front
+/// must recover most of the exhaustive hypervolume — the engine's headline
+/// claim, checked here on the deterministic stub.
+#[test]
+fn budgeted_evolutionary_search_recovers_most_of_the_hypervolume() {
+    let space = DesignSpace::fir();
+    let exhaustive = explore(&Exhaustive, &space, 1);
+    let budget = space.len() / 4;
+    let evolved = explore(&Nsga2::with_budget(11, budget), &space, 1);
+    assert!(
+        evolved.distinct_evaluations <= budget,
+        "budget exceeded: {} > {budget}",
+        evolved.distinct_evaluations
+    );
+    let reference = reference_point(&exhaustive.evaluated);
+    let full_hv = front_hypervolume(&exhaustive.front, &reference);
+    let evolved_hv = front_hypervolume(&evolved.front, &reference);
+    assert!(full_hv > 0.0);
+    let ratio = evolved_hv / full_hv;
+    assert!(ratio >= 0.9, "evolutionary search recovered only {:.1}% of the HV", ratio * 100.0);
+    assert!(ratio <= 1.0 + 1e-9, "a subset search cannot beat the exhaustive front");
+}
+
+/// Exploration reports must serialise to byte-identical JSON for a fixed
+/// seed, across repeated runs and across worker counts — the invariant the
+/// `dse-smoke` CI job checks on the real binary.
+#[test]
+fn reports_are_byte_identical_across_runs_and_worker_counts() {
+    let space = DesignSpace::dot_tiny();
+    let render = |workers: usize, strategy: &dyn Explorer| -> String {
+        let exploration = explore(strategy, &space, workers);
+        let report = DseReport::new(&space, &exploration, "stub", 5);
+        serde_json::to_string_pretty(&report).expect("reports serialise")
+    };
+    for strategy in [
+        &Exhaustive as &dyn Explorer,
+        &RandomSearch { seed: 5, budget: 6 },
+        &SimulatedAnnealing::with_budget(5, 6),
+        &Nsga2 { seed: 5, population: 4, generations: 3, budget: 8 },
+    ] {
+        let baseline = render(1, strategy);
+        assert_eq!(baseline, render(1, strategy), "{} not repeatable", strategy.name());
+        assert_eq!(baseline, render(4, strategy), "{} worker-dependent", strategy.name());
+        assert!(baseline.contains("\"strategy\""));
+    }
+}
+
+/// The front of any strategy is internally consistent: non-dominated within
+/// itself and undominated by anything else that strategy evaluated.
+#[test]
+fn strategy_fronts_are_consistent_with_their_archives() {
+    let space = DesignSpace::fir_tiny();
+    for strategy in [
+        &Exhaustive as &dyn Explorer,
+        &RandomSearch { seed: 2, budget: 6 },
+        &SimulatedAnnealing::with_budget(2, 6),
+        &Nsga2 { seed: 2, population: 4, generations: 3, budget: 6 },
+    ] {
+        let result = explore(strategy, &space, 1);
+        assert!(!result.front.is_empty(), "{} found no front", result.strategy);
+        for member in &result.front {
+            for other in &result.evaluated {
+                assert!(
+                    !hls_gnn_dse::constrained_dominates(other, member),
+                    "{}: front member {} dominated by {}",
+                    result.strategy,
+                    member.design,
+                    other.design
+                );
+            }
+        }
+    }
+}

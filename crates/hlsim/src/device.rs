@@ -5,6 +5,8 @@
 //! target clock period, and total resource capacities (used only for
 //! utilisation reporting).
 
+use crate::{Error, Result};
+
 /// An FPGA device description, loosely modelled on a mid-size UltraScale+ part.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FpgaDevice {
@@ -53,6 +55,39 @@ impl FpgaDevice {
     pub fn usable_period_ns(&self) -> f64 {
         (self.clock_period_ns - self.clock_uncertainty_ns).max(0.1)
     }
+
+    /// Fractional utilisation of the three countable resources for a design
+    /// using `dsp` DSP blocks, `lut` LUTs and `ff` flip-flops, in that order.
+    /// `1.0` means the capacity is exactly exhausted; values above `1.0` mean
+    /// the design does not fit. This is the helper constraint handling builds
+    /// on (design-space exploration rejects or penalises candidates whose
+    /// predicted usage overflows the part).
+    ///
+    /// # Errors
+    /// Returns [`Error::Device`] when any resource capacity is zero — a
+    /// zero-resource device description is a configuration bug, and dividing
+    /// by it downstream would poison every comparison with `inf`/`NaN`
+    /// instead of failing loudly here.
+    pub fn resource_utilization(&self, dsp: f64, lut: f64, ff: f64) -> Result<[f64; 3]> {
+        for (capacity, name) in [
+            (self.dsp_capacity, "dsp_capacity"),
+            (self.lut_capacity, "lut_capacity"),
+            (self.ff_capacity, "ff_capacity"),
+        ] {
+            if capacity == 0 {
+                return Err(Error::Device(format!(
+                    "device `{}` has {name} = 0; utilisation against a zero-resource device \
+                     is undefined",
+                    self.name
+                )));
+            }
+        }
+        Ok([
+            dsp / self.dsp_capacity as f64,
+            lut / self.lut_capacity as f64,
+            ff / self.ff_capacity as f64,
+        ])
+    }
 }
 
 impl Default for FpgaDevice {
@@ -79,6 +114,29 @@ mod tests {
         assert!((device.usable_period_ns() - 9.7).abs() < 1e-9);
         let fast = FpgaDevice::medium_250mhz();
         assert!(fast.usable_period_ns() < device.usable_period_ns());
+    }
+
+    #[test]
+    fn resource_utilization_matches_capacities() {
+        let device = FpgaDevice::medium_100mhz();
+        let utilization = device
+            .resource_utilization(864.0, 115_200.0, 460_800.0)
+            .expect("non-zero capacities divide cleanly");
+        assert!((utilization[0] - 0.5).abs() < 1e-12);
+        assert!((utilization[1] - 0.5).abs() < 1e-12);
+        assert!((utilization[2] - 1.0).abs() < 1e-12);
+        // Overflow reads as a ratio above one, not a clamp.
+        let over = device.resource_utilization(3_456.0, 0.0, 0.0).unwrap();
+        assert!((over[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_resource_devices_are_rejected_with_a_typed_error() {
+        let device = FpgaDevice { lut_capacity: 0, ..FpgaDevice::medium_100mhz() };
+        let error = device.resource_utilization(1.0, 1.0, 1.0).unwrap_err();
+        assert!(matches!(&error, Error::Device(message) if message.contains("lut_capacity")));
+        let device = FpgaDevice { dsp_capacity: 0, ..FpgaDevice::medium_100mhz() };
+        assert!(matches!(device.resource_utilization(0.0, 0.0, 0.0), Err(Error::Device(_))));
     }
 
     #[test]

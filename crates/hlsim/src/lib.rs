@@ -68,6 +68,10 @@ pub enum Error {
     /// The scheduler could not order the operations (cyclic data dependence
     /// outside a recognised loop structure).
     Schedule(String),
+    /// The device description is unusable (e.g. a zero resource capacity,
+    /// which would turn every downstream utilisation ratio into a division
+    /// by zero).
+    Device(String),
 }
 
 impl fmt::Display for Error {
@@ -75,6 +79,7 @@ impl fmt::Display for Error {
         match self {
             Error::Frontend(e) => write!(f, "front-end error: {e}"),
             Error::Schedule(msg) => write!(f, "scheduling error: {msg}"),
+            Error::Device(msg) => write!(f, "device error: {msg}"),
         }
     }
 }
@@ -83,7 +88,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Frontend(e) => Some(e),
-            Error::Schedule(_) => None,
+            Error::Schedule(_) | Error::Device(_) => None,
         }
     }
 }

@@ -22,8 +22,10 @@
 //!   from a `SavedPredictor` snapshot (the `!Send` autodiff tape never
 //!   crosses threads) and pull micro-batches from the queue.
 //! * [`cache`] — a bounded LRU prediction cache keyed by a canonical content
-//!   fingerprint ([`fingerprint`]) of the request graph, with
-//!   hit/miss/eviction counters in `/stats`.
+//!   fingerprint ([`fingerprint`], re-exported from
+//!   [`hls_gnn_core::fingerprint`] — the same memoisation key the DSE
+//!   engine uses) of the request graph, with hit/miss/eviction counters in
+//!   `/stats`.
 //! * [`client`] — a minimal blocking HTTP client for the load generator,
 //!   tests and examples.
 //!

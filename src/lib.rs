@@ -12,6 +12,10 @@
 //! - [`hls_gnn_serve`]: the serving subsystem — an HTTP frontend, request
 //!   coalescing onto fused tapes, sharded workers and a prediction cache
 //!   over trained snapshots.
+//! - [`hls_gnn_dse`]: the design-space exploration subsystem — typed knob
+//!   spaces over kernel templates, pluggable search strategies (exhaustive,
+//!   random, annealing, NSGA-II) and Pareto/hypervolume machinery over the
+//!   four predicted targets.
 //!
 //! Most users only need the [`prelude`]:
 //!
@@ -37,6 +41,7 @@
 pub use gnn;
 pub use gnn_tensor;
 pub use hls_gnn_core;
+pub use hls_gnn_dse;
 pub use hls_gnn_serve;
 pub use hls_ir;
 pub use hls_progen;
@@ -61,6 +66,10 @@ pub mod prelude {
     pub use hls_gnn_core::task::{ResourceClass, TargetMetric};
     pub use hls_gnn_core::train::TrainConfig;
     pub use hls_gnn_core::Error;
+    pub use hls_gnn_dse::{
+        DesignPoint, DesignSpace, Evaluator, Exhaustive, Exploration, Explorer, Nsga2,
+        RandomSearch, SimulatedAnnealing,
+    };
     pub use hls_gnn_serve::{ServeConfig, ServiceHandle};
     pub use hls_progen::synthetic::ProgramFamily;
     pub use hls_sim::FpgaDevice;
