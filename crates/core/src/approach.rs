@@ -24,7 +24,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::builder::{ApproachKind, PredictorSpec};
-use crate::dataset::{Dataset, GraphSample};
+use crate::dataset::{Dataset, GraphSample, SampleSource};
 use crate::metrics::{mape_with_floor, TargetNormalizer};
 use crate::model::{GraphRegressor, NodeClassifierModel};
 use crate::persist::{SavedNormalizer, SavedPredictor, SavedTensor, SNAPSHOT_VERSION};
@@ -32,8 +32,8 @@ use crate::predictor::Predictor;
 use crate::runtime::{self, BatchConfig, ParallelConfig};
 use crate::task::{ResourceClass, TargetMetric};
 use crate::train::{
-    evaluate_node_classifier, predict_regressor, train_node_classifier, train_regressor,
-    TrainConfig,
+    evaluate_node_classifier, predict_regressor, train_node_classifier_source,
+    train_regressor_source, TrainConfig,
 };
 use crate::{Error, Result};
 
@@ -154,11 +154,72 @@ pub fn hls_baseline_mape(dataset: &Dataset) -> [f64; TargetMetric::COUNT] {
     result
 }
 
-fn ensure_nonempty(train: &Dataset) -> Result<()> {
+fn ensure_nonempty(train: &dyn SampleSource) -> Result<()> {
     if train.is_empty() {
         return Err(Error::DatasetTooSmall("training set is empty".to_owned()));
     }
     Ok(())
+}
+
+/// The seed-averaged protocol of [`seed_averaged_mape_with`] over
+/// [`SampleSource`]s: every run trains through
+/// [`Predictor::fit_source`] and scores through
+/// [`Predictor::evaluate_source`], so a sharded on-disk corpus is evaluated
+/// with per-mini-batch memory across all workers. For in-memory `Dataset`
+/// sources the reported metrics are bit-identical to
+/// [`seed_averaged_mape_with`] — training shares one code path, and
+/// evaluation chunking never changes a fused prediction.
+///
+/// Validation samples are used only to *rank* the runs (no in-tree predictor
+/// consumes them during fitting), so `fit_source` receives an empty
+/// validation dataset.
+///
+/// # Errors
+/// Propagates training/fetch errors (the lowest-seed failure); returns
+/// [`Error::Config`] when `runs` or `keep` is zero or `keep > runs`.
+#[allow(clippy::too_many_arguments)]
+pub fn seed_averaged_mape_source<A, F>(
+    parallel: &ParallelConfig,
+    make: F,
+    train: &dyn SampleSource,
+    validation: &dyn SampleSource,
+    test: &dyn SampleSource,
+    config: &TrainConfig,
+    runs: usize,
+    keep: usize,
+) -> Result<[f64; TargetMetric::COUNT]>
+where
+    A: Predictor,
+    F: Fn(u64) -> A + Sync,
+{
+    if runs == 0 || keep == 0 || keep > runs {
+        return Err(Error::Config(format!(
+            "invalid seed-averaging setup: runs = {runs}, keep = {keep}"
+        )));
+    }
+    let empty_validation = Dataset::default();
+    let mut ranked: Vec<(f64, [f64; TargetMetric::COUNT])> =
+        runtime::try_run_jobs(parallel, runs, |run| {
+            let seed = config.seed.wrapping_add(run as u64);
+            let run_config = config.clone().with_seed(seed);
+            let mut predictor = make(seed);
+            predictor.fit_source(train, &empty_validation, &run_config)?;
+            let ranking_set = if validation.is_empty() { train } else { validation };
+            let validation_mape = predictor.evaluate_source(ranking_set)?;
+            let score: f64 = validation_mape.iter().sum::<f64>() / TargetMetric::COUNT as f64;
+            Ok((score, predictor.evaluate_source(test)?))
+        })?;
+    ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut averaged = [0.0f64; TargetMetric::COUNT];
+    for (_, test_mape) in ranked.iter().take(keep) {
+        for (slot, value) in averaged.iter_mut().zip(test_mape) {
+            *slot += value;
+        }
+    }
+    for slot in &mut averaged {
+        *slot /= keep as f64;
+    }
+    Ok(averaged)
 }
 
 /// The GNN-based predictor implementing all three approaches of the paper,
@@ -372,20 +433,32 @@ impl Predictor for GnnPredictor {
         self.regressor.is_some() && self.normalizer.is_some()
     }
 
-    fn fit(&mut self, train: &Dataset, _validation: &Dataset, config: &TrainConfig) -> Result<()> {
+    fn fit(&mut self, train: &Dataset, validation: &Dataset, config: &TrainConfig) -> Result<()> {
+        // One training implementation: the in-memory path is the streamed
+        // path over the borrowing `SampleSource` impl, so the two can never
+        // drift apart numerically.
+        self.fit_source(train, validation, config)
+    }
+
+    fn fit_source(
+        &mut self,
+        train: &dyn SampleSource,
+        _validation: &Dataset,
+        config: &TrainConfig,
+    ) -> Result<()> {
         ensure_nonempty(train)?;
         config.validate()?;
-        // Validate the targets up front — the only other fallible step. Failing
-        // *before* any mutation means a rejected refit leaves an already
-        // trained predictor fully intact (and a fresh one untouched), never
-        // a half-retrained mix of stages.
-        let normalizer = TargetNormalizer::fit(train)?;
-        self.config = config.clone();
+        // Validate the targets up front, and train every stage into locals
+        // before mutating `self`: a rejected refit — or a mid-training fetch
+        // failure from an on-disk source — leaves an already trained
+        // predictor fully intact (and a fresh one untouched), never a
+        // half-retrained mix of stages.
+        let normalizer = TargetNormalizer::fit_source(train)?;
         // Stage 1 (hierarchical only): node-level classification, supervised
         // by the ground-truth resource types (knowledge infusion).
-        self.classifier = if self.spec.approach.uses_classifier() {
+        let classifier = if self.spec.approach.uses_classifier() {
             let classifier = NodeClassifierModel::new(self.spec.backbone, config);
-            train_node_classifier(&classifier, train, config);
+            train_node_classifier_source(&classifier, train, config)?;
             Some(classifier)
         } else {
             None
@@ -394,7 +467,9 @@ impl Predictor for GnnPredictor {
         // ground-truth types and self-infers them at prediction time.
         let regressor =
             GraphRegressor::new(self.spec.backbone, self.spec.approach.feature_mode(), config);
-        train_regressor(&regressor, &normalizer, train, config);
+        train_regressor_source(&regressor, &normalizer, train, config)?;
+        self.config = config.clone();
+        self.classifier = classifier;
         self.regressor = Some(regressor);
         self.normalizer = Some(normalizer);
         Ok(())

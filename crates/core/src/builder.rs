@@ -267,6 +267,20 @@ pub fn load_predictor(json: &str) -> Result<Box<dyn Predictor>> {
     Ok(Box::new(GnnPredictor::from_saved(&saved)?))
 }
 
+/// [`load_predictor`] from any reader (a snapshot file, a socket), buffering
+/// the text once internally — callers no longer slurp the file into their
+/// own `String` just to pass a `&str` in.
+///
+/// For files that may be in either the JSON or the binary container format,
+/// use `hls_gnn_store::load_predictor_auto`, which sniffs the magic bytes.
+///
+/// # Errors
+/// As [`load_predictor`], plus [`Error::Parse`] on I/O failure.
+pub fn load_predictor_from_reader(reader: impl std::io::Read) -> Result<Box<dyn Predictor>> {
+    let saved = SavedPredictor::from_reader(reader)?;
+    Ok(Box::new(GnnPredictor::from_saved(&saved)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,6 +10,8 @@
 //! * graph-level ground truth (`DSP`, `LUT`, `FF`, `CP`) plus the HLS report
 //!   used as the baseline estimator.
 
+use std::borrow::Cow;
+
 use gnn::GraphData;
 use hls_ir::ast::Function;
 use hls_ir::features::{edge_features, node_features, EdgeFeatures, NodeFeatures};
@@ -24,7 +26,7 @@ use rand::SeedableRng;
 use crate::{Error, Result};
 
 /// One benchmark program with everything the three approaches need.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphSample {
     /// Program name.
     pub name: String,
@@ -116,6 +118,51 @@ impl GraphSample {
     }
 }
 
+/// Random access to training samples, whether they live in RAM or on disk.
+///
+/// This is the seam between the training loops and the storage layer: an
+/// in-memory [`Dataset`] hands out borrowed samples at zero cost, while a
+/// sharded on-disk store (`hls_gnn_store::ShardedDataset`) decodes shards on
+/// demand and hands out owned copies, keeping peak memory bounded by its
+/// cache budget instead of the corpus size.
+///
+/// Contract: `fetch(i)` for a fixed `i` always yields the same sample, and
+/// the training loops promise to request whole mini-batches in their shuffled
+/// order — so a streamed source produces *bit-identical* results to
+/// materialising it into a [`Dataset`] first (the loops share one code path;
+/// see [`crate::train::train_regressor_source_with`]).
+///
+/// `Sync` is required so the seed-averaged evaluation protocol can share one
+/// source across its worker threads.
+pub trait SampleSource: Sync {
+    /// Number of samples addressable through [`SampleSource::fetch`].
+    fn len(&self) -> usize;
+
+    /// True when the source holds no samples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns sample `index` — borrowed when the source is in memory, owned
+    /// when it had to be decoded from storage.
+    ///
+    /// # Errors
+    /// Returns [`Error::Parse`] (or an I/O-flavoured variant) when a stored
+    /// sample cannot be read back; panics on an out-of-range index, which is
+    /// a caller bug just like slice indexing.
+    fn fetch(&self, index: usize) -> Result<Cow<'_, GraphSample>>;
+}
+
+impl SampleSource for Dataset {
+    fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    fn fetch(&self, index: usize) -> Result<Cow<'_, GraphSample>> {
+        Ok(Cow::Borrowed(&self.samples[index]))
+    }
+}
+
 /// A collection of [`GraphSample`]s.
 #[derive(Debug, Clone, Default)]
 pub struct Dataset {
@@ -138,6 +185,20 @@ impl Dataset {
     /// Creates a dataset from samples.
     pub fn new(samples: Vec<GraphSample>) -> Self {
         Dataset { samples }
+    }
+
+    /// Materialises any [`SampleSource`] into an in-memory dataset. This is
+    /// the fallback for predictors without a native streaming path — it
+    /// trades the source's memory bound for the simplicity of one `Vec`.
+    ///
+    /// # Errors
+    /// Propagates the first fetch failure.
+    pub fn from_source(source: &(impl SampleSource + ?Sized)) -> Result<Dataset> {
+        let mut samples = Vec::with_capacity(source.len());
+        for index in 0..source.len() {
+            samples.push(source.fetch(index)?.into_owned());
+        }
+        Ok(Dataset::new(samples))
     }
 
     /// Number of samples.

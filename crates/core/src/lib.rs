@@ -91,9 +91,14 @@ pub mod train;
 
 use std::fmt;
 
-pub use approach::{hls_baseline_mape, seed_averaged_mape, seed_averaged_mape_with, GnnPredictor};
-pub use builder::{load_predictor, ApproachKind, PredictorBuilder, PredictorSpec};
-pub use dataset::{Dataset, DatasetBuilder, GraphSample, Split};
+pub use approach::{
+    hls_baseline_mape, seed_averaged_mape, seed_averaged_mape_source, seed_averaged_mape_with,
+    GnnPredictor,
+};
+pub use builder::{
+    load_predictor, load_predictor_from_reader, ApproachKind, PredictorBuilder, PredictorSpec,
+};
+pub use dataset::{Dataset, DatasetBuilder, GraphSample, SampleSource, Split};
 pub use encode::{FeatureEncoder, FeatureMode};
 pub use fingerprint::{sample_fingerprint, Fingerprint};
 pub use metrics::{accuracy, f1_score, kendall_tau, mape, rmse, spearman_rho, TargetNormalizer};

@@ -4,7 +4,7 @@
 //! (not a perfect-looking `0.0`), and [`TargetNormalizer::fit`] rejects empty
 //! or negative-target training sets instead of fitting confident garbage.
 
-use crate::dataset::Dataset;
+use crate::dataset::{Dataset, SampleSource};
 use crate::task::TargetMetric;
 use crate::{Error, Result};
 
@@ -218,12 +218,26 @@ impl TargetNormalizer {
     /// statistics; targets are resource counts and delays, so a negative
     /// value is upstream garbage that must not be absorbed).
     pub fn fit(train: &Dataset) -> Result<Self> {
+        TargetNormalizer::fit_source(train)
+    }
+
+    /// [`TargetNormalizer::fit`] over any [`SampleSource`], streaming the
+    /// target vectors in two passes (mean, then variance) so a corpus far
+    /// larger than RAM fits with only per-sample memory. The accumulation
+    /// order — sample-major, target-minor, in the same three passes — is
+    /// identical to fitting on a materialised [`Dataset`], so the statistics
+    /// are bit-identical for the same samples in the same order.
+    ///
+    /// # Errors
+    /// As [`TargetNormalizer::fit`], plus the source's own fetch failures.
+    pub fn fit_source(train: &(impl SampleSource + ?Sized)) -> Result<Self> {
         if train.is_empty() {
             return Err(Error::DatasetTooSmall(
                 "cannot fit a target normalizer on an empty dataset".to_owned(),
             ));
         }
-        for sample in &train.samples {
+        for position in 0..train.len() {
+            let sample = train.fetch(position)?;
             for (index, &target) in sample.targets.iter().enumerate() {
                 if !target.is_finite() || target < 0.0 {
                     return Err(Error::Config(format!(
@@ -238,7 +252,8 @@ impl TargetNormalizer {
         let count = train.len() as f64;
         let mut mean = [0.0; TargetMetric::COUNT];
         let mut std = [0.0; TargetMetric::COUNT];
-        for sample in &train.samples {
+        for position in 0..train.len() {
+            let sample = train.fetch(position)?;
             for (index, &target) in sample.targets.iter().enumerate() {
                 mean[index] += target.ln_1p();
             }
@@ -246,7 +261,8 @@ impl TargetNormalizer {
         for value in &mut mean {
             *value /= count;
         }
-        for sample in &train.samples {
+        for position in 0..train.len() {
+            let sample = train.fetch(position)?;
             for (index, &target) in sample.targets.iter().enumerate() {
                 let centred = target.ln_1p() - mean[index];
                 std[index] += centred * centred;

@@ -205,6 +205,22 @@ impl SavedPredictor {
         }
         Ok(saved)
     }
+
+    /// [`SavedPredictor::from_json`] from any reader (a file, a socket): the
+    /// text is read into one buffer *here* instead of forcing every caller
+    /// to slurp the file itself and then hand over a borrowed `&str` — with
+    /// the old API, loaders ended up holding the snapshot text twice.
+    ///
+    /// # Errors
+    /// Returns [`Error::Parse`] on I/O failure, non-UTF-8 bytes, or any of
+    /// the [`SavedPredictor::from_json`] failures.
+    pub fn from_reader(mut reader: impl std::io::Read) -> Result<Self> {
+        let mut json = String::new();
+        reader
+            .read_to_string(&mut json)
+            .map_err(|e| Error::Parse(format!("cannot read predictor snapshot: {e}")))?;
+        SavedPredictor::from_json(&json)
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 //! optimise.
 
 use crate::builder::PredictorSpec;
-use crate::dataset::{Dataset, GraphSample};
+use crate::dataset::{Dataset, GraphSample, SampleSource};
 use crate::metrics::mape_with_floor;
 use crate::persist::SavedPredictor;
 use crate::task::TargetMetric;
@@ -40,6 +40,30 @@ pub trait Predictor {
     /// # Errors
     /// Returns [`crate::Error::DatasetTooSmall`] for an empty training set.
     fn fit(&mut self, train: &Dataset, validation: &Dataset, config: &TrainConfig) -> Result<()>;
+
+    /// Trains the predictor from any [`SampleSource`] — the streaming
+    /// counterpart of [`Predictor::fit`] for corpora that do not fit in RAM.
+    ///
+    /// The default implementation materialises the source into a [`Dataset`]
+    /// and delegates, which is correct but unbounded in memory;
+    /// implementations with a native streaming path (like
+    /// [`crate::approach::GnnPredictor`]) override it to iterate
+    /// mini-batch-bounded and produce results bit-identical to [`fit`] on
+    /// the materialised equivalent.
+    ///
+    /// # Errors
+    /// As [`Predictor::fit`], plus the source's own fetch failures.
+    ///
+    /// [`fit`]: Predictor::fit
+    fn fit_source(
+        &mut self,
+        train: &dyn SampleSource,
+        validation: &Dataset,
+        config: &TrainConfig,
+    ) -> Result<()> {
+        let train = Dataset::from_source(train)?;
+        self.fit(&train, validation, config)
+    }
 
     /// Predicts the raw `[DSP, LUT, FF, CP]` values for every design in a
     /// batch. This is the primary inference entry point: trained state is
@@ -89,6 +113,50 @@ pub trait Predictor {
             result[target] = mape_with_floor(&predictions[target], &actuals[target], 1.0);
         }
         result
+    }
+
+    /// [`Predictor::evaluate`] over any [`SampleSource`], streaming
+    /// fixed-size chunks through [`Predictor::predict_batch`] so peak memory
+    /// is bounded by the chunk size rather than the corpus. Because fused
+    /// inference is bit-identical to per-sample inference (chunk boundaries
+    /// never change a prediction), the score equals [`evaluate`] on the
+    /// materialised equivalent exactly.
+    ///
+    /// # Errors
+    /// Propagates the source's fetch failures. Prediction failures are
+    /// handled as in [`evaluate`] (skipped; all-failed ⇒ `NaN`).
+    ///
+    /// [`evaluate`]: Predictor::evaluate
+    fn evaluate_source(&self, source: &dyn SampleSource) -> Result<[f64; TargetMetric::COUNT]> {
+        const CHUNK: usize = 64;
+        let mut predictions: Vec<Vec<f64>> = vec![Vec::new(); TargetMetric::COUNT];
+        let mut actuals: Vec<Vec<f64>> = vec![Vec::new(); TargetMetric::COUNT];
+        let mut start = 0;
+        while start < source.len() {
+            let end = (start + CHUNK).min(source.len());
+            let mut chunk = Vec::with_capacity(end - start);
+            for index in start..end {
+                chunk.push(source.fetch(index)?.into_owned());
+            }
+            start = end;
+            let batch = self.predict_batch(&chunk);
+            for (sample, predicted) in chunk.iter().zip(batch) {
+                if let Ok(predicted) = predicted {
+                    for target in 0..TargetMetric::COUNT {
+                        predictions[target].push(predicted[target]);
+                        actuals[target].push(sample.targets[target]);
+                    }
+                }
+            }
+        }
+        if !source.is_empty() && predictions[0].is_empty() {
+            return Ok([f64::NAN; TargetMetric::COUNT]);
+        }
+        let mut result = [0.0f64; TargetMetric::COUNT];
+        for target in 0..TargetMetric::COUNT {
+            result[target] = mape_with_floor(&predictions[target], &actuals[target], 1.0);
+        }
+        Ok(result)
     }
 
     /// Exports the trained state (spec, hyper-parameters, normaliser and
@@ -143,6 +211,15 @@ impl<P: Predictor + ?Sized> Predictor for Box<P> {
         (**self).fit(train, validation, config)
     }
 
+    fn fit_source(
+        &mut self,
+        train: &dyn SampleSource,
+        validation: &Dataset,
+        config: &TrainConfig,
+    ) -> Result<()> {
+        (**self).fit_source(train, validation, config)
+    }
+
     fn predict_batch(&self, samples: &[GraphSample]) -> Vec<Result<[f64; TargetMetric::COUNT]>> {
         (**self).predict_batch(samples)
     }
@@ -153,6 +230,10 @@ impl<P: Predictor + ?Sized> Predictor for Box<P> {
 
     fn evaluate(&self, dataset: &Dataset) -> [f64; TargetMetric::COUNT] {
         (**self).evaluate(dataset)
+    }
+
+    fn evaluate_source(&self, source: &dyn SampleSource) -> Result<[f64; TargetMetric::COUNT]> {
+        (**self).evaluate_source(source)
     }
 
     fn snapshot(&self) -> Result<SavedPredictor> {

@@ -1,13 +1,15 @@
 //! Shared training loops for the graph-level regressor and the node-level
 //! classifier, plus the hyper-parameter configuration.
 
+use std::borrow::Cow;
+
 use gnn::Pooling;
 use gnn_tensor::{clip_grad_norm, Adam, Matrix};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::dataset::{Dataset, GraphSample};
+use crate::dataset::{Dataset, GraphSample, SampleSource};
 use crate::metrics::{accuracy, mape_with_floor, TargetNormalizer};
 use crate::model::{GraphRegressor, NodeClassifierModel};
 use crate::runtime::BatchConfig;
@@ -144,6 +146,27 @@ pub fn train_regressor(
     train_regressor_with(&BatchConfig::from_env(), model, normalizer, train, config)
 }
 
+/// [`train_regressor`] over any [`SampleSource`]: the loop only ever holds
+/// one mini-batch of samples in memory, so a sharded on-disk corpus trains
+/// with peak RSS bounded by `batch_size` samples plus the source's own cache.
+/// For the same samples in the same order the result is bit-identical to
+/// [`train_regressor`] on a materialised [`Dataset`] — both run this code.
+///
+/// # Errors
+/// Propagates the source's fetch failures (an in-memory dataset never fails).
+///
+/// # Panics
+/// Panics if `config.batch_size` is zero — reject such configs up front with
+/// [`TrainConfig::validate`].
+pub fn train_regressor_source(
+    model: &GraphRegressor,
+    normalizer: &TargetNormalizer,
+    train: &(impl SampleSource + ?Sized),
+    config: &TrainConfig,
+) -> crate::Result<LossHistory> {
+    train_regressor_source_with(&BatchConfig::from_env(), model, normalizer, train, config)
+}
+
 /// [`train_regressor`] with an explicit fusion width.
 ///
 /// The SGD protocol — shuffling, mini-batch boundaries, loss scaling — is
@@ -175,6 +198,30 @@ pub fn train_regressor_with(
     train: &Dataset,
     config: &TrainConfig,
 ) -> LossHistory {
+    train_regressor_source_with(batch_config, model, normalizer, train, config)
+        .expect("fetching from an in-memory dataset cannot fail")
+}
+
+/// [`train_regressor_source`] with an explicit fusion width. This is *the*
+/// regressor training loop — the `Dataset` entry points call it through the
+/// borrowing [`SampleSource`] impl, so the streamed and in-RAM paths cannot
+/// drift apart. Each shuffled mini-batch is fetched up front (borrowed
+/// zero-copy from a `Dataset`, decoded on demand from an on-disk store) and
+/// then runs the exact historical per-graph / fused tape logic.
+///
+/// # Errors
+/// Propagates the source's fetch failures.
+///
+/// # Panics
+/// Panics if `config.batch_size` is zero — reject such configs up front with
+/// [`TrainConfig::validate`].
+pub fn train_regressor_source_with(
+    batch_config: &BatchConfig,
+    model: &GraphRegressor,
+    normalizer: &TargetNormalizer,
+    train: &(impl SampleSource + ?Sized),
+    config: &TrainConfig,
+) -> crate::Result<LossHistory> {
     assert!(config.batch_size > 0, "TrainConfig::batch_size must be at least 1 (see validate())");
     let width = batch_config.effective_width(config.batch_size);
     let params = model.parameters();
@@ -187,11 +234,14 @@ pub fn train_regressor_with(
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         for batch in order.chunks(config.batch_size) {
+            // The only window of samples alive at once: one mini-batch.
+            let fetched: Vec<Cow<'_, GraphSample>> =
+                batch.iter().map(|&index| train.fetch(index)).collect::<crate::Result<_>>()?;
             adam.zero_grad();
             if width == 1 {
                 // Legacy per-graph tapes (exact historical behaviour).
-                for &index in batch {
-                    let sample = &train.samples[index];
+                for sample in &fetched {
+                    let sample: &GraphSample = sample;
                     let target = Matrix::row_vector(&normalizer.normalize(&sample.targets));
                     let prediction = model.forward(sample, None, true, &mut rng);
                     let loss = prediction.mse(&target).scale(1.0 / batch.len() as f32);
@@ -199,18 +249,17 @@ pub fn train_regressor_with(
                     loss.backward();
                 }
             } else {
-                let sizes: Vec<usize> =
-                    batch.iter().map(|&index| train.samples[index].num_nodes()).collect();
+                let sizes: Vec<usize> = fetched.iter().map(|s| s.num_nodes()).collect();
                 let mut start = 0;
                 for length in batch_config.plan_chunks(&sizes, config.batch_size, config.hidden_dim)
                 {
-                    let chunk = &batch[start..start + length];
+                    let chunk = &fetched[start..start + length];
                     start += length;
                     if length == 1 {
                         // A graph that fills (or overflows) the node budget on
                         // its own: run it on the plain per-graph path, which
                         // skips the fuse/encode-batch copies entirely.
-                        let sample = &train.samples[chunk[0]];
+                        let sample: &GraphSample = &chunk[0];
                         let target = Matrix::row_vector(&normalizer.normalize(&sample.targets));
                         let prediction = model.forward(sample, None, true, &mut rng);
                         let loss = prediction.mse(&target).scale(1.0 / batch.len() as f32);
@@ -218,8 +267,7 @@ pub fn train_regressor_with(
                         loss.backward();
                         continue;
                     }
-                    let samples: Vec<&GraphSample> =
-                        chunk.iter().map(|&index| &train.samples[index]).collect();
+                    let samples: Vec<&GraphSample> = chunk.iter().map(Cow::as_ref).collect();
                     let normalized: Vec<[f32; TargetMetric::COUNT]> =
                         samples.iter().map(|s| normalizer.normalize(&s.targets)).collect();
                     let targets =
@@ -241,7 +289,7 @@ pub fn train_regressor_with(
         }
         history.push(epoch_loss / train.len().max(1) as f64);
     }
-    history
+    Ok(history)
 }
 
 /// Predicts the raw `[DSP, LUT, FF, CP]` values for one sample.
@@ -297,6 +345,25 @@ pub fn train_node_classifier(
     train: &Dataset,
     config: &TrainConfig,
 ) -> LossHistory {
+    train_node_classifier_source(model, train, config)
+        .expect("fetching from an in-memory dataset cannot fail")
+}
+
+/// [`train_node_classifier`] over any [`SampleSource`] — one mini-batch of
+/// samples in memory at a time, bit-identical to the in-RAM loop for the
+/// same samples in the same order (they are the same code).
+///
+/// # Errors
+/// Propagates the source's fetch failures.
+///
+/// # Panics
+/// Panics if `config.batch_size` is zero — reject such configs up front with
+/// [`TrainConfig::validate`].
+pub fn train_node_classifier_source(
+    model: &NodeClassifierModel,
+    train: &(impl SampleSource + ?Sized),
+    config: &TrainConfig,
+) -> crate::Result<LossHistory> {
     assert!(config.batch_size > 0, "TrainConfig::batch_size must be at least 1 (see validate())");
     let params = model.parameters();
     let mut adam = Adam::new(params.clone(), config.learning_rate);
@@ -308,9 +375,11 @@ pub fn train_node_classifier(
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         for batch in order.chunks(config.batch_size) {
+            let fetched: Vec<Cow<'_, GraphSample>> =
+                batch.iter().map(|&index| train.fetch(index)).collect::<crate::Result<_>>()?;
             adam.zero_grad();
-            for &index in batch {
-                let sample = &train.samples[index];
+            for sample in &fetched {
+                let sample: &GraphSample = sample;
                 let labels =
                     Matrix::from_fn(sample.num_nodes(), ResourceClass::COUNT, |node, class| {
                         sample.node_resource_types[node][class]
@@ -325,7 +394,7 @@ pub fn train_node_classifier(
         }
         history.push(epoch_loss / train.len().max(1) as f64);
     }
-    history
+    Ok(history)
 }
 
 /// Per-class accuracy of a node classifier over a dataset (micro-averaged over

@@ -2,8 +2,15 @@
 //!
 //! ```text
 //! hls-gnn-dse <space> <model.json>   # spaces: dot, dot-tiny, fir, fir-tiny, stencil
+//! hls-gnn-dse <space> <model.hgns>   # binary snapshots work too (format sniffed)
 //! hls-gnn-dse <space> --demo         # train a small demo model first
 //! ```
+//!
+//! `--device <name>` selects the target FPGA part from the device catalog
+//! (case-insensitive; defaults to the catalog's first part), and
+//! `--catalog <file>` swaps the built-in catalog for one loaded from disk
+//! (see `hls-gnn-pack validate-catalog` and the checked-in
+//! `devices.catalog`).
 //!
 //! Environment knobs: `HLSGNN_DSE_STRATEGY` (`exhaustive`, `random`,
 //! `anneal`, `nsga2` or `all`), `HLSGNN_DSE_SEED`, `HLSGNN_DSE_BUDGET`
@@ -13,7 +20,7 @@
 //! `results/dse_<space>_<strategy>.json`; for a fixed seed the bytes are
 //! identical across runs and worker counts.
 
-use hls_gnn_core::builder::{load_predictor, PredictorBuilder};
+use hls_gnn_core::builder::PredictorBuilder;
 use hls_gnn_core::predictor::Predictor;
 use hls_gnn_core::runtime::ParallelConfig;
 use hls_gnn_core::task::TargetMetric;
@@ -22,7 +29,8 @@ use hls_gnn_dse::{
     sample_training_set, DesignSpace, DseReport, Evaluator, Exhaustive, Explorer, Nsga2,
     RandomSearch, SimulatedAnnealing,
 };
-use hls_sim::FpgaDevice;
+use hls_gnn_store::load_predictor_auto;
+use hls_sim::{DeviceCatalog, FpgaDevice};
 
 fn fail(message: &str) -> ! {
     eprintln!("hls-gnn-dse: {message}");
@@ -45,7 +53,7 @@ fn env_u64(name: &str, default: u64) -> u64 {
     env_usize(name, default as usize) as u64
 }
 
-fn demo_model(space: &DesignSpace, seed: u64) -> Box<dyn Predictor> {
+fn demo_model(space: &DesignSpace, device: &FpgaDevice, seed: u64) -> Box<dyn Predictor> {
     // The surrogate protocol: synthesise a ~20% sample of the space through
     // the flow and train on exactly that, then rank the rest with the model.
     let count = (space.len() / 5).clamp(8.min(space.len()), 64);
@@ -53,7 +61,7 @@ fn demo_model(space: &DesignSpace, seed: u64) -> Box<dyn Predictor> {
         "training a demo model (base/gcn, fast config) on {count} sampled designs of `{}` ...",
         space.name()
     );
-    let (_, corpus) = sample_training_set(space, &FpgaDevice::default(), seed, count)
+    let (_, corpus) = sample_training_set(space, device, seed, count)
         .unwrap_or_else(|error| fail(&format!("demo corpus failed: {error}")));
     let split = corpus.split(0.85, 0.1, 42);
     PredictorBuilder::parse("base/gcn")
@@ -77,23 +85,67 @@ fn write_report(space: &str, strategy: &str, report: &DseReport) {
     }
 }
 
+/// Splits `--device <name>` / `--catalog <file>` out of the argument list,
+/// returning the remaining positional arguments.
+fn parse_flags(args: Vec<String>) -> (Vec<String>, Option<String>, Option<String>) {
+    let mut positional = Vec::new();
+    let mut device = None;
+    let mut catalog = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let slot = match arg.as_str() {
+            "--device" => &mut device,
+            "--catalog" => &mut catalog,
+            _ => {
+                positional.push(arg);
+                continue;
+            }
+        };
+        match iter.next() {
+            Some(value) => *slot = Some(value),
+            None => fail(&format!("{arg} needs a value (see --help)")),
+        }
+    }
+    (positional, device, catalog)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
-            "usage: hls-gnn-dse <space> <model.json | --demo>\n\n\
+            "usage: hls-gnn-dse [--device <name>] [--catalog <file>] <space> \
+             <model.json|model.hgns | --demo>\n\n\
              Explores a design space with a trained predictor and writes\n\
-             results/dse_<space>_<strategy>.json per strategy.\n\
+             results/dse_<space>_<strategy>.json per strategy. The snapshot\n\
+             format (JSON or binary) is sniffed from the file.\n\
              Spaces: {}.\n\
+             Devices: {} (or any part from a --catalog file).\n\
              Env: HLSGNN_DSE_STRATEGY (exhaustive|random|anneal|nsga2|all),\n\
              HLSGNN_DSE_SEED, HLSGNN_DSE_BUDGET, HLSGNN_DSE_POP, HLSGNN_DSE_GENS,\n\
              HLSGNN_WORKERS, HLSGNN_BATCH.",
-            DesignSpace::NAMED.join(", ")
+            DesignSpace::NAMED.join(", "),
+            DeviceCatalog::builtin().names().join(", ")
         );
         return;
     }
-    let [space_name, model_arg] = args.as_slice() else {
-        fail("usage: hls-gnn-dse <space> <model.json | --demo> (see --help)");
+    let (positional, device_name, catalog_path) = parse_flags(args);
+    let [space_name, model_arg] = positional.as_slice() else {
+        fail(
+            "usage: hls-gnn-dse [--device <name>] [--catalog <file>] <space> \
+             <model.json|model.hgns | --demo> (see --help)",
+        );
+    };
+    let catalog = match &catalog_path {
+        Some(path) => DeviceCatalog::load(path).unwrap_or_else(|error| fail(&format!("{error}"))),
+        None => DeviceCatalog::builtin(),
+    };
+    let device: FpgaDevice = match &device_name {
+        Some(name) => {
+            catalog.select(name).unwrap_or_else(|error| fail(&format!("{error}"))).clone()
+        }
+        // No explicit part: the catalog's first entry (for the built-in
+        // catalog this is the default device, so behaviour is unchanged).
+        None => catalog.devices()[0].clone(),
     };
     let space: DesignSpace = space_name.parse().unwrap_or_else(|error| fail(&format!("{error}")));
     let seed = env_u64("HLSGNN_DSE_SEED", 7);
@@ -125,27 +177,29 @@ fn main() {
     };
 
     let predictor: Box<dyn Predictor> = if model_arg == "--demo" {
-        demo_model(&space, seed)
+        demo_model(&space, &device, seed)
     } else {
-        let json = std::fs::read_to_string(model_arg)
+        // Accepts both snapshot formats by sniffing the magic bytes.
+        let bytes = std::fs::read(model_arg)
             .unwrap_or_else(|error| fail(&format!("cannot read `{model_arg}`: {error}")));
-        load_predictor(&json)
+        load_predictor_auto(&bytes)
             .unwrap_or_else(|error| fail(&format!("cannot load `{model_arg}`: {error}")))
     };
 
     println!(
-        "exploring `{}` ({} points, {} knobs) with {} — seed {seed}, budget {budget}, \
+        "exploring `{}` ({} points, {} knobs) with {} on {} — seed {seed}, budget {budget}, \
          {} worker(s)",
         space.name(),
         space.len(),
         space.knobs().len(),
         predictor.name(),
+        device.name,
         parallel.workers()
     );
 
     for strategy in strategies {
         let mut evaluator =
-            Evaluator::new(&space, predictor.as_ref(), FpgaDevice::default(), parallel.clone());
+            Evaluator::new(&space, predictor.as_ref(), device.clone(), parallel.clone());
         let exploration = match strategy.explore(&mut evaluator) {
             Ok(exploration) => exploration,
             Err(error) => fail(&format!("{} exploration failed: {error}", strategy.name())),

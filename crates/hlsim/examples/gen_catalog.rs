@@ -1,0 +1,13 @@
+//! Regenerates the checked-in `devices.catalog` at the repository root:
+//!
+//! ```sh
+//! cargo run -p hls_sim --example gen_catalog > devices.catalog
+//! ```
+//!
+//! The `the_checked_in_catalog_file_matches_the_builtin_parts` test pins the
+//! file to this output, so any change to the built-in devices shows up as a
+//! test failure until the file is regenerated.
+
+fn main() {
+    println!("{}", hls_sim::DeviceCatalog::builtin().to_json());
+}

@@ -1,0 +1,274 @@
+//! Declarative FPGA device catalog: a parsed-and-validated file format for
+//! [`FpgaDevice`] descriptions.
+//!
+//! The flow historically knew exactly two hard-coded parts
+//! ([`FpgaDevice::medium_100mhz`] and [`FpgaDevice::medium_250mhz`]). A
+//! catalog file makes the device axis data instead of code — the same idiom
+//! as probe-rs's `probe-rs-target` chip database: tools ship a built-in
+//! catalog, users point them at their own file, and every record is validated
+//! on load so a typo fails with a named field instead of poisoning a
+//! characterisation run.
+//!
+//! The on-disk format is a JSON document (conventionally with a `.catalog`
+//! extension, so it reads as data rather than config):
+//!
+//! ```json
+//! {
+//!   "format": "hls-gnn-device-catalog",
+//!   "version": 1,
+//!   "devices": [ { "name": "...", "lut_inputs": 6, ... } ]
+//! }
+//! ```
+//!
+//! JSON keeps the catalog hand-editable and diffable; catalogs are tiny, so
+//! there is no binary fast path (unlike model snapshots and datasets, which
+//! get one in `hls_gnn_store`).
+
+use std::io::Read;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::FpgaDevice;
+use crate::{Error, Result};
+
+/// Current catalog format version, bumped on incompatible layout changes.
+pub const CATALOG_VERSION: u32 = 1;
+
+/// The `format` marker every catalog file must carry, so an arbitrary JSON
+/// document (a model snapshot, a bench report) is rejected by name instead of
+/// by a confusing field-shape error.
+pub const CATALOG_FORMAT: &str = "hls-gnn-device-catalog";
+
+/// The raw file shape; validated into a [`DeviceCatalog`] after parsing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CatalogFile {
+    format: String,
+    version: u32,
+    devices: Vec<FpgaDevice>,
+}
+
+/// A validated collection of named FPGA devices.
+///
+/// Every constructor validates: device records pass
+/// [`FpgaDevice::validate`], names are unique case-insensitively, and the
+/// catalog is non-empty — so holding a `DeviceCatalog` is proof the devices
+/// inside are usable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceCatalog {
+    devices: Vec<FpgaDevice>,
+}
+
+impl DeviceCatalog {
+    /// The catalog of built-in parts (the two devices the flow has always
+    /// shipped). The checked-in `devices.catalog` file at the repository
+    /// root is exactly this catalog serialised with [`DeviceCatalog::to_json`].
+    pub fn builtin() -> Self {
+        DeviceCatalog::new(vec![FpgaDevice::medium_100mhz(), FpgaDevice::medium_250mhz()])
+            .expect("the built-in devices are well-formed")
+    }
+
+    /// Builds a catalog from device records, validating each one.
+    ///
+    /// # Errors
+    /// Returns [`Error::Catalog`] for an empty device list or duplicate
+    /// (case-insensitive) names, and propagates [`Error::Device`] from
+    /// [`FpgaDevice::validate`].
+    pub fn new(devices: Vec<FpgaDevice>) -> Result<Self> {
+        if devices.is_empty() {
+            return Err(Error::Catalog("a device catalog needs at least one device".to_owned()));
+        }
+        let mut seen: Vec<String> = Vec::with_capacity(devices.len());
+        for device in &devices {
+            device.validate()?;
+            let key = device.name.to_ascii_lowercase();
+            if seen.contains(&key) {
+                return Err(Error::Catalog(format!(
+                    "duplicate device name `{}` (names are case-insensitive)",
+                    device.name
+                )));
+            }
+            seen.push(key);
+        }
+        Ok(DeviceCatalog { devices })
+    }
+
+    /// Parses and validates a catalog from JSON text.
+    ///
+    /// # Errors
+    /// Returns [`Error::Catalog`] on malformed JSON, a missing/wrong `format`
+    /// marker, a version this build does not understand, or any failed
+    /// record validation.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let file: CatalogFile = serde_json::from_str(text)
+            .map_err(|e| Error::Catalog(format!("malformed device catalog: {e}")))?;
+        if file.format != CATALOG_FORMAT {
+            return Err(Error::Catalog(format!(
+                "not a device catalog: format marker is `{}` (expected `{CATALOG_FORMAT}`)",
+                file.format
+            )));
+        }
+        if file.version == 0 || file.version > CATALOG_VERSION {
+            return Err(Error::Catalog(format!(
+                "device catalog version {} is not supported by this build \
+                 (supported: 1..={CATALOG_VERSION})",
+                file.version
+            )));
+        }
+        DeviceCatalog::new(file.devices)
+    }
+
+    /// Reads and parses a catalog from any reader (a file, a socket, a test
+    /// buffer) without an intermediate copy beyond the text itself.
+    ///
+    /// # Errors
+    /// Returns [`Error::Catalog`] on I/O failure, non-UTF-8 bytes, or any
+    /// parse/validation failure.
+    pub fn from_reader(mut reader: impl Read) -> Result<Self> {
+        let mut text = String::new();
+        reader
+            .read_to_string(&mut text)
+            .map_err(|e| Error::Catalog(format!("cannot read device catalog: {e}")))?;
+        DeviceCatalog::from_json(&text)
+    }
+
+    /// Loads a catalog from a file path.
+    ///
+    /// # Errors
+    /// Returns [`Error::Catalog`] naming the path on I/O or parse failure.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path).map_err(|e| {
+            Error::Catalog(format!("cannot open device catalog `{}`: {e}", path.display()))
+        })?;
+        DeviceCatalog::from_reader(std::io::BufReader::new(file)).map_err(|error| match error {
+            Error::Catalog(message) => Error::Catalog(format!("{}: {message}", path.display())),
+            other => other,
+        })
+    }
+
+    /// Serialises the catalog to the pretty-printed on-disk format.
+    pub fn to_json(&self) -> String {
+        let file = CatalogFile {
+            format: CATALOG_FORMAT.to_owned(),
+            version: CATALOG_VERSION,
+            devices: self.devices.clone(),
+        };
+        serde_json::to_string_pretty(&file).expect("catalog serialisation is infallible")
+    }
+
+    /// The validated device records.
+    pub fn devices(&self) -> &[FpgaDevice] {
+        &self.devices
+    }
+
+    /// Number of devices in the catalog.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when the catalog holds no devices (never the case for a
+    /// successfully constructed catalog; kept for `len`/`is_empty` symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The device names, in catalog order.
+    pub fn names(&self) -> Vec<&str> {
+        self.devices.iter().map(|d| d.name.as_str()).collect()
+    }
+
+    /// Looks a device up by name, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&FpgaDevice> {
+        self.devices.iter().find(|d| d.name.eq_ignore_ascii_case(name.trim()))
+    }
+
+    /// [`DeviceCatalog::get`] with a typed error listing the available names
+    /// — the shape CLIs want for a `--device` flag.
+    ///
+    /// # Errors
+    /// Returns [`Error::Catalog`] when no device has the given name.
+    pub fn select(&self, name: &str) -> Result<&FpgaDevice> {
+        self.get(name).ok_or_else(|| {
+            Error::Catalog(format!(
+                "no device named `{name}` in the catalog (available: {})",
+                self.names().join(", ")
+            ))
+        })
+    }
+}
+
+impl Default for DeviceCatalog {
+    fn default() -> Self {
+        DeviceCatalog::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_catalog_holds_both_parts_and_round_trips() {
+        let catalog = DeviceCatalog::builtin();
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.names(), ["sim-ultrascale-medium", "sim-ultrascale-medium-250"]);
+        let parsed = DeviceCatalog::from_json(&catalog.to_json());
+        assert_eq!(parsed, Ok(catalog));
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_typed_on_miss() {
+        let catalog = DeviceCatalog::builtin();
+        assert!(catalog.get("SIM-ULTRASCALE-MEDIUM").is_some());
+        assert_eq!(catalog.select("sim-ultrascale-medium").unwrap().clock_period_ns, 10.0);
+        let error = catalog.select("virtex-2000").unwrap_err();
+        assert!(
+            matches!(&error, Error::Catalog(message) if message.contains("available:")),
+            "{error}"
+        );
+    }
+
+    #[test]
+    fn malformed_and_mismatched_files_are_rejected() {
+        assert!(matches!(DeviceCatalog::from_json("{not json"), Err(Error::Catalog(_))));
+        // A structurally valid JSON document that is not a catalog.
+        assert!(matches!(
+            DeviceCatalog::from_json(r#"{"format": "bench-report", "version": 1, "devices": []}"#),
+            Err(Error::Catalog(_))
+        ));
+        // Future and zero versions are refused, not misread.
+        let mut catalog = DeviceCatalog::builtin().to_json();
+        catalog = catalog.replace("\"version\": 1", "\"version\": 99");
+        assert!(matches!(DeviceCatalog::from_json(&catalog), Err(Error::Catalog(_))));
+        let zero = DeviceCatalog::builtin().to_json().replace("\"version\": 1", "\"version\": 0");
+        assert!(matches!(DeviceCatalog::from_json(&zero), Err(Error::Catalog(_))));
+    }
+
+    #[test]
+    fn invalid_records_and_duplicates_are_rejected() {
+        let empty = DeviceCatalog::new(Vec::new());
+        assert!(matches!(empty, Err(Error::Catalog(_))));
+
+        let duplicate = DeviceCatalog::new(vec![
+            FpgaDevice::medium_100mhz(),
+            FpgaDevice { name: "SIM-ULTRASCALE-MEDIUM".to_owned(), ..FpgaDevice::medium_250mhz() },
+        ]);
+        assert!(matches!(duplicate, Err(Error::Catalog(_))));
+
+        let unusable =
+            DeviceCatalog::new(vec![FpgaDevice { lut_capacity: 0, ..FpgaDevice::default() }]);
+        assert!(matches!(unusable, Err(Error::Device(_))));
+    }
+
+    #[test]
+    fn the_checked_in_catalog_file_matches_the_builtin_parts() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../devices.catalog");
+        let catalog = DeviceCatalog::load(path).expect("the checked-in catalog loads");
+        assert_eq!(catalog, DeviceCatalog::builtin());
+        // The file is byte-for-byte what `to_json` emits, so regenerating it
+        // is always a no-op diff.
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text.trim_end_matches('\n'), DeviceCatalog::builtin().to_json());
+    }
+}

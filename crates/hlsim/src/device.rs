@@ -8,7 +8,7 @@
 use crate::{Error, Result};
 
 /// An FPGA device description, loosely modelled on a mid-size UltraScale+ part.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FpgaDevice {
     /// Device name used in reports.
     pub name: String,
@@ -48,12 +48,69 @@ impl FpgaDevice {
     /// A faster 250 MHz (4 ns) clock target on the same fabric, useful for
     /// ablation experiments on timing pressure.
     pub fn medium_250mhz() -> Self {
-        FpgaDevice { clock_period_ns: 4.0, ..Self::medium_100mhz() }
+        FpgaDevice {
+            name: "sim-ultrascale-medium-250".to_owned(),
+            clock_period_ns: 4.0,
+            ..Self::medium_100mhz()
+        }
     }
 
     /// Usable clock period after subtracting uncertainty, in nanoseconds.
     pub fn usable_period_ns(&self) -> f64 {
         (self.clock_period_ns - self.clock_uncertainty_ns).max(0.1)
+    }
+
+    /// Checks that the description is physically plausible. Device records
+    /// historically came only from the two built-in constructors, which are
+    /// correct by construction; catalog files are user-written, so every
+    /// field a catalog can set is validated here before the device reaches
+    /// the characterisation library or a utilisation ratio.
+    ///
+    /// # Errors
+    /// Returns [`Error::Device`] naming the offending field: an empty name,
+    /// fewer than 2 LUT inputs, a zero DSP multiplier width, a non-finite or
+    /// non-positive clock period, a negative (or clock-swallowing) clock
+    /// uncertainty, or a zero resource capacity.
+    pub fn validate(&self) -> Result<()> {
+        let fail = |what: &str| Err(Error::Device(format!("device `{}`: {what}", self.name)));
+        if self.name.trim().is_empty() {
+            return Err(Error::Device("device has an empty name".to_owned()));
+        }
+        if self.lut_inputs < 2 {
+            return fail(&format!(
+                "lut_inputs = {} (a LUT needs at least 2 inputs)",
+                self.lut_inputs
+            ));
+        }
+        if self.dsp_mult_width == 0 {
+            return fail("dsp_mult_width = 0 (a DSP multiplier needs a nonzero input width)");
+        }
+        if !self.clock_period_ns.is_finite() || self.clock_period_ns <= 0.0 {
+            return fail(&format!(
+                "clock_period_ns = {} (must be finite and positive)",
+                self.clock_period_ns
+            ));
+        }
+        if !self.clock_uncertainty_ns.is_finite()
+            || self.clock_uncertainty_ns < 0.0
+            || self.clock_uncertainty_ns >= self.clock_period_ns
+        {
+            return fail(&format!(
+                "clock_uncertainty_ns = {} (must be finite, non-negative and below the {} ns \
+                 clock period)",
+                self.clock_uncertainty_ns, self.clock_period_ns
+            ));
+        }
+        for (capacity, field) in [
+            (self.lut_capacity, "lut_capacity"),
+            (self.ff_capacity, "ff_capacity"),
+            (self.dsp_capacity, "dsp_capacity"),
+        ] {
+            if capacity == 0 {
+                return fail(&format!("{field} = 0 (a zero-resource device is unusable)"));
+            }
+        }
+        Ok(())
     }
 
     /// Fractional utilisation of the three countable resources for a design
@@ -137,6 +194,35 @@ mod tests {
         assert!(matches!(&error, Error::Device(message) if message.contains("lut_capacity")));
         let device = FpgaDevice { dsp_capacity: 0, ..FpgaDevice::medium_100mhz() };
         assert!(matches!(device.resource_utilization(0.0, 0.0, 0.0), Err(Error::Device(_))));
+    }
+
+    #[test]
+    fn built_in_devices_validate() {
+        FpgaDevice::medium_100mhz().validate().expect("the 100 MHz part is well-formed");
+        FpgaDevice::medium_250mhz().validate().expect("the 250 MHz part is well-formed");
+    }
+
+    #[test]
+    fn validate_rejects_implausible_fields() {
+        let base = FpgaDevice::medium_100mhz;
+        let broken = [
+            FpgaDevice { name: "  ".to_owned(), ..base() },
+            FpgaDevice { lut_inputs: 1, ..base() },
+            FpgaDevice { dsp_mult_width: 0, ..base() },
+            FpgaDevice { clock_period_ns: 0.0, ..base() },
+            FpgaDevice { clock_period_ns: f64::NAN, ..base() },
+            FpgaDevice { clock_uncertainty_ns: -0.1, ..base() },
+            FpgaDevice { clock_uncertainty_ns: 10.0, ..base() },
+            FpgaDevice { lut_capacity: 0, ..base() },
+            FpgaDevice { ff_capacity: 0, ..base() },
+            FpgaDevice { dsp_capacity: 0, ..base() },
+        ];
+        for device in broken {
+            assert!(
+                matches!(device.validate(), Err(Error::Device(_))),
+                "{device:?} should fail validation"
+            );
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! ```
 
 pub mod bind;
+pub mod catalog;
 pub mod device;
 pub mod flow;
 pub mod implementation;
@@ -51,6 +52,7 @@ pub mod schedule;
 
 use std::fmt;
 
+pub use catalog::DeviceCatalog;
 pub use device::FpgaDevice;
 pub use flow::{run_flow, run_flow_on_ir, FlowResult};
 pub use implementation::{ImplementationResult, NodeAnnotation, ResourceTypes};
@@ -72,6 +74,9 @@ pub enum Error {
     /// which would turn every downstream utilisation ratio into a division
     /// by zero).
     Device(String),
+    /// A device catalog file could not be read, parsed, or validated, or a
+    /// requested device name is not in the catalog.
+    Catalog(String),
 }
 
 impl fmt::Display for Error {
@@ -80,6 +85,7 @@ impl fmt::Display for Error {
             Error::Frontend(e) => write!(f, "front-end error: {e}"),
             Error::Schedule(msg) => write!(f, "scheduling error: {msg}"),
             Error::Device(msg) => write!(f, "device error: {msg}"),
+            Error::Catalog(msg) => write!(f, "device catalog error: {msg}"),
         }
     }
 }
@@ -88,7 +94,7 @@ impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Error::Frontend(e) => Some(e),
-            Error::Schedule(_) | Error::Device(_) => None,
+            Error::Schedule(_) | Error::Device(_) | Error::Catalog(_) => None,
         }
     }
 }

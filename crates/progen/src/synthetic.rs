@@ -179,7 +179,16 @@ impl ProgramGenerator {
 
     /// Generates `count` programs.
     pub fn generate_many(&mut self, count: usize) -> Vec<Function> {
-        (0..count).map(|_| self.generate()).collect()
+        self.generate_iter(count).collect()
+    }
+
+    /// Streaming counterpart of [`ProgramGenerator::generate_many`]: yields
+    /// the same `count` programs lazily, so corpora larger than memory can be
+    /// consumed one program at a time (e.g. spilled straight to a sharded
+    /// on-disk store). Draws from the same RNG stream in the same order —
+    /// collecting this iterator is bit-identical to `generate_many(count)`.
+    pub fn generate_iter(&mut self, count: usize) -> impl Iterator<Item = Function> + '_ {
+        (0..count).map(move |_| self.generate())
     }
 
     fn random_width(&mut self) -> u16 {

@@ -2,8 +2,12 @@
 //!
 //! ```text
 //! hls-gnn-serve model.json       # serve a snapshot written by save_json()
+//! hls-gnn-serve model.hgns       # or a binary snapshot from hls-gnn-pack
 //! hls-gnn-serve --demo           # train a small demo model, then serve it
 //! ```
+//!
+//! The snapshot format is sniffed from the file's magic bytes, so JSON and
+//! binary snapshots are interchangeable here.
 //!
 //! Environment knobs: `HLSGNN_SERVE_HOST` / `HLSGNN_SERVE_PORT` (bind
 //! address, default `127.0.0.1:7878`), `HLSGNN_SERVE_WORKERS`,
@@ -46,8 +50,8 @@ fn main() {
         [flag] if flag == "--demo" => demo_snapshot(),
         [path] if path == "--help" || path == "-h" => {
             println!(
-                "usage: hls-gnn-serve <model.json> | --demo\n\n\
-                 Serves a trained predictor snapshot over HTTP.\n\
+                "usage: hls-gnn-serve <model.json|model.hgns> | --demo\n\n\
+                 Serves a trained predictor snapshot (JSON or binary) over HTTP.\n\
                  Routes: POST /predict, GET /stats, GET /healthz, POST /shutdown.\n\
                  Env: HLSGNN_SERVE_HOST, HLSGNN_SERVE_PORT, HLSGNN_SERVE_WORKERS,\n\
                  HLSGNN_SERVE_CACHE, HLSGNN_SERVE_QUEUE, HLSGNN_SERVE_COALESCE."
@@ -55,12 +59,12 @@ fn main() {
             return;
         }
         [path] => {
-            let json = std::fs::read_to_string(path)
-                .unwrap_or_else(|error| fail(&format!("cannot read `{path}`: {error}")));
-            SavedPredictor::from_json(&json)
-                .unwrap_or_else(|error| fail(&format!("cannot load `{path}`: {error}")))
+            // Accepts both snapshot formats: the loader sniffs the magic
+            // bytes and decodes binary containers or JSON accordingly.
+            hls_gnn_store::snapshot_from_file(path)
+                .unwrap_or_else(|error| fail(&format!("cannot load snapshot: {error}")))
         }
-        _ => fail("usage: hls-gnn-serve <model.json> | --demo (see --help)"),
+        _ => fail("usage: hls-gnn-serve <model.json|model.hgns> | --demo (see --help)"),
     };
 
     let config = ServeConfig::from_env();

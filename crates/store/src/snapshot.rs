@@ -1,0 +1,349 @@
+//! Binary predictor snapshots: [`SavedPredictor`] ⇄ container codec, plus
+//! format auto-detection so every loader accepts JSON and binary snapshots
+//! interchangeably.
+//!
+//! # Sections
+//!
+//! | name         | kind  | contents                                          |
+//! |--------------|-------|---------------------------------------------------|
+//! | `meta`       | bytes | JSON: snapshot version, spec, config, tensor shapes |
+//! | `normalizer` | f64   | 8 values: per-target mean, then per-target std    |
+//! | `regressor`  | f32   | all regressor tensors, concatenated in state order |
+//! | `classifier` | f32   | ditto for the node classifier (hierarchical only) |
+//!
+//! The weight blobs are raw little-endian IEEE-754, so loading is a
+//! slice-reinterpretation of the file buffer rather than a float-parse per
+//! weight — and bit-exact by construction: the bytes written *are* the bits
+//! of the trained `f32`s. A binary round trip therefore reproduces
+//! `predict_batch` outputs exactly, same as the JSON path (which relies on
+//! shortest-round-trip float formatting for the same guarantee).
+//!
+//! Small structured state (spec, hyper-parameters, shapes) stays JSON inside
+//! the `meta` section: it is tens of bytes, human-recoverable, and reuses the
+//! existing serde schema instead of inventing a second binary encoding of
+//! `TrainConfig`.
+
+use std::io::Read;
+use std::path::Path;
+
+use hls_gnn_core::approach::GnnPredictor;
+use hls_gnn_core::builder::PredictorSpec;
+use hls_gnn_core::persist::{SavedNormalizer, SavedPredictor, SavedTensor, SNAPSHOT_VERSION};
+use hls_gnn_core::predictor::Predictor;
+use hls_gnn_core::train::TrainConfig;
+use hls_gnn_core::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::container::{Container, ContainerWriter};
+
+/// Row/column shape of one tensor; the `meta` section records one per tensor
+/// so the concatenated weight blobs can be split back losslessly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TensorShape {
+    rows: usize,
+    cols: usize,
+}
+
+/// The JSON payload of the `meta` section.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BinaryMeta {
+    /// [`SNAPSHOT_VERSION`] of the snapshot, with the same semantics as the
+    /// JSON format: 0 and future versions are refused at decode time.
+    snapshot_version: u32,
+    spec: PredictorSpec,
+    config: TrainConfig,
+    regressor_shapes: Vec<TensorShape>,
+    classifier_shapes: Option<Vec<TensorShape>>,
+}
+
+fn shapes_of(tensors: &[SavedTensor]) -> Vec<TensorShape> {
+    tensors.iter().map(|t| TensorShape { rows: t.rows, cols: t.cols }).collect()
+}
+
+fn concat_data(tensors: &[SavedTensor]) -> Vec<f32> {
+    let total: usize = tensors.iter().map(|t| t.data.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for tensor in tensors {
+        out.extend_from_slice(&tensor.data);
+    }
+    out
+}
+
+fn split_data(section: &str, shapes: &[TensorShape], data: &[f32]) -> Result<Vec<SavedTensor>> {
+    let expected: usize = shapes.iter().map(|s| s.rows * s.cols).sum();
+    if data.len() != expected {
+        return Err(Error::Parse(format!(
+            "snapshot section `{section}` holds {} weights but the recorded shapes need \
+             {expected}",
+            data.len()
+        )));
+    }
+    let mut tensors = Vec::with_capacity(shapes.len());
+    let mut offset = 0;
+    for shape in shapes {
+        let count = shape.rows * shape.cols;
+        tensors.push(SavedTensor {
+            rows: shape.rows,
+            cols: shape.cols,
+            data: data[offset..offset + count].to_vec(),
+        });
+        offset += count;
+    }
+    Ok(tensors)
+}
+
+/// Serialises a predictor snapshot into the binary container format.
+///
+/// # Errors
+/// Returns [`Error::Config`] if the metadata fails to serialise (cannot
+/// happen for snapshots produced by training).
+pub fn encode_snapshot(saved: &SavedPredictor) -> Result<Vec<u8>> {
+    let meta = BinaryMeta {
+        snapshot_version: saved.version,
+        spec: saved.spec,
+        config: saved.config.clone(),
+        regressor_shapes: shapes_of(&saved.regressor),
+        classifier_shapes: saved.classifier.as_deref().map(shapes_of),
+    };
+    let meta_json = serde_json::to_string(&meta)
+        .map_err(|e| Error::Config(format!("failed to serialise snapshot metadata: {e}")))?;
+
+    let mut normalizer = Vec::with_capacity(8);
+    normalizer.extend_from_slice(&saved.normalizer.mean);
+    normalizer.extend_from_slice(&saved.normalizer.std);
+
+    let mut writer = ContainerWriter::new();
+    writer.add_bytes("meta", meta_json.as_bytes());
+    writer.add_f64("normalizer", &normalizer);
+    writer.add_f32("regressor", &concat_data(&saved.regressor));
+    if let Some(classifier) = &saved.classifier {
+        writer.add_f32("classifier", &concat_data(classifier));
+    }
+    Ok(writer.finish())
+}
+
+/// Decodes a predictor snapshot from a parsed container.
+///
+/// Version semantics match [`SavedPredictor::from_json`]: version 0 and
+/// versions newer than [`SNAPSHOT_VERSION`] are refused with a typed error
+/// rather than misread. (Unlike JSON there is no version-less legacy binary —
+/// the format has carried the field from day one, so a missing field is
+/// malformed, not legacy.)
+///
+/// # Errors
+/// Returns [`Error::Parse`] on missing/mistyped sections, malformed metadata,
+/// weight counts that contradict the recorded shapes, or an unsupported
+/// snapshot version.
+pub fn decode_snapshot(container: &Container) -> Result<SavedPredictor> {
+    let meta_bytes = container.bytes("meta")?;
+    let meta_json = std::str::from_utf8(meta_bytes)
+        .map_err(|_| Error::Parse("snapshot `meta` section is not valid UTF-8".to_owned()))?;
+    let meta: BinaryMeta = serde_json::from_str(meta_json)
+        .map_err(|e| Error::Parse(format!("failed to parse snapshot metadata: {e}")))?;
+    if meta.snapshot_version > SNAPSHOT_VERSION {
+        return Err(Error::Parse(format!(
+            "predictor snapshot version {} is from a newer format than this build understands \
+             (supported: 1..={SNAPSHOT_VERSION}); refusing to reinterpret it",
+            meta.snapshot_version
+        )));
+    }
+    if meta.snapshot_version == 0 {
+        return Err(Error::Parse(
+            "predictor snapshot declares version 0, which was never a valid format".to_owned(),
+        ));
+    }
+
+    let normalizer = container.f64s("normalizer")?;
+    if normalizer.len() != 8 {
+        return Err(Error::Parse(format!(
+            "snapshot `normalizer` section holds {} values, expected 8 (mean ++ std)",
+            normalizer.len()
+        )));
+    }
+    let mut mean = [0.0; 4];
+    let mut std = [0.0; 4];
+    mean.copy_from_slice(&normalizer[..4]);
+    std.copy_from_slice(&normalizer[4..]);
+
+    let regressor = split_data("regressor", &meta.regressor_shapes, &container.f32s("regressor")?)?;
+    let classifier = match &meta.classifier_shapes {
+        Some(shapes) => Some(split_data("classifier", shapes, &container.f32s("classifier")?)?),
+        None => None,
+    };
+
+    Ok(SavedPredictor {
+        version: meta.snapshot_version,
+        spec: meta.spec,
+        config: meta.config,
+        normalizer: SavedNormalizer { mean, std },
+        regressor,
+        classifier,
+    })
+}
+
+/// Parses a snapshot from bytes in **either** format, deciding by the magic
+/// bytes: container files start with `HGNSTORE`, JSON files cannot.
+///
+/// # Errors
+/// Returns [`Error::Parse`] on malformed input in whichever format was
+/// detected (non-UTF-8 bytes without the magic are reported as not being a
+/// JSON snapshot).
+pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<SavedPredictor> {
+    if Container::sniff(bytes) {
+        decode_snapshot(&Container::from_bytes(bytes)?)
+    } else {
+        let json = std::str::from_utf8(bytes).map_err(|_| {
+            Error::Parse(
+                "snapshot is neither a binary container (no magic bytes) nor UTF-8 JSON".to_owned(),
+            )
+        })?;
+        SavedPredictor::from_json(json)
+    }
+}
+
+/// [`snapshot_from_bytes`] from any reader, buffering the bytes once.
+///
+/// # Errors
+/// As [`snapshot_from_bytes`], plus I/O failures as [`Error::Parse`].
+pub fn snapshot_from_reader(mut reader: impl Read) -> Result<SavedPredictor> {
+    let mut bytes = Vec::new();
+    reader
+        .read_to_end(&mut bytes)
+        .map_err(|e| Error::Parse(format!("cannot read predictor snapshot: {e}")))?;
+    snapshot_from_bytes(&bytes)
+}
+
+/// Revives a live predictor from snapshot bytes in either format — the
+/// format-sniffing counterpart of [`hls_gnn_core::load_predictor`], usable
+/// wherever a model file may be JSON or binary.
+///
+/// # Errors
+/// As [`snapshot_from_bytes`], plus [`Error::Config`] on an architecture
+/// mismatch inside the snapshot.
+pub fn load_predictor_auto(bytes: &[u8]) -> Result<Box<dyn Predictor>> {
+    let saved = snapshot_from_bytes(bytes)?;
+    Ok(Box::new(GnnPredictor::from_saved(&saved)?))
+}
+
+/// Loads a snapshot file in either format, prefixing errors with the path.
+///
+/// # Errors
+/// As [`snapshot_from_bytes`], with the file path named in the message.
+pub fn snapshot_from_file(path: impl AsRef<Path>) -> Result<SavedPredictor> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)
+        .map_err(|e| Error::Parse(format!("cannot read {}: {e}", path.display())))?;
+    snapshot_from_bytes(&bytes).map_err(|e| Error::Parse(format!("{}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot(classifier: bool) -> SavedPredictor {
+        SavedPredictor {
+            version: SNAPSHOT_VERSION,
+            spec: if classifier { "hier/rgcn" } else { "base/gcn" }.parse().unwrap(),
+            config: TrainConfig::fast(),
+            normalizer: SavedNormalizer {
+                mean: [0.25, -1.5, 3.0e-3, 7.125],
+                std: [1.0, 0.5, 2.0, 0.125],
+            },
+            regressor: vec![
+                SavedTensor { rows: 2, cols: 3, data: vec![0.1, -0.2, 0.3, 1.0e-7, -5.5, 0.0] },
+                SavedTensor { rows: 1, cols: 2, data: vec![f32::MIN_POSITIVE, -0.75] },
+            ],
+            classifier: classifier
+                .then(|| vec![SavedTensor { rows: 2, cols: 2, data: vec![1.0, 2.0, 3.0, 4.0] }]),
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_is_exact_with_and_without_classifier() {
+        for classifier in [false, true] {
+            let saved = sample_snapshot(classifier);
+            let bytes = encode_snapshot(&saved).unwrap();
+            let reloaded = decode_snapshot(&Container::from_bytes(&bytes).unwrap()).unwrap();
+            assert_eq!(reloaded, saved);
+        }
+    }
+
+    #[test]
+    fn auto_detection_reads_both_formats() {
+        let saved = sample_snapshot(true);
+        let binary = encode_snapshot(&saved).unwrap();
+        let json = saved.to_json().unwrap();
+        assert_eq!(snapshot_from_bytes(&binary).unwrap(), saved);
+        assert_eq!(snapshot_from_bytes(json.as_bytes()).unwrap(), saved);
+        assert_eq!(snapshot_from_reader(&binary[..]).unwrap(), saved);
+    }
+
+    #[test]
+    fn version_zero_and_future_versions_are_refused() {
+        for version in [0, SNAPSHOT_VERSION + 1, u32::MAX] {
+            let mut saved = sample_snapshot(false);
+            saved.version = version;
+            let bytes = encode_snapshot(&saved).unwrap();
+            let error = snapshot_from_bytes(&bytes).unwrap_err();
+            assert!(matches!(error, Error::Parse(_)), "version {version} must be refused");
+        }
+    }
+
+    #[test]
+    fn weight_count_contradicting_shapes_is_refused() {
+        let saved = sample_snapshot(false);
+        let meta = BinaryMeta {
+            snapshot_version: saved.version,
+            spec: saved.spec,
+            config: saved.config.clone(),
+            regressor_shapes: shapes_of(&saved.regressor),
+            classifier_shapes: None,
+        };
+        let mut writer = ContainerWriter::new();
+        writer.add_bytes("meta", serde_json::to_string(&meta).unwrap().as_bytes());
+        let mut normalizer = Vec::new();
+        normalizer.extend_from_slice(&saved.normalizer.mean);
+        normalizer.extend_from_slice(&saved.normalizer.std);
+        writer.add_f64("normalizer", &normalizer);
+        writer.add_f32("regressor", &[1.0; 3]); // shapes need 8
+        let error = decode_snapshot(&Container::from_bytes(&writer.finish()).unwrap()).unwrap_err();
+        assert!(matches!(&error, Error::Parse(message) if message.contains("shapes")));
+    }
+
+    #[test]
+    fn missing_sections_and_bad_normalizer_are_refused() {
+        let empty = ContainerWriter::new().finish();
+        assert!(matches!(
+            decode_snapshot(&Container::from_bytes(&empty).unwrap()),
+            Err(Error::Parse(_))
+        ));
+
+        let saved = sample_snapshot(false);
+        let meta = BinaryMeta {
+            snapshot_version: saved.version,
+            spec: saved.spec,
+            config: saved.config.clone(),
+            regressor_shapes: Vec::new(),
+            classifier_shapes: None,
+        };
+        let mut writer = ContainerWriter::new();
+        writer.add_bytes("meta", serde_json::to_string(&meta).unwrap().as_bytes());
+        writer.add_f64("normalizer", &[0.0; 7]); // must be 8
+        writer.add_f32("regressor", &[]);
+        let error = decode_snapshot(&Container::from_bytes(&writer.finish()).unwrap()).unwrap_err();
+        assert!(matches!(&error, Error::Parse(message) if message.contains("normalizer")));
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic() {
+        for bytes in [
+            &b""[..],
+            b"HGNSTORE",
+            b"{\"not\": \"a snapshot\"}",
+            b"\xff\xfe\xfd\xfc",
+            b"HGNSTORExxxxxxxxxxxxxxxx",
+        ] {
+            assert!(snapshot_from_bytes(bytes).is_err());
+        }
+    }
+}

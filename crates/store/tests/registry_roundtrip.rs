@@ -1,0 +1,66 @@
+//! Binary persistence across the full predictor registry: every approach ×
+//! backbone combination survives a JSON → binary → JSON round trip with
+//! bit-identical `predict_batch` outputs.
+
+use hls_gnn_core::builder::PredictorSpec;
+use hls_gnn_core::dataset::{Dataset, DatasetBuilder};
+use hls_gnn_core::predictor::Predictor;
+use hls_gnn_core::train::TrainConfig;
+use hls_gnn_store::{encode_snapshot, load_predictor_auto, snapshot_from_bytes};
+use hls_progen::synthetic::{ProgramFamily, SyntheticConfig};
+
+fn minimal_config() -> TrainConfig {
+    // The smallest architecture the builder accepts: this test is about
+    // persistence, not accuracy, and it trains 42 models.
+    TrainConfig {
+        epochs: 1,
+        batch_size: 4,
+        hidden_dim: 8,
+        num_layers: 1,
+        embed_dim: 2,
+        dropout: 0.0,
+        seed: 3,
+        ..TrainConfig::fast()
+    }
+}
+
+fn tiny_corpus() -> Dataset {
+    DatasetBuilder::new(ProgramFamily::Control)
+        .count(6)
+        .seed(13)
+        .generator_config(SyntheticConfig::tiny(ProgramFamily::Control))
+        .build()
+        .expect("tiny corpus builds")
+}
+
+#[test]
+fn every_registry_combination_round_trips_bit_identically_through_the_binary_format() {
+    let dataset = tiny_corpus();
+    let config = minimal_config();
+    let validation = Dataset::default();
+    let specs = PredictorSpec::all();
+    assert_eq!(specs.len(), 42, "the registry is 3 approaches x 14 backbones");
+
+    for spec in specs {
+        let mut predictor = spec.build(&config);
+        predictor.fit(&dataset, &validation, &config).expect("training succeeds");
+        let expected: Vec<_> = predictor.predict_batch(&dataset.samples);
+
+        let saved = predictor.snapshot().expect("snapshot succeeds");
+        let binary = encode_snapshot(&saved).expect("binary encoding succeeds");
+
+        // The snapshot itself survives the byte round trip unchanged ...
+        let decoded = snapshot_from_bytes(&binary).expect("binary snapshot decodes");
+        assert_eq!(decoded, saved, "{}: snapshot drifted through the binary codec", spec.id());
+
+        // ... and so do the revived model's predictions, bit for bit.
+        let revived = load_predictor_auto(&binary).expect("binary snapshot revives");
+        let actual = revived.predict_batch(&dataset.samples);
+        assert_eq!(actual.len(), expected.len());
+        for (index, (a, e)) in actual.iter().zip(&expected).enumerate() {
+            let a = a.as_ref().expect("revived prediction succeeds");
+            let e = e.as_ref().expect("original prediction succeeds");
+            assert_eq!(a, e, "{}: prediction {index} drifted through the binary format", spec.id());
+        }
+    }
+}

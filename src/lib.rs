@@ -9,6 +9,9 @@
 //! - [`hls_gnn_core`]: the prediction engine — the [`prelude::Predictor`]
 //!   API, builder/registry, batched inference, persistence, and the
 //!   experiment harness.
+//! - [`hls_gnn_store`]: binary zero-copy persistence (checksummed container
+//!   snapshots interchangeable with JSON), the sharded streaming dataset
+//!   store, and the `hls-gnn-pack` CLI.
 //! - [`hls_gnn_serve`]: the serving subsystem — an HTTP frontend, request
 //!   coalescing onto fused tapes, sharded workers and a prediction cache
 //!   over trained snapshots.
@@ -43,6 +46,7 @@ pub use gnn_tensor;
 pub use hls_gnn_core;
 pub use hls_gnn_dse;
 pub use hls_gnn_serve;
+pub use hls_gnn_store;
 pub use hls_ir;
 pub use hls_progen;
 pub use hls_sim;
@@ -58,7 +62,7 @@ pub mod prelude {
     pub use hls_gnn_core::builder::{
         load_predictor, ApproachKind, PredictorBuilder, PredictorSpec,
     };
-    pub use hls_gnn_core::dataset::{Dataset, DatasetBuilder, GraphSample, Split};
+    pub use hls_gnn_core::dataset::{Dataset, DatasetBuilder, GraphSample, SampleSource, Split};
     pub use hls_gnn_core::experiments::{ExperimentConfig, ExperimentScale};
     pub use hls_gnn_core::persist::SavedPredictor;
     pub use hls_gnn_core::predictor::Predictor;
@@ -71,6 +75,9 @@ pub mod prelude {
         RandomSearch, SimulatedAnnealing,
     };
     pub use hls_gnn_serve::{ServeConfig, ServiceHandle};
+    pub use hls_gnn_store::{
+        encode_snapshot, load_predictor_auto, snapshot_from_file, ShardedDataset, SyntheticSpill,
+    };
     pub use hls_progen::synthetic::ProgramFamily;
-    pub use hls_sim::FpgaDevice;
+    pub use hls_sim::{DeviceCatalog, FpgaDevice};
 }
