@@ -1,0 +1,27 @@
+//! Regenerates the registry-wide training-parity baseline: every
+//! approach × backbone combo trained for one epoch under a frozen protocol,
+//! held-out MAPE recorded per combo. Writes `results/parity_baseline.json`.
+//!
+//! ```text
+//! cargo run -p hls-gnn-bench --release --bin parity_baseline
+//! ```
+//!
+//! The checked-in baseline pins the autodiff engine's training numerics: the
+//! `registry_parity_matches_the_checked_in_baseline` test in `hls_gnn_core`
+//! recomputes the protocol and compares against this file. Regenerate only
+//! when a numerical change is intentional, and say so in the commit.
+
+use hls_gnn_bench::write_report;
+use hls_gnn_core::experiments::registry_parity;
+use hls_gnn_core::runtime::ParallelConfig;
+
+fn main() {
+    let report = registry_parity(&ParallelConfig::from_env()).expect("parity protocol runs");
+    for entry in &report.entries {
+        println!(
+            "{:<14} dsp {:7.2}  lut {:7.2}  ff {:7.2}  cp {:7.2}",
+            entry.id, entry.mape[0], entry.mape[1], entry.mape[2], entry.mape[3]
+        );
+    }
+    write_report("parity_baseline", &report);
+}

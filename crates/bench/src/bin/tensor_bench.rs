@@ -1,0 +1,304 @@
+//! Autodiff-engine micro-benchmark: the arena-tape engine
+//! ([`gnn_tensor::Var`]) against the frozen pre-refactor `Rc`-graph engine
+//! ([`gnn_tensor::legacy::Var`]) on the same workloads, same shapes, same
+//! seeds. Writes `results/tensor_bench.json` (same idiom as `io_bench`).
+//!
+//! ```text
+//! cargo run -p hls-gnn-bench --release --bin tensor_bench
+//! HLSGNN_SCALE=fast cargo run -p hls-gnn-bench --release --bin tensor_bench
+//! ```
+//!
+//! Three workloads, each a full training step (forward + backward + SGD
+//! update), at `small` and `standard` shape tiers:
+//!
+//! * `matmul` — one dense layer: `x·w` against an MSE target. Kernel-bound;
+//!   isolates the cache-blocked matmul and the fused-transpose backward.
+//! * `segment` — gather → relu → scatter-add → segment-sum: the
+//!   message-passing primitives, overhead-bound at GNN-typical widths.
+//! * `rgcn_minibatch` — a fused RGCN mini-batch shaped like the repo's
+//!   training tiers (`small` ≈ 8 fused graphs at `TrainConfig::fast`,
+//!   `standard` ≈ 16 fused graphs at `TrainConfig::standard`): per-relation
+//!   gather/matmul/scatter layers, self-loop + bias, mean pooling, a
+//!   regression head and an MSE loss.
+//!
+//! `HLSGNN_SCALE=fast` only lowers the iteration count (shapes are pinned,
+//! so the speedup columns stay comparable); every other value measures the
+//! default iteration count. The minimum over iterations is the honest
+//! engine-cost signal — everything above it is scheduler noise.
+
+use std::time::Instant;
+
+use gnn_tensor::Matrix;
+use hls_gnn_bench::write_report;
+use serde::Serialize;
+
+/// Timing for one measured operation, in milliseconds.
+#[derive(Debug, Serialize)]
+struct Timing {
+    min_ms: f64,
+    mean_ms: f64,
+    iterations: usize,
+}
+
+fn time_ms(mut op: impl FnMut(), iterations: usize) -> Timing {
+    let mut samples = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let start = Instant::now();
+        op();
+        samples.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Timing { min_ms: min, mean_ms: mean, iterations }
+}
+
+/// One workload × shape tier, timed on both engines.
+#[derive(Debug, Serialize)]
+struct WorkloadRow {
+    workload: String,
+    scale: String,
+    shape: String,
+    arena: Timing,
+    legacy: Timing,
+    /// min(legacy) / min(arena) — ≥ 1.0 means the arena engine is faster.
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct TensorBenchReport {
+    /// Iterations per timed workload (lowered by `HLSGNN_SCALE=fast`).
+    iterations: usize,
+    rows: Vec<WorkloadRow>,
+    /// Smallest per-workload speedup — the regression-gate number.
+    min_speedup: f64,
+    /// Speedup of `rgcn_minibatch` at `standard` — the headline claim.
+    rgcn_standard_speedup: f64,
+}
+
+/// Deterministic pseudo-random matrix (xorshift; no RNG dependency needed).
+fn seeded_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    Matrix::from_fn(rows, cols, |_, _| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        ((state >> 40) as f32 / (1 << 24) as f32) - 0.5
+    })
+}
+
+/// Deterministic index pattern in `0..bound`.
+fn seeded_indices(len: usize, bound: usize, stride: usize) -> Vec<usize> {
+    (0..len).map(|i| (i * stride + i / 3) % bound).collect()
+}
+
+/// Generates the three workloads for one engine. Both expansions run
+/// byte-for-byte the same code against the same inputs; only the `Var` type
+/// and the end-of-step hook (tape reset vs no-op) differ.
+macro_rules! engine_workloads {
+    ($module:ident, $var:ty, $finish_step:expr) => {
+        mod $module {
+            use super::*;
+            type V = $var;
+
+            fn sgd_step(params: &[&V]) {
+                for param in params {
+                    if let Some(grad) = param.grad() {
+                        let mut value = param.value();
+                        for (v, g) in value.data_mut().iter_mut().zip(grad.data()) {
+                            *v -= 0.01 * g;
+                        }
+                        param.set_value(value);
+                        param.zero_grad();
+                    }
+                }
+            }
+
+            pub fn matmul(m: usize, k: usize, n: usize, iterations: usize) -> Timing {
+                let x = V::parameter(seeded_matrix(m, k, 11));
+                let w = V::parameter(seeded_matrix(k, n, 22));
+                let target = seeded_matrix(m, n, 33);
+                let step = || {
+                    let loss = x.matmul(&w).mse(&target);
+                    loss.backward();
+                    sgd_step(&[&x, &w]);
+                    $finish_step();
+                };
+                step(); // warm-up: first iteration grows the buffers
+                time_ms(step, iterations)
+            }
+
+            pub fn segment(rows: usize, cols: usize, segments: usize, iterations: usize) -> Timing {
+                let x = V::parameter(seeded_matrix(rows, cols, 44));
+                let gather = seeded_indices(rows * 4, rows, 7);
+                let scatter = seeded_indices(rows * 4, rows, 5);
+                let segment_ids = seeded_indices(rows, segments, 3);
+                let target = seeded_matrix(segments, cols, 55);
+                let step = || {
+                    let loss = x
+                        .gather_rows(&gather)
+                        .relu()
+                        .scatter_add_rows(&scatter, rows)
+                        .segment_sum(&segment_ids, segments)
+                        .mse(&target);
+                    loss.backward();
+                    sgd_step(&[&x]);
+                    $finish_step();
+                };
+                step();
+                time_ms(step, iterations)
+            }
+
+            pub fn rgcn_minibatch(
+                nodes: usize,
+                hidden: usize,
+                layers: usize,
+                relations: usize,
+                iterations: usize,
+            ) -> Timing {
+                let features = V::parameter(seeded_matrix(nodes, hidden, 66));
+                let weights: Vec<Vec<V>> = (0..layers)
+                    .map(|layer| {
+                        (0..=relations)
+                            .map(|relation| {
+                                let seed = 100 + (layer * 10 + relation) as u64;
+                                V::parameter(seeded_matrix(hidden, hidden, seed))
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let biases: Vec<V> = (0..layers)
+                    .map(|layer| V::parameter(seeded_matrix(1, hidden, 200 + layer as u64)))
+                    .collect();
+                let head = V::parameter(seeded_matrix(hidden, 4, 300));
+                // Four edges per node per relation, fixed fan-in pattern.
+                let edges: Vec<(Vec<usize>, Vec<usize>)> = (0..relations)
+                    .map(|relation| {
+                        (
+                            seeded_indices(nodes * 4, nodes, 7 + relation),
+                            seeded_indices(nodes * 4, nodes, 11 + relation),
+                        )
+                    })
+                    .collect();
+                let target = seeded_matrix(1, 4, 77);
+                let mut params: Vec<&V> = vec![&features, &head];
+                params.extend(weights.iter().flatten());
+                params.extend(biases.iter());
+                let step = || {
+                    let mut hidden_state = features.scale(1.0);
+                    for layer in 0..layers {
+                        // Self-loop transform plus one gather → transform →
+                        // scatter round per relation, like the RGCN layer.
+                        let mut agg = hidden_state
+                            .matmul(&weights[layer][0])
+                            .add_row_broadcast(&biases[layer]);
+                        for (relation, (sources, targets)) in edges.iter().enumerate() {
+                            let messages = hidden_state
+                                .gather_rows(sources)
+                                .matmul(&weights[layer][relation + 1])
+                                .scatter_add_rows(targets, nodes);
+                            agg = agg.add(&messages);
+                        }
+                        hidden_state = agg.relu();
+                    }
+                    let loss = hidden_state.mean_axis0().matmul(&head).mse(&target);
+                    loss.backward();
+                    sgd_step(&params);
+                    $finish_step();
+                };
+                step();
+                time_ms(step, iterations)
+            }
+        }
+    };
+}
+
+engine_workloads!(arena, gnn_tensor::Var, gnn_tensor::tape::reset);
+engine_workloads!(legacy, gnn_tensor::legacy::Var, || ());
+
+fn main() {
+    let iterations = match std::env::var("HLSGNN_SCALE").as_deref() {
+        Ok("fast") => 3,
+        _ => 12,
+    };
+
+    let mut rows = Vec::new();
+    let mut row = |workload: &str, scale: &str, shape: String, arena: Timing, legacy: Timing| {
+        let speedup = legacy.min_ms / arena.min_ms;
+        println!(
+            "{workload:<16} {scale:<9} arena {:9.3} ms  legacy {:9.3} ms  {speedup:5.1}x   ({shape})",
+            arena.min_ms, legacy.min_ms
+        );
+        rows.push(WorkloadRow {
+            workload: workload.to_owned(),
+            scale: scale.to_owned(),
+            shape,
+            arena,
+            legacy,
+            speedup,
+        });
+    };
+
+    // matmul: one dense layer at GNN widths (small) and a square
+    // kernel-bound case (standard).
+    row(
+        "matmul",
+        "small",
+        "64x16 · 16x16".to_owned(),
+        arena::matmul(64, 16, 16, iterations),
+        legacy::matmul(64, 16, 16, iterations),
+    );
+    row(
+        "matmul",
+        "standard",
+        "256x128 · 128x128".to_owned(),
+        arena::matmul(256, 128, 128, iterations),
+        legacy::matmul(256, 128, 128, iterations),
+    );
+
+    // segment ops: the message-passing primitives.
+    row(
+        "segment",
+        "small",
+        "160 rows x 16, 8 segments".to_owned(),
+        arena::segment(160, 16, 8, iterations),
+        legacy::segment(160, 16, 8, iterations),
+    );
+    row(
+        "segment",
+        "standard",
+        "640 rows x 32, 16 segments".to_owned(),
+        arena::segment(640, 32, 16, iterations),
+        legacy::segment(640, 32, 16, iterations),
+    );
+
+    // RGCN mini-batch: small ≈ 8 fused ~20-node graphs at TrainConfig::fast
+    // (hidden 16, 2 layers); standard ≈ 16 fused ~40-node graphs at
+    // TrainConfig::standard (hidden 32, 3 layers). 4 relations, 4 edges per
+    // node per relation.
+    row(
+        "rgcn_minibatch",
+        "small",
+        "160 nodes, hidden 16, 2 layers, 4 relations".to_owned(),
+        arena::rgcn_minibatch(160, 16, 2, 4, iterations),
+        legacy::rgcn_minibatch(160, 16, 2, 4, iterations),
+    );
+    row(
+        "rgcn_minibatch",
+        "standard",
+        "640 nodes, hidden 32, 3 layers, 4 relations".to_owned(),
+        arena::rgcn_minibatch(640, 32, 3, 4, iterations),
+        legacy::rgcn_minibatch(640, 32, 3, 4, iterations),
+    );
+
+    let min_speedup = rows.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+    let rgcn_standard_speedup = rows
+        .iter()
+        .find(|r| r.workload == "rgcn_minibatch" && r.scale == "standard")
+        .map_or(f64::NAN, |r| r.speedup);
+    println!(
+        "min speedup {min_speedup:.2}x, rgcn standard {rgcn_standard_speedup:.2}x \
+         (arena vs pre-refactor engine, min-of-{iterations} wall clock)"
+    );
+    let report = TensorBenchReport { iterations, rows, min_speedup, rgcn_standard_speedup };
+    write_report("tensor_bench", &report);
+}

@@ -32,8 +32,7 @@ use crate::predictor::Predictor;
 use crate::runtime::{self, BatchConfig, ParallelConfig};
 use crate::task::{ResourceClass, TargetMetric};
 use crate::train::{
-    evaluate_node_classifier, predict_regressor, train_node_classifier_source,
-    train_regressor_source, TrainConfig,
+    evaluate_node_classifier, predict_regressor, train_node_classifier_source, TrainConfig,
 };
 use crate::{Error, Result};
 
@@ -347,6 +346,53 @@ impl GnnPredictor {
         }
     }
 
+    /// [`Predictor::fit_source`] with an explicit fusion configuration
+    /// instead of the `HLSGNN_BATCH*` environment. Frozen protocols (the
+    /// registry parity gate) use this so their chunk plans — and therefore
+    /// their floating-point accumulation order — cannot drift when the
+    /// default node budget is retuned.
+    pub fn fit_source_with(
+        &mut self,
+        batch_config: &BatchConfig,
+        train: &dyn SampleSource,
+        _validation: &Dataset,
+        config: &TrainConfig,
+    ) -> Result<()> {
+        ensure_nonempty(train)?;
+        config.validate()?;
+        // Validate the targets up front, and train every stage into locals
+        // before mutating `self`: a rejected refit — or a mid-training fetch
+        // failure from an on-disk source — leaves an already trained
+        // predictor fully intact (and a fresh one untouched), never a
+        // half-retrained mix of stages.
+        let normalizer = TargetNormalizer::fit_source(train)?;
+        // Stage 1 (hierarchical only): node-level classification, supervised
+        // by the ground-truth resource types (knowledge infusion).
+        let classifier = if self.spec.approach.uses_classifier() {
+            let classifier = NodeClassifierModel::new(self.spec.backbone, config);
+            train_node_classifier_source(&classifier, train, config)?;
+            Some(classifier)
+        } else {
+            None
+        };
+        // Graph-level regression; the hierarchical approach trains on
+        // ground-truth types and self-infers them at prediction time.
+        let regressor =
+            GraphRegressor::new(self.spec.backbone, self.spec.approach.feature_mode(), config);
+        crate::train::train_regressor_source_with(
+            batch_config,
+            &regressor,
+            &normalizer,
+            train,
+            config,
+        )?;
+        self.config = config.clone();
+        self.classifier = classifier;
+        self.regressor = Some(regressor);
+        self.normalizer = Some(normalizer);
+        Ok(())
+    }
+
     /// [`Predictor::predict_batch`] with an explicit fusion width. Width 1
     /// runs the legacy per-sample forwards; larger widths fuse that many
     /// graphs per tape ([`GraphRegressor::forward_batch`]). Inference through
@@ -412,6 +458,8 @@ impl GnnPredictor {
             let mut rng = StdRng::seed_from_u64(0);
             let output =
                 regressor.forward_batch(&refs, overrides.as_deref(), false, &mut rng).value();
+            // The fused inference tape is dead once its values are extracted.
+            gnn_tensor::tape::reset();
             for row in 0..chunk.len() {
                 let mut normalized = [0.0f32; TargetMetric::COUNT];
                 for (index, value) in normalized.iter_mut().enumerate() {
@@ -443,36 +491,10 @@ impl Predictor for GnnPredictor {
     fn fit_source(
         &mut self,
         train: &dyn SampleSource,
-        _validation: &Dataset,
+        validation: &Dataset,
         config: &TrainConfig,
     ) -> Result<()> {
-        ensure_nonempty(train)?;
-        config.validate()?;
-        // Validate the targets up front, and train every stage into locals
-        // before mutating `self`: a rejected refit — or a mid-training fetch
-        // failure from an on-disk source — leaves an already trained
-        // predictor fully intact (and a fresh one untouched), never a
-        // half-retrained mix of stages.
-        let normalizer = TargetNormalizer::fit_source(train)?;
-        // Stage 1 (hierarchical only): node-level classification, supervised
-        // by the ground-truth resource types (knowledge infusion).
-        let classifier = if self.spec.approach.uses_classifier() {
-            let classifier = NodeClassifierModel::new(self.spec.backbone, config);
-            train_node_classifier_source(&classifier, train, config)?;
-            Some(classifier)
-        } else {
-            None
-        };
-        // Graph-level regression; the hierarchical approach trains on
-        // ground-truth types and self-infers them at prediction time.
-        let regressor =
-            GraphRegressor::new(self.spec.backbone, self.spec.approach.feature_mode(), config);
-        train_regressor_source(&regressor, &normalizer, train, config)?;
-        self.config = config.clone();
-        self.classifier = classifier;
-        self.regressor = Some(regressor);
-        self.normalizer = Some(normalizer);
-        Ok(())
+        self.fit_source_with(&BatchConfig::from_env(), train, validation, config)
     }
 
     fn predict_batch(&self, samples: &[GraphSample]) -> Vec<Result<[f64; TargetMetric::COUNT]>> {

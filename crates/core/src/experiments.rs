@@ -24,7 +24,7 @@ use hls_progen::synthetic::ProgramFamily;
 use hls_sim::{run_flow, FpgaDevice};
 use serde::{Deserialize, Serialize};
 
-use crate::approach::hls_baseline_mape;
+use crate::approach::{hls_baseline_mape, GnnPredictor};
 use crate::builder::{ApproachKind, PredictorSpec};
 use crate::dataset::{Dataset, DatasetBuilder, Split};
 use crate::model::NodeClassifierModel;
@@ -696,9 +696,130 @@ pub fn run_ablation(config: &ExperimentConfig) -> Result<AblationReport> {
     Ok(AblationReport { rows })
 }
 
+/// Held-out MAPE of one registry combo under the fixed parity protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParityEntry {
+    /// Canonical `"approach/backbone"` id of the combo.
+    pub id: String,
+    /// Per-target test MAPE (`[DSP, LUT, FF, CP]`), in percent.
+    pub mape: [f64; TargetMetric::COUNT],
+}
+
+/// The registry-wide parity report: every combo's held-out MAPE under a
+/// frozen protocol, used to pin the autodiff engine's training numerics
+/// across refactors (`results/parity_baseline.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParityReport {
+    /// Corpus size (synthetic straight-line programs).
+    pub programs: usize,
+    /// Corpus generation / split seed.
+    pub corpus_seed: u64,
+    /// Training seed.
+    pub train_seed: u64,
+    /// Epochs per combo (one — the protocol pins the first optimisation
+    /// steps, where numerical drift would surface immediately).
+    pub epochs: usize,
+    /// Hidden dimension of the trained models.
+    pub hidden_dim: usize,
+    /// One entry per registry combo, in [`PredictorSpec::all`] order.
+    pub entries: Vec<ParityEntry>,
+}
+
+/// Trains every registry combo (3 approaches × 14 backbones) for one epoch
+/// on a fixed tiny synthetic corpus with fixed seeds and reports the held-out
+/// per-target MAPE of each. The protocol is deliberately frozen: any change
+/// to the autodiff engine, the kernels or the training loop that alters
+/// floating-point results shows up as a diff against the checked-in baseline
+/// (`results/parity_baseline.json`, regenerated by the `parity_baseline`
+/// bench binary).
+///
+/// The combos run on the given worker configuration; results are
+/// bit-identical for any worker count (each job's RNG state derives purely
+/// from its seed and models never cross threads).
+///
+/// The fusion configuration is pinned (node budget 128, the default at the
+/// time the baseline was generated) rather than read from `HLSGNN_BATCH*`:
+/// a chunk plan determines floating-point accumulation order, so leaving it
+/// to the tunable default would make the gate fail on every budget retune
+/// instead of only on real engine changes.
+///
+/// # Errors
+/// Propagates dataset-construction and training errors.
+pub fn registry_parity(parallel: &ParallelConfig) -> Result<ParityReport> {
+    use hls_progen::synthetic::SyntheticConfig;
+    let programs = 16;
+    let corpus_seed = 1234;
+    let batch = runtime::BatchConfig::default_fused().with_node_budget(128);
+    let mut train = TrainConfig::fast();
+    train.epochs = 1;
+    train.seed = 7;
+    let dataset = DatasetBuilder::new(ProgramFamily::StraightLine)
+        .count(programs)
+        .seed(corpus_seed)
+        .generator_config(SyntheticConfig::tiny(ProgramFamily::StraightLine))
+        .build()?;
+    let split = dataset.split(0.7, 0.15, 1);
+    let specs = PredictorSpec::all();
+    let entries = runtime::try_run_jobs(parallel, specs.len(), |index| {
+        let spec = specs[index];
+        let mut predictor = GnnPredictor::new(spec, &train);
+        predictor.fit_source_with(&batch, &split.train, &split.validation, &train)?;
+        Ok(ParityEntry { id: spec.id(), mape: predictor.evaluate(&split.test) })
+    })?;
+    Ok(ParityReport {
+        programs,
+        corpus_seed,
+        train_seed: train.seed,
+        epochs: train.epochs,
+        hidden_dim: train.hidden_dim,
+        entries,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The engine-parity gate: recomputes the frozen protocol on this build
+    /// and compares against the checked-in pre-refactor baseline
+    /// (`results/parity_baseline.json`, generated by the old `Rc`-graph
+    /// engine). Tolerance is 1e-9 MAPE points — the arena tape replays the
+    /// old engine's traversal and accumulation order, so the two engines are
+    /// currently bit-identical and the slack only exists to absorb a future
+    /// *documented* benign change (regenerate the baseline and say so in the
+    /// commit if a numerical change is intentional).
+    ///
+    /// The same run also pins worker-count determinism: the report must be
+    /// exactly equal at `HLSGNN_WORKERS`-equivalent configs 1 and 4.
+    #[test]
+    fn registry_parity_matches_the_checked_in_baseline() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/parity_baseline.json");
+        let raw = std::fs::read_to_string(path).expect("checked-in parity baseline exists");
+        let baseline: ParityReport = serde_json::from_str(&raw).expect("baseline parses");
+
+        let serial = registry_parity(&ParallelConfig::serial()).expect("parity protocol runs");
+        let parallel =
+            registry_parity(&ParallelConfig::with_workers(4)).expect("parity protocol runs");
+        assert_eq!(serial, parallel, "parity report must be bit-identical at any worker count");
+
+        assert_eq!(serial.programs, baseline.programs);
+        assert_eq!(serial.corpus_seed, baseline.corpus_seed);
+        assert_eq!(serial.train_seed, baseline.train_seed);
+        assert_eq!(serial.epochs, baseline.epochs);
+        assert_eq!(serial.hidden_dim, baseline.hidden_dim);
+        assert_eq!(serial.entries.len(), baseline.entries.len());
+        const TOLERANCE: f64 = 1e-9;
+        for (ours, theirs) in serial.entries.iter().zip(&baseline.entries) {
+            assert_eq!(ours.id, theirs.id, "combo order must match the baseline");
+            for (target, (a, b)) in ours.mape.iter().zip(&theirs.mape).enumerate() {
+                assert!(
+                    (a - b).abs() <= TOLERANCE,
+                    "{} target {target}: this engine {a}, baseline {b} (|Δ| > {TOLERANCE})",
+                    ours.id
+                );
+            }
+        }
+    }
 
     fn smoke_config() -> ExperimentConfig {
         let mut config = ExperimentConfig::fast();

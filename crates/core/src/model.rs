@@ -199,6 +199,8 @@ impl NodeClassifierModel {
     /// at zero (sigmoid 0.5).
     pub fn predict_types(&self, sample: &GraphSample, rng: &mut StdRng) -> Vec<[f32; 3]> {
         let logits = self.forward(sample, false, rng).value();
+        // Single-use inference tape: recycle its buffers right away.
+        gnn_tensor::tape::reset();
         (0..sample.num_nodes())
             .map(|node| {
                 [

@@ -1,8 +1,9 @@
 //! Deterministic, thread-confined parallel execution for training and
 //! evaluation.
 //!
-//! The autodiff tape ([`gnn_tensor::Var`]) is `Rc`/`RefCell`-based and
-//! therefore `!Send`: a live model can never cross a thread boundary. The
+//! The autodiff tape ([`gnn_tensor::Var`]) is a thread-local arena with
+//! `Rc`-held parameter leaves and is therefore `!Send`: a live model can
+//! never cross a thread boundary. The
 //! runtime sidesteps that by confining every model to the worker thread that
 //! constructs it — a job receives only `Send` inputs (a job index, plain-data
 //! snapshots, sample slices shared by reference) and returns only `Send`
@@ -149,23 +150,27 @@ impl BatchConfig {
     pub const NODE_BUDGET_ENV_VAR: &'static str = "HLSGNN_BATCH_NODES";
 
     /// The default working-set target of one fused tape, in `f32` elements of
-    /// one `nodes × hidden` intermediate: 24 576 floats = 96 KiB. Profiling
-    /// showed per-op time jumping ~2× once intermediates cross ~128 KiB —
-    /// every op allocates a fresh buffer, and beyond glibc's `MMAP_THRESHOLD`
-    /// each allocation becomes an mmap/munmap round trip with page-fault
-    /// zeroing — so the budget keeps fused tapes safely under that cliff.
-    pub const DEFAULT_BUDGET_FLOATS: usize = 24_576;
+    /// one `nodes × hidden` intermediate: 1 048 576 floats = 4 MiB. The old
+    /// 24 576-float (96 KiB) budget dodged an allocator cliff — the previous
+    /// engine allocated a fresh buffer per op, and past glibc's
+    /// `MMAP_THRESHOLD` each allocation became an mmap/munmap round trip with
+    /// page-fault zeroing. The arena tape records every op into one flat
+    /// buffer that is recycled across steps, so that cliff no longer exists;
+    /// the budget's remaining job is to bound the peak memory of a fused tape
+    /// (a few × this many floats across the layer stack's intermediates).
+    pub const DEFAULT_BUDGET_FLOATS: usize = 1_048_576;
 
     /// Default cap on the nodes of one fused tape regardless of hidden width.
-    /// Empirically (width sweeps over 20–300-node graphs at hidden 16/32 on a
-    /// single-core container), fused forwards are fastest when a tape holds
-    /// roughly 64–128 nodes — small enough that the gathered node-embedding
-    /// matrix stays L1-resident — and degrade once tapes grow past ~256
-    /// nodes, eventually losing to per-graph forwards. Large graphs therefore
-    /// run one per tape (exactly as fast as the per-graph path), while small
-    /// graphs — real HLS kernels are typically well under 128 nodes — fuse
-    /// several per tape.
-    pub const MAX_FUSED_NODES: usize = 128;
+    /// Re-measured on the arena-tape engine (standard-scale RGCN training
+    /// sweeps on a single worker): wall-clock *improves* monotonically as the
+    /// budget grows — 128-node tapes ≈ 75 s, 512 ≈ 70 s, 4096 ≈ 61 s —
+    /// because bigger fused kernels amortise per-chunk encode/fuse overhead
+    /// and there is no longer a per-op allocation penalty for large
+    /// intermediates. The cap therefore sits high enough that the fusion
+    /// width (the mini-batch size), not the node budget, is what normally
+    /// closes a chunk; it survives only as a memory guard for degenerate
+    /// corpora of huge graphs.
+    pub const MAX_FUSED_NODES: usize = 4096;
 
     /// Fuse each mini-batch up to the derived node budget (the default).
     pub fn default_fused() -> Self {
@@ -514,7 +519,7 @@ mod tests {
         assert_eq!(config.node_budget(300), BatchConfig::DEFAULT_BUDGET_FLOATS / 300);
         assert_eq!(config.node_budget(usize::MAX), 1);
         assert_eq!(config.with_node_budget(64).node_budget(300), 64);
-        assert_eq!(config.with_node_budget(64).with_node_budget(0).node_budget(300), 81);
+        assert_eq!(config.with_node_budget(64).with_node_budget(0).node_budget(300), 3495);
     }
 
     #[test]

@@ -286,6 +286,9 @@ pub fn train_regressor_source_with(
             }
             clip_grad_norm(&params, config.grad_clip);
             adam.step();
+            // The mini-batch's tapes are dead: recycle their buffers so the
+            // next batch records into already-allocated arenas.
+            gnn_tensor::tape::reset();
         }
         history.push(epoch_loss / train.len().max(1) as f64);
     }
@@ -301,6 +304,9 @@ pub fn predict_regressor(
 ) -> [f64; TargetMetric::COUNT] {
     let mut rng = StdRng::seed_from_u64(0);
     let output = model.forward(sample, type_override, false, &mut rng).value();
+    // Inference tapes are single-use; recycle immediately so long-running
+    // callers (the serve workers) stay at steady-state memory.
+    gnn_tensor::tape::reset();
     let mut normalized = [0.0f32; TargetMetric::COUNT];
     for (index, value) in normalized.iter_mut().enumerate() {
         *value = output.get(0, index);
@@ -391,6 +397,7 @@ pub fn train_node_classifier_source(
             }
             clip_grad_norm(&params, config.grad_clip);
             adam.step();
+            gnn_tensor::tape::reset();
         }
         history.push(epoch_loss / train.len().max(1) as f64);
     }

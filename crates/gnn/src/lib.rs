@@ -8,6 +8,13 @@
 //! [`gnn_tensor`] autodiff engine; feature encoding and the task-specific
 //! heads live in the `hls-gnn-core` crate.
 //!
+//! The engine records onto a thread-local arena tape, so a training or
+//! inference driver must call `gnn_tensor::tape::reset()` between steps
+//! (after the optimizer update, or after extracting predicted values) to
+//! recycle the tape's buffers; layer code itself never resets. Holding a
+//! non-parameter `Var` across a reset panics rather than reading recycled
+//! memory.
+//!
 //! For mini-batch training and batched inference, [`GraphBatch`] fuses
 //! several graphs into one block-diagonal super-graph whose nodes carry
 //! member-graph segment ids; every layer then computes, per node, exactly

@@ -19,8 +19,11 @@
 //!   requests with 503.
 //! * [`service`] — the sharded worker pool behind the embeddable
 //!   [`ServiceHandle`]: N thread-confined workers each rehydrate the model
-//!   from a `SavedPredictor` snapshot (the `!Send` autodiff tape never
-//!   crosses threads) and pull micro-batches from the queue.
+//!   from a `SavedPredictor` snapshot (the autodiff engine's thread-local
+//!   arena tape is `!Send`, so it never crosses threads) and pull
+//!   micro-batches from the queue. Inference resets its tape after every
+//!   batch, so a long-running worker stays at steady-state memory — the
+//!   arenas are recycled, not reallocated, per request.
 //! * [`cache`] — a bounded LRU prediction cache keyed by a canonical content
 //!   fingerprint ([`fingerprint`], re-exported from
 //!   [`hls_gnn_core::fingerprint`] — the same memoisation key the DSE

@@ -1,0 +1,517 @@
+//! The pre-arena reference-counted autodiff engine, frozen for comparison.
+//!
+//! This is the engine the crate shipped before the arena tape ([`crate::tape`]
+//! / [`crate::var`]) replaced it: every op heap-allocates an `Rc<VarInner>`
+//! holding a `RefCell<Matrix>` value, a parent list, and a boxed backward
+//! closure, and `Drop` walks an explicit worklist so deep tapes do not
+//! overflow the stack. It is kept **only** so `tensor_bench` can measure the
+//! live old-vs-new speedup on the machine at hand instead of trusting a
+//! recorded number; nothing in the production path uses it, and its op set is
+//! frozen — new ops go to [`crate::var`].
+//!
+//! To keep the comparison honest the matmul sites call
+//! [`Matrix::matmul_sparse_lhs`], the zero-skip kernel this engine always used
+//! (the dense branch-free kernel postdates it).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+thread_local! {
+    static NEXT_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn next_id() -> u64 {
+    NEXT_ID.with(|cell| {
+        let id = cell.get();
+        cell.set(id + 1);
+        id
+    })
+}
+
+type BackwardFn = Box<dyn Fn(&Matrix, &[Var])>;
+
+struct VarInner {
+    id: u64,
+    value: RefCell<Matrix>,
+    grad: RefCell<Option<Matrix>>,
+    parents: Vec<Var>,
+    backward: Option<BackwardFn>,
+    trainable: bool,
+}
+
+/// A node of the legacy reference-counted autodiff graph.
+#[derive(Clone)]
+pub struct Var(Rc<VarInner>);
+
+impl Drop for VarInner {
+    /// Iterative teardown. The default recursive drop of the `parents` chain
+    /// overflows the thread stack on long tapes, so uniquely-owned ancestors
+    /// are unlinked onto an explicit worklist instead.
+    fn drop(&mut self) {
+        let mut worklist: Vec<Var> = std::mem::take(&mut self.parents);
+        while let Some(mut parent) = worklist.pop() {
+            if let Some(inner) = Rc::get_mut(&mut parent.0) {
+                worklist.append(&mut inner.parents);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let value = self.0.value.borrow();
+        f.debug_struct("Var")
+            .field("id", &self.0.id)
+            .field("shape", &value.shape())
+            .field("trainable", &self.0.trainable)
+            .field("parents", &self.0.parents.len())
+            .finish()
+    }
+}
+
+impl Var {
+    fn make(
+        value: Matrix,
+        parents: Vec<Var>,
+        backward: Option<BackwardFn>,
+        trainable: bool,
+    ) -> Var {
+        Var(Rc::new(VarInner {
+            id: next_id(),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            parents,
+            backward,
+            trainable,
+        }))
+    }
+
+    /// Creates a constant (non-trainable) leaf.
+    pub fn new(value: Matrix) -> Var {
+        Var::make(value, Vec::new(), None, false)
+    }
+
+    /// Creates a trainable leaf (a model parameter).
+    pub fn parameter(value: Matrix) -> Var {
+        Var::make(value, Vec::new(), None, true)
+    }
+
+    /// Creates a `1×1` constant.
+    pub fn scalar(value: f32) -> Var {
+        Var::new(Matrix::from_vec(1, 1, vec![value]))
+    }
+
+    /// Unique id of this node.
+    pub fn id(&self) -> u64 {
+        self.0.id
+    }
+
+    /// True if this is a trainable parameter leaf.
+    pub fn is_trainable(&self) -> bool {
+        self.0.trainable
+    }
+
+    /// A clone of the current value.
+    pub fn value(&self) -> Matrix {
+        self.0.value.borrow().clone()
+    }
+
+    /// Runs a closure with a borrowed view of the value (avoids cloning).
+    pub fn with_value<R>(&self, f: impl FnOnce(&Matrix) -> R) -> R {
+        f(&self.0.value.borrow())
+    }
+
+    /// Shape of the value.
+    pub fn shape(&self) -> (usize, usize) {
+        self.0.value.borrow().shape()
+    }
+
+    /// Number of rows of the value.
+    pub fn rows(&self) -> usize {
+        self.0.value.borrow().rows()
+    }
+
+    /// Number of columns of the value.
+    pub fn cols(&self) -> usize {
+        self.0.value.borrow().cols()
+    }
+
+    /// The scalar value of a `1×1` node.
+    ///
+    /// # Panics
+    /// Panics if the node is not `1×1`.
+    pub fn scalar_value(&self) -> f32 {
+        let value = self.0.value.borrow();
+        assert_eq!(value.shape(), (1, 1), "scalar_value on a non-scalar node");
+        value.get(0, 0)
+    }
+
+    /// Replaces the stored value (used by optimisers on parameter leaves).
+    pub fn set_value(&self, value: Matrix) {
+        *self.0.value.borrow_mut() = value;
+    }
+
+    /// A clone of the accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Matrix> {
+        self.0.grad.borrow().clone()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.0.grad.borrow_mut() = None;
+    }
+
+    /// Adds `delta` into the accumulated gradient.
+    pub fn accumulate_grad(&self, delta: &Matrix) {
+        let mut slot = self.0.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(grad) => grad.add_assign(delta),
+            None => *slot = Some(delta.clone()),
+        }
+    }
+
+    /// Post-order (inputs before outputs) traversal of the graph rooted here.
+    fn topological_order(&self) -> Vec<Var> {
+        let mut order: Vec<Var> = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack: Vec<(Var, usize)> = vec![(self.clone(), 0)];
+        while let Some((node, child_index)) = stack.pop() {
+            if child_index == 0 && visited.contains(&node.id()) {
+                continue;
+            }
+            if child_index < node.0.parents.len() {
+                let child = node.0.parents[child_index].clone();
+                stack.push((node, child_index + 1));
+                if !visited.contains(&child.id()) {
+                    stack.push((child, 0));
+                }
+            } else if visited.insert(node.id()) {
+                order.push(node);
+            }
+        }
+        order
+    }
+
+    /// Runs reverse-mode differentiation from this scalar node.
+    ///
+    /// # Panics
+    /// Panics if the node is not `1×1`.
+    pub fn backward(&self) {
+        assert_eq!(self.shape(), (1, 1), "backward must start from a scalar loss");
+        self.accumulate_grad(&Matrix::from_vec(1, 1, vec![1.0]));
+        let order = self.topological_order();
+        for node in order.iter().rev() {
+            let Some(backward) = &node.0.backward else { continue };
+            let grad = node.0.grad.borrow();
+            if let Some(grad) = grad.as_ref() {
+                backward(grad, &node.0.parents);
+            }
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Var) -> Var {
+        let value = self.0.value.borrow().add(&other.0.value.borrow());
+        Var::make(
+            value,
+            vec![self.clone(), other.clone()],
+            Some(Box::new(|grad, parents| {
+                parents[0].accumulate_grad(grad);
+                parents[1].accumulate_grad(grad);
+            })),
+            false,
+        )
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, other: &Var) -> Var {
+        let value = self.0.value.borrow().sub(&other.0.value.borrow());
+        Var::make(
+            value,
+            vec![self.clone(), other.clone()],
+            Some(Box::new(|grad, parents| {
+                parents[0].accumulate_grad(grad);
+                parents[1].accumulate_grad(&grad.scale(-1.0));
+            })),
+            false,
+        )
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&self, other: &Var) -> Var {
+        let a = self.value();
+        let b = other.value();
+        let value = a.hadamard(&b);
+        Var::make(
+            value,
+            vec![self.clone(), other.clone()],
+            Some(Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.hadamard(&b));
+                parents[1].accumulate_grad(&grad.hadamard(&a));
+            })),
+            false,
+        )
+    }
+
+    /// Multiplies every element by a constant.
+    pub fn scale(&self, factor: f32) -> Var {
+        let value = self.0.value.borrow().scale(factor);
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| parents[0].accumulate_grad(&grad.scale(factor)))),
+            false,
+        )
+    }
+
+    /// Adds a constant to every element.
+    pub fn add_scalar(&self, constant: f32) -> Var {
+        let value = self.0.value.borrow().map(|x| x + constant);
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(|grad, parents| parents[0].accumulate_grad(grad))),
+            false,
+        )
+    }
+
+    /// Matrix product `self × other` (zero-skip kernel, as always used here).
+    pub fn matmul(&self, other: &Var) -> Var {
+        let a = self.value();
+        let b = other.value();
+        let value = a.matmul_sparse_lhs(&b);
+        Var::make(
+            value,
+            vec![self.clone(), other.clone()],
+            Some(Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.matmul_sparse_lhs(&b.transpose()));
+                parents[1].accumulate_grad(&a.transpose().matmul_sparse_lhs(grad));
+            })),
+            false,
+        )
+    }
+
+    /// Adds a `1×d` row vector to every row of an `n×d` matrix.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ or `bias` is not a single row.
+    pub fn add_row_broadcast(&self, bias: &Var) -> Var {
+        let bias_value = bias.value();
+        assert_eq!(bias_value.rows(), 1, "bias must be a single row");
+        assert_eq!(bias_value.cols(), self.cols(), "bias width mismatch");
+        let value = {
+            let a = self.0.value.borrow();
+            Matrix::from_fn(a.rows(), a.cols(), |r, c| a.get(r, c) + bias_value.get(0, c))
+        };
+        Var::make(
+            value,
+            vec![self.clone(), bias.clone()],
+            Some(Box::new(|grad, parents| {
+                parents[0].accumulate_grad(grad);
+                parents[1].accumulate_grad(&grad.sum_axis0());
+            })),
+            false,
+        )
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Var {
+        self.leaky_relu(0.0)
+    }
+
+    /// Leaky rectified linear unit.
+    pub fn leaky_relu(&self, negative_slope: f32) -> Var {
+        let input = self.value();
+        let value = input.map(|x| if x > 0.0 { x } else { negative_slope * x });
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                let masked =
+                    grad.zip_with(&input, |g, x| if x > 0.0 { g } else { negative_slope * g });
+                parents[0].accumulate_grad(&masked);
+            })),
+            false,
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        let out = self.0.value.borrow().map(|x| 1.0 / (1.0 + (-x).exp()));
+        let captured = out.clone();
+        Var::make(
+            out,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                let local = grad.zip_with(&captured, |g, y| g * y * (1.0 - y));
+                parents[0].accumulate_grad(&local);
+            })),
+            false,
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var {
+        let out = self.0.value.borrow().map(f32::tanh);
+        let captured = out.clone();
+        Var::make(
+            out,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                let local = grad.zip_with(&captured, |g, y| g * (1.0 - y * y));
+                parents[0].accumulate_grad(&local);
+            })),
+            false,
+        )
+    }
+
+    /// Inverted dropout (see [`crate::Var::dropout`]).
+    pub fn dropout(&self, p: f32, rng: &mut StdRng) -> Var {
+        if p <= 0.0 {
+            return self.scale(1.0);
+        }
+        let keep = 1.0 - p.clamp(0.0, 0.95);
+        let shape = self.shape();
+        let mask = Matrix::from_fn(shape.0, shape.1, |_, _| {
+            if rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        let value = self.0.value.borrow().hadamard(&mask);
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.hadamard(&mask));
+            })),
+            false,
+        )
+    }
+
+    /// Sum of all elements, as a `1×1` node.
+    pub fn sum(&self) -> Var {
+        let shape = self.shape();
+        let value = Matrix::from_vec(1, 1, vec![self.0.value.borrow().sum()]);
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                let g = grad.get(0, 0);
+                parents[0].accumulate_grad(&Matrix::full(shape.0, shape.1, g));
+            })),
+            false,
+        )
+    }
+
+    /// Mean of all elements, as a `1×1` node.
+    pub fn mean(&self) -> Var {
+        let count = (self.rows() * self.cols()).max(1) as f32;
+        self.sum().scale(1.0 / count)
+    }
+
+    /// Column-wise sum, producing a `1×d` node.
+    pub fn sum_axis0(&self) -> Var {
+        let rows = self.rows();
+        let value = self.0.value.borrow().sum_axis0();
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                let cols = grad.cols();
+                let expanded = Matrix::from_fn(rows, cols, |_, c| grad.get(0, c));
+                parents[0].accumulate_grad(&expanded);
+            })),
+            false,
+        )
+    }
+
+    /// Column-wise mean, producing a `1×d` node.
+    pub fn mean_axis0(&self) -> Var {
+        let rows = self.rows().max(1) as f32;
+        self.sum_axis0().scale(1.0 / rows)
+    }
+
+    /// Selects rows by index (duplicates allowed).
+    pub fn gather_rows(&self, indices: &[usize]) -> Var {
+        let source_rows = self.rows();
+        let indices = indices.to_vec();
+        let value = self.0.value.borrow().gather_rows(&indices);
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.scatter_add_rows(&indices, source_rows));
+            })),
+            false,
+        )
+    }
+
+    /// Scatter-adds rows into an accumulator with `out_rows` rows.
+    pub fn scatter_add_rows(&self, indices: &[usize], out_rows: usize) -> Var {
+        let indices = indices.to_vec();
+        let value = self.0.value.borrow().scatter_add_rows(&indices, out_rows);
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.gather_rows(&indices));
+            })),
+            false,
+        )
+    }
+
+    /// Per-segment, per-column sum (see [`crate::Var::segment_sum`]).
+    ///
+    /// # Panics
+    /// Panics if `segments.len()` differs from the row count or a segment id
+    /// is out of range.
+    pub fn segment_sum(&self, segments: &[usize], num_segments: usize) -> Var {
+        let input = self.value();
+        assert_eq!(segments.len(), input.rows(), "one segment id per row is required");
+        assert!(
+            segments.iter().all(|&s| s < num_segments),
+            "segment id out of range (num_segments = {num_segments})"
+        );
+        let segments = segments.to_vec();
+        let value = input.scatter_add_rows(&segments, num_segments);
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                parents[0].accumulate_grad(&grad.gather_rows(&segments));
+            })),
+            false,
+        )
+    }
+
+    /// Mean squared error against a constant target, as a scalar node.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn mse(&self, target: &Matrix) -> Var {
+        let prediction = self.value();
+        assert_eq!(prediction.shape(), target.shape(), "mse shape mismatch");
+        let count = (target.rows() * target.cols()).max(1) as f32;
+        let diff = prediction.sub(target);
+        let value =
+            Matrix::from_vec(1, 1, vec![diff.data().iter().map(|d| d * d).sum::<f32>() / count]);
+        let captured = diff;
+        Var::make(
+            value,
+            vec![self.clone()],
+            Some(Box::new(move |grad, parents| {
+                let g = grad.get(0, 0);
+                parents[0].accumulate_grad(&captured.scale(2.0 * g / count));
+            })),
+            false,
+        )
+    }
+}

@@ -9,8 +9,13 @@
 //! * [`var::Var`] — reverse-mode automatic differentiation over matrices,
 //!   including segment aggregations and the loss functions used by the
 //!   prediction tasks.
+//! * [`tape`] — the arena tape backing `Var`: one flat op/value/grad store
+//!   per thread, reset between training steps so steady-state epochs run
+//!   with O(1) allocations.
 //! * [`nn`] — linear layers, MLPs and embedding tables.
 //! * [`optim`] — Adam and SGD optimisers plus gradient clipping.
+//! * [`legacy`] — the frozen pre-arena `Rc`-graph engine, kept only as the
+//!   comparison baseline for `tensor_bench`.
 //!
 //! # Example
 //!
@@ -32,9 +37,11 @@
 //! assert!((weight.value().get(0, 0) - 2.0).abs() < 0.05);
 //! ```
 
+pub mod legacy;
 pub mod matrix;
 pub mod nn;
 pub mod optim;
+pub mod tape;
 pub mod var;
 
 pub use matrix::Matrix;

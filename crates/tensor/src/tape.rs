@@ -1,0 +1,1030 @@
+//! Index-based arena tape for reverse-mode autodiff.
+//!
+//! One [`Tape`] lives in a thread-local slot. Every op appends a typed
+//! [`Op`] record to a flat node arena and writes its forward value into a
+//! shared `f32` buffer; gradients live in a second flat buffer with the same
+//! offsets. A [`crate::Var`] node handle is just `(generation, index, shape)`
+//! — no per-op heap allocation, no reference counting, no boxed backward
+//! closures, and dropping a deep chain of handles is trivially O(1) per
+//! handle, so the old iterative-teardown `Drop` workaround is gone.
+//!
+//! Parameters (and constants, which behave like non-trainable parameters)
+//! are *not* tape nodes: they live in [`ParamCell`]s owned by their `Var`
+//! handles, so they survive [`reset`] and free when the model drops. Their
+//! accumulated gradients also live in the cell, which is what lets gradients
+//! accumulate across multiple backward passes exactly like the previous
+//! engine.
+//!
+//! # Lifecycle
+//!
+//! [`reset`] ends a step: it bumps the tape generation and clears the arenas
+//! **retaining their capacity**, so a whole training epoch performs O(1) tape
+//! allocations instead of O(ops). Node handles from before the reset are
+//! stale; using one panics with "stale Var handle". Forgetting a reset is a
+//! bounded memory leak within the thread, never unsoundness.
+//!
+//! # Determinism
+//!
+//! The backward pass replays the exact traversal of the previous
+//! reference-counted engine: a depth-first post-order over the node graph
+//! (children in parent-list order), iterated in reverse, with per-parent
+//! contributions accumulated in parent-list order. Single-consumer
+//! contributions add directly into the destination region; multi-term
+//! contributions (dense matmul's right-operand gradient, gather's scatter
+//! adjoint) materialize into a reusable scratch buffer first and are added
+//! in one pass, preserving the old engine's floating-point accumulation
+//! order. All state is thread-local, so results are bit-identical at any
+//! worker count.
+
+use std::cell::{Cell, Ref, RefCell};
+use std::rc::Rc;
+
+use crate::matrix::{kernels, Matrix};
+
+/// A parameter (or constant) leaf: value and accumulated gradient live here,
+/// outside the tape, so they survive [`reset`].
+pub(crate) struct ParamCell {
+    pub(crate) id: u64,
+    pub(crate) trainable: bool,
+    pub(crate) value: RefCell<Matrix>,
+    pub(crate) grad: RefCell<Option<Matrix>>,
+    /// `(generation, index into Tape::params)` — caches the registration of
+    /// this cell on the current tape so repeated uses don't rescan.
+    slot: Cell<(u64, u32)>,
+}
+
+impl ParamCell {
+    pub(crate) fn new(id: u64, trainable: bool, value: Matrix) -> Self {
+        ParamCell {
+            id,
+            trainable,
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            slot: Cell::new((0, 0)),
+        }
+    }
+}
+
+/// An operand: an earlier tape node or a registered parameter cell.
+#[derive(Clone, Copy)]
+pub(crate) enum Src {
+    Node(u32),
+    Param(u32),
+}
+
+/// A `(start, len)` window into one of the tape's side arenas
+/// (`srcs`, `idx` or `aux`).
+#[derive(Clone, Copy)]
+pub(crate) struct Range32 {
+    pub(crate) start: u32,
+    pub(crate) len: u32,
+}
+
+impl Range32 {
+    fn bounds(self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
+    }
+}
+
+/// Typed op record. Operand order matches the parent-list order of the
+/// previous engine — the backward traversal depends on it.
+#[derive(Clone, Copy)]
+pub(crate) enum Op {
+    Add(Src, Src),
+    Sub(Src, Src),
+    Mul(Src, Src),
+    DivEps(Src, Src, f32),
+    Scale(Src, f32),
+    AddScalar(Src, f32),
+    MulScalarVar(Src, Src),
+    MulColBroadcast(Src, Src),
+    Matmul(Src, Src),
+    AddRowBroadcast(Src, Src),
+    LeakyRelu(Src, f32),
+    Sigmoid(Src),
+    Tanh(Src),
+    Exp(Src),
+    LogEps(Src, f32),
+    SqrtEps(Src, f32),
+    /// Mask (already scaled by `1/keep`) stored in `aux`.
+    Dropout(Src, Range32),
+    Sum(Src),
+    SumAxis0(Src),
+    ConcatCols(Range32),
+    ConcatRows(Range32),
+    GatherRows(Src, Range32),
+    ScatterAddRows(Src, Range32),
+    ScatterAddOnto(Src, Src, Range32),
+    SegmentSum(Src, Range32),
+    /// `segments` are ids in `idx`; `winners` is a `num_segments × cols`
+    /// argmax table in `idx` filled during forward (`u32::MAX` = empty).
+    SegmentExtremum {
+        input: Src,
+        segments: Range32,
+        winners: Range32,
+        is_max: bool,
+    },
+    /// Per-row constant factors stored in `aux` (no gradient w.r.t. them).
+    ScaleRows(Src, Range32),
+    /// Target stored in `aux`.
+    Mse(Src, Range32),
+    /// Target stored in `aux`.
+    BceWithLogits(Src, Range32),
+}
+
+impl Op {
+    /// The `i`-th operand in parent-list order, if any.
+    fn nth_src(&self, srcs: &[Src], i: usize) -> Option<Src> {
+        let pair = |a: Src, b: Src, i: usize| match i {
+            0 => Some(a),
+            1 => Some(b),
+            _ => None,
+        };
+        let single = |a: Src, i: usize| (i == 0).then_some(a);
+        match *self {
+            Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::DivEps(a, b, _)
+            | Op::MulScalarVar(a, b)
+            | Op::MulColBroadcast(a, b)
+            | Op::Matmul(a, b)
+            | Op::AddRowBroadcast(a, b)
+            | Op::ScatterAddOnto(a, b, _) => pair(a, b, i),
+            Op::Scale(a, _)
+            | Op::AddScalar(a, _)
+            | Op::LeakyRelu(a, _)
+            | Op::Sigmoid(a)
+            | Op::Tanh(a)
+            | Op::Exp(a)
+            | Op::LogEps(a, _)
+            | Op::SqrtEps(a, _)
+            | Op::Dropout(a, _)
+            | Op::Sum(a)
+            | Op::SumAxis0(a)
+            | Op::GatherRows(a, _)
+            | Op::ScatterAddRows(a, _)
+            | Op::SegmentSum(a, _)
+            | Op::SegmentExtremum { input: a, .. }
+            | Op::ScaleRows(a, _)
+            | Op::Mse(a, _)
+            | Op::BceWithLogits(a, _) => single(a, i),
+            Op::ConcatCols(r) | Op::ConcatRows(r) => {
+                if i < r.len as usize {
+                    Some(srcs[r.start as usize + i])
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct NodeRec {
+    rows: u32,
+    cols: u32,
+    /// Offset of this node's value (and gradient) in the flat buffers.
+    off: usize,
+    op: Op,
+}
+
+impl NodeRec {
+    fn len(&self) -> usize {
+        self.rows as usize * self.cols as usize
+    }
+}
+
+/// Size and reuse statistics of the thread's tape (see [`stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapeStats {
+    /// Ops recorded since the last reset.
+    pub ops: usize,
+    /// `f32`s of forward values recorded since the last reset.
+    pub value_floats: usize,
+    /// Capacity of the value buffer — stable across steady-state resets,
+    /// which is what makes a training epoch O(1) allocations.
+    pub value_capacity: usize,
+}
+
+/// The arena tape. One per thread, reachable via [`with`].
+pub(crate) struct Tape {
+    generation: u64,
+    nodes: Vec<NodeRec>,
+    vals: Vec<f32>,
+    grads: Vec<f32>,
+    srcs: Vec<Src>,
+    idx: Vec<u32>,
+    aux: Vec<f32>,
+    params: Vec<Rc<ParamCell>>,
+    scratch: Vec<f32>,
+    scratch2: Vec<f32>,
+    order: Vec<u32>,
+    stack: Vec<(u32, u32)>,
+    mark: Vec<u32>,
+    mark_gen: u32,
+}
+
+thread_local! {
+    static TAPE: RefCell<Tape> = RefCell::new(Tape::new());
+}
+
+/// Runs `f` with the thread's tape. Do not call [`Var`](crate::Var) methods
+/// from inside `f` — they re-borrow the tape.
+pub(crate) fn with<R>(f: impl FnOnce(&mut Tape) -> R) -> R {
+    TAPE.with(|tape| f(&mut tape.borrow_mut()))
+}
+
+/// Ends the current step: bumps the tape generation and clears the node,
+/// value, gradient and side arenas **retaining capacity**. Parameters keep
+/// their values and accumulated gradients; node handles recorded before the
+/// reset become stale and panic on use.
+pub fn reset() {
+    with(Tape::reset_in_place);
+}
+
+/// Size/reuse statistics of the thread's tape.
+pub fn stats() -> TapeStats {
+    with(|tape| TapeStats {
+        ops: tape.nodes.len(),
+        value_floats: tape.vals.len(),
+        value_capacity: tape.vals.capacity(),
+    })
+}
+
+/// A resolved operand value: a slice of the value buffer for node operands,
+/// or a borrow of the cell for parameter operands.
+enum SrcVal<'a> {
+    Slice(&'a [f32]),
+    Guard(Ref<'a, Matrix>),
+}
+
+impl SrcVal<'_> {
+    fn as_slice(&self) -> &[f32] {
+        match self {
+            SrcVal::Slice(slice) => slice,
+            SrcVal::Guard(guard) => guard.data(),
+        }
+    }
+}
+
+fn src_val<'a>(
+    vals: &'a [f32],
+    nodes: &[NodeRec],
+    params: &'a [Rc<ParamCell>],
+    src: Src,
+) -> SrcVal<'a> {
+    match src {
+        Src::Node(i) => {
+            let rec = &nodes[i as usize];
+            SrcVal::Slice(&vals[rec.off..rec.off + rec.len()])
+        }
+        Src::Param(p) => SrcVal::Guard(params[p as usize].value.borrow()),
+    }
+}
+
+fn src_dims(nodes: &[NodeRec], params: &[Rc<ParamCell>], src: Src) -> (usize, usize) {
+    match src {
+        Src::Node(i) => (nodes[i as usize].rows as usize, nodes[i as usize].cols as usize),
+        Src::Param(p) => params[p as usize].value.borrow().shape(),
+    }
+}
+
+/// Runs `f` on the gradient region of `src`: a slice of the flat gradient
+/// buffer for nodes, or the parameter cell's gradient matrix (created zeroed
+/// on first touch, matching the previous engine's `None → clone` semantics up
+/// to `0.0 + x`).
+fn with_grad_dst(
+    grads_head: &mut [f32],
+    nodes: &[NodeRec],
+    params: &[Rc<ParamCell>],
+    src: Src,
+    f: impl FnOnce(&mut [f32]),
+) {
+    match src {
+        Src::Node(i) => {
+            let rec = &nodes[i as usize];
+            f(&mut grads_head[rec.off..rec.off + rec.len()]);
+        }
+        Src::Param(p) => {
+            let cell = &params[p as usize];
+            let mut guard = cell.grad.borrow_mut();
+            if guard.is_none() {
+                let (rows, cols) = cell.value.borrow().shape();
+                *guard = Some(Matrix::zeros(rows, cols));
+            }
+            f(guard.as_mut().expect("just ensured").data_mut());
+        }
+    }
+}
+
+impl Tape {
+    fn new() -> Self {
+        Tape {
+            generation: 1,
+            nodes: Vec::new(),
+            vals: Vec::new(),
+            grads: Vec::new(),
+            srcs: Vec::new(),
+            idx: Vec::new(),
+            aux: Vec::new(),
+            params: Vec::new(),
+            scratch: Vec::new(),
+            scratch2: Vec::new(),
+            order: Vec::new(),
+            stack: Vec::new(),
+            mark: Vec::new(),
+            mark_gen: 0,
+        }
+    }
+
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn reset_in_place(&mut self) {
+        self.generation += 1;
+        self.nodes.clear();
+        self.vals.clear();
+        self.grads.clear();
+        self.srcs.clear();
+        self.idx.clear();
+        self.aux.clear();
+        self.params.clear();
+    }
+
+    /// Registers a parameter cell on this tape (idempotent per generation).
+    pub(crate) fn param_src(&mut self, cell: &Rc<ParamCell>) -> Src {
+        let (slot_generation, slot_index) = cell.slot.get();
+        if slot_generation == self.generation {
+            return Src::Param(slot_index);
+        }
+        let index = u32::try_from(self.params.len()).expect("tape parameter limit exceeded");
+        self.params.push(Rc::clone(cell));
+        cell.slot.set((self.generation, index));
+        Src::Param(index)
+    }
+
+    /// Copies operand handles into the `srcs` arena (for concat ops).
+    pub(crate) fn push_srcs(&mut self, list: &[Src]) -> Range32 {
+        let start = u32::try_from(self.srcs.len()).expect("tape source arena limit exceeded");
+        self.srcs.extend_from_slice(list);
+        Range32 { start, len: list.len() as u32 }
+    }
+
+    /// Copies row/segment indices into the `idx` arena.
+    pub(crate) fn push_idx(&mut self, ids: &[usize]) -> Range32 {
+        let start = u32::try_from(self.idx.len()).expect("tape index arena limit exceeded");
+        self.idx
+            .extend(ids.iter().map(|&i| u32::try_from(i).expect("row index exceeds u32 range")));
+        Range32 { start, len: ids.len() as u32 }
+    }
+
+    /// Reserves a `len`-slot winner table in the `idx` arena, initialised to
+    /// the `u32::MAX` "empty" sentinel (filled by the extremum forward pass).
+    pub(crate) fn push_winner_slots(&mut self, len: usize) -> Range32 {
+        let start = u32::try_from(self.idx.len()).expect("tape index arena limit exceeded");
+        self.idx.resize(self.idx.len() + len, u32::MAX);
+        Range32 { start, len: len as u32 }
+    }
+
+    /// Copies auxiliary floats (dropout masks, row factors, loss targets)
+    /// into the `aux` arena.
+    pub(crate) fn push_aux(&mut self, values: &[f32]) -> Range32 {
+        let start = u32::try_from(self.aux.len()).expect("tape aux arena limit exceeded");
+        self.aux.extend_from_slice(values);
+        Range32 { start, len: values.len() as u32 }
+    }
+
+    /// Values of node `index` as a fresh [`Matrix`].
+    pub(crate) fn node_matrix(&self, index: u32) -> Matrix {
+        let rec = &self.nodes[index as usize];
+        Matrix::from_vec(
+            rec.rows as usize,
+            rec.cols as usize,
+            self.vals[rec.off..rec.off + rec.len()].to_vec(),
+        )
+    }
+
+    /// Gradient of node `index` as a fresh [`Matrix`], if its region has been
+    /// materialised by a backward pass.
+    pub(crate) fn node_grad_matrix(&self, index: u32) -> Option<Matrix> {
+        let rec = &self.nodes[index as usize];
+        if self.grads.len() < rec.off + rec.len() {
+            return None;
+        }
+        Some(Matrix::from_vec(
+            rec.rows as usize,
+            rec.cols as usize,
+            self.grads[rec.off..rec.off + rec.len()].to_vec(),
+        ))
+    }
+
+    /// Overwrites the value region of node `index` (same shape required).
+    pub(crate) fn set_node_value(&mut self, index: u32, value: &Matrix) {
+        let rec = self.nodes[index as usize];
+        assert_eq!(
+            value.shape(),
+            (rec.rows as usize, rec.cols as usize),
+            "set_value must preserve the shape of a tape node"
+        );
+        self.vals[rec.off..rec.off + rec.len()].copy_from_slice(value.data());
+    }
+
+    /// Zeroes the gradient region of node `index`, if materialised.
+    pub(crate) fn zero_node_grad(&mut self, index: u32) {
+        let rec = self.nodes[index as usize];
+        if self.grads.len() >= rec.off + rec.len() {
+            self.grads[rec.off..rec.off + rec.len()].fill(0.0);
+        }
+    }
+
+    /// Adds `delta` into the gradient region of node `index`.
+    pub(crate) fn accumulate_node_grad(&mut self, index: u32, delta: &Matrix) {
+        let rec = self.nodes[index as usize];
+        assert_eq!(
+            delta.shape(),
+            (rec.rows as usize, rec.cols as usize),
+            "gradient shape mismatch"
+        );
+        if self.grads.len() < self.vals.len() {
+            self.grads.resize(self.vals.len(), 0.0);
+        }
+        let dst = &mut self.grads[rec.off..rec.off + rec.len()];
+        for (slot, &d) in dst.iter_mut().zip(delta.data()) {
+            *slot += d;
+        }
+    }
+
+    /// Appends a node, computes its forward value, returns its index.
+    pub(crate) fn record(&mut self, rows: usize, cols: usize, op: Op) -> u32 {
+        let index = u32::try_from(self.nodes.len()).expect("tape node limit exceeded");
+        let off = self.vals.len();
+        self.vals.resize(off + rows * cols, 0.0);
+        self.nodes.push(NodeRec { rows: rows as u32, cols: cols as u32, off, op });
+        self.forward_node(index as usize);
+        index
+    }
+
+    /// Computes the forward value of node `index` into its (zeroed) region.
+    fn forward_node(&mut self, index: usize) {
+        let Tape { nodes, vals, srcs, idx, aux, params, .. } = self;
+        let rec = nodes[index];
+        let cols = rec.cols as usize;
+        let (head, tail) = vals.split_at_mut(rec.off);
+        let head: &[f32] = head;
+        let out = &mut tail[..rec.len()];
+        let sv = |s: Src| src_val(head, nodes, params, s);
+        match rec.op {
+            Op::Add(a, b) => binary(out, &sv(a), &sv(b), |x, y| x + y),
+            Op::Sub(a, b) => binary(out, &sv(a), &sv(b), |x, y| x - y),
+            Op::Mul(a, b) => binary(out, &sv(a), &sv(b), |x, y| x * y),
+            Op::DivEps(a, b, eps) => binary(out, &sv(a), &sv(b), |x, y| x / (y + eps)),
+            Op::Scale(a, factor) => unary(out, &sv(a), |x| x * factor),
+            Op::AddScalar(a, constant) => unary(out, &sv(a), |x| x + constant),
+            Op::MulScalarVar(a, b) => {
+                let s = sv(b).as_slice()[0];
+                unary(out, &sv(a), |x| x * s);
+            }
+            Op::MulColBroadcast(a, b) => {
+                let av = sv(a);
+                let col = sv(b);
+                for ((orow, arow), &factor) in out
+                    .chunks_exact_mut(cols.max(1))
+                    .zip(av.as_slice().chunks_exact(cols.max(1)))
+                    .zip(col.as_slice())
+                {
+                    for (o, &x) in orow.iter_mut().zip(arow) {
+                        *o = x * factor;
+                    }
+                }
+            }
+            Op::Matmul(a, b) => {
+                let (m, k) = src_dims(nodes, params, a);
+                let av = sv(a);
+                let bv = sv(b);
+                kernels::matmul(out, av.as_slice(), bv.as_slice(), m, k, cols);
+            }
+            Op::AddRowBroadcast(a, b) => {
+                let av = sv(a);
+                let bias = sv(b);
+                let bias = bias.as_slice();
+                for (orow, arow) in
+                    out.chunks_exact_mut(cols.max(1)).zip(av.as_slice().chunks_exact(cols.max(1)))
+                {
+                    for ((o, &x), &bv) in orow.iter_mut().zip(arow).zip(bias) {
+                        *o = x + bv;
+                    }
+                }
+            }
+            Op::LeakyRelu(a, slope) => unary(out, &sv(a), |x| if x > 0.0 { x } else { slope * x }),
+            Op::Sigmoid(a) => unary(out, &sv(a), |x| 1.0 / (1.0 + (-x).exp())),
+            Op::Tanh(a) => unary(out, &sv(a), f32::tanh),
+            Op::Exp(a) => unary(out, &sv(a), |x| x.min(30.0).exp()),
+            Op::LogEps(a, eps) => unary(out, &sv(a), |x| (x + eps).ln()),
+            Op::SqrtEps(a, eps) => unary(out, &sv(a), |x| (x.max(0.0) + eps).sqrt()),
+            Op::Dropout(a, mask) => {
+                let av = sv(a);
+                for ((o, &x), &m) in out.iter_mut().zip(av.as_slice()).zip(&aux[mask.bounds()]) {
+                    *o = x * m;
+                }
+            }
+            Op::Sum(a) => out[0] = sv(a).as_slice().iter().sum(),
+            Op::SumAxis0(a) => {
+                let av = sv(a);
+                for arow in av.as_slice().chunks_exact(cols.max(1)) {
+                    for (o, &x) in out.iter_mut().zip(arow) {
+                        *o += x;
+                    }
+                }
+            }
+            Op::ConcatCols(range) => {
+                let mut col_off = 0;
+                for &part in &srcs[range.bounds()] {
+                    let (_, part_cols) = src_dims(nodes, params, part);
+                    let pv = sv(part);
+                    for (orow, prow) in out
+                        .chunks_exact_mut(cols.max(1))
+                        .zip(pv.as_slice().chunks_exact(part_cols.max(1)))
+                    {
+                        orow[col_off..col_off + part_cols].copy_from_slice(prow);
+                    }
+                    col_off += part_cols;
+                }
+            }
+            Op::ConcatRows(range) => {
+                let mut write = 0;
+                for &part in &srcs[range.bounds()] {
+                    let pv = sv(part);
+                    let slice = pv.as_slice();
+                    out[write..write + slice.len()].copy_from_slice(slice);
+                    write += slice.len();
+                }
+            }
+            Op::GatherRows(a, ids) => {
+                let av = sv(a);
+                let source = av.as_slice();
+                for (orow, &id) in out.chunks_exact_mut(cols.max(1)).zip(&idx[ids.bounds()]) {
+                    let start = id as usize * cols;
+                    orow.copy_from_slice(&source[start..start + cols]);
+                }
+            }
+            Op::ScatterAddRows(a, ids) | Op::SegmentSum(a, ids) => {
+                let av = sv(a);
+                for (arow, &id) in av.as_slice().chunks_exact(cols.max(1)).zip(&idx[ids.bounds()]) {
+                    let start = id as usize * cols;
+                    for (o, &x) in out[start..start + cols].iter_mut().zip(arow) {
+                        *o += x;
+                    }
+                }
+            }
+            Op::ScatterAddOnto(base, rows, ids) => {
+                let basev = sv(base);
+                out.copy_from_slice(basev.as_slice());
+                drop(basev);
+                let rv = sv(rows);
+                for (arow, &id) in rv.as_slice().chunks_exact(cols.max(1)).zip(&idx[ids.bounds()]) {
+                    let start = id as usize * cols;
+                    for (o, &x) in out[start..start + cols].iter_mut().zip(arow) {
+                        *o += x;
+                    }
+                }
+            }
+            Op::SegmentExtremum { input, segments, winners, is_max } => {
+                let av = sv(input);
+                let source = av.as_slice();
+                // Segments and winners are disjoint windows of the same
+                // arena; winners start strictly after segments.
+                let (seg_head, win_tail) = idx.split_at_mut(winners.start as usize);
+                let seg = &seg_head[segments.bounds()];
+                let win = &mut win_tail[..winners.len as usize];
+                for (row, &segment) in seg.iter().enumerate() {
+                    let segment = segment as usize;
+                    for c in 0..cols {
+                        let candidate = source[row * cols + c];
+                        let slot = &mut win[segment * cols + c];
+                        let better = if *slot == u32::MAX {
+                            true
+                        } else {
+                            let current = source[*slot as usize * cols + c];
+                            if is_max {
+                                candidate > current
+                            } else {
+                                candidate < current
+                            }
+                        };
+                        if better {
+                            *slot = row as u32;
+                            out[segment * cols + c] = candidate;
+                        }
+                    }
+                }
+            }
+            Op::ScaleRows(a, factors) => {
+                let av = sv(a);
+                for ((orow, arow), &factor) in out
+                    .chunks_exact_mut(cols.max(1))
+                    .zip(av.as_slice().chunks_exact(cols.max(1)))
+                    .zip(&aux[factors.bounds()])
+                {
+                    for (o, &x) in orow.iter_mut().zip(arow) {
+                        *o = x * factor;
+                    }
+                }
+            }
+            Op::Mse(a, target) => {
+                let av = sv(a);
+                let count = (target.len as usize).max(1) as f32;
+                let mut total = 0.0f32;
+                for (&x, &t) in av.as_slice().iter().zip(&aux[target.bounds()]) {
+                    let diff = x - t;
+                    total += diff * diff;
+                }
+                out[0] = total / count;
+            }
+            Op::BceWithLogits(a, target) => {
+                let av = sv(a);
+                let count = (target.len as usize).max(1) as f32;
+                let mut total = 0.0f32;
+                for (&x, &t) in av.as_slice().iter().zip(&aux[target.bounds()]) {
+                    total += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
+                }
+                out[0] = total / count;
+            }
+        }
+    }
+
+    /// Depth-first post-order over the node subgraph rooted at `root`,
+    /// children visited in parent-list order — the exact traversal of the
+    /// previous engine's `topological_order`. Parameter operands are leaves
+    /// with no consumers of their own and are skipped (their emission never
+    /// affected op ordering).
+    fn compute_order(&mut self, root: u32) {
+        let Tape { nodes, srcs, order, stack, mark, mark_gen, .. } = self;
+        order.clear();
+        stack.clear();
+        if mark.len() < nodes.len() {
+            mark.resize(nodes.len(), 0);
+        }
+        *mark_gen = mark_gen.wrapping_add(1);
+        if *mark_gen == 0 {
+            mark.fill(0);
+            *mark_gen = 1;
+        }
+        let visited = *mark_gen;
+        stack.push((root, 0));
+        while let Some((node, child_index)) = stack.pop() {
+            if child_index == 0 && mark[node as usize] == visited {
+                continue;
+            }
+            match nodes[node as usize].op.nth_src(srcs, child_index as usize) {
+                Some(src) => {
+                    stack.push((node, child_index + 1));
+                    if let Src::Node(child) = src {
+                        if mark[child as usize] != visited {
+                            stack.push((child, 0));
+                        }
+                    }
+                }
+                None => {
+                    if mark[node as usize] != visited {
+                        mark[node as usize] = visited;
+                        order.push(node);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reverse-mode differentiation from scalar node `root`. Node gradient
+    /// regions reachable from the root are zeroed first (node gradients are
+    /// per-backward temporaries); parameter gradients accumulate across
+    /// calls in their cells.
+    pub(crate) fn backward(&mut self, root: u32) {
+        self.compute_order(root);
+        if self.grads.len() < self.vals.len() {
+            self.grads.resize(self.vals.len(), 0.0);
+        }
+        for position in 0..self.order.len() {
+            let rec = self.nodes[self.order[position] as usize];
+            self.grads[rec.off..rec.off + rec.len()].fill(0.0);
+        }
+        let root_off = self.nodes[root as usize].off;
+        self.grads[root_off] = 1.0;
+        for position in (0..self.order.len()).rev() {
+            let node = self.order[position];
+            self.backprop_node(node);
+        }
+    }
+
+    /// Propagates node `n`'s gradient to its operands, in parent-list order.
+    fn backprop_node(&mut self, n: u32) {
+        let Tape { nodes, vals, grads, srcs, idx, aux, params, scratch, scratch2, .. } = self;
+        let rec = nodes[n as usize];
+        let cols = rec.cols as usize;
+        let values: &[f32] = vals;
+        let (grads_head, grads_tail) = grads.split_at_mut(rec.off);
+        let g: &[f32] = &grads_tail[..rec.len()];
+        let own = &values[rec.off..rec.off + rec.len()];
+        let sv = |s: Src| src_val(values, nodes, params, s);
+        // Shorthand: run `f` on the gradient destination of operand `s`.
+        macro_rules! dst {
+            ($s:expr, $f:expr) => {
+                with_grad_dst(grads_head, nodes, params, $s, $f)
+            };
+        }
+        match rec.op {
+            Op::Add(a, b) => {
+                dst!(a, |d| axpy(d, g, 1.0));
+                dst!(b, |d| axpy(d, g, 1.0));
+            }
+            Op::Sub(a, b) => {
+                dst!(a, |d| axpy(d, g, 1.0));
+                dst!(b, |d| axpy(d, g, -1.0));
+            }
+            Op::Mul(a, b) => {
+                let (av, bv) = (sv(a), sv(b));
+                dst!(a, |d| mul_add(d, g, bv.as_slice()));
+                dst!(b, |d| mul_add(d, g, av.as_slice()));
+            }
+            Op::DivEps(a, b, eps) => {
+                let (av, bv) = (sv(a), sv(b));
+                dst!(a, |d| {
+                    for ((slot, &gv), &y) in d.iter_mut().zip(g).zip(bv.as_slice()) {
+                        *slot += gv / (y + eps);
+                    }
+                });
+                dst!(b, |d| {
+                    for (((slot, &gv), &x), &y) in
+                        d.iter_mut().zip(g).zip(av.as_slice()).zip(bv.as_slice())
+                    {
+                        let gx = gv * x;
+                        let denom = y + eps;
+                        *slot += -gx / (denom * denom);
+                    }
+                });
+            }
+            Op::Scale(a, factor) => dst!(a, |d| axpy(d, g, factor)),
+            Op::AddScalar(a, _) => dst!(a, |d| axpy(d, g, 1.0)),
+            Op::MulScalarVar(a, b) => {
+                let av = sv(a);
+                let s = sv(b).as_slice()[0];
+                dst!(a, |d| axpy(d, g, s));
+                let ds: f32 = g.iter().zip(av.as_slice()).map(|(&gv, &x)| gv * x).sum();
+                dst!(b, |d| d[0] += ds);
+            }
+            Op::MulColBroadcast(a, b) => {
+                let av = sv(a);
+                let col = sv(b);
+                dst!(a, |d| {
+                    for ((drow, grow), &factor) in d
+                        .chunks_exact_mut(cols.max(1))
+                        .zip(g.chunks_exact(cols.max(1)))
+                        .zip(col.as_slice())
+                    {
+                        for (slot, &gv) in drow.iter_mut().zip(grow) {
+                            *slot += gv * factor;
+                        }
+                    }
+                });
+                dst!(b, |d| {
+                    for ((slot, grow), arow) in d
+                        .iter_mut()
+                        .zip(g.chunks_exact(cols.max(1)))
+                        .zip(av.as_slice().chunks_exact(cols.max(1)))
+                    {
+                        let mut acc = 0.0f32;
+                        for (&gv, &x) in grow.iter().zip(arow) {
+                            acc += gv * x;
+                        }
+                        *slot += acc;
+                    }
+                });
+            }
+            Op::Matmul(a, b) => {
+                let (m, k) = src_dims(nodes, params, a);
+                let n = cols;
+                let (av, bv) = (sv(a), sv(b));
+                // Both operand gradients are multi-term per element:
+                // materialize each into zeroed scratch and add it once,
+                // preserving the old engine's materialize-then-accumulate
+                // floating-point order.
+                // d_a = g × bᵀ (bᵀ goes through scratch2 inside the kernel).
+                scratch.clear();
+                scratch.resize(m * k, 0.0);
+                kernels::matmul_transpose_b(scratch, g, bv.as_slice(), m, n, k, scratch2);
+                dst!(a, |d| axpy(d, scratch, 1.0));
+                // d_b = aᵀ × g.
+                scratch.clear();
+                scratch.resize(k * n, 0.0);
+                kernels::matmul_transpose_a(scratch, av.as_slice(), g, m, k, n);
+                dst!(b, |d| axpy(d, scratch, 1.0));
+            }
+            Op::AddRowBroadcast(a, b) => {
+                dst!(a, |d| axpy(d, g, 1.0));
+                dst!(b, |d| {
+                    for (c, slot) in d.iter_mut().enumerate() {
+                        let mut acc = 0.0f32;
+                        for grow in g.chunks_exact(cols.max(1)) {
+                            acc += grow[c];
+                        }
+                        *slot += acc;
+                    }
+                });
+            }
+            Op::LeakyRelu(a, slope) => {
+                let av = sv(a);
+                dst!(a, |d| {
+                    for ((slot, &gv), &x) in d.iter_mut().zip(g).zip(av.as_slice()) {
+                        *slot += if x > 0.0 { gv } else { slope * gv };
+                    }
+                });
+            }
+            Op::Sigmoid(a) => dst!(a, |d| {
+                for ((slot, &gv), &y) in d.iter_mut().zip(g).zip(own) {
+                    *slot += gv * y * (1.0 - y);
+                }
+            }),
+            Op::Tanh(a) => dst!(a, |d| {
+                for ((slot, &gv), &y) in d.iter_mut().zip(g).zip(own) {
+                    *slot += gv * (1.0 - y * y);
+                }
+            }),
+            Op::Exp(a) => dst!(a, |d| mul_add(d, g, own)),
+            Op::LogEps(a, eps) => {
+                let av = sv(a);
+                dst!(a, |d| {
+                    for ((slot, &gv), &x) in d.iter_mut().zip(g).zip(av.as_slice()) {
+                        *slot += gv / (x + eps);
+                    }
+                });
+            }
+            Op::SqrtEps(a, _) => dst!(a, |d| {
+                for ((slot, &gv), &y) in d.iter_mut().zip(g).zip(own) {
+                    *slot += gv * 0.5 / y;
+                }
+            }),
+            Op::Dropout(a, mask) => {
+                dst!(a, |d| mul_add(d, g, &aux[mask.bounds()]));
+            }
+            Op::Sum(a) => {
+                let seed = g[0];
+                dst!(a, |d| {
+                    for slot in d.iter_mut() {
+                        *slot += seed;
+                    }
+                });
+            }
+            Op::SumAxis0(a) => dst!(a, |d| {
+                for drow in d.chunks_exact_mut(cols.max(1)) {
+                    for (slot, &gv) in drow.iter_mut().zip(g) {
+                        *slot += gv;
+                    }
+                }
+            }),
+            Op::ConcatCols(range) => {
+                let mut col_off = 0;
+                for &part in &srcs[range.bounds()] {
+                    let (_, part_cols) = src_dims(nodes, params, part);
+                    with_grad_dst(grads_head, nodes, params, part, |d| {
+                        for (drow, grow) in
+                            d.chunks_exact_mut(part_cols.max(1)).zip(g.chunks_exact(cols.max(1)))
+                        {
+                            for (slot, &gv) in
+                                drow.iter_mut().zip(&grow[col_off..col_off + part_cols])
+                            {
+                                *slot += gv;
+                            }
+                        }
+                    });
+                    col_off += part_cols;
+                }
+            }
+            Op::ConcatRows(range) => {
+                let mut read = 0;
+                for &part in &srcs[range.bounds()] {
+                    with_grad_dst(grads_head, nodes, params, part, |d| {
+                        axpy(d, &g[read..read + d.len()], 1.0);
+                        read += d.len();
+                    });
+                }
+            }
+            Op::GatherRows(a, ids) => {
+                // Scatter adjoint is multi-term (duplicate indices):
+                // materialize into zeroed scratch, then add once.
+                let (source_rows, _) = src_dims(nodes, params, a);
+                scratch.clear();
+                scratch.resize(source_rows * cols, 0.0);
+                for (grow, &id) in g.chunks_exact(cols.max(1)).zip(&idx[ids.bounds()]) {
+                    let start = id as usize * cols;
+                    for (slot, &gv) in scratch[start..start + cols].iter_mut().zip(grow) {
+                        *slot += gv;
+                    }
+                }
+                dst!(a, |d| axpy(d, scratch, 1.0));
+            }
+            Op::ScatterAddRows(a, ids) | Op::SegmentSum(a, ids) => {
+                dst!(a, |d| {
+                    for (drow, &id) in d.chunks_exact_mut(cols.max(1)).zip(&idx[ids.bounds()]) {
+                        let start = id as usize * cols;
+                        for (slot, &gv) in drow.iter_mut().zip(&g[start..start + cols]) {
+                            *slot += gv;
+                        }
+                    }
+                });
+            }
+            Op::ScatterAddOnto(base, rows, ids) => {
+                dst!(base, |d| axpy(d, g, 1.0));
+                dst!(rows, |d| {
+                    for (drow, &id) in d.chunks_exact_mut(cols.max(1)).zip(&idx[ids.bounds()]) {
+                        let start = id as usize * cols;
+                        for (slot, &gv) in drow.iter_mut().zip(&g[start..start + cols]) {
+                            *slot += gv;
+                        }
+                    }
+                });
+            }
+            Op::SegmentExtremum { input, winners, .. } => {
+                // Each winner row belongs to exactly one segment, so every
+                // destination element receives at most one term per segment
+                // scan — direct accumulation matches materialize-then-add.
+                dst!(input, |d| {
+                    for (grow, winrow) in g
+                        .chunks_exact(cols.max(1))
+                        .zip(idx[winners.bounds()].chunks_exact(cols.max(1)))
+                    {
+                        for (c, (&gv, &winner)) in grow.iter().zip(winrow).enumerate() {
+                            if winner != u32::MAX {
+                                d[winner as usize * cols + c] += gv;
+                            }
+                        }
+                    }
+                });
+            }
+            Op::ScaleRows(a, factors) => dst!(a, |d| {
+                for ((drow, grow), &factor) in d
+                    .chunks_exact_mut(cols.max(1))
+                    .zip(g.chunks_exact(cols.max(1)))
+                    .zip(&aux[factors.bounds()])
+                {
+                    for (slot, &gv) in drow.iter_mut().zip(grow) {
+                        *slot += gv * factor;
+                    }
+                }
+            }),
+            Op::Mse(a, target) => {
+                let av = sv(a);
+                let count = (target.len as usize).max(1) as f32;
+                let factor = 2.0 * g[0] / count;
+                dst!(a, |d| {
+                    for ((slot, &x), &t) in
+                        d.iter_mut().zip(av.as_slice()).zip(&aux[target.bounds()])
+                    {
+                        *slot += (x - t) * factor;
+                    }
+                });
+            }
+            Op::BceWithLogits(a, target) => {
+                let av = sv(a);
+                let count = (target.len as usize).max(1) as f32;
+                let seed = g[0];
+                dst!(a, |d| {
+                    for ((slot, &x), &t) in
+                        d.iter_mut().zip(av.as_slice()).zip(&aux[target.bounds()])
+                    {
+                        let sigma = 1.0 / (1.0 + (-x).exp());
+                        *slot += seed * (sigma - t) / count;
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// `out[i] = f(a[i], b[i])` over the whole region.
+fn binary(out: &mut [f32], a: &SrcVal<'_>, b: &SrcVal<'_>, f: impl Fn(f32, f32) -> f32) {
+    for ((o, &x), &y) in out.iter_mut().zip(a.as_slice()).zip(b.as_slice()) {
+        *o = f(x, y);
+    }
+}
+
+/// `out[i] = f(a[i])` over the whole region.
+fn unary(out: &mut [f32], a: &SrcVal<'_>, f: impl Fn(f32) -> f32) {
+    for (o, &x) in out.iter_mut().zip(a.as_slice()) {
+        *o = f(x);
+    }
+}
+
+/// `dst[i] += src[i] * factor`.
+fn axpy(dst: &mut [f32], src: &[f32], factor: f32) {
+    for (slot, &x) in dst.iter_mut().zip(src) {
+        *slot += x * factor;
+    }
+}
+
+/// `dst[i] += a[i] * b[i]`.
+fn mul_add(dst: &mut [f32], a: &[f32], b: &[f32]) {
+    for ((slot, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+        *slot += x * y;
+    }
+}

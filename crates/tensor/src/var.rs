@@ -1,24 +1,35 @@
 //! Reverse-mode automatic differentiation over [`Matrix`] values.
 //!
-//! A [`Var`] is a node in a dynamically built computation graph. Operations on
-//! `Var`s record their inputs and a backward closure; calling
+//! A [`Var`] is a cheap handle into the thread-local arena tape
+//! ([`crate::tape`]). Operations on `Var`s append typed op records to the
+//! tape and write forward values into a flat reusable buffer; calling
 //! [`Var::backward`] on a scalar output propagates gradients to every
-//! reachable node. Trainable leaves (created with [`Var::parameter`]) keep
-//! their gradients so an optimiser can update them.
+//! reachable node. Trainable leaves (created with [`Var::parameter`]) live
+//! outside the tape in reference-counted cells, so they survive
+//! [`crate::tape::reset`] and keep their accumulated gradients for the
+//! optimiser.
 //!
 //! The operation set is tailored to message-passing GNNs: dense linear
 //! algebra, element-wise activations, row gather/scatter (the edge
 //! message-passing primitives), segment aggregations, pooling reductions and
 //! the two loss functions used by the prediction tasks.
+//!
+//! # Handle semantics
+//!
+//! A node handle is `(generation, index, shape)` — `Clone` is a bitwise copy
+//! (parameter handles bump a reference count). Handles from before a
+//! [`crate::tape::reset`] are stale and panic on use. Node gradients are
+//! per-backward temporaries; parameter gradients accumulate across backward
+//! passes until [`Var::zero_grad`].
 
-use std::cell::{Cell, RefCell};
-use std::collections::HashSet;
+use std::cell::Cell;
 use std::rc::Rc;
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::matrix::Matrix;
+use crate::tape::{self, Op, ParamCell, Src, Tape};
 
 thread_local! {
     static NEXT_ID: Cell<u64> = const { Cell::new(0) };
@@ -32,75 +43,83 @@ fn next_id() -> u64 {
     })
 }
 
-type BackwardFn = Box<dyn Fn(&Matrix, &[Var])>;
-
-struct VarInner {
-    id: u64,
-    value: RefCell<Matrix>,
-    grad: RefCell<Option<Matrix>>,
-    parents: Vec<Var>,
-    backward: Option<BackwardFn>,
-    trainable: bool,
-}
-
-/// A node of the autodiff graph holding a matrix value.
 #[derive(Clone)]
-pub struct Var(Rc<VarInner>);
-
-impl Drop for VarInner {
-    /// Iterative teardown. The default recursive drop of the `parents` chain
-    /// overflows the thread stack on long tapes (a deep op chain, or a fused
-    /// mini-batch tape freed at the end of a training step), so uniquely-owned
-    /// ancestors are unlinked onto an explicit worklist instead.
-    fn drop(&mut self) {
-        let mut worklist: Vec<Var> = std::mem::take(&mut self.parents);
-        while let Some(mut parent) = worklist.pop() {
-            if let Some(inner) = Rc::get_mut(&mut parent.0) {
-                worklist.append(&mut inner.parents);
-            }
-            // `parent` drops here; its parent list is already empty when we
-            // were its last owner, so the implicit drop never recurses.
-        }
-    }
+enum Repr {
+    /// A leaf living outside the tape (parameter or constant).
+    Param(Rc<ParamCell>),
+    /// An op result on the tape of generation `generation`.
+    Node { generation: u64, index: u32, rows: u32, cols: u32 },
 }
+
+/// A handle to a node of the autodiff tape (or a parameter cell).
+#[derive(Clone)]
+pub struct Var(Repr);
 
 impl std::fmt::Debug for Var {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let value = self.0.value.borrow();
         f.debug_struct("Var")
-            .field("id", &self.0.id)
-            .field("shape", &value.shape())
-            .field("trainable", &self.0.trainable)
-            .field("parents", &self.0.parents.len())
+            .field("id", &self.id())
+            .field("shape", &self.shape())
+            .field("trainable", &self.is_trainable())
             .finish()
     }
 }
 
 impl Var {
-    fn make(
-        value: Matrix,
-        parents: Vec<Var>,
-        backward: Option<BackwardFn>,
-        trainable: bool,
-    ) -> Var {
-        Var(Rc::new(VarInner {
-            id: next_id(),
-            value: RefCell::new(value),
-            grad: RefCell::new(None),
-            parents,
-            backward,
-            trainable,
-        }))
+    fn leaf(value: Matrix, trainable: bool) -> Var {
+        Var(Repr::Param(Rc::new(ParamCell::new(next_id(), trainable, value))))
+    }
+
+    fn node(tape: &Tape, index: u32, rows: usize, cols: usize) -> Var {
+        Var(Repr::Node {
+            generation: tape.generation(),
+            index,
+            rows: rows as u32,
+            cols: cols as u32,
+        })
+    }
+
+    /// The operand handle of this `Var` on the given tape.
+    ///
+    /// # Panics
+    /// Panics if this is a node handle from before a tape reset.
+    fn src(&self, tape: &mut Tape) -> Src {
+        match &self.0 {
+            Repr::Param(cell) => tape.param_src(cell),
+            Repr::Node { generation, index, .. } => {
+                assert_eq!(
+                    *generation,
+                    tape.generation(),
+                    "stale Var handle: the tape was reset since this node was recorded"
+                );
+                Src::Node(*index)
+            }
+        }
+    }
+
+    /// Resolves a node handle's index, asserting it is not stale.
+    fn node_index(&self, tape: &Tape) -> u32 {
+        match &self.0 {
+            Repr::Param(_) => unreachable!("node_index on a leaf"),
+            Repr::Node { generation, index, .. } => {
+                assert_eq!(
+                    *generation,
+                    tape.generation(),
+                    "stale Var handle: the tape was reset since this node was recorded"
+                );
+                *index
+            }
+        }
     }
 
     /// Creates a constant (non-trainable) leaf.
     pub fn new(value: Matrix) -> Var {
-        Var::make(value, Vec::new(), None, false)
+        Var::leaf(value, false)
     }
 
     /// Creates a trainable leaf (a model parameter).
     pub fn parameter(value: Matrix) -> Var {
-        Var::make(value, Vec::new(), None, true)
+        Var::leaf(value, true)
     }
 
     /// Creates a `1×1` constant.
@@ -108,39 +127,57 @@ impl Var {
         Var::new(Matrix::from_vec(1, 1, vec![value]))
     }
 
-    /// Unique id of this node.
+    /// Unique id of this node (leaves get a stable id; tape nodes derive one
+    /// from their generation and index).
     pub fn id(&self) -> u64 {
-        self.0.id
+        match &self.0 {
+            Repr::Param(cell) => cell.id,
+            Repr::Node { generation, index, .. } => (generation << 32) | u64::from(*index),
+        }
     }
 
     /// True if this is a trainable parameter leaf.
     pub fn is_trainable(&self) -> bool {
-        self.0.trainable
+        match &self.0 {
+            Repr::Param(cell) => cell.trainable,
+            Repr::Node { .. } => false,
+        }
     }
 
     /// A clone of the current value.
     pub fn value(&self) -> Matrix {
-        self.0.value.borrow().clone()
+        match &self.0 {
+            Repr::Param(cell) => cell.value.borrow().clone(),
+            Repr::Node { .. } => tape::with(|t| t.node_matrix(self.node_index(t))),
+        }
     }
 
-    /// Runs a closure with a borrowed view of the value (avoids cloning).
+    /// Runs a closure with a borrowed view of the value. For leaves this
+    /// avoids any copy; for tape nodes the flat value region is materialised
+    /// into a temporary matrix first.
     pub fn with_value<R>(&self, f: impl FnOnce(&Matrix) -> R) -> R {
-        f(&self.0.value.borrow())
+        match &self.0 {
+            Repr::Param(cell) => f(&cell.value.borrow()),
+            Repr::Node { .. } => f(&self.value()),
+        }
     }
 
     /// Shape of the value.
     pub fn shape(&self) -> (usize, usize) {
-        self.0.value.borrow().shape()
+        match &self.0 {
+            Repr::Param(cell) => cell.value.borrow().shape(),
+            Repr::Node { rows, cols, .. } => (*rows as usize, *cols as usize),
+        }
     }
 
     /// Number of rows of the value.
     pub fn rows(&self) -> usize {
-        self.0.value.borrow().rows()
+        self.shape().0
     }
 
     /// Number of columns of the value.
     pub fn cols(&self) -> usize {
-        self.0.value.borrow().cols()
+        self.shape().1
     }
 
     /// The scalar value of a `1×1` node.
@@ -148,55 +185,56 @@ impl Var {
     /// # Panics
     /// Panics if the node is not `1×1`.
     pub fn scalar_value(&self) -> f32 {
-        let value = self.0.value.borrow();
-        assert_eq!(value.shape(), (1, 1), "scalar_value on a non-scalar node");
-        value.get(0, 0)
+        assert_eq!(self.shape(), (1, 1), "scalar_value on a non-scalar node");
+        self.with_value(|value| value.get(0, 0))
     }
 
     /// Replaces the stored value (used by optimisers on parameter leaves).
+    /// On a tape node the shape must be preserved.
     pub fn set_value(&self, value: Matrix) {
-        *self.0.value.borrow_mut() = value;
+        match &self.0 {
+            Repr::Param(cell) => *cell.value.borrow_mut() = value,
+            Repr::Node { .. } => {
+                tape::with(|t| t.set_node_value(self.node_index(t), &value));
+            }
+        }
     }
 
     /// A clone of the accumulated gradient, if any.
     pub fn grad(&self) -> Option<Matrix> {
-        self.0.grad.borrow().clone()
+        match &self.0 {
+            Repr::Param(cell) => cell.grad.borrow().clone(),
+            Repr::Node { generation, index, .. } => tape::with(|t| {
+                if *generation != t.generation() {
+                    return None;
+                }
+                t.node_grad_matrix(*index)
+            }),
+        }
     }
 
     /// Clears the accumulated gradient.
     pub fn zero_grad(&self) {
-        *self.0.grad.borrow_mut() = None;
+        match &self.0 {
+            Repr::Param(cell) => *cell.grad.borrow_mut() = None,
+            Repr::Node { .. } => tape::with(|t| t.zero_node_grad(self.node_index(t))),
+        }
     }
 
     /// Adds `delta` into the accumulated gradient.
     pub fn accumulate_grad(&self, delta: &Matrix) {
-        let mut slot = self.0.grad.borrow_mut();
-        match slot.as_mut() {
-            Some(grad) => grad.add_assign(delta),
-            None => *slot = Some(delta.clone()),
-        }
-    }
-
-    /// Post-order (inputs before outputs) traversal of the graph rooted here.
-    fn topological_order(&self) -> Vec<Var> {
-        let mut order: Vec<Var> = Vec::new();
-        let mut visited: HashSet<u64> = HashSet::new();
-        let mut stack: Vec<(Var, usize)> = vec![(self.clone(), 0)];
-        while let Some((node, child_index)) = stack.pop() {
-            if child_index == 0 && visited.contains(&node.id()) {
-                continue;
-            }
-            if child_index < node.0.parents.len() {
-                let child = node.0.parents[child_index].clone();
-                stack.push((node, child_index + 1));
-                if !visited.contains(&child.id()) {
-                    stack.push((child, 0));
+        match &self.0 {
+            Repr::Param(cell) => {
+                let mut slot = cell.grad.borrow_mut();
+                match slot.as_mut() {
+                    Some(grad) => grad.add_assign(delta),
+                    None => *slot = Some(delta.clone()),
                 }
-            } else if visited.insert(node.id()) {
-                order.push(node);
+            }
+            Repr::Node { .. } => {
+                tape::with(|t| t.accumulate_node_grad(self.node_index(t), delta));
             }
         }
-        order
     }
 
     /// Runs reverse-mode differentiation from this scalar node.
@@ -205,16 +243,13 @@ impl Var {
     /// Panics if the node is not `1×1`.
     pub fn backward(&self) {
         assert_eq!(self.shape(), (1, 1), "backward must start from a scalar loss");
-        self.accumulate_grad(&Matrix::from_vec(1, 1, vec![1.0]));
-        let order = self.topological_order();
-        for node in order.iter().rev() {
-            let Some(backward) = &node.0.backward else { continue };
-            // A borrow suffices: the closure only mutates the *parents'*
-            // gradient slots, never this node's own.
-            let grad = node.0.grad.borrow();
-            if let Some(grad) = grad.as_ref() {
-                backward(grad, &node.0.parents);
-            }
+        match &self.0 {
+            // A bare leaf is its own (trivial) graph: seed its gradient.
+            Repr::Param(_) => self.accumulate_grad(&Matrix::from_vec(1, 1, vec![1.0])),
+            Repr::Node { .. } => tape::with(|t| {
+                let root = self.node_index(t);
+                t.backward(root);
+            }),
         }
     }
 
@@ -222,87 +257,54 @@ impl Var {
     // Element-wise arithmetic
     // ------------------------------------------------------------------
 
+    fn binary_elementwise(&self, other: &Var, op: impl FnOnce(Src, Src) -> Op) -> Var {
+        let (rows, cols) = self.shape();
+        assert_eq!((rows, cols), other.shape(), "element-wise shape mismatch");
+        tape::with(|t| {
+            let a = self.src(t);
+            let b = other.src(t);
+            let index = t.record(rows, cols, op(a, b));
+            Var::node(t, index, rows, cols)
+        })
+    }
+
+    fn unary_elementwise(&self, op: impl FnOnce(Src) -> Op) -> Var {
+        let (rows, cols) = self.shape();
+        tape::with(|t| {
+            let a = self.src(t);
+            let index = t.record(rows, cols, op(a));
+            Var::node(t, index, rows, cols)
+        })
+    }
+
     /// Element-wise sum.
     pub fn add(&self, other: &Var) -> Var {
-        let value = self.0.value.borrow().add(&other.0.value.borrow());
-        Var::make(
-            value,
-            vec![self.clone(), other.clone()],
-            Some(Box::new(|grad, parents| {
-                parents[0].accumulate_grad(grad);
-                parents[1].accumulate_grad(grad);
-            })),
-            false,
-        )
+        self.binary_elementwise(other, Op::Add)
     }
 
     /// Element-wise difference.
     pub fn sub(&self, other: &Var) -> Var {
-        let value = self.0.value.borrow().sub(&other.0.value.borrow());
-        Var::make(
-            value,
-            vec![self.clone(), other.clone()],
-            Some(Box::new(|grad, parents| {
-                parents[0].accumulate_grad(grad);
-                parents[1].accumulate_grad(&grad.scale(-1.0));
-            })),
-            false,
-        )
+        self.binary_elementwise(other, Op::Sub)
     }
 
     /// Element-wise (Hadamard) product.
     pub fn mul(&self, other: &Var) -> Var {
-        let a = self.value();
-        let b = other.value();
-        let value = a.hadamard(&b);
-        Var::make(
-            value,
-            vec![self.clone(), other.clone()],
-            Some(Box::new(move |grad, parents| {
-                parents[0].accumulate_grad(&grad.hadamard(&b));
-                parents[1].accumulate_grad(&grad.hadamard(&a));
-            })),
-            false,
-        )
+        self.binary_elementwise(other, Op::Mul)
     }
 
     /// Element-wise division with an epsilon guard on the denominator.
     pub fn div_eps(&self, other: &Var, eps: f32) -> Var {
-        let a = self.value();
-        let b = other.value().map(|x| x + eps);
-        let value = a.zip_with(&b, |x, y| x / y);
-        Var::make(
-            value,
-            vec![self.clone(), other.clone()],
-            Some(Box::new(move |grad, parents| {
-                parents[0].accumulate_grad(&grad.zip_with(&b, |g, y| g / y));
-                let d_b = grad.zip_with(&a, |g, x| g * x).zip_with(&b, |gx, y| -gx / (y * y));
-                parents[1].accumulate_grad(&d_b);
-            })),
-            false,
-        )
+        self.binary_elementwise(other, |a, b| Op::DivEps(a, b, eps))
     }
 
     /// Multiplies every element by a constant.
     pub fn scale(&self, factor: f32) -> Var {
-        let value = self.0.value.borrow().scale(factor);
-        Var::make(
-            value,
-            vec![self.clone()],
-            Some(Box::new(move |grad, parents| parents[0].accumulate_grad(&grad.scale(factor)))),
-            false,
-        )
+        self.unary_elementwise(|a| Op::Scale(a, factor))
     }
 
     /// Adds a constant to every element.
     pub fn add_scalar(&self, constant: f32) -> Var {
-        let value = self.0.value.borrow().map(|x| x + constant);
-        Var::make(
-            value,
-            vec![self.clone()],
-            Some(Box::new(|grad, parents| parents[0].accumulate_grad(grad))),
-            false,
-        )
+        self.unary_elementwise(|a| Op::AddScalar(a, constant))
     }
 
     /// Multiplies every element by a trainable `1×1` scalar node.
@@ -311,19 +313,13 @@ impl Var {
     /// Panics if `scalar` is not `1×1`.
     pub fn mul_scalar_var(&self, scalar: &Var) -> Var {
         assert_eq!(scalar.shape(), (1, 1), "mul_scalar_var expects a 1x1 scalar node");
-        let a = self.value();
-        let s = scalar.scalar_value();
-        let value = a.scale(s);
-        Var::make(
-            value,
-            vec![self.clone(), scalar.clone()],
-            Some(Box::new(move |grad, parents| {
-                parents[0].accumulate_grad(&grad.scale(s));
-                let ds: f32 = grad.data().iter().zip(a.data()).map(|(g, x)| g * x).sum();
-                parents[1].accumulate_grad(&Matrix::from_vec(1, 1, vec![ds]));
-            })),
-            false,
-        )
+        let (rows, cols) = self.shape();
+        tape::with(|t| {
+            let a = self.src(t);
+            let b = scalar.src(t);
+            let index = t.record(rows, cols, Op::MulScalarVar(a, b));
+            Var::node(t, index, rows, cols)
+        })
     }
 
     /// Multiplies row `r` of an `n×d` node by element `r` of an `n×1` column
@@ -332,26 +328,15 @@ impl Var {
     /// # Panics
     /// Panics if `column` is not `n×1` with matching row count.
     pub fn mul_col_broadcast(&self, column: &Var) -> Var {
-        let a = self.value();
-        let col = column.value();
-        assert_eq!(col.cols(), 1, "mul_col_broadcast expects an n×1 column");
-        assert_eq!(col.rows(), a.rows(), "mul_col_broadcast row mismatch");
-        let value = Matrix::from_fn(a.rows(), a.cols(), |r, c| a.get(r, c) * col.get(r, 0));
-        Var::make(
-            value,
-            vec![self.clone(), column.clone()],
-            Some(Box::new(move |grad, parents| {
-                let d_a = Matrix::from_fn(grad.rows(), grad.cols(), |r, c| {
-                    grad.get(r, c) * col.get(r, 0)
-                });
-                parents[0].accumulate_grad(&d_a);
-                let d_col = Matrix::from_fn(grad.rows(), 1, |r, _| {
-                    (0..grad.cols()).map(|c| grad.get(r, c) * a.get(r, c)).sum()
-                });
-                parents[1].accumulate_grad(&d_col);
-            })),
-            false,
-        )
+        let (rows, cols) = self.shape();
+        assert_eq!(column.cols(), 1, "mul_col_broadcast expects an n×1 column");
+        assert_eq!(column.rows(), rows, "mul_col_broadcast row mismatch");
+        tape::with(|t| {
+            let a = self.src(t);
+            let b = column.src(t);
+            let index = t.record(rows, cols, Op::MulColBroadcast(a, b));
+            Var::node(t, index, rows, cols)
+        })
     }
 
     // ------------------------------------------------------------------
@@ -359,19 +344,22 @@ impl Var {
     // ------------------------------------------------------------------
 
     /// Matrix product `self × other`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not match.
     pub fn matmul(&self, other: &Var) -> Var {
-        let a = self.value();
-        let b = other.value();
-        let value = a.matmul(&b);
-        Var::make(
-            value,
-            vec![self.clone(), other.clone()],
-            Some(Box::new(move |grad, parents| {
-                parents[0].accumulate_grad(&grad.matmul(&b.transpose()));
-                parents[1].accumulate_grad(&a.transpose().matmul(grad));
-            })),
-            false,
-        )
+        let (rows, inner) = self.shape();
+        let (other_rows, cols) = other.shape();
+        assert_eq!(
+            inner, other_rows,
+            "matmul shape mismatch: ({rows}x{inner}) x ({other_rows}x{cols})"
+        );
+        tape::with(|t| {
+            let a = self.src(t);
+            let b = other.src(t);
+            let index = t.record(rows, cols, Op::Matmul(a, b));
+            Var::node(t, index, rows, cols)
+        })
     }
 
     /// Adds a `1×d` row vector to every row of an `n×d` matrix.
@@ -379,22 +367,15 @@ impl Var {
     /// # Panics
     /// Panics if the column counts differ or `bias` is not a single row.
     pub fn add_row_broadcast(&self, bias: &Var) -> Var {
-        let bias_value = bias.value();
-        assert_eq!(bias_value.rows(), 1, "bias must be a single row");
-        assert_eq!(bias_value.cols(), self.cols(), "bias width mismatch");
-        let value = {
-            let a = self.0.value.borrow();
-            Matrix::from_fn(a.rows(), a.cols(), |r, c| a.get(r, c) + bias_value.get(0, c))
-        };
-        Var::make(
-            value,
-            vec![self.clone(), bias.clone()],
-            Some(Box::new(|grad, parents| {
-                parents[0].accumulate_grad(grad);
-                parents[1].accumulate_grad(&grad.sum_axis0());
-            })),
-            false,
-        )
+        let (rows, cols) = self.shape();
+        assert_eq!(bias.rows(), 1, "bias must be a single row");
+        assert_eq!(bias.cols(), cols, "bias width mismatch");
+        tape::with(|t| {
+            let a = self.src(t);
+            let b = bias.src(t);
+            let index = t.record(rows, cols, Op::AddRowBroadcast(a, b));
+            Var::node(t, index, rows, cols)
+        })
     }
 
     // ------------------------------------------------------------------
@@ -408,92 +389,32 @@ impl Var {
 
     /// Leaky rectified linear unit.
     pub fn leaky_relu(&self, negative_slope: f32) -> Var {
-        let input = self.value();
-        let value = input.map(|x| if x > 0.0 { x } else { negative_slope * x });
-        Var::make(
-            value,
-            vec![self.clone()],
-            Some(Box::new(move |grad, parents| {
-                let masked =
-                    grad.zip_with(&input, |g, x| if x > 0.0 { g } else { negative_slope * g });
-                parents[0].accumulate_grad(&masked);
-            })),
-            false,
-        )
+        self.unary_elementwise(|a| Op::LeakyRelu(a, negative_slope))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Var {
-        let out = self.0.value.borrow().map(|x| 1.0 / (1.0 + (-x).exp()));
-        let captured = out.clone();
-        Var::make(
-            out,
-            vec![self.clone()],
-            Some(Box::new(move |grad, parents| {
-                let local = grad.zip_with(&captured, |g, y| g * y * (1.0 - y));
-                parents[0].accumulate_grad(&local);
-            })),
-            false,
-        )
+        self.unary_elementwise(Op::Sigmoid)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Var {
-        let out = self.0.value.borrow().map(f32::tanh);
-        let captured = out.clone();
-        Var::make(
-            out,
-            vec![self.clone()],
-            Some(Box::new(move |grad, parents| {
-                let local = grad.zip_with(&captured, |g, y| g * (1.0 - y * y));
-                parents[0].accumulate_grad(&local);
-            })),
-            false,
-        )
+        self.unary_elementwise(Op::Tanh)
     }
 
     /// Element-wise exponential (inputs are clamped to 30 to avoid overflow).
     pub fn exp(&self) -> Var {
-        let out = self.0.value.borrow().map(|x| x.min(30.0).exp());
-        let captured = out.clone();
-        Var::make(
-            out,
-            vec![self.clone()],
-            Some(Box::new(move |grad, parents| {
-                parents[0].accumulate_grad(&grad.hadamard(&captured));
-            })),
-            false,
-        )
+        self.unary_elementwise(Op::Exp)
     }
 
     /// Element-wise `ln(x + eps)`.
     pub fn log_eps(&self, eps: f32) -> Var {
-        let input = self.value();
-        let out = input.map(|x| (x + eps).ln());
-        Var::make(
-            out,
-            vec![self.clone()],
-            Some(Box::new(move |grad, parents| {
-                let local = grad.zip_with(&input, |g, x| g / (x + eps));
-                parents[0].accumulate_grad(&local);
-            })),
-            false,
-        )
+        self.unary_elementwise(|a| Op::LogEps(a, eps))
     }
 
     /// Element-wise `sqrt(x + eps)`.
     pub fn sqrt_eps(&self, eps: f32) -> Var {
-        let out = self.0.value.borrow().map(|x| (x.max(0.0) + eps).sqrt());
-        let captured = out.clone();
-        Var::make(
-            out,
-            vec![self.clone()],
-            Some(Box::new(move |grad, parents| {
-                let local = grad.zip_with(&captured, |g, y| g * 0.5 / y);
-                parents[0].accumulate_grad(&local);
-            })),
-            false,
-        )
+        self.unary_elementwise(|a| Op::SqrtEps(a, eps))
     }
 
     /// Inverted dropout: keeps each element with probability `1 - p` and
@@ -503,24 +424,17 @@ impl Var {
             return self.scale(1.0);
         }
         let keep = 1.0 - p.clamp(0.0, 0.95);
-        let shape = self.shape();
-        let mask = Matrix::from_fn(shape.0, shape.1, |_, _| {
-            if rng.gen::<f32>() < keep {
-                1.0 / keep
-            } else {
-                0.0
-            }
-        });
-        let captured = mask.clone();
-        let value = self.0.value.borrow().hadamard(&mask);
-        Var::make(
-            value,
-            vec![self.clone()],
-            Some(Box::new(move |grad, parents| {
-                parents[0].accumulate_grad(&grad.hadamard(&captured));
-            })),
-            false,
-        )
+        let (rows, cols) = self.shape();
+        // Row-major draw order, matching `Matrix::from_fn`.
+        let mask: Vec<f32> = (0..rows * cols)
+            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        tape::with(|t| {
+            let a = self.src(t);
+            let range = t.push_aux(&mask);
+            let index = t.record(rows, cols, Op::Dropout(a, range));
+            Var::node(t, index, rows, cols)
+        })
     }
 
     // ------------------------------------------------------------------
@@ -529,17 +443,11 @@ impl Var {
 
     /// Sum of all elements, as a `1×1` node.
     pub fn sum(&self) -> Var {
-        let shape = self.shape();
-        let value = Matrix::from_vec(1, 1, vec![self.0.value.borrow().sum()]);
-        Var::make(
-            value,
-            vec![self.clone()],
-            Some(Box::new(move |grad, parents| {
-                let g = grad.get(0, 0);
-                parents[0].accumulate_grad(&Matrix::full(shape.0, shape.1, g));
-            })),
-            false,
-        )
+        tape::with(|t| {
+            let a = self.src(t);
+            let index = t.record(1, 1, Op::Sum(a));
+            Var::node(t, index, 1, 1)
+        })
     }
 
     /// Mean of all elements, as a `1×1` node.
@@ -550,18 +458,12 @@ impl Var {
 
     /// Column-wise sum, producing a `1×d` node (sum pooling over rows).
     pub fn sum_axis0(&self) -> Var {
-        let rows = self.rows();
-        let value = self.0.value.borrow().sum_axis0();
-        Var::make(
-            value,
-            vec![self.clone()],
-            Some(Box::new(move |grad, parents| {
-                let cols = grad.cols();
-                let expanded = Matrix::from_fn(rows, cols, |_, c| grad.get(0, c));
-                parents[0].accumulate_grad(&expanded);
-            })),
-            false,
-        )
+        let cols = self.cols();
+        tape::with(|t| {
+            let a = self.src(t);
+            let index = t.record(1, cols, Op::SumAxis0(a));
+            Var::node(t, index, 1, cols)
+        })
     }
 
     /// Column-wise mean, producing a `1×d` node (mean pooling over rows).
@@ -576,26 +478,15 @@ impl Var {
     /// Panics if `parts` is empty or row counts differ.
     pub fn concat_cols(parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "concat_cols needs at least one part");
-        // Borrow the part values instead of cloning them — the concatenation
-        // itself is the only copy.
-        let values: Vec<std::cell::Ref<'_, Matrix>> =
-            parts.iter().map(|part| part.0.value.borrow()).collect();
-        let refs: Vec<&Matrix> = values.iter().map(|value| &**value).collect();
-        let value = Matrix::concat_cols(&refs);
-        let widths: Vec<usize> = refs.iter().map(|part| part.cols()).collect();
-        Var::make(
-            value,
-            parts.to_vec(),
-            Some(Box::new(move |grad, parents| {
-                let mut offset = 0;
-                for (parent, &width) in parents.iter().zip(&widths) {
-                    let slice = Matrix::from_fn(grad.rows(), width, |r, c| grad.get(r, offset + c));
-                    parent.accumulate_grad(&slice);
-                    offset += width;
-                }
-            })),
-            false,
-        )
+        let rows = parts[0].rows();
+        assert!(parts.iter().all(|p| p.rows() == rows), "concat_cols row mismatch");
+        let cols: usize = parts.iter().map(Var::cols).sum();
+        tape::with(|t| {
+            let list: Vec<Src> = parts.iter().map(|p| p.src(t)).collect();
+            let range = t.push_srcs(&list);
+            let index = t.record(rows, cols, Op::ConcatCols(range));
+            Var::node(t, index, rows, cols)
+        })
     }
 
     /// Vertical concatenation of several nodes with equal column counts.
@@ -604,27 +495,15 @@ impl Var {
     /// Panics if `parts` is empty or column counts differ.
     pub fn concat_rows(parts: &[Var]) -> Var {
         assert!(!parts.is_empty(), "concat_rows needs at least one part");
-        // Borrow the part values instead of cloning them — the concatenation
-        // itself is the only copy.
-        let values: Vec<std::cell::Ref<'_, Matrix>> =
-            parts.iter().map(|part| part.0.value.borrow()).collect();
-        let refs: Vec<&Matrix> = values.iter().map(|value| &**value).collect();
-        let value = Matrix::concat_rows(&refs);
-        let heights: Vec<usize> = refs.iter().map(|part| part.rows()).collect();
-        Var::make(
-            value,
-            parts.to_vec(),
-            Some(Box::new(move |grad, parents| {
-                let mut offset = 0;
-                for (parent, &height) in parents.iter().zip(&heights) {
-                    let slice =
-                        Matrix::from_fn(height, grad.cols(), |r, c| grad.get(offset + r, c));
-                    parent.accumulate_grad(&slice);
-                    offset += height;
-                }
-            })),
-            false,
-        )
+        let cols = parts[0].cols();
+        assert!(parts.iter().all(|p| p.cols() == cols), "concat_rows column mismatch");
+        let rows: usize = parts.iter().map(Var::rows).sum();
+        tape::with(|t| {
+            let list: Vec<Src> = parts.iter().map(|p| p.src(t)).collect();
+            let range = t.push_srcs(&list);
+            let index = t.record(rows, cols, Op::ConcatRows(range));
+            Var::node(t, index, rows, cols)
+        })
     }
 
     // ------------------------------------------------------------------
@@ -633,33 +512,39 @@ impl Var {
 
     /// Selects rows by index (duplicates allowed). The backward pass
     /// scatter-adds gradients back to the source rows.
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds.
     pub fn gather_rows(&self, indices: &[usize]) -> Var {
-        let source_rows = self.rows();
-        let indices = indices.to_vec();
-        let value = self.0.value.borrow().gather_rows(&indices);
-        Var::make(
-            value,
-            vec![self.clone()],
-            Some(Box::new(move |grad, parents| {
-                parents[0].accumulate_grad(&grad.scatter_add_rows(&indices, source_rows));
-            })),
-            false,
-        )
+        let (source_rows, cols) = self.shape();
+        for &index in indices {
+            assert!(index < source_rows, "gather index {index} out of bounds ({source_rows} rows)");
+        }
+        tape::with(|t| {
+            let a = self.src(t);
+            let range = t.push_idx(indices);
+            let index = t.record(indices.len(), cols, Op::GatherRows(a, range));
+            Var::node(t, index, indices.len(), cols)
+        })
     }
 
     /// Scatter-adds rows into an accumulator with `out_rows` rows; row `i` of
     /// `self` is added to row `indices[i]` of the output.
+    ///
+    /// # Panics
+    /// Panics if `indices.len() != self.rows()` or an index is out of bounds.
     pub fn scatter_add_rows(&self, indices: &[usize], out_rows: usize) -> Var {
-        let indices = indices.to_vec();
-        let value = self.0.value.borrow().scatter_add_rows(&indices, out_rows);
-        Var::make(
-            value,
-            vec![self.clone()],
-            Some(Box::new(move |grad, parents| {
-                parents[0].accumulate_grad(&grad.gather_rows(&indices));
-            })),
-            false,
-        )
+        let (rows, cols) = self.shape();
+        assert_eq!(indices.len(), rows, "one target index per row is required");
+        for &index in indices {
+            assert!(index < out_rows, "scatter index {index} out of bounds ({out_rows} rows)");
+        }
+        tape::with(|t| {
+            let a = self.src(t);
+            let range = t.push_idx(indices);
+            let index = t.record(out_rows, cols, Op::ScatterAddRows(a, range));
+            Var::node(t, index, out_rows, cols)
+        })
     }
 
     /// Returns a copy of `self` (`n × d`) with row `indices[i]` incremented
@@ -674,27 +559,19 @@ impl Var {
     /// Panics if column counts differ, `indices.len() != rows.rows()`, or an
     /// index is out of bounds.
     pub fn scatter_add_onto(&self, rows: &Var, indices: &[usize]) -> Var {
-        let mut value = self.value();
-        let add = rows.value();
-        assert_eq!(self.cols(), add.cols(), "scatter_add_onto column mismatch");
-        assert_eq!(indices.len(), add.rows(), "one target index per added row is required");
-        let base_rows = value.rows();
-        for (row, &target) in indices.iter().enumerate() {
+        let (base_rows, cols) = self.shape();
+        assert_eq!(cols, rows.cols(), "scatter_add_onto column mismatch");
+        assert_eq!(indices.len(), rows.rows(), "one target index per added row is required");
+        for &target in indices {
             assert!(target < base_rows, "scatter index {target} out of bounds ({base_rows} rows)");
-            for (slot, delta) in value.row_mut(target).iter_mut().zip(add.row(row)) {
-                *slot += delta;
-            }
         }
-        let indices = indices.to_vec();
-        Var::make(
-            value,
-            vec![self.clone(), rows.clone()],
-            Some(Box::new(move |grad, parents| {
-                parents[0].accumulate_grad(grad);
-                parents[1].accumulate_grad(&grad.gather_rows(&indices));
-            })),
-            false,
-        )
+        tape::with(|t| {
+            let base = self.src(t);
+            let added = rows.src(t);
+            let range = t.push_idx(indices);
+            let index = t.record(base_rows, cols, Op::ScatterAddOnto(base, added, range));
+            Var::node(t, index, base_rows, cols)
+        })
     }
 
     /// Per-segment, per-column sum: row `i` of `self` is added into row
@@ -706,22 +583,18 @@ impl Var {
     /// Panics if `segments.len()` differs from the row count or a segment id
     /// is out of range.
     pub fn segment_sum(&self, segments: &[usize], num_segments: usize) -> Var {
-        let input = self.value();
-        assert_eq!(segments.len(), input.rows(), "one segment id per row is required");
+        let (rows, cols) = self.shape();
+        assert_eq!(segments.len(), rows, "one segment id per row is required");
         assert!(
             segments.iter().all(|&s| s < num_segments),
             "segment id out of range (num_segments = {num_segments})"
         );
-        let segments = segments.to_vec();
-        let value = input.scatter_add_rows(&segments, num_segments);
-        Var::make(
-            value,
-            vec![self.clone()],
-            Some(Box::new(move |grad, parents| {
-                parents[0].accumulate_grad(&grad.gather_rows(&segments));
-            })),
-            false,
-        )
+        tape::with(|t| {
+            let a = self.src(t);
+            let range = t.push_idx(segments);
+            let index = t.record(num_segments, cols, Op::SegmentSum(a, range));
+            Var::node(t, index, num_segments, cols)
+        })
     }
 
     /// Per-segment, per-column mean (see [`Var::segment_sum`]). A single
@@ -755,50 +628,22 @@ impl Var {
     }
 
     fn segment_extremum(&self, segments: &[usize], num_segments: usize, is_max: bool) -> Var {
-        let input = self.value();
-        assert_eq!(segments.len(), input.rows(), "one segment id per row is required");
-        let cols = input.cols();
-        let mut out = Matrix::zeros(num_segments, cols);
-        let mut arg: Vec<Vec<Option<usize>>> = vec![vec![None; cols]; num_segments];
-        for (row, &segment) in segments.iter().enumerate() {
+        let (rows, cols) = self.shape();
+        assert_eq!(segments.len(), rows, "one segment id per row is required");
+        for &segment in segments {
             assert!(segment < num_segments, "segment id {segment} out of range");
-            for (c, slot) in arg[segment].iter_mut().enumerate() {
-                let candidate = input.get(row, c);
-                let better = match *slot {
-                    None => true,
-                    Some(current_row) => {
-                        let current = input.get(current_row, c);
-                        if is_max {
-                            candidate > current
-                        } else {
-                            candidate < current
-                        }
-                    }
-                };
-                if better {
-                    *slot = Some(row);
-                    out.set(segment, c, candidate);
-                }
-            }
         }
-        let source_rows = input.rows();
-        Var::make(
-            out,
-            vec![self.clone()],
-            Some(Box::new(move |grad, parents| {
-                let mut delta = Matrix::zeros(source_rows, cols);
-                for (segment, winners) in arg.iter().enumerate() {
-                    for (c, winner) in winners.iter().enumerate() {
-                        if let Some(row) = winner {
-                            let current = delta.get(*row, c);
-                            delta.set(*row, c, current + grad.get(segment, c));
-                        }
-                    }
-                }
-                parents[0].accumulate_grad(&delta);
-            })),
-            false,
-        )
+        tape::with(|t| {
+            let input = self.src(t);
+            let seg_range = t.push_idx(segments);
+            let win_range = t.push_winner_slots(num_segments * cols);
+            let index = t.record(
+                num_segments,
+                cols,
+                Op::SegmentExtremum { input, segments: seg_range, winners: win_range, is_max },
+            );
+            Var::node(t, index, num_segments, cols)
+        })
     }
 
     /// Multiplies row `r` by the constant `factors[r]` (no gradient w.r.t. the
@@ -807,24 +652,14 @@ impl Var {
     /// # Panics
     /// Panics if `factors.len()` does not match the number of rows.
     pub fn scale_rows(&self, factors: &[f32]) -> Var {
-        let input_shape = self.shape();
-        assert_eq!(factors.len(), input_shape.0, "one factor per row is required");
-        let factors = factors.to_vec();
-        let value = {
-            let input = self.0.value.borrow();
-            Matrix::from_fn(input_shape.0, input_shape.1, |r, c| input.get(r, c) * factors[r])
-        };
-        let captured = factors.clone();
-        Var::make(
-            value,
-            vec![self.clone()],
-            Some(Box::new(move |grad, parents| {
-                let local =
-                    Matrix::from_fn(grad.rows(), grad.cols(), |r, c| grad.get(r, c) * captured[r]);
-                parents[0].accumulate_grad(&local);
-            })),
-            false,
-        )
+        let (rows, cols) = self.shape();
+        assert_eq!(factors.len(), rows, "one factor per row is required");
+        tape::with(|t| {
+            let a = self.src(t);
+            let range = t.push_aux(factors);
+            let index = t.record(rows, cols, Op::ScaleRows(a, range));
+            Var::node(t, index, rows, cols)
+        })
     }
 
     // ------------------------------------------------------------------
@@ -836,22 +671,13 @@ impl Var {
     /// # Panics
     /// Panics if the shapes differ.
     pub fn mse(&self, target: &Matrix) -> Var {
-        let prediction = self.value();
-        assert_eq!(prediction.shape(), target.shape(), "mse shape mismatch");
-        let count = (target.rows() * target.cols()).max(1) as f32;
-        let diff = prediction.sub(target);
-        let value =
-            Matrix::from_vec(1, 1, vec![diff.data().iter().map(|d| d * d).sum::<f32>() / count]);
-        let captured = diff;
-        Var::make(
-            value,
-            vec![self.clone()],
-            Some(Box::new(move |grad, parents| {
-                let g = grad.get(0, 0);
-                parents[0].accumulate_grad(&captured.scale(2.0 * g / count));
-            })),
-            false,
-        )
+        assert_eq!(self.shape(), target.shape(), "mse shape mismatch");
+        tape::with(|t| {
+            let a = self.src(t);
+            let range = t.push_aux(target.data());
+            let index = t.record(1, 1, Op::Mse(a, range));
+            Var::node(t, index, 1, 1)
+        })
     }
 
     /// Numerically stable binary cross-entropy with logits against a constant
@@ -860,30 +686,13 @@ impl Var {
     /// # Panics
     /// Panics if the shapes differ.
     pub fn bce_with_logits(&self, target: &Matrix) -> Var {
-        let logits = self.value();
-        assert_eq!(logits.shape(), target.shape(), "bce shape mismatch");
-        let count = (target.rows() * target.cols()).max(1) as f32;
-        let total: f32 = logits
-            .data()
-            .iter()
-            .zip(target.data())
-            .map(|(&x, &t)| x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln())
-            .sum();
-        let value = Matrix::from_vec(1, 1, vec![total / count]);
-        let captured_target = target.clone();
-        Var::make(
-            value,
-            vec![self.clone()],
-            Some(Box::new(move |grad, parents| {
-                let g = grad.get(0, 0);
-                let local = logits.zip_with(&captured_target, |x, t| {
-                    let sigma = 1.0 / (1.0 + (-x).exp());
-                    g * (sigma - t) / count
-                });
-                parents[0].accumulate_grad(&local);
-            })),
-            false,
-        )
+        assert_eq!(self.shape(), target.shape(), "bce shape mismatch");
+        tape::with(|t| {
+            let a = self.src(t);
+            let range = t.push_aux(target.data());
+            let index = t.record(1, 1, Op::BceWithLogits(a, range));
+            Var::node(t, index, 1, 1)
+        })
     }
 }
 
@@ -1011,9 +820,11 @@ mod tests {
 
     #[test]
     fn deep_tapes_backward_and_drop_without_overflowing_the_stack() {
-        // Regression test for the explicit-stack traversal and the iterative
-        // tape teardown: a recursive DFS or recursive `Drop` would blow the
-        // 2 MiB default test-thread stack long before 200k nodes.
+        // Regression test: a recursive DFS (or, on the old engine, a
+        // recursive `Drop`) would blow the 2 MiB default test-thread stack
+        // long before 200k nodes. The arena tape needs no teardown hack —
+        // dropping handles is trivially non-recursive — but backward still
+        // has to traverse the chain iteratively.
         let leaf = Var::parameter(Matrix::from_vec(1, 1, vec![0.5]));
         let mut node = leaf.clone();
         for _ in 0..200_000 {
@@ -1124,5 +935,43 @@ mod tests {
     fn backward_requires_scalar_output() {
         let x = Var::parameter(Matrix::zeros(2, 2));
         x.relu().backward();
+    }
+
+    #[test]
+    fn tape_reset_reuses_buffers_and_preserves_parameters() {
+        let param = Var::parameter(Matrix::full(4, 4, 1.0));
+        let step = |p: &Var| {
+            let loss = p.mul(p).sum();
+            loss.backward();
+            crate::tape::reset();
+        };
+        step(&param);
+        let warm = crate::tape::stats();
+        assert_eq!(warm.ops, 0, "reset clears the op arena");
+        // Parameter values and accumulated gradients survive the reset.
+        assert_eq!(param.value(), Matrix::full(4, 4, 1.0));
+        assert_eq!(param.grad().unwrap(), Matrix::full(4, 4, 2.0));
+        // A steady-state step allocates nothing new in the value buffer.
+        step(&param);
+        assert_eq!(crate::tape::stats().value_capacity, warm.value_capacity);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale Var handle")]
+    fn stale_node_handles_panic_after_reset() {
+        let x = Var::new(Matrix::full(2, 2, 1.0));
+        let node = x.relu();
+        crate::tape::reset();
+        let _ = node.add_scalar(1.0);
+    }
+
+    #[test]
+    fn node_gradients_are_readable_after_backward() {
+        let x = Var::parameter(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let doubled = x.scale(2.0);
+        let loss = doubled.sum();
+        loss.backward();
+        assert_eq!(doubled.grad().unwrap().data(), &[1.0, 1.0]);
+        assert_eq!(loss.grad().unwrap().get(0, 0), 1.0);
     }
 }
