@@ -1,0 +1,546 @@
+//! Generic dataflow framework over the IR control-flow graph.
+//!
+//! The solver is the classic iterative worklist algorithm: facts attached to
+//! block entries and exits, a meet over predecessor (or successor) facts, and
+//! a per-block transfer function, iterated to a fixed point. Blocks are
+//! visited in reverse postorder for forward problems and postorder for
+//! backward problems, so structured CFGs converge in a handful of passes.
+//!
+//! The canonical clients live here too: the dominator tree (shared with the
+//! verifier), def-use chains, live variables, and natural-loop detection.
+//! They are both useful on their own and serve as reference implementations
+//! for new analyses.
+
+use std::collections::VecDeque;
+
+use hls_ir::ir::{BlockId, IrFunction, OpId};
+use hls_ir::opcode::Opcode;
+use hls_ir::verify::{dominates, immediate_dominators, reverse_postorder};
+
+/// Direction a dataflow problem propagates facts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from the entry block along CFG edges.
+    Forward,
+    /// Facts flow from exit blocks against CFG edges.
+    Backward,
+}
+
+/// A dataflow problem: a fact lattice with a meet, plus a transfer function.
+///
+/// Facts must form a lattice under [`DataflowAnalysis::meet`] with
+/// [`DataflowAnalysis::top`] as the identity, and the transfer function must
+/// be monotone — the solver iterates until nothing changes and relies on
+/// those properties to terminate.
+pub trait DataflowAnalysis {
+    /// The lattice element attached to each block boundary.
+    type Fact: Clone + PartialEq;
+
+    /// Which way facts propagate.
+    fn direction(&self) -> Direction;
+
+    /// The initial fact for every block (the lattice top / meet identity).
+    fn top(&self, ir: &IrFunction) -> Self::Fact;
+
+    /// The fact at the CFG boundary: the entry block's input for forward
+    /// problems, each exit block's output for backward problems.
+    fn boundary(&self, ir: &IrFunction) -> Self::Fact {
+        self.top(ir)
+    }
+
+    /// Combines facts arriving over multiple CFG edges.
+    fn meet(&self, a: &Self::Fact, b: &Self::Fact) -> Self::Fact;
+
+    /// Pushes a fact through one block.
+    fn transfer(&self, ir: &IrFunction, block: BlockId, fact: &Self::Fact) -> Self::Fact;
+}
+
+/// Fixed-point solution of a dataflow problem: one fact per block boundary.
+#[derive(Debug, Clone)]
+pub struct DataflowSolution<F> {
+    /// Fact at each block's entry, indexed by block id.
+    pub entry: Vec<F>,
+    /// Fact at each block's exit, indexed by block id.
+    pub exit: Vec<F>,
+}
+
+impl<F> DataflowSolution<F> {
+    /// Fact holding at the entry of `block`.
+    pub fn at_entry(&self, block: BlockId) -> &F {
+        &self.entry[block.index()]
+    }
+
+    /// Fact holding at the exit of `block`.
+    pub fn at_exit(&self, block: BlockId) -> &F {
+        &self.exit[block.index()]
+    }
+}
+
+/// Runs the worklist solver to a fixed point.
+pub fn solve<A: DataflowAnalysis>(ir: &IrFunction, analysis: &A) -> DataflowSolution<A::Fact> {
+    let block_count = ir.block_count();
+    let mut entry: Vec<A::Fact> = vec![analysis.top(ir); block_count];
+    let mut exit: Vec<A::Fact> = vec![analysis.top(ir); block_count];
+    if block_count == 0 {
+        return DataflowSolution { entry, exit };
+    }
+
+    let mut order = reverse_postorder(ir);
+    if analysis.direction() == Direction::Backward {
+        order.reverse();
+    }
+    // Unreachable blocks never enter the RPO; still give them a stable seed
+    // pass so their facts are the transfer of top rather than raw top.
+    for block in ir.blocks.iter().map(|b| b.id) {
+        if !order.contains(&block) {
+            order.push(block);
+        }
+    }
+
+    let mut queued = vec![true; block_count];
+    let mut worklist: VecDeque<BlockId> = order.iter().copied().collect();
+    let boundary = analysis.boundary(ir);
+
+    while let Some(block) = worklist.pop_front() {
+        queued[block.index()] = false;
+        let data = ir.block(block);
+        match analysis.direction() {
+            Direction::Forward => {
+                let mut input = if data.preds.is_empty() {
+                    boundary.clone()
+                } else {
+                    let mut acc = analysis.top(ir);
+                    for &pred in &data.preds {
+                        acc = analysis.meet(&acc, &exit[pred.index()]);
+                    }
+                    acc
+                };
+                std::mem::swap(&mut entry[block.index()], &mut input);
+                let output = analysis.transfer(ir, block, &entry[block.index()]);
+                if output != exit[block.index()] {
+                    exit[block.index()] = output;
+                    for &succ in &data.succs {
+                        if !queued[succ.index()] {
+                            queued[succ.index()] = true;
+                            worklist.push_back(succ);
+                        }
+                    }
+                }
+            }
+            Direction::Backward => {
+                let mut input = if data.succs.is_empty() {
+                    boundary.clone()
+                } else {
+                    let mut acc = analysis.top(ir);
+                    for &succ in &data.succs {
+                        acc = analysis.meet(&acc, &entry[succ.index()]);
+                    }
+                    acc
+                };
+                std::mem::swap(&mut exit[block.index()], &mut input);
+                let output = analysis.transfer(ir, block, &exit[block.index()]);
+                if output != entry[block.index()] {
+                    entry[block.index()] = output;
+                    for &pred in &data.preds {
+                        if !queued[pred.index()] {
+                            queued[pred.index()] = true;
+                            worklist.push_back(pred);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    DataflowSolution { entry, exit }
+}
+
+/// Dominator tree of a function's CFG.
+///
+/// Thin, cached wrapper over the verifier's iterative dominator computation;
+/// unreachable blocks have no dominator information.
+#[derive(Debug, Clone)]
+pub struct DominatorTree {
+    idom: Vec<Option<BlockId>>,
+}
+
+impl DominatorTree {
+    /// Builds the tree for a function.
+    pub fn build(ir: &IrFunction) -> Self {
+        DominatorTree { idom: immediate_dominators(ir) }
+    }
+
+    /// Immediate dominator of `block` (`None` for the entry block and for
+    /// unreachable blocks).
+    pub fn idom(&self, block: BlockId) -> Option<BlockId> {
+        let parent = self.idom.get(block.index()).copied().flatten()?;
+        if parent == block {
+            None
+        } else {
+            Some(parent)
+        }
+    }
+
+    /// True when `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        dominates(&self.idom, a, b)
+    }
+
+    /// The raw immediate-dominator table, indexed by block id. The entry
+    /// block maps to itself; unreachable blocks map to `None`.
+    pub fn as_slice(&self) -> &[Option<BlockId>] {
+        &self.idom
+    }
+}
+
+/// Def-use chains: for every operation, the operations consuming its result.
+#[derive(Debug, Clone)]
+pub struct DefUseChains {
+    users: Vec<Vec<OpId>>,
+}
+
+impl DefUseChains {
+    /// Builds the chains for a function.
+    pub fn build(ir: &IrFunction) -> Self {
+        DefUseChains { users: ir.users() }
+    }
+
+    /// Operations consuming the result of `op`.
+    pub fn users(&self, op: OpId) -> &[OpId] {
+        &self.users[op.index()]
+    }
+
+    /// Number of uses of `op`'s result.
+    pub fn use_count(&self, op: OpId) -> usize {
+        self.users[op.index()].len()
+    }
+
+    /// Operations whose result is never consumed. Side-effecting and control
+    /// operations (stores, ports, branches, returns) are excluded — a "dead"
+    /// store is still observable.
+    pub fn dead_values<'a>(&'a self, ir: &'a IrFunction) -> impl Iterator<Item = OpId> + 'a {
+        ir.iter_ops()
+            .filter(|op| {
+                !matches!(
+                    op.opcode,
+                    Opcode::Store
+                        | Opcode::WritePort
+                        | Opcode::Br
+                        | Opcode::Ret
+                        | Opcode::Call
+                        | Opcode::Alloca
+                        | Opcode::ReadPort
+                )
+            })
+            .filter(|op| self.users[op.id.index()].is_empty())
+            .map(|op| op.id)
+    }
+}
+
+/// Live-variable analysis: which operation results are live at each block
+/// boundary. The fact is one bit per operation, indexed by [`OpId`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiveVariables;
+
+impl DataflowAnalysis for LiveVariables {
+    type Fact = Vec<bool>;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn top(&self, ir: &IrFunction) -> Vec<bool> {
+        vec![false; ir.op_count()]
+    }
+
+    fn meet(&self, a: &Vec<bool>, b: &Vec<bool>) -> Vec<bool> {
+        a.iter().zip(b.iter()).map(|(x, y)| *x || *y).collect()
+    }
+
+    fn transfer(&self, ir: &IrFunction, block: BlockId, live_out: &Vec<bool>) -> Vec<bool> {
+        let mut live = live_out.clone();
+        for &op_id in ir.block(block).ops.iter().rev() {
+            live[op_id.index()] = false;
+            let op = ir.op(op_id);
+            for operand in &op.operands {
+                live[operand.index()] = true;
+            }
+        }
+        live
+    }
+}
+
+impl LiveVariables {
+    /// Convenience entry point returning live-in/live-out per block.
+    pub fn solve(ir: &IrFunction) -> DataflowSolution<Vec<bool>> {
+        solve(ir, &LiveVariables)
+    }
+
+    /// Maximum number of simultaneously live values at any block boundary —
+    /// a cheap register-pressure proxy.
+    pub fn max_pressure(solution: &DataflowSolution<Vec<bool>>) -> usize {
+        solution
+            .entry
+            .iter()
+            .chain(solution.exit.iter())
+            .map(|fact| fact.iter().filter(|live| **live).count())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One natural loop of the CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// Header block (the target of at least one back edge).
+    pub header: BlockId,
+    /// Sources of back edges into the header.
+    pub latches: Vec<BlockId>,
+    /// All blocks of the loop, header first, ascending thereafter.
+    pub blocks: Vec<BlockId>,
+    /// Nesting depth: 1 for outermost loops.
+    pub depth: u32,
+    /// Header of the innermost enclosing loop, if any.
+    pub parent: Option<BlockId>,
+}
+
+impl LoopInfo {
+    /// True when `block` belongs to this loop.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.blocks.contains(&block)
+    }
+}
+
+/// The natural-loop forest of a function.
+#[derive(Debug, Clone)]
+pub struct LoopNest {
+    /// Loops in header order; parents precede children.
+    pub loops: Vec<LoopInfo>,
+}
+
+impl LoopNest {
+    /// Detects natural loops from back edges (`latch -> header` where the
+    /// header dominates the latch) and nests them by body inclusion.
+    pub fn build(ir: &IrFunction) -> Self {
+        let dom = DominatorTree::build(ir);
+        let mut loops: Vec<LoopInfo> = Vec::new();
+
+        for block in &ir.blocks {
+            for &succ in &block.succs {
+                if !dom.dominates(succ, block.id) {
+                    continue;
+                }
+                // `block -> succ` is a back edge; collect the natural loop by
+                // walking predecessors backwards from the latch until the
+                // header stops the walk.
+                let header = succ;
+                let mut body = vec![header];
+                let mut stack = vec![block.id];
+                while let Some(current) = stack.pop() {
+                    if body.contains(&current) {
+                        continue;
+                    }
+                    body.push(current);
+                    for &pred in &ir.block(current).preds {
+                        stack.push(pred);
+                    }
+                }
+                body.sort_by_key(|b| b.index());
+                body.retain(|b| *b != header);
+                body.insert(0, header);
+
+                if let Some(existing) = loops.iter_mut().find(|l| l.header == header) {
+                    // Several back edges share one header: merge the bodies.
+                    existing.latches.push(block.id);
+                    for b in body {
+                        if !existing.blocks.contains(&b) {
+                            existing.blocks.push(b);
+                        }
+                    }
+                    existing.blocks[1..].sort_by_key(|b| b.index());
+                } else {
+                    loops.push(LoopInfo {
+                        header,
+                        latches: vec![block.id],
+                        blocks: body,
+                        depth: 1,
+                        parent: None,
+                    });
+                }
+            }
+        }
+
+        loops.sort_by_key(|l| l.header.index());
+
+        // Nest: a loop's parent is the smallest strictly-enclosing loop.
+        let snapshots: Vec<(BlockId, Vec<BlockId>)> =
+            loops.iter().map(|l| (l.header, l.blocks.clone())).collect();
+        for l in &mut loops {
+            let mut best: Option<&(BlockId, Vec<BlockId>)> = None;
+            for candidate in &snapshots {
+                if candidate.0 != l.header
+                    && candidate.1.contains(&l.header)
+                    && best.is_none_or(|b| candidate.1.len() < b.1.len())
+                {
+                    best = Some(candidate);
+                }
+            }
+            l.parent = best.map(|b| b.0);
+        }
+        let parents: Vec<(BlockId, Option<BlockId>)> =
+            loops.iter().map(|l| (l.header, l.parent)).collect();
+        for l in &mut loops {
+            let mut depth = 1;
+            let mut current = l.parent;
+            while let Some(header) = current {
+                depth += 1;
+                current = parents.iter().find(|(h, _)| *h == header).and_then(|(_, p)| *p);
+            }
+            l.depth = depth;
+        }
+
+        LoopNest { loops }
+    }
+
+    /// The innermost loop containing `block`, if any.
+    pub fn innermost(&self, block: BlockId) -> Option<&LoopInfo> {
+        self.loops.iter().filter(|l| l.contains(block)).max_by_key(|l| l.depth)
+    }
+
+    /// Nesting depth of `block` (0 outside any loop).
+    pub fn depth_of(&self, block: BlockId) -> u32 {
+        self.innermost(block).map_or(0, |l| l.depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::ast::{BinaryOp, Expr, Function, FunctionBuilder, Stmt};
+    use hls_ir::lower::lower_function;
+    use hls_ir::types::{ArrayType, ScalarType};
+
+    fn loopy() -> Function {
+        let mut f = FunctionBuilder::new("loopy");
+        let x = f.array_param("x", ArrayType::new(ScalarType::i32(), 8));
+        let acc = f.local("acc", ScalarType::signed(48));
+        let i = f.local("i", ScalarType::i32());
+        f.push(Stmt::for_loop(
+            i,
+            0,
+            8,
+            1,
+            vec![Stmt::assign(
+                acc,
+                Expr::binary(BinaryOp::Add, Expr::var(acc), Expr::index(x, Expr::var(i))),
+            )],
+        ));
+        f.ret(acc);
+        f.finish().unwrap()
+    }
+
+    fn nested() -> Function {
+        let mut f = FunctionBuilder::new("nested");
+        let acc = f.local("acc", ScalarType::signed(48));
+        let (i, j) = (f.local("i", ScalarType::i32()), f.local("j", ScalarType::i32()));
+        f.push(Stmt::for_loop(
+            i,
+            0,
+            4,
+            1,
+            vec![Stmt::for_loop(
+                j,
+                0,
+                4,
+                1,
+                vec![Stmt::assign(acc, Expr::binary(BinaryOp::Add, Expr::var(acc), Expr::var(j)))],
+            )],
+        ));
+        f.ret(acc);
+        f.finish().unwrap()
+    }
+
+    #[test]
+    fn dominator_tree_orders_structured_cfg() {
+        let ir = lower_function(&loopy()).unwrap();
+        let dom = DominatorTree::build(&ir);
+        let entry = ir.blocks[0].id;
+        for block in &ir.blocks {
+            assert!(dom.dominates(entry, block.id));
+            assert!(dom.dominates(block.id, block.id));
+        }
+        assert!(dom.idom(entry).is_none());
+    }
+
+    #[test]
+    fn def_use_chains_match_operand_lists() {
+        let ir = lower_function(&loopy()).unwrap();
+        let chains = DefUseChains::build(&ir);
+        for op in ir.iter_ops() {
+            for operand in &op.operands {
+                assert!(chains.users(*operand).contains(&op.id));
+            }
+        }
+        // A `ret`'s operand is used; the ret itself defines nothing anyone uses.
+        let ret = ir.iter_ops().find(|op| op.opcode == Opcode::Ret).unwrap();
+        assert_eq!(chains.use_count(ret.id), 0);
+    }
+
+    #[test]
+    fn liveness_keeps_loop_carried_values_live_in_the_body() {
+        let ir = lower_function(&loopy()).unwrap();
+        let live = LiveVariables::solve(&ir);
+        let phi = ir.iter_ops().find(|op| op.opcode == Opcode::Phi).unwrap();
+        // The accumulator phi is consumed by the body, so it is live into the
+        // block where its latched update happens.
+        let user_block = ir
+            .iter_ops()
+            .find(|op| op.operands.contains(&phi.id) && op.opcode != Opcode::Phi)
+            .map(|op| op.block)
+            .unwrap();
+        assert!(live.at_entry(user_block)[phi.id.index()]);
+        assert!(LiveVariables::max_pressure(&live) >= 1);
+    }
+
+    #[test]
+    fn loop_nest_finds_single_loop() {
+        let ir = lower_function(&loopy()).unwrap();
+        let nest = LoopNest::build(&ir);
+        assert_eq!(nest.loops.len(), 1);
+        let l = &nest.loops[0];
+        assert_eq!(l.depth, 1);
+        assert!(l.parent.is_none());
+        assert!(ir.block(l.header).is_loop_header);
+        assert!(l.blocks.len() >= 2, "header plus at least the body/latch");
+        for latch in &l.latches {
+            assert!(l.contains(*latch));
+        }
+    }
+
+    #[test]
+    fn loop_nest_orders_nested_loops_by_depth() {
+        let ir = lower_function(&nested()).unwrap();
+        let nest = LoopNest::build(&ir);
+        assert_eq!(nest.loops.len(), 2);
+        let outer = nest.loops.iter().find(|l| l.depth == 1).unwrap();
+        let inner = nest.loops.iter().find(|l| l.depth == 2).unwrap();
+        assert_eq!(inner.parent, Some(outer.header));
+        assert!(outer.blocks.len() > inner.blocks.len());
+        assert!(inner.blocks.iter().all(|b| outer.contains(*b)));
+        assert_eq!(nest.depth_of(inner.header), 2);
+        assert_eq!(nest.depth_of(ir.blocks[0].id), 0);
+    }
+
+    #[test]
+    fn straight_line_code_has_no_loops() {
+        let mut f = FunctionBuilder::new("flat");
+        let a = f.param("a", ScalarType::i32());
+        let out = f.local("out", ScalarType::i32());
+        f.assign(out, Expr::binary(BinaryOp::Add, Expr::var(a), Expr::constant(1)));
+        f.ret(out);
+        let ir = lower_function(&f.finish().unwrap()).unwrap();
+        assert!(LoopNest::build(&ir).loops.is_empty());
+        let chains = DefUseChains::build(&ir);
+        assert_eq!(chains.dead_values(&ir).count(), 0, "everything feeds the return");
+    }
+}

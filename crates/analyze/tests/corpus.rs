@@ -1,0 +1,110 @@
+//! Corpus-wide properties: every program the generators produce verifies
+//! cleanly, and the analytic bounds never exceed the simulated ground truth.
+//!
+//! The deterministic sweeps below cover the fixed corpus (every real-world
+//! kernel plus a seeded sample of each synthetic family); the proptest at the
+//! bottom additionally fuzzes generator seeds so the guarantee does not
+//! silently narrow to the checked-in seeds.
+
+use hls_gnn_analyze::bounds::analyze_bounds;
+use hls_gnn_analyze::verify;
+use hls_ir::ast::Function;
+use hls_ir::lower::lower_function;
+use hls_progen::synthetic::{ProgramFamily, ProgramGenerator, SyntheticConfig};
+use hls_sim::pipeline::analyze_loops;
+use hls_sim::{run_flow, FpgaDevice};
+use proptest::prelude::*;
+
+fn decls(func: &Function) -> Vec<(hls_ir::ast::VarId, hls_ir::ValueType)> {
+    func.vars().map(|(id, decl)| (id, decl.ty)).collect()
+}
+
+/// Asserts the full static-analysis contract for one behavioural function:
+/// verification is clean and every analytic bound under-approximates the
+/// scheduler's measurement.
+fn assert_verified_and_bounded(origin: &str, func: &Function) {
+    let device = FpgaDevice::default();
+    let ir =
+        lower_function(func).unwrap_or_else(|error| panic!("{origin}: lowering failed: {error}"));
+    let diagnostics = verify::verify(&ir);
+    assert!(diagnostics.is_empty(), "{origin}: verifier diagnostics: {diagnostics:?}");
+
+    let flow =
+        run_flow(func, &device).unwrap_or_else(|error| panic!("{origin}: flow failed: {error}"));
+    let report = analyze_bounds(&flow.ir, &decls(func), &device);
+    assert!(
+        report.min_total_cycles <= u64::from(flow.schedule.total_cycles),
+        "{origin}: cycle bound {} exceeds scheduled {}",
+        report.min_total_cycles,
+        flow.schedule.total_cycles
+    );
+    let pipeline = analyze_loops(&flow.ir, &flow.schedule, &device);
+    for bound in &report.loops {
+        let measured = pipeline
+            .iter()
+            .find(|info| info.header == bound.header)
+            .unwrap_or_else(|| panic!("{origin}: loop bb{} missing", bound.header.index()));
+        assert!(
+            bound.min_recurrence_ii <= measured.recurrence_ii,
+            "{origin}: recurrence bound {} exceeds measured {}",
+            bound.min_recurrence_ii,
+            measured.recurrence_ii
+        );
+        assert!(
+            bound.port_pressure_ii <= measured.resource_ii,
+            "{origin}: pressure bound {} exceeds measured {}",
+            bound.port_pressure_ii,
+            measured.resource_ii
+        );
+        assert!(
+            bound.min_ii() <= measured.achieved_ii,
+            "{origin}: II bound {} exceeds achieved {}",
+            bound.min_ii(),
+            measured.achieved_ii
+        );
+    }
+}
+
+#[test]
+fn every_real_world_kernel_verifies_and_respects_the_bounds() {
+    for kernel in hls_progen::all_kernels() {
+        assert_verified_and_bounded(
+            &format!("kernel {}/{}", kernel.suite, kernel.name),
+            &kernel.function,
+        );
+    }
+}
+
+#[test]
+fn every_synthetic_family_verifies_and_respects_the_bounds() {
+    for family in [ProgramFamily::StraightLine, ProgramFamily::Control] {
+        let config = match family {
+            ProgramFamily::StraightLine => SyntheticConfig::straight_line(),
+            ProgramFamily::Control => SyntheticConfig::control(),
+        };
+        let mut generator = ProgramGenerator::new(config, 0xC0FFEE);
+        for func in generator.generate_many(32) {
+            assert_verified_and_bounded(&format!("family {family:?}/{}", func.name), &func);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Any generator seed yields programs that verify cleanly and whose
+    /// analytic bounds stay below the simulated ground truth.
+    #[test]
+    fn arbitrary_seeds_verify_and_respect_the_bounds(seed in 0u64..u64::MAX) {
+        for family in [ProgramFamily::StraightLine, ProgramFamily::Control] {
+            let mut generator =
+                ProgramGenerator::new(SyntheticConfig::tiny(family), seed);
+            for func in generator.generate_many(3) {
+                assert_verified_and_bounded(
+                    &format!("seed {seed} family {family:?}/{}", func.name),
+                    &func,
+                );
+            }
+        }
+    }
+}

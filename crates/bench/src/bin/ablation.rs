@@ -1,8 +1,9 @@
 //! Runs the ablation sweep over the design choices called out in DESIGN.md:
 //! sum vs mean pooling, relational vs plain message passing, and the
-//! hierarchical (knowledge-infused) stage.
+//! hierarchical (knowledge-infused) stage — plus the analytic-bound feature
+//! ablation (`HLSGNN_FEATURES=analytic`) on the same Table-2 CDFG protocol.
 
-use hls_gnn_core::experiments::{run_ablation, ExperimentConfig};
+use hls_gnn_core::experiments::{run_ablation, run_analytic_ablation, ExperimentConfig};
 
 fn main() {
     let config = ExperimentConfig::from_env();
@@ -19,4 +20,14 @@ fn main() {
     };
     println!("{report}");
     hls_gnn_bench::write_report("ablation", &report);
+
+    let analytic = match run_analytic_ablation(&config) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("analytic ablation failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    println!("{analytic}");
+    hls_gnn_bench::write_report("ablation_analytic", &analytic);
 }

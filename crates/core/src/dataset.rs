@@ -13,6 +13,7 @@
 use std::borrow::Cow;
 
 use gnn::GraphData;
+use hls_gnn_analyze::bounds::analyze_bounds;
 use hls_ir::ast::Function;
 use hls_ir::features::{edge_features, node_features, EdgeFeatures, NodeFeatures};
 use hls_ir::graph::{extract_from_ir, GraphKind};
@@ -43,6 +44,12 @@ pub struct GraphSample {
     /// Per-node ground-truth resource-type labels `[DSP, LUT, FF]` (0/1) — the
     /// knowledge-infused classification target.
     pub node_resource_types: Vec<[f32; 3]>,
+    /// Per-node analytic-bound features `[chain depth, on-recurrence,
+    /// port pressure]` from the static analyser (all zeros for block nodes
+    /// and for samples rebuilt from the release format, which does not carry
+    /// them — they are recomputable from the program). Appended to the model
+    /// input only under `HLSGNN_FEATURES=analytic`.
+    pub node_analytic: Vec<[f32; 3]>,
     /// Graph-level ground truth `[DSP, LUT, FF, CP]` after implementation.
     pub targets: [f64; 4],
     /// The HLS report's own estimate of the same four metrics (the baseline).
@@ -79,11 +86,18 @@ impl GraphSample {
         )
         .with_reverse_edges();
 
+        // Analytic lower bounds over the same IR, mapped onto graph nodes by
+        // originating operation below.
+        let decls: Vec<_> = func.vars().map(|(id, decl)| (id, decl.ty)).collect();
+        let bounds = analyze_bounds(&flow.ir, &decls, device);
+
         // Per-node annotations, mapped from the originating IR operation.
         let annotations = flow.annotations_by_op();
         let mut node_aux_resources = Vec::with_capacity(graph.node_count());
         let mut node_resource_types = Vec::with_capacity(graph.node_count());
+        let mut node_analytic = Vec::with_capacity(graph.node_count());
         for node in graph.nodes() {
+            node_analytic.push(node.op.map_or([0.0; 3], |op| bounds.node_features(op)));
             match node.op.and_then(|op| annotations.get(&op)) {
                 Some(annotation) => {
                     node_aux_resources.push([
@@ -107,6 +121,7 @@ impl GraphSample {
             node_features: features,
             node_aux_resources,
             node_resource_types,
+            node_analytic,
             targets: flow.implementation.as_targets(),
             hls_estimate: flow.hls_report.as_targets(),
         })

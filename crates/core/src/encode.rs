@@ -46,6 +46,17 @@ impl FeatureMode {
     }
 }
 
+/// True when `HLSGNN_FEATURES` lists the `analytic` token, enabling the three
+/// static-analysis bound columns (`[chain depth, on-recurrence, port
+/// pressure]`) as extra node features. Off by default, so the encoding — and
+/// every trained artefact — is bit-identical unless explicitly opted in. The
+/// knob is read at encoder construction; keep it consistent between training
+/// a model and loading its snapshot, or the input width will not match.
+pub fn analytic_features_enabled() -> bool {
+    std::env::var("HLSGNN_FEATURES")
+        .is_ok_and(|raw| raw.split(',').any(|token| token.trim() == "analytic"))
+}
+
 /// Learned encoder from [`NodeFeatures`] (plus auxiliary channels) to the GNN
 /// input matrix.
 #[derive(Debug)]
@@ -56,6 +67,7 @@ pub struct FeatureEncoder {
     category: Embedding,
     opcode: Embedding,
     embed_dim: usize,
+    analytic: bool,
 }
 
 /// Number of plain numeric base features (is-start-of-path, normalised cluster
@@ -73,6 +85,7 @@ impl FeatureEncoder {
             category: Embedding::new(NodeFeatures::OPCODE_CATEGORY_VOCAB, embed_dim, rng),
             opcode: Embedding::new(NodeFeatures::OPCODE_VOCAB, embed_dim, rng),
             embed_dim,
+            analytic: analytic_features_enabled(),
         }
     }
 
@@ -81,9 +94,26 @@ impl FeatureEncoder {
         self.mode
     }
 
+    /// Overrides the `HLSGNN_FEATURES=analytic` opt-in programmatically —
+    /// the env knob only sets the default at construction. Must be applied
+    /// before the downstream GNN stack is sized off [`Self::output_dim`].
+    pub fn with_analytic(mut self, enabled: bool) -> Self {
+        self.analytic = enabled;
+        self
+    }
+
     /// Width of the encoded node-feature matrix.
     pub fn output_dim(&self) -> usize {
-        4 * self.embed_dim + NUMERIC_BASE_FEATURES + self.mode.aux_width()
+        4 * self.embed_dim
+            + NUMERIC_BASE_FEATURES
+            + self.mode.aux_width()
+            + 3 * usize::from(self.analytic)
+    }
+
+    /// Log-compresses one analytic feature triple: depth and pressure are
+    /// unbounded counts, the recurrence flag passes through.
+    fn analytic_columns(values: &[f32; 3]) -> [f32; 3] {
+        [(values[0].max(0.0) + 1.0).ln(), values[1], (values[2].max(0.0) + 1.0).ln()]
     }
 
     /// Encodes one sample. For [`FeatureMode::ResourceTypes`],
@@ -137,6 +167,13 @@ impl FeatureEncoder {
                 let aux = Matrix::from_fn(n, 3, |row, col| flags[row][col]);
                 parts.push(Var::new(aux));
             }
+        }
+
+        if self.analytic {
+            let aux = Matrix::from_fn(n, 3, |row, col| {
+                Self::analytic_columns(&sample.node_analytic[row])[col]
+            });
+            parts.push(Var::new(aux));
         }
 
         Var::concat_cols(&parts)
@@ -242,6 +279,21 @@ impl FeatureEncoder {
             }
         }
 
+        if self.analytic {
+            let mut aux = Matrix::zeros(total_nodes, 3);
+            let mut row = 0;
+            for sample in samples {
+                for node in 0..sample.num_nodes() {
+                    let columns = Self::analytic_columns(&sample.node_analytic[node]);
+                    for (col, value) in columns.into_iter().enumerate() {
+                        aux.set(row, col, value);
+                    }
+                    row += 1;
+                }
+            }
+            parts.push(Var::new(aux));
+        }
+
         Var::concat_cols(&parts)
     }
 
@@ -320,6 +372,55 @@ mod tests {
         encoder.encode(&sample, None).sum().backward();
         assert_eq!(encoder.parameters().len(), 4);
         assert!(encoder.parameters().iter().all(|p| p.grad().is_some()));
+    }
+
+    #[test]
+    fn analytic_columns_extend_the_width_and_change_the_encoding() {
+        let sample = sample();
+        let mut rng = StdRng::seed_from_u64(4);
+        let plain = FeatureEncoder::new(FeatureMode::Base, 4, &mut rng).with_analytic(false);
+        let mut rng = StdRng::seed_from_u64(4);
+        let analytic = FeatureEncoder::new(FeatureMode::Base, 4, &mut rng).with_analytic(true);
+        assert_eq!(analytic.output_dim(), plain.output_dim() + 3);
+        let encoded = analytic.encode(&sample, None);
+        assert_eq!(encoded.shape(), (sample.num_nodes(), analytic.output_dim()));
+        assert!(!encoded.value().has_non_finite());
+        // The tiny control program has a loop, so some operation carries a
+        // nonzero analytic feature — the new columns are not dead weight.
+        assert!(sample.node_analytic.iter().any(|f| f.iter().any(|&v| v > 0.0)));
+        // The shared embedding prefix is unchanged: the analytic columns are
+        // purely appended.
+        let base = plain.encode(&sample, None).value();
+        let extended = encoded.value();
+        for row in 0..sample.num_nodes() {
+            for col in 0..plain.output_dim() {
+                assert_eq!(base.get(row, col), extended.get(row, col));
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_batch_rows_match_per_sample_encoding() {
+        let dataset = DatasetBuilder::new(ProgramFamily::Control)
+            .count(3)
+            .seed(9)
+            .generator_config(SyntheticConfig::tiny(ProgramFamily::Control))
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let encoder = FeatureEncoder::new(FeatureMode::Base, 4, &mut rng).with_analytic(true);
+        let samples: Vec<&GraphSample> = dataset.samples.iter().collect();
+        let fused = encoder.encode_batch(&samples, None).value();
+        let mut row = 0;
+        for sample in &samples {
+            let single = encoder.encode(sample, None).value();
+            for node in 0..sample.num_nodes() {
+                for col in 0..encoder.output_dim() {
+                    assert_eq!(single.get(node, col), fused.get(row, col));
+                }
+                row += 1;
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! | Table 5 (generalisation to real applications vs HLS) | [`run_table5`] | `table5` |
 //! | §1 / Fig. 1 timeliness claim ("up to 40× faster than HLS") | [`run_speedup`] | `speedup` |
 //! | Design-choice ablations (pooling, relations, hierarchy) | [`run_ablation`] | `ablation` |
+//! | Analytic-bound feature ablation (`HLSGNN_FEATURES=analytic`) | [`run_analytic_ablation`] | `ablation` |
 //!
 //! Every run is parameterised by an [`ExperimentConfig`]; the scale can be
 //! selected through the `HLSGNN_SCALE` environment variable (`fast`,
@@ -27,11 +28,16 @@ use serde::{Deserialize, Serialize};
 use crate::approach::{hls_baseline_mape, GnnPredictor};
 use crate::builder::{ApproachKind, PredictorSpec};
 use crate::dataset::{Dataset, DatasetBuilder, Split};
-use crate::model::NodeClassifierModel;
+use crate::encode::FeatureMode;
+use crate::metrics::TargetNormalizer;
+use crate::model::{GraphRegressor, NodeClassifierModel};
 use crate::predictor::Predictor;
 use crate::runtime::{self, ParallelConfig};
 use crate::task::TargetMetric;
-use crate::train::{evaluate_node_classifier, train_node_classifier, TrainConfig};
+use crate::train::{
+    evaluate_node_classifier, evaluate_regressor, train_node_classifier, train_regressor,
+    TrainConfig,
+};
 use crate::Result;
 
 /// How big the corpora and models are.
@@ -694,6 +700,53 @@ pub fn run_ablation(config: &ExperimentConfig) -> Result<AblationReport> {
     })?;
 
     Ok(AblationReport { rows })
+}
+
+/// Analytic-bound feature ablation on the Table-2 CDFG protocol: the same
+/// off-the-shelf backbone trained with and without the three static-analysis
+/// node features (`HLSGNN_FEATURES=analytic`: critical-path depth,
+/// on-recurrence flag, memory-port pressure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalyticAblationReport {
+    /// One row per setting (base features, base + analytic bounds).
+    pub rows: Vec<AblationRow>,
+}
+
+impl fmt::Display for AnalyticAblationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Analytic-feature ablation (CDFG test MAPE, DSP/LUT/FF/CP)")?;
+        for row in &self.rows {
+            writeln!(f, "{}", format_mape_row(&row.setting, &row.mape))?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the analytic-feature ablation: both variants train on the same CDFG
+/// corpus and split, on parallel workers, differing only in the three extra
+/// feature columns.
+///
+/// # Errors
+/// Propagates dataset-construction and training errors.
+pub fn run_analytic_ablation(config: &ExperimentConfig) -> Result<AnalyticAblationReport> {
+    let cdfg = config.build_corpus(ProgramFamily::Control, config.cdfg_programs)?;
+    let settings = [("RGCN (base features)", false), ("RGCN + analytic bounds", true)];
+    let rows = runtime::try_run_jobs(&config.parallel, settings.len(), |index| {
+        let (setting, analytic) = settings[index];
+        let model = GraphRegressor::with_analytic_features(
+            GnnKind::Rgcn,
+            FeatureMode::Base,
+            &config.train,
+            analytic,
+        );
+        let normalizer = TargetNormalizer::fit(&cdfg.train)?;
+        train_regressor(&model, &normalizer, &cdfg.train, &config.train);
+        Ok(AblationRow {
+            setting: setting.to_owned(),
+            mape: evaluate_regressor(&model, &normalizer, &cdfg.test),
+        })
+    })?;
+    Ok(AnalyticAblationReport { rows })
 }
 
 /// Held-out MAPE of one registry combo under the fixed parity protocol.

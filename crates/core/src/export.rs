@@ -196,6 +196,11 @@ impl ExportedGraph {
             node_features,
             node_aux_resources: self.nodes.iter().map(|n| n.hls_resources).collect(),
             node_resource_types: self.nodes.iter().map(|n| n.resource_types).collect(),
+            // The release format does not carry the analytic-bound features;
+            // they are derived quantities, recomputable by re-running the
+            // static analyser on the program. Rebuilt samples fall back to
+            // zeros (the `HLSGNN_FEATURES=analytic` columns become inert).
+            node_analytic: vec![[0.0; 3]; num_nodes],
             targets: self.targets,
             hls_estimate: self.hls_estimate,
         })

@@ -24,10 +24,26 @@ pub struct GraphRegressor {
 }
 
 impl GraphRegressor {
-    /// Builds a regressor for the given backbone and feature mode.
+    /// Builds a regressor for the given backbone and feature mode. The
+    /// analytic-bound feature columns follow the `HLSGNN_FEATURES=analytic`
+    /// opt-in (see [`crate::encode::analytic_features_enabled`]).
     pub fn new(kind: GnnKind, mode: FeatureMode, config: &TrainConfig) -> Self {
+        Self::with_analytic_features(kind, mode, config, crate::encode::analytic_features_enabled())
+    }
+
+    /// [`GraphRegressor::new`] with the analytic-bound feature columns
+    /// enabled or disabled programmatically instead of through the
+    /// environment — the ablation harness trains both variants side by side
+    /// in one process. Parameter initialisation draws the same RNG stream
+    /// either way; only the first GNN layer's input width differs.
+    pub fn with_analytic_features(
+        kind: GnnKind,
+        mode: FeatureMode,
+        config: &TrainConfig,
+        analytic: bool,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let encoder = FeatureEncoder::new(mode, config.embed_dim, &mut rng);
+        let encoder = FeatureEncoder::new(mode, config.embed_dim, &mut rng).with_analytic(analytic);
         let stack = GnnStack::new(
             kind,
             encoder.output_dim(),

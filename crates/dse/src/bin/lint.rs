@@ -1,0 +1,224 @@
+//! `hls-gnn-lint` — static analysis gate over the whole program corpus.
+//!
+//! ```text
+//! hls-gnn-lint                        # kernels + synthetic families + all spaces
+//! hls-gnn-lint kernels families       # only those target groups
+//! hls-gnn-lint space:dot-tiny        # one named design space
+//! hls-gnn-lint --deny-warnings ...   # exit non-zero on warnings too (CI)
+//! hls-gnn-lint --verbose ...         # per-function analytic bound summary
+//! ```
+//!
+//! Every function is lowered, run through the IR verifier
+//! ([`hls_gnn_analyze::verify`]) and the dataflow/bound analyses. Verifier
+//! diagnostics are **errors**; suspicious-but-legal findings (unreachable
+//! blocks) are **warnings**; expected artifacts of the non-optimising
+//! lowering (dead values: the frontend materialises a phi per live scalar
+//! and width-normalisation casts without a cleanup pass) are **notes** and
+//! never affect the exit status. Exit status: 0 clean, 1 errors (or
+//! warnings under `--deny-warnings`), 2 usage.
+
+use hls_gnn_analyze::bounds::analyze_bounds;
+use hls_gnn_analyze::dataflow::DefUseChains;
+use hls_gnn_analyze::verify;
+use hls_gnn_dse::DesignSpace;
+use hls_ir::ast::Function;
+use hls_ir::lower::lower_function;
+use hls_progen::synthetic::{ProgramFamily, ProgramGenerator, SyntheticConfig};
+use hls_sim::FpgaDevice;
+
+/// Synthetic programs linted per generator family.
+const FAMILY_SAMPLE: usize = 48;
+/// Generator seed — fixed so the lint corpus is reproducible.
+const FAMILY_SEED: u64 = 20220712;
+
+#[derive(Default)]
+struct Tally {
+    functions: usize,
+    errors: usize,
+    warnings: usize,
+    notes: usize,
+}
+
+struct Lint<'a> {
+    device: FpgaDevice,
+    verbose: bool,
+    tally: &'a mut Tally,
+}
+
+impl Lint<'_> {
+    /// Lints one behavioural function: lower, verify, analyse.
+    fn check(&mut self, origin: &str, function: &Function) {
+        self.tally.functions += 1;
+        let ir = match lower_function(function) {
+            Ok(ir) => ir,
+            Err(error) => {
+                self.tally.errors += 1;
+                println!("error[lowering] {origin}: {error}");
+                return;
+            }
+        };
+
+        let diagnostics = verify::verify(&ir);
+        for diagnostic in &diagnostics {
+            self.tally.errors += 1;
+            println!("error {origin}: {diagnostic}");
+        }
+        if !diagnostics.is_empty() {
+            // The analyses below assume structurally valid IR.
+            return;
+        }
+
+        let reachable = verify::reachable_blocks(&ir);
+        for (index, flag) in reachable.iter().enumerate() {
+            if !flag {
+                self.tally.warnings += 1;
+                println!("warning[unreachable-block] {origin}: bb{index} has no path from entry");
+            }
+        }
+
+        // Dead values are a property of the non-optimising lowering (phis
+        // materialised per live scalar, width casts), so they inform rather
+        // than gate: note level, surfaced only under --verbose.
+        let chains = DefUseChains::build(&ir);
+        for op in chains.dead_values(&ir) {
+            self.tally.notes += 1;
+            if self.verbose {
+                println!(
+                    "note[dead-value] {origin}: %{} ({}) is never used",
+                    op.index(),
+                    ir.op(op).opcode
+                );
+            }
+        }
+
+        let decls: Vec<_> = function.vars().map(|(id, decl)| (id, decl.ty)).collect();
+        let report = analyze_bounds(&ir, &decls, &self.device);
+        if self.verbose {
+            let loops: Vec<String> = report
+                .loops
+                .iter()
+                .map(|l| {
+                    format!(
+                        "bb{}: ii>={} (rec {}, ports {})",
+                        l.header.index(),
+                        l.min_ii(),
+                        l.min_recurrence_ii,
+                        l.port_pressure_ii
+                    )
+                })
+                .collect();
+            println!(
+                "info {origin}: {} ops, {} blocks, cycles>={}{}",
+                ir.op_count(),
+                ir.block_count(),
+                report.min_total_cycles,
+                if loops.is_empty() { String::new() } else { format!("; {}", loops.join("; ")) }
+            );
+        }
+    }
+}
+
+fn lint_kernels(lint: &mut Lint) {
+    for kernel in hls_progen::all_kernels() {
+        lint.check(&format!("kernel {}/{}", kernel.suite, kernel.name), &kernel.function);
+    }
+}
+
+fn lint_families(lint: &mut Lint) {
+    for family in [ProgramFamily::StraightLine, ProgramFamily::Control] {
+        let config = match family {
+            ProgramFamily::StraightLine => SyntheticConfig::straight_line(),
+            ProgramFamily::Control => SyntheticConfig::control(),
+        };
+        let mut generator = ProgramGenerator::new(config, FAMILY_SEED);
+        for function in generator.generate_many(FAMILY_SAMPLE) {
+            lint.check(&format!("family {family:?}/{}", function.name), &function);
+        }
+    }
+}
+
+fn lint_space(lint: &mut Lint, space: &DesignSpace) {
+    for index in 0..space.len() {
+        let point = space.point(index);
+        match space.instantiate(&point) {
+            Ok(function) => {
+                lint.check(&format!("space {}[{index}] {}", space.name(), function.name), &function)
+            }
+            Err(error) => {
+                lint.tally.functions += 1;
+                lint.tally.errors += 1;
+                println!("error[template] space {}[{index}]: {error}", space.name());
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut deny_warnings = false;
+    let mut verbose = false;
+    let mut targets: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: hls-gnn-lint [--deny-warnings] [--verbose] [targets...]\n\n\
+                     Lowers every function of the selected targets, runs the IR\n\
+                     verifier and the dataflow/bound analyses, and reports typed\n\
+                     diagnostics. Targets: `kernels` (real-world suite),\n\
+                     `families` (synthetic generator sample), `spaces` (every\n\
+                     point of every named design space), `space:<name>` (one of:\n\
+                     {}). Default: kernels families spaces.",
+                    DesignSpace::NAMED.join(", ")
+                );
+                return;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("hls-gnn-lint: unknown flag `{flag}` (see --help)");
+                std::process::exit(2);
+            }
+            target => targets.push(target.to_owned()),
+        }
+    }
+    if targets.is_empty() {
+        targets = vec!["kernels".into(), "families".into(), "spaces".into()];
+    }
+
+    let mut tally = Tally::default();
+    let mut lint = Lint { device: FpgaDevice::default(), verbose, tally: &mut tally };
+    for target in &targets {
+        match target.as_str() {
+            "kernels" => lint_kernels(&mut lint),
+            "families" => lint_families(&mut lint),
+            "spaces" => {
+                for name in DesignSpace::NAMED {
+                    let space: DesignSpace = name.parse().expect("named space parses");
+                    lint_space(&mut lint, &space);
+                }
+            }
+            other => match other.strip_prefix("space:").map(str::parse::<DesignSpace>) {
+                Some(Ok(space)) => lint_space(&mut lint, &space),
+                Some(Err(error)) => {
+                    eprintln!("hls-gnn-lint: {error}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!(
+                        "hls-gnn-lint: unknown target `{other}` (expected kernels, families, \
+                         spaces or space:<name>)"
+                    );
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+
+    println!(
+        "checked {} function(s): {} error(s), {} warning(s), {} note(s)",
+        tally.functions, tally.errors, tally.warnings, tally.notes
+    );
+    if tally.errors > 0 || (deny_warnings && tally.warnings > 0) {
+        std::process::exit(1);
+    }
+}

@@ -112,6 +112,16 @@ pub struct Evaluator<'a> {
     /// Content fingerprint → predicted targets (shared across points).
     predictions: HashMap<Fingerprint, [f64; TargetMetric::COUNT]>,
     prediction_reuses: usize,
+    /// Static pre-filter memo: effective design name → the fingerprint and
+    /// ground-truth targets of the first lowering of that design. The name
+    /// is computed from the clamped knob values *before* instantiating, so a
+    /// point that collapses onto an already-seen design skips the template,
+    /// the front-end lowering and the whole `hls_sim` flow. Everything the
+    /// report reads (name, prediction, ground truth) is recovered from the
+    /// memo, so the output bytes are identical with or without the skip.
+    flow_memo: HashMap<String, (Fingerprint, [f64; TargetMetric::COUNT])>,
+    flow_calls: usize,
+    flow_reuses: usize,
 }
 
 impl<'a> Evaluator<'a> {
@@ -131,6 +141,9 @@ impl<'a> Evaluator<'a> {
             results: BTreeMap::new(),
             predictions: HashMap::new(),
             prediction_reuses: 0,
+            flow_memo: HashMap::new(),
+            flow_calls: 0,
+            flow_reuses: 0,
         }
     }
 
@@ -157,6 +170,19 @@ impl<'a> Evaluator<'a> {
         self.prediction_reuses
     }
 
+    /// Number of times the template + lowering + `hls_sim` flow actually ran
+    /// (once per *distinct effective design*).
+    pub fn flow_calls(&self) -> usize {
+        self.flow_calls
+    }
+
+    /// Number of evaluations whose flow was skipped by the static
+    /// pre-filter: the point's effective design name — computed from the
+    /// clamped knobs without lowering — matched an already-lowered design.
+    pub fn flow_reuses(&self) -> usize {
+        self.flow_reuses
+    }
+
     /// True when the design point with this canonical index has already
     /// been evaluated (a re-request costs nothing).
     pub fn is_evaluated(&self, index: usize) -> bool {
@@ -177,38 +203,68 @@ impl<'a> Evaluator<'a> {
     /// Propagates template, flow, device and prediction errors.
     pub fn evaluate(&mut self, indices: &[usize]) -> Result<Vec<EvaluatedPoint>> {
         // Lower the unseen points in ascending index order (deterministic
-        // and independent of the strategy's request order).
+        // and independent of the strategy's request order). The static
+        // pre-filter resolves each point's *effective design name* from the
+        // clamped knob values first; a name already in the memo means an
+        // identical kernel was lowered before, so the template, the front
+        // end and the whole `hls_sim` flow are skipped for this point.
         let mut fresh: Vec<usize> =
             indices.iter().copied().filter(|index| !self.results.contains_key(index)).collect();
         fresh.sort_unstable();
         fresh.dedup();
+        let mut designs: BTreeMap<usize, String> = BTreeMap::new();
         for &index in &fresh {
-            if self.lowered.contains_key(&index) {
+            if let Some(sample) = self.lowered.get(&index) {
                 // Lowered on an earlier (failed) attempt — never re-run the
                 // flow for a point.
+                designs.insert(index, sample.name.clone());
                 continue;
             }
             let point = self.space.point(index);
-            let function = self.space.instantiate(&point)?;
-            let sample = GraphSample::from_function(&function, GraphKind::Cdfg, &self.device)?;
-            self.lowered.insert(index, sample);
+            let design = self.space.effective_design(&point)?;
+            if self.flow_memo.contains_key(&design) {
+                self.flow_reuses += 1;
+            } else {
+                let function = self.space.instantiate(&point)?;
+                let sample = GraphSample::from_function(&function, GraphKind::Cdfg, &self.device)?;
+                let fingerprint = sample_fingerprint(&sample);
+                self.flow_memo.insert(design.clone(), (fingerprint, sample.targets));
+                self.flow_calls += 1;
+                self.lowered.insert(index, sample);
+            }
+            designs.insert(index, design);
+        }
+        for (&index, design) in &designs {
+            // Retained samples from a failed attempt may predate the memo.
+            if let Some(sample) = self.lowered.get(&index) {
+                let fingerprint = sample_fingerprint(sample);
+                self.flow_memo.entry(design.clone()).or_insert((fingerprint, sample.targets));
+            }
         }
 
-        // Predict every not-yet-seen fingerprint in one sharded batch. Each
-        // fresh graph is fingerprinted exactly once; the per-index values
-        // are kept so materialisation below doesn't re-hash the graphs.
+        // Predict every not-yet-seen fingerprint in one sharded batch. The
+        // per-index fingerprints come from the design memo, so clamped
+        // duplicates share one hash and one model call exactly as before.
         let mut batch: Vec<GraphSample> = Vec::new();
         let mut batch_fingerprints: Vec<Fingerprint> = Vec::new();
         let mut fresh_fingerprints: Vec<Fingerprint> = Vec::with_capacity(fresh.len());
         for &index in &fresh {
-            let sample = &self.lowered[&index];
-            let fingerprint = sample_fingerprint(sample);
+            let fingerprint = self.flow_memo[&designs[&index]].0;
             fresh_fingerprints.push(fingerprint);
             if self.predictions.contains_key(&fingerprint)
                 || batch_fingerprints.contains(&fingerprint)
             {
                 self.prediction_reuses += 1;
             } else {
+                // The first occurrence of a design always retains its sample
+                // in `lowered` (under this or an earlier failed generation's
+                // index), so an unpredicted fingerprint has a graph to batch.
+                let design = &designs[&index];
+                let sample = self
+                    .lowered
+                    .get(&index)
+                    .or_else(|| self.lowered.values().find(|sample| sample.name == *design))
+                    .expect("a design's sample is retained until its prediction lands");
                 batch.push(sample.clone());
                 batch_fingerprints.push(fingerprint);
             }
@@ -220,10 +276,13 @@ impl<'a> Evaluator<'a> {
             }
         }
 
-        // Materialise the evaluated points, consuming the lowered samples —
-        // everything downstream reads lives in the EvaluatedPoint.
+        // Materialise the evaluated points from the memo, dropping any
+        // retained samples — everything downstream reads lives in the
+        // EvaluatedPoint.
         for (&index, fingerprint) in fresh.iter().zip(&fresh_fingerprints) {
-            let sample = self.lowered.remove(&index).expect("fresh points were lowered above");
+            let design = designs.remove(&index).expect("every fresh point resolved a design");
+            let targets = self.flow_memo[&design].1;
+            self.lowered.remove(&index);
             let predicted = self.predictions[fingerprint];
             let utilization =
                 self.device.resource_utilization(predicted[0], predicted[1], predicted[2])?;
@@ -233,9 +292,9 @@ impl<'a> Evaluator<'a> {
                 EvaluatedPoint {
                     index,
                     point: self.space.point(index),
-                    design: sample.name,
+                    design,
                     predicted,
-                    ground_truth: sample.targets,
+                    ground_truth: targets,
                     utilization,
                     violation,
                     feasible: violation == 0.0,
@@ -273,12 +332,40 @@ mod tests {
         );
         assert_eq!(evaluator.predictions_computed() + evaluator.prediction_reuses(), space.len());
 
+        // The static pre-filter ran the flow once per distinct effective
+        // design and skipped it for every clamped duplicate.
+        assert_eq!(evaluator.flow_calls() + evaluator.flow_reuses(), space.len());
+        assert_eq!(evaluator.flow_calls(), evaluator.predictions_computed());
+        assert!(evaluator.flow_reuses() > 0, "dot-tiny's u=1 half collapses");
+
         // Re-requesting is free: nothing new is lowered or predicted.
         let again = evaluator.evaluate(&[0, 0, 3]).expect("memoised evaluation succeeds");
         assert_eq!(again.len(), 3);
         assert_eq!(again[0], again[1]);
         assert_eq!(evaluator.evaluations(), space.len());
         assert_eq!(first[3], again[2]);
+        assert_eq!(evaluator.flow_calls() + evaluator.flow_reuses(), space.len());
+    }
+
+    #[test]
+    fn pre_filtered_results_match_an_unfiltered_flow_exactly() {
+        // The pre-filter must be invisible downstream: every evaluated point
+        // carries exactly the design name and ground truth a from-scratch
+        // lowering of its own point would produce, even when its flow was
+        // skipped via the effective-design memo.
+        let space = DesignSpace::dot_tiny();
+        let stub = StubPredictor;
+        let device = FpgaDevice::default();
+        let mut evaluator = Evaluator::new(&space, &stub, device.clone(), ParallelConfig::serial());
+        let all: Vec<usize> = (0..space.len()).collect();
+        let evaluated = evaluator.evaluate(&all).unwrap();
+        assert!(evaluator.flow_reuses() > 0, "the memo must actually skip some flows");
+        for point in &evaluated {
+            let function = space.instantiate(&space.point(point.index)).unwrap();
+            let sample = GraphSample::from_function(&function, GraphKind::Cdfg, &device).unwrap();
+            assert_eq!(point.design, sample.name);
+            assert_eq!(point.ground_truth, sample.targets);
+        }
     }
 
     #[test]

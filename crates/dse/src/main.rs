@@ -216,6 +216,14 @@ fn main() {
             report.front.len(),
             report.hypervolume
         );
+        // Pre-filter accounting stays on stdout only: the JSON report is
+        // byte-identical with or without the static skip.
+        println!(
+            "  static pre-filter: {} flow runs, {} skipped before lowering \
+             (effective-design memo)",
+            evaluator.flow_calls(),
+            evaluator.flow_reuses()
+        );
         for agreement in &report.rank_agreement {
             println!(
                 "  rank agreement {}: Spearman {:.3}  Kendall {:.3}",

@@ -313,6 +313,26 @@ impl DesignSpace {
         }
         self.template.instantiate(self, point)
     }
+
+    /// The kernel name `point` lowers to, computed *statically* from the
+    /// clamped knob values — no function is built, no IR is lowered. Two
+    /// points share an effective design name exactly when
+    /// [`DesignSpace::instantiate`] would return byte-identical functions,
+    /// which is what lets the evaluator's pre-filter skip the flow for
+    /// clamped duplicates.
+    ///
+    /// # Errors
+    /// Returns [`Error::Config`] for a point outside the space or for
+    /// non-power-of-two template domains.
+    pub fn effective_design(&self, point: &DesignPoint) -> Result<String> {
+        if self.index_of(point).is_none() {
+            return Err(Error::Config(format!(
+                "design point {:?} is not a member of space `{}`",
+                point.values, self.name
+            )));
+        }
+        self.template.effective_name(self, point)
+    }
 }
 
 impl FromStr for DesignSpace {

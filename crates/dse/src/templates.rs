@@ -19,7 +19,7 @@
 //! identical — same name, same graph, same content fingerprint — and the
 //! evaluator's memoisation collapses them.
 
-use hls_gnn_core::Result;
+use hls_gnn_core::{Error, Result};
 use hls_ir::ast::{BinaryOp, Expr, Function, FunctionBuilder, Stmt, VarId};
 use hls_ir::types::{ArrayType, ScalarType};
 
@@ -39,12 +39,25 @@ pub(crate) enum Template {
 impl Template {
     /// Lowers a point of `space` to its kernel.
     pub(crate) fn instantiate(&self, space: &DesignSpace, point: &DesignPoint) -> Result<Function> {
-        let knobs = EffectiveKnobs::resolve(space, point);
+        let knobs = EffectiveKnobs::resolve(space, point)?;
         match self {
             Template::DotProduct => dot_product(&knobs),
             Template::Fir => fir(&knobs),
             Template::Stencil => stencil(&knobs),
         }
+    }
+
+    /// The kernel name a point lowers to, computed from the clamped knob
+    /// values alone — no function is built. Because the name encodes exactly
+    /// the effective knobs, two points share a name if and only if they
+    /// lower to byte-identical kernels, which is what lets the evaluator
+    /// skip lowering for clamped duplicates.
+    pub(crate) fn effective_name(
+        &self,
+        space: &DesignSpace,
+        point: &DesignPoint,
+    ) -> Result<String> {
+        Ok(EffectiveKnobs::resolve(space, point)?.kernel_name(*self))
     }
 }
 
@@ -58,7 +71,7 @@ struct EffectiveKnobs {
 }
 
 impl EffectiveKnobs {
-    fn resolve(space: &DesignSpace, point: &DesignPoint) -> Self {
+    fn resolve(space: &DesignSpace, point: &DesignPoint) -> Result<Self> {
         let size = space.value_of(point, KnobKind::ProblemSize).max(1);
         let unroll = space.value_of(point, KnobKind::Unroll).clamp(1, size);
         // Banks beyond the unrolled lanes (and accumulator chains beyond
@@ -66,13 +79,39 @@ impl EffectiveKnobs {
         // and keeps the bank of each lane a compile-time constant.
         let partition = space.value_of(point, KnobKind::ArrayPartition).clamp(1, unroll);
         let accumulators = space.value_of(point, KnobKind::PipelineII).clamp(1, unroll);
-        assert!(
-            size.is_power_of_two() && unroll.is_power_of_two() && partition.is_power_of_two(),
-            "built-in domains are powers of two (got size={size} unroll={unroll} \
-             partition={partition})"
-        );
+        if !(size.is_power_of_two() && unroll.is_power_of_two() && partition.is_power_of_two()) {
+            // The banked-address arithmetic (shift instead of divide) is only
+            // valid for power-of-two lane/bank counts; a space defined over
+            // other domains is a configuration error, not a panic.
+            return Err(Error::Config(format!(
+                "template domains must be powers of two (got size={size} unroll={unroll} \
+                 partition={partition})"
+            )));
+        }
         let bits = space.value_of(point, KnobKind::Bitwidth).clamp(1, 64) as u16;
-        EffectiveKnobs { size, unroll, bits, partition, accumulators }
+        Ok(EffectiveKnobs { size, unroll, bits, partition, accumulators })
+    }
+
+    /// The canonical kernel name for these effective knobs — the single
+    /// source of truth shared by the kernel builders below and by
+    /// [`Template::effective_name`].
+    fn kernel_name(&self, template: Template) -> String {
+        match template {
+            Template::DotProduct => format!(
+                "dse_dot_n{}_u{}_b{}_p{}_a{}",
+                self.size, self.unroll, self.bits, self.partition, self.accumulators
+            ),
+            Template::Fir => format!(
+                "dse_fir_n{}_u{}_b{}_p{}_a{}",
+                self.size, self.unroll, self.bits, self.partition, self.accumulators
+            ),
+            Template::Stencil => {
+                format!(
+                    "dse_sten_n{}_u{}_b{}_p{}",
+                    self.size, self.unroll, self.bits, self.partition
+                )
+            }
+        }
     }
 }
 
@@ -148,11 +187,7 @@ fn sum_vars(vars: &[VarId]) -> Expr {
 /// Dot product: `total = Σ x[i]·y[i]` with unrolled lanes, banked operand
 /// arrays and interleaved accumulators.
 fn dot_product(k: &EffectiveKnobs) -> Result<Function> {
-    let name = format!(
-        "dse_dot_n{}_u{}_b{}_p{}_a{}",
-        k.size, k.unroll, k.bits, k.partition, k.accumulators
-    );
-    let mut f = FunctionBuilder::new(name);
+    let mut f = FunctionBuilder::new(k.kernel_name(Template::DotProduct));
     let elem = ScalarType::signed(k.bits);
     let x = bank_params(&mut f, "x", k.partition, k.size, 0, elem);
     let y = bank_params(&mut f, "y", k.partition, k.size, 0, elem);
@@ -182,11 +217,7 @@ const FIR_TAPS: u32 = 8;
 /// FIR filter: `out[i] = Σ_t x[i+t]·coef[t]`, inner tap loop unrolled with
 /// banked coefficients and interleaved accumulators.
 fn fir(k: &EffectiveKnobs) -> Result<Function> {
-    let name = format!(
-        "dse_fir_n{}_u{}_b{}_p{}_a{}",
-        k.size, k.unroll, k.bits, k.partition, k.accumulators
-    );
-    let mut f = FunctionBuilder::new(name);
+    let mut f = FunctionBuilder::new(k.kernel_name(Template::Fir));
     let elem = ScalarType::signed(k.bits);
     let x = f.array_param("x", ArrayType::new(elem, (k.size + FIR_TAPS) as usize));
     let coef = bank_params(&mut f, "coef", k.partition, FIR_TAPS, 0, elem);
@@ -219,8 +250,7 @@ fn fir(k: &EffectiveKnobs) -> Result<Function> {
 /// Three-point stencil: `y[i] = (x[i] + 2·x[i+1] + x[i+2]) >> 2` with
 /// unrolled lanes over banked input.
 fn stencil(k: &EffectiveKnobs) -> Result<Function> {
-    let name = format!("dse_sten_n{}_u{}_b{}_p{}", k.size, k.unroll, k.bits, k.partition);
-    let mut f = FunctionBuilder::new(name);
+    let mut f = FunctionBuilder::new(k.kernel_name(Template::Stencil));
     let elem = ScalarType::signed(k.bits);
     // Each bank carries two pad elements so the `i+2` halo read stays in
     // range at the right edge.
@@ -267,6 +297,39 @@ mod tests {
                 assert!(graph.node_count() > 5, "{name}[{index}] is suspiciously small");
             }
         }
+    }
+
+    #[test]
+    fn effective_design_name_matches_the_lowered_kernel_everywhere() {
+        for name in DesignSpace::NAMED {
+            let space: DesignSpace = name.parse().unwrap();
+            for index in 0..space.len() {
+                let point = space.point(index);
+                let static_name = space.effective_design(&point).unwrap();
+                let function = space.instantiate(&point).unwrap();
+                assert_eq!(static_name, function.name, "{name}[{index}]");
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_domains_yield_a_typed_error() {
+        use crate::space::Knob;
+        let space = DesignSpace::new(
+            "broken",
+            Template::DotProduct,
+            vec![
+                Knob::new(KnobKind::ProblemSize, vec![12]),
+                Knob::new(KnobKind::Unroll, vec![3]),
+                Knob::new(KnobKind::Bitwidth, vec![8]),
+                Knob::new(KnobKind::ArrayPartition, vec![1]),
+                Knob::new(KnobKind::PipelineII, vec![1]),
+            ],
+        );
+        let point = space.point(0);
+        let error = space.instantiate(&point).expect_err("12/3 are not powers of two");
+        assert!(error.to_string().contains("powers of two"), "{error}");
+        assert!(space.effective_design(&point).is_err());
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Every point of every named design space passes the IR verifier and the
+//! analytic bounds stay below the simulated ground truth — the DSE-side half
+//! of the corpus-wide soundness property (the `hls_gnn_analyze` corpus tests
+//! cover kernels and synthetic families; design spaces live here because
+//! `analyze` cannot depend on `dse`).
+
+use hls_gnn_analyze::bounds::analyze_bounds;
+use hls_gnn_analyze::verify;
+use hls_gnn_dse::space::DesignSpace;
+use hls_ir::lower::lower_function;
+use hls_sim::pipeline::analyze_loops;
+use hls_sim::{run_flow, FpgaDevice};
+
+#[test]
+fn every_space_point_verifies_and_respects_the_bounds() {
+    let device = FpgaDevice::default();
+    for name in DesignSpace::NAMED {
+        let space: DesignSpace = name.parse().expect("named space parses");
+        for index in 0..space.len() {
+            let point = space.point(index);
+            let origin = format!("{name}[{index}]");
+            let func = space
+                .instantiate(&point)
+                .unwrap_or_else(|error| panic!("{origin}: instantiate failed: {error}"));
+
+            let ir = lower_function(&func)
+                .unwrap_or_else(|error| panic!("{origin}: lowering failed: {error}"));
+            let diagnostics = verify::verify(&ir);
+            assert!(diagnostics.is_empty(), "{origin}: verifier diagnostics: {diagnostics:?}");
+
+            let flow = run_flow(&func, &device)
+                .unwrap_or_else(|error| panic!("{origin}: flow failed: {error}"));
+            let decls: Vec<_> = func.vars().map(|(id, decl)| (id, decl.ty)).collect();
+            let report = analyze_bounds(&flow.ir, &decls, &device);
+            assert!(
+                report.min_total_cycles <= u64::from(flow.schedule.total_cycles),
+                "{origin}: cycle bound {} exceeds scheduled {}",
+                report.min_total_cycles,
+                flow.schedule.total_cycles
+            );
+            let pipeline = analyze_loops(&flow.ir, &flow.schedule, &device);
+            for bound in &report.loops {
+                let measured = pipeline
+                    .iter()
+                    .find(|info| info.header == bound.header)
+                    .unwrap_or_else(|| panic!("{origin}: loop bb{} missing", bound.header.index()));
+                assert!(
+                    bound.min_recurrence_ii <= measured.recurrence_ii,
+                    "{origin}: recurrence bound {} exceeds measured {}",
+                    bound.min_recurrence_ii,
+                    measured.recurrence_ii
+                );
+                assert!(
+                    bound.port_pressure_ii <= measured.resource_ii,
+                    "{origin}: pressure bound {} exceeds measured {}",
+                    bound.port_pressure_ii,
+                    measured.resource_ii
+                );
+                assert!(
+                    bound.min_ii() <= measured.achieved_ii,
+                    "{origin}: II bound {} exceeds achieved {}",
+                    bound.min_ii(),
+                    measured.achieved_ii
+                );
+            }
+        }
+    }
+}

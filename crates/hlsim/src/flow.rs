@@ -81,6 +81,11 @@ fn run_stages(
     decls: &[(VarId, ValueType)],
     device: &FpgaDevice,
 ) -> Result<FlowResult> {
+    // Hard gate: IR reaching the flow may come from untrusted producers
+    // (the server's kernel route, DSE template instantiation, external IR
+    // callers), so structural violations must surface as typed errors here
+    // rather than as panics deeper in scheduling or binding.
+    hls_ir::verify::verify_function(&ir).map_err(hls_ir::Error::Verification)?;
     let schedule = schedule_function(&ir, decls, device)?;
     let binding = bind(&ir, &schedule, device);
     let hls_report = HlsReport::from_binding(&binding, &schedule);

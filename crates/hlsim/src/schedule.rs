@@ -103,7 +103,13 @@ pub fn schedule_function(
         let block_start = current_cycle;
         let mut block_last_cycle = block_start;
         for &op_id in &block.ops {
-            let op = ir.op(op_id);
+            let op = ir.get_op(op_id).ok_or_else(|| {
+                Error::Schedule(format!(
+                    "block {} lists dangling op %{}",
+                    block.id.index(),
+                    op_id.index()
+                ))
+            })?;
             if op.block != block.id {
                 return Err(Error::Schedule(format!(
                     "op %{} listed in block {} but tagged with block {}",

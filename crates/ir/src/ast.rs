@@ -526,11 +526,19 @@ impl FunctionBuilder {
 
     /// Finishes the function, validating declarations and variable usage.
     ///
+    /// In debug builds the function is additionally lowered once:
+    /// [`crate::lower::lower_function`] verifies its own output against the
+    /// structural invariants of [`crate::verify`], so any builder-constructed
+    /// program that cannot produce valid IR is rejected at construction time.
+    ///
     /// # Errors
-    /// Propagates the errors of [`Function::validate`].
+    /// Propagates the errors of [`Function::validate`] (and, in debug
+    /// builds, of [`crate::lower::lower_function`]).
     pub fn finish(self) -> Result<Function> {
         let func = Function { name: self.name, decls: self.decls, body: self.body };
         func.validate()?;
+        #[cfg(debug_assertions)]
+        crate::lower::lower_function(&func)?;
         Ok(func)
     }
 }

@@ -192,6 +192,20 @@ impl IrFunction {
         &self.ops[id.0]
     }
 
+    /// Accesses an operation by id, returning `None` for dangling ids.
+    ///
+    /// Consumers of untrusted IR (the scheduler, the verifier) use this
+    /// instead of [`IrFunction::op`] so a corrupt operand list surfaces as a
+    /// typed error rather than an index panic.
+    pub fn get_op(&self, id: OpId) -> Option<&IrOp> {
+        self.ops.get(id.0)
+    }
+
+    /// Accesses a block by id, returning `None` for dangling ids.
+    pub fn get_block(&self, id: BlockId) -> Option<&BasicBlock> {
+        self.blocks.get(id.0)
+    }
+
     /// Mutable access to an operation by id.
     pub fn op_mut(&mut self, id: OpId) -> &mut IrOp {
         &mut self.ops[id.0]

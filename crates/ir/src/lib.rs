@@ -37,6 +37,7 @@ pub mod ir;
 pub mod lower;
 pub mod opcode;
 pub mod types;
+pub mod verify;
 
 use std::fmt;
 
@@ -46,6 +47,7 @@ pub use graph::{EdgeKind, GraphKind, IrEdge, IrGraph, IrNode, NodeId, NodeKind};
 pub use ir::{BlockId, IrFunction, IrOp, OpId};
 pub use opcode::{Opcode, OpcodeCategory};
 pub use types::{BitWidth, ScalarType, ValueType};
+pub use verify::{verify_function, Diagnostic, DiagnosticKind};
 
 /// Errors produced while building, lowering, or exporting IR.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +64,8 @@ pub enum Error {
     EmptyFunction(String),
     /// An internal invariant was violated during lowering.
     Lowering(String),
+    /// The IR failed structural verification (see [`verify`]).
+    Verification(Vec<verify::Diagnostic>),
 }
 
 impl fmt::Display for Error {
@@ -72,6 +76,13 @@ impl fmt::Display for Error {
             Error::UnsupportedGraphKind(msg) => write!(f, "unsupported graph kind: {msg}"),
             Error::EmptyFunction(name) => write!(f, "function `{name}` has no statements"),
             Error::Lowering(msg) => write!(f, "lowering error: {msg}"),
+            Error::Verification(diagnostics) => {
+                write!(f, "invalid IR ({} violation(s))", diagnostics.len())?;
+                for diagnostic in diagnostics {
+                    write!(f, "; {diagnostic}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

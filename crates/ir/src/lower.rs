@@ -27,6 +27,18 @@ pub fn lower_function(func: &Function) -> Result<IrFunction> {
     lowerer.lower_stmts(&func.body.clone())?;
     let ir = lowerer.finish();
     ir.check_integrity().map_err(Error::Lowering)?;
+    // Lowering output failing structural verification is a compiler bug, not
+    // an input error: assert it in debug builds (release trusts lowering and
+    // gates only untrusted IR, e.g. in `hls_sim::run_flow_on_ir`).
+    #[cfg(debug_assertions)]
+    if let Err(diagnostics) = crate::verify::verify_function(&ir) {
+        let report: Vec<String> = diagnostics.iter().map(|d| d.to_string()).collect();
+        panic!(
+            "lower_function produced invalid IR for `{}`:\n{}\n{ir}",
+            ir.name,
+            report.join("\n")
+        );
+    }
     Ok(ir)
 }
 
@@ -37,6 +49,9 @@ struct Lowerer<'a> {
     scalar_env: HashMap<VarId, OpId>,
     array_env: HashMap<VarId, OpId>,
     loop_depth: usize,
+    /// True once the current block hit a `ret`; statements lowered while
+    /// sealed are dead code and are dropped.
+    sealed: bool,
 }
 
 impl<'a> Lowerer<'a> {
@@ -49,10 +64,32 @@ impl<'a> Lowerer<'a> {
             scalar_env: HashMap::new(),
             array_env: HashMap::new(),
             loop_depth: 0,
+            sealed: false,
         }
     }
 
-    fn finish(self) -> IrFunction {
+    fn finish(mut self) -> IrFunction {
+        // Terminate every block that still falls off the end (a function
+        // without a trailing `return`, or a merge block both arms returned
+        // out of): control reaching it means the function is done.
+        for index in 0..self.ir.block_count() {
+            let block = BlockId(index);
+            let unterminated = match self.ir.block(block).ops.last() {
+                Some(&op) => !matches!(self.ir.op(op).opcode, Opcode::Br | Opcode::Ret),
+                None => true,
+            };
+            if unterminated {
+                self.ir.push_op(
+                    block,
+                    Opcode::Ret,
+                    BitWidth::new(1),
+                    Signedness::Unsigned,
+                    vec![],
+                    None,
+                    None,
+                );
+            }
+        }
         self.ir
     }
 
@@ -269,6 +306,9 @@ impl<'a> Lowerer<'a> {
 
     fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<()> {
         for stmt in stmts {
+            if self.sealed {
+                break; // dead code after a `return`
+            }
             self.lower_stmt(stmt)?;
         }
         Ok(())
@@ -319,6 +359,7 @@ impl<'a> Lowerer<'a> {
                     );
                 }
                 self.push(Opcode::Ret, BitWidth::new(1), Signedness::Unsigned, vec![], None, None);
+                self.sealed = true;
                 Ok(())
             }
             Stmt::If { cond, then_body, else_body } => self.lower_if(cond, then_body, else_body),
@@ -341,23 +382,46 @@ impl<'a> Lowerer<'a> {
 
         let env_before = self.scalar_env.clone();
 
-        // Then arm.
+        // Then arm. An arm that returned is sealed: it does not branch to the
+        // merge block and its values do not take part in the merge.
         self.current = then_block;
         self.lower_stmts(then_body)?;
-        self.push(Opcode::Br, BitWidth::new(1), Signedness::Unsigned, vec![], None, None);
-        self.ir.add_cfg_edge(self.current, merge_block);
+        let then_sealed = self.sealed;
+        if !then_sealed {
+            self.push(Opcode::Br, BitWidth::new(1), Signedness::Unsigned, vec![], None, None);
+            self.ir.add_cfg_edge(self.current, merge_block);
+        }
+        self.sealed = false;
         let env_then = self.scalar_env.clone();
 
         // Else arm.
         self.scalar_env = env_before.clone();
         self.current = else_block;
         self.lower_stmts(else_body)?;
-        self.push(Opcode::Br, BitWidth::new(1), Signedness::Unsigned, vec![], None, None);
-        self.ir.add_cfg_edge(self.current, merge_block);
+        let else_sealed = self.sealed;
+        if !else_sealed {
+            self.push(Opcode::Br, BitWidth::new(1), Signedness::Unsigned, vec![], None, None);
+            self.ir.add_cfg_edge(self.current, merge_block);
+        }
+        self.sealed = false;
         let env_else = self.scalar_env.clone();
 
-        // Merge arm: insert mux operations for values that diverged.
         self.current = merge_block;
+        if then_sealed || else_sealed {
+            // At most one arm reaches the merge: adopt its environment
+            // directly (both sealed leaves the merge dead and re-seals).
+            self.scalar_env = match (then_sealed, else_sealed) {
+                (false, true) => env_then,
+                (true, false) => env_else,
+                _ => {
+                    self.sealed = true;
+                    env_before
+                }
+            };
+            return Ok(());
+        }
+
+        // Merge arm: insert mux operations for values that diverged.
         let mut merged: BTreeSet<VarId> = BTreeSet::new();
         merged.extend(env_then.keys().copied());
         merged.extend(env_else.keys().copied());
@@ -405,6 +469,7 @@ impl<'a> Lowerer<'a> {
         let induction_ty = self.decl_scalar_type(induction);
         let init = self.constant(start, induction_ty.bits());
         self.scalar_env.insert(induction, init);
+        let env_at_preheader = self.scalar_env.clone();
         self.push(Opcode::Br, BitWidth::new(1), Signedness::Unsigned, vec![], None, None);
         let preheader = self.current;
 
@@ -445,36 +510,48 @@ impl<'a> Lowerer<'a> {
         self.ir.add_cfg_edge(header, body_block);
         self.ir.add_cfg_edge(header, exit_block);
 
-        // Loop body.
+        // Loop body. A body that returned is sealed: no induction step, no
+        // back edge, and the phis keep their single init operand.
         self.current = body_block;
         self.loop_depth += 1;
         self.lower_stmts(body)?;
-        let step_const = self.constant(step, induction_ty.bits());
-        let current_induction = self.scalar_env[&induction];
-        let next = self.push(
-            Opcode::Add,
-            induction_ty.width,
-            induction_ty.signedness,
-            vec![current_induction, step_const],
-            None,
-            None,
-        );
-        self.ir.op_mut(next).source_var = Some(induction);
-        self.scalar_env.insert(induction, next);
-        self.push(Opcode::Br, BitWidth::new(1), Signedness::Unsigned, vec![], None, None);
-        self.ir.add_cfg_edge(self.current, header);
+        let body_sealed = self.sealed;
+        if !body_sealed {
+            let step_const = self.constant(step, induction_ty.bits());
+            let current_induction = self.scalar_env[&induction];
+            let next = self.push(
+                Opcode::Add,
+                induction_ty.width,
+                induction_ty.signedness,
+                vec![current_induction, step_const],
+                None,
+                None,
+            );
+            self.ir.op_mut(next).source_var = Some(induction);
+            self.scalar_env.insert(induction, next);
+            self.push(Opcode::Br, BitWidth::new(1), Signedness::Unsigned, vec![], None, None);
+            self.ir.add_cfg_edge(self.current, header);
+        }
+        self.sealed = false;
         self.loop_depth -= 1;
 
         // Patch phi back-edge operands with the latched values.
-        for (var, phi) in &phis {
-            let latched = self.scalar_env[var];
-            if latched != *phi {
-                self.ir.op_mut(*phi).operands.push(latched);
+        if !body_sealed {
+            for (var, phi) in &phis {
+                let latched = self.scalar_env[var];
+                if latched != *phi {
+                    self.ir.op_mut(*phi).operands.push(latched);
+                }
             }
         }
 
-        // After the loop, the header phi values are live.
+        // After the loop, the pre-loop environment holds again with the
+        // header phi values for everything the body modified. Restoring the
+        // snapshot (instead of keeping the body's environment) discards
+        // values materialised inside the body — e.g. zero constants for
+        // uninitialised locals — which do not dominate the exit block.
         self.current = exit_block;
+        self.scalar_env = env_at_preheader;
         for (var, phi) in phis {
             self.scalar_env.insert(var, phi);
         }

@@ -29,6 +29,16 @@ impl BitWidth {
         self.0
     }
 
+    /// Creates a bitwidth without clamping.
+    ///
+    /// Only the verifier's test harnesses need out-of-range widths (to prove
+    /// the `zero-width` diagnostic fires); normal construction must go
+    /// through [`BitWidth::new`].
+    #[doc(hidden)]
+    pub fn raw(bits: u16) -> Self {
+        BitWidth(bits)
+    }
+
     /// Width of the result of adding two values of widths `a` and `b`
     /// (one extra carry bit, saturated at [`MAX_BITWIDTH`]).
     pub fn add_result(a: BitWidth, b: BitWidth) -> BitWidth {

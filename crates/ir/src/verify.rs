@@ -1,0 +1,845 @@
+//! Structural verification of lowered IR functions.
+//!
+//! The verifier makes "valid IR" an enforceable precondition for every
+//! consumer (scheduling, graph extraction, feature encoding) instead of an
+//! implicit one: it checks referential integrity, block termination, SSA
+//! dominance, per-opcode operand arity and width rules, and the metadata
+//! contracts (`array` on memory ops, `const_value` on constants) that the
+//! rest of the pipeline silently relies on.
+//!
+//! Two usage modes:
+//!
+//! - **Debug assertion** — [`crate::lower::lower_function`] and
+//!   [`crate::ast::FunctionBuilder::finish`] verify their output in debug
+//!   builds; a failure there is a compiler bug and panics.
+//! - **Hard gate** — untrusted IR (generated programs, template
+//!   instantiations, anything arriving over the network) is verified with
+//!   [`verify_function`] and rejected with typed [`Diagnostic`]s.
+//!
+//! The dominance rules encode two documented exceptions to plain SSA
+//! def-dominates-use, both artifacts of the structured lowering:
+//!
+//! - `mux` value operands merge values from the `then`/`else` arms, which do
+//!   not dominate the merge block; they must instead dominate at least one
+//!   predecessor of the merge block (or be defined earlier in it).
+//! - `phi` operands merge the preheader value with the latched value carried
+//!   over the back edge; each operand must dominate some predecessor of the
+//!   header (or be defined earlier in the header itself, where init
+//!   constants are materialised).
+
+use crate::ir::{BlockId, IrFunction, IrOp, OpId};
+use crate::opcode::Opcode;
+use crate::types::Signedness;
+use std::fmt;
+
+/// Category of a structural violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagnosticKind {
+    /// An op/block index points outside the function, an op is missing from
+    /// its block's op list, or a CFG edge lacks its reverse link.
+    BrokenReference,
+    /// An operand references an operation id that does not exist.
+    DanglingOperand,
+    /// A block does not end with a `br`/`ret` terminator.
+    MissingTerminator,
+    /// A terminator appears before the end of its block.
+    MisplacedTerminator,
+    /// A terminator's successor count does not match its kind (`ret` → 0,
+    /// unconditional `br` → 1, conditional `br` → 2).
+    BadSuccessors,
+    /// An operation has the wrong number of operands for its opcode.
+    BadArity,
+    /// A value is used in a position its definition does not dominate.
+    SsaDominance,
+    /// A `phi` outside a loop header, or after non-phi operations.
+    PhiPlacement,
+    /// A `phi` with more operands than its block has predecessors (or none).
+    PhiArity,
+    /// An operation with a zero-bit result width.
+    ZeroWidth,
+    /// A widening cast that narrows, or a truncation that widens.
+    BadCastWidth,
+    /// An operand of the wrong kind (e.g. a `load` address that is not a
+    /// `getelementptr`, or a `gep` base that is not an array port).
+    BadOperandKind,
+    /// A memory operation without its `array` tag.
+    MissingArray,
+    /// A `const` operation without a literal value.
+    MissingConstValue,
+    /// A comparison or control op with a result that is not 1-bit unsigned.
+    BadResultWidth,
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DiagnosticKind::BrokenReference => "broken-reference",
+            DiagnosticKind::DanglingOperand => "dangling-operand",
+            DiagnosticKind::MissingTerminator => "missing-terminator",
+            DiagnosticKind::MisplacedTerminator => "misplaced-terminator",
+            DiagnosticKind::BadSuccessors => "bad-successors",
+            DiagnosticKind::BadArity => "bad-arity",
+            DiagnosticKind::SsaDominance => "ssa-dominance",
+            DiagnosticKind::PhiPlacement => "phi-placement",
+            DiagnosticKind::PhiArity => "phi-arity",
+            DiagnosticKind::ZeroWidth => "zero-width",
+            DiagnosticKind::BadCastWidth => "bad-cast-width",
+            DiagnosticKind::BadOperandKind => "bad-operand-kind",
+            DiagnosticKind::MissingArray => "missing-array",
+            DiagnosticKind::MissingConstValue => "missing-const-value",
+            DiagnosticKind::BadResultWidth => "bad-result-width",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One structural violation, located at an operation and/or block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Violation category.
+    pub kind: DiagnosticKind,
+    /// Offending operation, when the violation is op-level.
+    pub op: Option<OpId>,
+    /// Block containing the violation, when known.
+    pub block: Option<BlockId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn op_level(kind: DiagnosticKind, op: &IrOp, message: String) -> Self {
+        Diagnostic { kind, op: Some(op.id), block: Some(op.block), message }
+    }
+
+    fn block_level(kind: DiagnosticKind, block: BlockId, message: String) -> Self {
+        Diagnostic { kind, op: None, block: Some(block), message }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.kind)?;
+        if let Some(block) = self.block {
+            write!(f, " bb{}", block.index())?;
+        }
+        if let Some(op) = self.op {
+            write!(f, " %{}", op.index())?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Verifies a function and returns every violation found.
+///
+/// An empty result means the function satisfies all structural invariants.
+/// If referential integrity is broken (dangling indices), only those
+/// diagnostics are reported: the deeper passes cannot run on such IR.
+pub fn verify(ir: &IrFunction) -> Vec<Diagnostic> {
+    let referential = check_references(ir);
+    if !referential.is_empty() {
+        return referential;
+    }
+    let mut diagnostics = Vec::new();
+    check_terminators(ir, &mut diagnostics);
+    check_operations(ir, &mut diagnostics);
+    check_dominance(ir, &mut diagnostics);
+    diagnostics
+}
+
+/// Verifies a function, failing with the list of violations.
+///
+/// # Errors
+/// Returns every [`Diagnostic`] found when the function is malformed.
+pub fn verify_function(ir: &IrFunction) -> Result<(), Vec<Diagnostic>> {
+    let diagnostics = verify(ir);
+    if diagnostics.is_empty() {
+        Ok(())
+    } else {
+        Err(diagnostics)
+    }
+}
+
+/// Referential integrity: every id in bounds, ownership and CFG links
+/// symmetric. Failing any of these makes further analysis unsafe.
+fn check_references(ir: &IrFunction) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for op in &ir.ops {
+        if op.block.index() >= ir.block_count() {
+            out.push(Diagnostic {
+                kind: DiagnosticKind::BrokenReference,
+                op: Some(op.id),
+                block: None,
+                message: format!(
+                    "op %{} tagged with missing block {}",
+                    op.id.index(),
+                    op.block.index()
+                ),
+            });
+            continue;
+        }
+        if !ir.block(op.block).ops.contains(&op.id) {
+            out.push(Diagnostic::op_level(
+                DiagnosticKind::BrokenReference,
+                op,
+                format!("op %{} missing from the op list of bb{}", op.id.index(), op.block.index()),
+            ));
+        }
+        for operand in &op.operands {
+            if operand.index() >= ir.op_count() {
+                out.push(Diagnostic::op_level(
+                    DiagnosticKind::DanglingOperand,
+                    op,
+                    format!("operand %{} does not exist", operand.index()),
+                ));
+            }
+        }
+    }
+    for block in &ir.blocks {
+        for &member in &block.ops {
+            if member.index() >= ir.op_count() {
+                out.push(Diagnostic::block_level(
+                    DiagnosticKind::BrokenReference,
+                    block.id,
+                    format!("bb{} lists missing op %{}", block.id.index(), member.index()),
+                ));
+            } else if ir.op(member).block != block.id {
+                out.push(Diagnostic::block_level(
+                    DiagnosticKind::BrokenReference,
+                    block.id,
+                    format!(
+                        "op %{} listed in bb{} but tagged with bb{}",
+                        member.index(),
+                        block.id.index(),
+                        ir.op(member).block.index()
+                    ),
+                ));
+            }
+        }
+        for &succ in &block.succs {
+            if succ.index() >= ir.block_count() {
+                out.push(Diagnostic::block_level(
+                    DiagnosticKind::BrokenReference,
+                    block.id,
+                    format!("bb{} branches to missing bb{}", block.id.index(), succ.index()),
+                ));
+            } else if !ir.block(succ).preds.contains(&block.id) {
+                out.push(Diagnostic::block_level(
+                    DiagnosticKind::BrokenReference,
+                    block.id,
+                    format!(
+                        "edge bb{} -> bb{} lacks its reverse pred link",
+                        block.id.index(),
+                        succ.index()
+                    ),
+                ));
+            }
+        }
+        for &pred in &block.preds {
+            if pred.index() >= ir.block_count() {
+                out.push(Diagnostic::block_level(
+                    DiagnosticKind::BrokenReference,
+                    block.id,
+                    format!("bb{} lists missing predecessor bb{}", block.id.index(), pred.index()),
+                ));
+            } else if !ir.block(pred).succs.contains(&block.id) {
+                out.push(Diagnostic::block_level(
+                    DiagnosticKind::BrokenReference,
+                    block.id,
+                    format!(
+                        "edge bb{} -> bb{} lacks its forward succ link",
+                        pred.index(),
+                        block.id.index()
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn is_terminator(opcode: Opcode) -> bool {
+    matches!(opcode, Opcode::Br | Opcode::Ret)
+}
+
+/// Every block ends with exactly one terminator whose successor count
+/// matches its kind.
+fn check_terminators(ir: &IrFunction, out: &mut Vec<Diagnostic>) {
+    for block in &ir.blocks {
+        let Some((&last, body)) = block.ops.split_last() else {
+            out.push(Diagnostic::block_level(
+                DiagnosticKind::MissingTerminator,
+                block.id,
+                format!("bb{} is empty", block.id.index()),
+            ));
+            continue;
+        };
+        for &op_id in body {
+            if is_terminator(ir.op(op_id).opcode) {
+                out.push(Diagnostic::op_level(
+                    DiagnosticKind::MisplacedTerminator,
+                    ir.op(op_id),
+                    format!(
+                        "terminator %{} is not the last op of bb{}",
+                        op_id.index(),
+                        block.id.index()
+                    ),
+                ));
+            }
+        }
+        let terminator = ir.op(last);
+        let expected_succs = match terminator.opcode {
+            Opcode::Ret => 0,
+            Opcode::Br if terminator.operands.is_empty() => 1,
+            Opcode::Br => 2,
+            _ => {
+                out.push(Diagnostic::block_level(
+                    DiagnosticKind::MissingTerminator,
+                    block.id,
+                    format!(
+                        "bb{} ends with `{}` instead of a terminator",
+                        block.id.index(),
+                        terminator.opcode
+                    ),
+                ));
+                continue;
+            }
+        };
+        if block.succs.len() != expected_succs {
+            out.push(Diagnostic::op_level(
+                DiagnosticKind::BadSuccessors,
+                terminator,
+                format!(
+                    "bb{} has {} successor(s) but its terminator `{}` requires {}",
+                    block.id.index(),
+                    block.succs.len(),
+                    terminator.opcode,
+                    expected_succs
+                ),
+            ));
+        }
+    }
+}
+
+/// Expected operand count per opcode. `None` means unconstrained.
+fn expected_arity(opcode: Opcode) -> Option<(usize, usize)> {
+    use Opcode::*;
+    match opcode {
+        Const | ReadPort | Alloca | Ret => Some((0, 0)),
+        Br => Some((0, 1)),
+        WritePort | Neg | Not | ZExt | SExt | Trunc | PartSelect | Load => Some((1, 1)),
+        Add | Sub | Mul | SDiv | UDiv | SRem | URem | And | Or | Xor | Shl | LShr | AShr | ICmp
+        | GetElementPtr | Store | BitConcat => Some((2, 2)),
+        Select | Mux => Some((3, 3)),
+        Phi | Call => None,
+    }
+}
+
+/// Per-opcode local rules: arity, result widths, cast direction, metadata
+/// (`array` / `const_value`), and operand kinds for memory addressing.
+fn check_operations(ir: &IrFunction, out: &mut Vec<Diagnostic>) {
+    for op in &ir.ops {
+        if op.bits() == 0 {
+            out.push(Diagnostic::op_level(
+                DiagnosticKind::ZeroWidth,
+                op,
+                format!("op %{} has a zero-bit result", op.id.index()),
+            ));
+        }
+        if let Some((min, max)) = expected_arity(op.opcode) {
+            let n = op.operands.len();
+            if n < min || n > max {
+                out.push(Diagnostic::op_level(
+                    DiagnosticKind::BadArity,
+                    op,
+                    format!("`{}` takes {min}..={max} operands, got {n}", op.opcode),
+                ));
+                continue; // operand-shape rules below assume the arity holds
+            }
+        }
+        match op.opcode {
+            Opcode::Const if op.const_value.is_none() => {
+                out.push(Diagnostic::op_level(
+                    DiagnosticKind::MissingConstValue,
+                    op,
+                    format!("const %{} has no literal value", op.id.index()),
+                ));
+            }
+            Opcode::Load | Opcode::Store | Opcode::GetElementPtr | Opcode::Alloca
+                if op.array.is_none() =>
+            {
+                out.push(Diagnostic::op_level(
+                    DiagnosticKind::MissingArray,
+                    op,
+                    format!("memory op `{}` %{} has no array tag", op.opcode, op.id.index()),
+                ));
+            }
+            Opcode::Load => {
+                check_address_operand(ir, op, op.operands[0], out);
+            }
+            Opcode::Store => {
+                check_address_operand(ir, op, op.operands[1], out);
+            }
+            Opcode::GetElementPtr => {
+                let base = ir.op(op.operands[0]);
+                let base_is_array = matches!(base.opcode, Opcode::ReadPort | Opcode::Alloca)
+                    && base.array == op.array;
+                if !base_is_array {
+                    out.push(Diagnostic::op_level(
+                        DiagnosticKind::BadOperandKind,
+                        op,
+                        format!(
+                            "gep %{} base %{} is not the port/alloca of its array",
+                            op.id.index(),
+                            base.id.index()
+                        ),
+                    ));
+                }
+            }
+            Opcode::Trunc => {
+                let source = ir.op(op.operands[0]);
+                if op.bits() >= source.bits() {
+                    out.push(Diagnostic::op_level(
+                        DiagnosticKind::BadCastWidth,
+                        op,
+                        format!("trunc %{} widens {} -> {}", op.id.index(), source.width, op.width),
+                    ));
+                }
+            }
+            Opcode::ZExt | Opcode::SExt => {
+                let source = ir.op(op.operands[0]);
+                if op.bits() <= source.bits() {
+                    out.push(Diagnostic::op_level(
+                        DiagnosticKind::BadCastWidth,
+                        op,
+                        format!(
+                            "`{}` %{} narrows {} -> {}",
+                            op.opcode,
+                            op.id.index(),
+                            source.width,
+                            op.width
+                        ),
+                    ));
+                }
+            }
+            Opcode::ICmp if op.bits() != 1 || op.signedness != Signedness::Unsigned => {
+                out.push(Diagnostic::op_level(
+                    DiagnosticKind::BadResultWidth,
+                    op,
+                    format!("icmp %{} result must be a 1-bit unsigned flag", op.id.index()),
+                ));
+            }
+            Opcode::Br | Opcode::Ret if op.bits() != 1 => {
+                out.push(Diagnostic::op_level(
+                    DiagnosticKind::BadResultWidth,
+                    op,
+                    format!("control op `{}` %{} must be 1-bit", op.opcode, op.id.index()),
+                ));
+            }
+            Opcode::Phi => check_phi(ir, op, out),
+            _ => {}
+        }
+    }
+}
+
+fn check_address_operand(ir: &IrFunction, op: &IrOp, address: OpId, out: &mut Vec<Diagnostic>) {
+    let addr = ir.op(address);
+    if addr.opcode != Opcode::GetElementPtr || addr.array != op.array {
+        out.push(Diagnostic::op_level(
+            DiagnosticKind::BadOperandKind,
+            op,
+            format!(
+                "`{}` %{} address %{} is not a gep of the same array",
+                op.opcode,
+                op.id.index(),
+                address.index()
+            ),
+        ));
+    }
+}
+
+fn check_phi(ir: &IrFunction, op: &IrOp, out: &mut Vec<Diagnostic>) {
+    let block = ir.block(op.block);
+    if !block.is_loop_header {
+        out.push(Diagnostic::op_level(
+            DiagnosticKind::PhiPlacement,
+            op,
+            format!("phi %{} outside a loop header", op.id.index()),
+        ));
+    }
+    // Phis live in the header prefix: only other phis and their init
+    // constants may precede them.
+    for &earlier in block.ops.iter().take_while(|&&id| id != op.id) {
+        if !matches!(ir.op(earlier).opcode, Opcode::Phi | Opcode::Const) {
+            out.push(Diagnostic::op_level(
+                DiagnosticKind::PhiPlacement,
+                op,
+                format!("phi %{} appears after non-phi op %{}", op.id.index(), earlier.index()),
+            ));
+            break;
+        }
+    }
+    let n = op.operands.len();
+    if n == 0 || n > block.preds.len().max(1) {
+        out.push(Diagnostic::op_level(
+            DiagnosticKind::PhiArity,
+            op,
+            format!(
+                "phi %{} has {n} operand(s) for {} predecessor(s)",
+                op.id.index(),
+                block.preds.len()
+            ),
+        ));
+    }
+}
+
+/// Blocks reachable from the entry block.
+pub fn reachable_blocks(ir: &IrFunction) -> Vec<bool> {
+    let mut reachable = vec![false; ir.block_count()];
+    if ir.block_count() == 0 {
+        return reachable;
+    }
+    let mut stack = vec![BlockId::new(0)];
+    reachable[0] = true;
+    while let Some(block) = stack.pop() {
+        for &succ in &ir.block(block).succs {
+            if !reachable[succ.index()] {
+                reachable[succ.index()] = true;
+                stack.push(succ);
+            }
+        }
+    }
+    reachable
+}
+
+/// Reverse postorder over the blocks reachable from the entry.
+pub fn reverse_postorder(ir: &IrFunction) -> Vec<BlockId> {
+    let mut visited = vec![false; ir.block_count()];
+    let mut postorder = Vec::new();
+    // Iterative DFS with an explicit phase marker (enter/exit).
+    let mut stack = vec![(BlockId::new(0), false)];
+    if ir.block_count() == 0 {
+        return postorder;
+    }
+    while let Some((block, expanded)) = stack.pop() {
+        if expanded {
+            postorder.push(block);
+            continue;
+        }
+        if visited[block.index()] {
+            continue;
+        }
+        visited[block.index()] = true;
+        stack.push((block, true));
+        for &succ in ir.block(block).succs.iter().rev() {
+            if !visited[succ.index()] {
+                stack.push((succ, false));
+            }
+        }
+    }
+    postorder.reverse();
+    postorder
+}
+
+/// Immediate dominators of all blocks (Cooper–Harvey–Kennedy iteration over
+/// the reverse postorder). The entry block is its own idom; unreachable
+/// blocks get `None`.
+pub fn immediate_dominators(ir: &IrFunction) -> Vec<Option<BlockId>> {
+    let rpo = reverse_postorder(ir);
+    let mut rpo_index = vec![usize::MAX; ir.block_count()];
+    for (index, &block) in rpo.iter().enumerate() {
+        rpo_index[block.index()] = index;
+    }
+    let mut idom: Vec<Option<BlockId>> = vec![None; ir.block_count()];
+    if ir.block_count() == 0 {
+        return idom;
+    }
+    idom[0] = Some(BlockId::new(0));
+
+    let intersect = |idom: &[Option<BlockId>], a: BlockId, b: BlockId| -> BlockId {
+        let (mut a, mut b) = (a, b);
+        while a != b {
+            while rpo_index[a.index()] > rpo_index[b.index()] {
+                a = idom[a.index()].expect("processed block has an idom");
+            }
+            while rpo_index[b.index()] > rpo_index[a.index()] {
+                b = idom[b.index()].expect("processed block has an idom");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &block in rpo.iter().skip(1) {
+            let preds = &ir.block(block).preds;
+            let mut new_idom: Option<BlockId> = None;
+            for &pred in preds {
+                if idom[pred.index()].is_none() {
+                    continue; // unreachable or not yet processed
+                }
+                new_idom = Some(match new_idom {
+                    None => pred,
+                    Some(current) => intersect(&idom, pred, current),
+                });
+            }
+            if let Some(new_idom) = new_idom {
+                if idom[block.index()] != Some(new_idom) {
+                    idom[block.index()] = Some(new_idom);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+/// True if block `a` dominates block `b` under the given idom vector.
+pub fn dominates(idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+    let mut current = b;
+    loop {
+        if current == a {
+            return true;
+        }
+        match idom[current.index()] {
+            Some(parent) if parent != current => current = parent,
+            _ => return false,
+        }
+    }
+}
+
+/// SSA def-dominates-use over the reachable CFG, with the documented
+/// `mux`/`phi` join exceptions.
+fn check_dominance(ir: &IrFunction, out: &mut Vec<Diagnostic>) {
+    let reachable = reachable_blocks(ir);
+    let idom = immediate_dominators(ir);
+
+    // Position of every op inside its block, for same-block ordering checks.
+    let mut position = vec![0usize; ir.op_count()];
+    for block in &ir.blocks {
+        for (index, &op_id) in block.ops.iter().enumerate() {
+            position[op_id.index()] = index;
+        }
+    }
+
+    let defined_before = |def: OpId, user: &IrOp| -> bool {
+        let def_op = ir.op(def);
+        if def_op.block == user.block {
+            position[def.index()] < position[user.id.index()]
+        } else {
+            reachable[def_op.block.index()] && dominates(&idom, def_op.block, user.block)
+        }
+    };
+    // Join rule: the operand is defined earlier in the same block, or its
+    // block dominates at least one predecessor of the user's block.
+    let reaches_join = |def: OpId, user: &IrOp| -> bool {
+        let def_op = ir.op(def);
+        if def_op.block == user.block && position[def.index()] < position[user.id.index()] {
+            return true;
+        }
+        ir.block(user.block).preds.iter().any(|&pred| {
+            reachable[def_op.block.index()]
+                && reachable[pred.index()]
+                && dominates(&idom, def_op.block, pred)
+        })
+    };
+
+    for op in &ir.ops {
+        if !reachable[op.block.index()] {
+            continue; // unreachable code is checked locally but not for SSA
+        }
+        let join_operands: &[OpId] = match op.opcode {
+            Opcode::Phi => &op.operands,
+            // mux [cond, then-value, else-value]: the condition obeys plain
+            // dominance, the merged values obey the join rule.
+            Opcode::Mux if op.operands.len() == 3 => &op.operands[1..],
+            _ => &[],
+        };
+        for &operand in &op.operands {
+            let is_join = join_operands.contains(&operand);
+            let ok = if is_join { reaches_join(operand, op) } else { defined_before(operand, op) };
+            if !ok {
+                out.push(Diagnostic::op_level(
+                    DiagnosticKind::SsaDominance,
+                    op,
+                    format!(
+                        "op %{} uses %{} which does not dominate it",
+                        op.id.index(),
+                        operand.index()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinaryOp, Expr, FunctionBuilder, Stmt};
+    use crate::lower::lower_function;
+    use crate::types::{ArrayType, ScalarType};
+
+    fn loopy_ir() -> IrFunction {
+        let mut f = FunctionBuilder::new("dot");
+        let x = f.array_param("x", ArrayType::new(ScalarType::i32(), 16));
+        let y = f.array_param("y", ArrayType::new(ScalarType::i32(), 16));
+        let acc = f.local("acc", ScalarType::signed(64));
+        let i = f.local("i", ScalarType::i32());
+        f.assign(acc, Expr::constant(0));
+        f.push(Stmt::for_loop(
+            i,
+            0,
+            16,
+            1,
+            vec![Stmt::assign(
+                acc,
+                Expr::binary(
+                    BinaryOp::Add,
+                    Expr::var(acc),
+                    Expr::binary(
+                        BinaryOp::Mul,
+                        Expr::index(x, Expr::var(i)),
+                        Expr::index(y, Expr::var(i)),
+                    ),
+                ),
+            )],
+        ));
+        f.ret(acc);
+        lower_function(&f.finish().unwrap()).unwrap()
+    }
+
+    fn branchy_ir() -> IrFunction {
+        let mut f = FunctionBuilder::new("absdiff");
+        let a = f.param("a", ScalarType::i32());
+        let b = f.param("b", ScalarType::i32());
+        let out = f.local("out", ScalarType::i32());
+        f.push(Stmt::if_else(
+            Expr::binary(BinaryOp::Gt, Expr::var(a), Expr::var(b)),
+            vec![Stmt::assign(out, Expr::binary(BinaryOp::Sub, Expr::var(a), Expr::var(b)))],
+            vec![Stmt::assign(out, Expr::binary(BinaryOp::Sub, Expr::var(b), Expr::var(a)))],
+        ));
+        f.ret(out);
+        lower_function(&f.finish().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn lowered_functions_verify_cleanly() {
+        assert_eq!(verify(&loopy_ir()), vec![]);
+        assert_eq!(verify(&branchy_ir()), vec![]);
+    }
+
+    #[test]
+    fn dominators_of_a_loop() {
+        let ir = loopy_ir();
+        let idom = immediate_dominators(&ir);
+        // Entry dominates everything; the header dominates body and exit.
+        let header = ir.blocks.iter().find(|b| b.is_loop_header).expect("loop header present").id;
+        for block in &ir.blocks {
+            assert!(dominates(&idom, BlockId::new(0), block.id));
+        }
+        for &succ in &ir.block(header).succs {
+            assert!(dominates(&idom, header, succ));
+        }
+        assert!(!dominates(&idom, header, BlockId::new(0)));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable_blocks() {
+        let ir = branchy_ir();
+        let rpo = reverse_postorder(&ir);
+        assert_eq!(rpo[0], BlockId::new(0));
+        assert_eq!(rpo.len(), ir.block_count());
+    }
+
+    fn first_kind(ir: &IrFunction) -> DiagnosticKind {
+        let diagnostics = verify(ir);
+        assert!(!diagnostics.is_empty(), "expected a diagnostic for:\n{ir}");
+        diagnostics[0].kind
+    }
+
+    #[test]
+    fn dropped_terminator_is_missing_terminator() {
+        let mut ir = loopy_ir();
+        let last_block = BlockId::new(ir.block_count() - 1);
+        let dropped = ir.block_mut(last_block).ops.pop().unwrap();
+        // Keep referential integrity intact: remove the op entirely is not
+        // possible without reindexing, so retag it into the block it left.
+        assert_eq!(ir.op(dropped).opcode, Opcode::Ret);
+        ir.block_mut(last_block).ops.insert(0, dropped);
+        assert_eq!(first_kind(&ir), DiagnosticKind::MisplacedTerminator);
+    }
+
+    #[test]
+    fn dangling_operand_is_reported() {
+        let mut ir = loopy_ir();
+        let victim = ir.iter_ops().find(|op| op.opcode == Opcode::Add).unwrap().id;
+        ir.op_mut(victim).operands[0] = OpId::new(99_999);
+        assert_eq!(first_kind(&ir), DiagnosticKind::DanglingOperand);
+    }
+
+    #[test]
+    fn broken_phi_arity_is_reported() {
+        let mut ir = loopy_ir();
+        let phi = ir.iter_ops().find(|op| op.opcode == Opcode::Phi).unwrap().id;
+        let extra = ir.op(phi).operands[0];
+        ir.op_mut(phi).operands.push(extra);
+        ir.op_mut(phi).operands.push(extra);
+        let diagnostics = verify(&ir);
+        assert!(diagnostics.iter().any(|d| d.kind == DiagnosticKind::PhiArity), "{diagnostics:?}");
+    }
+
+    #[test]
+    fn swapped_store_operands_are_reported() {
+        let mut f = FunctionBuilder::new("fill");
+        let dst = f.array_param("dst", ArrayType::new(ScalarType::i32(), 8));
+        let v = f.param("v", ScalarType::i32());
+        f.store(dst, Expr::constant(3), Expr::var(v));
+        f.ret(v);
+        let mut ir = lower_function(&f.finish().unwrap()).unwrap();
+        let store = ir.iter_ops().find(|op| op.opcode == Opcode::Store).unwrap().id;
+        ir.op_mut(store).operands.swap(0, 1);
+        assert_eq!(first_kind(&ir), DiagnosticKind::BadOperandKind);
+    }
+
+    #[test]
+    fn use_before_def_is_an_ssa_violation() {
+        let mut ir = branchy_ir();
+        // Rewire the first op of the entry block to consume the last value
+        // defined in the function: a same-block/later or cross-block use
+        // that cannot dominate it.
+        let last = OpId::new(ir.op_count() - 1);
+        let victim = ir.iter_ops().find(|op| op.opcode == Opcode::Sub).unwrap().id;
+        ir.op_mut(victim).operands[0] = last;
+        let diagnostics = verify(&ir);
+        assert!(
+            diagnostics.iter().any(|d| d.kind == DiagnosticKind::SsaDominance),
+            "{diagnostics:?}"
+        );
+    }
+
+    #[test]
+    fn missing_metadata_is_reported() {
+        let mut ir = loopy_ir();
+        let load = ir.iter_ops().find(|op| op.opcode == Opcode::Load).unwrap().id;
+        ir.op_mut(load).array = None;
+        let diagnostics = verify(&ir);
+        assert!(diagnostics.iter().any(|d| d.kind == DiagnosticKind::MissingArray));
+
+        let mut ir = loopy_ir();
+        let constant = ir.iter_ops().find(|op| op.opcode == Opcode::Const).unwrap().id;
+        ir.op_mut(constant).const_value = None;
+        let diagnostics = verify(&ir);
+        assert!(diagnostics.iter().any(|d| d.kind == DiagnosticKind::MissingConstValue));
+    }
+
+    #[test]
+    fn diagnostics_render_location_and_kind() {
+        let mut ir = loopy_ir();
+        let victim = ir.iter_ops().find(|op| op.opcode == Opcode::Add).unwrap().id;
+        ir.op_mut(victim).operands[0] = OpId::new(99_999);
+        let text = verify(&ir)[0].to_string();
+        assert!(text.contains("dangling-operand"), "{text}");
+        assert!(text.contains(&format!("%{}", victim.index())), "{text}");
+    }
+}

@@ -392,9 +392,17 @@ impl ServiceHandle {
             .into_iter()
             .find(|kernel| kernel.name == name)
             .ok_or_else(|| ServeError::BadRequest(format!("unknown kernel `{name}`")))?;
+        // The flow hard-gates its input through the IR verifier; a frontend
+        // or verification failure means the requested program is rejected
+        // input (400), not a broken server.
         let sample =
             GraphSample::from_function(&kernel.function, GraphKind::Cdfg, &FpgaDevice::default())
-                .map_err(ServeError::Model)?;
+                .map_err(|error| match error {
+                hls_gnn_core::Error::Flow(message) => ServeError::BadRequest(format!(
+                    "kernel `{name}` was rejected by the HLS flow: {message}"
+                )),
+                other => ServeError::Model(other),
+            })?;
         self.inner
             .kernel_samples
             .lock()

@@ -17,10 +17,12 @@
 //! `shard/samples` section concatenates binary-encoded samples and whose
 //! `shard/index` section holds `n + 1` byte offsets into it. The sample
 //! encoding is a compact little-endian record of the release-format
-//! [`ExportedGraph`]; decoding goes *through* [`ExportedGraph::to_sample`],
-//! so every structural invariant (vocabulary bounds, edge endpoints,
-//! relation ids) is re-checked on untrusted bytes — the store never feeds
-//! unvalidated data into the panicking graph constructors.
+//! [`ExportedGraph`] plus (since format v2) the per-node analytic-bound
+//! features, which the release JSON deliberately omits; decoding goes
+//! *through* [`ExportedGraph::to_sample`], so every structural invariant
+//! (vocabulary bounds, edge endpoints, relation ids) is re-checked on
+//! untrusted bytes — the store never feeds unvalidated data into the
+//! panicking graph constructors.
 //!
 //! [`ShardedDataset`] implements [`SampleSource`], so
 //! `train_regressor_source` / `seed_averaged_mape_source` iterate a corpus
@@ -42,8 +44,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::container::{Container, ContainerWriter};
 
-/// Current dataset-store format version.
-pub const STORE_VERSION: u32 = 1;
+/// Current dataset-store format version. v2 appended the per-node
+/// analytic-bound features (`GraphSample::node_analytic`) to the sample
+/// record so a streamed corpus round-trips bit-exactly; v1 shards still
+/// decode, with those features zero-filled.
+pub const STORE_VERSION: u32 = 2;
 
 /// Format marker in `manifest.json`, so arbitrary JSON files are not
 /// mistaken for store manifests.
@@ -104,6 +109,15 @@ fn encode_sample(sample: &GraphSample) -> Vec<u8> {
         out.extend_from_slice(&u32::try_from(edge.dst).expect("fits u32").to_le_bytes());
         out.extend_from_slice(&u32::try_from(edge.relation).expect("fits u32").to_le_bytes());
     }
+    // v2: the analytic-bound features travel outside `ExportedGraph` — the
+    // release JSON format omits them (they are recomputable from the
+    // program), but a stored corpus has no program to recompute from.
+    debug_assert_eq!(sample.node_analytic.len(), graph.nodes.len());
+    for values in &sample.node_analytic {
+        for value in values {
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+    }
     out
 }
 
@@ -158,7 +172,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn decode_sample(bytes: &[u8]) -> Result<GraphSample> {
+fn decode_sample(bytes: &[u8], version: u32) -> Result<GraphSample> {
     let mut cursor = Cursor { bytes, offset: 0 };
     let name_len = cursor.u32()? as usize;
     let name = std::str::from_utf8(cursor.take(name_len)?)
@@ -194,6 +208,14 @@ fn decode_sample(bytes: &[u8]) -> Result<GraphSample> {
             relation: cursor.u32()? as usize,
         });
     }
+    // v1 records predate the analytic features; `to_sample` zero-fills them.
+    let mut analytic = Vec::new();
+    if version >= 2 {
+        analytic.reserve_exact(node_count.min(bytes.len()));
+        for _ in 0..node_count {
+            analytic.push(cursor.f32x3()?);
+        }
+    }
     if cursor.offset != bytes.len() {
         return Err(Error::Parse(format!(
             "sample record has {} trailing bytes",
@@ -203,7 +225,13 @@ fn decode_sample(bytes: &[u8]) -> Result<GraphSample> {
     // Route through the release-format validator: vocabulary bounds, edge
     // endpoints and relation ids are all re-checked before the panicking
     // graph constructors run.
-    ExportedGraph { name, kind: kind.to_owned(), nodes, edges, targets, hls_estimate }.to_sample()
+    let mut sample =
+        ExportedGraph { name, kind: kind.to_owned(), nodes, edges, targets, hls_estimate }
+            .to_sample()?;
+    if version >= 2 {
+        sample.node_analytic = analytic;
+    }
+    Ok(sample)
 }
 
 // ---------------------------------------------------------------------------
@@ -709,7 +737,7 @@ fn decode_shard(bytes: &[u8], expected_samples: usize) -> Result<Vec<GraphSample
         if start > end || end > payload.len() as u64 {
             return Err(Error::Parse("shard index offsets are not monotonic".to_owned()));
         }
-        samples.push(decode_sample(&payload[start as usize..end as usize])?);
+        samples.push(decode_sample(&payload[start as usize..end as usize], meta.version)?);
     }
     Ok(samples)
 }
@@ -757,8 +785,23 @@ mod tests {
     #[test]
     fn samples_round_trip_bit_exactly_through_the_codec() {
         for sample in &tiny_dataset(4).samples {
-            let decoded = decode_sample(&encode_sample(sample)).expect("codec round trips");
+            let decoded =
+                decode_sample(&encode_sample(sample), STORE_VERSION).expect("codec round trips");
             assert_eq!(&decoded, sample);
+        }
+    }
+
+    #[test]
+    fn v1_records_still_decode_with_zero_filled_analytic_features() {
+        for sample in &tiny_dataset(2).samples {
+            // A v1 record is the v2 record minus the trailing analytic block.
+            let mut encoded = encode_sample(sample);
+            encoded.truncate(encoded.len() - 12 * sample.num_nodes());
+            let decoded = decode_sample(&encoded, 1).expect("v1 record decodes");
+            assert_eq!(decoded.node_analytic, vec![[0.0f32; 3]; sample.num_nodes()]);
+            let mut expected = sample.clone();
+            expected.node_analytic = decoded.node_analytic.clone();
+            assert_eq!(decoded, expected);
         }
     }
 
@@ -767,17 +810,21 @@ mod tests {
         let sample = &tiny_dataset(1).samples[0];
         let encoded = encode_sample(sample);
         for length in 0..encoded.len() {
-            assert!(decode_sample(&encoded[..length]).is_err(), "truncation to {length}");
+            assert!(
+                decode_sample(&encoded[..length], STORE_VERSION).is_err(),
+                "truncation to {length}"
+            );
         }
         let mut trailing = encoded.clone();
         trailing.push(0);
-        assert!(decode_sample(&trailing).is_err());
+        assert!(decode_sample(&trailing, STORE_VERSION).is_err());
         // Clobbering counts and codes must fail structurally, not panic.
         for index in 0..encoded.len().min(64) {
             let mut mangled = encoded.clone();
             mangled[index] = 0xFF;
-            let _ = decode_sample(&mangled); // must not panic; Err or a
-                                             // (validated) different sample
+            let _ = decode_sample(&mangled, STORE_VERSION); // must not panic;
+                                                            // Err or a (validated)
+                                                            // different sample
         }
     }
 
@@ -861,8 +908,8 @@ mod tests {
         let pristine = std::fs::read_to_string(&path).unwrap();
 
         for (needle, replacement) in [
-            ("\"version\": 1", "\"version\": 99"),
-            ("\"version\": 1", "\"version\": 0"),
+            ("\"version\": 2", "\"version\": 99"),
+            ("\"version\": 2", "\"version\": 0"),
             (STORE_FORMAT, "some-other-format"),
             ("\"graph_count\": 4", "\"graph_count\": 5"),
         ] {

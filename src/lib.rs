@@ -4,6 +4,9 @@
 //! - [`hls_ir`]: IR graphs (DFG/CDFG) and node/edge features.
 //! - [`hls_progen`]: synthetic program generator and real-world kernels.
 //! - [`hls_sim`]: HLS scheduling/binding simulator and implementation model.
+//! - [`hls_gnn_analyze`]: static analysis — the IR verifier, a generic
+//!   dataflow framework (dominators, liveness, def-use, loop nests) and
+//!   analytic lower bounds on latency/II/port pressure.
 //! - [`gnn_tensor`]: autodiff tensor engine.
 //! - [`gnn`]: message-passing layers and models.
 //! - [`hls_gnn_core`]: the prediction engine — the [`prelude::Predictor`]
@@ -43,6 +46,7 @@
 
 pub use gnn;
 pub use gnn_tensor;
+pub use hls_gnn_analyze;
 pub use hls_gnn_core;
 pub use hls_gnn_dse;
 pub use hls_gnn_serve;
