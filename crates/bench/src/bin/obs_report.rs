@@ -1,0 +1,194 @@
+//! Summarises a JSONL trace (written by `HLSGNN_TRACE=<path>`) into a
+//! per-stage time breakdown: `results/obs_report.json` plus a table on
+//! stdout.
+//!
+//! ```text
+//! HLSGNN_TRACE=trace.jsonl cargo run -p hls-gnn-bench --bin train_predict
+//! cargo run -p hls-gnn-bench --bin obs_report -- trace.jsonl
+//! ```
+//!
+//! The trace format is the one `hls_gnn_obs::trace` writes — one JSON object
+//! per line with `span`, `thread`, `depth`, `start_us`, `dur_us` and optional
+//! `args`. The offline serde_json shim has no dynamic `Value` type, so the
+//! fields are pulled out with a small scanner over that exact shape.
+
+use std::collections::BTreeMap;
+
+use hls_gnn_bench::write_report;
+use serde::Serialize;
+
+/// One parsed trace event (the fields the report consumes).
+struct Event {
+    span: String,
+    thread: String,
+    depth: u64,
+    start_us: u64,
+    dur_us: u64,
+}
+
+/// Extracts the JSON string value following `"<key>":"`, unescaping the
+/// writer's escape set.
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let mut value = String::new();
+    let mut chars = line[start..].chars();
+    while let Some(ch) = chars.next() {
+        match ch {
+            '"' => return Some(value),
+            '\\' => match chars.next()? {
+                'n' => value.push('\n'),
+                'r' => value.push('\r'),
+                't' => value.push('\t'),
+                'u' => {
+                    let code: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&code, 16).ok()?;
+                    value.push(char::from_u32(code)?);
+                }
+                escaped => value.push(escaped),
+            },
+            ch => value.push(ch),
+        }
+    }
+    None
+}
+
+/// Extracts the unsigned number following `"<key>":`.
+fn number_field(line: &str, key: &str) -> Option<u64> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+fn parse_event(line: &str) -> Option<Event> {
+    Some(Event {
+        span: string_field(line, "span")?,
+        thread: string_field(line, "thread")?,
+        depth: number_field(line, "depth")?,
+        start_us: number_field(line, "start_us")?,
+        dur_us: number_field(line, "dur_us")?,
+    })
+}
+
+/// Aggregated timings for one stage name.
+#[derive(Debug, Serialize)]
+struct StageRow {
+    stage: String,
+    count: u64,
+    total_us: u64,
+    mean_us: u64,
+    max_us: u64,
+    /// Share of the summed *top-level* time (depth-1 spans only, so nested
+    /// stages don't double-count their parents).
+    share_of_top_level: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ObsReport {
+    trace: String,
+    events: usize,
+    skipped_lines: usize,
+    threads: Vec<String>,
+    /// Wall-clock covered by the trace: last span end minus first span start.
+    wall_us: u64,
+    /// Summed duration of depth-1 (top-level) spans.
+    top_level_us: u64,
+    stages: Vec<StageRow>,
+}
+
+fn main() {
+    let path = std::env::args().nth(1).or_else(|| std::env::var("HLSGNN_TRACE").ok());
+    let Some(path) = path.filter(|path| !path.trim().is_empty()) else {
+        eprintln!("usage: obs_report <trace.jsonl>  (or set HLSGNN_TRACE)");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("obs_report: cannot read `{path}`: {error}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut events = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines().filter(|line| !line.trim().is_empty()) {
+        match parse_event(line) {
+            Some(event) => events.push(event),
+            None => skipped += 1,
+        }
+    }
+    if skipped > 0 {
+        eprintln!("obs_report: skipped {skipped} unparseable line(s)");
+    }
+    if events.is_empty() {
+        eprintln!("obs_report: `{path}` holds no trace events");
+        std::process::exit(1);
+    }
+
+    let mut per_stage: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new(); // count, total, max
+    let mut threads: Vec<String> = Vec::new();
+    let mut first_start = u64::MAX;
+    let mut last_end = 0u64;
+    let mut top_level_us = 0u64;
+    for event in &events {
+        let entry = per_stage.entry(&event.span).or_insert((0, 0, 0));
+        entry.0 += 1;
+        entry.1 += event.dur_us;
+        entry.2 = entry.2.max(event.dur_us);
+        if !threads.contains(&event.thread) {
+            threads.push(event.thread.clone());
+        }
+        first_start = first_start.min(event.start_us);
+        last_end = last_end.max(event.start_us.saturating_add(event.dur_us));
+        if event.depth == 1 {
+            top_level_us += event.dur_us;
+        }
+    }
+
+    let mut stages: Vec<StageRow> = per_stage
+        .into_iter()
+        .map(|(stage, (count, total_us, max_us))| StageRow {
+            stage: stage.to_owned(),
+            count,
+            total_us,
+            mean_us: total_us / count.max(1),
+            max_us,
+            share_of_top_level: if top_level_us > 0 {
+                total_us as f64 / top_level_us as f64
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    stages.sort_by(|a, b| b.total_us.cmp(&a.total_us).then_with(|| a.stage.cmp(&b.stage)));
+
+    println!("trace {path}: {} events on {} thread(s)", events.len(), threads.len());
+    println!(
+        "{:<16} {:>8} {:>12} {:>10} {:>10} {:>7}",
+        "stage", "count", "total_us", "mean_us", "max_us", "share"
+    );
+    for row in &stages {
+        println!(
+            "{:<16} {:>8} {:>12} {:>10} {:>10} {:>6.1}%",
+            row.stage,
+            row.count,
+            row.total_us,
+            row.mean_us,
+            row.max_us,
+            row.share_of_top_level * 100.0
+        );
+    }
+
+    let report = ObsReport {
+        trace: path,
+        events: events.len(),
+        skipped_lines: skipped,
+        threads,
+        wall_us: last_end.saturating_sub(first_start),
+        top_level_us,
+        stages,
+    };
+    write_report("obs_report", &report);
+}

@@ -228,12 +228,18 @@ pub fn train_regressor_source_with(
     let mut adam = Adam::new(params.clone(), config.learning_rate);
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9e37_79b9).wrapping_add(17));
     let mut history = Vec::with_capacity(config.epochs);
+    let epochs_total = hls_gnn_obs::global().counter("hlsgnn_train_epochs_total", &[]);
+    let steps_total = hls_gnn_obs::global().counter("hlsgnn_train_steps_total", &[]);
 
     for _ in 0..config.epochs {
+        let _epoch_span = hls_gnn_obs::span!("train_epoch");
+        epochs_total.inc();
         let mut order: Vec<usize> = (0..train.len()).collect();
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         for batch in order.chunks(config.batch_size) {
+            let _step_span = hls_gnn_obs::span!("train_step");
+            steps_total.inc();
             // The only window of samples alive at once: one mini-batch.
             let fetched: Vec<Cow<'_, GraphSample>> =
                 batch.iter().map(|&index| train.fetch(index)).collect::<crate::Result<_>>()?;
@@ -375,12 +381,18 @@ pub fn train_node_classifier_source(
     let mut adam = Adam::new(params.clone(), config.learning_rate);
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x517c_c1b7).wrapping_add(3));
     let mut history = Vec::with_capacity(config.epochs);
+    let epochs_total = hls_gnn_obs::global().counter("hlsgnn_train_epochs_total", &[]);
+    let steps_total = hls_gnn_obs::global().counter("hlsgnn_train_steps_total", &[]);
 
     for _ in 0..config.epochs {
+        let _epoch_span = hls_gnn_obs::span!("train_epoch");
+        epochs_total.inc();
         let mut order: Vec<usize> = (0..train.len()).collect();
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         for batch in order.chunks(config.batch_size) {
+            let _step_span = hls_gnn_obs::span!("train_step");
+            steps_total.inc();
             let fetched: Vec<Cow<'_, GraphSample>> =
                 batch.iter().map(|&index| train.fetch(index)).collect::<crate::Result<_>>()?;
             adam.zero_grad();

@@ -224,12 +224,14 @@ impl<'a> Evaluator<'a> {
             let design = self.space.effective_design(&point)?;
             if self.flow_memo.contains_key(&design) {
                 self.flow_reuses += 1;
+                hls_gnn_obs::global().counter("hlsgnn_dse_flow_skips_total", &[]).inc();
             } else {
                 let function = self.space.instantiate(&point)?;
                 let sample = GraphSample::from_function(&function, GraphKind::Cdfg, &self.device)?;
                 let fingerprint = sample_fingerprint(&sample);
                 self.flow_memo.insert(design.clone(), (fingerprint, sample.targets));
                 self.flow_calls += 1;
+                hls_gnn_obs::global().counter("hlsgnn_dse_flow_runs_total", &[]).inc();
                 self.lowered.insert(index, sample);
             }
             designs.insert(index, design);
@@ -255,6 +257,7 @@ impl<'a> Evaluator<'a> {
                 || batch_fingerprints.contains(&fingerprint)
             {
                 self.prediction_reuses += 1;
+                hls_gnn_obs::global().counter("hlsgnn_dse_prediction_memo_hits_total", &[]).inc();
             } else {
                 // The first occurrence of a design always retains its sample
                 // in `lowered` (under this or an earlier failed generation's

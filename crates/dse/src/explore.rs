@@ -60,6 +60,9 @@ pub trait Explorer {
 
 /// Wraps up an exploration from whatever the evaluator has accumulated.
 fn finish(name: &str, evaluator: &Evaluator<'_>) -> Exploration {
+    hls_gnn_obs::global()
+        .counter("hlsgnn_dse_evaluations_total", &[("strategy", name)])
+        .add(evaluator.evaluations() as u64);
     let evaluated = evaluator.evaluated();
     let front_positions = pareto_front_constrained(&evaluated);
     // Requested points that clamped to the same effective kernel are the

@@ -200,9 +200,12 @@ fn main() {
     for strategy in strategies {
         let mut evaluator =
             Evaluator::new(&space, predictor.as_ref(), device.clone(), parallel.clone());
-        let exploration = match strategy.explore(&mut evaluator) {
-            Ok(exploration) => exploration,
-            Err(error) => fail(&format!("{} exploration failed: {error}", strategy.name())),
+        let exploration = {
+            let _span = hls_gnn_obs::span!("dse_explore", strategy = strategy.name());
+            match strategy.explore(&mut evaluator) {
+                Ok(exploration) => exploration,
+                Err(error) => fail(&format!("{} exploration failed: {error}", strategy.name())),
+            }
         };
         let report = DseReport::new(&space, &exploration, &predictor.name(), seed);
         println!(

@@ -33,6 +33,22 @@ impl GraphBatch {
     /// or if a part is itself already fused.
     pub fn fuse(parts: &[&GraphData]) -> GraphBatch {
         assert!(!parts.is_empty(), "cannot fuse an empty batch of graphs");
+        // Cached handles: fuse runs once per chunk per gradient step, and the
+        // counter bump must stay a pair of relaxed atomics, not a registry
+        // lookup.
+        static FUSE_COUNTERS: std::sync::OnceLock<(
+            std::sync::Arc<hls_gnn_obs::Counter>,
+            std::sync::Arc<hls_gnn_obs::Counter>,
+        )> = std::sync::OnceLock::new();
+        let (batches, graphs) = FUSE_COUNTERS.get_or_init(|| {
+            let registry = hls_gnn_obs::global();
+            (
+                registry.counter("hlsgnn_fused_batches_total", &[]),
+                registry.counter("hlsgnn_fused_graphs_total", &[]),
+            )
+        });
+        batches.inc();
+        graphs.add(parts.len() as u64);
         let num_relations = parts[0].num_relations;
         let total_nodes: usize = parts.iter().map(|g| g.num_nodes).sum();
         let total_edges: usize = parts.iter().map(|g| g.edge_count()).sum();

@@ -81,15 +81,25 @@ fn run_stages(
     decls: &[(VarId, ValueType)],
     device: &FpgaDevice,
 ) -> Result<FlowResult> {
+    let _flow_span = hls_gnn_obs::span!("flow", kernel = ir.name);
     // Hard gate: IR reaching the flow may come from untrusted producers
     // (the server's kernel route, DSE template instantiation, external IR
     // callers), so structural violations must surface as typed errors here
     // rather than as panics deeper in scheduling or binding.
     hls_ir::verify::verify_function(&ir).map_err(hls_ir::Error::Verification)?;
-    let schedule = schedule_function(&ir, decls, device)?;
-    let binding = bind(&ir, &schedule, device);
+    let schedule = {
+        let _span = hls_gnn_obs::span!("schedule");
+        schedule_function(&ir, decls, device)?
+    };
+    let binding = {
+        let _span = hls_gnn_obs::span!("bind");
+        bind(&ir, &schedule, device)
+    };
     let hls_report = HlsReport::from_binding(&binding, &schedule);
-    let (implementation, annotations) = implement(&ir, decls, &schedule, &binding, device);
+    let (implementation, annotations) = {
+        let _span = hls_gnn_obs::span!("implement");
+        implement(&ir, decls, &schedule, &binding, device)
+    };
     Ok(FlowResult { ir, schedule, binding, hls_report, implementation, annotations })
 }
 

@@ -21,6 +21,7 @@ use crate::{Error, Result};
 /// never declared as such, and propagates validation errors from
 /// [`Function::validate`].
 pub fn lower_function(func: &Function) -> Result<IrFunction> {
+    let _span = hls_gnn_obs::span!("lower", kernel = func.name);
     func.validate()?;
     let mut lowerer = Lowerer::new(func);
     lowerer.lower_params();

@@ -1,0 +1,96 @@
+//! Workspace-wide observability for the HLS-GNN pipeline.
+//!
+//! Three pieces, all std-only:
+//!
+//! * **Metrics registry** ([`Registry`], [`Counter`], [`Gauge`],
+//!   [`Histogram`]): metrics are registered once by static name + label set
+//!   and mutated through `Arc` handles with plain atomics — the hot
+//!   increment path is lock-free. [`Registry::render`] emits deterministic
+//!   Prometheus-style text exposition; the serve crate exposes it at
+//!   `GET /metrics`.
+//! * **Structured tracing** ([`span!`], [`trace`]): RAII stage timers that
+//!   feed `hlsgnn_stage_duration_us{stage=…}` automatically and, when a
+//!   JSONL sink is attached (`HLSGNN_TRACE=<path>`), record one event per
+//!   span for offline breakdowns (`obs_report` in the bench crate).
+//! * **Global switches**: [`global`] is the process-wide registry;
+//!   [`enabled`]/[`set_enabled`] (or `HLSGNN_OBS=off`) turn all span
+//!   instrumentation into no-ops, which is what the `obs_bench` overhead
+//!   gate compares against.
+//!
+//! Instrumentation is timing-only — it never draws randomness or rewrites
+//! values — so every pipeline output is bit-identical whether observability
+//! is on, off, or tracing to a sink.
+//!
+//! ```
+//! let requests = hls_gnn_obs::global().counter("doc_requests_total", &[("model", "base")]);
+//! requests.inc();
+//! {
+//!     let _span = hls_gnn_obs::span!("doc_stage", kernel = "gemm");
+//!     // … timed work …
+//! }
+//! let text = hls_gnn_obs::global().render();
+//! assert!(text.contains("doc_requests_total{model=\"base\"} 1"));
+//! ```
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{duration_buckets_us, Counter, Gauge, Histogram, Registry};
+pub use trace::{attach, attached, detach, Span, STAGE_HISTOGRAM, TRACE_ENV_VAR};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable that disables all instrumentation when set to `off`
+/// (or `0`/`false`).
+pub const OBS_ENV_VAR: &str = "HLSGNN_OBS";
+
+/// The process-wide metrics registry. Subsystems that need isolated counters
+/// (e.g. one prediction service per test) create their own [`Registry`] and
+/// render both.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+const ENABLED_UNKNOWN: u8 = 0;
+const ENABLED_ON: u8 = 1;
+const ENABLED_OFF: u8 = 2;
+
+static ENABLED: AtomicU8 = AtomicU8::new(ENABLED_UNKNOWN);
+
+/// Whether span instrumentation is active. Defaults to on; `HLSGNN_OBS=off`
+/// (or a call to [`set_enabled`]`(false)`) makes every span fully inert.
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        ENABLED_ON => true,
+        ENABLED_OFF => false,
+        _ => {
+            let on =
+                !matches!(std::env::var(OBS_ENV_VAR).as_deref(), Ok("off") | Ok("0") | Ok("false"));
+            ENABLED.store(if on { ENABLED_ON } else { ENABLED_OFF }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Overrides the instrumentation switch at runtime (wins over `HLSGNN_OBS`).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { ENABLED_ON } else { ENABLED_OFF }, Ordering::Relaxed);
+}
+
+/// Opens a RAII stage timer: `span!("lower")` or
+/// `span!("lower", kernel = name)`. Bind the result (`let _span = …`) so the
+/// span covers the intended scope. Argument expressions are only evaluated —
+/// and only need `Display` — when a trace sink is attached.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(,)?) => {
+        $crate::Span::enter($name, ::std::vec::Vec::new)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::Span::enter($name, || {
+            ::std::vec![$((::std::stringify!($key), ::std::string::ToString::to_string(&$value))),+]
+        })
+    };
+}

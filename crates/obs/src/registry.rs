@@ -1,0 +1,407 @@
+//! Metric primitives and the registry that names them.
+//!
+//! Three metric kinds, all built on plain atomics so the hot mutation path is
+//! lock-free:
+//!
+//! * [`Counter`] — a monotonically increasing `u64`.
+//! * [`Gauge`] — a settable `i64` (queue depths, cache sizes).
+//! * [`Histogram`] — fixed ascending buckets over `u64` observations
+//!   (microseconds for latencies, plain counts for widths) with a cumulative
+//!   overflow bucket, a saturating sum, an exact observed maximum, and
+//!   quantile readout from the bucket counts.
+//!
+//! A [`Registry`] interns metrics by `(name, label set)`. Registration takes
+//! a mutex (it happens once per metric); the returned [`Arc`] handle is what
+//! instrumentation sites hold on to, and mutating through it touches only
+//! atomics. [`Registry::render`] produces deterministic Prometheus-style
+//! text exposition (`# TYPE` comments, `name{label="v"} value` lines,
+//! `_bucket`/`_sum`/`_count` series for histograms) sorted by name and label
+//! set.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depth, cache entries).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// Buckets are defined by ascending inclusive upper bounds; observations
+/// beyond the last bound land in an implicit overflow (`+Inf`) bucket, so
+/// recording never loses a count (saturating behaviour at the top edge).
+/// Quantiles are read out of the bucket counts: the reported value is the
+/// upper bound of the bucket containing the requested rank, clamped to the
+/// exact observed maximum — so a histogram whose observations sit on bucket
+/// bounds reads back exact quantiles, and the overflow bucket reports the
+/// true maximum rather than infinity.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[u64]>,
+    /// One count per bound plus the overflow bucket.
+    counts: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn with_bounds(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "a histogram needs at least one bucket bound");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bucket bounds must be ascending");
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram { bounds: bounds.into(), counts, sum: AtomicU64::new(0), max: AtomicU64::new(0) }
+    }
+
+    /// Records one observation. Lock-free: one indexed `fetch_add`, a
+    /// saturating sum update and a `fetch_max`.
+    pub fn record(&self, value: u64) {
+        let bucket = self.bounds.partition_point(|&bound| bound < value);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|count| count.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The largest observation so far (0 when empty).
+    pub fn max_value(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) of the recorded
+    /// distribution: the upper bound of the bucket holding the
+    /// `ceil(q · count)`-th smallest observation, clamped to the observed
+    /// maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let snapshot: Vec<u64> =
+            self.counts.iter().map(|count| count.load(Ordering::Relaxed)).collect();
+        let total: u64 = snapshot.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (bucket, count) in snapshot.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                let bound = self.bounds.get(bucket).copied().unwrap_or(u64::MAX);
+                return bound.min(self.max_value());
+            }
+        }
+        self.max_value()
+    }
+
+    /// The bucket bounds (exclusive of the implicit `+Inf` bucket).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    fn render_into(&self, out: &mut String, name: &str, labels: &str) {
+        use std::fmt::Write;
+        let mut cumulative = 0u64;
+        for (bucket, bound) in self.bounds.iter().enumerate() {
+            cumulative += self.counts[bucket].load(Ordering::Relaxed);
+            let le = bound.to_string();
+            let merged = merge_labels(labels, &le);
+            let _ = writeln!(out, "{name}_bucket{merged} {cumulative}");
+        }
+        cumulative += self.counts[self.bounds.len()].load(Ordering::Relaxed);
+        let merged = merge_labels(labels, "+Inf");
+        let _ = writeln!(out, "{name}_bucket{merged} {cumulative}");
+        let _ = writeln!(out, "{name}_sum{labels} {}", self.sum());
+        let _ = writeln!(out, "{name}_count{labels} {cumulative}");
+    }
+}
+
+/// Splices an `le="…"` pair into an already-rendered label set.
+fn merge_labels(labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        // `labels` is `{k="v",…}`: insert before the closing brace.
+        format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+/// Default latency buckets, microseconds: log-linear (four sub-steps per
+/// power of two) from 1 µs to ~67 s, so any quantile readout is within ~25%
+/// of the true value across six orders of magnitude.
+pub fn duration_buckets_us() -> Vec<u64> {
+    let mut bounds = Vec::new();
+    let mut power = 1u64;
+    while power <= 1 << 26 {
+        for numerator in [4u64, 5, 6, 7] {
+            let bound = power * numerator / 4;
+            if bounds.last() != Some(&bound) {
+                bounds.push(bound);
+            }
+        }
+        power <<= 1;
+    }
+    bounds
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A set of named metrics with deterministic text exposition.
+///
+/// The process-wide default lives behind [`crate::global`]; subsystems that
+/// need isolated counters (one prediction service per test, say) create
+/// their own and render both.
+#[derive(Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<(String, String), Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Gets or registers a counter.
+    ///
+    /// # Panics
+    /// Panics if the `(name, labels)` pair is already registered as a
+    /// different metric kind — that is an instrumentation bug.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(name, labels, || Metric::Counter(Arc::new(Counter::default()))) {
+            Metric::Counter(counter) => counter,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Gets or registers a gauge.
+    ///
+    /// # Panics
+    /// Panics on a metric-kind conflict (see [`Registry::counter`]).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_insert(name, labels, || Metric::Gauge(Arc::new(Gauge::default()))) {
+            Metric::Gauge(gauge) => gauge,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Gets or registers a histogram with the default microsecond-latency
+    /// buckets ([`duration_buckets_us`]).
+    ///
+    /// # Panics
+    /// Panics on a metric-kind conflict (see [`Registry::counter`]).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram_with(name, labels, &duration_buckets_us())
+    }
+
+    /// Gets or registers a histogram with explicit bucket bounds. The bounds
+    /// only apply on first registration; later calls return the existing
+    /// histogram unchanged.
+    ///
+    /// # Panics
+    /// Panics on a metric-kind conflict (see [`Registry::counter`]), or if
+    /// `bounds` is empty or not strictly ascending.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+    ) -> Arc<Histogram> {
+        let insert = || Metric::Histogram(Arc::new(Histogram::with_bounds(bounds)));
+        match self.get_or_insert(name, labels, insert) {
+            Metric::Histogram(histogram) => histogram,
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        insert: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let key = (name.to_owned(), render_labels(labels));
+        let mut metrics = self.metrics.lock().expect("metric registry poisoned");
+        let entry = metrics.entry(key).or_insert_with(insert);
+        match entry {
+            Metric::Counter(counter) => Metric::Counter(Arc::clone(counter)),
+            Metric::Gauge(gauge) => Metric::Gauge(Arc::clone(gauge)),
+            Metric::Histogram(histogram) => Metric::Histogram(Arc::clone(histogram)),
+        }
+    }
+
+    /// Renders every metric as Prometheus text exposition. Deterministic:
+    /// metrics sort by name then label set, each name gets one `# TYPE`
+    /// comment, histograms expand to cumulative `_bucket` series plus `_sum`
+    /// and `_count`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let metrics = self.metrics.lock().expect("metric registry poisoned");
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for ((name, labels), metric) in metrics.iter() {
+            if last_name != Some(name.as_str()) {
+                let _ = writeln!(out, "# TYPE {name} {}", metric.kind());
+                last_name = Some(name.as_str());
+            }
+            match metric {
+                Metric::Counter(counter) => {
+                    let _ = writeln!(out, "{name}{labels} {}", counter.get());
+                }
+                Metric::Gauge(gauge) => {
+                    let _ = writeln!(out, "{name}{labels} {}", gauge.get());
+                }
+                Metric::Histogram(histogram) => histogram.render_into(&mut out, name, labels),
+            }
+        }
+        out
+    }
+}
+
+/// Renders a label set canonically: sorted by key, values escaped, wrapped in
+/// braces (empty string for no labels).
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let body: Vec<String> =
+        sorted.iter().map(|(key, value)| format!("{key}=\"{}\"", escape_label(value))).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_mutate_atomically() {
+        let registry = Registry::new();
+        let counter = registry.counter("c_total", &[]);
+        counter.inc();
+        counter.add(4);
+        assert_eq!(counter.get(), 5);
+        // Same handle back for the same key.
+        assert_eq!(registry.counter("c_total", &[]).get(), 5);
+
+        let gauge = registry.gauge("g", &[("shard", "0")]);
+        gauge.set(7);
+        gauge.add(-3);
+        assert_eq!(gauge.get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_values_at_inclusive_upper_bounds() {
+        let registry = Registry::new();
+        let histogram = registry.histogram_with("h_us", &[], &[10, 20, 30]);
+        histogram.record(10); // exactly on a bound → that bucket
+        histogram.record(11); // next bucket
+        histogram.record(31); // overflow
+        assert_eq!(histogram.count(), 3);
+        assert_eq!(histogram.sum(), 52);
+        assert_eq!(histogram.max_value(), 31);
+    }
+
+    #[test]
+    fn label_sets_are_canonicalised_and_escaped() {
+        assert_eq!(render_labels(&[]), "");
+        assert_eq!(render_labels(&[("b", "2"), ("a", "1")]), "{a=\"1\",b=\"2\"}");
+        assert_eq!(render_labels(&[("k", "a\"b\\c\nd")]), "{k=\"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn default_duration_buckets_are_strictly_ascending() {
+        let bounds = duration_buckets_us();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(bounds.first(), Some(&1));
+        assert!(*bounds.last().unwrap() >= 1 << 26);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn metric_kind_conflicts_panic() {
+        let registry = Registry::new();
+        registry.counter("same_name", &[]);
+        registry.gauge("same_name", &[]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Structured tracing: thread-local span stacks, RAII stage timers, and an
+//! optional JSONL sink.
+//!
+//! A [`Span`] (usually created via the [`crate::span!`] macro) measures a
+//! named stage. On drop it:
+//!
+//! 1. records its duration (microseconds) into the global
+//!    `hlsgnn_stage_duration_us{stage="<name>"}` histogram — so every
+//!    instrumented stage is queryable from `/metrics` with zero
+//!    configuration; the per-thread histogram handle is cached, so the drop
+//!    path is an `Instant` read plus a few atomics;
+//! 2. if a trace sink is attached (`HLSGNN_TRACE=<path>`, or
+//!    [`attach`]/[`detach`] programmatically), appends one JSON line
+//!    recording the span name, thread, nesting depth, start offset and
+//!    duration — enough for an offline flamegraph-style breakdown
+//!    (`obs_report` in the bench crate consumes exactly this format).
+//!
+//! Span *arguments* (`span!("lower", kernel = name)`) are captured through a
+//! closure that is only evaluated when a sink is attached, so the no-sink
+//! path never formats or allocates for them. When observability is disabled
+//! entirely ([`crate::set_enabled`], `HLSGNN_OBS=off`) spans are fully inert:
+//! no clock reads, no atomics.
+//!
+//! Tracing never touches the traced computation — no RNG draws, no value
+//! rewriting — so all numeric outputs are bit-identical with tracing on or
+//! off.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Once, OnceLock};
+use std::time::Instant;
+
+use crate::registry::Histogram;
+
+/// Environment variable naming the JSONL trace sink path.
+pub const TRACE_ENV_VAR: &str = "HLSGNN_TRACE";
+
+/// Name of the histogram every span feeds (labelled by `stage`).
+pub const STAGE_HISTOGRAM: &str = "hlsgnn_stage_duration_us";
+
+static ATTACHED: AtomicBool = AtomicBool::new(false);
+static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+static ENV_INIT: Once = Once::new();
+
+/// The process-wide monotonic epoch span start offsets are measured from.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn ensure_env_init() {
+    ENV_INIT.call_once(|| {
+        if let Ok(path) = std::env::var(TRACE_ENV_VAR) {
+            let path = path.trim();
+            if !path.is_empty() {
+                if let Err(error) = attach(Path::new(path)) {
+                    eprintln!("warning: cannot open {TRACE_ENV_VAR} sink `{path}`: {error}");
+                }
+            }
+        }
+    });
+}
+
+/// Attaches (or replaces) the JSONL trace sink. Subsequent span drops append
+/// one line each until [`detach`] is called.
+///
+/// # Errors
+/// Propagates the file-creation failure.
+pub fn attach(path: &Path) -> io::Result<()> {
+    let file = File::create(path)?;
+    *SINK.lock().expect("trace sink poisoned") = Some(BufWriter::new(file));
+    ATTACHED.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// Detaches and flushes the trace sink, if any. Idempotent.
+pub fn detach() {
+    ATTACHED.store(false, Ordering::Release);
+    if let Some(mut writer) = SINK.lock().expect("trace sink poisoned").take() {
+        let _ = writer.flush();
+    }
+}
+
+/// True when a JSONL sink is attached (the `HLSGNN_TRACE` environment
+/// variable is consulted once, on first use).
+pub fn attached() -> bool {
+    ensure_env_init();
+    ATTACHED.load(Ordering::Acquire)
+}
+
+thread_local! {
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Per-thread cache of stage-name → histogram handle, so the span drop
+    /// path skips the registry mutex after the first span of each stage.
+    static STAGE_CACHE: RefCell<HashMap<&'static str, Arc<Histogram>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// An RAII stage timer; see the module docs. Create via [`crate::span!`].
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+    start_us: u64,
+    args: Option<Vec<(&'static str, String)>>,
+}
+
+impl Span {
+    /// Starts a span. `args` is only invoked when a trace sink is attached.
+    pub fn enter(name: &'static str, args: impl FnOnce() -> Vec<(&'static str, String)>) -> Span {
+        if !crate::enabled() {
+            return Span { name, start: None, start_us: 0, args: None };
+        }
+        let args = attached().then(args);
+        DEPTH.with(|depth| depth.set(depth.get() + 1));
+        let origin = epoch();
+        let now = Instant::now();
+        let start_us =
+            u64::try_from(now.saturating_duration_since(origin).as_micros()).unwrap_or(u64::MAX);
+        Span { name, start: Some(now), start_us, args }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let duration_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        STAGE_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let histogram = cache.entry(self.name).or_insert_with(|| {
+                crate::global().histogram(STAGE_HISTOGRAM, &[("stage", self.name)])
+            });
+            histogram.record(duration_us);
+        });
+        let depth = DEPTH.with(|depth| {
+            let entered = depth.get();
+            depth.set(entered.saturating_sub(1));
+            entered
+        });
+        if let Some(args) = self.args.take() {
+            write_event(self.name, depth, self.start_us, duration_us, &args);
+        }
+    }
+}
+
+/// Appends one JSONL event; drops the event silently if the sink vanished
+/// (detached concurrently) or the write fails.
+fn write_event(name: &str, depth: u32, start_us: u64, dur_us: u64, args: &[(&str, String)]) {
+    let current = std::thread::current();
+    let thread = match current.name() {
+        Some(name) => name.to_owned(),
+        None => format!("{:?}", current.id()),
+    };
+    let mut line = String::with_capacity(96);
+    line.push_str("{\"span\":\"");
+    escape_into(&mut line, name);
+    line.push_str("\",\"thread\":\"");
+    escape_into(&mut line, &thread);
+    line.push_str("\",\"depth\":");
+    line.push_str(&depth.to_string());
+    line.push_str(",\"start_us\":");
+    line.push_str(&start_us.to_string());
+    line.push_str(",\"dur_us\":");
+    line.push_str(&dur_us.to_string());
+    if !args.is_empty() {
+        line.push_str(",\"args\":{");
+        for (index, (key, value)) in args.iter().enumerate() {
+            if index > 0 {
+                line.push(',');
+            }
+            line.push('"');
+            escape_into(&mut line, key);
+            line.push_str("\":\"");
+            escape_into(&mut line, value);
+            line.push('"');
+        }
+        line.push('}');
+    }
+    line.push_str("}\n");
+    let mut sink = SINK.lock().expect("trace sink poisoned");
+    if let Some(writer) = sink.as_mut() {
+        let _ = writer.write_all(line.as_bytes());
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn escape_into(out: &mut String, text: &str) {
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            ch if (ch as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", ch as u32));
+            }
+            ch => out.push(ch),
+        }
+    }
+}

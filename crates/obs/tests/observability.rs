@@ -1,0 +1,174 @@
+//! Integration tests for the observability crate: exact quantile readout,
+//! bucket-edge saturation, concurrent-recording safety, exposition format,
+//! the JSONL trace sink, and the global enable switch.
+//!
+//! Tests that touch process-global state (the global registry, the trace
+//! sink, the enable switch) serialise on [`global_lock`] so they compose with
+//! the default multi-threaded test runner.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+use hls_gnn_obs::{span, Registry};
+use proptest::prelude::*;
+
+fn global_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    match LOCK.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("hls_gnn_obs_{name}_{}", std::process::id()));
+    path
+}
+
+#[test]
+fn quantiles_are_exact_on_bucket_aligned_distributions() {
+    let registry = Registry::new();
+    let histogram = registry.histogram_with("q_us", &[], &[1, 2, 3, 4, 5, 10, 100]);
+    // 100 observations: 1..=100 of known composition.
+    for value in 1..=100u64 {
+        let bucketed = match value {
+            1..=5 => value.min(5),
+            6..=90 => 10,
+            _ => 100,
+        };
+        histogram.record(bucketed);
+    }
+    assert_eq!(histogram.count(), 100);
+    assert_eq!(histogram.quantile(0.01), 1);
+    assert_eq!(histogram.quantile(0.05), 5);
+    assert_eq!(histogram.quantile(0.5), 10);
+    assert_eq!(histogram.quantile(0.9), 10);
+    assert_eq!(histogram.quantile(0.91), 100);
+    assert_eq!(histogram.quantile(1.0), 100);
+    // An empty histogram reads zero everywhere.
+    let empty = registry.histogram_with("empty_us", &[], &[1, 2]);
+    assert_eq!(empty.quantile(0.5), 0);
+    assert_eq!(empty.max_value(), 0);
+}
+
+#[test]
+fn recording_saturates_into_the_overflow_bucket() {
+    let registry = Registry::new();
+    let histogram = registry.histogram_with("sat_us", &[], &[8, 16]);
+    histogram.record(16); // exactly the top bound → last real bucket
+    histogram.record(17); // overflow
+    histogram.record(u64::MAX); // extreme overflow still counted
+    assert_eq!(histogram.count(), 3);
+    assert_eq!(histogram.max_value(), u64::MAX);
+    // The overflow bucket reports the true observed max, not +Inf.
+    assert_eq!(histogram.quantile(1.0), u64::MAX);
+    // p33 sits in the top real bucket and reads its bound exactly.
+    assert_eq!(histogram.quantile(0.33), 16);
+    let rendered = registry.render();
+    assert!(rendered.contains("sat_us_bucket{le=\"16\"} 1"));
+    assert!(rendered.contains("sat_us_bucket{le=\"+Inf\"} 3"));
+    assert!(rendered.contains("sat_us_count 3"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Concurrent increments from N threads lose no counts: counter value,
+    /// histogram count, and histogram sum all match the exact totals.
+    #[test]
+    fn concurrent_recording_loses_no_counts(threads in 2usize..6, per_thread in 1usize..400) {
+        let registry = Registry::new();
+        let counter = registry.counter("prop_total", &[]);
+        let histogram = registry.histogram_with("prop_us", &[], &[4, 16, 64, 256]);
+        std::thread::scope(|scope| {
+            for thread in 0..threads {
+                let counter = registry.counter("prop_total", &[]);
+                let histogram = registry.histogram_with("prop_us", &[], &[4, 16, 64, 256]);
+                scope.spawn(move || {
+                    for step in 0..per_thread {
+                        counter.inc();
+                        histogram.record(((thread * per_thread + step) % 300) as u64);
+                    }
+                });
+            }
+        });
+        let total = (threads * per_thread) as u64;
+        prop_assert_eq!(counter.get(), total);
+        prop_assert_eq!(histogram.count(), total);
+        let expected_sum: u64 =
+            (0..threads * per_thread).map(|value| (value % 300) as u64).sum();
+        prop_assert_eq!(histogram.sum(), expected_sum);
+    }
+}
+
+#[test]
+fn render_is_deterministic_and_prometheus_shaped() {
+    let registry = Registry::new();
+    registry.counter("z_total", &[("model", "base")]).add(3);
+    registry.counter("z_total", &[("model", "gcn")]).add(5);
+    registry.gauge("a_depth", &[]).set(-2);
+    registry.histogram_with("m_us", &[("stage", "lower")], &[10, 100]).record(40);
+    let first = registry.render();
+    assert_eq!(first, registry.render());
+    let lines: Vec<&str> = first.lines().collect();
+    // Sorted by name: a_depth, m_us, z_total — one # TYPE line per name.
+    assert_eq!(lines[0], "# TYPE a_depth gauge");
+    assert_eq!(lines[1], "a_depth -2");
+    assert_eq!(lines[2], "# TYPE m_us histogram");
+    assert_eq!(lines[3], "m_us_bucket{stage=\"lower\",le=\"10\"} 0");
+    assert_eq!(lines[4], "m_us_bucket{stage=\"lower\",le=\"100\"} 1");
+    assert_eq!(lines[5], "m_us_bucket{stage=\"lower\",le=\"+Inf\"} 1");
+    assert_eq!(lines[6], "m_us_sum{stage=\"lower\"} 40");
+    assert_eq!(lines[7], "m_us_count{stage=\"lower\"} 1");
+    assert_eq!(lines[8], "# TYPE z_total counter");
+    assert_eq!(lines[9], "z_total{model=\"base\"} 3");
+    assert_eq!(lines[10], "z_total{model=\"gcn\"} 5");
+}
+
+#[test]
+fn spans_feed_the_stage_histogram_and_jsonl_sink() {
+    let _guard = global_lock();
+    hls_gnn_obs::set_enabled(true);
+    let trace_path = temp_path("trace");
+    hls_gnn_obs::attach(&trace_path).expect("trace sink should open");
+    {
+        let _outer = span!("obs_test_outer", kernel = "alpha\"quoted");
+        let _inner = span!("obs_test_inner");
+    }
+    hls_gnn_obs::detach();
+
+    let stage = hls_gnn_obs::global()
+        .histogram(hls_gnn_obs::STAGE_HISTOGRAM, &[("stage", "obs_test_outer")]);
+    assert_eq!(stage.count(), 1);
+
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file should exist");
+    std::fs::remove_file(&trace_path).ok();
+    let lines: Vec<&str> = trace.lines().collect();
+    assert_eq!(lines.len(), 2);
+    // Inner span drops (and is written) first; depth reflects nesting.
+    assert!(lines[0].contains("\"span\":\"obs_test_inner\""));
+    assert!(lines[0].contains("\"depth\":2"));
+    assert!(lines[1].contains("\"span\":\"obs_test_outer\""));
+    assert!(lines[1].contains("\"depth\":1"));
+    assert!(lines[1].contains("\"args\":{\"kernel\":\"alpha\\\"quoted\"}"));
+    for line in lines {
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"start_us\":"));
+        assert!(line.contains("\"dur_us\":"));
+        assert!(line.contains("\"thread\":"));
+    }
+}
+
+#[test]
+fn disabled_spans_are_inert() {
+    let _guard = global_lock();
+    hls_gnn_obs::set_enabled(false);
+    {
+        let _span = span!("obs_test_disabled", detail = "never evaluated");
+    }
+    hls_gnn_obs::set_enabled(true);
+    let stage = hls_gnn_obs::global()
+        .histogram(hls_gnn_obs::STAGE_HISTOGRAM, &[("stage", "obs_test_disabled")]);
+    assert_eq!(stage.count(), 0);
+}

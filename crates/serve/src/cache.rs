@@ -9,18 +9,22 @@
 //! The implementation is a classic slab-backed LRU: a `HashMap` from key to
 //! slot index plus an intrusive doubly-linked recency list threaded through a
 //! `Vec` of slots, so `get`/`insert` are O(1) with no per-entry allocation
-//! after warm-up. Hit/miss/eviction counters feed the `/stats` endpoint.
+//! after warm-up. Hit/miss/eviction counts go to shared [`Counter`] handles —
+//! the service registers them in its metrics registry, so `/stats` and
+//! `/metrics` read the same atomics.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use hls_gnn_core::task::TargetMetric;
+use hls_gnn_obs::Counter;
 
 use crate::fingerprint::Fingerprint;
 
 /// One cached prediction: the four raw target values.
 pub type Prediction = [f64; TargetMetric::COUNT];
 
-/// Monotonic cache counters.
+/// A point-in-time read of the cache counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheCounters {
     /// Lookups that found an entry.
@@ -52,19 +56,42 @@ pub struct PredictionCache {
     slots: Vec<Slot>,
     head: usize,
     tail: usize,
-    counters: CacheCounters,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
 }
 
 impl PredictionCache {
-    /// Creates a cache holding at most `capacity` predictions.
+    /// Creates a cache holding at most `capacity` predictions, counting into
+    /// private (unregistered) counters. Use [`PredictionCache::with_counters`]
+    /// to count straight into a metrics registry.
     pub fn new(capacity: usize) -> Self {
+        PredictionCache::with_counters(
+            capacity,
+            Arc::new(Counter::default()),
+            Arc::new(Counter::default()),
+            Arc::new(Counter::default()),
+        )
+    }
+
+    /// Creates a cache whose hit/miss/eviction bumps go to the given counter
+    /// handles (typically registered in a [`hls_gnn_obs::Registry`], so
+    /// `/metrics` and `/stats` read the very same atomics).
+    pub fn with_counters(
+        capacity: usize,
+        hits: Arc<Counter>,
+        misses: Arc<Counter>,
+        evictions: Arc<Counter>,
+    ) -> Self {
         PredictionCache {
             capacity,
             map: HashMap::with_capacity(capacity.min(4096)),
             slots: Vec::with_capacity(capacity.min(4096)),
             head: NIL,
             tail: NIL,
-            counters: CacheCounters::default(),
+            hits,
+            misses,
+            evictions,
         }
     }
 
@@ -83,9 +110,13 @@ impl PredictionCache {
         self.map.is_empty()
     }
 
-    /// The hit/miss/eviction counters.
+    /// A point-in-time read of the hit/miss/eviction counters.
     pub fn counters(&self) -> CacheCounters {
-        self.counters
+        CacheCounters {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+        }
     }
 
     /// Looks a prediction up, refreshing its recency on a hit.
@@ -95,13 +126,13 @@ impl PredictionCache {
         }
         match self.map.get(&key).copied() {
             Some(slot) => {
-                self.counters.hits += 1;
+                self.hits.inc();
                 self.unlink(slot);
                 self.push_front(slot);
                 Some(self.slots[slot].value)
             }
             None => {
-                self.counters.misses += 1;
+                self.misses.inc();
                 None
             }
         }
@@ -126,7 +157,7 @@ impl PredictionCache {
             let victim = self.tail;
             self.unlink(victim);
             self.map.remove(&self.slots[victim].key);
-            self.counters.evictions += 1;
+            self.evictions.inc();
             self.slots[victim].key = key;
             self.slots[victim].value = value;
             victim

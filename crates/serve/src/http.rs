@@ -152,17 +152,23 @@ pub fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
+/// Content type of JSON responses (every route except `/metrics`).
+pub const CONTENT_TYPE_JSON: &str = "application/json";
+/// Content type of the Prometheus text exposition served at `/metrics`.
+pub const CONTENT_TYPE_METRICS: &str = "text/plain; version=0.0.4";
+
 /// Writes one response. `retry_after` adds a `Retry-After` header (used with
 /// 503 so well-behaved clients back off).
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
+    content_type: &str,
     body: &[u8],
     keep_alive: bool,
     retry_after: Option<u32>,
 ) -> io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
          Connection: {}\r\n",
         reason_phrase(status),
         body.len(),
@@ -240,12 +246,23 @@ mod tests {
     #[test]
     fn responses_have_the_advertised_length_and_connection_header() {
         let mut out = Vec::new();
-        write_response(&mut out, 503, b"{\"error\":\"busy\"}", false, Some(1)).unwrap();
+        write_response(&mut out, 503, CONTENT_TYPE_JSON, b"{\"error\":\"busy\"}", false, Some(1))
+            .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
         assert!(text.contains("Content-Length: 16\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.ends_with("{\"error\":\"busy\"}"));
+    }
+
+    #[test]
+    fn metrics_responses_carry_the_exposition_content_type() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, CONTENT_TYPE_METRICS, b"m_total 1\n", true, None).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(text.ends_with("m_total 1\n"));
     }
 }

@@ -10,8 +10,10 @@
 //! # Pieces
 //!
 //! * [`server`] — a [`std::net::TcpListener`]-based HTTP/1.1 frontend with a
-//!   hand-rolled parser ([`http`]), accepting JSON prediction requests and a
-//!   `/stats` endpoint.
+//!   hand-rolled parser ([`http`]), accepting JSON prediction requests plus
+//!   `/stats` (JSON) and `/metrics` (Prometheus-style text exposition backed
+//!   by the [`hls_gnn_obs`] registry — `/stats` reads the very same metrics,
+//!   so the two endpoints cannot disagree).
 //! * [`queue`] — the bounded coalescing queue: concurrent in-flight requests
 //!   are drained into one fused micro-batch, so serving amortises tape
 //!   construction exactly like training does (PR 3's `GraphBatch` engine,

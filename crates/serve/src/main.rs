@@ -52,7 +52,8 @@ fn main() {
             println!(
                 "usage: hls-gnn-serve <model.json|model.hgns> | --demo\n\n\
                  Serves a trained predictor snapshot (JSON or binary) over HTTP.\n\
-                 Routes: POST /predict, GET /stats, GET /healthz, POST /shutdown.\n\
+                 Routes: POST /predict, GET /stats, GET /metrics, GET /healthz,\n\
+                 POST /shutdown.\n\
                  Env: HLSGNN_SERVE_HOST, HLSGNN_SERVE_PORT, HLSGNN_SERVE_WORKERS,\n\
                  HLSGNN_SERVE_CACHE, HLSGNN_SERVE_QUEUE, HLSGNN_SERVE_COALESCE."
             );
@@ -89,7 +90,7 @@ fn main() {
         stats.queue_bound,
         stats.cache.capacity,
     );
-    println!("routes: POST /predict, GET /stats, GET /healthz, POST /shutdown");
+    println!("routes: POST /predict, GET /stats, GET /metrics, GET /healthz, POST /shutdown");
 
     server.wait();
     println!("shutdown requested; draining the queue ...");

@@ -76,17 +76,21 @@ pub struct CacheStatsBody {
     pub evictions: u64,
 }
 
-/// Latency section of [`StatsResponse`], over a sliding window of recent
-/// requests.
+/// Latency section of [`StatsResponse`], read from the service's
+/// `hlsgnn_serve_latency_us` registry histogram (the same series `/metrics`
+/// exposes, so the two endpoints cannot disagree). Percentiles are bucketed:
+/// each reads as the upper bound of its log-linear bucket (within ~25%),
+/// clamped to the exact observed maximum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatencyStatsBody {
-    /// Requests the percentiles are computed over.
+    /// Requests the percentiles are computed over — every request ever
+    /// served, not a sliding window.
     pub window: usize,
     /// Median latency, microseconds.
     pub p50_us: u64,
     /// 99th-percentile latency, microseconds.
     pub p99_us: u64,
-    /// Worst latency in the window, microseconds.
+    /// Worst latency observed, microseconds.
     pub max_us: u64,
 }
 

@@ -7,6 +7,7 @@
 //! |------------------|------------------------------------------------------|
 //! | `POST /predict`  | Predict one design (graph payload or kernel name).   |
 //! | `GET /stats`     | Queue / cache / latency counters as JSON.            |
+//! | `GET /metrics`   | Prometheus-style text exposition of every metric.    |
 //! | `GET /healthz`   | Liveness probe.                                      |
 //! | `POST /shutdown` | Graceful stop: the accept loop exits, `wait` returns.|
 //!
@@ -22,7 +23,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request, write_response, Request, CONTENT_TYPE_JSON, CONTENT_TYPE_METRICS};
 use crate::protocol::{ErrorResponse, PredictRequest, PredictResponse};
 use crate::service::{ServeError, ServiceHandle};
 
@@ -131,14 +132,21 @@ fn handle_connection(
             Ok(None) => return Ok(()), // peer closed a keep-alive connection
             Err(error) if error.kind() == io::ErrorKind::InvalidData => {
                 let body = error_body(&error.to_string());
-                write_response(&mut writer, 400, body.as_bytes(), false, None)?;
+                write_response(&mut writer, 400, CONTENT_TYPE_JSON, body.as_bytes(), false, None)?;
                 return Ok(());
             }
             Err(error) => return Err(error),
         };
         let keep_alive = !request.wants_close();
-        let (status, body, retry_after) = route(service, shutdown, addr, &request);
-        write_response(&mut writer, status, body.as_bytes(), keep_alive, retry_after)?;
+        let reply = route(service, shutdown, addr, &request);
+        write_response(
+            &mut writer,
+            reply.status,
+            reply.content_type,
+            reply.body.as_bytes(),
+            keep_alive,
+            reply.retry_after,
+        )?;
         if !keep_alive || shutdown.load(Ordering::SeqCst) {
             return Ok(());
         }
@@ -150,43 +158,63 @@ fn error_body(message: &str) -> String {
         .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_owned())
 }
 
-/// Dispatches one request; returns `(status, json body, retry-after)`.
+/// One routed response: status, content type, body, optional `Retry-After`.
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    retry_after: Option<u32>,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply { status, content_type: CONTENT_TYPE_JSON, body, retry_after: None }
+    }
+}
+
+/// Dispatches one request.
 fn route(
     service: &ServiceHandle,
     shutdown: &Arc<AtomicBool>,
     addr: SocketAddr,
     request: &Request,
-) -> (u16, String, Option<u32>) {
+) -> Reply {
     match (request.method.as_str(), request.target.as_str()) {
         ("GET", "/healthz") => {
-            (200, format!("{{\"status\":\"ok\",\"model\":{:?}}}", service.model_name()), None)
+            Reply::json(200, format!("{{\"status\":\"ok\",\"model\":{:?}}}", service.model_name()))
         }
         ("GET", "/stats") => match serde_json::to_string_pretty(&service.stats()) {
-            Ok(body) => (200, body, None),
-            Err(error) => (500, error_body(&error.to_string()), None),
+            Ok(body) => Reply::json(200, body),
+            Err(error) => Reply::json(500, error_body(&error.to_string())),
+        },
+        ("GET", "/metrics") => Reply {
+            status: 200,
+            content_type: CONTENT_TYPE_METRICS,
+            body: service.render_metrics(),
+            retry_after: None,
         },
         ("POST", "/predict") => predict_route(service, request),
         ("POST", "/shutdown") => {
             shutdown.store(true, Ordering::SeqCst);
             poke(addr); // unblock the accept loop so `wait` returns
-            (200, "{\"status\":\"shutting down\"}".to_owned(), None)
+            Reply::json(200, "{\"status\":\"shutting down\"}".to_owned())
         }
-        (_, "/predict" | "/shutdown" | "/stats" | "/healthz") => {
-            (405, error_body("wrong method for this route"), None)
+        (_, "/predict" | "/shutdown" | "/stats" | "/metrics" | "/healthz") => {
+            Reply::json(405, error_body("wrong method for this route"))
         }
-        (_, target) => (404, error_body(&format!("no such route `{target}`")), None),
+        (_, target) => Reply::json(404, error_body(&format!("no such route `{target}`"))),
     }
 }
 
-fn predict_route(service: &ServiceHandle, request: &Request) -> (u16, String, Option<u32>) {
+fn predict_route(service: &ServiceHandle, request: &Request) -> Reply {
     let text = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
-        Err(_) => return (400, error_body("request body is not valid UTF-8"), None),
+        Err(_) => return Reply::json(400, error_body("request body is not valid UTF-8")),
     };
     let parsed: PredictRequest = match serde_json::from_str(text) {
         Ok(parsed) => parsed,
         Err(error) => {
-            return (400, error_body(&format!("malformed predict request: {error}")), None)
+            return Reply::json(400, error_body(&format!("malformed predict request: {error}")))
         }
     };
     match service.predict_request(&parsed) {
@@ -199,8 +227,8 @@ fn predict_route(service: &ServiceHandle, request: &Request) -> (u16, String, Op
                 latency_us: u64::try_from(served.latency.as_micros()).unwrap_or(u64::MAX),
             };
             match serde_json::to_string(&response) {
-                Ok(body) => (200, body, None),
-                Err(error) => (500, error_body(&error.to_string()), None),
+                Ok(body) => Reply::json(200, body),
+                Err(error) => Reply::json(500, error_body(&error.to_string())),
             }
         }
         Err(error) => {
@@ -209,8 +237,9 @@ fn predict_route(service: &ServiceHandle, request: &Request) -> (u16, String, Op
                 ServeError::BadRequest(_) => 400,
                 ServeError::Model(_) => 500,
             };
-            let retry_after = (status == 503).then_some(1);
-            (status, error_body(&error.to_string()), retry_after)
+            let mut reply = Reply::json(status, error_body(&error.to_string()));
+            reply.retry_after = (status == 503).then_some(1);
+            reply
         }
     }
 }

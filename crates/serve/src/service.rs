@@ -24,7 +24,6 @@
 //!   whether the cache was involved.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -35,6 +34,7 @@ use hls_gnn_core::persist::SavedPredictor;
 use hls_gnn_core::predictor::Predictor;
 use hls_gnn_core::runtime::BatchConfig;
 use hls_gnn_core::task::TargetMetric;
+use hls_gnn_obs::{Counter, Gauge, Histogram, Registry};
 use hls_ir::graph::GraphKind;
 use hls_sim::FpgaDevice;
 
@@ -178,52 +178,59 @@ struct Job {
     reply: mpsc::Sender<Result<Served, ServeError>>,
 }
 
-#[derive(Default)]
-struct Counters {
-    requests: AtomicU64,
-    served: AtomicU64,
-    shed: AtomicU64,
-    errors: AtomicU64,
+/// Coalesce-width buckets: exact up to 8, then coarser (widths are small
+/// integers bounded by the fusion width).
+const WIDTH_BUCKETS: [u64; 12] = [1, 2, 3, 4, 5, 6, 7, 8, 16, 32, 64, 128];
+
+/// The service's metric handles, all registered in its per-service
+/// [`Registry`] under a `model` label. `/stats` is computed from these same
+/// atomics, so the two endpoints can never disagree.
+struct ServeMetrics {
+    requests: Arc<Counter>,
+    served: Arc<Counter>,
+    shed: Arc<Counter>,
+    errors: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_evictions: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    queue_wait_us: Arc<Histogram>,
+    coalesce_width: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    queue_bound: Arc<Gauge>,
+    cache_entries: Arc<Gauge>,
+    cache_capacity: Arc<Gauge>,
+    workers: Arc<Gauge>,
 }
 
-/// Sliding window of recent request latencies (microseconds).
-struct LatencyWindow {
-    samples: Vec<u64>,
-    next: usize,
-}
-
-impl LatencyWindow {
-    const CAPACITY: usize = 4096;
-
-    fn new() -> Self {
-        LatencyWindow { samples: Vec::new(), next: 0 }
+impl ServeMetrics {
+    fn register(registry: &Registry, model: &str) -> Self {
+        let labels: &[(&str, &str)] = &[("model", model)];
+        ServeMetrics {
+            requests: registry.counter("hlsgnn_serve_requests_total", labels),
+            served: registry.counter("hlsgnn_serve_served_total", labels),
+            shed: registry.counter("hlsgnn_serve_shed_total", labels),
+            errors: registry.counter("hlsgnn_serve_errors_total", labels),
+            cache_hits: registry.counter("hlsgnn_serve_cache_hits_total", labels),
+            cache_misses: registry.counter("hlsgnn_serve_cache_misses_total", labels),
+            cache_evictions: registry.counter("hlsgnn_serve_cache_evictions_total", labels),
+            latency_us: registry.histogram("hlsgnn_serve_latency_us", labels),
+            queue_wait_us: registry.histogram("hlsgnn_serve_queue_wait_us", labels),
+            coalesce_width: registry.histogram_with(
+                "hlsgnn_serve_coalesce_width",
+                labels,
+                &WIDTH_BUCKETS,
+            ),
+            queue_depth: registry.gauge("hlsgnn_serve_queue_depth", labels),
+            queue_bound: registry.gauge("hlsgnn_serve_queue_bound", labels),
+            cache_entries: registry.gauge("hlsgnn_serve_cache_entries", labels),
+            cache_capacity: registry.gauge("hlsgnn_serve_cache_capacity", labels),
+            workers: registry.gauge("hlsgnn_serve_workers", labels),
+        }
     }
 
-    fn record(&mut self, micros: u64) {
-        if self.samples.len() < Self::CAPACITY {
-            self.samples.push(micros);
-        } else {
-            self.samples[self.next] = micros;
-        }
-        self.next = (self.next + 1) % Self::CAPACITY;
-    }
-
-    fn summary(&self) -> LatencyStatsBody {
-        if self.samples.is_empty() {
-            return LatencyStatsBody { window: 0, p50_us: 0, p99_us: 0, max_us: 0 };
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let percentile = |p: f64| -> u64 {
-            let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
-            sorted[rank - 1]
-        };
-        LatencyStatsBody {
-            window: sorted.len(),
-            p50_us: percentile(0.50),
-            p99_us: percentile(0.99),
-            max_us: *sorted.last().expect("non-empty"),
-        }
+    fn record_latency(&self, latency: Duration) {
+        self.latency_us.record(u64::try_from(latency.as_micros()).unwrap_or(u64::MAX));
     }
 }
 
@@ -233,21 +240,14 @@ struct ServiceInner {
     spec: String,
     queue: CoalescingQueue<Job>,
     cache: Mutex<PredictionCache>,
-    counters: Counters,
-    latency: Mutex<LatencyWindow>,
+    registry: Arc<Registry>,
+    metrics: ServeMetrics,
     kernel_samples: Mutex<HashMap<String, GraphSample>>,
     batch: BatchConfig,
     coalesce_width: usize,
     node_budget: usize,
     workers: usize,
     worker_delay: Duration,
-}
-
-impl ServiceInner {
-    fn record_latency(&self, latency: Duration) {
-        let micros = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        self.latency.lock().expect("latency lock poisoned").record(micros);
-    }
 }
 
 /// Handle to a running in-process prediction service. Cloneable; all clones
@@ -283,14 +283,26 @@ impl ServiceHandle {
         } else {
             config.workers
         };
+        let model = probe.spec().name();
+        // A per-service registry keeps counters exact when several services
+        // share a process (each test boots its own); `/metrics` renders this
+        // registry plus the process-global one.
+        let registry = Arc::new(Registry::new());
+        let metrics = ServeMetrics::register(&registry, &model);
+        let cache = PredictionCache::with_counters(
+            config.cache_capacity,
+            Arc::clone(&metrics.cache_hits),
+            Arc::clone(&metrics.cache_misses),
+            Arc::clone(&metrics.cache_evictions),
+        );
         let inner = Arc::new(ServiceInner {
-            model: probe.spec().name(),
+            model,
             spec: probe.spec().id(),
             snapshot,
             queue: CoalescingQueue::new(config.queue_bound),
-            cache: Mutex::new(PredictionCache::new(config.cache_capacity)),
-            counters: Counters::default(),
-            latency: Mutex::new(LatencyWindow::new()),
+            cache: Mutex::new(cache),
+            registry,
+            metrics,
             kernel_samples: Mutex::new(HashMap::new()),
             batch,
             coalesce_width,
@@ -330,22 +342,22 @@ impl ServiceHandle {
             // work) — shed and refused requests have their own counters, so
             // the /stats identities `requests = served + in flight` and
             // `shed ∉ requests` hold.
-            self.inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.requests.inc();
             let latency = admitted.elapsed();
-            self.inner.record_latency(latency);
-            self.inner.counters.served.fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.record_latency(latency);
+            self.inner.metrics.served.inc();
             return Ok(Served { prediction, cached: true, coalesced: 0, latency });
         }
         let (reply, receiver) = mpsc::channel();
         let job = Job { sample, fingerprint, enqueued: admitted, reply };
         self.inner.queue.try_submit(job).map_err(|rejected| match rejected {
             SubmitError::Full(_) => {
-                self.inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+                self.inner.metrics.shed.inc();
                 ServeError::Overloaded { queue_bound: self.inner.queue.bound() }
             }
             SubmitError::Closed(_) => ServeError::ShuttingDown,
         })?;
-        self.inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.requests.inc();
         // A dropped sender (worker gone mid-shutdown) reads as shutdown.
         receiver.recv().unwrap_or(Err(ServeError::ShuttingDown))
     }
@@ -411,7 +423,8 @@ impl ServiceHandle {
         Ok((name.to_owned(), sample))
     }
 
-    /// A point-in-time stats snapshot (the `/stats` document).
+    /// A point-in-time stats snapshot (the `/stats` document), read from the
+    /// same registry metrics `/metrics` renders.
     pub fn stats(&self) -> StatsResponse {
         let cache = self.inner.cache.lock().expect("cache lock");
         let counters = cache.counters();
@@ -423,6 +436,13 @@ impl ServiceHandle {
             evictions: counters.evictions,
         };
         drop(cache);
+        let metrics = &self.inner.metrics;
+        let latency = LatencyStatsBody {
+            window: usize::try_from(metrics.latency_us.count()).unwrap_or(usize::MAX),
+            p50_us: metrics.latency_us.quantile(0.50),
+            p99_us: metrics.latency_us.quantile(0.99),
+            max_us: metrics.latency_us.max_value(),
+        };
         StatsResponse {
             model: self.inner.model.clone(),
             spec: self.inner.spec.clone(),
@@ -431,13 +451,37 @@ impl ServiceHandle {
             node_budget: self.inner.node_budget,
             queue_depth: self.inner.queue.len(),
             queue_bound: self.inner.queue.bound(),
-            requests: self.inner.counters.requests.load(Ordering::Relaxed),
-            served: self.inner.counters.served.load(Ordering::Relaxed),
-            shed: self.inner.counters.shed.load(Ordering::Relaxed),
-            errors: self.inner.counters.errors.load(Ordering::Relaxed),
+            requests: metrics.requests.get(),
+            served: metrics.served.get(),
+            shed: metrics.shed.get(),
+            errors: metrics.errors.get(),
             cache: cache_body,
-            latency: self.inner.latency.lock().expect("latency lock").summary(),
+            latency,
         }
+    }
+
+    /// Renders the `/metrics` document: this service's registry (with the
+    /// point-in-time gauges refreshed at scrape time) followed by the
+    /// process-global registry (training, flow and DSE metrics).
+    pub fn render_metrics(&self) -> String {
+        let metrics = &self.inner.metrics;
+        metrics.queue_depth.set(i64::try_from(self.inner.queue.len()).unwrap_or(i64::MAX));
+        metrics.queue_bound.set(i64::try_from(self.inner.queue.bound()).unwrap_or(i64::MAX));
+        metrics.workers.set(i64::try_from(self.inner.workers).unwrap_or(i64::MAX));
+        {
+            let cache = self.inner.cache.lock().expect("cache lock");
+            metrics.cache_entries.set(i64::try_from(cache.len()).unwrap_or(i64::MAX));
+            metrics.cache_capacity.set(i64::try_from(cache.capacity()).unwrap_or(i64::MAX));
+        }
+        let mut text = self.inner.registry.render();
+        text.push_str(&hls_gnn_obs::global().render());
+        text
+    }
+
+    /// This service's private metrics registry (the one `/metrics` renders
+    /// ahead of the process-global registry).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.inner.registry
     }
 
     /// The model name in paper notation (e.g. `"RGCN-I"`).
@@ -470,10 +514,20 @@ fn worker_loop(inner: &ServiceInner) {
         let taken_nodes: usize = taken.iter().map(|job| job.sample.num_nodes()).sum();
         taken.len() < width && taken_nodes + next.sample.num_nodes() <= budget
     }) {
+        let coalesced = batch.len();
+        inner.metrics.coalesce_width.record(coalesced as u64);
+        for job in &batch {
+            // Queue wait: admission to pick-up (the artificial delay below is
+            // processing time, not waiting).
+            let waited = job.enqueued.elapsed();
+            inner
+                .metrics
+                .queue_wait_us
+                .record(u64::try_from(waited.as_micros()).unwrap_or(u64::MAX));
+        }
         if !inner.worker_delay.is_zero() {
             std::thread::sleep(inner.worker_delay);
         }
-        let coalesced = batch.len();
         let mut samples = Vec::with_capacity(coalesced);
         let mut metas = Vec::with_capacity(coalesced);
         for job in batch {
@@ -486,12 +540,12 @@ fn worker_loop(inner: &ServiceInner) {
                 Ok(prediction) => {
                     inner.cache.lock().expect("cache lock").insert(fingerprint, prediction);
                     let latency = enqueued.elapsed();
-                    inner.record_latency(latency);
-                    inner.counters.served.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.record_latency(latency);
+                    inner.metrics.served.inc();
                     Ok(Served { prediction, cached: false, coalesced, latency })
                 }
                 Err(error) => {
-                    inner.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.errors.inc();
                     Err(ServeError::Model(error))
                 }
             };

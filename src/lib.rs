@@ -18,6 +18,10 @@
 //! - [`hls_gnn_serve`]: the serving subsystem — an HTTP frontend, request
 //!   coalescing onto fused tapes, sharded workers and a prediction cache
 //!   over trained snapshots.
+//! - [`hls_gnn_obs`]: the observability layer — a lock-free metrics
+//!   registry (counters, gauges, bucketed histograms with quantile
+//!   readout), RAII stage spans with an optional `HLSGNN_TRACE` JSONL
+//!   sink, and the Prometheus-style text exposition behind `/metrics`.
 //! - [`hls_gnn_dse`]: the design-space exploration subsystem — typed knob
 //!   spaces over kernel templates, pluggable search strategies (exhaustive,
 //!   random, annealing, NSGA-II) and Pareto/hypervolume machinery over the
@@ -49,6 +53,7 @@ pub use gnn_tensor;
 pub use hls_gnn_analyze;
 pub use hls_gnn_core;
 pub use hls_gnn_dse;
+pub use hls_gnn_obs;
 pub use hls_gnn_serve;
 pub use hls_gnn_store;
 pub use hls_ir;

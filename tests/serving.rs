@@ -211,6 +211,84 @@ fn sample_fingerprints_are_canonical_and_perturbation_sensitive() {
     }
 }
 
+/// Reads the value of one exposed series from a Prometheus-style text
+/// exposition: the line starting `name{` (any label set) or bare `name `.
+fn metric_value(exposition: &str, name: &str) -> Option<f64> {
+    exposition
+        .lines()
+        .find(|line| {
+            line.strip_prefix(name)
+                .is_some_and(|rest| rest.starts_with('{') || rest.starts_with(' '))
+        })
+        .and_then(|line| line.rsplit(' ').next())
+        .and_then(|value| value.parse().ok())
+}
+
+/// Satellite: `/metrics` and `/stats` read the same registry, so every
+/// counter and gauge the JSON document reports must appear in the text
+/// exposition with the same value — including cache evictions (forced here
+/// with an undersized cache) and the queue-depth/cache gauges.
+#[test]
+fn metrics_exposition_agrees_with_the_stats_document() {
+    let dataset = corpus(10, 17);
+    let split = dataset.split(0.7, 0.15, 1);
+    let predictor = trained("base/gcn", &split);
+    // Capacity 4 against 10 distinct requests forces LRU evictions.
+    let config =
+        ServeConfig { workers: 2, cache_capacity: 4, queue_bound: 32, ..ServeConfig::default() };
+    let service =
+        ServiceHandle::start(predictor.snapshot().expect("snapshot"), &config).expect("starts");
+    let server = HttpServer::bind(service.clone(), "127.0.0.1:0").expect("binds");
+    let mut client = HttpClient::new(server.local_addr());
+
+    for sample in &dataset.samples {
+        let body = serde_json::to_string(&PredictRequest::for_sample(sample)).expect("request");
+        assert_eq!(client.post("/predict", &body).expect("predict").status, 200);
+    }
+    // A second pass over the first few samples: they were evicted by the
+    // later ones (LRU, capacity 4 < 10), so these re-miss and re-evict.
+    for sample in &dataset.samples[..3] {
+        let body = serde_json::to_string(&PredictRequest::for_sample(sample)).expect("request");
+        assert_eq!(client.post("/predict", &body).expect("predict").status, 200);
+    }
+
+    let stats: StatsResponse =
+        serde_json::from_str(&client.get("/stats").expect("stats").body).expect("stats parse");
+    let metrics = client.get("/metrics").expect("metrics").body;
+
+    assert!(stats.cache.evictions > 0, "an undersized cache must evict");
+    for (name, expected) in [
+        ("hlsgnn_serve_requests_total", stats.requests as f64),
+        ("hlsgnn_serve_served_total", stats.served as f64),
+        ("hlsgnn_serve_shed_total", stats.shed as f64),
+        ("hlsgnn_serve_errors_total", stats.errors as f64),
+        ("hlsgnn_serve_cache_hits_total", stats.cache.hits as f64),
+        ("hlsgnn_serve_cache_misses_total", stats.cache.misses as f64),
+        ("hlsgnn_serve_cache_evictions_total", stats.cache.evictions as f64),
+        ("hlsgnn_serve_latency_us_count", stats.latency.window as f64),
+        ("hlsgnn_serve_queue_depth", stats.queue_depth as f64),
+        ("hlsgnn_serve_queue_bound", stats.queue_bound as f64),
+        ("hlsgnn_serve_cache_entries", stats.cache.entries as f64),
+        ("hlsgnn_serve_cache_capacity", stats.cache.capacity as f64),
+        ("hlsgnn_serve_workers", stats.workers as f64),
+    ] {
+        assert_eq!(
+            metric_value(&metrics, name),
+            Some(expected),
+            "`{name}` must match /stats; exposition:\n{metrics}"
+        );
+    }
+    // The exposition is typed and label-scoped to the served model.
+    assert!(metrics.contains("# TYPE hlsgnn_serve_latency_us histogram"));
+    assert!(metrics.contains("hlsgnn_serve_requests_total{model=\"GCN\"}"));
+    // The process-global registry rides along: this test's in-process
+    // training recorded epochs there.
+    assert!(metrics.contains("hlsgnn_train_epochs_total"));
+
+    service.shutdown();
+    server.shutdown();
+}
+
 /// Admission control: with one deliberately slowed worker and a queue bound
 /// of 1, concurrent requests beyond the bound are shed with
 /// [`ServeError::Overloaded`] and counted in the stats.
