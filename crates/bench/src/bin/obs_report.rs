@@ -1,75 +1,25 @@
 //! Summarises a JSONL trace (written by `HLSGNN_TRACE=<path>`) into a
 //! per-stage time breakdown: `results/obs_report.json` plus a table on
-//! stdout.
+//! stdout. With `--chrome <out.json>` it instead converts the trace into the
+//! Chrome `trace_event` array format, loadable in chrome://tracing or
+//! Perfetto.
 //!
 //! ```text
 //! HLSGNN_TRACE=trace.jsonl cargo run -p hls-gnn-bench --bin train_predict
 //! cargo run -p hls-gnn-bench --bin obs_report -- trace.jsonl
+//! cargo run -p hls-gnn-bench --bin obs_report -- trace.jsonl --chrome trace_chrome.json
 //! ```
 //!
-//! The trace format is the one `hls_gnn_obs::trace` writes — one JSON object
-//! per line with `span`, `thread`, `depth`, `start_us`, `dur_us` and optional
-//! `args`. The offline serde_json shim has no dynamic `Value` type, so the
-//! fields are pulled out with a small scanner over that exact shape.
+//! Both modes also accept a flight-recorder dump (`results/flightrec.json`):
+//! its array brackets are skipped as unparseable lines and its event objects
+//! share the sink's schema. Parsing lives in
+//! [`hls_gnn_bench::trace_report`]; see there for the scanner details.
 
 use std::collections::BTreeMap;
 
+use hls_gnn_bench::trace_report::{chrome_trace, parse_trace, Event};
 use hls_gnn_bench::write_report;
 use serde::Serialize;
-
-/// One parsed trace event (the fields the report consumes).
-struct Event {
-    span: String,
-    thread: String,
-    depth: u64,
-    start_us: u64,
-    dur_us: u64,
-}
-
-/// Extracts the JSON string value following `"<key>":"`, unescaping the
-/// writer's escape set.
-fn string_field(line: &str, key: &str) -> Option<String> {
-    let marker = format!("\"{key}\":\"");
-    let start = line.find(&marker)? + marker.len();
-    let mut value = String::new();
-    let mut chars = line[start..].chars();
-    while let Some(ch) = chars.next() {
-        match ch {
-            '"' => return Some(value),
-            '\\' => match chars.next()? {
-                'n' => value.push('\n'),
-                'r' => value.push('\r'),
-                't' => value.push('\t'),
-                'u' => {
-                    let code: String = chars.by_ref().take(4).collect();
-                    let code = u32::from_str_radix(&code, 16).ok()?;
-                    value.push(char::from_u32(code)?);
-                }
-                escaped => value.push(escaped),
-            },
-            ch => value.push(ch),
-        }
-    }
-    None
-}
-
-/// Extracts the unsigned number following `"<key>":`.
-fn number_field(line: &str, key: &str) -> Option<u64> {
-    let marker = format!("\"{key}\":");
-    let start = line.find(&marker)? + marker.len();
-    let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
-    digits.parse().ok()
-}
-
-fn parse_event(line: &str) -> Option<Event> {
-    Some(Event {
-        span: string_field(line, "span")?,
-        thread: string_field(line, "thread")?,
-        depth: number_field(line, "depth")?,
-        start_us: number_field(line, "start_us")?,
-        dur_us: number_field(line, "dur_us")?,
-    })
-}
 
 /// Aggregated timings for one stage name.
 #[derive(Debug, Serialize)]
@@ -97,12 +47,33 @@ struct ObsReport {
     stages: Vec<StageRow>,
 }
 
+fn usage() -> ! {
+    eprintln!("usage: obs_report <trace.jsonl> [--chrome <out.json>]  (or set HLSGNN_TRACE)");
+    std::process::exit(2);
+}
+
 fn main() {
-    let path = std::env::args().nth(1).or_else(|| std::env::var("HLSGNN_TRACE").ok());
-    let Some(path) = path.filter(|path| !path.trim().is_empty()) else {
-        eprintln!("usage: obs_report <trace.jsonl>  (or set HLSGNN_TRACE)");
-        std::process::exit(2);
-    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_path: Option<String> = None;
+    let mut chrome_path: Option<String> = None;
+    let mut index = 0;
+    while index < args.len() {
+        match args[index].as_str() {
+            "--chrome" => {
+                index += 1;
+                match args.get(index) {
+                    Some(path) => chrome_path = Some(path.clone()),
+                    None => usage(),
+                }
+            }
+            flag if flag.starts_with("--") => usage(),
+            path if trace_path.is_none() => trace_path = Some(path.to_owned()),
+            _ => usage(),
+        }
+        index += 1;
+    }
+    let path = trace_path.or_else(|| std::env::var("HLSGNN_TRACE").ok());
+    let Some(path) = path.filter(|path| !path.trim().is_empty()) else { usage() };
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
         Err(error) => {
@@ -111,14 +82,7 @@ fn main() {
         }
     };
 
-    let mut events = Vec::new();
-    let mut skipped = 0usize;
-    for line in text.lines().filter(|line| !line.trim().is_empty()) {
-        match parse_event(line) {
-            Some(event) => events.push(event),
-            None => skipped += 1,
-        }
-    }
+    let (events, skipped) = parse_trace(&text);
     if skipped > 0 {
         eprintln!("obs_report: skipped {skipped} unparseable line(s)");
     }
@@ -127,27 +91,49 @@ fn main() {
         std::process::exit(1);
     }
 
+    if let Some(out_path) = chrome_path {
+        let json = chrome_trace(&events);
+        if let Err(error) = std::fs::write(&out_path, json) {
+            eprintln!("obs_report: cannot write `{out_path}`: {error}");
+            std::process::exit(2);
+        }
+        println!(
+            "wrote {out_path}: {} trace_event record(s) from {} span event(s)",
+            events.len()
+                + events
+                    .iter()
+                    .map(|event| event.thread.as_str())
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len(),
+            events.len()
+        );
+        return;
+    }
+
     let mut per_stage: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new(); // count, total, max
     let mut threads: Vec<String> = Vec::new();
     let mut first_start = u64::MAX;
     let mut last_end = 0u64;
     let mut top_level_us = 0u64;
     for event in &events {
-        let entry = per_stage.entry(&event.span).or_insert((0, 0, 0));
+        let Event { span, thread, depth, start_us, dur_us, .. } = event;
+        let entry = per_stage.entry(span).or_insert((0, 0, 0));
         entry.0 += 1;
-        entry.1 += event.dur_us;
-        entry.2 = entry.2.max(event.dur_us);
-        if !threads.contains(&event.thread) {
-            threads.push(event.thread.clone());
+        entry.1 += dur_us;
+        entry.2 = entry.2.max(*dur_us);
+        if !threads.contains(thread) {
+            threads.push(thread.clone());
         }
-        first_start = first_start.min(event.start_us);
-        last_end = last_end.max(event.start_us.saturating_add(event.dur_us));
-        if event.depth == 1 {
-            top_level_us += event.dur_us;
+        first_start = first_start.min(*start_us);
+        last_end = last_end.max(start_us.saturating_add(*dur_us));
+        if *depth == 1 {
+            top_level_us += dur_us;
         }
     }
 
-    let mut stages: Vec<StageRow> = per_stage
+    // Rows sorted by stage name: deterministic for a given trace regardless
+    // of event order, so CI diffs against the checked-in report are stable.
+    let stages: Vec<StageRow> = per_stage
         .into_iter()
         .map(|(stage, (count, total_us, max_us))| StageRow {
             stage: stage.to_owned(),
@@ -162,7 +148,6 @@ fn main() {
             },
         })
         .collect();
-    stages.sort_by(|a, b| b.total_us.cmp(&a.total_us).then_with(|| a.stage.cmp(&b.stage)));
 
     println!("trace {path}: {} events on {} thread(s)", events.len(), threads.len());
     println!(

@@ -21,6 +21,10 @@ use hls_gnn_core::task::TargetMetric;
 use hls_progen::synthetic::ProgramFamily;
 
 fn main() {
+    // On panic the flight recorder dumps each thread's recent spans to
+    // stderr and this file — the training-side counterpart of the serve
+    // binary's hook.
+    hls_gnn_obs::install_panic_hook("results/flightrec.json");
     let mut args = std::env::args().skip(1);
     let spec_text = args.next().unwrap_or_else(|| "hier/rgcn".to_owned());
     let snapshot_path = args.next().unwrap_or_else(|| "results/predictor.json".to_owned());

@@ -1,5 +1,7 @@
 //! Shared helpers for the benchmark binaries.
 
+pub mod trace_report;
+
 use std::str::FromStr;
 
 use gnn::GnnKind;

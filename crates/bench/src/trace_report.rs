@@ -1,0 +1,284 @@
+//! Shared trace parsing and Chrome-trace conversion for the report bins.
+//!
+//! The JSONL trace sink (`hls_gnn_obs::trace`) and the flight-recorder dump
+//! (`hls_gnn_obs::flight`) both emit one JSON object per line with `span`,
+//! `thread`, `depth`, `start_us`, `dur_us` and optional string-valued
+//! `args`. The offline serde_json shim has no dynamic `Value` type, so
+//! [`parse_event`] pulls the fields out with a small scanner over that exact
+//! shape (a flight dump's `[` / `]` array brackets simply fail to parse and
+//! are skipped by callers).
+//!
+//! [`chrome_trace`] converts parsed events into the `trace_event` JSON-array
+//! format understood by chrome://tracing and Perfetto: one complete event
+//! (`"ph":"X"`) per span with `pid`/`tid`/`ts`/`dur`/`name`/`args`, plus one
+//! `thread_name` metadata event (`"ph":"M"`) per thread so the viewer labels
+//! rows with real thread names. Threads are numbered in sorted-name order,
+//! so the output is deterministic for a given input.
+
+/// One parsed trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Span (stage) name.
+    pub span: String,
+    /// Recording thread's name.
+    pub thread: String,
+    /// Nesting depth at drop time (1 = top level).
+    pub depth: u64,
+    /// Start offset from the trace epoch, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Span arguments (string-valued, as written by the sink).
+    pub args: Vec<(String, String)>,
+}
+
+/// Extracts the JSON string value following `"<key>":"`, unescaping the
+/// writer's escape set.
+pub fn string_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    read_string(&mut line[start..].chars())
+}
+
+/// Reads a JSON string body (after the opening quote) until its closing
+/// quote, unescaping as it goes.
+fn read_string(chars: &mut std::str::Chars<'_>) -> Option<String> {
+    let mut value = String::new();
+    while let Some(ch) = chars.next() {
+        match ch {
+            '"' => return Some(value),
+            '\\' => match chars.next()? {
+                'n' => value.push('\n'),
+                'r' => value.push('\r'),
+                't' => value.push('\t'),
+                'u' => {
+                    let code: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&code, 16).ok()?;
+                    value.push(char::from_u32(code)?);
+                }
+                escaped => value.push(escaped),
+            },
+            ch => value.push(ch),
+        }
+    }
+    None
+}
+
+/// Extracts the unsigned number following `"<key>":`.
+pub fn number_field(line: &str, key: &str) -> Option<u64> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Parses the optional `"args":{"k":"v",…}` object (string values only —
+/// exactly what the sink writes).
+fn args_field(line: &str) -> Vec<(String, String)> {
+    let Some(start) = line.find("\"args\":{") else { return Vec::new() };
+    let mut chars = line[start + "\"args\":{".len()..].chars();
+    let mut args = Vec::new();
+    loop {
+        match chars.next() {
+            Some('"') => {
+                let Some(key) = read_string(&mut chars) else { return args };
+                // Skip the `:"` between key and value.
+                if chars.next() != Some(':') || chars.next() != Some('"') {
+                    return args;
+                }
+                let Some(value) = read_string(&mut chars) else { return args };
+                args.push((key, value));
+            }
+            Some(',') => continue,
+            _ => return args, // `}`, end of line, or malformed
+        }
+    }
+}
+
+/// Parses one trace line; `None` for anything that isn't a span event (blank
+/// lines, a flight dump's array brackets, foreign JSON).
+pub fn parse_event(line: &str) -> Option<Event> {
+    Some(Event {
+        span: string_field(line, "span")?,
+        thread: string_field(line, "thread")?,
+        depth: number_field(line, "depth")?,
+        start_us: number_field(line, "start_us")?,
+        dur_us: number_field(line, "dur_us")?,
+        args: args_field(line),
+    })
+}
+
+/// Parses a whole trace text, returning the events and the count of skipped
+/// (unparseable) non-blank lines.
+pub fn parse_trace(text: &str) -> (Vec<Event>, usize) {
+    let mut events = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines().filter(|line| !line.trim().is_empty()) {
+        match parse_event(line) {
+            Some(event) => events.push(event),
+            None => skipped += 1,
+        }
+    }
+    (events, skipped)
+}
+
+fn escape_into(out: &mut String, text: &str) {
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            ch if (ch as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", ch as u32)),
+            ch => out.push(ch),
+        }
+    }
+}
+
+/// Converts events to a Chrome `trace_event` JSON array (see module docs).
+pub fn chrome_trace(events: &[Event]) -> String {
+    // Stable thread numbering: sorted by name, 1-based tids.
+    let mut threads: Vec<&str> = events.iter().map(|event| event.thread.as_str()).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    let tid_of = |name: &str| threads.iter().position(|&t| t == name).unwrap_or(0) + 1;
+
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let mut push_sep = |out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+    };
+    for (index, thread) in threads.iter().enumerate() {
+        push_sep(&mut out);
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"",
+            index + 1
+        ));
+        escape_into(&mut out, thread);
+        out.push_str("\"}}");
+    }
+    for event in events {
+        push_sep(&mut out);
+        out.push_str(&format!(
+            "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"name\":\"",
+            tid_of(&event.thread),
+            event.start_us,
+            event.dur_us
+        ));
+        escape_into(&mut out, &event.span);
+        out.push_str("\",\"args\":{\"depth\":\"");
+        out.push_str(&event.depth.to_string());
+        out.push('"');
+        for (key, value) in &event.args {
+            out.push_str(",\"");
+            escape_into(&mut out, key);
+            out.push_str("\":\"");
+            escape_into(&mut out, value);
+            out.push('"');
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                span: "train_step".into(),
+                thread: "main".into(),
+                depth: 2,
+                start_us: 100,
+                dur_us: 40,
+                args: vec![("kernel".into(), "gemm".into())],
+            },
+            Event {
+                span: "serve_infer".into(),
+                thread: "w-0".into(),
+                depth: 1,
+                start_us: 150,
+                dur_us: 9,
+                args: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn parse_event_roundtrips_sink_lines() {
+        let line = r#"{"span":"lower","thread":"main","depth":2,"start_us":7,"dur_us":3,"args":{"kernel":"gemm","w":"4"}}"#;
+        let event = parse_event(line).expect("should parse");
+        assert_eq!(event.span, "lower");
+        assert_eq!(event.thread, "main");
+        assert_eq!(event.depth, 2);
+        assert_eq!(event.start_us, 7);
+        assert_eq!(event.dur_us, 3);
+        assert_eq!(
+            event.args,
+            vec![("kernel".to_owned(), "gemm".to_owned()), ("w".to_owned(), "4".to_owned())]
+        );
+        // Flight-dump array brackets and foreign lines are rejected, not
+        // misparsed.
+        assert!(parse_event("[").is_none());
+        assert!(parse_event("]").is_none());
+        assert!(parse_event(r#"{"loss":0.5}"#).is_none());
+    }
+
+    #[test]
+    fn parse_trace_counts_skipped_lines() {
+        let text =
+            "[\n{\"span\":\"a\",\"thread\":\"t\",\"depth\":1,\"start_us\":1,\"dur_us\":2}\n]\n";
+        let (events, skipped) = parse_trace(text);
+        assert_eq!(events.len(), 1);
+        assert_eq!(skipped, 2, "the array brackets are skipped, not events");
+    }
+
+    /// The `trace_event` format's required fields, per the Trace Event
+    /// Format spec: every event carries `ph`, `pid`, `tid` and `name`;
+    /// complete events (`"ph":"X"`) additionally carry `ts` and `dur`.
+    #[test]
+    fn chrome_trace_is_a_valid_trace_event_array() {
+        let json = chrome_trace(&sample_events());
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        let body: Vec<&str> = json
+            .lines()
+            .map(|line| line.trim_end_matches(','))
+            .filter(|line| line.starts_with('{'))
+            .collect();
+        // 2 thread_name metadata events + 2 complete events.
+        assert_eq!(body.len(), 4);
+        for object in &body {
+            assert!(object.ends_with('}'), "objects must be closed: {object}");
+            for key in ["\"ph\":", "\"pid\":", "\"tid\":", "\"name\":"] {
+                assert!(object.contains(key), "missing {key} in {object}");
+            }
+        }
+        let complete: Vec<&&str> =
+            body.iter().filter(|object| object.contains("\"ph\":\"X\"")).collect();
+        assert_eq!(complete.len(), 2);
+        for object in &complete {
+            assert!(object.contains("\"ts\":"), "complete events need ts: {object}");
+            assert!(object.contains("\"dur\":"), "complete events need dur: {object}");
+        }
+        assert!(json.contains("\"name\":\"train_step\""));
+        assert!(json.contains("\"kernel\":\"gemm\""));
+        assert!(json.contains("\"args\":{\"name\":\"w-0\"}"));
+        // Threads are numbered in sorted-name order: main=1, w-0=2.
+        assert!(json.contains("\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"main\"}"));
+        assert!(json.contains("\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":150"));
+    }
+
+    #[test]
+    fn chrome_trace_of_nothing_is_an_empty_array() {
+        let json = chrome_trace(&[]);
+        assert_eq!(json, "[\n\n]\n");
+    }
+}

@@ -124,6 +124,7 @@ impl FeatureEncoder {
     /// # Panics
     /// Panics if `type_override` is provided with the wrong length.
     pub fn encode(&self, sample: &GraphSample, type_override: Option<&[[f32; 3]]>) -> Var {
+        let assemble = gnn_tensor::profile::phase_timer(gnn_tensor::profile::Phase::Assemble);
         let n = sample.num_nodes();
         let node_type_ids: Vec<usize> = sample.node_features.iter().map(|f| f.node_type).collect();
         let bitwidth_ids: Vec<usize> =
@@ -139,6 +140,7 @@ impl FeatureEncoder {
                 _ => (feature.cluster_group as f32 / 32.0).clamp(-1.0, 8.0),
             }
         });
+        drop(assemble);
 
         let mut parts = vec![
             self.node_type.forward(&node_type_ids),
@@ -200,6 +202,7 @@ impl FeatureEncoder {
         if let Some(overrides) = type_overrides {
             assert_eq!(overrides.len(), samples.len(), "one type override per sample");
         }
+        let assemble = gnn_tensor::profile::phase_timer(gnn_tensor::profile::Phase::Assemble);
         let total_nodes: usize = samples.iter().map(|s| s.num_nodes()).sum();
         let mut node_type_ids = Vec::with_capacity(total_nodes);
         let mut bitwidth_ids = Vec::with_capacity(total_nodes);
@@ -223,6 +226,7 @@ impl FeatureEncoder {
                 row += 1;
             }
         }
+        drop(assemble);
 
         let mut parts = vec![
             self.node_type.forward(&node_type_ids),

@@ -112,8 +112,10 @@ impl GraphRegressor {
         rng: &mut StdRng,
     ) -> Var {
         assert!(!samples.is_empty(), "cannot run a fused forward pass on an empty batch");
+        let assemble = gnn_tensor::profile::phase_timer(gnn_tensor::profile::Phase::Assemble);
         let structures: Vec<&gnn::GraphData> = samples.iter().map(|s| &s.structure).collect();
         let batch = GraphBatch::fuse(&structures);
+        drop(assemble);
         let features = self.encoder.encode_batch(samples, type_overrides);
         let embeddings = self.stack.forward(batch.graph(), &features, training, rng);
         let pooled =

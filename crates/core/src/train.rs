@@ -241,9 +241,15 @@ pub fn train_regressor_source_with(
             let _step_span = hls_gnn_obs::span!("train_step");
             steps_total.inc();
             // The only window of samples alive at once: one mini-batch.
+            let fetch_timer = gnn_tensor::profile::phase_timer(gnn_tensor::profile::Phase::Fetch);
             let fetched: Vec<Cow<'_, GraphSample>> =
                 batch.iter().map(|&index| train.fetch(index)).collect::<crate::Result<_>>()?;
-            adam.zero_grad();
+            drop(fetch_timer);
+            {
+                let _zero_timer =
+                    gnn_tensor::profile::phase_timer(gnn_tensor::profile::Phase::Optimizer);
+                adam.zero_grad();
+            }
             if width == 1 {
                 // Legacy per-graph tapes (exact historical behaviour).
                 for sample in &fetched {
@@ -273,6 +279,8 @@ pub fn train_regressor_source_with(
                         loss.backward();
                         continue;
                     }
+                    let assemble_timer =
+                        gnn_tensor::profile::phase_timer(gnn_tensor::profile::Phase::Assemble);
                     let samples: Vec<&GraphSample> = chunk.iter().map(Cow::as_ref).collect();
                     let normalized: Vec<[f32; TargetMetric::COUNT]> =
                         samples.iter().map(|s| normalizer.normalize(&s.targets)).collect();
@@ -280,6 +288,7 @@ pub fn train_regressor_source_with(
                         Matrix::from_fn(samples.len(), TargetMetric::COUNT, |row, col| {
                             normalized[row][col]
                         });
+                    drop(assemble_timer);
                     let prediction = model.forward_batch(&samples, None, true, &mut rng);
                     // Batched MSE over the chunk × targets matrix: its mean
                     // equals the mean of the per-graph MSEs, so scaling by
@@ -290,11 +299,14 @@ pub fn train_regressor_source_with(
                     chunk_loss.scale(chunk.len() as f32 / batch.len() as f32).backward();
                 }
             }
+            let optim_timer =
+                gnn_tensor::profile::phase_timer(gnn_tensor::profile::Phase::Optimizer);
             clip_grad_norm(&params, config.grad_clip);
             adam.step();
             // The mini-batch's tapes are dead: recycle their buffers so the
             // next batch records into already-allocated arenas.
             gnn_tensor::tape::reset();
+            drop(optim_timer);
         }
         history.push(epoch_loss / train.len().max(1) as f64);
     }
@@ -393,9 +405,15 @@ pub fn train_node_classifier_source(
         for batch in order.chunks(config.batch_size) {
             let _step_span = hls_gnn_obs::span!("train_step");
             steps_total.inc();
+            let fetch_timer = gnn_tensor::profile::phase_timer(gnn_tensor::profile::Phase::Fetch);
             let fetched: Vec<Cow<'_, GraphSample>> =
                 batch.iter().map(|&index| train.fetch(index)).collect::<crate::Result<_>>()?;
-            adam.zero_grad();
+            drop(fetch_timer);
+            {
+                let _zero_timer =
+                    gnn_tensor::profile::phase_timer(gnn_tensor::profile::Phase::Optimizer);
+                adam.zero_grad();
+            }
             for sample in &fetched {
                 let sample: &GraphSample = sample;
                 let labels =
@@ -407,9 +425,12 @@ pub fn train_node_classifier_source(
                 epoch_loss += f64::from(loss.scalar_value()) * batch.len() as f64;
                 loss.backward();
             }
+            let optim_timer =
+                gnn_tensor::profile::phase_timer(gnn_tensor::profile::Phase::Optimizer);
             clip_grad_norm(&params, config.grad_clip);
             adam.step();
             gnn_tensor::tape::reset();
+            drop(optim_timer);
         }
         history.push(epoch_loss / train.len().max(1) as f64);
     }

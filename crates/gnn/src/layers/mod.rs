@@ -204,15 +204,18 @@ pub(crate) mod prop {
 
     /// Mean of incoming messages (zero for isolated nodes).
     pub(crate) fn propagate_mean(graph: &GraphData, h: &Var) -> Var {
+        let assemble = gnn_tensor::profile::phase_timer(gnn_tensor::profile::Phase::Assemble);
         let degrees = graph.in_degrees();
         let inverse: Vec<f32> =
             degrees.iter().map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 }).collect();
+        drop(assemble);
         propagate_sum(graph, h).scale_rows(&inverse)
     }
 
     /// Symmetrically normalised propagation with implicit self loops, the GCN
     /// propagation rule `D^{-1/2}(A+I)D^{-1/2} H`.
     pub(crate) fn propagate_gcn_norm(graph: &GraphData, h: &Var) -> Var {
+        let assemble = gnn_tensor::profile::phase_timer(gnn_tensor::profile::Phase::Assemble);
         let degrees = graph.in_degrees();
         let norm = |node: usize| 1.0 / ((degrees[node] + 1) as f32).sqrt();
         let edge_norm: Vec<f32> = (0..graph.edge_count())
@@ -220,6 +223,7 @@ pub(crate) mod prop {
             .collect();
         let self_norm: Vec<f32> =
             (0..graph.num_nodes).map(|node| norm(node) * norm(node)).collect();
+        drop(assemble);
         let neighbours = h
             .gather_rows(&graph.edge_src)
             .scale_rows(&edge_norm)

@@ -1,0 +1,340 @@
+//! Flight recorder: fixed-size per-thread rings of the most recent span
+//! events, kept at all times — even with no JSONL sink attached — so a crash
+//! can be turned into a timeline after the fact.
+//!
+//! Every [`crate::Span`] drop appends one event to its thread's ring (a few
+//! relaxed atomic stores; no locks, no allocation after the first span of a
+//! name on a thread). Rings are registered globally, so
+//! [`snapshot`] / [`dump_to_path`] can collect the last
+//! [`capacity`] events of *every* thread that ever recorded a span,
+//! including threads that have since exited.
+//!
+//! [`install_panic_hook`] chains onto the process panic hook: on panic the
+//! recorder dumps all rings to stderr and to a JSON file (conventionally
+//! `results/flightrec.json`) whose per-event objects use the same field
+//! names as the JSONL trace sink, so `obs_report` and
+//! `obs_report --chrome` consume flight dumps unchanged.
+//!
+//! Readers are best-effort by design: a thread that is still recording while
+//! another thread dumps may overwrite the oldest slot mid-read. Slots carry
+//! a release-published validity word, so a torn slot is dropped rather than
+//! misreported — exactly the right trade for a panic path that must never
+//! block or deadlock.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once, OnceLock};
+
+/// Environment variable sizing the per-thread ring (events). `0` disables
+/// the recorder entirely.
+pub const FLIGHTREC_ENV_VAR: &str = "HLSGNN_FLIGHTREC";
+
+/// Default events retained per thread.
+pub const DEFAULT_CAPACITY: usize = 128;
+
+/// One recovered span event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Thread name (or debug-formatted id) that recorded the span.
+    pub thread: String,
+    /// Span name.
+    pub span: String,
+    /// Nesting depth at drop time (1 = top level).
+    pub depth: u32,
+    /// Start offset from the trace epoch, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+}
+
+/// `meta` word: `(name_id + 1) << 32 | depth`; 0 = slot never written (or
+/// mid-write).
+struct Slot {
+    meta: AtomicU64,
+    start_us: AtomicU64,
+    dur_us: AtomicU64,
+}
+
+struct Ring {
+    thread: String,
+    /// Events ever written; the live window is the last `slots.len()`.
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Ring {
+    fn new(thread: String, capacity: usize) -> Ring {
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                meta: AtomicU64::new(0),
+                start_us: AtomicU64::new(0),
+                dur_us: AtomicU64::new(0),
+            })
+            .collect();
+        Ring { thread, head: AtomicU64::new(0), slots }
+    }
+
+    /// Owner-thread-only append: invalidate, fill, publish.
+    fn push(&self, name_id: u32, depth: u32, start_us: u64, dur_us: u64) {
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(head % self.slots.len() as u64) as usize];
+        slot.meta.store(0, Ordering::Release);
+        slot.start_us.store(start_us, Ordering::Relaxed);
+        slot.dur_us.store(dur_us, Ordering::Relaxed);
+        let meta = (u64::from(name_id) + 1) << 32 | u64::from(depth);
+        slot.meta.store(meta, Ordering::Release);
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    /// Best-effort read of the live window, oldest first.
+    fn collect(&self, names: &[&'static str], out: &mut Vec<FlightEvent>) {
+        let head = self.head.load(Ordering::Acquire);
+        let window = self.slots.len() as u64;
+        let start = head.saturating_sub(window);
+        for position in start..head {
+            let slot = &self.slots[(position % window) as usize];
+            let meta = slot.meta.load(Ordering::Acquire);
+            if meta == 0 {
+                continue; // never written, or being overwritten right now
+            }
+            let name_id = ((meta >> 32) - 1) as usize;
+            out.push(FlightEvent {
+                thread: self.thread.clone(),
+                span: names.get(name_id).copied().unwrap_or("?").to_owned(),
+                depth: (meta & u32::MAX as u64) as u32,
+                start_us: slot.start_us.load(Ordering::Relaxed),
+                dur_us: slot.dur_us.load(Ordering::Relaxed),
+            });
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Span-name intern table: names are `&'static str`, so the table only ever
+/// grows by distinct instrumentation sites.
+fn names() -> &'static Mutex<Vec<&'static str>> {
+    static NAMES: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn rings() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Per-thread ring capacity (`HLSGNN_FLIGHTREC`, read once; 0 disables).
+pub fn capacity() -> usize {
+    static CAPACITY: OnceLock<usize> = OnceLock::new();
+    *CAPACITY.get_or_init(|| match std::env::var(FLIGHTREC_ENV_VAR) {
+        Ok(raw) if !raw.trim().is_empty() => raw.trim().parse().unwrap_or_else(|_| {
+            eprintln!(
+                "warning: unrecognised {FLIGHTREC_ENV_VAR} value `{raw}`; \
+                     using the default ({DEFAULT_CAPACITY})"
+            );
+            DEFAULT_CAPACITY
+        }),
+        _ => DEFAULT_CAPACITY,
+    })
+}
+
+thread_local! {
+    static THREAD_RING: RefCell<Option<Arc<Ring>>> = const { RefCell::new(None) };
+    /// name → intern id, so the record path takes the global lock once per
+    /// distinct span name per thread.
+    static NAME_CACHE: RefCell<HashMap<&'static str, u32>> = RefCell::new(HashMap::new());
+}
+
+fn intern(name: &'static str) -> u32 {
+    NAME_CACHE.with(|cache| {
+        *cache.borrow_mut().entry(name).or_insert_with(|| {
+            let mut table = lock(names());
+            match table.iter().position(|&existing| existing == name) {
+                Some(index) => index as u32,
+                None => {
+                    table.push(name);
+                    (table.len() - 1) as u32
+                }
+            }
+        })
+    })
+}
+
+/// Records one span event into the calling thread's ring. Called from
+/// [`crate::Span`]'s drop; a no-op when the recorder is disabled
+/// (`HLSGNN_FLIGHTREC=0`).
+pub fn record(name: &'static str, depth: u32, start_us: u64, dur_us: u64) {
+    let cap = capacity();
+    if cap == 0 {
+        return;
+    }
+    let name_id = intern(name);
+    THREAD_RING.with(|holder| {
+        let mut holder = holder.borrow_mut();
+        let ring = holder.get_or_insert_with(|| {
+            let current = std::thread::current();
+            let thread = match current.name() {
+                Some(name) => name.to_owned(),
+                None => format!("{:?}", current.id()),
+            };
+            let ring = Arc::new(Ring::new(thread, cap));
+            lock(rings()).push(Arc::clone(&ring));
+            ring
+        });
+        ring.push(name_id, depth, start_us, dur_us);
+    });
+}
+
+/// Collects the retained events of every registered ring, oldest first
+/// (sorted by start offset, then thread).
+pub fn snapshot() -> Vec<FlightEvent> {
+    let names = lock(names()).clone();
+    let rings: Vec<Arc<Ring>> = lock(rings()).clone();
+    let mut events = Vec::new();
+    for ring in rings {
+        ring.collect(&names, &mut events);
+    }
+    events.sort_by(|a, b| a.start_us.cmp(&b.start_us).then_with(|| a.thread.cmp(&b.thread)));
+    events
+}
+
+/// Serialises `events` as a JSON array whose elements reuse the JSONL trace
+/// sink's field names, one object per line — the file is both valid JSON and
+/// line-scannable by `obs_report`.
+pub fn render_json(events: &[FlightEvent]) -> String {
+    let mut out = String::from("[\n");
+    for (index, event) in events.iter().enumerate() {
+        out.push_str("{\"span\":\"");
+        crate::trace::escape_into(&mut out, &event.span);
+        out.push_str("\",\"thread\":\"");
+        crate::trace::escape_into(&mut out, &event.thread);
+        out.push_str("\",\"depth\":");
+        out.push_str(&event.depth.to_string());
+        out.push_str(",\"start_us\":");
+        out.push_str(&event.start_us.to_string());
+        out.push_str(",\"dur_us\":");
+        out.push_str(&event.dur_us.to_string());
+        out.push('}');
+        if index + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Dumps the current snapshot to `path` as JSON. Creates parent directories.
+///
+/// # Errors
+/// Propagates filesystem failures.
+pub fn dump_to_path(path: &Path) -> std::io::Result<usize> {
+    let events = snapshot();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, render_json(&events))?;
+    Ok(events.len())
+}
+
+/// Installs (once per process) a panic hook that dumps the flight recorder
+/// to stderr and to `path`, then chains to the previously installed hook.
+/// Subsequent calls are no-ops, so the serve and train binaries can each
+/// install it unconditionally.
+pub fn install_panic_hook(path: impl Into<PathBuf>) {
+    static INSTALL: Once = Once::new();
+    let path = path.into();
+    INSTALL.call_once(move || {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            dump_on_panic(&path);
+            previous(info);
+        }));
+    });
+}
+
+fn dump_on_panic(path: &Path) {
+    let events = snapshot();
+    let stderr = std::io::stderr();
+    let mut err = stderr.lock();
+    let threads: std::collections::BTreeSet<&str> =
+        events.iter().map(|event| event.thread.as_str()).collect();
+    let _ = writeln!(
+        err,
+        "flight recorder: {} span event(s) across {} thread(s):",
+        events.len(),
+        threads.len()
+    );
+    for event in &events {
+        let _ = writeln!(
+            err,
+            "  [{}] {} depth={} start_us={} dur_us={}",
+            event.thread, event.span, event.depth, event.start_us, event.dur_us
+        );
+    }
+    match dump_to_path(path) {
+        Ok(count) => {
+            let _ = writeln!(err, "flight recorder: wrote {count} event(s) to {}", path.display());
+        }
+        Err(error) => {
+            let _ = writeln!(err, "flight recorder: cannot write {}: {error}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest_and_survives_wraparound() {
+        let ring = Ring::new("t".to_owned(), 4);
+        for event in 0..10u64 {
+            ring.push(0, 1, event, 1);
+        }
+        let mut events = Vec::new();
+        ring.collect(&["alpha"], &mut events);
+        assert_eq!(events.len(), 4);
+        let starts: Vec<u64> = events.iter().map(|event| event.start_us).collect();
+        assert_eq!(starts, vec![6, 7, 8, 9], "only the newest window survives");
+        assert!(events.iter().all(|event| event.span == "alpha"));
+    }
+
+    #[test]
+    fn render_json_is_an_array_of_trace_shaped_lines() {
+        let events = vec![
+            FlightEvent {
+                thread: "main".to_owned(),
+                span: "train_step".to_owned(),
+                depth: 2,
+                start_us: 10,
+                dur_us: 5,
+            },
+            FlightEvent {
+                thread: "w-0".to_owned(),
+                span: "serve_infer".to_owned(),
+                depth: 1,
+                start_us: 20,
+                dur_us: 7,
+            },
+        ];
+        let json = render_json(&events);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        let event_lines: Vec<&str> = json.lines().filter(|line| line.starts_with('{')).collect();
+        assert_eq!(event_lines.len(), 2);
+        assert!(event_lines[0].contains("\"span\":\"train_step\""));
+        assert!(event_lines[0].contains("\"start_us\":10"));
+        assert!(event_lines[1].contains("\"thread\":\"w-0\""));
+    }
+}

@@ -12,6 +12,10 @@
 //!   feed `hlsgnn_stage_duration_us{stage=…}` automatically and, when a
 //!   JSONL sink is attached (`HLSGNN_TRACE=<path>`), record one event per
 //!   span for offline breakdowns (`obs_report` in the bench crate).
+//! * **Flight recorder** ([`flight`]): fixed-size lock-free per-thread
+//!   rings retaining the last N span events at all times, dumped to stderr
+//!   and `results/flightrec.json` on panic via [`install_panic_hook`] — any
+//!   crash becomes a timeline, sink or no sink.
 //! * **Global switches**: [`global`] is the process-wide registry;
 //!   [`enabled`]/[`set_enabled`] (or `HLSGNN_OBS=off`) turn all span
 //!   instrumentation into no-ops, which is what the `obs_bench` overhead
@@ -32,11 +36,16 @@
 //! assert!(text.contains("doc_requests_total{model=\"base\"} 1"));
 //! ```
 
+pub mod flight;
 pub mod registry;
 pub mod trace;
 
+pub use flight::{install_panic_hook, FlightEvent, FLIGHTREC_ENV_VAR};
 pub use registry::{duration_buckets_us, Counter, Gauge, Histogram, Registry};
-pub use trace::{attach, attached, detach, Span, STAGE_HISTOGRAM, TRACE_ENV_VAR};
+pub use trace::{
+    attach, attach_with_limit, attached, detach, Span, STAGE_HISTOGRAM, TRACE_ENV_VAR,
+    TRACE_MAX_MB_ENV_VAR,
+};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;

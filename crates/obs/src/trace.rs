@@ -21,6 +21,12 @@
 //! entirely ([`crate::set_enabled`], `HLSGNN_OBS=off`) spans are fully inert:
 //! no clock reads, no atomics.
 //!
+//! Every dropped span is also appended to the thread's [`crate::flight`]
+//! ring — the always-on flight recorder that turns a later panic into a
+//! timeline — and the JSONL sink itself is bounded: `HLSGNN_TRACE_MAX_MB`
+//! caps the file, rotating once to `<path>.1` when the cap is hit so a
+//! long traced run can never fill the disk (total footprint ≤ 2 × cap).
+//!
 //! Tracing never touches the traced computation — no RNG draws, no value
 //! rewriting — so all numeric outputs are bit-identical with tracing on or
 //! off.
@@ -28,7 +34,7 @@
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, Once, OnceLock};
@@ -39,11 +45,34 @@ use crate::registry::Histogram;
 /// Environment variable naming the JSONL trace sink path.
 pub const TRACE_ENV_VAR: &str = "HLSGNN_TRACE";
 
+/// Environment variable capping the JSONL sink size, in MiB. When the cap is
+/// reached the file rotates once to `<path>.1`; when the fresh file reaches
+/// the cap too, tracing stops (with a one-time stderr notice). Unset or `0`
+/// means unbounded.
+pub const TRACE_MAX_MB_ENV_VAR: &str = "HLSGNN_TRACE_MAX_MB";
+
 /// Name of the histogram every span feeds (labelled by `stage`).
 pub const STAGE_HISTOGRAM: &str = "hlsgnn_stage_duration_us";
 
+/// The attached JSONL sink plus the bookkeeping the size cap needs.
+///
+/// Events are written straight to the file, one `write` per span: the sink
+/// lives in a process-global (statics never drop, so a buffered tail would
+/// be lost on exit), spans are stage-level — far too coarse for a syscall
+/// per event to matter — and unbuffered lines mean a crash or abrupt exit
+/// loses nothing.
+struct Sink {
+    file: File,
+    path: std::path::PathBuf,
+    written: u64,
+    /// Byte cap per file (`HLSGNN_TRACE_MAX_MB`), `None` = unbounded.
+    limit: Option<u64>,
+    /// The one permitted rotation has happened.
+    rotated: bool,
+}
+
 static ATTACHED: AtomicBool = AtomicBool::new(false);
-static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
 static ENV_INIT: Once = Once::new();
 
 /// The process-wide monotonic epoch span start offsets are measured from.
@@ -65,24 +94,41 @@ fn ensure_env_init() {
     });
 }
 
-/// Attaches (or replaces) the JSONL trace sink. Subsequent span drops append
-/// one line each until [`detach`] is called.
+/// Attaches (or replaces) the JSONL trace sink, honouring the
+/// `HLSGNN_TRACE_MAX_MB` size cap. Subsequent span drops append one line
+/// each until [`detach`] is called.
 ///
 /// # Errors
 /// Propagates the file-creation failure.
 pub fn attach(path: &Path) -> io::Result<()> {
+    let limit = std::env::var(TRACE_MAX_MB_ENV_VAR)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<u64>().ok())
+        .filter(|&mb| mb > 0)
+        .map(|mb| mb * 1024 * 1024);
+    attach_with_limit(path, limit)
+}
+
+/// [`attach`] with an explicit byte cap per file instead of the environment
+/// variable (`None` = unbounded). The sink writes at most `limit` bytes,
+/// rotates the full file to `<path>.1`, writes up to `limit` more, then
+/// stops — bounding a runaway trace at twice the cap.
+///
+/// # Errors
+/// Propagates the file-creation failure.
+pub fn attach_with_limit(path: &Path, limit: Option<u64>) -> io::Result<()> {
     let file = File::create(path)?;
-    *SINK.lock().expect("trace sink poisoned") = Some(BufWriter::new(file));
+    *SINK.lock().expect("trace sink poisoned") =
+        Some(Sink { file, path: path.to_path_buf(), written: 0, limit, rotated: false });
     ATTACHED.store(true, Ordering::Release);
     Ok(())
 }
 
-/// Detaches and flushes the trace sink, if any. Idempotent.
+/// Detaches the trace sink, if any. Every event is already on disk (the
+/// sink is unbuffered), so this only closes the file. Idempotent.
 pub fn detach() {
     ATTACHED.store(false, Ordering::Release);
-    if let Some(mut writer) = SINK.lock().expect("trace sink poisoned").take() {
-        let _ = writer.flush();
-    }
+    drop(SINK.lock().expect("trace sink poisoned").take());
 }
 
 /// True when a JSONL sink is attached (the `HLSGNN_TRACE` environment
@@ -140,6 +186,7 @@ impl Drop for Span {
             depth.set(entered.saturating_sub(1));
             entered
         });
+        crate::flight::record(self.name, depth, self.start_us, duration_us);
         if let Some(args) = self.args.take() {
             write_event(self.name, depth, self.start_us, duration_us, &args);
         }
@@ -180,14 +227,49 @@ fn write_event(name: &str, depth: u32, start_us: u64, dur_us: u64, args: &[(&str
         line.push('}');
     }
     line.push_str("}\n");
-    let mut sink = SINK.lock().expect("trace sink poisoned");
-    if let Some(writer) = sink.as_mut() {
-        let _ = writer.write_all(line.as_bytes());
+    let mut guard = SINK.lock().expect("trace sink poisoned");
+    let Some(sink) = guard.as_mut() else { return };
+    if let Some(limit) = sink.limit {
+        if sink.written + line.len() as u64 > limit {
+            if sink.rotated {
+                // Both files are full: stop tracing rather than fill the
+                // disk. Mirrors detach(), but keeps the reason visible.
+                let path = sink.path.display().to_string();
+                *guard = None;
+                ATTACHED.store(false, Ordering::Release);
+                eprintln!(
+                    "warning: trace sink `{path}` reached {TRACE_MAX_MB_ENV_VAR} twice; \
+                     tracing stopped"
+                );
+                return;
+            }
+            // First overflow: rotate the full file to `<path>.1` and start
+            // a fresh one at the same path.
+            let mut rotated_path = sink.path.clone().into_os_string();
+            rotated_path.push(".1");
+            let _ = std::fs::rename(&sink.path, &rotated_path);
+            match File::create(&sink.path) {
+                Ok(file) => {
+                    sink.file = file;
+                    sink.written = 0;
+                    sink.rotated = true;
+                }
+                Err(error) => {
+                    let path = sink.path.display().to_string();
+                    *guard = None;
+                    ATTACHED.store(false, Ordering::Release);
+                    eprintln!("warning: cannot rotate trace sink `{path}`: {error}");
+                    return;
+                }
+            }
+        }
     }
+    sink.written += line.len() as u64;
+    let _ = sink.file.write_all(line.as_bytes());
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control characters).
-fn escape_into(out: &mut String, text: &str) {
+pub(crate) fn escape_into(out: &mut String, text: &str) {
     for ch in text.chars() {
         match ch {
             '"' => out.push_str("\\\""),

@@ -161,6 +161,97 @@ fn spans_feed_the_stage_histogram_and_jsonl_sink() {
 }
 
 #[test]
+fn trace_sink_rotates_once_then_stops_at_the_cap() {
+    let _guard = global_lock();
+    hls_gnn_obs::set_enabled(true);
+    let trace_path = temp_path("rotate");
+    let rotated_path = {
+        let mut os = trace_path.clone().into_os_string();
+        os.push(".1");
+        PathBuf::from(os)
+    };
+    // Cap small enough that a couple of spans overflow each file: every
+    // event line is ~100 bytes.
+    hls_gnn_obs::attach_with_limit(&trace_path, Some(260)).expect("sink should open");
+    for _ in 0..40 {
+        let _span = span!("obs_test_rotation", filler = "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx");
+    }
+    // The second overflow detaches the sink by itself.
+    assert!(!hls_gnn_obs::attached(), "sink should stop after rotating once");
+    hls_gnn_obs::detach();
+
+    let rotated = std::fs::read_to_string(&rotated_path).expect("rotated file should exist");
+    let fresh = std::fs::read_to_string(&trace_path).expect("fresh file should exist");
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_file(&rotated_path).ok();
+    assert!(rotated.len() as u64 <= 260, "rotated file respects the cap");
+    assert!(fresh.len() as u64 <= 260, "fresh file respects the cap");
+    assert!(rotated.lines().count() >= 1);
+    assert!(fresh.lines().count() >= 1);
+    for line in rotated.lines().chain(fresh.lines()) {
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"span\":\"obs_test_rotation\""));
+    }
+}
+
+#[test]
+fn flight_recorder_retains_span_events_without_a_sink() {
+    let _guard = global_lock();
+    hls_gnn_obs::set_enabled(true);
+    hls_gnn_obs::detach();
+    {
+        let _outer = span!("obs_test_flight_outer");
+        let _inner = span!("obs_test_flight_inner");
+    }
+    let events = hls_gnn_obs::flight::snapshot();
+    let inner = events
+        .iter()
+        .find(|event| event.span == "obs_test_flight_inner")
+        .expect("inner span should be retained");
+    let outer = events
+        .iter()
+        .find(|event| event.span == "obs_test_flight_outer")
+        .expect("outer span should be retained");
+    assert_eq!(inner.depth, 2);
+    assert_eq!(outer.depth, 1);
+    assert!(inner.start_us >= outer.start_us);
+}
+
+#[test]
+fn panic_dump_writes_a_valid_flight_file() {
+    let _guard = global_lock();
+    hls_gnn_obs::set_enabled(true);
+    {
+        let _span = span!("obs_test_panic_span");
+    }
+    let dump_path = temp_path("flightrec");
+    let count = hls_gnn_obs::flight::dump_to_path(&dump_path).expect("dump should write");
+    let dump = std::fs::read_to_string(&dump_path).expect("dump file should exist");
+    std::fs::remove_file(&dump_path).ok();
+    assert!(count >= 1);
+    assert!(dump.starts_with("[\n") && dump.ends_with("]\n"), "dump is a JSON array");
+    assert!(dump.contains("\"span\":\"obs_test_panic_span\""));
+    // The panic hook itself: install it, panic on a scratch thread, and
+    // check the hook ran the dump (the chained default hook still prints).
+    let hook_path = temp_path("flightrec_hook");
+    hls_gnn_obs::install_panic_hook(&hook_path);
+    let result = std::thread::Builder::new()
+        .name("obs-panic-probe".into())
+        .spawn(|| {
+            let _span = span!("obs_test_panic_probe");
+            drop(span!("obs_test_panic_probe"));
+            panic!("intentional test panic");
+        })
+        .expect("spawn")
+        .join();
+    assert!(result.is_err(), "probe thread must panic");
+    let hook_dump = std::fs::read_to_string(&hook_path).expect("panic hook should dump");
+    std::fs::remove_file(&hook_path).ok();
+    assert!(hook_dump.contains("\"span\":\"obs_test_panic_probe\""));
+    assert!(hook_dump.contains("\"thread\":\"obs-panic-probe\""));
+}
+
+#[test]
 fn disabled_spans_are_inert() {
     let _guard = global_lock();
     hls_gnn_obs::set_enabled(false);

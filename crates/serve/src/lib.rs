@@ -31,6 +31,11 @@
 //!   [`hls_gnn_core::fingerprint`] — the same memoisation key the DSE
 //!   engine uses) of the request graph, with hit/miss/eviction counters in
 //!   `/stats`.
+//! * [`reqlog`] — request-scoped tracing: every admitted request gets a
+//!   monotonic id (echoed in the response, the access log and trace spans),
+//!   resolves into a [`reqlog::RequestRecord`] decomposing its latency into
+//!   queue wait and service time, and lands in bounded recent/slow rings —
+//!   the slow ring is served at `GET /debug/slow`.
 //! * [`client`] — a minimal blocking HTTP client for the load generator,
 //!   tests and examples.
 //!
@@ -76,13 +81,17 @@ pub mod fingerprint;
 pub mod http;
 pub mod protocol;
 pub mod queue;
+pub mod reqlog;
 pub mod server;
 pub mod service;
 
 pub use cache::{CacheCounters, PredictionCache};
 pub use client::{HttpClient, HttpReply};
 pub use fingerprint::{sample_fingerprint, Fingerprint};
-pub use protocol::{ErrorResponse, PredictRequest, PredictResponse, StatsResponse};
+pub use protocol::{
+    ErrorResponse, PredictRequest, PredictResponse, SlowRequestsResponse, StatsResponse,
+};
 pub use queue::{CoalescingQueue, SubmitError};
+pub use reqlog::{Outcome, RequestLog, RequestRecord};
 pub use server::HttpServer;
 pub use service::{ServeConfig, ServeError, Served, ServiceHandle};

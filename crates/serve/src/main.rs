@@ -11,9 +11,12 @@
 //!
 //! Environment knobs: `HLSGNN_SERVE_HOST` / `HLSGNN_SERVE_PORT` (bind
 //! address, default `127.0.0.1:7878`), `HLSGNN_SERVE_WORKERS`,
-//! `HLSGNN_SERVE_CACHE`, `HLSGNN_SERVE_QUEUE`, `HLSGNN_SERVE_COALESCE`, plus
-//! the engine-wide `HLSGNN_BATCH` / `HLSGNN_BATCH_NODES`. `POST /shutdown`
-//! stops the server gracefully.
+//! `HLSGNN_SERVE_CACHE`, `HLSGNN_SERVE_QUEUE`, `HLSGNN_SERVE_COALESCE`,
+//! `HLSGNN_SERVE_SLOW_US` (slow-request threshold for `GET /debug/slow`),
+//! `HLSGNN_SERVE_ACCESS_LOG` (0 silences the per-request stderr access
+//! log), plus the engine-wide `HLSGNN_BATCH` / `HLSGNN_BATCH_NODES`.
+//! `POST /shutdown` stops the server gracefully. On panic, the in-memory
+//! flight recorder is dumped to stderr and `results/flightrec.json`.
 
 use hls_gnn_core::builder::PredictorBuilder;
 use hls_gnn_core::dataset::DatasetBuilder;
@@ -45,6 +48,9 @@ fn demo_snapshot() -> SavedPredictor {
 }
 
 fn main() {
+    // Keep the last moments of every thread: on panic, the flight recorder
+    // dumps its per-thread span rings to stderr and this file.
+    hls_gnn_obs::install_panic_hook("results/flightrec.json");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let snapshot = match args.as_slice() {
         [flag] if flag == "--demo" => demo_snapshot(),
@@ -52,10 +58,11 @@ fn main() {
             println!(
                 "usage: hls-gnn-serve <model.json|model.hgns> | --demo\n\n\
                  Serves a trained predictor snapshot (JSON or binary) over HTTP.\n\
-                 Routes: POST /predict, GET /stats, GET /metrics, GET /healthz,\n\
-                 POST /shutdown.\n\
+                 Routes: POST /predict, GET /stats, GET /metrics, GET /debug/slow,\n\
+                 GET /healthz, POST /shutdown.\n\
                  Env: HLSGNN_SERVE_HOST, HLSGNN_SERVE_PORT, HLSGNN_SERVE_WORKERS,\n\
-                 HLSGNN_SERVE_CACHE, HLSGNN_SERVE_QUEUE, HLSGNN_SERVE_COALESCE."
+                 HLSGNN_SERVE_CACHE, HLSGNN_SERVE_QUEUE, HLSGNN_SERVE_COALESCE,\n\
+                 HLSGNN_SERVE_SLOW_US, HLSGNN_SERVE_ACCESS_LOG."
             );
             return;
         }
@@ -90,7 +97,10 @@ fn main() {
         stats.queue_bound,
         stats.cache.capacity,
     );
-    println!("routes: POST /predict, GET /stats, GET /metrics, GET /healthz, POST /shutdown");
+    println!(
+        "routes: POST /predict, GET /stats, GET /metrics, GET /debug/slow, GET /healthz, \
+         POST /shutdown"
+    );
 
     server.wait();
     println!("shutdown requested; draining the queue ...");

@@ -15,6 +15,8 @@ use hls_gnn_core::dataset::GraphSample;
 use hls_gnn_core::export::ExportedGraph;
 use hls_gnn_core::task::TargetMetric;
 
+use crate::reqlog::RequestRecord;
+
 /// A prediction request: exactly one of `graph` / `kernel` must be present.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PredictRequest {
@@ -42,6 +44,10 @@ impl PredictRequest {
 pub struct PredictResponse {
     /// The design name (echoed from the graph, or the kernel name).
     pub name: String,
+    /// The server-assigned monotonic request id — the same id the access
+    /// log and `/debug/slow` report, for correlating a reply with the
+    /// server-side records of how it was computed.
+    pub request_id: u64,
     /// Raw `[DSP, LUT, FF, CP]` prediction — bit-identical to what
     /// `Predictor::predict_batch` returns for the same graph in-process.
     pub prediction: [f64; TargetMetric::COUNT],
@@ -119,8 +125,69 @@ pub struct StatsResponse {
     pub shed: u64,
     /// Requests that failed in the model.
     pub errors: u64,
+    /// Requests at or above the slow-request threshold (lifetime count;
+    /// `GET /debug/slow` retains the most recent of them).
+    pub slow: u64,
     /// Prediction-cache counters.
     pub cache: CacheStatsBody,
     /// Recent-latency summary.
     pub latency: LatencyStatsBody,
+}
+
+/// One slow (or otherwise retained) request in the `/debug/slow` document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlowRequestBody {
+    /// Monotonic request id (matches [`PredictResponse::request_id`] and the
+    /// access log).
+    pub id: u64,
+    /// `served`, `cache_hit`, `shed` or `error`.
+    pub outcome: String,
+    /// Position inside the fused micro-batch (0 for cache hits and shed).
+    pub batch_index: usize,
+    /// Requests sharing that micro-batch (0 for cache hits and shed).
+    pub coalesced: usize,
+    /// Admission to worker pick-up, microseconds.
+    pub queue_wait_us: u64,
+    /// Worker pick-up to reply, microseconds.
+    pub service_us: u64,
+    /// End-to-end latency, microseconds.
+    pub latency_us: u64,
+}
+
+impl From<&RequestRecord> for SlowRequestBody {
+    fn from(record: &RequestRecord) -> Self {
+        SlowRequestBody {
+            id: record.id,
+            outcome: record.outcome.name().to_owned(),
+            batch_index: record.batch_index,
+            coalesced: record.coalesced,
+            queue_wait_us: record.queue_wait_us,
+            service_us: record.service_us,
+            latency_us: record.latency_us,
+        }
+    }
+}
+
+/// The `GET /debug/slow` document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlowRequestsResponse {
+    /// Latency threshold (microseconds) at or above which requests are
+    /// retained here (`HLSGNN_SERVE_SLOW_US`).
+    pub threshold_us: u64,
+    /// Lifetime count of requests that crossed the threshold (the retained
+    /// ring below is bounded; this is not).
+    pub total: u64,
+    /// The most recent slow requests, oldest first.
+    pub requests: Vec<SlowRequestBody>,
+}
+
+impl SlowRequestsResponse {
+    /// Builds the document from the slow ring's contents.
+    pub fn new(threshold_us: u64, total: u64, records: &[RequestRecord]) -> Self {
+        SlowRequestsResponse {
+            threshold_us,
+            total,
+            requests: records.iter().map(SlowRequestBody::from).collect(),
+        }
+    }
 }

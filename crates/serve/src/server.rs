@@ -5,11 +5,12 @@
 //!
 //! | Route            | Meaning                                              |
 //! |------------------|------------------------------------------------------|
-//! | `POST /predict`  | Predict one design (graph payload or kernel name).   |
-//! | `GET /stats`     | Queue / cache / latency counters as JSON.            |
-//! | `GET /metrics`   | Prometheus-style text exposition of every metric.    |
-//! | `GET /healthz`   | Liveness probe.                                      |
-//! | `POST /shutdown` | Graceful stop: the accept loop exits, `wait` returns.|
+//! | `POST /predict`   | Predict one design (graph payload or kernel name).   |
+//! | `GET /stats`      | Queue / cache / latency counters as JSON.            |
+//! | `GET /metrics`    | Prometheus-style text exposition of every metric.    |
+//! | `GET /debug/slow` | Recent requests over the slow-latency threshold.     |
+//! | `GET /healthz`    | Liveness probe.                                      |
+//! | `POST /shutdown`  | Graceful stop: the accept loop exits, `wait` returns.|
 //!
 //! Status mapping: 400 malformed request or payload, 404 unknown route, 405
 //! wrong method on a known route, 503 with `Retry-After` when the admission
@@ -187,6 +188,10 @@ fn route(
             Ok(body) => Reply::json(200, body),
             Err(error) => Reply::json(500, error_body(&error.to_string())),
         },
+        ("GET", "/debug/slow") => match serde_json::to_string_pretty(&service.slow_requests()) {
+            Ok(body) => Reply::json(200, body),
+            Err(error) => Reply::json(500, error_body(&error.to_string())),
+        },
         ("GET", "/metrics") => Reply {
             status: 200,
             content_type: CONTENT_TYPE_METRICS,
@@ -199,7 +204,7 @@ fn route(
             poke(addr); // unblock the accept loop so `wait` returns
             Reply::json(200, "{\"status\":\"shutting down\"}".to_owned())
         }
-        (_, "/predict" | "/shutdown" | "/stats" | "/metrics" | "/healthz") => {
+        (_, "/predict" | "/shutdown" | "/stats" | "/metrics" | "/debug/slow" | "/healthz") => {
             Reply::json(405, error_body("wrong method for this route"))
         }
         (_, target) => Reply::json(404, error_body(&format!("no such route `{target}`"))),
@@ -221,6 +226,7 @@ fn predict_route(service: &ServiceHandle, request: &Request) -> Reply {
         Ok((name, served)) => {
             let response = PredictResponse {
                 name,
+                request_id: served.request_id,
                 prediction: served.prediction,
                 cached: served.cached,
                 coalesced: served.coalesced,

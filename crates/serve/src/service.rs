@@ -24,6 +24,7 @@
 //!   whether the cache was involved.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -40,8 +41,11 @@ use hls_sim::FpgaDevice;
 
 use crate::cache::PredictionCache;
 use crate::fingerprint::{sample_fingerprint, Fingerprint};
-use crate::protocol::{CacheStatsBody, LatencyStatsBody, PredictRequest, StatsResponse};
+use crate::protocol::{
+    CacheStatsBody, LatencyStatsBody, PredictRequest, SlowRequestsResponse, StatsResponse,
+};
 use crate::queue::{CoalescingQueue, SubmitError};
+use crate::reqlog::{Outcome, RequestLog, RequestRecord};
 
 /// Serving-layer errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +103,13 @@ pub struct ServeConfig {
     /// Artificial per-micro-batch delay, for load/shedding tests
     /// (`HLSGNN_SERVE_DELAY_MS`). Zero in production.
     pub worker_delay: Duration,
+    /// Requests at or above this end-to-end latency (microseconds) are
+    /// retained in the slow-request ring served at `GET /debug/slow` and
+    /// counted by `hlsgnn_serve_slow_total`. 0 captures every request.
+    pub slow_threshold_us: u64,
+    /// Emit one structured access-log line per request on stderr
+    /// (`HLSGNN_SERVE_ACCESS_LOG=0` disables).
+    pub access_log: bool,
 }
 
 impl Default for ServeConfig {
@@ -109,6 +120,8 @@ impl Default for ServeConfig {
             queue_bound: 256,
             coalesce_width: 0,
             worker_delay: Duration::ZERO,
+            slow_threshold_us: 100_000,
+            access_log: true,
         }
     }
 }
@@ -124,6 +137,10 @@ impl ServeConfig {
     pub const COALESCE_ENV_VAR: &'static str = "HLSGNN_SERVE_COALESCE";
     /// Environment variable injecting an artificial worker delay (ms).
     pub const DELAY_ENV_VAR: &'static str = "HLSGNN_SERVE_DELAY_MS";
+    /// Environment variable naming the slow-request threshold (µs).
+    pub const SLOW_ENV_VAR: &'static str = "HLSGNN_SERVE_SLOW_US";
+    /// Environment variable toggling the stderr access log (0 disables).
+    pub const ACCESS_LOG_ENV_VAR: &'static str = "HLSGNN_SERVE_ACCESS_LOG";
 
     /// Reads the configuration from the `HLSGNN_SERVE_*` environment
     /// variables, falling back to the defaults for unset, empty or
@@ -154,6 +171,11 @@ impl ServeConfig {
             queue_bound: parse(Self::QUEUE_ENV_VAR, defaults.queue_bound),
             coalesce_width: parse(Self::COALESCE_ENV_VAR, defaults.coalesce_width),
             worker_delay: Duration::from_millis(parse(Self::DELAY_ENV_VAR, 0) as u64),
+            slow_threshold_us: parse(
+                Self::SLOW_ENV_VAR,
+                usize::try_from(defaults.slow_threshold_us).unwrap_or(usize::MAX),
+            ) as u64,
+            access_log: parse(Self::ACCESS_LOG_ENV_VAR, usize::from(defaults.access_log)) != 0,
         }
     }
 }
@@ -161,17 +183,25 @@ impl ServeConfig {
 /// One served prediction plus its serving metadata.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Served {
+    /// Monotonic request id assigned at admission (1-based); the same id
+    /// appears in the access log and `/debug/slow`.
+    pub request_id: u64,
     /// Raw `[DSP, LUT, FF, CP]` prediction.
     pub prediction: [f64; TargetMetric::COUNT],
     /// True when the prediction came from the cache.
     pub cached: bool,
     /// Requests that shared the computing micro-batch (0 for cache hits).
     pub coalesced: usize,
+    /// Position inside the fused micro-batch (0 for cache hits).
+    pub batch_index: usize,
+    /// Admission to worker pick-up (zero for cache hits).
+    pub queue_wait: Duration,
     /// Admission-to-completion latency.
     pub latency: Duration,
 }
 
 struct Job {
+    id: u64,
     sample: GraphSample,
     fingerprint: Fingerprint,
     enqueued: Instant,
@@ -190,6 +220,7 @@ struct ServeMetrics {
     served: Arc<Counter>,
     shed: Arc<Counter>,
     errors: Arc<Counter>,
+    slow: Arc<Counter>,
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
     cache_evictions: Arc<Counter>,
@@ -211,6 +242,7 @@ impl ServeMetrics {
             served: registry.counter("hlsgnn_serve_served_total", labels),
             shed: registry.counter("hlsgnn_serve_shed_total", labels),
             errors: registry.counter("hlsgnn_serve_errors_total", labels),
+            slow: registry.counter("hlsgnn_serve_slow_total", labels),
             cache_hits: registry.counter("hlsgnn_serve_cache_hits_total", labels),
             cache_misses: registry.counter("hlsgnn_serve_cache_misses_total", labels),
             cache_evictions: registry.counter("hlsgnn_serve_cache_evictions_total", labels),
@@ -243,6 +275,8 @@ struct ServiceInner {
     registry: Arc<Registry>,
     metrics: ServeMetrics,
     kernel_samples: Mutex<HashMap<String, GraphSample>>,
+    next_id: AtomicU64,
+    reqlog: RequestLog,
     batch: BatchConfig,
     coalesce_width: usize,
     node_budget: usize,
@@ -295,6 +329,7 @@ impl ServiceHandle {
             Arc::clone(&metrics.cache_misses),
             Arc::clone(&metrics.cache_evictions),
         );
+        let reqlog = RequestLog::new(model.clone(), config.slow_threshold_us, config.access_log);
         let inner = Arc::new(ServiceInner {
             model,
             spec: probe.spec().id(),
@@ -304,6 +339,8 @@ impl ServiceHandle {
             registry,
             metrics,
             kernel_samples: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            reqlog,
             batch,
             coalesce_width,
             node_budget,
@@ -335,9 +372,20 @@ impl ServiceHandle {
         if self.inner.queue.is_closed() {
             return Err(ServeError::ShuttingDown);
         }
+        // Ids are assigned at admission, before the cache/queue fork, so the
+        // access log and `/debug/slow` account for every request the service
+        // looked at — whichever path answered it. The id rides along as a
+        // span argument, so a trace sink can stitch the request's spans back
+        // together across threads.
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let _request_span = hls_gnn_obs::span!("serve_request", id = id);
         let admitted = Instant::now();
         let fingerprint = sample_fingerprint(&sample);
-        if let Some(prediction) = self.inner.cache.lock().expect("cache lock").get(fingerprint) {
+        let hit = {
+            let _lookup_span = hls_gnn_obs::span!("serve_cache_lookup", id = id);
+            self.inner.cache.lock().expect("cache lock").get(fingerprint)
+        };
+        if let Some(prediction) = hit {
             // `requests` counts admissions only (cache hits and enqueued
             // work) — shed and refused requests have their own counters, so
             // the /stats identities `requests = served + in flight` and
@@ -346,13 +394,39 @@ impl ServiceHandle {
             let latency = admitted.elapsed();
             self.inner.metrics.record_latency(latency);
             self.inner.metrics.served.inc();
-            return Ok(Served { prediction, cached: true, coalesced: 0, latency });
+            self.inner.finish(RequestRecord {
+                id,
+                outcome: Outcome::CacheHit,
+                batch_index: 0,
+                coalesced: 0,
+                queue_wait_us: 0,
+                service_us: 0,
+                latency_us: micros(latency),
+            });
+            return Ok(Served {
+                request_id: id,
+                prediction,
+                cached: true,
+                coalesced: 0,
+                batch_index: 0,
+                queue_wait: Duration::ZERO,
+                latency,
+            });
         }
         let (reply, receiver) = mpsc::channel();
-        let job = Job { sample, fingerprint, enqueued: admitted, reply };
+        let job = Job { id, sample, fingerprint, enqueued: admitted, reply };
         self.inner.queue.try_submit(job).map_err(|rejected| match rejected {
             SubmitError::Full(_) => {
                 self.inner.metrics.shed.inc();
+                self.inner.finish(RequestRecord {
+                    id,
+                    outcome: Outcome::Shed,
+                    batch_index: 0,
+                    coalesced: 0,
+                    queue_wait_us: 0,
+                    service_us: 0,
+                    latency_us: micros(admitted.elapsed()),
+                });
                 ServeError::Overloaded { queue_bound: self.inner.queue.bound() }
             }
             SubmitError::Closed(_) => ServeError::ShuttingDown,
@@ -455,9 +529,26 @@ impl ServiceHandle {
             served: metrics.served.get(),
             shed: metrics.shed.get(),
             errors: metrics.errors.get(),
+            slow: metrics.slow.get(),
             cache: cache_body,
             latency,
         }
+    }
+
+    /// The `/debug/slow` document: the configured threshold, the lifetime
+    /// slow-request count, and the retained slow records (oldest first).
+    pub fn slow_requests(&self) -> SlowRequestsResponse {
+        SlowRequestsResponse::new(
+            self.inner.reqlog.slow_threshold_us(),
+            self.inner.metrics.slow.get(),
+            &self.inner.reqlog.slow(),
+        )
+    }
+
+    /// The most recent resolved requests (oldest first), from the bounded
+    /// in-memory ring behind the access log.
+    pub fn recent_requests(&self) -> Vec<RequestRecord> {
+        self.inner.reqlog.recent()
     }
 
     /// Renders the `/metrics` document: this service's registry (with the
@@ -501,6 +592,20 @@ impl ServiceHandle {
     }
 }
 
+impl ServiceInner {
+    /// Final accounting for one resolved request: the access-log line and
+    /// retention rings, plus the slow counter when it crossed the threshold.
+    fn finish(&self, record: RequestRecord) {
+        if self.reqlog.record(record) {
+            self.metrics.slow.inc();
+        }
+    }
+}
+
+fn micros(duration: Duration) -> u64 {
+    u64::try_from(duration.as_micros()).unwrap_or(u64::MAX)
+}
+
 fn worker_loop(inner: &ServiceInner) {
     // Thread-confined model: rebuilt here, on this worker's thread, from the
     // shared plain-data snapshot. `start` validated the snapshot, so a
@@ -514,16 +619,20 @@ fn worker_loop(inner: &ServiceInner) {
         let taken_nodes: usize = taken.iter().map(|job| job.sample.num_nodes()).sum();
         taken.len() < width && taken_nodes + next.sample.num_nodes() <= budget
     }) {
+        // Pick-up splits each request's latency in two: queue wait
+        // (admission to here) and service time (here to reply — including
+        // the artificial delay, which models processing, not waiting).
+        let pickup = Instant::now();
         let coalesced = batch.len();
         inner.metrics.coalesce_width.record(coalesced as u64);
-        for job in &batch {
-            // Queue wait: admission to pick-up (the artificial delay below is
-            // processing time, not waiting).
-            let waited = job.enqueued.elapsed();
-            inner
-                .metrics
-                .queue_wait_us
-                .record(u64::try_from(waited.as_micros()).unwrap_or(u64::MAX));
+        let mut ids = String::new();
+        for (index, job) in batch.iter().enumerate() {
+            let waited = pickup.duration_since(job.enqueued);
+            inner.metrics.queue_wait_us.record(micros(waited));
+            if index > 0 {
+                ids.push(',');
+            }
+            ids.push_str(&job.id.to_string());
         }
         if !inner.worker_delay.is_zero() {
             std::thread::sleep(inner.worker_delay);
@@ -532,20 +641,52 @@ fn worker_loop(inner: &ServiceInner) {
         let mut metas = Vec::with_capacity(coalesced);
         for job in batch {
             samples.push(job.sample);
-            metas.push((job.fingerprint, job.enqueued, job.reply));
+            metas.push((job.id, job.fingerprint, job.enqueued, job.reply));
         }
-        let results = predictor.predict_batch_with(&samples, &inner.batch);
-        for ((fingerprint, enqueued, reply), result) in metas.into_iter().zip(results) {
+        let results = {
+            let _infer_span = hls_gnn_obs::span!("serve_infer", ids = ids, width = coalesced);
+            predictor.predict_batch_with(&samples, &inner.batch)
+        };
+        for (batch_index, ((id, fingerprint, enqueued, reply), result)) in
+            metas.into_iter().zip(results).enumerate()
+        {
+            let queue_wait = pickup.duration_since(enqueued);
             let outcome = match result {
                 Ok(prediction) => {
                     inner.cache.lock().expect("cache lock").insert(fingerprint, prediction);
                     let latency = enqueued.elapsed();
                     inner.metrics.record_latency(latency);
                     inner.metrics.served.inc();
-                    Ok(Served { prediction, cached: false, coalesced, latency })
+                    inner.finish(RequestRecord {
+                        id,
+                        outcome: Outcome::Served,
+                        batch_index,
+                        coalesced,
+                        queue_wait_us: micros(queue_wait),
+                        service_us: micros(pickup.elapsed()),
+                        latency_us: micros(latency),
+                    });
+                    Ok(Served {
+                        request_id: id,
+                        prediction,
+                        cached: false,
+                        coalesced,
+                        batch_index,
+                        queue_wait,
+                        latency,
+                    })
                 }
                 Err(error) => {
                     inner.metrics.errors.inc();
+                    inner.finish(RequestRecord {
+                        id,
+                        outcome: Outcome::Error,
+                        batch_index,
+                        coalesced,
+                        queue_wait_us: micros(queue_wait),
+                        service_us: micros(pickup.elapsed()),
+                        latency_us: micros(enqueued.elapsed()),
+                    });
                     Err(ServeError::Model(error))
                 }
             };

@@ -14,6 +14,10 @@
 //!   with O(1) allocations.
 //! * [`nn`] — linear layers, MLPs and embedding tables.
 //! * [`optim`] — Adam and SGD optimisers plus gradient clipping.
+//! * [`profile`] — the per-op tape profiler (`HLSGNN_PROFILE=1`): wall time,
+//!   invocation counts and analytic FLOPs/bytes per op kind, with a
+//!   roofline-style arithmetic-intensity column (`tensor_profile` in the
+//!   bench crate prints the table).
 //! * [`legacy`] — the frozen pre-arena `Rc`-graph engine, kept only as the
 //!   comparison baseline for `tensor_bench`.
 //!
@@ -41,6 +45,7 @@ pub mod legacy;
 pub mod matrix;
 pub mod nn;
 pub mod optim;
+pub mod profile;
 pub mod tape;
 pub mod var;
 

@@ -38,8 +38,10 @@
 
 use std::cell::{Cell, Ref, RefCell};
 use std::rc::Rc;
+use std::time::Instant;
 
 use crate::matrix::{kernels, Matrix};
+use crate::profile::{self, OpKind};
 
 /// A parameter (or constant) leaf: value and accumulated gradient live here,
 /// outside the tape, so they survive [`reset`].
@@ -176,6 +178,41 @@ impl Op {
                     None
                 }
             }
+        }
+    }
+
+    /// Profile aggregation key ([`crate::profile`]) for this record.
+    fn kind(&self) -> OpKind {
+        match self {
+            Op::Add(..) => OpKind::Add,
+            Op::Sub(..) => OpKind::Sub,
+            Op::Mul(..) => OpKind::Mul,
+            Op::DivEps(..) => OpKind::DivEps,
+            Op::Scale(..) => OpKind::Scale,
+            Op::AddScalar(..) => OpKind::AddScalar,
+            Op::MulScalarVar(..) => OpKind::MulScalarVar,
+            Op::MulColBroadcast(..) => OpKind::MulColBroadcast,
+            Op::Matmul(..) => OpKind::Matmul,
+            Op::AddRowBroadcast(..) => OpKind::AddRowBroadcast,
+            Op::LeakyRelu(..) => OpKind::LeakyRelu,
+            Op::Sigmoid(..) => OpKind::Sigmoid,
+            Op::Tanh(..) => OpKind::Tanh,
+            Op::Exp(..) => OpKind::Exp,
+            Op::LogEps(..) => OpKind::LogEps,
+            Op::SqrtEps(..) => OpKind::SqrtEps,
+            Op::Dropout(..) => OpKind::Dropout,
+            Op::Sum(..) => OpKind::Sum,
+            Op::SumAxis0(..) => OpKind::SumAxis0,
+            Op::ConcatCols(..) => OpKind::ConcatCols,
+            Op::ConcatRows(..) => OpKind::ConcatRows,
+            Op::GatherRows(..) => OpKind::GatherRows,
+            Op::ScatterAddRows(..) => OpKind::ScatterAddRows,
+            Op::ScatterAddOnto(..) => OpKind::ScatterAddOnto,
+            Op::SegmentSum(..) => OpKind::SegmentSum,
+            Op::SegmentExtremum { .. } => OpKind::SegmentExtremum,
+            Op::ScaleRows(..) => OpKind::ScaleRows,
+            Op::Mse(..) => OpKind::Mse,
+            Op::BceWithLogits(..) => OpKind::BceWithLogits,
         }
     }
 }
@@ -456,14 +493,103 @@ impl Tape {
         }
     }
 
-    /// Appends a node, computes its forward value, returns its index.
+    /// Appends a node, computes its forward value, returns its index. When
+    /// the per-op profiler is on the forward computation is timed and its
+    /// analytic cost credited to the op's kind; the disabled path pays one
+    /// relaxed atomic load.
     pub(crate) fn record(&mut self, rows: usize, cols: usize, op: Op) -> u32 {
+        if profile::enabled() {
+            // The timer covers the arena bookkeeping too, so tape overhead
+            // is attributed to the op that caused it rather than dropped.
+            let start = Instant::now();
+            let index = self.record_inner(rows, cols, op);
+            let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let (flops, bytes) = self.op_cost(index as usize, false);
+            profile::record_forward(op.kind(), elapsed_ns, flops, bytes);
+            index
+        } else {
+            self.record_inner(rows, cols, op)
+        }
+    }
+
+    fn record_inner(&mut self, rows: usize, cols: usize, op: Op) -> u32 {
         let index = u32::try_from(self.nodes.len()).expect("tape node limit exceeded");
         let off = self.vals.len();
         self.vals.resize(off + rows * cols, 0.0);
         self.nodes.push(NodeRec { rows: rows as u32, cols: cols as u32, off, op });
         self.forward_node(index as usize);
         index
+    }
+
+    /// Analytic cost of node `index`: floating-point operations and bytes
+    /// moved, derived purely from the op record's shapes (never from values).
+    /// The backward replay is modelled as 2× forward — exact for matmul
+    /// (`dA = g·Bᵀ` + `dB = Aᵀ·g` is two products against the forward's one)
+    /// and the linear elementwise ops, a serviceable bound for the rest.
+    fn op_cost(&self, index: usize, backward: bool) -> (u64, u64) {
+        const F: u64 = std::mem::size_of::<f32>() as u64;
+        let rec = &self.nodes[index];
+        let out = rec.len() as u64;
+        let src_numel = |s: Src| {
+            let (rows, cols) = src_dims(&self.nodes, &self.params, s);
+            (rows * cols) as u64
+        };
+        let (flops, bytes) = match rec.op {
+            // Elementwise with two array operands (dropout's mask counts).
+            Op::Add(..) | Op::Sub(..) | Op::Mul(..) | Op::Dropout(..) => (out, 3 * out * F),
+            Op::DivEps(..) => (2 * out, 3 * out * F),
+            // Elementwise against a scalar constant or 1×1 operand.
+            Op::Scale(..) | Op::AddScalar(..) | Op::LeakyRelu(..) | Op::MulScalarVar(..) => {
+                (out, 2 * out * F)
+            }
+            Op::MulColBroadcast(..) => (out, 2 * out * F + u64::from(rec.rows) * F),
+            Op::AddRowBroadcast(..) => (out, 2 * out * F + u64::from(rec.cols) * F),
+            Op::Matmul(a, _) => {
+                let (m, k) = src_dims(&self.nodes, &self.params, a);
+                let (m, k, n) = (m as u64, k as u64, u64::from(rec.cols));
+                (2 * m * k * n, (m * k + k * n + m * n) * F)
+            }
+            // Transcendental elementwise: a handful of flops per element.
+            Op::Sigmoid(..) | Op::Tanh(..) => (4 * out, 2 * out * F),
+            Op::Exp(..) | Op::LogEps(..) | Op::SqrtEps(..) => (2 * out, 2 * out * F),
+            Op::Sum(a) | Op::SumAxis0(a) => {
+                let m = src_numel(a);
+                (m, (m + out) * F)
+            }
+            // Pure data movement.
+            Op::ConcatCols(..) | Op::ConcatRows(..) => (0, 2 * out * F),
+            Op::GatherRows(_, ids) => (0, 2 * out * F + u64::from(ids.len) * F),
+            Op::ScatterAddRows(a, ids) => {
+                let m = src_numel(a);
+                (m, (2 * m + out) * F + u64::from(ids.len) * F)
+            }
+            Op::ScatterAddOnto(_, b, ids) => {
+                let m = src_numel(b);
+                (m, (2 * out + 2 * m) * F + u64::from(ids.len) * F)
+            }
+            Op::SegmentSum(a, ids) => {
+                let m = src_numel(a);
+                (m, (m + out) * F + u64::from(ids.len) * F)
+            }
+            Op::SegmentExtremum { input, segments, winners, .. } => {
+                let m = src_numel(input);
+                (m, (m + out) * F + u64::from(segments.len + winners.len) * F)
+            }
+            Op::ScaleRows(_, factors) => (out, 2 * out * F + u64::from(factors.len) * F),
+            Op::Mse(a, target) => {
+                let m = src_numel(a);
+                (3 * m, (m + u64::from(target.len) + out) * F)
+            }
+            Op::BceWithLogits(a, target) => {
+                let m = src_numel(a);
+                (8 * m, (m + u64::from(target.len) + out) * F)
+            }
+        };
+        if backward {
+            (2 * flops, 2 * bytes)
+        } else {
+            (flops, bytes)
+        }
     }
 
     /// Computes the forward value of node `index` into its (zeroed) region.
@@ -701,6 +827,7 @@ impl Tape {
     /// per-backward temporaries); parameter gradients accumulate across
     /// calls in their cells.
     pub(crate) fn backward(&mut self, root: u32) {
+        let setup_timer = profile::phase_timer(profile::Phase::BackwardSetup);
         self.compute_order(root);
         if self.grads.len() < self.vals.len() {
             self.grads.resize(self.vals.len(), 0.0);
@@ -711,9 +838,31 @@ impl Tape {
         }
         let root_off = self.nodes[root as usize].off;
         self.grads[root_off] = 1.0;
-        for position in (0..self.order.len()).rev() {
-            let node = self.order[position];
-            self.backprop_node(node);
+        drop(setup_timer);
+        if profile::enabled() {
+            // Timed replay: chain the clock reads (the end of one op is the
+            // start of the next) so profiling costs one read per op.
+            let mut mark = Instant::now();
+            for position in (0..self.order.len()).rev() {
+                let node = self.order[position];
+                self.backprop_node(node);
+                let now = Instant::now();
+                let elapsed_ns =
+                    u64::try_from(now.duration_since(mark).as_nanos()).unwrap_or(u64::MAX);
+                mark = now;
+                let (flops, bytes) = self.op_cost(node as usize, true);
+                profile::record_backward(
+                    self.nodes[node as usize].op.kind(),
+                    elapsed_ns,
+                    flops,
+                    bytes,
+                );
+            }
+        } else {
+            for position in (0..self.order.len()).rev() {
+                let node = self.order[position];
+                self.backprop_node(node);
+            }
         }
     }
 

@@ -14,8 +14,8 @@ use hls_gnn::prelude::*;
 use hls_gnn_core::encode::FeatureMode;
 use hls_gnn_core::model::GraphRegressor;
 use hls_gnn_serve::{
-    sample_fingerprint, HttpClient, HttpServer, PredictRequest, PredictResponse, ServeConfig,
-    ServeError, ServiceHandle, StatsResponse,
+    sample_fingerprint, HttpClient, HttpServer, Outcome, PredictRequest, PredictResponse,
+    ServeConfig, ServeError, ServiceHandle, SlowRequestsResponse, StatsResponse,
 };
 use hls_progen::synthetic::SyntheticConfig;
 use rand::rngs::StdRng;
@@ -341,6 +341,126 @@ fn a_full_queue_sheds_requests_with_overloaded() {
     assert_eq!(stats.shed, shed as u64);
     // `requests` counts admissions only; shed requests are not in it.
     assert_eq!(stats.requests, 4 - shed as u64);
+    service.shutdown();
+}
+
+/// Request-scoped tracing: concurrent coalesced requests each get a unique
+/// monotonic id that round-trips from admission through the access-log
+/// record to the HTTP response and `GET /debug/slow`; each record decomposes
+/// end-to-end latency into queue wait (admission to worker pick-up) plus
+/// service time (pick-up to reply, including the artificial delay).
+#[test]
+fn request_ids_are_unique_and_latency_decomposes_into_wait_plus_service() {
+    let dataset = corpus(8, 29);
+    let split = dataset.split(0.7, 0.15, 1);
+    let predictor = trained("base/gcn", &split);
+    // One deliberately slowed worker, no cache, slow threshold 0: every
+    // request queues behind the first, waits measurably, and lands in the
+    // slow ring.
+    let config = ServeConfig {
+        workers: 1,
+        cache_capacity: 0,
+        queue_bound: 64,
+        coalesce_width: 4,
+        worker_delay: std::time::Duration::from_millis(150),
+        slow_threshold_us: 0,
+        access_log: false,
+    };
+    let service =
+        ServiceHandle::start(predictor.snapshot().expect("snapshot"), &config).expect("starts");
+
+    // Occupy the worker, then race five more submissions while it sleeps:
+    // they pile up in the queue and the next drain must coalesce them.
+    let occupant = {
+        let service = service.clone();
+        let sample = dataset.samples[0].clone();
+        std::thread::spawn(move || service.predict_sample(sample).expect("served"))
+    };
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let racers: Vec<_> = dataset.samples[1..6]
+        .iter()
+        .cloned()
+        .map(|sample| {
+            let service = service.clone();
+            std::thread::spawn(move || service.predict_sample(sample).expect("served"))
+        })
+        .collect();
+    let mut served = vec![occupant.join().expect("occupant")];
+    served.extend(racers.into_iter().map(|join| join.join().expect("racer")));
+
+    // Ids are assigned at admission: six requests, ids exactly 1..=6.
+    let mut ids: Vec<u64> = served.iter().map(|s| s.request_id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (1..=6).collect::<Vec<u64>>(), "ids must be unique and monotonic from 1");
+
+    // Every request resolved into one access-log record with the same ids.
+    let records = service.recent_requests();
+    assert_eq!(records.len(), 6);
+    let mut record_ids: Vec<u64> = records.iter().map(|r| r.id).collect();
+    record_ids.sort_unstable();
+    assert_eq!(record_ids, ids, "access-log records must carry the served ids");
+    assert!(
+        records.iter().any(|r| r.coalesced >= 2),
+        "requests racing a busy worker must coalesce"
+    );
+    for record in &records {
+        assert_eq!(record.outcome, Outcome::Served);
+        assert!(record.batch_index < record.coalesced, "batch position within the micro-batch");
+        // The artificial delay is service time, so every record's service
+        // side is at least the 150 ms sleep.
+        assert!(
+            record.service_us >= 150_000,
+            "service_us {} < the worker delay",
+            record.service_us
+        );
+        // Queue wait + service time is measured microseconds apart from the
+        // end-to-end latency; they must agree to within scheduling noise.
+        let decomposed = record.queue_wait_us + record.service_us;
+        assert!(
+            decomposed.abs_diff(record.latency_us) <= 5_000,
+            "queue_wait {} + service {} must approximate latency {}",
+            record.queue_wait_us,
+            record.service_us,
+            record.latency_us
+        );
+    }
+    assert!(
+        records.iter().any(|r| r.queue_wait_us >= 50_000),
+        "requests admitted behind the sleeping worker must wait measurably"
+    );
+
+    // Threshold 0 captures everything: the slow ring holds the same six.
+    let slow = service.slow_requests();
+    assert_eq!(slow.threshold_us, 0);
+    assert_eq!(slow.total, 6);
+    assert_eq!(slow.requests.len(), 6);
+
+    // Over the wire: the response echoes the next id and /debug/slow
+    // round-trips it.
+    let server = HttpServer::bind(service.clone(), "127.0.0.1:0").expect("binds");
+    let mut client = HttpClient::new(server.local_addr());
+    let body =
+        serde_json::to_string(&PredictRequest::for_sample(&dataset.samples[6])).expect("request");
+    let reply = client.post("/predict", &body).expect("predict");
+    assert_eq!(reply.status, 200, "body: {}", reply.body);
+    let parsed: PredictResponse = serde_json::from_str(&reply.body).expect("response parses");
+    assert_eq!(parsed.request_id, 7, "the wire response must echo the admission id");
+    let slow_reply = client.get("/debug/slow").expect("debug/slow");
+    assert_eq!(slow_reply.status, 200);
+    let doc: SlowRequestsResponse =
+        serde_json::from_str(&slow_reply.body).expect("slow document parses");
+    assert!(
+        doc.requests.iter().any(|r| r.id == 7 && r.outcome == "served"),
+        "/debug/slow must contain the request served over the wire: {}",
+        slow_reply.body
+    );
+    assert_eq!(client.post("/debug/slow", "").expect("reply").status, 405);
+
+    let stats: StatsResponse =
+        serde_json::from_str(&client.get("/stats").expect("stats").body).expect("stats parse");
+    assert_eq!(stats.slow, 7, "every request crossed the 0 µs slow threshold");
+
+    server.shutdown();
     service.shutdown();
 }
 
